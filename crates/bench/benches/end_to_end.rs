@@ -1,0 +1,40 @@
+//! End-to-end search benches: the serial program, the incremental-scoring
+//! program, and the threaded parallel program on a small dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdml_core::config::SearchConfig;
+use fdml_core::runner::{fast_serial_search, parallel_search, serial_search};
+use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+use fdml_phylo::alignment::Alignment;
+use std::hint::black_box;
+
+fn dataset() -> Alignment {
+    let tree = yule_tree(12, 0.08, 21);
+    evolve(&tree, 300, &EvolutionConfig::default(), 5, "t")
+}
+
+fn bench_search_modes(c: &mut Criterion) {
+    let alignment = dataset();
+    let config = SearchConfig { jumble_seed: 1, rearrange_radius: 1, final_radius: 1, ..Default::default() };
+    let mut group = c.benchmark_group("search_12taxa");
+    group.sample_size(10);
+    group.bench_function("serial_full_eval", |b| {
+        b.iter(|| black_box(serial_search(&alignment, &config).unwrap().ln_likelihood))
+    });
+    group.bench_function("serial_incremental", |b| {
+        b.iter(|| black_box(fast_serial_search(&alignment, &config).unwrap().ln_likelihood))
+    });
+    group.bench_function("parallel_6ranks", |b| {
+        b.iter(|| {
+            black_box(parallel_search(&alignment, &config, 6).unwrap().result.ln_likelihood)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_search_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenches of the likelihood kernels — the computation the
+//! paper's workers spend their time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdml_core::config::SearchConfig;
+use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
+use fdml_likelihood::f84::F84Model;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::tree::Tree;
+use std::hint::black_box;
+
+fn dataset(taxa: usize, sites: usize) -> (Alignment, Tree) {
+    let tree = yule_tree(taxa, 0.08, 42);
+    let alignment = evolve(&tree, sites, &EvolutionConfig::default(), 7, "t");
+    (alignment, tree)
+}
+
+fn bench_transition_matrix(c: &mut Criterion) {
+    let model = F84Model::new([0.26, 0.22, 0.31, 0.21], 2.0);
+    c.bench_function("f84_transition_matrix", |b| {
+        b.iter(|| black_box(model.transition_matrix(black_box(0.137), 1.0)))
+    });
+    c.bench_function("f84_coefficients_d2", |b| {
+        b.iter(|| black_box(model.coefficients_d2(black_box(0.137), 1.0)))
+    });
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_evaluate");
+    for taxa in [16usize, 50, 101] {
+        let (alignment, tree) = dataset(taxa, 500);
+        let engine = SearchConfig::default().build_engine(&alignment);
+        group.bench_with_input(BenchmarkId::new("evaluate", taxa), &taxa, |b, _| {
+            b.iter(|| black_box(engine.evaluate(&tree).ln_likelihood))
+        });
+        group.bench_with_input(BenchmarkId::new("optimize", taxa), &taxa, |b, _| {
+            b.iter(|| {
+                let mut t = tree.clone();
+                black_box(engine.optimize(&mut t, &OptimizeOptions::default()).ln_likelihood)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_patterns_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_by_sites");
+    for sites in [200usize, 800, 1858] {
+        let (alignment, tree) = dataset(32, sites);
+        let engine = LikelihoodEngine::new(&alignment);
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, _| {
+            b.iter(|| black_box(engine.evaluate(&tree).ln_likelihood))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transition_matrix, bench_full_evaluation, bench_patterns_scaling
+}
+criterion_main!(benches);

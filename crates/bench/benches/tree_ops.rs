@@ -1,0 +1,68 @@
+//! Criterion microbenches of the tree machinery the master uses to
+//! generate candidate rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+use fdml_phylo::bipartition::{topology_fingerprint, SplitSet};
+use fdml_phylo::newick;
+use fdml_phylo::nj::{neighbor_joining, DistanceMatrix};
+use fdml_phylo::ops::{enumerate_insertion_moves, enumerate_spr_moves};
+use fdml_phylo::parsimony::fitch_score;
+use fdml_phylo::patterns::PatternAlignment;
+use std::hint::black_box;
+
+fn bench_move_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_moves");
+    for taxa in [50usize, 101, 150] {
+        let tree = yule_tree(taxa, 0.08, 9);
+        group.bench_with_input(BenchmarkId::new("insertions", taxa), &taxa, |b, _| {
+            b.iter(|| black_box(enumerate_insertion_moves(&tree, taxa as u32).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("spr_radius1", taxa), &taxa, |b, _| {
+            b.iter(|| black_box(enumerate_spr_moves(&tree, 1).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("spr_radius5", taxa), &taxa, |b, _| {
+            b.iter(|| black_box(enumerate_spr_moves(&tree, 5).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_identity(c: &mut Criterion) {
+    let tree = yule_tree(150, 0.08, 9);
+    c.bench_function("topology_fingerprint_150", |b| {
+        b.iter(|| black_box(topology_fingerprint(&tree)))
+    });
+    c.bench_function("splitset_150", |b| {
+        b.iter(|| black_box(SplitSet::of_tree(&tree, 150).len()))
+    });
+    let names: Vec<String> = (0..150).map(|i| format!("taxon{i:03}")).collect();
+    c.bench_function("newick_roundtrip_150", |b| {
+        b.iter(|| {
+            let text = newick::write_tree(&tree, &names);
+            black_box(newick::parse_tree_with_names(&text, &names).unwrap().num_tips())
+        })
+    });
+}
+
+fn bench_baseline_methods(c: &mut Criterion) {
+    // The §3.2 comparators: a Fitch parsimony evaluation vs the ML kernel
+    // (see the likelihood benches), and the NJ construction.
+    let tree = yule_tree(50, 0.08, 9);
+    let alignment = evolve(&tree, 500, &EvolutionConfig::default(), 3, "t");
+    let patterns = PatternAlignment::compress(&alignment);
+    c.bench_function("fitch_parsimony_50taxa", |b| {
+        b.iter(|| black_box(fitch_score(&tree, &patterns).0))
+    });
+    let matrix = DistanceMatrix::from_tree(&tree);
+    c.bench_function("neighbor_joining_50taxa", |b| {
+        b.iter(|| black_box(neighbor_joining(&matrix).num_tips()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_move_enumeration, bench_topology_identity, bench_baseline_methods
+}
+criterion_main!(benches);

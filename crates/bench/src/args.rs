@@ -1,0 +1,88 @@
+//! A tiny `--key value` argument parser for the figure binaries (keeps the
+//! workspace free of CLI dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an iterator (testable).
+    pub fn parse(items: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = iter.next().expect("peeked");
+                        out.values.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else {
+                out.flags.push(item);
+            }
+        }
+        out
+    }
+
+    /// Value of `--key`, parsed, with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String value of `--key`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Was a bare `--flag` given?
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = args("--scale 0.25 --jumbles 3 --full --out x.json");
+        assert_eq!(a.get("scale", 1.0f64), 0.25);
+        assert_eq!(a.get("jumbles", 10usize), 3);
+        assert!(a.has_flag("full"));
+        assert_eq!(a.get_str("out", "-"), "x.json");
+        assert!(!a.has_flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("");
+        assert_eq!(a.get("scale", 0.5f64), 0.5);
+        assert_eq!(a.get_str("mode", "fast"), "fast");
+    }
+
+    #[test]
+    fn malformed_numbers_fall_back() {
+        let a = args("--scale banana");
+        assert_eq!(a.get("scale", 0.5f64), 0.5);
+    }
+}

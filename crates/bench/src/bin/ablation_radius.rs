@@ -1,0 +1,41 @@
+//! §3.2 ablation: "Setting the number of vertices crossed to one …
+//! decreases the efficiency of scalability because there is a smaller
+//! total amount of work done between synchronizations. Increasing the
+//! number of vertices to be crossed would improve the scaling behavior."
+//!
+//! Usage: ablation_radius [--scale 0.25] [--jumbles 2]
+
+use fdml_bench::{load_or_build_traces, Args, TraceRequest};
+use fdml_datagen::datasets::PaperDataset;
+use fdml_simsp::{scaling_table, CostModel};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let jumbles: usize = args.get("jumbles", 2);
+    let cost = CostModel::power3_sp();
+    let processors = [1usize, 16, 64];
+    println!("Rearrangement-radius ablation on the 50-taxon dataset (§3.2)\n");
+    println!(
+        "{:>7} {:>16} {:>14} {:>14} {:>12}",
+        "radius", "cands/round", "speedup@16", "speedup@64", "util@64"
+    );
+    for radius in [1usize, 2, 5] {
+        let mut req = TraceRequest::paper(PaperDataset::Taxa50, scale, jumbles);
+        req.radius = radius;
+        let traces = load_or_build_traces(&req);
+        let mean_round: f64 = traces
+            .iter()
+            .map(|t| t.total_candidates() as f64 / t.rounds.len() as f64)
+            .sum::<f64>()
+            / traces.len() as f64;
+        let rows = scaling_table(&traces, &processors, &cost);
+        let s16 = rows.iter().find(|r| r.processors == 16).unwrap();
+        let s64 = rows.iter().find(|r| r.processors == 64).unwrap();
+        println!(
+            "{:>7} {:>16.1} {:>14.2} {:>14.2} {:>12.3}",
+            radius, mean_round, s16.mean_speedup, s64.mean_speedup, s64.mean_utilization
+        );
+    }
+    println!("\nexpected shape: larger radius → bigger rounds → better speedup at 64.");
+}

@@ -1,0 +1,17 @@
+//! Measure nanoseconds per work unit on this host and print the implied
+//! simulated Power3+ rate (see EXPERIMENTS.md, calibration).
+
+use fdml_bench::calibrate::{calibrate_host, HOST_SPEEDUP_VS_POWER3};
+use fdml_simsp::CostModel;
+
+fn main() {
+    let c = calibrate_host();
+    println!("host calibration:");
+    println!("  work units measured : {}", c.work_units);
+    println!("  wall seconds        : {:.3}", c.wall_seconds);
+    println!("  ns per work unit    : {:.2}", c.ns_per_work_unit);
+    let model = CostModel::from_host_calibration(c.ns_per_work_unit, HOST_SPEEDUP_VS_POWER3);
+    println!("\nimplied Power3+ model (host ≈ {HOST_SPEEDUP_VS_POWER3}× a 375 MHz Power3+):");
+    println!("  seconds per work unit (simulated) : {:.3e}", model.seconds_per_work_unit);
+    println!("  default model constant            : {:.3e}", CostModel::power3_sp().seconds_per_work_unit);
+}

@@ -1,0 +1,65 @@
+//! §3.2's forward prediction: "the scalability will likely fall off at
+//! between 100 and 200 processors, since the number of processors will
+//! equal or exceed the number of trees analyzed in the taxon addition step
+//! for much of the execution of the program."
+//!
+//! Usage: falloff_prediction [--scale 0.25] [--jumbles 2] [--dataset 150]
+
+use fdml_bench::{load_or_build_traces, Args, TraceRequest};
+use fdml_datagen::datasets::PaperDataset;
+use fdml_simsp::{scaling_table, CostModel};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let jumbles: usize = args.get("jumbles", 2);
+    let which = args.get_str("dataset", "150");
+    let dataset = match which.as_str() {
+        "50" => PaperDataset::Taxa50,
+        "101" => PaperDataset::Taxa101,
+        _ => PaperDataset::Taxa150,
+    };
+    let req = TraceRequest::paper(dataset, scale, jumbles);
+    let traces = load_or_build_traces(&req);
+    // Round-size distribution: the paper's §3.2 argument is that scalability
+    // is limited by the taxon-addition rounds, whose sizes are fixed at
+    // 2i-5 ≤ 2n-5; rearrangement rounds are far larger under radius 5.
+    let mut add_sizes: Vec<usize> = Vec::new();
+    let mut rearr_sizes: Vec<usize> = Vec::new();
+    for t in &traces {
+        for r in &t.rounds {
+            match r.kind {
+                fdml_core::trace::RoundKind::TaxonAddition => {
+                    add_sizes.push(r.candidate_work.len())
+                }
+                _ => rearr_sizes.push(r.candidate_work.len()),
+            }
+        }
+    }
+    let stats = |v: &mut Vec<usize>| -> (usize, usize, usize) {
+        v.sort_unstable();
+        (v[0], v[v.len() / 2], v[v.len() - 1])
+    };
+    let (a_min, a_med, a_max) = stats(&mut add_sizes);
+    let (r_min, r_med, r_max) = stats(&mut rearr_sizes);
+    println!(
+        "round sizes — addition: min {a_min} / median {a_med} / max {a_max}; \
+rearrangement: min {r_min} / median {r_med} / max {r_max}\n"
+    );
+    let processors = [1usize, 16, 32, 64, 100, 128, 160, 200, 256];
+    let cost = CostModel::power3_sp();
+    let rows = scaling_table(&traces, &processors, &cost);
+    println!("Scalability falloff prediction, {} (§3.2)\n", dataset.label());
+    println!("{:>7} {:>12} {:>14} {:>16}", "procs", "speedup", "utilization", "marginal gain");
+    let mut prev: Option<f64> = None;
+    for r in rows.iter().skip(1) {
+        let marginal = prev.map(|p| r.mean_speedup / p).unwrap_or(f64::NAN);
+        println!(
+            "{:>7} {:>12.2} {:>14.3} {:>16.3}",
+            r.processors, r.mean_speedup, r.mean_utilization, marginal
+        );
+        prev = Some(r.mean_speedup);
+    }
+    println!("\nexpected shape: marginal gains collapse toward 1.0 past 100–200 processors,");
+    println!("where workers outnumber the trees of the taxon-addition rounds.");
+}

@@ -1,0 +1,48 @@
+//! **Figure 3**: time to complete the analysis of one random taxon
+//! ordering versus processor count, for the 50-, 101-, and 150-taxon
+//! datasets; each point the average of the jumbles run (the paper averages
+//! ten).
+//!
+//! Usage: fig3_scaling [--scale 0.25] [--jumbles 3] [--radius 5]
+//!                     [--datasets all|50|101|150] [--full]
+//!
+//! `--jumbles 10 --scale 1.0` is the paper's full protocol (slow: the
+//! traces are real searches, cached under traces/).
+
+use fdml_bench::{load_or_build_traces, Args, TraceRequest};
+use fdml_datagen::datasets::PaperDataset;
+use fdml_simsp::report::format_rows;
+use fdml_simsp::{scaling_table, CostModel};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let jumbles: usize = args.get("jumbles", 3);
+    let radius: usize = args.get("radius", 5);
+    let which = args.get_str("datasets", "all");
+    let processors = [1usize, 4, 8, 16, 32, 64];
+    let cost = CostModel::power3_sp();
+    println!("Figure 3 — wall time (simulated RS/6000 SP seconds) vs processors");
+    println!("settings: site scale {scale}, {jumbles} jumbles, rearrangement radius {radius}\n");
+    let datasets: Vec<PaperDataset> = match which.as_str() {
+        "50" => vec![PaperDataset::Taxa50],
+        "101" => vec![PaperDataset::Taxa101],
+        "150" => vec![PaperDataset::Taxa150],
+        _ => PaperDataset::all().to_vec(),
+    };
+    for d in datasets {
+        let mut req = TraceRequest::paper(d, scale, jumbles);
+        req.radius = radius;
+        req.full_evaluation = args.has_flag("full");
+        let traces = load_or_build_traces(&req);
+        let rows = scaling_table(&traces, &processors, &cost);
+        println!("{}", format_rows(&rows));
+        // The paper's headline check: P=4 slower than serial.
+        let serial = rows.iter().find(|r| r.processors == 1).unwrap();
+        let p4 = rows.iter().find(|r| r.processors == 4).unwrap();
+        println!(
+            "  4-processor run is {:.4}× the serial time (paper: >1, i.e. slower)\n",
+            p4.mean_wall_seconds / serial.mean_wall_seconds
+        );
+    }
+}

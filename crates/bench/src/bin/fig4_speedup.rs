@@ -1,0 +1,48 @@
+//! **Figure 4**: speedup ratio versus processor count against the
+//! perfect-scaling line, for the three datasets.
+//!
+//! Usage: fig4_speedup [--scale 0.25] [--jumbles 3] [--radius 5] [--full]
+
+use fdml_bench::{load_or_build_traces, Args, TraceRequest};
+use fdml_datagen::datasets::PaperDataset;
+use fdml_simsp::{scaling_table, CostModel};
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let jumbles: usize = args.get("jumbles", 3);
+    let radius: usize = args.get("radius", 5);
+    let processors = [1usize, 4, 8, 16, 32, 64];
+    let cost = CostModel::power3_sp();
+    println!("Figure 4 — speedup vs processors (perfect scaling = processor count)");
+    println!("settings: site scale {scale}, {jumbles} jumbles, radius {radius}\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12}",
+        "procs", "perfect", "50 taxa", "101 taxa", "150 taxa"
+    );
+    let mut per_dataset = Vec::new();
+    for d in PaperDataset::all() {
+        let mut req = TraceRequest::paper(d, scale, jumbles);
+        req.radius = radius;
+        req.full_evaluation = args.has_flag("full");
+        let traces = load_or_build_traces(&req);
+        per_dataset.push(scaling_table(&traces, &processors, &cost));
+    }
+    for (i, &p) in processors.iter().enumerate() {
+        println!(
+            "{:>6} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+            p,
+            p,
+            per_dataset[0][i].mean_speedup,
+            per_dataset[1][i].mean_speedup,
+            per_dataset[2][i].mean_speedup
+        );
+    }
+    // Relative speedup 16 → 64, the paper's "quite good" regime.
+    println!("\nrelative speedup 16→64 processors (perfect would be 61/13 = 4.69×):");
+    for (name, rows) in ["50", "101", "150"].iter().zip(&per_dataset) {
+        let s16 = rows.iter().find(|r| r.processors == 16).unwrap().mean_speedup;
+        let s64 = rows.iter().find(|r| r.processors == 64).unwrap().mean_speedup;
+        println!("  {name:>4} taxa: {:.2}×", s64 / s16);
+    }
+}

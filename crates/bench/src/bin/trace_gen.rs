@@ -1,0 +1,34 @@
+//! Pre-generate (and cache) the simulator input traces.
+//!
+//! Usage: trace_gen [--dataset 50|101|150|all] [--scale 0.25] [--jumbles 10]
+//!                  [--radius 5] [--full]
+
+use fdml_bench::{load_or_build_traces, Args, TraceRequest};
+use fdml_datagen::datasets::PaperDataset;
+
+fn main() {
+    let args = Args::from_env();
+    let scale: f64 = args.get("scale", 0.25);
+    let jumbles: usize = args.get("jumbles", 10);
+    let radius: usize = args.get("radius", 5);
+    let which = args.get_str("dataset", "all");
+    let datasets: Vec<PaperDataset> = match which.as_str() {
+        "50" => vec![PaperDataset::Taxa50],
+        "101" => vec![PaperDataset::Taxa101],
+        "150" => vec![PaperDataset::Taxa150],
+        _ => PaperDataset::all().to_vec(),
+    };
+    for d in datasets {
+        let mut req = TraceRequest::paper(d, scale, jumbles);
+        req.radius = radius;
+        req.full_evaluation = args.has_flag("full");
+        let traces = load_or_build_traces(&req);
+        let total: usize = traces.iter().map(|t| t.total_candidates()).sum();
+        println!(
+            "{}: {} traces, {} candidate evaluations total",
+            d.label(),
+            traces.len(),
+            total
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Host calibration: measure nanoseconds per work unit on this machine so
+//! the simulator's Power3+ rate is grounded in measurement rather than
+//! guesswork (see `CostModel::from_host_calibration`).
+
+use fdml_core::config::SearchConfig;
+use fdml_datagen::datasets::{paper_dataset, PaperDataset};
+use fdml_likelihood::engine::OptimizeOptions;
+use std::time::Instant;
+
+/// Result of a calibration run.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Measured nanoseconds per work unit on this host.
+    pub ns_per_work_unit: f64,
+    /// Work units exercised.
+    pub work_units: u64,
+    /// Wall seconds of the measurement.
+    pub wall_seconds: f64,
+}
+
+/// Approximate single-core speed ratio of a modern x86-64 server core to a
+/// 375 MHz Power3+ on likelihood-style code (documented assumption used to
+/// translate host measurements into simulated Power3+ seconds).
+pub const HOST_SPEEDUP_VS_POWER3: f64 = 60.0;
+
+/// Measure ns/work-unit by fully evaluating trees of a mid-size dataset.
+pub fn calibrate_host() -> Calibration {
+    let (alignment, tree) = paper_dataset(PaperDataset::Taxa50, 0.25);
+    let config = SearchConfig::default();
+    let engine = config.build_engine(&alignment);
+    let opts = OptimizeOptions::default();
+    // Warm up once, then measure repeated full optimizations.
+    let mut t = tree.clone();
+    engine.optimize(&mut t, &opts);
+    let mut units = 0u64;
+    let start = Instant::now();
+    let reps = 5;
+    for _ in 0..reps {
+        let mut t = tree.clone();
+        let r = engine.optimize(&mut t, &opts);
+        units += r.work.work_units();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    Calibration {
+        ns_per_work_unit: wall * 1e9 / units as f64,
+        work_units: units,
+        wall_seconds: wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_sane() {
+        let c = calibrate_host();
+        assert!(c.work_units > 0);
+        // A work unit is ~40 flops; any machine lands between 0.5ns and
+        // 10µs per unit (debug builds are slow, release fast).
+        assert!(
+            c.ns_per_work_unit > 0.5 && c.ns_per_work_unit < 10_000.0,
+            "ns/unit = {}",
+            c.ns_per_work_unit
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared machinery for the benchmark harness: trace generation with
+//! on-disk caching, a tiny argument parser, and host calibration.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md's per-experiment index); Criterion
+//! microbenches live in `benches/`.
+
+pub mod args;
+pub mod calibrate;
+pub mod traces;
+
+pub use args::Args;
+pub use traces::{load_or_build_traces, TraceRequest};

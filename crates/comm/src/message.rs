@@ -1,0 +1,169 @@
+//! The message vocabulary of the parallel runtime.
+//!
+//! Mirrors fastDNAml's protocol: trees travel as ASCII Newick strings, the
+//! problem data is broadcast once at startup, and the monitor receives
+//! instrumentation events.
+
+use serde::{Deserialize, Serialize};
+
+/// Instrumentation events consumed by the optional monitor process
+/// (paper §2.2: "an optional process that provides instrumentation").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorEvent {
+    /// A tree was dispatched to a worker.
+    Dispatched {
+        /// Task id of the candidate tree.
+        task: u64,
+        /// Worker rank it went to.
+        worker: usize,
+    },
+    /// A worker returned an evaluated tree.
+    Completed {
+        /// Task id of the candidate tree.
+        task: u64,
+        /// Worker rank that evaluated it.
+        worker: usize,
+        /// Log-likelihood it reported.
+        ln_likelihood: f64,
+        /// Work units the evaluation took.
+        work_units: u64,
+    },
+    /// A worker was marked delinquent after a timeout.
+    WorkerTimedOut {
+        /// The delinquent worker's rank.
+        worker: usize,
+        /// The task that was re-dispatched.
+        task: u64,
+    },
+    /// A previously delinquent worker answered and was re-admitted.
+    WorkerRecovered {
+        /// The recovered worker's rank.
+        worker: usize,
+    },
+    /// A dispatch round finished; the best tree of the round is reported.
+    /// The real-time viewer tails these (paper §4: the monitor application
+    /// watches "a file representing the best tree from each iteration").
+    RoundComplete {
+        /// Round ordinal.
+        round: u64,
+        /// Candidates evaluated in the round.
+        candidates: usize,
+        /// Best log-likelihood of the round.
+        best_ln_likelihood: f64,
+        /// Best tree of the round, as Newick text.
+        best_newick: String,
+    },
+}
+
+/// Messages exchanged between master, foreman, workers, and monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Broadcast once from the foreman to every worker before any tree is
+    /// dispatched: the aligned data plus an opaque engine configuration
+    /// (JSON; the transport does not interpret it).
+    ProblemData {
+        /// PHYLIP-formatted alignment text.
+        phylip: String,
+        /// Engine configuration (model, categories, optimizer options).
+        config_json: String,
+    },
+    /// A worker announces it is ready for work.
+    WorkerReady,
+    /// Foreman → worker: evaluate this tree (optimize branch lengths,
+    /// return the likelihood).
+    TreeTask {
+        /// Task id, unique within the run.
+        task: u64,
+        /// The candidate tree as Newick text.
+        newick: String,
+    },
+    /// Worker → foreman: the evaluated tree.
+    TreeResult {
+        /// Task id echoed back.
+        task: u64,
+        /// The tree with optimized branch lengths, as Newick text.
+        newick: String,
+        /// Its log-likelihood.
+        ln_likelihood: f64,
+        /// Work units expended (for instrumentation and the simulator).
+        work_units: u64,
+    },
+    /// Instrumentation, routed to the monitor rank.
+    Monitor(MonitorEvent),
+    /// Orderly shutdown of a worker or the monitor.
+    Shutdown,
+}
+
+impl Message {
+    /// Short tag for logging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::ProblemData { .. } => "ProblemData",
+            Message::WorkerReady => "WorkerReady",
+            Message::TreeTask { .. } => "TreeTask",
+            Message::TreeResult { .. } => "TreeResult",
+            Message::Monitor(_) => "Monitor",
+            Message::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Approximate on-the-wire size in bytes (used by the simulator's
+    /// communication cost model).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Message::ProblemData { phylip, config_json } => {
+                phylip.len() + config_json.len() + 16
+            }
+            Message::WorkerReady => 16,
+            Message::TreeTask { newick, .. } => newick.len() + 24,
+            Message::TreeResult { newick, .. } => newick.len() + 40,
+            Message::Monitor(_) => 64,
+            Message::Shutdown => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let msgs = vec![
+            Message::ProblemData { phylip: "2 4\na ACGT\nb ACGA\n".into(), config_json: "{}".into() },
+            Message::WorkerReady,
+            Message::TreeTask { task: 7, newick: "(a:1,b:2);".into() },
+            Message::TreeResult {
+                task: 7,
+                newick: "(a:1.1,b:1.9);".into(),
+                ln_likelihood: -123.45,
+                work_units: 999,
+            },
+            Message::Monitor(MonitorEvent::RoundComplete {
+                round: 3,
+                candidates: 11,
+                best_ln_likelihood: -100.0,
+                best_newick: "(a,b);".into(),
+            }),
+            Message::Shutdown,
+        ];
+        for m in msgs {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: Message = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Message::WorkerReady.kind(), "WorkerReady");
+        assert_eq!(Message::Shutdown.kind(), "Shutdown");
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        let small = Message::TreeTask { task: 1, newick: "(a,b);".into() };
+        let big = Message::TreeTask { task: 1, newick: "(a,b);".repeat(100) };
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+}

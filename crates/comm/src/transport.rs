@@ -1,0 +1,72 @@
+//! The transport abstraction: fastDNAml's `comm_*.c` boundary.
+
+use crate::message::Message;
+use std::fmt;
+use std::time::Duration;
+
+/// A process rank, as in MPI. By convention in the runtime:
+/// rank 0 = master, rank 1 = foreman, rank 2 = monitor (if present),
+/// ranks 3.. = workers — matching the paper's "fully instrumented parallel
+/// version … requires a minimum of four processors".
+pub type Rank = usize;
+
+/// Transport-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank does not exist.
+    UnknownRank(Rank),
+    /// The peer hung up (channel closed).
+    Disconnected(Rank),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::UnknownRank(r) => write!(f, "unknown rank {r}"),
+            CommError::Disconnected(r) => write!(f, "rank {r} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Point-to-point message passing between ranks. All the parallel modules
+/// of `fdml-core` are written against this trait only.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> Rank;
+
+    /// Total number of ranks in the universe.
+    fn size(&self) -> usize;
+
+    /// Send a message to a rank (non-blocking, buffered).
+    fn send(&self, to: Rank, msg: Message) -> Result<(), CommError>;
+
+    /// Receive the next message addressed to this rank, waiting at most
+    /// `timeout`. `Ok(None)` on timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError>;
+
+    /// Receive without waiting. `Ok(None)` when no message is pending.
+    fn try_recv(&self) -> Result<Option<(Rank, Message)>, CommError> {
+        self.recv_timeout(Duration::ZERO)
+    }
+
+    /// Blocking receive (waits indefinitely).
+    fn recv(&self) -> Result<(Rank, Message), CommError> {
+        loop {
+            if let Some(pair) = self.recv_timeout(Duration::from_millis(100))? {
+                return Ok(pair);
+            }
+        }
+    }
+
+    /// Send to every rank except this one.
+    fn broadcast(&self, msg: &Message) -> Result<(), CommError> {
+        for r in 0..self.size() {
+            if r != self.rank() {
+                self.send(r, msg.clone())?;
+            }
+        }
+        Ok(())
+    }
+}

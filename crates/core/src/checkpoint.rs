@@ -1,0 +1,59 @@
+//! Checkpoint and restart.
+//!
+//! fastDNAml writes checkpoint files so that a multi-day analysis (the
+//! paper's 150-taxon serial run took ~9 days) survives interruption; the
+//! search resumes from the last completed taxon-addition step. The
+//! checkpoint is deliberately plain JSON + Newick so it is inspectable and
+//! portable across versions.
+
+use fdml_phylo::alignment::TaxonId;
+use serde::{Deserialize, Serialize};
+
+/// A resumable snapshot of the stepwise-addition search, taken after a
+/// taxon addition (and its rearrangements) completed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The jumble seed the run was started with (resume refuses a
+    /// mismatch).
+    pub jumble_seed: u64,
+    /// The full taxon addition order.
+    pub order: Vec<TaxonId>,
+    /// How many taxa of `order` are already in the tree.
+    pub taxa_placed: usize,
+    /// The current best tree, as Newick.
+    pub tree_newick: String,
+    /// Its log-likelihood.
+    pub ln_likelihood: f64,
+}
+
+impl Checkpoint {
+    /// Serialize to the on-disk format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serializes")
+    }
+
+    /// Parse the on-disk format.
+    pub fn from_json(text: &str) -> Result<Checkpoint, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let c = Checkpoint {
+            jumble_seed: 42,
+            order: vec![3, 1, 0, 2],
+            taxa_placed: 3,
+            tree_newick: "(a:1,b:1,c:1);".into(),
+            ln_likelihood: -123.5,
+        };
+        let json = c.to_json();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(c, back);
+        assert!(Checkpoint::from_json("not json").is_err());
+    }
+}

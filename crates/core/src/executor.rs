@@ -1,0 +1,240 @@
+//! Round executors: how a batch of candidate trees gets evaluated.
+//!
+//! The search driver ([`crate::search::StepwiseSearch`]) is generic over
+//! this trait, exactly as fastDNAml's algorithm code is independent of
+//! whether tree evaluation happens in a subroutine (serial) or on remote
+//! workers (PVM/MPI):
+//!
+//! * [`FullEvalExecutor`] — every candidate is materialized and fully
+//!   branch-length-optimized in process: the faithful worker computation
+//!   and the reference for correctness/determinism tests.
+//! * [`ScorerExecutor`] — candidates are scored incrementally
+//!   (fastDNAml's "rapid approximation of the insertion point"), making
+//!   paper-scale traces computable; the committed winner still gets the
+//!   full treatment.
+//!
+//! The cluster executor that dispatches candidates over a transport lives
+//! in [`crate::master`].
+
+use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
+use fdml_likelihood::scorer::TreeScorer;
+use fdml_phylo::error::PhyloError;
+use fdml_phylo::ops::{apply_move, TreeMove};
+use fdml_phylo::tree::Tree;
+
+/// The score of one candidate in a round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// Candidate log-likelihood (comparison key).
+    pub ln_likelihood: f64,
+    /// Work units the evaluation cost (trace/simulator input).
+    pub work_units: u64,
+}
+
+/// Outcome of establishing or updating the base tree.
+#[derive(Debug, Clone)]
+pub struct BaseOutcome {
+    /// The optimized base tree (arena-identical to what the executor will
+    /// score against — the driver must enumerate moves on exactly this).
+    pub tree: Tree,
+    /// Its log-likelihood.
+    pub ln_likelihood: f64,
+    /// Work units spent.
+    pub work_units: u64,
+}
+
+/// Evaluation strategy for candidate rounds.
+pub trait RoundExecutor {
+    /// Establish a new base tree, optimizing its branch lengths.
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError>;
+
+    /// Score every move against the current base.
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError>;
+
+    /// Apply one move to the base, fully optimize, and make the result the
+    /// new base.
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError>;
+}
+
+/// Full per-candidate evaluation in process (the serial worker).
+pub struct FullEvalExecutor<'e> {
+    engine: &'e LikelihoodEngine,
+    opts: OptimizeOptions,
+    base: Option<Tree>,
+}
+
+impl<'e> FullEvalExecutor<'e> {
+    /// Create an executor over an engine.
+    pub fn new(engine: &'e LikelihoodEngine, opts: OptimizeOptions) -> FullEvalExecutor<'e> {
+        FullEvalExecutor { engine, opts, base: None }
+    }
+
+    fn base(&self) -> &Tree {
+        self.base.as_ref().expect("set_base must be called before scoring")
+    }
+}
+
+impl RoundExecutor for FullEvalExecutor<'_> {
+    fn set_base(&mut self, mut tree: Tree) -> Result<BaseOutcome, PhyloError> {
+        let r = self.engine.optimize(&mut tree, &self.opts);
+        let out = BaseOutcome {
+            tree: tree.clone(),
+            ln_likelihood: r.ln_likelihood,
+            work_units: r.work.work_units(),
+        };
+        self.base = Some(tree);
+        Ok(out)
+    }
+
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
+        moves
+            .iter()
+            .map(|mv| {
+                let mut cand = self.base().clone();
+                apply_move(&mut cand, mv)?;
+                let r = self.engine.optimize(&mut cand, &self.opts);
+                Ok(CandidateScore {
+                    ln_likelihood: r.ln_likelihood,
+                    work_units: r.work.work_units(),
+                })
+            })
+            .collect()
+    }
+
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
+        let mut tree = self.base().clone();
+        apply_move(&mut tree, mv)?;
+        self.set_base(tree)
+    }
+}
+
+/// Incremental scoring (see [`fdml_likelihood::scorer`]).
+pub struct ScorerExecutor<'e> {
+    engine: &'e LikelihoodEngine,
+    opts: OptimizeOptions,
+    scorer: Option<TreeScorer<'e>>,
+}
+
+impl<'e> ScorerExecutor<'e> {
+    /// Create an executor over an engine.
+    pub fn new(engine: &'e LikelihoodEngine, opts: OptimizeOptions) -> ScorerExecutor<'e> {
+        ScorerExecutor { engine, opts, scorer: None }
+    }
+}
+
+impl RoundExecutor for ScorerExecutor<'_> {
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError> {
+        let before = self.scorer.as_ref().map(|s| s.base_work().work_units()).unwrap_or(0);
+        let scorer = TreeScorer::new(self.engine, tree, self.opts);
+        let out = BaseOutcome {
+            tree: scorer.tree().clone(),
+            ln_likelihood: scorer.ln_likelihood(),
+            work_units: scorer.base_work().work_units(),
+        };
+        let _ = before;
+        self.scorer = Some(scorer);
+        Ok(out)
+    }
+
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
+        let scorer = self
+            .scorer
+            .as_mut()
+            .expect("set_base must be called before scoring");
+        Ok(scorer
+            .score_moves(moves)
+            .into_iter()
+            .map(|s| CandidateScore {
+                ln_likelihood: s.ln_likelihood,
+                work_units: s.work.work_units(),
+            })
+            .collect())
+    }
+
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
+        let scorer = self
+            .scorer
+            .as_mut()
+            .expect("set_base must be called before commit");
+        let r = scorer.apply(mv)?;
+        Ok(BaseOutcome {
+            tree: scorer.tree().clone(),
+            ln_likelihood: r.ln_likelihood,
+            work_units: r.work.work_units(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::alignment::Alignment;
+    use fdml_phylo::ops::enumerate_insertion_moves;
+
+    fn setup() -> (Alignment, Tree) {
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGA"),
+            ("t2", "ACGAACGTACGTACGGAGGT"),
+            ("t3", "TCGAACGGACGTACGGAGGA"),
+        ])
+        .unwrap();
+        (a, Tree::triplet(0, 1, 2))
+    }
+
+    #[test]
+    fn full_eval_scores_and_commits() {
+        let (a, t) = setup();
+        let engine = LikelihoodEngine::new(&a);
+        let mut ex = FullEvalExecutor::new(engine_ref(&engine), OptimizeOptions::default());
+        let base = ex.set_base(t).unwrap();
+        assert!(base.ln_likelihood < 0.0);
+        let moves = enumerate_insertion_moves(&base.tree, 3);
+        let scores = ex.score_round(&moves).unwrap();
+        assert_eq!(scores.len(), 3);
+        assert!(scores.iter().all(|s| s.work_units > 0));
+        let best = argmax(&scores);
+        let out = ex.commit(&moves[best]).unwrap();
+        assert_eq!(out.tree.num_tips(), 4);
+        assert!(out.ln_likelihood >= scores[best].ln_likelihood - 1e-6);
+    }
+
+    #[test]
+    fn scorer_executor_agrees_with_full_eval_on_ranking() {
+        let (a, t) = setup();
+        let engine = LikelihoodEngine::new(&a);
+        let mut full = FullEvalExecutor::new(engine_ref(&engine), OptimizeOptions::default());
+        let mut fast = ScorerExecutor::new(engine_ref(&engine), OptimizeOptions::default());
+        let base_full = full.set_base(t.clone()).unwrap();
+        let base_fast = fast.set_base(t).unwrap();
+        assert!((base_full.ln_likelihood - base_fast.ln_likelihood).abs() < 1e-6);
+        let moves = enumerate_insertion_moves(&base_full.tree, 3);
+        let s_full = full.score_round(&moves).unwrap();
+        let s_fast = fast.score_round(&moves).unwrap();
+        assert_eq!(argmax(&s_full), argmax(&s_fast));
+    }
+
+    fn argmax(scores: &[CandidateScore]) -> usize {
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.ln_likelihood.total_cmp(&b.1.ln_likelihood))
+            .unwrap()
+            .0
+    }
+
+    fn engine_ref(e: &LikelihoodEngine) -> &LikelihoodEngine {
+        e
+    }
+
+    #[test]
+    #[should_panic(expected = "set_base")]
+    fn commit_before_base_panics() {
+        use fdml_phylo::tree::NodeId;
+        let (a, _) = setup();
+        let engine = LikelihoodEngine::new(&a);
+        let mut ex = FullEvalExecutor::new(&engine, OptimizeOptions::default());
+        let mv = TreeMove::Insertion { taxon: 3, at: (NodeId(0), NodeId(1)) };
+        let _ = ex.commit(&mv);
+    }
+}

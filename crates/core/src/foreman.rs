@@ -1,0 +1,299 @@
+//! The foreman process (paper §2.2): "dispatches trees to worker processes
+//! for analysis, receives back trees and their associated likelihood
+//! values… The foreman manages this process via a work queue and a ready
+//! queue. The work queue includes a record of the tree dispatched to each
+//! worker and the time the tree was dispatched (used to implement fault
+//! tolerance)."
+
+use crate::worker::ranks;
+use fdml_comm::message::{Message, MonitorEvent};
+use fdml_comm::transport::{CommError, Rank, Transport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Foreman statistics returned at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForemanStats {
+    /// Tree dispatches to workers (including re-dispatches).
+    pub dispatched: u64,
+    /// Results accepted and forwarded to the master.
+    pub results_forwarded: u64,
+    /// Worker timeouts declared.
+    pub timeouts: u64,
+    /// Delinquent workers re-admitted after answering late.
+    pub recoveries: u64,
+    /// Late/duplicate results ignored.
+    pub duplicates_ignored: u64,
+}
+
+struct InFlight {
+    worker: Rank,
+    newick: String,
+    dispatched_at: Instant,
+}
+
+/// Run the foreman loop until the master sends `Shutdown`.
+///
+/// `worker_timeout` is the fault-tolerance parameter: a worker holding a
+/// tree longer than this is marked delinquent, removed from the ready
+/// queue, and the tree goes to a different worker; if the delinquent worker
+/// answers later it is re-admitted (paper §2.2).
+pub fn run_foreman<T: Transport>(
+    transport: T,
+    worker_timeout: Duration,
+    has_monitor: bool,
+) -> Result<ForemanStats, CommError> {
+    let mut stats = ForemanStats::default();
+    let mut work_queue: VecDeque<(u64, String)> = VecDeque::new();
+    let mut ready: VecDeque<Rank> = VecDeque::new();
+    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+    let mut delinquent: HashSet<Rank> = HashSet::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+    let tick = (worker_timeout / 4).max(Duration::from_millis(1)).min(Duration::from_millis(50));
+
+    let monitor = |t: &T, ev: MonitorEvent| {
+        if has_monitor {
+            let _ = t.send(ranks::MONITOR, Message::Monitor(ev));
+        }
+    };
+
+    loop {
+        // Dispatch while both queues are non-empty.
+        while !work_queue.is_empty() && !ready.is_empty() {
+            let worker = ready.pop_front().expect("checked non-empty");
+            if delinquent.contains(&worker) {
+                continue;
+            }
+            let (task, newick) = work_queue.pop_front().expect("checked non-empty");
+            transport.send(worker, Message::TreeTask { task, newick: newick.clone() })?;
+            in_flight.insert(task, InFlight { worker, newick, dispatched_at: Instant::now() });
+            stats.dispatched += 1;
+            monitor(&transport, MonitorEvent::Dispatched { task, worker });
+        }
+
+        // Fault tolerance: re-queue trees held past the timeout.
+        let now = Instant::now();
+        let timed_out: Vec<u64> = in_flight
+            .iter()
+            .filter(|(_, f)| now.duration_since(f.dispatched_at) > worker_timeout)
+            .map(|(&task, _)| task)
+            .collect();
+        for task in timed_out {
+            let f = in_flight.remove(&task).expect("key just listed");
+            delinquent.insert(f.worker);
+            ready.retain(|&w| w != f.worker);
+            stats.timeouts += 1;
+            monitor(&transport, MonitorEvent::WorkerTimedOut { worker: f.worker, task });
+            work_queue.push_back((task, f.newick));
+        }
+
+        match transport.recv_timeout(tick)? {
+            None => continue,
+            Some((from, msg)) => match msg {
+                Message::TreeTask { task, newick } => {
+                    debug_assert_eq!(from, ranks::MASTER);
+                    work_queue.push_back((task, newick));
+                }
+                Message::WorkerReady => {
+                    ready.push_back(from);
+                }
+                Message::TreeResult { task, newick, ln_likelihood, work_units } => {
+                    if delinquent.remove(&from) {
+                        stats.recoveries += 1;
+                        monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
+                    }
+                    let was_expected = in_flight
+                        .get(&task)
+                        .map(|f| f.worker == from)
+                        .unwrap_or(false);
+                    let is_new = !completed.contains(&task)
+                        && (was_expected || work_queue.iter().any(|(t, _)| *t == task) || in_flight.contains_key(&task));
+                    if is_new {
+                        completed.insert(task);
+                        in_flight.remove(&task);
+                        work_queue.retain(|(t, _)| *t != task);
+                        transport.send(
+                            ranks::MASTER,
+                            Message::TreeResult { task, newick, ln_likelihood, work_units },
+                        )?;
+                        stats.results_forwarded += 1;
+                        monitor(
+                            &transport,
+                            MonitorEvent::Completed { task, worker: from, ln_likelihood, work_units },
+                        );
+                    } else {
+                        stats.duplicates_ignored += 1;
+                    }
+                    ready.push_back(from);
+                }
+                Message::Shutdown => {
+                    debug_assert_eq!(from, ranks::MASTER);
+                    for rank in ranks::FIRST_WORKER..transport.size() {
+                        let _ = transport.send(rank, Message::Shutdown);
+                    }
+                    if has_monitor {
+                        let _ = transport.send(ranks::MONITOR, Message::Shutdown);
+                    }
+                    return Ok(stats);
+                }
+                other => {
+                    debug_assert!(false, "foreman got unexpected {}", other.kind());
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_comm::threads::ThreadUniverse;
+    use std::thread;
+
+    /// Stand up a foreman with scripted master and worker behaviour.
+    fn universe(n: usize) -> Vec<fdml_comm::threads::ThreadTransport> {
+        ThreadUniverse::create(n)
+    }
+
+    #[test]
+    fn dispatches_to_ready_workers_and_forwards_results() {
+        let mut ends = universe(4);
+        let worker = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(5), false).unwrap()
+        });
+        // Worker announces readiness, master queues a task.
+        worker.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        master
+            .send(ranks::FOREMAN, Message::TreeTask { task: 1, newick: "(a,b);".into() })
+            .unwrap();
+        // Worker receives the dispatch.
+        let (_, msg) = worker.recv().unwrap();
+        let Message::TreeTask { task, .. } = msg else { panic!("expected task") };
+        assert_eq!(task, 1);
+        worker
+            .send(
+                ranks::FOREMAN,
+                Message::TreeResult { task: 1, newick: "(a:1,b:1);".into(), ln_likelihood: -9.0, work_units: 3 },
+            )
+            .unwrap();
+        // Master receives the forwarded result.
+        let (_, msg) = master.recv().unwrap();
+        let Message::TreeResult { task, ln_likelihood, .. } = msg else { panic!() };
+        assert_eq!(task, 1);
+        assert_eq!(ln_likelihood, -9.0);
+        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        // Worker gets the cascaded shutdown.
+        let (_, msg) = worker.recv().unwrap();
+        assert_eq!(msg, Message::Shutdown);
+        let stats = f.join().unwrap();
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(stats.results_forwarded, 1);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn timeout_requeues_to_other_worker_and_recovers_delinquent() {
+        let mut ends = universe(5);
+        let w2 = ends.remove(4);
+        let w1 = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_millis(60), false).unwrap()
+        });
+        w1.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        master
+            .send(ranks::FOREMAN, Message::TreeTask { task: 7, newick: "(a,b);".into() })
+            .unwrap();
+        // w1 receives the task but stalls past the timeout.
+        let (_, msg) = w1.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 7, .. }));
+        thread::sleep(Duration::from_millis(120));
+        // Second worker comes online; the re-queued task goes to it.
+        w2.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        let (_, msg) = w2.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 7, .. }), "requeued task must reach w2");
+        w2.send(
+            ranks::FOREMAN,
+            Message::TreeResult { task: 7, newick: "(a:1,b:1);".into(), ln_likelihood: -5.0, work_units: 2 },
+        )
+        .unwrap();
+        let (_, msg) = master.recv().unwrap();
+        assert!(matches!(msg, Message::TreeResult { task: 7, .. }));
+        // The delinquent worker answers late: ignored as duplicate, but the
+        // worker is recovered and re-admitted to the ready queue.
+        w1.send(
+            ranks::FOREMAN,
+            Message::TreeResult { task: 7, newick: "(a:2,b:2);".into(), ln_likelihood: -6.0, work_units: 2 },
+        )
+        .unwrap();
+        // Two more tasks: the ready queue now holds [w2, w1], so task 8
+        // goes to w2 and task 9 to the recovered w1. Both reply promptly so
+        // no further timeout can fire.
+        for t in [8u64, 9] {
+            master
+                .send(ranks::FOREMAN, Message::TreeTask { task: t, newick: "(a,b);".into() })
+                .unwrap();
+        }
+        for w in [&w2, &w1] {
+            let (_, msg) = w.recv().unwrap();
+            let Message::TreeTask { task, .. } = msg else { panic!("expected task") };
+            assert!(task == 8 || task == 9);
+            w.send(
+                ranks::FOREMAN,
+                Message::TreeResult {
+                    task,
+                    newick: "(a:1,b:1);".into(),
+                    ln_likelihood: -4.0,
+                    work_units: 1,
+                },
+            )
+            .unwrap();
+        }
+        // Master sees results for tasks 8 and 9.
+        for _ in 0..2 {
+            let (_, msg) = master.recv().unwrap();
+            assert!(matches!(msg, Message::TreeResult { .. }));
+        }
+        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        let stats = f.join().unwrap();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.duplicates_ignored, 1);
+        assert_eq!(stats.results_forwarded, 3);
+    }
+
+    #[test]
+    fn monitor_receives_events_when_present() {
+        let mut ends = universe(4);
+        let worker = ends.remove(3);
+        let monitor = ends.remove(2);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(5), true).unwrap()
+        });
+        worker.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        master
+            .send(ranks::FOREMAN, Message::TreeTask { task: 1, newick: "(a,b);".into() })
+            .unwrap();
+        let (_, ev) = monitor.recv().unwrap();
+        assert!(matches!(ev, Message::Monitor(MonitorEvent::Dispatched { task: 1, .. })));
+        worker.recv().unwrap();
+        worker
+            .send(
+                ranks::FOREMAN,
+                Message::TreeResult { task: 1, newick: "(a,b);".into(), ln_likelihood: -1.0, work_units: 1 },
+            )
+            .unwrap();
+        let (_, ev) = monitor.recv().unwrap();
+        assert!(matches!(ev, Message::Monitor(MonitorEvent::Completed { task: 1, .. })));
+        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        let (_, ev) = monitor.recv().unwrap();
+        assert_eq!(ev, Message::Shutdown);
+        f.join().unwrap();
+    }
+}

@@ -1,0 +1,65 @@
+//! Random taxon addition orders ("jumbles") — paper step 1.
+
+use fdml_phylo::alignment::TaxonId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Adjust a user-supplied random seed the way fastDNAml does: "even-valued
+/// user-supplied random number seeds are adjusted so that they use the
+/// maximum period of the generator" (paper §2.1) — the underlying linear
+/// congruential generator needs an odd seed.
+pub fn adjust_seed(seed: u64) -> u64 {
+    if seed.is_multiple_of(2) {
+        seed | 1
+    } else {
+        seed
+    }
+}
+
+/// A random ordering of the `n` taxa, deterministic in the adjusted seed.
+pub fn jumble_order(num_taxa: usize, seed: u64) -> Vec<TaxonId> {
+    let mut order: Vec<TaxonId> = (0..num_taxa as TaxonId).collect();
+    let mut rng = StdRng::seed_from_u64(adjust_seed(seed));
+    order.shuffle(&mut rng);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_seeds_become_odd() {
+        assert_eq!(adjust_seed(4), 5);
+        assert_eq!(adjust_seed(0), 1);
+        assert_eq!(adjust_seed(7), 7);
+    }
+
+    #[test]
+    fn even_seed_and_its_adjustment_agree() {
+        assert_eq!(jumble_order(20, 4), jumble_order(20, 5));
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let order = jumble_order(50, 123);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(jumble_order(30, 9), jumble_order(30, 9));
+        assert_ne!(jumble_order(30, 9), jumble_order(30, 11));
+    }
+
+    #[test]
+    fn different_sizes_share_no_assumptions() {
+        let a = jumble_order(3, 1);
+        assert_eq!(a.len(), 3);
+        let b = jumble_order(1, 1);
+        assert_eq!(b, vec![0]);
+    }
+}

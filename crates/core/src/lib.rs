@@ -1,0 +1,35 @@
+//! The fastDNAml search and parallel runtime — the paper's contribution.
+//!
+//! * [`config`] — run configuration (seeds, rearrangement radii, model).
+//! * [`jumble`] — random taxon addition orders (paper step 1, including the
+//!   odd-seed adjustment).
+//! * [`search`] — the stepwise-addition + rearrangement driver
+//!   (paper steps 2–5), generic over how candidate rounds are evaluated.
+//! * [`executor`] — round evaluation strategies: the in-process full
+//!   evaluator (the serial program, "the worker process acts as a
+//!   subroutine"), and the incremental scorer used for large traces.
+//! * [`master`], [`foreman`], [`worker`], [`monitor`] — the four parallel
+//!   modules of the paper (§2.2), written against `fdml-comm`'s transport.
+//! * [`runner`] — entry points: serial search, threaded parallel search,
+//!   multi-jumble orchestration.
+//! * [`trace`] — dispatch-round traces consumed by the RS/6000 SP
+//!   simulator to regenerate Figures 3 and 4.
+//! * [`checkpoint`] — resumable snapshots of long runs.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod executor;
+pub mod foreman;
+pub mod jumble;
+pub mod master;
+pub mod monitor;
+pub mod runner;
+pub mod search;
+pub mod trace;
+pub mod worker;
+
+pub use config::SearchConfig;
+pub use runner::{parallel_search, serial_search};
+pub use search::{SearchResult, StepwiseSearch};

@@ -1,0 +1,240 @@
+//! The master process (paper §2.2): "generates and compares trees. It
+//! generates new tree topologies and sends these trees to the foreman."
+//!
+//! [`ClusterExecutor`] is the master's side of the protocol, implementing
+//! [`RoundExecutor`] so the identical search driver runs serially or over
+//! a transport (the paper's point about the algorithm being independent of
+//! the message-passing layer).
+
+use crate::executor::{BaseOutcome, CandidateScore, RoundExecutor};
+use crate::worker::ranks;
+use fdml_comm::message::{Message, MonitorEvent};
+use fdml_comm::transport::Transport;
+use fdml_phylo::error::PhyloError;
+use fdml_phylo::newick;
+use fdml_phylo::ops::{apply_move, TreeMove};
+use fdml_phylo::tree::Tree;
+use std::collections::HashMap;
+
+/// Master-side executor: each candidate becomes a `TreeTask` dispatched via
+/// the foreman; workers do the full per-tree optimization.
+pub struct ClusterExecutor<T: Transport> {
+    transport: T,
+    names: Vec<String>,
+    base: Option<Tree>,
+    base_lnl: f64,
+    next_task: u64,
+    round: u64,
+    has_monitor: bool,
+}
+
+impl<T: Transport> ClusterExecutor<T> {
+    /// Create the executor and broadcast the problem data to all workers.
+    pub fn new(
+        transport: T,
+        names: Vec<String>,
+        phylip: String,
+        config_json: String,
+        has_monitor: bool,
+    ) -> ClusterExecutor<T> {
+        for rank in ranks::FIRST_WORKER..transport.size() {
+            transport
+                .send(rank, Message::ProblemData { phylip: phylip.clone(), config_json: config_json.clone() })
+                .expect("worker must be reachable at startup");
+        }
+        ClusterExecutor {
+            transport,
+            names,
+            base: None,
+            base_lnl: f64::NEG_INFINITY,
+            next_task: 0,
+            round: 0,
+            has_monitor,
+        }
+    }
+
+    /// Orderly shutdown: tell the foreman, which cascades to workers and
+    /// the monitor.
+    pub fn shutdown(self) -> T {
+        let _ = self.transport.send(ranks::FOREMAN, Message::Shutdown);
+        self.transport
+    }
+
+    /// Dispatch a batch of Newick strings; block until all results return.
+    /// Results are reordered to match submission order.
+    fn dispatch_batch(&mut self, newicks: Vec<String>) -> Result<Vec<(Tree, f64, u64)>, PhyloError> {
+        let mut index_of: HashMap<u64, usize> = HashMap::with_capacity(newicks.len());
+        let n = newicks.len();
+        for (i, text) in newicks.into_iter().enumerate() {
+            let task = self.next_task;
+            self.next_task += 1;
+            index_of.insert(task, i);
+            self.transport
+                .send(ranks::FOREMAN, Message::TreeTask { task, newick: text })
+                .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
+        }
+        let mut results: Vec<Option<(Tree, f64, u64)>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < n {
+            let (_, msg) = self
+                .transport
+                .recv()
+                .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
+            match msg {
+                Message::TreeResult { task, newick: text, ln_likelihood, work_units } => {
+                    let Some(&i) = index_of.get(&task) else { continue };
+                    if results[i].is_none() {
+                        let tree = newick::parse_tree_with_names(&text, &self.names)?;
+                        results[i] = Some((tree, ln_likelihood, work_units));
+                        received += 1;
+                    }
+                }
+                other => {
+                    debug_assert!(false, "master got unexpected {}", other.kind());
+                }
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("all received")).collect())
+    }
+
+    fn base(&self) -> &Tree {
+        self.base.as_ref().expect("set_base must be called first")
+    }
+
+    fn announce_round(&mut self, candidates: usize, best_lnl: f64, best: &Tree) {
+        self.round += 1;
+        if self.has_monitor {
+            let _ = self.transport.send(
+                ranks::MONITOR,
+                Message::Monitor(MonitorEvent::RoundComplete {
+                    round: self.round,
+                    candidates,
+                    best_ln_likelihood: best_lnl,
+                    best_newick: newick::write_tree(best, &self.names),
+                }),
+            );
+        }
+    }
+}
+
+impl<T: Transport> RoundExecutor for ClusterExecutor<T> {
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError> {
+        let text = newick::write_tree(&tree, &self.names);
+        let mut results = self.dispatch_batch(vec![text])?;
+        let (tree, lnl, work) = results.pop().expect("one result");
+        self.base = Some(tree.clone());
+        self.base_lnl = lnl;
+        Ok(BaseOutcome { tree, ln_likelihood: lnl, work_units: work })
+    }
+
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
+        let mut newicks = Vec::with_capacity(moves.len());
+        for mv in moves {
+            let mut cand = self.base().clone();
+            apply_move(&mut cand, mv)?;
+            newicks.push(newick::write_tree(&cand, &self.names));
+        }
+        let results = self.dispatch_batch(newicks)?;
+        let best = results
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, l, _)| (t.clone(), *l));
+        if let Some((tree, lnl)) = best {
+            self.announce_round(moves.len(), lnl, &tree);
+        }
+        Ok(results
+            .into_iter()
+            .map(|(_, lnl, work)| CandidateScore { ln_likelihood: lnl, work_units: work })
+            .collect())
+    }
+
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
+        let mut tree = self.base().clone();
+        apply_move(&mut tree, mv)?;
+        self.set_base(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::argmax;
+    use fdml_comm::threads::ThreadUniverse;
+    use fdml_phylo::tree::Tree;
+    use std::thread;
+
+    /// A scripted foreman: answers every TreeTask, but holds results back
+    /// and replies in REVERSE arrival order with recognizable likelihoods.
+    fn reverse_order_foreman(
+        end: fdml_comm::threads::ThreadTransport,
+        expect_tasks: usize,
+    ) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            let mut pending: Vec<(u64, String)> = Vec::new();
+            let mut served = 0usize;
+            while served < expect_tasks {
+                let (_, msg) = end.recv().unwrap();
+                match msg {
+                    Message::TreeTask { task, newick } => {
+                        pending.push((task, newick));
+                        // Batch boundary heuristic for the test: reply once
+                        // per message when a single task is outstanding
+                        // (set_base), otherwise wait for the full round.
+                        let batch = if served == 0 { 1 } else { expect_tasks - 1 };
+                        if pending.len() == batch {
+                            for (task, newick) in pending.drain(..).rev() {
+                                end.send(
+                                    ranks::MASTER,
+                                    Message::TreeResult {
+                                        task,
+                                        newick,
+                                        // Encode the task id in the lnL so the
+                                        // test can verify the mapping.
+                                        ln_likelihood: -(task as f64) - 1.0,
+                                        work_units: task + 1,
+                                    },
+                                )
+                                .unwrap();
+                                served += 1;
+                            }
+                        }
+                    }
+                    Message::Shutdown => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn out_of_order_results_are_reordered_to_move_order() {
+        let names: Vec<String> = (0..4).map(|i| format!("t{i}")).collect();
+        let mut ends = ThreadUniverse::create(2);
+        let foreman_end = ends.remove(1);
+        let master_end = ends.remove(0);
+        // 1 set_base task + 3 insertion candidates.
+        let foreman = reverse_order_foreman(foreman_end, 4);
+        let mut ex = ClusterExecutor::new(
+            master_end,
+            names,
+            String::new(), // no workers to broadcast to in this 2-rank world
+            String::new(),
+            false,
+        );
+        let base = ex.set_base(Tree::triplet(0, 1, 2)).unwrap();
+        assert_eq!(base.ln_likelihood, -1.0); // task 0
+        let moves = fdml_phylo::ops::enumerate_insertion_moves(&base.tree, 3);
+        assert_eq!(moves.len(), 3);
+        let scores = ex.score_round(&moves).unwrap();
+        // Tasks 1, 2, 3 were answered in reverse order (3, 2, 1), but the
+        // scores must land in submission order: lnL = -(task+1).
+        let got: Vec<f64> = scores.iter().map(|s| s.ln_likelihood).collect();
+        assert_eq!(got, vec![-2.0, -3.0, -4.0]);
+        let works: Vec<u64> = scores.iter().map(|s| s.work_units).collect();
+        assert_eq!(works, vec![2, 3, 4]);
+        // Deterministic selection: argmax picks the first (task 1).
+        assert_eq!(argmax(&scores), 0);
+        ex.shutdown();
+        foreman.join().unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! The monitor process (paper §2.2): "an optional process that provides
+//! instrumentation for the program."
+//!
+//! It aggregates dispatch/completion events into per-worker utilization
+//! statistics and keeps the best tree of every round — the stream the
+//! paper's real-time 3-D viewer consumes (§4).
+
+use fdml_comm::message::{Message, MonitorEvent};
+use fdml_comm::transport::{CommError, Rank, Transport};
+use std::collections::HashMap;
+
+/// Per-worker utilization counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerUtilization {
+    /// Trees dispatched to this worker.
+    pub dispatched: u64,
+    /// Trees completed by this worker.
+    pub completed: u64,
+    /// Work units this worker reported.
+    pub work_units: u64,
+    /// Times this worker was declared delinquent.
+    pub timeouts: u64,
+}
+
+/// The monitor's aggregated view of a run.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorReport {
+    /// Total events received.
+    pub events: u64,
+    /// Per-worker utilization.
+    pub per_worker: HashMap<Rank, WorkerUtilization>,
+    /// `(round, candidates, best lnL)` per completed round.
+    pub round_history: Vec<(u64, usize, f64)>,
+    /// Best tree per round (Newick) — the viewer's input stream.
+    pub best_trees: Vec<String>,
+    /// Workers re-admitted after delinquency.
+    pub recoveries: u64,
+}
+
+impl MonitorReport {
+    /// Coefficient of variation of completed-tree counts across workers —
+    /// a load-balance figure (near 0 = even load).
+    pub fn load_imbalance(&self) -> f64 {
+        let counts: Vec<f64> = self.per_worker.values().map(|w| w.completed as f64).collect();
+        if counts.len() < 2 {
+            return 0.0;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Run the monitor loop until `Shutdown`, returning the aggregated report.
+pub fn run_monitor<T: Transport>(transport: T) -> Result<MonitorReport, CommError> {
+    let mut report = MonitorReport::default();
+    loop {
+        let (_, msg) = transport.recv()?;
+        match msg {
+            Message::Monitor(ev) => {
+                report.events += 1;
+                match ev {
+                    MonitorEvent::Dispatched { worker, .. } => {
+                        report.per_worker.entry(worker).or_default().dispatched += 1;
+                    }
+                    MonitorEvent::Completed { worker, work_units, .. } => {
+                        let w = report.per_worker.entry(worker).or_default();
+                        w.completed += 1;
+                        w.work_units += work_units;
+                    }
+                    MonitorEvent::WorkerTimedOut { worker, .. } => {
+                        report.per_worker.entry(worker).or_default().timeouts += 1;
+                    }
+                    MonitorEvent::WorkerRecovered { .. } => {
+                        report.recoveries += 1;
+                    }
+                    MonitorEvent::RoundComplete {
+                        round,
+                        candidates,
+                        best_ln_likelihood,
+                        best_newick,
+                    } => {
+                        report.round_history.push((round, candidates, best_ln_likelihood));
+                        report.best_trees.push(best_newick);
+                    }
+                }
+            }
+            Message::Shutdown => return Ok(report),
+            other => {
+                debug_assert!(false, "monitor got unexpected {}", other.kind());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_comm::threads::ThreadUniverse;
+    use std::thread;
+
+    #[test]
+    fn aggregates_events() {
+        let mut ends = ThreadUniverse::create(3);
+        let monitor_end = ends.remove(2);
+        let sender = ends.remove(1);
+        let handle = thread::spawn(move || run_monitor(monitor_end).unwrap());
+        for ev in [
+            MonitorEvent::Dispatched { task: 1, worker: 3 },
+            MonitorEvent::Completed { task: 1, worker: 3, ln_likelihood: -2.0, work_units: 10 },
+            MonitorEvent::Dispatched { task: 2, worker: 4 },
+            MonitorEvent::WorkerTimedOut { worker: 4, task: 2 },
+            MonitorEvent::WorkerRecovered { worker: 4 },
+            MonitorEvent::RoundComplete {
+                round: 1,
+                candidates: 2,
+                best_ln_likelihood: -2.0,
+                best_newick: "(a,b);".into(),
+            },
+        ] {
+            sender.send(2, Message::Monitor(ev)).unwrap();
+        }
+        sender.send(2, Message::Shutdown).unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.events, 6);
+        assert_eq!(report.per_worker[&3].completed, 1);
+        assert_eq!(report.per_worker[&3].work_units, 10);
+        assert_eq!(report.per_worker[&4].timeouts, 1);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.round_history, vec![(1, 2, -2.0)]);
+        assert_eq!(report.best_trees, vec!["(a,b);".to_string()]);
+    }
+
+    #[test]
+    fn load_imbalance_zero_for_even_load() {
+        let mut r = MonitorReport::default();
+        r.per_worker.insert(3, WorkerUtilization { completed: 10, ..Default::default() });
+        r.per_worker.insert(4, WorkerUtilization { completed: 10, ..Default::default() });
+        assert!(r.load_imbalance() < 1e-12);
+        r.per_worker.insert(5, WorkerUtilization { completed: 0, ..Default::default() });
+        assert!(r.load_imbalance() > 0.1);
+    }
+}

@@ -1,0 +1,505 @@
+//! Entry points: the serial program, the threaded parallel program, and
+//! multi-jumble orchestration.
+
+use crate::config::SearchConfig;
+use crate::executor::{FullEvalExecutor, ScorerExecutor};
+use crate::foreman::{run_foreman, ForemanStats};
+use crate::master::ClusterExecutor;
+use crate::monitor::{run_monitor, MonitorReport};
+use crate::search::{SearchResult, StepwiseSearch};
+use crate::trace::SearchTrace;
+use crate::worker::{ranks, run_worker, WorkerStats};
+use fdml_comm::fault::{FaultPlan, FaultyTransport};
+use fdml_comm::threads::ThreadUniverse;
+use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::consensus::{consensus, Consensus};
+use fdml_phylo::error::PhyloError;
+use fdml_phylo::phylip;
+use fdml_phylo::tree::Tree;
+use std::collections::HashMap;
+use std::thread;
+
+/// Serial search: the worker evaluation runs as an in-process subroutine,
+/// exactly as in fastDNAml's serial build. Every candidate tree receives
+/// the full branch-length optimization.
+pub fn serial_search(alignment: &Alignment, config: &SearchConfig) -> Result<SearchResult, PhyloError> {
+    let engine = config.build_engine(alignment);
+    let executor = FullEvalExecutor::new(&engine, config.optimize);
+    StepwiseSearch::new(config, executor, alignment.num_taxa())
+        .with_names(alignment.names().to_vec())
+        .run()
+}
+
+/// Serial search using the incremental candidate scorer (fast mode) —
+/// used for paper-scale trace generation.
+pub fn fast_serial_search(alignment: &Alignment, config: &SearchConfig) -> Result<SearchResult, PhyloError> {
+    let engine = config.build_engine(alignment);
+    let executor = ScorerExecutor::new(&engine, config.optimize);
+    StepwiseSearch::new(config, executor, alignment.num_taxa())
+        .with_names(alignment.names().to_vec())
+        .run()
+}
+
+/// Serial search with trace recording, for the simulator.
+///
+/// `full_evaluation = true` evaluates every candidate like a worker would
+/// (slow, faithful); `false` uses incremental scoring (fast; the simulator
+/// cost model adds the deterministic full-evaluation floor per candidate).
+pub fn traced_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    dataset: &str,
+    full_evaluation: bool,
+) -> Result<(SearchResult, SearchTrace), PhyloError> {
+    let engine = config.build_engine(alignment);
+    let num_patterns = engine.patterns().num_patterns();
+    if full_evaluation {
+        let executor = FullEvalExecutor::new(&engine, config.optimize);
+        let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
+            .with_names(alignment.names().to_vec())
+            .with_trace(dataset, alignment.num_sites(), num_patterns, true);
+        let result = search.run()?;
+        let trace = search.take_trace().expect("trace enabled");
+        Ok((result, trace))
+    } else {
+        let executor = ScorerExecutor::new(&engine, config.optimize);
+        let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
+            .with_names(alignment.names().to_vec())
+            .with_trace(dataset, alignment.num_sites(), num_patterns, false);
+        let result = search.run()?;
+        let trace = search.take_trace().expect("trace enabled");
+        Ok((result, trace))
+    }
+}
+
+/// Everything a parallel run returns.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    /// The search result (identical tree to a serial run with the same
+    /// configuration).
+    pub result: SearchResult,
+    /// The monitor's aggregated instrumentation.
+    pub monitor: MonitorReport,
+    /// Foreman statistics.
+    pub foreman: ForemanStats,
+    /// Per-worker statistics, indexed by rank.
+    pub workers: HashMap<usize, WorkerStats>,
+}
+
+/// Parallel search over `num_ranks` thread-ranks: rank 0 master, rank 1
+/// foreman, rank 2 monitor, ranks 3.. workers. As in the paper, "the fully
+/// instrumented parallel version of fastDNAml requires a minimum of four
+/// processors".
+pub fn parallel_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    num_ranks: usize,
+) -> Result<ParallelOutcome, PhyloError> {
+    parallel_search_with_faults(alignment, config, num_ranks, HashMap::new())
+}
+
+/// Parallel search with injected worker faults (keyed by worker rank),
+/// exercising the foreman's timeout machinery.
+pub fn parallel_search_with_faults(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    num_ranks: usize,
+    mut faults: HashMap<usize, FaultPlan>,
+) -> Result<ParallelOutcome, PhyloError> {
+    assert!(
+        num_ranks >= 4,
+        "the fully instrumented parallel version requires at least four ranks"
+    );
+    let mut endpoints = ThreadUniverse::create(num_ranks);
+    // Take endpoints from the back so indices stay valid.
+    let mut worker_handles = Vec::new();
+    for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
+        let end = endpoints.remove(rank);
+        let fault = faults.remove(&rank);
+        let handle = thread::spawn(move || match fault {
+            Some(plan) => run_worker(FaultyTransport::new(end, plan)),
+            None => run_worker(end),
+        });
+        worker_handles.push((rank, handle));
+    }
+    let monitor_end = endpoints.remove(ranks::MONITOR);
+    let foreman_end = endpoints.remove(ranks::FOREMAN);
+    let master_end = endpoints.remove(ranks::MASTER);
+    let timeout = config.worker_timeout;
+    let foreman_handle = thread::spawn(move || run_foreman(foreman_end, timeout, true));
+    let monitor_handle = thread::spawn(move || run_monitor(monitor_end));
+
+    let executor = ClusterExecutor::new(
+        master_end,
+        alignment.names().to_vec(),
+        phylip::write(alignment),
+        config.engine_config_json(),
+        true,
+    );
+    let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
+        .with_names(alignment.names().to_vec());
+    let result = search.run();
+    // Shut everything down regardless of the search outcome.
+    let executor = search.into_executor();
+    executor.shutdown();
+    let foreman = foreman_handle
+        .join()
+        .expect("foreman thread must not panic")
+        .expect("foreman must exit cleanly");
+    let monitor = monitor_handle
+        .join()
+        .expect("monitor thread must not panic")
+        .expect("monitor must exit cleanly");
+    let mut workers = HashMap::new();
+    for (rank, handle) in worker_handles {
+        let stats = handle
+            .join()
+            .expect("worker thread must not panic")
+            .unwrap_or_default();
+        workers.insert(rank, stats);
+    }
+    Ok(ParallelOutcome { result: result?, monitor, foreman, workers })
+}
+
+/// Run many jumbles serially and compute their majority-rule consensus —
+/// the biologist's workflow described in §2 of the paper.
+pub fn run_jumbles(
+    alignment: &Alignment,
+    base_config: &SearchConfig,
+    seeds: &[u64],
+) -> Result<(Vec<SearchResult>, Consensus), PhyloError> {
+    assert!(!seeds.is_empty());
+    let engine = base_config.build_engine(alignment);
+    let mut results = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let config = SearchConfig { jumble_seed: seed, ..base_config.clone() };
+        let executor = ScorerExecutor::new(&engine, config.optimize);
+        let result = StepwiseSearch::new(&config, executor, alignment.num_taxa())
+            .with_names(alignment.names().to_vec())
+            .run()?;
+        results.push(result);
+    }
+    let trees: Vec<Tree> = results.iter().map(|r| r.tree.clone()).collect();
+    let cons = consensus(&trees, alignment.num_taxa(), 0.5, alignment.names())?;
+    Ok((results, cons))
+}
+
+/// Convenience: build the default engine for an alignment (re-exported for
+/// examples and benches).
+pub fn default_engine(alignment: &Alignment) -> LikelihoodEngine {
+    SearchConfig::default().build_engine(alignment)
+}
+
+/// One evaluated user tree.
+#[derive(Debug, Clone)]
+pub struct EvaluatedTree {
+    /// The tree with re-optimized branch lengths.
+    pub tree: Tree,
+    /// Its log-likelihood.
+    pub ln_likelihood: f64,
+    /// The optimized tree as Newick.
+    pub newick: String,
+}
+
+/// fastDNAml's *user tree* mode: instead of searching, parse the supplied
+/// Newick trees, optimize their branch lengths, and report likelihoods —
+/// the mode biologists use to compare specific hypotheses.
+pub fn evaluate_user_trees(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    newicks: &[String],
+) -> Result<Vec<EvaluatedTree>, PhyloError> {
+    let engine = config.build_engine(alignment);
+    newicks
+        .iter()
+        .map(|text| {
+            let mut tree = fdml_phylo::newick::parse_tree(text, alignment)?;
+            if tree.num_tips() != alignment.num_taxa() {
+                return Err(PhyloError::InvalidTreeOp(format!(
+                    "user tree has {} of {} taxa",
+                    tree.num_tips(),
+                    alignment.num_taxa()
+                )));
+            }
+            let r = engine.optimize(&mut tree, &config.optimize);
+            Ok(EvaluatedTree {
+                newick: fdml_phylo::newick::write_tree(&tree, alignment.names()),
+                tree,
+                ln_likelihood: r.ln_likelihood,
+            })
+        })
+        .collect()
+}
+
+/// Bootstrap analysis: infer one tree per column-resampled replicate and
+/// return the replicate trees plus their majority-rule consensus, whose
+/// internal labels are the bootstrap support percentages.
+pub fn bootstrap_analysis(
+    alignment: &Alignment,
+    base_config: &SearchConfig,
+    replicates: usize,
+    seed: u64,
+) -> Result<(Vec<SearchResult>, Consensus), PhyloError> {
+    assert!(replicates >= 1);
+    let samples = fdml_phylo::bootstrap::bootstrap_replicates(alignment, replicates, seed);
+    let mut results = Vec::with_capacity(replicates);
+    for (i, sample) in samples.iter().enumerate() {
+        let config = SearchConfig {
+            jumble_seed: base_config.jumble_seed.wrapping_add(2 * i as u64),
+            // Each replicate has its own site patterns, so per-pattern
+            // categories from the original alignment do not transfer.
+            categories: None,
+            ..base_config.clone()
+        };
+        results.push(fast_serial_search(sample, &config)?);
+    }
+    let trees: Vec<Tree> = results.iter().map(|r| r.tree.clone()).collect();
+    let cons = consensus(&trees, alignment.num_taxa(), 0.5, alignment.names())?;
+    Ok((results, cons))
+}
+
+/// Maximize the likelihood over the transition/transversion ratio by a
+/// golden-section search on a fixed tree (fastDNAml's `T` option asks the
+/// user for the ratio; this finds the ML value).
+pub fn optimize_tt_ratio(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    tree: &Tree,
+    lo: f64,
+    hi: f64,
+) -> (f64, f64) {
+    assert!(lo > 0.0 && hi > lo);
+    let eval = |tt: f64| -> f64 {
+        let cfg = SearchConfig { tt_ratio: tt, ..config.clone() };
+        let engine = cfg.build_engine(alignment);
+        let mut t = tree.clone();
+        engine.optimize(&mut t, &cfg.optimize).ln_likelihood
+    };
+    // Golden-section search in ln(tt) space.
+    let phi = 0.5 * (5f64.sqrt() - 1.0);
+    let (mut a, mut b) = (lo.ln(), hi.ln());
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (eval(c.exp()), eval(d.exp()));
+    for _ in 0..24 {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = eval(c.exp());
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = eval(d.exp());
+        }
+        if (b - a).abs() < 1e-3 {
+            break;
+        }
+    }
+    let tt = (0.5 * (a + b)).exp();
+    (tt, eval(tt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::bipartition::SplitSet;
+    use std::time::Duration;
+
+    fn alignment() -> Alignment {
+        Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGTACGAACGTACGT"),
+            ("t2", "ACGAACGTACGTACGGACGTACGTACCTAGGT"),
+            ("t3", "ACGAACGTACGTACGGACGTACTTACCTAGTT"),
+            ("t4", "TCGAACGGACGTACGGAAGTACGTACCTAGGA"),
+            ("t5", "TCGAACGGACGTACGGAAGTACGTTCCTAGGA"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn serial_search_completes() {
+        let a = alignment();
+        let config = SearchConfig { jumble_seed: 5, ..Default::default() };
+        let r = serial_search(&a, &config).unwrap();
+        assert_eq!(r.tree.num_tips(), 6);
+        assert!(r.ln_likelihood.is_finite() && r.ln_likelihood < 0.0);
+        assert!(r.candidates_evaluated > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let a = alignment();
+        let config = SearchConfig { jumble_seed: 5, ..Default::default() };
+        let serial = serial_search(&a, &config).unwrap();
+        let parallel = parallel_search(&a, &config, 6).unwrap();
+        // Identical search decisions: same topology; likelihoods agree to
+        // the Newick round-trip precision of branch lengths.
+        assert_eq!(
+            SplitSet::of_tree(&serial.tree, 6),
+            SplitSet::of_tree(&parallel.result.tree, 6)
+        );
+        assert!(
+            (serial.ln_likelihood - parallel.result.ln_likelihood).abs() < 1e-5,
+            "serial {} vs parallel {}",
+            serial.ln_likelihood,
+            parallel.result.ln_likelihood
+        );
+        // All workers participated and the monitor saw the run.
+        assert!(parallel.foreman.dispatched > 0);
+        assert!(parallel.monitor.events > 0);
+        assert_eq!(parallel.workers.len(), 3);
+        let total: u64 = parallel.workers.values().map(|w| w.trees_evaluated).sum();
+        assert_eq!(total, parallel.foreman.results_forwarded + parallel.foreman.duplicates_ignored);
+    }
+
+    #[test]
+    fn fault_tolerance_preserves_the_result() {
+        let a = alignment();
+        let config = SearchConfig {
+            jumble_seed: 5,
+            worker_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let clean = parallel_search(&a, &config, 6).unwrap();
+        // Worker 3 silently drops its first four results: the foreman must
+        // time it out, re-dispatch, and the final tree must be unchanged.
+        let mut faults = HashMap::new();
+        faults.insert(3usize, FaultPlan::drop_first(4));
+        let faulty = parallel_search_with_faults(&a, &config, 6, faults).unwrap();
+        assert_eq!(
+            SplitSet::of_tree(&clean.result.tree, 6),
+            SplitSet::of_tree(&faulty.result.tree, 6)
+        );
+        assert!(
+            (clean.result.ln_likelihood - faulty.result.ln_likelihood).abs() < 1e-6,
+            "clean {} vs faulty {}",
+            clean.result.ln_likelihood,
+            faulty.result.ln_likelihood
+        );
+        assert!(faulty.foreman.timeouts >= 1, "foreman must detect the stalled worker");
+    }
+
+    #[test]
+    fn jumbles_and_consensus() {
+        let a = alignment();
+        let config = SearchConfig { rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let (results, cons) = run_jumbles(&a, &config, &[1, 3, 5]).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(cons.num_trees, 3);
+        let mut leaves = cons.tree.leaf_names();
+        leaves.sort_unstable();
+        assert_eq!(leaves.len(), 6);
+    }
+
+    #[test]
+    fn traced_search_produces_consistent_trace() {
+        let a = alignment();
+        let config = SearchConfig { jumble_seed: 9, ..Default::default() };
+        let (result, trace) = traced_search(&a, &config, "toy", false).unwrap();
+        assert_eq!(trace.num_taxa, 6);
+        assert_eq!(trace.final_ln_likelihood, result.ln_likelihood);
+        assert!(trace.total_candidates() > 0);
+        assert!(!trace.full_evaluation);
+        let (_, trace_full) = traced_search(&a, &config, "toy", true).unwrap();
+        assert!(trace_full.full_evaluation);
+        // Full evaluation does more work per candidate.
+        assert!(trace_full.total_worker_work() > trace.total_worker_work());
+    }
+
+    #[test]
+    #[should_panic(expected = "four ranks")]
+    fn too_few_ranks_panics() {
+        let a = alignment();
+        let config = SearchConfig::default();
+        let _ = parallel_search(&a, &config, 3);
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+    use fdml_phylo::newick;
+
+    fn dataset(taxa: usize, sites: usize, tt: f64) -> (Alignment, Tree) {
+        let tree = yule_tree(taxa, 0.1, 41);
+        let cfg = EvolutionConfig { tt_ratio: tt, missing_fraction: 0.0, ..Default::default() };
+        (evolve(&tree, sites, &cfg, 8, "taxon"), tree)
+    }
+
+    #[test]
+    fn user_trees_are_ranked_by_likelihood() {
+        let (a, truth) = dataset(8, 600, 2.0);
+        let config = SearchConfig::default();
+        let names = a.names();
+        // The generating tree versus a random alternative: the generating
+        // tree should win.
+        let alt = yule_tree(8, 0.1, 999);
+        let newicks = vec![
+            newick::write_tree(&truth, names),
+            newick::write_tree(&alt, names),
+        ];
+        let evaluated = evaluate_user_trees(&a, &config, &newicks).unwrap();
+        assert_eq!(evaluated.len(), 2);
+        assert!(
+            evaluated[0].ln_likelihood > evaluated[1].ln_likelihood,
+            "true tree {} vs alternative {}",
+            evaluated[0].ln_likelihood,
+            evaluated[1].ln_likelihood
+        );
+        for e in &evaluated {
+            assert!(e.newick.contains("taxon000"));
+        }
+    }
+
+    #[test]
+    fn user_tree_with_missing_taxa_rejected() {
+        let (a, _) = dataset(6, 100, 2.0);
+        let config = SearchConfig::default();
+        let partial = "(taxon000:0.1,taxon001:0.1,taxon002:0.1);".to_string();
+        assert!(evaluate_user_trees(&a, &config, &[partial]).is_err());
+    }
+
+    #[test]
+    fn bootstrap_supports_strong_clades() {
+        let (a, truth) = dataset(8, 900, 2.0);
+        let config = SearchConfig { rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let (results, cons) = bootstrap_analysis(&a, &config, 5, 17).unwrap();
+        assert_eq!(results.len(), 5);
+        assert_eq!(cons.num_trees, 5);
+        // With this much signal, most consensus splits are true splits.
+        let truth_splits = fdml_phylo::bipartition::SplitSet::of_tree(&truth, 8);
+        let hits = cons
+            .splits
+            .iter()
+            .filter(|s| truth_splits.splits().contains(&s.split))
+            .count();
+        assert!(hits * 2 >= cons.splits.len(), "{hits}/{}", cons.splits.len());
+    }
+
+    #[test]
+    fn tt_ratio_optimization_recovers_generating_ratio() {
+        // Generate with a strong transition bias and check the ML estimate
+        // lands near it (wide tolerance: finite data).
+        let (a, truth) = dataset(10, 1500, 6.0);
+        let config = SearchConfig::default();
+        let (tt, lnl) = optimize_tt_ratio(&a, &config, &truth, 0.8, 30.0);
+        assert!(lnl.is_finite());
+        assert!(
+            tt > 3.0 && tt < 12.0,
+            "generating ratio 6.0, estimated {tt}"
+        );
+        // And the likelihood at the estimate beats the default 2.0.
+        let cfg2 = SearchConfig { tt_ratio: 2.0, ..config.clone() };
+        let engine2 = cfg2.build_engine(&a);
+        let mut t2 = truth.clone();
+        let at_default = engine2.optimize(&mut t2, &cfg2.optimize).ln_likelihood;
+        assert!(lnl > at_default, "lnl(tt̂={tt:.2}) = {lnl} vs lnl(2.0) = {at_default}");
+    }
+}

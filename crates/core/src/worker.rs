@@ -1,0 +1,202 @@
+//! The worker process (paper §2.2): "calculate branch lengths for a tree
+//! topology and the likelihood value for the tree. The worker processes
+//! communicate only with the foreman process."
+
+use crate::config::SearchConfig;
+use fdml_comm::message::Message;
+use fdml_comm::transport::{CommError, Transport};
+use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::{newick, phylip};
+
+/// Rank conventions of the runtime (as in the paper's four modules; the
+/// fully instrumented version needs at least four processors).
+pub mod ranks {
+    use fdml_comm::transport::Rank;
+
+    /// The master: generates and compares trees.
+    pub const MASTER: Rank = 0;
+    /// The foreman: dispatches trees, manages the work and ready queues.
+    pub const FOREMAN: Rank = 1;
+    /// The optional monitor: instrumentation.
+    pub const MONITOR: Rank = 2;
+    /// First worker rank; workers occupy `FIRST_WORKER..size`.
+    pub const FIRST_WORKER: Rank = 3;
+}
+
+/// Summary statistics a worker returns when it shuts down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Trees this worker evaluated.
+    pub trees_evaluated: u64,
+    /// Total work units expended.
+    pub work_units: u64,
+}
+
+/// Errors terminating a worker abnormally.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Transport failure.
+    Comm(CommError),
+    /// Malformed problem data or tree.
+    Protocol(String),
+}
+
+impl From<CommError> for WorkerError {
+    fn from(e: CommError) -> WorkerError {
+        WorkerError::Comm(e)
+    }
+}
+
+/// Run the worker event loop until `Shutdown`.
+pub fn run_worker<T: Transport>(transport: T) -> Result<WorkerStats, WorkerError> {
+    let mut state: Option<(Alignment, LikelihoodEngine, SearchConfig)> = None;
+    let mut stats = WorkerStats::default();
+    loop {
+        let (_, msg) = transport.recv()?;
+        match msg {
+            Message::ProblemData { phylip, config_json } => {
+                let alignment = phylip::parse(&phylip)
+                    .map_err(|e| WorkerError::Protocol(format!("bad alignment: {e}")))?;
+                let config = SearchConfig::from_engine_config_json(&config_json)
+                    .map_err(|e| WorkerError::Protocol(format!("bad config: {e}")))?;
+                let engine = config.build_engine(&alignment);
+                state = Some((alignment, engine, config));
+                transport.send(ranks::FOREMAN, Message::WorkerReady)?;
+            }
+            Message::TreeTask { task, newick: text } => {
+                let (alignment, engine, config) = state
+                    .as_ref()
+                    .ok_or_else(|| WorkerError::Protocol("task before problem data".into()))?;
+                let mut tree = newick::parse_tree(&text, alignment)
+                    .map_err(|e| WorkerError::Protocol(format!("bad tree: {e}")))?;
+                let result = engine.optimize(&mut tree, &config.optimize);
+                stats.trees_evaluated += 1;
+                stats.work_units += result.work.work_units();
+                transport.send(
+                    ranks::FOREMAN,
+                    Message::TreeResult {
+                        task,
+                        newick: newick::write_tree(&tree, alignment.names()),
+                        ln_likelihood: result.ln_likelihood,
+                        work_units: result.work.work_units(),
+                    },
+                )?;
+            }
+            Message::Shutdown => return Ok(stats),
+            other => {
+                return Err(WorkerError::Protocol(format!(
+                    "unexpected message {}",
+                    other.kind()
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_comm::threads::ThreadUniverse;
+    use std::thread;
+
+    fn problem() -> (String, String) {
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGT"),
+            ("t1", "ACGTACGAACGT"),
+            ("t2", "ACTTACGAACGA"),
+        ])
+        .unwrap();
+        let config = SearchConfig::default();
+        (phylip::write(&a), config.engine_config_json())
+    }
+
+    #[test]
+    fn worker_evaluates_and_replies() {
+        // Universe: 0 = this test acting as master+foreman, 3 = worker.
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let (phylip_text, config_json) = problem();
+        foreman_end
+            .send(3, Message::ProblemData { phylip: phylip_text, config_json })
+            .unwrap();
+        let (from, msg) = foreman_end.recv().unwrap();
+        assert_eq!(from, 3);
+        assert_eq!(msg, Message::WorkerReady);
+        foreman_end
+            .send(3, Message::TreeTask { task: 42, newick: "(t0:0.1,t1:0.1,t2:0.1);".into() })
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        match msg {
+            Message::TreeResult { task, ln_likelihood, work_units, newick } => {
+                assert_eq!(task, 42);
+                assert!(ln_likelihood.is_finite() && ln_likelihood < 0.0);
+                assert!(work_units > 0);
+                assert!(newick.contains("t0"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        foreman_end.send(3, Message::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.trees_evaluated, 1);
+    }
+
+    #[test]
+    fn problem_data_can_be_rebroadcast() {
+        // A new analysis re-broadcasts ProblemData; the worker rebuilds its
+        // engine and keeps serving.
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let (phylip_text, config_json) = problem();
+        for _ in 0..2 {
+            foreman_end
+                .send(3, Message::ProblemData {
+                    phylip: phylip_text.clone(),
+                    config_json: config_json.clone(),
+                })
+                .unwrap();
+            let (_, msg) = foreman_end.recv().unwrap();
+            assert_eq!(msg, Message::WorkerReady);
+        }
+        foreman_end
+            .send(3, Message::TreeTask { task: 1, newick: "(t0:0.1,t1:0.1,t2:0.1);".into() })
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        assert!(matches!(msg, Message::TreeResult { task: 1, .. }));
+        foreman_end.send(3, Message::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.trees_evaluated, 1);
+    }
+
+    #[test]
+    fn task_before_data_is_protocol_error() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        foreman_end
+            .send(3, Message::TreeTask { task: 1, newick: "(a,b,c);".into() })
+            .unwrap();
+        let err = run_worker(worker_end).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)));
+    }
+
+    #[test]
+    fn malformed_tree_is_protocol_error() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let (phylip_text, config_json) = problem();
+        foreman_end
+            .send(3, Message::ProblemData { phylip: phylip_text, config_json })
+            .unwrap();
+        foreman_end
+            .send(3, Message::TreeTask { task: 1, newick: "not a tree".into() })
+            .unwrap();
+        let err = run_worker(worker_end).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)));
+    }
+}

@@ -1,0 +1,121 @@
+//! The paper's three performance datasets, reproduced synthetically.
+//!
+//! §3 of the paper: "datasets including 50, 101, and 150 taxa … alignments
+//! of 1858 positions (50- and 101-sequence datasets) and of 1269 positions
+//! (150-sequence dataset)". Fixed seeds make every build byte-identical.
+
+use crate::evolve::{evolve, EvolutionConfig};
+use crate::randtree::yule_tree;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::tree::Tree;
+
+/// Which of the paper's datasets to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// 50 taxa × 1858 positions (Microsporidia study, dataset 1).
+    Taxa50,
+    /// 101 taxa × 1858 positions (dataset 2).
+    Taxa101,
+    /// 150 taxa × 1269 positions (dataset 3).
+    Taxa150,
+}
+
+impl PaperDataset {
+    /// Number of taxa.
+    pub fn num_taxa(self) -> usize {
+        match self {
+            PaperDataset::Taxa50 => 50,
+            PaperDataset::Taxa101 => 101,
+            PaperDataset::Taxa150 => 150,
+        }
+    }
+
+    /// Alignment length in the paper.
+    pub fn num_sites(self) -> usize {
+        match self {
+            PaperDataset::Taxa50 | PaperDataset::Taxa101 => 1858,
+            PaperDataset::Taxa150 => 1269,
+        }
+    }
+
+    /// Stable label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperDataset::Taxa50 => "synthetic-50",
+            PaperDataset::Taxa101 => "synthetic-101",
+            PaperDataset::Taxa150 => "synthetic-150",
+        }
+    }
+
+    /// All three datasets in the paper's order.
+    pub fn all() -> [PaperDataset; 3] {
+        [PaperDataset::Taxa50, PaperDataset::Taxa101, PaperDataset::Taxa150]
+    }
+
+    fn seed(self) -> u64 {
+        match self {
+            PaperDataset::Taxa50 => 0x5001,
+            PaperDataset::Taxa101 => 0x1011,
+            PaperDataset::Taxa150 => 0x1501,
+        }
+    }
+}
+
+/// Generate one of the paper's datasets, optionally scaled down in
+/// alignment length (`site_scale` in `(0, 1]`; 1.0 = the paper's full
+/// length). Scaling the length shortens benchmark runs without changing
+/// the round structure of the search, which depends only on the taxon
+/// count — the simulator's calibration maps work units to seconds either
+/// way (see EXPERIMENTS.md).
+///
+/// Returns the alignment and the generating tree (for recovery checks).
+pub fn paper_dataset(which: PaperDataset, site_scale: f64) -> (Alignment, Tree) {
+    assert!(site_scale > 0.0 && site_scale <= 1.0);
+    let n = which.num_taxa();
+    let sites = ((which.num_sites() as f64 * site_scale).round() as usize).max(8);
+    let tree = yule_tree(n, 0.08, which.seed());
+    let config = EvolutionConfig::default();
+    let alignment = evolve(&tree, sites, &config, which.seed() ^ 0xABCD, "taxon");
+    (alignment, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::patterns::PatternAlignment;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        for d in PaperDataset::all() {
+            let (a, t) = paper_dataset(d, 1.0);
+            assert_eq!(a.num_taxa(), d.num_taxa());
+            assert_eq!(a.num_sites(), d.num_sites());
+            assert_eq!(t.num_tips(), d.num_taxa());
+        }
+    }
+
+    #[test]
+    fn scaled_dataset_is_shorter() {
+        let (a, _) = paper_dataset(PaperDataset::Taxa50, 0.1);
+        assert_eq!(a.num_sites(), 186);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let (a1, _) = paper_dataset(PaperDataset::Taxa101, 0.05);
+        let (a2, _) = paper_dataset(PaperDataset::Taxa101, 0.05);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn compression_is_substantial_like_real_rrna() {
+        let (a, _) = paper_dataset(PaperDataset::Taxa50, 0.25);
+        let p = PatternAlignment::compress(&a);
+        assert!(
+            p.num_patterns() < a.num_sites(),
+            "patterns {} vs sites {}",
+            p.num_patterns(),
+            a.num_sites()
+        );
+    }
+}

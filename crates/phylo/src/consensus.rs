@@ -1,0 +1,263 @@
+//! Majority-rule consensus trees.
+//!
+//! After analyzing many random addition orders, a biologist compares the
+//! best trees to determine a consensus (paper §2, citing Jermiin, Olsen &
+//! Easteal 1997). The majority-rule consensus contains exactly the splits
+//! present in more than half of the input trees; it is in general
+//! multifurcating, so it is returned as a Newick AST rather than a binary
+//! [`Tree`].
+
+use crate::bipartition::{Bipartition, SplitCounter};
+use crate::error::PhyloError;
+use crate::newick::NewickNode;
+use crate::tree::Tree;
+
+/// A consensus split with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportedSplit {
+    /// The split itself.
+    pub split: Bipartition,
+    /// Number of input trees containing it.
+    pub count: usize,
+    /// `count / num_trees`.
+    pub support: f64,
+}
+
+/// Result of a consensus computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consensus {
+    /// Splits above the threshold, most supported first.
+    pub splits: Vec<SupportedSplit>,
+    /// Number of input trees.
+    pub num_trees: usize,
+    /// The consensus tree (multifurcating where support is lacking);
+    /// internal labels carry the support percentage.
+    pub tree: NewickNode,
+}
+
+/// Compute the majority-rule consensus (`fraction = 0.5`) or any stricter
+/// threshold of a set of trees over the same `num_taxa` taxa.
+///
+/// All splits above a threshold ≥ 0.5 are pairwise compatible, so they
+/// always assemble into a tree.
+pub fn consensus(
+    trees: &[Tree],
+    num_taxa: usize,
+    fraction: f64,
+    names: &[String],
+) -> Result<Consensus, PhyloError> {
+    if trees.is_empty() {
+        return Err(PhyloError::InvalidTreeOp("consensus of zero trees".into()));
+    }
+    if fraction < 0.5 {
+        return Err(PhyloError::InvalidTreeOp(
+            "consensus threshold below 0.5 can produce incompatible splits".into(),
+        ));
+    }
+    for t in trees {
+        if t.num_tips() != num_taxa {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "tree has {} taxa, expected {num_taxa}",
+                t.num_tips()
+            )));
+        }
+    }
+    let mut counter = SplitCounter::new();
+    for t in trees {
+        counter.add_tree(t, num_taxa);
+    }
+    let raw = counter.splits_above(fraction);
+    let splits: Vec<SupportedSplit> = raw
+        .into_iter()
+        .map(|(split, count)| SupportedSplit {
+            split,
+            count,
+            support: count as f64 / trees.len() as f64,
+        })
+        .collect();
+    let tree = assemble(&splits, num_taxa, trees.len(), names);
+    Ok(Consensus { splits, num_trees: trees.len(), tree })
+}
+
+/// Assemble compatible splits into a rooted multifurcating AST.
+///
+/// Standard construction: treat the taxon-0-free side of each split as a
+/// cluster; nest clusters by containment (they are laminar because they are
+/// pairwise compatible and all exclude taxon 0).
+fn assemble(
+    splits: &[SupportedSplit],
+    num_taxa: usize,
+    num_trees: usize,
+    names: &[String],
+) -> NewickNode {
+    let name_of = |t: usize| -> String {
+        names.get(t).cloned().unwrap_or_else(|| format!("taxon{t}"))
+    };
+    // Order clusters by increasing size: the splits are pairwise
+    // compatible and all exclude taxon 0, so they form a laminar family —
+    // processing children before parents lets each parent collect its
+    // already-assembled child clusters.
+    let mut clusters: Vec<(Vec<usize>, usize)> = splits
+        .iter()
+        .map(|s| {
+            (
+                s.split.side_taxa().iter().map(|&t| t as usize).collect(),
+                s.count,
+            )
+        })
+        .collect();
+    clusters.sort_by_key(|(c, _)| c.len());
+
+    // node_of[t] = current AST index owning taxon t's subtree.
+    #[derive(Debug)]
+    struct Build {
+        node: NewickNode,
+    }
+    // Start with each taxon as its own top-level node.
+    let mut pool: Vec<Option<Build>> = (0..num_taxa)
+        .map(|t| Some(Build { node: NewickNode::leaf(name_of(t), None) }))
+        .collect();
+    let mut owner: Vec<usize> = (0..num_taxa).collect();
+
+    for (cluster, count) in clusters {
+        // Gather the distinct current owners of the cluster's taxa.
+        let mut members: Vec<usize> = cluster.iter().map(|&t| owner[t]).collect();
+        members.sort_unstable();
+        members.dedup();
+        let children: Vec<NewickNode> = members
+            .iter()
+            .map(|&m| pool[m].take().expect("owner must be live").node)
+            .collect();
+        let mut node = NewickNode::internal(children, None);
+        node.name = Some(format!("{:.0}", 100.0 * count as f64 / num_trees as f64));
+        let slot = pool.len();
+        pool.push(Some(Build { node }));
+        for &t in &cluster {
+            owner[t] = slot;
+        }
+    }
+    // Root: whatever owners remain (taxon 0 always remains at top level).
+    let mut top: Vec<usize> = owner.clone();
+    top.sort_unstable();
+    top.dedup();
+    let children: Vec<NewickNode> = top
+        .into_iter()
+        .filter_map(|m| pool[m].take().map(|b| b.node))
+        .collect();
+    NewickNode::internal(children, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::TaxonId;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    fn quartet(pair_with_3: TaxonId) -> Tree {
+        // Tree where taxon 3 is sister to `pair_with_3`.
+        let others: Vec<TaxonId> = (0..3).collect();
+        let mut t = Tree::triplet(others[0], others[1], others[2]);
+        let e = t.incident_edges(t.tip_of(pair_with_3).unwrap())[0];
+        t.insert_taxon(3, e).unwrap();
+        t
+    }
+
+    #[test]
+    fn unanimous_trees_give_their_own_topology() {
+        let trees = vec![quartet(2), quartet(2), quartet(2)];
+        let c = consensus(&trees, 4, 0.5, &names(4)).unwrap();
+        assert_eq!(c.splits.len(), 1);
+        assert_eq!(c.splits[0].count, 3);
+        assert!((c.splits[0].support - 1.0).abs() < 1e-12);
+        assert_eq!(c.splits[0].split, Bipartition::from_side(&[2, 3], 4));
+    }
+
+    #[test]
+    fn majority_wins() {
+        let trees = vec![quartet(2), quartet(2), quartet(1)];
+        let c = consensus(&trees, 4, 0.5, &names(4)).unwrap();
+        assert_eq!(c.splits.len(), 1);
+        assert_eq!(c.splits[0].count, 2);
+    }
+
+    #[test]
+    fn no_majority_gives_star() {
+        let trees = vec![quartet(0), quartet(1), quartet(2)];
+        let c = consensus(&trees, 4, 0.5, &names(4)).unwrap();
+        assert!(c.splits.is_empty());
+        // Star tree: root with 4 leaf children.
+        assert_eq!(c.tree.children.len(), 4);
+        assert!(c.tree.children.iter().all(|ch| ch.is_leaf()));
+    }
+
+    #[test]
+    fn consensus_tree_contains_all_taxa_once() {
+        let trees = vec![quartet(2), quartet(2), quartet(0)];
+        let c = consensus(&trees, 4, 0.5, &names(4)).unwrap();
+        let mut leaves = c.tree.leaf_names();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec!["t0", "t1", "t2", "t3"]);
+    }
+
+    #[test]
+    fn errors_on_empty_or_mismatched_input() {
+        assert!(consensus(&[], 4, 0.5, &names(4)).is_err());
+        let trees = vec![Tree::triplet(0, 1, 2)];
+        assert!(consensus(&trees, 4, 0.5, &names(4)).is_err());
+        assert!(consensus(&[quartet(2)], 4, 0.3, &names(4)).is_err());
+    }
+
+    #[test]
+    fn nested_clusters_assemble() {
+        // Caterpillar trees on 6 taxa agree on everything.
+        let mut t = Tree::triplet(0, 1, 2);
+        for taxon in 3..6 {
+            let e = t.incident_edges(t.tip_of(taxon - 1).unwrap())[0];
+            t.insert_taxon(taxon, e).unwrap();
+        }
+        let c = consensus(&[t.clone(), t.clone()], 6, 0.5, &names(6)).unwrap();
+        assert_eq!(c.splits.len(), 3); // n-3 internal splits
+        // Fully resolved: serialize and reparse as a binary tree via AST.
+        let text = crate::newick::write(&c.tree);
+        let ast = crate::newick::parse(&text).unwrap();
+        let mut leaves = ast.leaf_names();
+        leaves.sort_unstable();
+        assert_eq!(leaves.len(), 6);
+    }
+
+    #[test]
+    fn balanced_tree_with_sibling_clusters_assembles() {
+        // Tree ((1,2),(3,4),(5,6),0): three sibling clusters under the
+        // root — a parent collecting multiple child clusters (regression:
+        // processing parents before children double-took pool slots).
+        let mut t = Tree::triplet(0, 1, 3);
+        let e = t.incident_edges(t.tip_of(1).unwrap())[0];
+        t.insert_taxon(2, e).unwrap();
+        let e = t.incident_edges(t.tip_of(3).unwrap())[0];
+        t.insert_taxon(4, e).unwrap();
+        let e = t.incident_edges(t.tip_of(4).unwrap())[0];
+        t.insert_taxon(5, e).unwrap();
+        let e = t.incident_edges(t.tip_of(5).unwrap())[0];
+        t.insert_taxon(6, e).unwrap();
+        t.check_valid().unwrap();
+        let c = consensus(&[t.clone(), t], 7, 0.5, &names(7)).unwrap();
+        assert_eq!(c.splits.len(), 4); // n - 3
+        let mut leaves = c.tree.leaf_names();
+        leaves.sort_unstable();
+        assert_eq!(leaves.len(), 7);
+        // Serializes and reparses cleanly.
+        let text = crate::newick::write(&c.tree);
+        crate::newick::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn support_labels_on_internal_nodes() {
+        let trees = vec![quartet(2), quartet(2), quartet(2), quartet(1)];
+        let c = consensus(&trees, 4, 0.5, &names(4)).unwrap();
+        let text = crate::newick::write(&c.tree);
+        assert!(text.contains("75"), "support label missing from {text}");
+    }
+}

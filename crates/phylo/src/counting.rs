@@ -1,0 +1,135 @@
+//! Counting unrooted bifurcating tree topologies.
+//!
+//! The paper's introduction motivates the HPC problem with the
+//! super-exponential count of unrooted bifurcating trees on `n` taxa
+//! (Felsenstein 1978):
+//!
+//! ```text
+//!           (2n-5)!
+//!   B(n) = ----------------
+//!          (n-3)! · 2^(n-3)
+//! ```
+//!
+//! equivalently the double factorial `(2n-5)!! = 3·5·7···(2n-5)`, giving
+//! 2.8×10⁷⁴ for 50 taxa, 1.7×10¹⁸² for 100, and 4.2×10³⁰¹ for 150 — the
+//! numbers quoted in §1.1. Values overflow `f64` past ~170 taxa, so the
+//! main representation is the base-10 logarithm, with exact big-integer
+//! digits available for modest `n`.
+
+/// Base-10 logarithm of the number of unrooted bifurcating topologies on
+/// `n ≥ 3` taxa. `B(3) = 1` (log = 0).
+pub fn log10_num_unrooted_trees(n: usize) -> f64 {
+    assert!(n >= 3, "unrooted bifurcating trees need at least 3 taxa");
+    // log10 (2n-5)!! = Σ log10(2k-5) for k = 4..=n
+    (4..=n).map(|k| ((2 * k - 5) as f64).log10()).sum()
+}
+
+/// The exact count as a decimal string, computed with schoolbook
+/// big-integer multiplication (adequate to hundreds of taxa).
+pub fn num_unrooted_trees_exact(n: usize) -> String {
+    assert!(n >= 3);
+    // Little-endian base-1e9 limbs.
+    let mut limbs: Vec<u64> = vec![1];
+    for k in 4..=n {
+        let m = (2 * k - 5) as u64;
+        let mut carry = 0u64;
+        for limb in &mut limbs {
+            let prod = *limb * m + carry;
+            *limb = prod % 1_000_000_000;
+            carry = prod / 1_000_000_000;
+        }
+        while carry > 0 {
+            limbs.push(carry % 1_000_000_000);
+            carry /= 1_000_000_000;
+        }
+    }
+    let mut s = String::new();
+    for (i, limb) in limbs.iter().enumerate().rev() {
+        if i == limbs.len() - 1 {
+            s.push_str(&limb.to_string());
+        } else {
+            s.push_str(&format!("{limb:09}"));
+        }
+    }
+    s
+}
+
+/// Scientific-notation rendering `m.mm × 10^e` of the count, usable for any
+/// `n` (goes through the log form, so no overflow).
+pub fn num_unrooted_trees_scientific(n: usize) -> (f64, i64) {
+    let log = log10_num_unrooted_trees(n);
+    let exponent = log.floor();
+    let mantissa = 10f64.powf(log - exponent);
+    (mantissa, exponent as i64)
+}
+
+/// Number of topologically distinct places to insert taxon `i` (1-based
+/// count of taxa after the insertion) into a growing tree: `2i-5` — the
+/// count the paper's step 3 dispatches to workers.
+pub fn insertion_places(i: usize) -> usize {
+    assert!(i >= 4);
+    2 * i - 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_counts_exact() {
+        // B(3)=1, B(4)=3, B(5)=15, B(6)=105, B(7)=945, B(8)=10395
+        assert_eq!(num_unrooted_trees_exact(3), "1");
+        assert_eq!(num_unrooted_trees_exact(4), "3");
+        assert_eq!(num_unrooted_trees_exact(5), "15");
+        assert_eq!(num_unrooted_trees_exact(6), "105");
+        assert_eq!(num_unrooted_trees_exact(7), "945");
+        assert_eq!(num_unrooted_trees_exact(8), "10395");
+    }
+
+    #[test]
+    fn log_matches_exact_for_small_n() {
+        for n in 3..=20 {
+            let exact = num_unrooted_trees_exact(n);
+            let log_len = log10_num_unrooted_trees(n);
+            assert_eq!(exact.len() as f64, log_len.floor() + 1.0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn paper_numbers_50_100_150() {
+        // §1.1: "For 50 taxa the number of possible trees is 2.8 x 10^74;
+        // for 100 taxa, 1.7 x 10^182; and for 150 taxa, 4.2 x 10^301."
+        let (m50, e50) = num_unrooted_trees_scientific(50);
+        assert_eq!(e50, 74);
+        assert!((m50 - 2.8).abs() < 0.05, "mantissa for 50 taxa: {m50}");
+        let (m100, e100) = num_unrooted_trees_scientific(100);
+        assert_eq!(e100, 182);
+        assert!((m100 - 1.7).abs() < 0.05, "mantissa for 100 taxa: {m100}");
+        let (m150, e150) = num_unrooted_trees_scientific(150);
+        assert_eq!(e150, 301);
+        assert!((m150 - 4.2).abs() < 0.05, "mantissa for 150 taxa: {m150}");
+    }
+
+    #[test]
+    fn exact_matches_scientific_at_50() {
+        let exact = num_unrooted_trees_exact(50);
+        assert_eq!(exact.len(), 75); // 2.8e74 has 75 digits
+        assert!(exact.starts_with("28"));
+    }
+
+    #[test]
+    fn recurrence_b_n_equals_places_times_b_n_minus_1() {
+        // B(n) = (2n-5) · B(n-1): each tree on n-1 taxa has 2n-5 edges.
+        for n in 5..=12 {
+            let b_prev: u128 = num_unrooted_trees_exact(n - 1).parse().unwrap();
+            let b: u128 = num_unrooted_trees_exact(n).parse().unwrap();
+            assert_eq!(b, b_prev * insertion_places(n) as u128);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_taxa_panics() {
+        log10_num_unrooted_trees(2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Nucleotide encoding with IUPAC ambiguity codes.
+//!
+//! fastDNAml encodes each alignment character as a 4-bit mask over the bases
+//! `{A, C, G, T}`; an ambiguity code sets several bits and a gap or unknown
+//! character sets all four (gaps are treated as missing data, exactly as the
+//! paper notes — handling gaps as a fifth state is listed as future work).
+
+use crate::error::PhyloError;
+use serde::{Deserialize, Serialize};
+
+/// Index of each unambiguous base in frequency vectors and likelihood arrays.
+pub const A: usize = 0;
+/// Index of cytosine.
+pub const C: usize = 1;
+/// Index of guanine.
+pub const G: usize = 2;
+/// Index of thymine (uracil in RNA input maps here too).
+pub const T: usize = 3;
+
+/// Number of nucleotide states.
+pub const NUM_STATES: usize = 4;
+
+/// One aligned character: a 4-bit set over `{A, C, G, T}`.
+///
+/// Bit `1 << A` means "A is compatible with the observation", and so on.
+/// An unambiguous `A` is `0b0001`; `N`, `?`, `-`, `.` are all `0b1111`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Nucleotide(u8);
+
+impl Nucleotide {
+    /// Unambiguous adenine.
+    pub const ADENINE: Nucleotide = Nucleotide(1 << A);
+    /// Unambiguous cytosine.
+    pub const CYTOSINE: Nucleotide = Nucleotide(1 << C);
+    /// Unambiguous guanine.
+    pub const GUANINE: Nucleotide = Nucleotide(1 << G);
+    /// Unambiguous thymine.
+    pub const THYMINE: Nucleotide = Nucleotide(1 << T);
+    /// Fully ambiguous (gap, `N`, `?`): compatible with every base.
+    pub const ANY: Nucleotide = Nucleotide(0b1111);
+
+    /// Build from a raw 4-bit mask. Masks of zero are rejected: a site that
+    /// is compatible with no base would force the tree likelihood to zero.
+    pub fn from_mask(mask: u8) -> Result<Nucleotide, PhyloError> {
+        if mask == 0 || mask > 0b1111 {
+            return Err(PhyloError::Format(format!("invalid nucleotide mask {mask:#06b}")));
+        }
+        Ok(Nucleotide(mask))
+    }
+
+    /// The raw 4-bit mask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Parse one IUPAC character (case-insensitive; `U` is treated as `T`;
+    /// `-`, `.`, `?`, `N`, and `X` are fully ambiguous).
+    pub fn from_char(ch: char) -> Result<Nucleotide, PhyloError> {
+        let mask = match ch.to_ascii_uppercase() {
+            'A' => 0b0001,
+            'C' => 0b0010,
+            'G' => 0b0100,
+            'T' | 'U' => 0b1000,
+            'M' => 0b0011, // A or C
+            'R' => 0b0101, // A or G (purines)
+            'W' => 0b1001, // A or T
+            'S' => 0b0110, // C or G
+            'Y' => 0b1010, // C or T (pyrimidines)
+            'K' => 0b1100, // G or T
+            'V' => 0b0111, // not T
+            'H' => 0b1011, // not G
+            'D' => 0b1101, // not C
+            'B' => 0b1110, // not A
+            'N' | 'X' | '?' | '-' | '.' | 'O' => 0b1111,
+            other => {
+                return Err(PhyloError::InvalidCharacter { position: 0, ch: other });
+            }
+        };
+        Ok(Nucleotide(mask))
+    }
+
+    /// Canonical IUPAC character for this mask.
+    pub fn to_char(self) -> char {
+        match self.0 {
+            0b0001 => 'A',
+            0b0010 => 'C',
+            0b0100 => 'G',
+            0b1000 => 'T',
+            0b0011 => 'M',
+            0b0101 => 'R',
+            0b1001 => 'W',
+            0b0110 => 'S',
+            0b1010 => 'Y',
+            0b1100 => 'K',
+            0b0111 => 'V',
+            0b1011 => 'H',
+            0b1101 => 'D',
+            0b1110 => 'B',
+            _ => 'N',
+        }
+    }
+
+    /// Is exactly one base compatible?
+    #[inline]
+    pub fn is_unambiguous(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// Is every base compatible (gap / unknown)?
+    #[inline]
+    pub fn is_any(self) -> bool {
+        self.0 == 0b1111
+    }
+
+    /// Whether base `state` (one of [`A`], [`C`], [`G`], [`T`]) is compatible.
+    #[inline]
+    pub fn allows(self, state: usize) -> bool {
+        debug_assert!(state < NUM_STATES);
+        self.0 & (1 << state) != 0
+    }
+
+    /// The single base index if unambiguous.
+    pub fn base_index(self) -> Option<usize> {
+        if self.is_unambiguous() {
+            Some(self.0.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over the compatible base indices.
+    pub fn compatible_bases(self) -> impl Iterator<Item = usize> {
+        let mask = self.0;
+        (0..NUM_STATES).filter(move |&s| mask & (1 << s) != 0)
+    }
+
+    /// Watson–Crick complement (ambiguity masks complement bitwise:
+    /// `R` (A/G) becomes `Y` (T/C), `N` stays `N`).
+    pub fn complement(self) -> Nucleotide {
+        let m = self.0;
+        let mut out = 0u8;
+        if m & (1 << A) != 0 {
+            out |= 1 << T;
+        }
+        if m & (1 << C) != 0 {
+            out |= 1 << G;
+        }
+        if m & (1 << G) != 0 {
+            out |= 1 << C;
+        }
+        if m & (1 << T) != 0 {
+            out |= 1 << A;
+        }
+        Nucleotide(out)
+    }
+
+    /// Is the mask a purine-only set (subset of `{A, G}`)?
+    pub fn is_purine(self) -> bool {
+        self.0 & !((1 << A) | (1 << G)) == 0
+    }
+
+    /// Is the mask a pyrimidine-only set (subset of `{C, T}`)?
+    pub fn is_pyrimidine(self) -> bool {
+        self.0 & !((1 << C) | (1 << T)) == 0
+    }
+}
+
+/// Parse a whole sequence string, reporting the offending position on error.
+pub fn parse_sequence(s: &str) -> Result<Vec<Nucleotide>, PhyloError> {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .enumerate()
+        .map(|(i, ch)| {
+            Nucleotide::from_char(ch)
+                .map_err(|_| PhyloError::InvalidCharacter { position: i, ch })
+        })
+        .collect()
+}
+
+/// Render a sequence back to its IUPAC string.
+pub fn sequence_to_string(seq: &[Nucleotide]) -> String {
+    seq.iter().map(|n| n.to_char()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unambiguous_bases() {
+        assert_eq!(Nucleotide::from_char('a').unwrap(), Nucleotide::ADENINE);
+        assert_eq!(Nucleotide::from_char('C').unwrap(), Nucleotide::CYTOSINE);
+        assert_eq!(Nucleotide::from_char('g').unwrap(), Nucleotide::GUANINE);
+        assert_eq!(Nucleotide::from_char('T').unwrap(), Nucleotide::THYMINE);
+    }
+
+    #[test]
+    fn rna_u_maps_to_t() {
+        assert_eq!(Nucleotide::from_char('U').unwrap(), Nucleotide::THYMINE);
+        assert_eq!(Nucleotide::from_char('u').unwrap(), Nucleotide::THYMINE);
+    }
+
+    #[test]
+    fn gaps_and_unknowns_are_fully_ambiguous() {
+        for ch in ['-', '.', '?', 'N', 'n', 'X'] {
+            assert_eq!(Nucleotide::from_char(ch).unwrap(), Nucleotide::ANY, "char {ch:?}");
+        }
+    }
+
+    #[test]
+    fn every_iupac_roundtrips_through_char() {
+        for ch in "ACGTMRWSYKVHDBN".chars() {
+            let n = Nucleotide::from_char(ch).unwrap();
+            assert_eq!(n.to_char(), ch);
+            assert_eq!(Nucleotide::from_char(n.to_char()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn invalid_characters_rejected() {
+        assert!(Nucleotide::from_char('Z').is_err());
+        assert!(Nucleotide::from_char('1').is_err());
+        assert!(Nucleotide::from_char('*').is_err());
+    }
+
+    #[test]
+    fn zero_mask_rejected() {
+        assert!(Nucleotide::from_mask(0).is_err());
+        assert!(Nucleotide::from_mask(16).is_err());
+        assert!(Nucleotide::from_mask(0b1111).is_ok());
+    }
+
+    #[test]
+    fn ambiguity_semantics() {
+        let r = Nucleotide::from_char('R').unwrap();
+        assert!(r.allows(A) && r.allows(G));
+        assert!(!r.allows(C) && !r.allows(T));
+        assert!(!r.is_unambiguous());
+        assert!(r.is_purine());
+        assert!(!r.is_pyrimidine());
+        let y = Nucleotide::from_char('Y').unwrap();
+        assert!(y.is_pyrimidine());
+        assert_eq!(r.complement(), y);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for mask in 1..=15u8 {
+            let n = Nucleotide::from_mask(mask).unwrap();
+            assert_eq!(n.complement().complement(), n);
+        }
+    }
+
+    #[test]
+    fn base_index_only_for_unambiguous() {
+        assert_eq!(Nucleotide::ADENINE.base_index(), Some(A));
+        assert_eq!(Nucleotide::THYMINE.base_index(), Some(T));
+        assert_eq!(Nucleotide::ANY.base_index(), None);
+    }
+
+    #[test]
+    fn compatible_bases_matches_mask() {
+        let v = Nucleotide::from_char('V').unwrap(); // not T
+        let bases: Vec<usize> = v.compatible_bases().collect();
+        assert_eq!(bases, vec![A, C, G]);
+    }
+
+    #[test]
+    fn parse_sequence_skips_whitespace_and_reports_position() {
+        let seq = parse_sequence("AC GT\nRY").unwrap();
+        assert_eq!(seq.len(), 6);
+        assert_eq!(sequence_to_string(&seq), "ACGTRY");
+        let err = parse_sequence("ACZT").unwrap_err();
+        assert_eq!(err, PhyloError::InvalidCharacter { position: 2, ch: 'Z' });
+    }
+}

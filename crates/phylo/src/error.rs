@@ -1,0 +1,52 @@
+//! Error type shared across the substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing data files or manipulating trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhyloError {
+    /// A sequence character was not a valid IUPAC nucleotide code.
+    InvalidCharacter {
+        /// Zero-based position of the offending character.
+        position: usize,
+        /// The character itself.
+        ch: char,
+    },
+    /// A data file violated its format (PHYLIP, FASTA, or Newick).
+    Format(String),
+    /// Sequences in an alignment have differing lengths.
+    RaggedAlignment {
+        /// The taxon whose sequence has the wrong length.
+        taxon: String,
+        /// Length of the first sequence (the alignment's length).
+        expected: usize,
+        /// Length actually found.
+        got: usize,
+    },
+    /// A taxon name was not found in the label table.
+    UnknownTaxon(String),
+    /// Two sequences share the same name.
+    DuplicateTaxon(String),
+    /// A tree operation was applied to an invalid node or edge.
+    InvalidTreeOp(String),
+}
+
+impl fmt::Display for PhyloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyloError::InvalidCharacter { position, ch } => {
+                write!(f, "invalid nucleotide character {ch:?} at position {position}")
+            }
+            PhyloError::Format(msg) => write!(f, "format error: {msg}"),
+            PhyloError::RaggedAlignment { taxon, expected, got } => write!(
+                f,
+                "sequence for {taxon:?} has length {got}, expected {expected}"
+            ),
+            PhyloError::UnknownTaxon(name) => write!(f, "unknown taxon {name:?}"),
+            PhyloError::DuplicateTaxon(name) => write!(f, "duplicate taxon {name:?}"),
+            PhyloError::InvalidTreeOp(msg) => write!(f, "invalid tree operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyloError {}

@@ -1,0 +1,97 @@
+//! FASTA alignment I/O (convenience format alongside PHYLIP).
+
+use crate::alignment::Alignment;
+use crate::dna::{self, Nucleotide};
+use crate::error::PhyloError;
+
+/// Parse an aligned FASTA file. All records must have equal length.
+pub fn parse(text: &str) -> Result<Alignment, PhyloError> {
+    let mut rows: Vec<(String, Vec<Nucleotide>)> = Vec::new();
+    let mut current: Option<(String, Vec<Nucleotide>)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                rows.push(done);
+            }
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(PhyloError::Format(format!(
+                    "FASTA header with empty name at line {}",
+                    lineno + 1
+                )));
+            }
+            current = Some((name, Vec::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, seq)) => seq.extend(dna::parse_sequence(line)?),
+                None => {
+                    return Err(PhyloError::Format(format!(
+                        "sequence data before any FASTA header at line {}",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        rows.push(done);
+    }
+    Alignment::new(rows)
+}
+
+/// Write an alignment as FASTA with 70-column wrapping.
+pub fn write(alignment: &Alignment) -> String {
+    const WRAP: usize = 70;
+    let mut out = String::new();
+    for t in 0..alignment.num_taxa() as u32 {
+        out.push('>');
+        out.push_str(alignment.name(t));
+        out.push('\n');
+        let seq = alignment.sequence(t);
+        for chunk in seq.chunks(WRAP) {
+            out.extend(chunk.iter().map(|n| n.to_char()));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_fasta() {
+        let a = parse(">x desc ignored\nACGT\n>y\nAC\nGT\n").unwrap();
+        assert_eq!(a.num_taxa(), 2);
+        assert_eq!(a.name(0), "x");
+        assert_eq!(dna::sequence_to_string(a.sequence(1)), "ACGT");
+    }
+
+    #[test]
+    fn rejects_data_before_header() {
+        assert!(parse("ACGT\n>x\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        assert!(parse(">\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unequal_lengths() {
+        assert!(parse(">x\nACGT\n>y\nAC\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = Alignment::from_strings(&[("s1", &"ACGT".repeat(50)), ("s2", &"TGCA".repeat(50))])
+            .unwrap();
+        let b = parse(&write(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Phylogenetic substrate for the fastDNAml reproduction.
+//!
+//! This crate provides everything below the likelihood kernel and the search:
+//!
+//! * nucleotide encoding with full IUPAC ambiguity support ([`dna`]),
+//! * aligned sequence collections and their I/O in PHYLIP and FASTA formats
+//!   ([`alignment`], [`phylip`], [`fasta`]),
+//! * site-pattern compression with weights ([`patterns`]),
+//! * unrooted binary (bifurcating) trees with branch lengths ([`tree`]),
+//! * Newick serialization ([`newick`]),
+//! * the topological moves used by fastDNAml's search — taxon insertion and
+//!   radius-limited subtree pruning and regrafting ([`ops`]),
+//! * bipartition (split) extraction, topology identity, and Robinson–Foulds
+//!   distances ([`bipartition`]),
+//! * majority-rule consensus trees ([`consensus`]),
+//! * exact and floating-point counts of unrooted tree topologies
+//!   ([`counting`]),
+//! * bootstrap resampling of alignment columns ([`bootstrap`]),
+//! * the baseline comparators the paper's §3.2 discusses: Fitch parsimony
+//!   scoring ([`parsimony`]) and neighbor joining ([`nj`]),
+//! * outgroup and midpoint rooting — the "separate process" of §1.1 that
+//!   happens after the unrooted search ([`rooting`]).
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod bipartition;
+pub mod bootstrap;
+pub mod consensus;
+pub mod counting;
+pub mod dna;
+pub mod error;
+pub mod fasta;
+pub mod newick;
+pub mod nj;
+pub mod ops;
+pub mod parsimony;
+pub mod patterns;
+pub mod phylip;
+pub mod rooting;
+pub mod tree;
+
+pub use alignment::{Alignment, TaxonId};
+pub use bipartition::{Bipartition, SplitSet};
+pub use dna::Nucleotide;
+pub use error::PhyloError;
+pub use patterns::PatternAlignment;
+pub use tree::{EdgeId, NodeId, Tree};

@@ -1,0 +1,279 @@
+//! PHYLIP alignment format, the native input format of fastDNAml.
+//!
+//! Both the *interleaved* and *sequential* layouts are supported, plus the
+//! relaxed variant where names longer than ten characters are separated from
+//! the sequence by whitespace. The writer emits strict interleaved PHYLIP.
+
+use crate::alignment::Alignment;
+use crate::dna::{self, Nucleotide};
+use crate::error::PhyloError;
+
+/// Classic PHYLIP fixed name-field width.
+const NAME_WIDTH: usize = 10;
+
+/// Parse a PHYLIP file, auto-detecting interleaved vs sequential layout.
+///
+/// The header line carries the number of taxa and the number of sites;
+/// fastDNAml additionally allowed option characters on the header line,
+/// which are ignored here.
+pub fn parse(text: &str) -> Result<Alignment, PhyloError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PhyloError::Format("empty PHYLIP file".into()))?;
+    let mut parts = header.split_whitespace();
+    let ntax: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PhyloError::Format("PHYLIP header: missing taxon count".into()))?;
+    let nsites: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PhyloError::Format("PHYLIP header: missing site count".into()))?;
+    if ntax == 0 || nsites == 0 {
+        return Err(PhyloError::Format("PHYLIP header: zero taxa or sites".into()));
+    }
+
+    let body: Vec<&str> = lines.collect();
+    // Try sequential first only when it parses exactly; interleaved is the
+    // fastDNAml default so prefer it on ambiguity.
+    match parse_interleaved(&body, ntax, nsites) {
+        Ok(a) => Ok(a),
+        Err(interleaved_err) => {
+            parse_sequential(&body, ntax, nsites).map_err(|_| interleaved_err)
+        }
+    }
+}
+
+/// Split one taxon line into (name, sequence characters).
+///
+/// Strict PHYLIP puts the name in the first ten columns; relaxed PHYLIP ends
+/// the name at the first whitespace. We accept both: if the first
+/// whitespace-delimited token is at most ten characters and the remainder
+/// contains sequence characters, treat it as relaxed; otherwise take the
+/// fixed-width field.
+fn split_name_line(line: &str) -> Result<(String, String), PhyloError> {
+    let trimmed = line.trim_end();
+    if trimmed.is_empty() {
+        return Err(PhyloError::Format("unexpected blank line in taxon block".into()));
+    }
+    if let Some(ws) = trimmed.find(char::is_whitespace) {
+        let (name, rest) = trimmed.split_at(ws);
+        return Ok((name.trim().to_string(), rest.to_string()));
+    }
+    // No whitespace at all: fixed-width split.
+    if trimmed.len() <= NAME_WIDTH {
+        return Err(PhyloError::Format(format!("taxon line too short: {trimmed:?}")));
+    }
+    let (name, rest) = trimmed.split_at(NAME_WIDTH);
+    Ok((name.trim().to_string(), rest.to_string()))
+}
+
+fn parse_interleaved(body: &[&str], ntax: usize, nsites: usize) -> Result<Alignment, PhyloError> {
+    let mut names: Vec<String> = Vec::with_capacity(ntax);
+    let mut seqs: Vec<Vec<Nucleotide>> = vec![Vec::with_capacity(nsites); ntax];
+    let mut row = 0usize; // taxon receiving the next line
+    let mut first_block = true;
+    for &line in body {
+        if line.trim().is_empty() {
+            // Block separators; only valid between blocks.
+            if row != 0 {
+                return Err(PhyloError::Format(format!(
+                    "interleaved block ended after {row} of {ntax} taxa"
+                )));
+            }
+            continue;
+        }
+        if seqs[0].len() >= nsites && row == 0 {
+            return Err(PhyloError::Format("trailing data after full alignment".into()));
+        }
+        if first_block {
+            let (name, seq_text) = split_name_line(line)?;
+            names.push(name);
+            seqs[row].extend(dna::parse_sequence(&seq_text)?);
+        } else {
+            seqs[row].extend(dna::parse_sequence(line)?);
+        }
+        row += 1;
+        if row == ntax {
+            row = 0;
+            first_block = false;
+        }
+    }
+    if names.len() != ntax {
+        return Err(PhyloError::Format(format!(
+            "expected {ntax} taxa, found {}",
+            names.len()
+        )));
+    }
+    for (i, s) in seqs.iter().enumerate() {
+        if s.len() != nsites {
+            return Err(PhyloError::RaggedAlignment {
+                taxon: names[i].clone(),
+                expected: nsites,
+                got: s.len(),
+            });
+        }
+    }
+    Alignment::new(names.into_iter().zip(seqs).collect())
+}
+
+fn parse_sequential(body: &[&str], ntax: usize, nsites: usize) -> Result<Alignment, PhyloError> {
+    let mut rows: Vec<(String, Vec<Nucleotide>)> = Vec::with_capacity(ntax);
+    let mut current: Option<(String, Vec<Nucleotide>)> = None;
+    for &line in body {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match current.as_mut() {
+            Some((_, seq)) if seq.len() < nsites => {
+                seq.extend(dna::parse_sequence(line)?);
+            }
+            _ => {
+                if let Some(done) = current.take() {
+                    rows.push(done);
+                }
+                let (name, seq_text) = split_name_line(line)?;
+                current = Some((name, dna::parse_sequence(&seq_text)?));
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        rows.push(done);
+    }
+    if rows.len() != ntax {
+        return Err(PhyloError::Format(format!(
+            "expected {ntax} taxa, found {}",
+            rows.len()
+        )));
+    }
+    for (name, seq) in &rows {
+        if seq.len() != nsites {
+            return Err(PhyloError::RaggedAlignment {
+                taxon: name.clone(),
+                expected: nsites,
+                got: seq.len(),
+            });
+        }
+    }
+    Alignment::new(rows)
+}
+
+/// Write an alignment as interleaved PHYLIP with 60-column blocks.
+pub fn write(alignment: &Alignment) -> String {
+    const BLOCK: usize = 60;
+    let ntax = alignment.num_taxa();
+    let nsites = alignment.num_sites();
+    let mut out = format!("{ntax} {nsites}\n");
+    let mut start = 0;
+    while start < nsites {
+        let end = (start + BLOCK).min(nsites);
+        for t in 0..ntax {
+            if start == 0 {
+                let name = alignment.name(t as u32);
+                // Pad to the classic field width; longer names get a single
+                // separating space (relaxed PHYLIP, accepted by our parser).
+                if name.len() >= NAME_WIDTH {
+                    out.push_str(name);
+                    out.push(' ');
+                } else {
+                    out.push_str(&format!("{name:<NAME_WIDTH$}"));
+                }
+            }
+            let chunk: String = alignment.sequence(t as u32)[start..end]
+                .iter()
+                .map(|n| n.to_char())
+                .collect();
+            out.push_str(&chunk);
+            out.push('\n');
+        }
+        out.push('\n');
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_strict_interleaved() {
+        let text = "3 8\nalpha     ACGT\nbeta      AGGT\ngamma     ACGA\n\nTTTT\nCCCC\nGGGG\n";
+        let a = parse(text).unwrap();
+        assert_eq!(a.num_taxa(), 3);
+        assert_eq!(a.num_sites(), 8);
+        assert_eq!(dna::sequence_to_string(a.sequence(0)), "ACGTTTTT");
+        assert_eq!(dna::sequence_to_string(a.sequence(2)), "ACGAGGGG");
+    }
+
+    #[test]
+    fn parses_sequential() {
+        let text = "2 8\nalpha ACGT\nACGT\nbeta  TTTT\nCCCC\n";
+        let a = parse(text).unwrap();
+        assert_eq!(a.num_sites(), 8);
+        assert_eq!(dna::sequence_to_string(a.sequence(0)), "ACGTACGT");
+        assert_eq!(dna::sequence_to_string(a.sequence(1)), "TTTTCCCC");
+    }
+
+    #[test]
+    fn parses_fixed_width_names_without_space() {
+        // Ten-character name directly abutting the sequence.
+        let text = "1 4\nabcdefghijACGT\n";
+        let a = parse(text).unwrap();
+        assert_eq!(a.name(0), "abcdefghij");
+        assert_eq!(dna::sequence_to_string(a.sequence(0)), "ACGT");
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("x y\n").is_err());
+        assert!(parse("0 5\n").is_err());
+        assert!(parse("2\n").is_err());
+    }
+
+    #[test]
+    fn wrong_taxon_count_rejected() {
+        let text = "3 4\nalpha     ACGT\nbeta      AGGT\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn wrong_site_count_rejected() {
+        let text = "2 5\nalpha     ACGT\nbeta      AGGT\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let a = Alignment::from_strings(&[
+            ("taxon_one", "ACGTRYKMBD"),
+            ("t2", "NNNN-ACGTA"),
+            ("a_very_long_taxon_name", "ACACACACAC"),
+        ])
+        .unwrap();
+        let text = write(&a);
+        let b = parse(&text).unwrap();
+        assert_eq!(a.names(), b.names());
+        for t in 0..a.num_taxa() as u32 {
+            // Gaps render as N (both fully ambiguous) — compare masks.
+            assert_eq!(a.sequence(t), b.sequence(t), "taxon {t}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_block() {
+        let long: String = "ACGT".repeat(40); // 160 sites → 3 blocks of 60
+        let a = Alignment::from_strings(&[("x", &long), ("y", &long)]).unwrap();
+        let b = parse(&write(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rna_input_accepted() {
+        let text = "2 4\nrna1      ACGU\nrna2      UUUU\n";
+        let a = parse(text).unwrap();
+        assert_eq!(dna::sequence_to_string(a.sequence(0)), "ACGT");
+    }
+}

@@ -1,0 +1,264 @@
+//! Rooting unrooted trees.
+//!
+//! §1.1 of the paper: "the trees produced by mathematical methods are
+//! unrooted bifurcating trees … The process of identifying a root for such
+//! a tree is a separate process that takes place after determination of
+//! the best unrooted tree." This module is that separate process: rooting
+//! on the branch to an *outgroup* (the biological method — an outgroup
+//! taxon or clade known to be outside the group of interest), or at the
+//! *midpoint* of the longest tip-to-tip path (the method of last resort
+//! when no outgroup is available). Both return rooted Newick ASTs, which
+//! is what viewers and downstream rooted analyses consume.
+
+use crate::alignment::TaxonId;
+use crate::error::PhyloError;
+use crate::newick::NewickNode;
+use crate::tree::{EdgeId, NodeId, Tree};
+
+/// Convert the subtree on the `node` side of `via` into a rooted AST.
+fn subtree_ast(tree: &Tree, node: NodeId, via: EdgeId, names: &[String]) -> NewickNode {
+    let length = Some(tree.length(via));
+    if let Some(taxon) = tree.taxon(node) {
+        let name = names
+            .get(taxon as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("taxon{taxon}"));
+        return NewickNode::leaf(name, length);
+    }
+    let children = tree
+        .neighbors(node)
+        .filter(|&(e, _)| e != via)
+        .map(|(e, next)| subtree_ast(tree, next, e, names))
+        .collect();
+    NewickNode { name: None, length, children }
+}
+
+/// Root the tree on edge `e`, placing the root `fraction` of the way from
+/// endpoint `a` toward endpoint `b` (`0.5` = the middle of the branch).
+fn root_on_edge(tree: &Tree, e: EdgeId, fraction: f64, names: &[String]) -> NewickNode {
+    let (a, b) = tree.endpoints(e);
+    let len = tree.length(e);
+    let mut left = subtree_ast(tree, a, e, names);
+    let mut right = subtree_ast(tree, b, e, names);
+    left.length = Some(len * fraction);
+    right.length = Some(len * (1.0 - fraction));
+    NewickNode::internal(vec![left, right], None)
+}
+
+/// Root the tree on the branch separating `outgroup` from everything else.
+///
+/// The outgroup must form a clade (its taxa must sit on one side of some
+/// branch); a single taxon always qualifies via its pendant edge. The root
+/// is placed at the middle of that branch.
+pub fn root_at_outgroup(
+    tree: &Tree,
+    outgroup: &[TaxonId],
+    names: &[String],
+) -> Result<NewickNode, PhyloError> {
+    if outgroup.is_empty() {
+        return Err(PhyloError::InvalidTreeOp("empty outgroup".into()));
+    }
+    let mut wanted: Vec<TaxonId> = outgroup.to_vec();
+    wanted.sort_unstable();
+    wanted.dedup();
+    let all = tree.taxa();
+    if wanted.iter().any(|t| !all.contains(t)) {
+        return Err(PhyloError::InvalidTreeOp("outgroup taxon not in tree".into()));
+    }
+    if wanted.len() >= all.len() {
+        return Err(PhyloError::InvalidTreeOp("outgroup cannot be the whole tree".into()));
+    }
+    for e in tree.edge_ids() {
+        let (a, _) = tree.endpoints(e);
+        let side = tree.subtree_taxa(e, a);
+        if side == wanted || complement(&all, &side) == wanted {
+            return Ok(root_on_edge(tree, e, 0.5, names));
+        }
+    }
+    Err(PhyloError::InvalidTreeOp(format!(
+        "outgroup {wanted:?} is not a clade of this tree"
+    )))
+}
+
+fn complement(all: &[TaxonId], side: &[TaxonId]) -> Vec<TaxonId> {
+    all.iter().copied().filter(|t| !side.contains(t)).collect()
+}
+
+/// Root the tree at the midpoint of the longest tip-to-tip path.
+pub fn midpoint_root(tree: &Tree, names: &[String]) -> Result<NewickNode, PhyloError> {
+    if tree.num_tips() < 2 {
+        return Err(PhyloError::InvalidTreeOp("midpoint rooting needs two tips".into()));
+    }
+    // Distances from every tip to every node, tracking the first edge of
+    // the path so the midpoint edge can be located.
+    let mut best: Option<(f64, NodeId, NodeId)> = None; // (dist, tip_a, tip_b)
+    let tips: Vec<NodeId> = tree.tips().map(|(n, _)| n).collect();
+    let dist_from = |start: NodeId| -> Vec<f64> {
+        let mut dist = vec![f64::NAN; tree.node_capacity()];
+        dist[start.0 as usize] = 0.0;
+        let mut stack = vec![start];
+        while let Some(u) = stack.pop() {
+            for (e, v) in tree.neighbors(u) {
+                if dist[v.0 as usize].is_nan() {
+                    dist[v.0 as usize] = dist[u.0 as usize] + tree.length(e);
+                    stack.push(v);
+                }
+            }
+        }
+        dist
+    };
+    for &a in &tips {
+        let d = dist_from(a);
+        for &b in &tips {
+            if b == a {
+                continue;
+            }
+            let len = d[b.0 as usize];
+            if best.map(|(bd, _, _)| len > bd).unwrap_or(true) {
+                best = Some((len, a, b));
+            }
+        }
+    }
+    let (diameter, tip_a, tip_b) = best.expect("two tips exist");
+    // Walk from tip_a toward tip_b accumulating length until the midpoint
+    // falls inside an edge.
+    let d_from_b = dist_from(tip_b);
+    let mut node = tip_a;
+    let mut walked = 0.0;
+    loop {
+        // The neighbor on the path to tip_b strictly decreases d_from_b.
+        let (edge, next) = tree
+            .neighbors(node)
+            .find(|&(e, v)| {
+                (d_from_b[v.0 as usize] + tree.length(e) - d_from_b[node.0 as usize]).abs() < 1e-9
+            })
+            .ok_or_else(|| PhyloError::InvalidTreeOp("midpoint walk lost the path".into()))?;
+        let len = tree.length(edge);
+        if walked + len >= diameter / 2.0 - 1e-12 {
+            let into = (diameter / 2.0 - walked).clamp(0.0, len);
+            let fraction = if len > 0.0 { into / len } else { 0.5 };
+            // root_on_edge measures from endpoint `a` of the edge; orient.
+            let (ea, _) = tree.endpoints(edge);
+            let frac_from_a = if ea == node { fraction } else { 1.0 - fraction };
+            return Ok(root_on_edge(tree, edge, frac_from_a, names));
+        }
+        walked += len;
+        node = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    /// ((t0,t1),(t2,t3)) with distinct lengths.
+    fn quartet() -> Tree {
+        let nm = names(4);
+        newick::parse_tree_with_names(
+            "((t0:0.1,t1:0.2):0.05,(t2:0.3,t3:0.4):0.05);",
+            &nm,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_taxon_outgroup_roots_on_its_pendant() {
+        let t = quartet();
+        let rooted = root_at_outgroup(&t, &[3], &names(4)).unwrap();
+        assert_eq!(rooted.children.len(), 2);
+        // One side is exactly t3.
+        let leaves: Vec<Vec<&str>> =
+            rooted.children.iter().map(|c| c.leaf_names()).collect();
+        assert!(leaves.contains(&vec!["t3"]));
+        // Pendant length 0.4 split in half.
+        let t3_side = rooted
+            .children
+            .iter()
+            .find(|c| c.leaf_names() == vec!["t3"])
+            .unwrap();
+        assert!((t3_side.length.unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clade_outgroup_roots_on_the_internal_branch() {
+        let t = quartet();
+        let rooted = root_at_outgroup(&t, &[2, 3], &names(4)).unwrap();
+        let mut sides: Vec<Vec<&str>> =
+            rooted.children.iter().map(|c| c.leaf_names()).collect();
+        sides.iter_mut().for_each(|s| s.sort_unstable());
+        assert!(sides.contains(&vec!["t2", "t3"]));
+        assert!(sides.contains(&vec!["t0", "t1"]));
+        // Internal branch 0.05+0.05 split across the root.
+        let total: f64 = rooted.children.iter().map(|c| c.length.unwrap()).sum();
+        assert!((total - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_clade_outgroup_rejected() {
+        let t = quartet();
+        assert!(root_at_outgroup(&t, &[0, 2], &names(4)).is_err());
+        assert!(root_at_outgroup(&t, &[], &names(4)).is_err());
+        assert!(root_at_outgroup(&t, &[0, 1, 2, 3], &names(4)).is_err());
+        assert!(root_at_outgroup(&t, &[9], &names(4)).is_err());
+    }
+
+    #[test]
+    fn rooted_ast_serializes_and_preserves_leaves() {
+        let t = quartet();
+        let rooted = root_at_outgroup(&t, &[0], &names(4)).unwrap();
+        let text = newick::write(&rooted);
+        let back = newick::parse(&text).unwrap();
+        let mut leaves = back.leaf_names();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec!["t0", "t1", "t2", "t3"]);
+    }
+
+    #[test]
+    fn midpoint_root_bisects_the_diameter() {
+        // t3's pendant dominates: diameter t0→t3 = 0.5 + 1.0 + 3.0 = 4.5
+        // (the rooted input's two 0.5 root branches fuse to one internal
+        // edge of 1.0), so the midpoint at 2.25 falls 0.75 into t3's
+        // pendant and t3 hangs directly off the root at depth 2.25.
+        let nm = names(4);
+        let t = newick::parse_tree_with_names(
+            "((t0:0.5,t1:0.1):0.5,(t2:0.1,t3:3.0):0.5);",
+            &nm,
+        )
+        .unwrap();
+        let rooted = midpoint_root(&t, &nm).unwrap();
+        assert_eq!(rooted.children.len(), 2);
+        let t3_side = rooted
+            .children
+            .iter()
+            .find(|c| c.leaf_names() == vec!["t3"])
+            .expect("t3 must hang directly off the root");
+        assert!((t3_side.length.unwrap() - 2.25).abs() < 1e-9, "{:?}", t3_side.length);
+        // The two root-to-farthest-leaf depths are equal (both = 2.0).
+        fn depth(node: &NewickNode) -> f64 {
+            node.length.unwrap_or(0.0)
+                + node
+                    .children
+                    .iter()
+                    .map(depth)
+                    .fold(0.0, f64::max)
+        }
+        let d: Vec<f64> = rooted.children.iter().map(depth).collect();
+        assert!((d[0] - d[1]).abs() < 1e-9, "unbalanced depths {d:?}");
+    }
+
+    #[test]
+    fn midpoint_root_on_a_pair() {
+        let nm = names(2);
+        let t = newick::parse_tree_with_names("(t0:0.3,t1:0.5);", &nm).unwrap();
+        let rooted = midpoint_root(&t, &nm).unwrap();
+        let total: f64 = rooted.children.iter().map(|c| c.length.unwrap()).sum();
+        assert!((total - 0.8).abs() < 1e-9);
+        let lens: Vec<f64> = rooted.children.iter().map(|c| c.length.unwrap()).collect();
+        assert!((lens[0] - lens[1]).abs() < 1e-9, "midpoint splits evenly: {lens:?}");
+    }
+}

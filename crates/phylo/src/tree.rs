@@ -1,0 +1,717 @@
+//! Unrooted bifurcating trees with branch lengths.
+//!
+//! The phylogenies fastDNAml searches over are unrooted binary trees: every
+//! node is either a *tip* (degree 1, carrying a taxon) or *internal* (degree
+//! 3, anonymous). Nodes and edges live in arenas with free lists so the
+//! stepwise-addition search can insert and remove taxa cheaply.
+//!
+//! A tree may transiently hold a *detached subtree* during a prune/regraft
+//! move (see [`Tree::detach`] / [`Tree::attach`]); all read-only queries that
+//! assume a single connected binary component document whether they tolerate
+//! that intermediate state.
+
+use crate::alignment::TaxonId;
+use crate::error::PhyloError;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a node in a [`Tree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Handle to an edge in a [`Tree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// Default branch length assigned to newly created edges before any
+/// optimization, matching fastDNAml's rough initial guess.
+pub const DEFAULT_BRANCH_LENGTH: f64 = 0.1;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Node {
+    taxon: Option<TaxonId>,
+    adj: Vec<EdgeId>,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+    length: f64,
+    alive: bool,
+}
+
+/// Token returned by [`Tree::detach`]: a pruned subtree awaiting regrafting.
+#[derive(Debug, Clone, Copy)]
+pub struct DetachedSubtree {
+    /// Root node of the pruned component.
+    pub root: NodeId,
+    /// Branch length the subtree's old pendant edge had; reused on attach.
+    pub pendant_length: f64,
+    /// The edge created in the remaining tree by merging around the removed
+    /// internal node. Useful as the BFS origin for radius-limited regrafts.
+    pub merged_edge: EdgeId,
+}
+
+/// An unrooted bifurcating phylogenetic tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    free_nodes: Vec<NodeId>,
+    free_edges: Vec<EdgeId>,
+    num_tips: usize,
+}
+
+impl Tree {
+    /// The smallest tree: two tips joined by one edge.
+    pub fn pair(t0: TaxonId, t1: TaxonId) -> Tree {
+        let mut tree = Tree {
+            nodes: Vec::with_capacity(4),
+            edges: Vec::with_capacity(3),
+            free_nodes: Vec::new(),
+            free_edges: Vec::new(),
+            num_tips: 0,
+        };
+        let a = tree.new_node(Some(t0));
+        let b = tree.new_node(Some(t1));
+        tree.new_edge(a, b, DEFAULT_BRANCH_LENGTH);
+        tree
+    }
+
+    /// The unique topology on three taxa: one internal node joined to three
+    /// tips. This is fastDNAml's starting tree (paper step 2).
+    pub fn triplet(t0: TaxonId, t1: TaxonId, t2: TaxonId) -> Tree {
+        let mut tree = Tree {
+            nodes: Vec::with_capacity(8),
+            edges: Vec::with_capacity(7),
+            free_nodes: Vec::new(),
+            free_edges: Vec::new(),
+            num_tips: 0,
+        };
+        let center = tree.new_node(None);
+        for t in [t0, t1, t2] {
+            let tip = tree.new_node(Some(t));
+            tree.new_edge(center, tip, DEFAULT_BRANCH_LENGTH);
+        }
+        tree
+    }
+
+    /// An empty arena for crate-internal construction (Newick parsing).
+    pub(crate) fn empty() -> Tree {
+        Tree {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            free_nodes: Vec::new(),
+            free_edges: Vec::new(),
+            num_tips: 0,
+        }
+    }
+
+    /// Raw node construction for crate-internal builders.
+    pub(crate) fn add_node_raw(&mut self, taxon: Option<TaxonId>) -> NodeId {
+        self.new_node(taxon)
+    }
+
+    /// Raw edge construction for crate-internal builders.
+    pub(crate) fn add_edge_raw(&mut self, a: NodeId, b: NodeId, length: f64) -> EdgeId {
+        self.new_edge(a, b, length)
+    }
+
+    fn new_node(&mut self, taxon: Option<TaxonId>) -> NodeId {
+        if taxon.is_some() {
+            self.num_tips += 1;
+        }
+        if let Some(id) = self.free_nodes.pop() {
+            self.nodes[id.0 as usize] = Node { taxon, adj: Vec::with_capacity(3), alive: true };
+            id
+        } else {
+            self.nodes.push(Node { taxon, adj: Vec::with_capacity(3), alive: true });
+            NodeId(self.nodes.len() as u32 - 1)
+        }
+    }
+
+    fn new_edge(&mut self, a: NodeId, b: NodeId, length: f64) -> EdgeId {
+        let id = if let Some(id) = self.free_edges.pop() {
+            self.edges[id.0 as usize] = Edge { a, b, length, alive: true };
+            id
+        } else {
+            self.edges.push(Edge { a, b, length, alive: true });
+            EdgeId(self.edges.len() as u32 - 1)
+        };
+        self.nodes[a.0 as usize].adj.push(id);
+        self.nodes[b.0 as usize].adj.push(id);
+        id
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) {
+        let Edge { a, b, .. } = self.edges[e.0 as usize];
+        self.nodes[a.0 as usize].adj.retain(|&x| x != e);
+        self.nodes[b.0 as usize].adj.retain(|&x| x != e);
+        self.edges[e.0 as usize].alive = false;
+        self.free_edges.push(e);
+    }
+
+    fn delete_node(&mut self, n: NodeId) {
+        debug_assert!(self.nodes[n.0 as usize].adj.is_empty());
+        if self.nodes[n.0 as usize].taxon.is_some() {
+            self.num_tips -= 1;
+        }
+        self.nodes[n.0 as usize].alive = false;
+        self.nodes[n.0 as usize].taxon = None;
+        self.free_nodes.push(n);
+    }
+
+    /// Number of tips (taxa currently in the tree).
+    pub fn num_tips(&self) -> usize {
+        self.num_tips
+    }
+
+    /// Live node ids, tips and internal.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Live edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(i, _)| EdgeId(i as u32))
+    }
+
+    /// Tip node ids with their taxa.
+    pub fn tips(&self) -> impl Iterator<Item = (NodeId, TaxonId)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .filter_map(|(i, n)| n.taxon.map(|t| (NodeId(i as u32), t)))
+    }
+
+    /// All taxa present, in ascending order.
+    pub fn taxa(&self) -> Vec<TaxonId> {
+        let mut v: Vec<TaxonId> = self.tips().map(|(_, t)| t).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The taxon at a node, if it is a tip.
+    pub fn taxon(&self, n: NodeId) -> Option<TaxonId> {
+        self.nodes[n.0 as usize].taxon
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.nodes[n.0 as usize].adj.len()
+    }
+
+    /// Is this node an internal (non-tip) node?
+    pub fn is_internal(&self, n: NodeId) -> bool {
+        self.nodes[n.0 as usize].taxon.is_none()
+    }
+
+    /// The tip node carrying `taxon`, if present.
+    pub fn tip_of(&self, taxon: TaxonId) -> Option<NodeId> {
+        self.tips().find(|&(_, t)| t == taxon).map(|(n, _)| n)
+    }
+
+    /// Edges incident to a node.
+    pub fn incident_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.nodes[n.0 as usize].adj
+    }
+
+    /// `(edge, neighbor)` pairs around a node.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.nodes[n.0 as usize]
+            .adj
+            .iter()
+            .map(move |&e| (e, self.other_end(e, n)))
+    }
+
+    /// The two endpoints of an edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let edge = &self.edges[e.0 as usize];
+        (edge.a, edge.b)
+    }
+
+    /// The endpoint of `e` that is not `n`.
+    pub fn other_end(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let edge = &self.edges[e.0 as usize];
+        if edge.a == n {
+            edge.b
+        } else {
+            debug_assert_eq!(edge.b, n);
+            edge.a
+        }
+    }
+
+    /// Branch length of an edge.
+    pub fn length(&self, e: EdgeId) -> f64 {
+        self.edges[e.0 as usize].length
+    }
+
+    /// Set a branch length (must be finite and non-negative).
+    pub fn set_length(&mut self, e: EdgeId, length: f64) {
+        debug_assert!(length.is_finite() && length >= 0.0, "bad branch length {length}");
+        self.edges[e.0 as usize].length = length;
+    }
+
+    /// The edge joining two adjacent nodes, if any.
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.nodes[a.0 as usize]
+            .adj
+            .iter()
+            .copied()
+            .find(|&e| self.other_end(e, a) == b)
+    }
+
+    /// Insert a new taxon into edge `target`, fastDNAml's elementary
+    /// tree-building move (paper step 3).
+    ///
+    /// The target edge `x——y` becomes `x——p——y` with a fresh internal node
+    /// `p`, and the new tip hangs off `p`. The old branch length is split
+    /// evenly; the pendant branch starts at [`DEFAULT_BRANCH_LENGTH`].
+    /// Returns the new pendant edge.
+    pub fn insert_taxon(&mut self, taxon: TaxonId, target: EdgeId) -> Result<EdgeId, PhyloError> {
+        if !self.edges[target.0 as usize].alive {
+            return Err(PhyloError::InvalidTreeOp(format!("insert into dead edge {target:?}")));
+        }
+        if self.tip_of(taxon).is_some() {
+            return Err(PhyloError::InvalidTreeOp(format!("taxon {taxon} already in tree")));
+        }
+        let Edge { a, b, length, .. } = self.edges[target.0 as usize];
+        self.delete_edge(target);
+        let p = self.new_node(None);
+        let tip = self.new_node(Some(taxon));
+        self.new_edge(a, p, length / 2.0);
+        self.new_edge(p, b, length / 2.0);
+        let pendant = self.new_edge(p, tip, DEFAULT_BRANCH_LENGTH);
+        Ok(pendant)
+    }
+
+    /// Remove a tip and smooth out its attachment node: the inverse of
+    /// [`Tree::insert_taxon`]. The two surviving branches merge with summed
+    /// length. Requires at least four tips (a triplet cannot lose a tip and
+    /// stay a valid unrooted binary tree with an internal node — removing
+    /// from a triplet yields a [`Tree::pair`], which is also supported).
+    pub fn remove_taxon(&mut self, taxon: TaxonId) -> Result<EdgeId, PhyloError> {
+        let tip = self
+            .tip_of(taxon)
+            .ok_or_else(|| PhyloError::InvalidTreeOp(format!("taxon {taxon} not in tree")))?;
+        if self.num_tips <= 2 {
+            return Err(PhyloError::InvalidTreeOp("cannot shrink below two tips".into()));
+        }
+        let pendant = self.nodes[tip.0 as usize].adj[0];
+        let p = self.other_end(pendant, tip);
+        self.delete_edge(pendant);
+        self.delete_node(tip);
+        // p now has exactly two neighbors; merge them into one edge.
+        let adj: Vec<EdgeId> = self.nodes[p.0 as usize].adj.clone();
+        debug_assert_eq!(adj.len(), 2);
+        let n0 = self.other_end(adj[0], p);
+        let n1 = self.other_end(adj[1], p);
+        let merged_len = self.length(adj[0]) + self.length(adj[1]);
+        self.delete_edge(adj[0]);
+        self.delete_edge(adj[1]);
+        self.delete_node(p);
+        Ok(self.new_edge(n0, n1, merged_len))
+    }
+
+    /// Prune the subtree on the `root_side` end of `pendant`: the first half
+    /// of a subtree-pruning-and-regrafting (SPR) move, fastDNAml's
+    /// rearrangement primitive (paper step 4).
+    ///
+    /// `pendant` must join `root_side` to an *internal* node `p` of the rest
+    /// of the tree; `p` is dissolved and its two other branches merge. The
+    /// pruned component dangles from `root_side` until [`Tree::attach`].
+    pub fn detach(&mut self, pendant: EdgeId, root_side: NodeId) -> Result<DetachedSubtree, PhyloError> {
+        if !self.edges[pendant.0 as usize].alive {
+            return Err(PhyloError::InvalidTreeOp(format!("detach dead edge {pendant:?}")));
+        }
+        let p = self.other_end(pendant, root_side);
+        if !self.is_internal(p) {
+            return Err(PhyloError::InvalidTreeOp(
+                "detach would strand a tip: far end of pendant edge must be internal".into(),
+            ));
+        }
+        let pendant_length = self.length(pendant);
+        self.delete_edge(pendant);
+        let adj: Vec<EdgeId> = self.nodes[p.0 as usize].adj.clone();
+        debug_assert_eq!(adj.len(), 2);
+        let n0 = self.other_end(adj[0], p);
+        let n1 = self.other_end(adj[1], p);
+        let merged_len = self.length(adj[0]) + self.length(adj[1]);
+        self.delete_edge(adj[0]);
+        self.delete_edge(adj[1]);
+        self.delete_node(p);
+        let merged_edge = self.new_edge(n0, n1, merged_len);
+        Ok(DetachedSubtree { root: root_side, pendant_length, merged_edge })
+    }
+
+    /// Regraft a detached subtree into edge `target` of the remaining tree:
+    /// the second half of an SPR move. Splits `target` with a fresh internal
+    /// node and restores the pendant edge with its recorded length.
+    pub fn attach(&mut self, sub: DetachedSubtree, target: EdgeId) -> Result<EdgeId, PhyloError> {
+        if !self.edges[target.0 as usize].alive {
+            return Err(PhyloError::InvalidTreeOp(format!("attach into dead edge {target:?}")));
+        }
+        let Edge { a, b, length, .. } = self.edges[target.0 as usize];
+        if a == sub.root || b == sub.root {
+            return Err(PhyloError::InvalidTreeOp("attach target inside detached subtree".into()));
+        }
+        self.delete_edge(target);
+        let p = self.new_node(None);
+        self.new_edge(a, p, length / 2.0);
+        self.new_edge(p, b, length / 2.0);
+        Ok(self.new_edge(p, sub.root, sub.pendant_length))
+    }
+
+    /// Nodes of the subtree hanging off the `side` endpoint of `e`,
+    /// i.e. the component containing `side` when `e` is cut.
+    pub fn subtree_nodes(&self, e: EdgeId, side: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![(side, e)];
+        while let Some((node, via)) = stack.pop() {
+            out.push(node);
+            for (edge, next) in self.neighbors(node) {
+                if edge != via {
+                    stack.push((next, edge));
+                }
+            }
+        }
+        out
+    }
+
+    /// Taxa in the subtree hanging off the `side` endpoint of `e`.
+    pub fn subtree_taxa(&self, e: EdgeId, side: NodeId) -> Vec<TaxonId> {
+        let mut v: Vec<TaxonId> = self
+            .subtree_nodes(e, side)
+            .into_iter()
+            .filter_map(|n| self.taxon(n))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Postorder sweep of directed steps `(child_node, edge, parent_node)`
+    /// toward `root`: every node appears (as `child_node`) after all nodes
+    /// farther from the root. The root itself does not appear as a child.
+    pub fn postorder_toward(&self, root: NodeId) -> Vec<(NodeId, EdgeId, NodeId)> {
+        let mut order = Vec::with_capacity(self.edges.len());
+        // Iterative DFS recording edges child→parent in postorder.
+        let mut stack: Vec<(NodeId, Option<EdgeId>)> = vec![(root, None)];
+        let mut out_stack: Vec<(NodeId, EdgeId, NodeId)> = Vec::new();
+        while let Some((node, via)) = stack.pop() {
+            if let Some(e) = via {
+                out_stack.push((node, e, self.other_end(e, node)));
+            }
+            for (edge, next) in self.neighbors(node) {
+                if Some(edge) != via {
+                    stack.push((next, Some(edge)));
+                }
+            }
+        }
+        // out_stack is in preorder (parent before child); reverse for postorder.
+        out_stack.reverse();
+        order.extend(out_stack);
+        order
+    }
+
+    /// Total branch length of the tree.
+    pub fn total_length(&self) -> f64 {
+        self.edge_ids().map(|e| self.length(e)).sum()
+    }
+
+    /// Number of live edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.alive).count()
+    }
+
+    /// Internal (non-pendant) edges: both endpoints internal.
+    pub fn internal_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_ids().filter(|&e| {
+            let (a, b) = self.endpoints(e);
+            self.is_internal(a) && self.is_internal(b)
+        })
+    }
+
+    /// Check the unrooted-binary invariant: `n` tips of degree 1, `n-2`
+    /// internal nodes of degree 3 (for `n ≥ 3`; a pair is two tips), and
+    /// `2n-3` edges, all connected.
+    pub fn check_valid(&self) -> Result<(), PhyloError> {
+        let n = self.num_tips;
+        if n < 2 {
+            return Err(PhyloError::InvalidTreeOp("fewer than two tips".into()));
+        }
+        let mut tips = 0usize;
+        let mut internals = 0usize;
+        for node in self.node_ids() {
+            match (self.taxon(node), self.degree(node)) {
+                (Some(_), 1) => tips += 1,
+                (None, 3) => internals += 1,
+                (t, d) => {
+                    return Err(PhyloError::InvalidTreeOp(format!(
+                        "node {node:?} has taxon {t:?} and degree {d}"
+                    )))
+                }
+            }
+        }
+        let expected_internal = if n == 2 { 0 } else { n - 2 };
+        if tips != n || internals != expected_internal {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "counted {tips} tips / {internals} internal nodes for n={n}"
+            )));
+        }
+        let expected_edges = if n == 2 { 1 } else { 2 * n - 3 };
+        if self.num_edges() != expected_edges {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "counted {} edges, expected {expected_edges}",
+                self.num_edges()
+            )));
+        }
+        // Connectivity: BFS from any tip must reach every live node.
+        let start = self.node_ids().next().unwrap();
+        let reached = self.subtree_count_from(start);
+        let live = self.node_ids().count();
+        if reached != live {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "tree is disconnected: reached {reached} of {live} nodes"
+            )));
+        }
+        Ok(())
+    }
+
+    fn subtree_count_from(&self, start: NodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start.0 as usize] = true;
+        let mut count = 0;
+        while let Some(node) = stack.pop() {
+            count += 1;
+            for (_, next) in self.neighbors(node) {
+                if !seen[next.0 as usize] {
+                    seen[next.0 as usize] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        count
+    }
+
+    /// Upper bound over node indices ever allocated (for building per-node
+    /// side tables; dead slots included).
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound over edge indices ever allocated.
+    pub fn edge_capacity(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_five() -> Tree {
+        // Insert taxa 3 and 4 into a triplet of 0,1,2.
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.incident_edges(t.tip_of(0).unwrap())[0];
+        t.insert_taxon(3, e).unwrap();
+        let e = t.incident_edges(t.tip_of(1).unwrap())[0];
+        t.insert_taxon(4, e).unwrap();
+        t
+    }
+
+    #[test]
+    fn pair_is_valid() {
+        let t = Tree::pair(0, 1);
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 2);
+        assert_eq!(t.num_edges(), 1);
+    }
+
+    #[test]
+    fn triplet_is_valid() {
+        let t = Tree::triplet(5, 7, 9);
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.taxa(), vec![5, 7, 9]);
+    }
+
+    #[test]
+    fn insertion_grows_correctly() {
+        let t = build_five();
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 5);
+        assert_eq!(t.num_edges(), 7); // 2n-3
+        assert_eq!(t.taxa(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insertion_into_pair() {
+        let mut t = Tree::pair(0, 1);
+        let e = t.edge_ids().next().unwrap();
+        t.insert_taxon(2, e).unwrap();
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 3);
+    }
+
+    #[test]
+    fn duplicate_insertion_rejected() {
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.edge_ids().next().unwrap();
+        assert!(t.insert_taxon(1, e).is_err());
+    }
+
+    #[test]
+    fn removal_inverts_insertion() {
+        let mut t = build_five();
+        let before_len = t.total_length();
+        let e = t.incident_edges(t.tip_of(2).unwrap())[0];
+        let pendant_len = t.length(e);
+        // Split lengths around tip 2's attachment node.
+        t.insert_taxon(9, e).unwrap();
+        t.check_valid().unwrap();
+        t.remove_taxon(9).unwrap();
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 5);
+        assert!((t.total_length() - before_len).abs() < 1e-12);
+        let e2 = t.incident_edges(t.tip_of(2).unwrap())[0];
+        assert!((t.length(e2) - pendant_len).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_from_triplet_gives_pair() {
+        let mut t = Tree::triplet(0, 1, 2);
+        t.remove_taxon(2).unwrap();
+        t.check_valid().unwrap();
+        assert_eq!(t.num_tips(), 2);
+    }
+
+    #[test]
+    fn removal_below_two_tips_rejected() {
+        let mut t = Tree::pair(0, 1);
+        assert!(t.remove_taxon(0).is_err());
+    }
+
+    #[test]
+    fn removal_of_absent_taxon_rejected() {
+        let mut t = Tree::triplet(0, 1, 2);
+        assert!(t.remove_taxon(7).is_err());
+    }
+
+    #[test]
+    fn detach_attach_roundtrip_preserves_validity_and_taxa() {
+        let mut t = build_five();
+        let tip3 = t.tip_of(3).unwrap();
+        let pendant = t.incident_edges(tip3)[0];
+        let sub = t.detach(pendant, tip3).unwrap();
+        // Remaining tree is a valid 4-taxon tree.
+        assert_eq!(t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).0).len() + t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).1).len(), 4);
+        let target = sub.merged_edge;
+        t.attach(sub, target).unwrap();
+        t.check_valid().unwrap();
+        assert_eq!(t.taxa(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn detach_internal_subtree() {
+        let mut t = build_five();
+        // Find an internal edge and detach the side with ≥2 taxa.
+        let e = t.internal_edges().next().expect("five-taxon tree has internal edges");
+        let (a, _) = t.endpoints(e);
+        let sub = t.detach(e, a).unwrap();
+        let target = sub.merged_edge;
+        t.attach(sub, target).unwrap();
+        t.check_valid().unwrap();
+    }
+
+    #[test]
+    fn detach_refuses_to_strand_tip() {
+        let mut t = Tree::triplet(0, 1, 2);
+        // Pendant edge of tip 0 viewed from the center: far end is a tip.
+        let center = t.node_ids().find(|&n| t.is_internal(n)).unwrap();
+        let (edge, _tip) = t.neighbors(center).next().unwrap();
+        assert!(t.detach(edge, center).is_err());
+    }
+
+    #[test]
+    fn subtree_taxa_partitions() {
+        let t = build_five();
+        for e in t.edge_ids().collect::<Vec<_>>() {
+            let (a, b) = t.endpoints(e);
+            let mut left = t.subtree_taxa(e, a);
+            let right = t.subtree_taxa(e, b);
+            left.extend(right);
+            left.sort_unstable();
+            assert_eq!(left, vec![0, 1, 2, 3, 4], "edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let t = build_five();
+        let root = t.tip_of(0).unwrap();
+        let order = t.postorder_toward(root);
+        assert_eq!(order.len(), t.num_edges());
+        // Every (child, edge, parent): the child must not appear as a parent
+        // of any earlier entry's... rather: when we see (c,e,p), all entries
+        // whose parent is c must already have been emitted.
+        for (i, &(child, _, _)) in order.iter().enumerate() {
+            for &(_, _, later_parent) in &order[i + 1..] {
+                assert_ne!(later_parent, child, "child emitted before its own children");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_from_internal_root() {
+        let t = build_five();
+        let root = t.node_ids().find(|&n| t.is_internal(n)).unwrap();
+        let order = t.postorder_toward(root);
+        assert_eq!(order.len(), t.num_edges());
+    }
+
+    #[test]
+    fn arena_reuses_slots() {
+        let mut t = build_five();
+        let nodes_before = t.node_capacity();
+        let edges_before = t.edge_capacity();
+        let e = t.incident_edges(t.tip_of(0).unwrap())[0];
+        t.insert_taxon(10, e).unwrap();
+        t.remove_taxon(10).unwrap();
+        let e = t.incident_edges(t.tip_of(1).unwrap())[0];
+        t.insert_taxon(11, e).unwrap();
+        t.remove_taxon(11).unwrap();
+        assert!(t.node_capacity() <= nodes_before + 2);
+        assert!(t.edge_capacity() <= edges_before + 3);
+        t.check_valid().unwrap();
+    }
+
+    #[test]
+    fn set_length_roundtrips() {
+        let mut t = Tree::triplet(0, 1, 2);
+        let e = t.edge_ids().next().unwrap();
+        t.set_length(e, 0.42);
+        assert_eq!(t.length(e), 0.42);
+    }
+
+    #[test]
+    fn edge_between_finds_edges() {
+        let t = Tree::triplet(0, 1, 2);
+        let center = t.node_ids().find(|&n| t.is_internal(n)).unwrap();
+        let tip = t.tip_of(0).unwrap();
+        assert!(t.edge_between(center, tip).is_some());
+        let tip1 = t.tip_of(1).unwrap();
+        assert!(t.edge_between(tip, tip1).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the phylo substrate.
+
+use fdml_phylo::alignment::TaxonId;
+use fdml_phylo::bipartition::{topology_fingerprint, Bipartition, SplitSet};
+use fdml_phylo::newick;
+use fdml_phylo::ops::{enumerate_spr_moves, nni_count};
+use fdml_phylo::tree::Tree;
+use proptest::prelude::*;
+
+/// Build a random binary tree by inserting taxa in a seeded random order at
+/// seeded random edges — exercises the arena (allocation, free lists) far
+/// more than Yule generation does.
+fn random_tree_by_insertion(taxa: usize, seed: u64) -> Tree {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut tree = Tree::triplet(0, 1, 2);
+    for t in 3..taxa as TaxonId {
+        let edges: Vec<_> = tree.edge_ids().collect();
+        let e = edges[(next() % edges.len() as u64) as usize];
+        tree.insert_taxon(t, e).expect("insertable");
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn insert_remove_stress_keeps_arena_valid(
+        taxa in 4usize..20,
+        seed in 0u64..10_000,
+        churn in 1usize..30,
+    ) {
+        let mut tree = random_tree_by_insertion(taxa, seed);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // Repeatedly insert a scratch taxon somewhere and remove another.
+        let scratch_base = taxa as TaxonId;
+        for i in 0..churn {
+            let edges: Vec<_> = tree.edge_ids().collect();
+            let e = edges[(next() % edges.len() as u64) as usize];
+            tree.insert_taxon(scratch_base + i as TaxonId, e).unwrap();
+            tree.check_valid().unwrap();
+            // Remove a random existing non-scratch taxon and re-add it.
+            let victims = tree.taxa();
+            let v = victims[(next() % victims.len() as u64) as usize];
+            tree.remove_taxon(v).unwrap();
+            tree.check_valid().unwrap();
+            let edges: Vec<_> = tree.edge_ids().collect();
+            let e = edges[(next() % edges.len() as u64) as usize];
+            tree.insert_taxon(v, e).unwrap();
+            tree.check_valid().unwrap();
+        }
+        prop_assert_eq!(tree.num_tips(), taxa + churn);
+    }
+
+    #[test]
+    fn nni_neighbourhood_size_always_2n_minus_6(
+        taxa in 4usize..24,
+        seed in 0u64..5_000,
+    ) {
+        let tree = random_tree_by_insertion(taxa, seed);
+        let moves = enumerate_spr_moves(&tree, 1);
+        prop_assert_eq!(moves.len(), nni_count(taxa));
+    }
+
+    #[test]
+    fn bipartition_complement_is_identity(
+        taxa in 4usize..80,
+        seed in 0u64..5_000,
+    ) {
+        // A random subset and its complement are the same split.
+        let mut side = Vec::new();
+        let mut other = Vec::new();
+        let mut state = seed | 1;
+        for t in 0..taxa as TaxonId {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state >> 33 & 1 == 1 {
+                side.push(t);
+            } else {
+                other.push(t);
+            }
+        }
+        prop_assume!(!side.is_empty() && !other.is_empty());
+        let a = Bipartition::from_side(&side, taxa);
+        let b = Bipartition::from_side(&other, taxa);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.side_size() + b.num_taxa() - b.side_size(), taxa);
+    }
+
+    #[test]
+    fn newick_parser_never_panics_on_mutations(
+        taxa in 4usize..12,
+        seed in 0u64..2_000,
+        cut in 0usize..60,
+        insert_char in proptest::char::range(' ', '~'),
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let tree = random_tree_by_insertion(taxa, seed);
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let mut text = newick::write_tree(&tree, &names);
+        // Mutate: truncate and/or splice a character.
+        let pos = ((text.len() as f64 * pos_frac) as usize).min(text.len());
+        if cut % 2 == 0 {
+            text.truncate(pos);
+        } else if text.is_char_boundary(pos) {
+            text.insert(pos, insert_char);
+        }
+        // Must return Ok or Err — never panic.
+        let _ = newick::parse(&text);
+        let _ = newick::parse_tree_with_names(&text, &names);
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_splitset_on_random_pairs(
+        taxa in 4usize..20,
+        s1 in 0u64..2_000,
+        s2 in 0u64..2_000,
+    ) {
+        let a = random_tree_by_insertion(taxa, s1);
+        let b = random_tree_by_insertion(taxa, s2);
+        let same_splits = SplitSet::of_tree(&a, taxa) == SplitSet::of_tree(&b, taxa);
+        let same_fp = topology_fingerprint(&a) == topology_fingerprint(&b);
+        prop_assert_eq!(same_splits, same_fp);
+    }
+
+    #[test]
+    fn subtree_taxa_partition_for_every_edge(
+        taxa in 4usize..24,
+        seed in 0u64..2_000,
+    ) {
+        let tree = random_tree_by_insertion(taxa, seed);
+        let all = tree.taxa();
+        for e in tree.edge_ids() {
+            let (x, y) = tree.endpoints(e);
+            let mut left = tree.subtree_taxa(e, x);
+            let right = tree.subtree_taxa(e, y);
+            prop_assert_eq!(left.len() + right.len(), taxa);
+            left.extend(right);
+            left.sort_unstable();
+            prop_assert_eq!(&left, &all);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Grouping per-site rates into categories.
+//!
+//! DNArates emits a small number of rate categories plus a per-site
+//! assignment, which fastDNAml consumes. Sites are binned by rank in
+//! log-rate space; each category's rate is the weighted geometric mean of
+//! its member sites, and the whole set is normalized so the weighted mean
+//! rate is one (keeping branch lengths in expected substitutions per site).
+
+use fdml_likelihood::categories::RateCategories;
+
+/// Build `k` rate categories from per-pattern rates and pattern weights.
+pub fn categorize(per_pattern: &[f64], weights: &[u32], k: usize) -> RateCategories {
+    assert!(k >= 1, "at least one category");
+    assert_eq!(per_pattern.len(), weights.len());
+    assert!(!per_pattern.is_empty());
+    let np = per_pattern.len();
+    let k = k.min(np);
+
+    // Rank patterns by rate; split into k bins of (weighted) equal size.
+    let mut idx: Vec<usize> = (0..np).collect();
+    idx.sort_by(|&a, &b| per_pattern[a].total_cmp(&per_pattern[b]).then(a.cmp(&b)));
+    let total_weight: u64 = weights.iter().map(|&w| w as u64).sum();
+    let mut assignment = vec![0u32; np];
+    let mut sums = vec![0.0f64; k]; // Σ w·ln r per bin
+    let mut wsum = vec![0.0f64; k];
+    let mut seen: u64 = 0;
+    for &p in &idx {
+        let bin = (((seen as u128 * k as u128) / total_weight.max(1) as u128) as usize).min(k - 1);
+        assignment[p] = bin as u32;
+        sums[bin] += weights[p] as f64 * per_pattern[p].max(1e-9).ln();
+        wsum[bin] += weights[p] as f64;
+        seen += weights[p] as u64;
+    }
+    // Weighted geometric mean per bin; empty bins inherit a neighbor.
+    let mut rates = vec![1.0f64; k];
+    for c in 0..k {
+        if wsum[c] > 0.0 {
+            rates[c] = (sums[c] / wsum[c]).exp();
+        } else if c > 0 {
+            rates[c] = rates[c - 1];
+        }
+    }
+    // Collapse labels of empty bins onto their populated neighbours is not
+    // needed: assignments only reference populated bins by construction,
+    // but keep rates strictly positive either way.
+    RateCategories::new(rates, assignment).normalized(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_category_is_unit_rate() {
+        let cats = categorize(&[0.5, 2.0, 1.0], &[1, 1, 1], 1);
+        assert_eq!(cats.num_categories(), 1);
+        assert!((cats.rate(0) - 1.0).abs() < 1e-12, "normalization forces mean 1");
+    }
+
+    #[test]
+    fn slow_and_fast_separate() {
+        let rates = [0.1, 0.1, 0.1, 5.0, 5.0, 5.0];
+        let weights = [1u32; 6];
+        let cats = categorize(&rates, &weights, 2);
+        assert_eq!(cats.num_categories(), 2);
+        // First three patterns in the slow bin, rest in the fast bin.
+        for p in 0..3 {
+            assert_eq!(cats.category_of(p), 0);
+        }
+        for p in 3..6 {
+            assert_eq!(cats.category_of(p), 1);
+        }
+        assert!(cats.rate(1) > cats.rate(0) * 10.0);
+        // Weighted mean is one.
+        let mean: f64 = (0..6).map(|p| cats.rate_of_pattern(p)).sum::<f64>() / 6.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_shift_bin_boundaries() {
+        // One heavy slow pattern vs several light fast ones: the heavy
+        // pattern fills the first bin alone.
+        let rates = [0.1, 2.0, 2.0, 2.0];
+        let weights = [30u32, 1, 1, 1];
+        let cats = categorize(&rates, &weights, 2);
+        assert_eq!(cats.category_of(0), 0);
+        assert_eq!(cats.category_of(1), 1);
+        assert_eq!(cats.category_of(3), 1);
+    }
+
+    #[test]
+    fn more_categories_than_patterns_is_clamped() {
+        let cats = categorize(&[1.0, 3.0], &[1, 1], 10);
+        assert!(cats.num_categories() <= 2);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let rates = [1.0; 8];
+        let weights = [1u32; 8];
+        let a = categorize(&rates, &weights, 4);
+        let b = categorize(&rates, &weights, 4);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

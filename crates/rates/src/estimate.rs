@@ -1,0 +1,185 @@
+//! Per-site maximum-likelihood rate estimation on a fixed tree.
+
+use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_phylo::tree::Tree;
+
+/// A geometric grid of candidate rate multipliers.
+#[derive(Debug, Clone, Copy)]
+pub struct RateGrid {
+    /// Smallest rate considered (sites that never change pin here).
+    pub min: f64,
+    /// Largest rate considered.
+    pub max: f64,
+    /// Number of grid points (≥ 3).
+    pub points: usize,
+}
+
+impl Default for RateGrid {
+    fn default() -> RateGrid {
+        RateGrid { min: 0.05, max: 20.0, points: 25 }
+    }
+}
+
+impl RateGrid {
+    /// The grid values, geometrically spaced.
+    pub fn values(&self) -> Vec<f64> {
+        assert!(self.points >= 3 && self.min > 0.0 && self.max > self.min);
+        let step = (self.max / self.min).ln() / (self.points - 1) as f64;
+        (0..self.points).map(|i| self.min * (step * i as f64).exp()).collect()
+    }
+}
+
+/// The result of a rate estimation.
+#[derive(Debug, Clone)]
+pub struct RateEstimate {
+    /// ML rate per pattern (the engine's working unit).
+    pub per_pattern: Vec<f64>,
+    /// ML rate per original alignment site.
+    pub per_site: Vec<f64>,
+}
+
+/// For every site, find the rate multiplier maximizing that site's
+/// likelihood on `tree` (grid scan with parabolic refinement in log-rate,
+/// as DNArates does with its iterative search).
+pub fn estimate_rates(engine: &LikelihoodEngine, tree: &Tree, grid: &RateGrid) -> RateEstimate {
+    let values = grid.values();
+    // One full likelihood pass per grid point gives lnL per pattern.
+    let table: Vec<Vec<f64>> = values
+        .iter()
+        .map(|&r| engine.per_pattern_lnl_at_rate(tree, r))
+        .collect();
+    let np = engine.patterns().num_patterns();
+    let mut per_pattern = Vec::with_capacity(np);
+    for p in 0..np {
+        let mut best = 0usize;
+        for (gi, row) in table.iter().enumerate() {
+            if row[p] > table[best][p] {
+                best = gi;
+            }
+        }
+        // Parabolic refinement in ln(rate) when the optimum is interior.
+        let rate = if best == 0 || best == values.len() - 1 {
+            values[best]
+        } else {
+            let x0 = values[best - 1].ln();
+            let x1 = values[best].ln();
+            let x2 = values[best + 1].ln();
+            let y0 = table[best - 1][p];
+            let y1 = table[best][p];
+            let y2 = table[best + 1][p];
+            let denom = (x1 - x0) * (y1 - y2) - (x1 - x2) * (y1 - y0);
+            if denom.abs() < 1e-30 {
+                values[best]
+            } else {
+                let num = (x1 - x0) * (x1 - x0) * (y1 - y2) - (x1 - x2) * (x1 - x2) * (y1 - y0);
+                let x = x1 - 0.5 * num / denom;
+                x.exp().clamp(grid.min, grid.max)
+            }
+        };
+        per_pattern.push(rate);
+    }
+    let per_site = engine.patterns().expand_to_sites(&per_pattern);
+    RateEstimate { per_pattern, per_site }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+    use fdml_likelihood::engine::OptimizeOptions;
+    use fdml_phylo::alignment::Alignment;
+
+    #[test]
+    fn grid_is_geometric() {
+        let g = RateGrid { min: 0.1, max: 10.0, points: 5 };
+        let v = g.values();
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 0.1).abs() < 1e-12);
+        assert!((v[4] - 10.0).abs() < 1e-9);
+        // Constant ratio.
+        let r = v[1] / v[0];
+        for w in v.windows(2) {
+            assert!((w[1] / w[0] - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_sites_get_minimum_rate() {
+        let a = Alignment::from_strings(&[
+            ("t0", "AAAAACGT"),
+            ("t1", "AAAAAGGA"),
+            ("t2", "AAAAATGC"),
+            ("t3", "AAAAACCA"),
+        ])
+        .unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let mut tree = fdml_phylo::tree::Tree::triplet(0, 1, 2);
+        let e = tree.incident_edges(tree.tip_of(2).unwrap())[0];
+        tree.insert_taxon(3, e).unwrap();
+        engine.optimize(&mut tree, &OptimizeOptions::default());
+        let grid = RateGrid::default();
+        let est = estimate_rates(&engine, &tree, &grid);
+        // The first five columns are constant → minimum rate; the variable
+        // tail gets a higher rate.
+        for site in 0..5 {
+            assert!(
+                (est.per_site[site] - grid.min).abs() < 1e-9,
+                "constant site {site} got rate {}",
+                est.per_site[site]
+            );
+        }
+        for site in 5..8 {
+            assert!(est.per_site[site] > grid.min * 2.0, "variable site {site}");
+        }
+    }
+
+    #[test]
+    fn recovers_rate_ranking_from_simulation() {
+        // Simulate with known slow/fast halves by splicing two alignments.
+        let tree = yule_tree(12, 0.12, 3);
+        let slow_cfg = EvolutionConfig {
+            rate_sigma: 0.0,
+            prop_invariant: 0.0,
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
+        let slow = evolve(&tree, 300, &slow_cfg, 10, "t");
+        // Fast half: same process on a tree with 5× branch lengths.
+        let mut fast_tree = tree.clone();
+        for e in fast_tree.edge_ids().collect::<Vec<_>>() {
+            let len = fast_tree.length(e);
+            fast_tree.set_length(e, len * 5.0);
+        }
+        let fast = evolve(&fast_tree, 300, &slow_cfg, 11, "t");
+        let rows: Vec<(String, Vec<fdml_phylo::dna::Nucleotide>)> = (0..12u32)
+            .map(|t| {
+                let mut seq = slow.sequence(t).to_vec();
+                seq.extend_from_slice(fast.sequence(t));
+                (slow.name(t).to_string(), seq)
+            })
+            .collect();
+        let spliced = Alignment::new(rows).unwrap();
+        let engine = LikelihoodEngine::new(&spliced);
+        let mut ref_tree = tree.clone();
+        engine.optimize(&mut ref_tree, &OptimizeOptions::default());
+        let est = estimate_rates(&engine, &ref_tree, &RateGrid::default());
+        let mean_slow: f64 = est.per_site[..300].iter().sum::<f64>() / 300.0;
+        let mean_fast: f64 = est.per_site[300..].iter().sum::<f64>() / 300.0;
+        assert!(
+            mean_fast > mean_slow * 2.0,
+            "fast half must be detected: slow {mean_slow:.3} vs fast {mean_fast:.3}"
+        );
+    }
+
+    #[test]
+    fn per_site_expansion_matches_patterns() {
+        let a = Alignment::from_strings(&[("x", "AACC"), ("y", "GGTT")]).unwrap();
+        let engine = LikelihoodEngine::new(&a);
+        let tree = fdml_phylo::tree::Tree::pair(0, 1);
+        let est = estimate_rates(&engine, &tree, &RateGrid { min: 0.1, max: 5.0, points: 7 });
+        assert_eq!(est.per_site.len(), 4);
+        // Sites 0,1 share a pattern, as do 2,3.
+        assert_eq!(est.per_site[0], est.per_site[1]);
+        assert_eq!(est.per_site[2], est.per_site[3]);
+    }
+}

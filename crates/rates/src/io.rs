@@ -1,0 +1,175 @@
+//! The DNArates report format: how the `dnarates` program hands categories
+//! to `fastdnaml`.
+//!
+//! ```text
+//! # dnarates: <taxa> taxa, <sites> sites, <patterns> patterns, <k> categories
+//! category rates: r0 r1 … r{k-1}
+//! <site> <rate> <category>
+//! …
+//! ```
+//!
+//! One line per alignment site, 1-based site numbers. `fastdnaml
+//! --rates-file` consumes this to run the search under the estimated
+//! category model.
+
+use fdml_likelihood::categories::RateCategories;
+use fdml_phylo::patterns::PatternAlignment;
+use std::fmt::Write as _;
+
+/// A parsed rate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateReport {
+    /// Category rates.
+    pub rates: Vec<f64>,
+    /// Per-site ML rate estimates.
+    pub per_site_rate: Vec<f64>,
+    /// Per-site category index.
+    pub per_site_category: Vec<u32>,
+}
+
+impl RateReport {
+    /// Convert the per-site assignment into the per-pattern categories the
+    /// likelihood engine needs. Sites mapping to the same pattern must
+    /// agree on their category (they do when the report was produced for
+    /// this alignment); on conflict the first site wins.
+    pub fn to_categories(&self, patterns: &PatternAlignment) -> RateCategories {
+        assert_eq!(self.per_site_category.len(), patterns.num_sites());
+        let mut per_pattern = vec![u32::MAX; patterns.num_patterns()];
+        for (site, &cat) in self.per_site_category.iter().enumerate() {
+            let p = patterns.pattern_of_site(site) as usize;
+            if per_pattern[p] == u32::MAX {
+                per_pattern[p] = cat;
+            }
+        }
+        // Patterns not covered (cannot happen for a matching alignment)
+        // default to the slowest category.
+        for c in &mut per_pattern {
+            if *c == u32::MAX {
+                *c = 0;
+            }
+        }
+        RateCategories::new(self.rates.clone(), per_pattern)
+    }
+}
+
+/// Render a report.
+pub fn write_report(
+    rates: &[f64],
+    per_site_rate: &[f64],
+    per_site_category: &[u32],
+    header: &str,
+) -> String {
+    assert_eq!(per_site_rate.len(), per_site_category.len());
+    let mut out = String::new();
+    writeln!(out, "# dnarates: {header}").unwrap();
+    write!(out, "category rates:").unwrap();
+    for r in rates {
+        write!(out, " {r:.6}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for (site, (&rate, &cat)) in per_site_rate.iter().zip(per_site_category).enumerate() {
+        writeln!(out, "{:>6} {:>10.6} {:>4}", site + 1, rate, cat).unwrap();
+    }
+    out
+}
+
+/// Parse a report.
+pub fn parse_report(text: &str) -> Result<RateReport, String> {
+    let mut rates: Option<Vec<f64>> = None;
+    let mut per_site_rate = Vec::new();
+    let mut per_site_category = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("category rates:") {
+            let parsed: Result<Vec<f64>, _> =
+                rest.split_whitespace().map(str::parse::<f64>).collect();
+            rates = Some(parsed.map_err(|e| format!("line {}: {e}", lineno + 1))?);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let site: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing site", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let rate: f64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing rate", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let cat: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing category", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if site != per_site_rate.len() + 1 {
+            return Err(format!(
+                "line {}: sites must be consecutive from 1, got {site}",
+                lineno + 1
+            ));
+        }
+        per_site_rate.push(rate);
+        per_site_category.push(cat);
+    }
+    let rates = rates.ok_or("missing 'category rates:' line")?;
+    if per_site_rate.is_empty() {
+        return Err("no site lines".into());
+    }
+    if let Some(&bad) = per_site_category.iter().find(|&&c| c as usize >= rates.len()) {
+        return Err(format!("category {bad} out of range ({} rates)", rates.len()));
+    }
+    Ok(RateReport { rates, per_site_rate, per_site_category })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::alignment::Alignment;
+
+    #[test]
+    fn roundtrip() {
+        let text = write_report(
+            &[0.2, 1.0, 4.0],
+            &[0.3, 0.9, 3.3, 0.3],
+            &[0, 1, 2, 0],
+            "test",
+        );
+        let report = parse_report(&text).unwrap();
+        assert_eq!(report.rates, vec![0.2, 1.0, 4.0]);
+        assert_eq!(report.per_site_category, vec![0, 1, 2, 0]);
+        assert!((report.per_site_rate[2] - 3.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_report("").is_err());
+        assert!(parse_report("category rates: 1.0\n").is_err()); // no sites
+        assert!(parse_report("1 0.5 0\n").is_err()); // no rates line
+        let gap = "category rates: 1.0\n1 0.5 0\n3 0.5 0\n";
+        assert!(parse_report(gap).is_err()); // non-consecutive sites
+        let bad_cat = "category rates: 1.0\n1 0.5 5\n";
+        assert!(parse_report(bad_cat).is_err());
+    }
+
+    #[test]
+    fn to_categories_maps_sites_to_patterns() {
+        // Alignment with repeated columns: AABA over two taxa.
+        let a = Alignment::from_strings(&[("x", "AACA"), ("y", "GGTG")]).unwrap();
+        let patterns = PatternAlignment::compress(&a);
+        assert_eq!(patterns.num_patterns(), 2);
+        let report = RateReport {
+            rates: vec![0.5, 2.0],
+            per_site_rate: vec![0.5, 0.5, 2.0, 0.5],
+            per_site_category: vec![0, 0, 1, 0],
+        };
+        let cats = report.to_categories(&patterns);
+        assert_eq!(cats.num_patterns(), 2);
+        let p_common = patterns.pattern_of_site(0) as usize;
+        let p_rare = patterns.pattern_of_site(2) as usize;
+        assert_eq!(cats.category_of(p_common), 0);
+        assert_eq!(cats.category_of(p_rare), 1);
+    }
+}

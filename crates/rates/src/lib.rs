@@ -1,0 +1,19 @@
+//! Per-site evolutionary rate estimation — the DNArates analog.
+//!
+//! fastDNAml adjusts the Markov process "at each sequence position to
+//! account for differences between loci in propensity to show genetic
+//! changes. … One program that performs such estimations is Olsen's
+//! DNArates" (paper §2). This crate reproduces that companion program:
+//! given a reference tree, it finds for each site the rate multiplier that
+//! maximizes the site's likelihood, then groups sites into a small number
+//! of rate categories consumed by the likelihood engine.
+
+#![warn(missing_docs)]
+
+pub mod categorize;
+pub mod estimate;
+pub mod io;
+
+pub use categorize::categorize;
+pub use io::{parse_report, write_report, RateReport};
+pub use estimate::{estimate_rates, RateEstimate, RateGrid};

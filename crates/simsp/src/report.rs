@@ -1,0 +1,133 @@
+//! Aggregation and formatting of scaling results (Figures 3 and 4).
+
+use crate::cost::CostModel;
+use crate::schedule::{simulate_trace, SimConfig};
+use fdml_core::trace::SearchTrace;
+use serde::{Deserialize, Serialize};
+
+/// One row of the scaling study: a dataset at a processor count, averaged
+/// over jumbles (the paper averages ten orderings per point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Dataset label.
+    pub dataset: String,
+    /// Processor count (1 = serial program).
+    pub processors: usize,
+    /// Mean wall seconds across jumbles.
+    pub mean_wall_seconds: f64,
+    /// Mean speedup versus the serial program.
+    pub mean_speedup: f64,
+    /// Mean worker utilization.
+    pub mean_utilization: f64,
+    /// Number of jumbles averaged.
+    pub jumbles: usize,
+}
+
+/// Simulate every trace at every processor count and average per dataset,
+/// as the paper does ("each data point is an average of ten orderings").
+pub fn scaling_table(
+    traces: &[SearchTrace],
+    processors: &[usize],
+    cost: &CostModel,
+) -> Vec<ScalingRow> {
+    assert!(!traces.is_empty());
+    let dataset = traces[0].dataset.clone();
+    assert!(
+        traces.iter().all(|t| t.dataset == dataset),
+        "scaling_table averages one dataset at a time"
+    );
+    processors
+        .iter()
+        .map(|&p| {
+            let mut wall = 0.0;
+            let mut speedup = 0.0;
+            let mut util = 0.0;
+            for t in traces {
+                let r = simulate_trace(t, &SimConfig { processors: p, cost: cost.clone() });
+                wall += r.wall_seconds;
+                speedup += r.speedup();
+                util += r.utilization;
+            }
+            let n = traces.len() as f64;
+            ScalingRow {
+                dataset: dataset.clone(),
+                processors: p,
+                mean_wall_seconds: wall / n,
+                mean_speedup: speedup / n,
+                mean_utilization: util / n,
+                jumbles: traces.len(),
+            }
+        })
+        .collect()
+}
+
+/// Render rows as the fixed-width table printed by the figure binaries.
+pub fn format_rows(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("dataset          procs      seconds      speedup  utilization\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>5} {:>12.1} {:>12.2} {:>12.3}\n",
+            r.dataset, r.processors, r.mean_wall_seconds, r.mean_speedup, r.mean_utilization
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_core::trace::{RoundKind, RoundRecord};
+
+    fn trace(seed: u64) -> SearchTrace {
+        SearchTrace {
+            dataset: "d".into(),
+            num_taxa: 20,
+            num_sites: 100,
+            num_patterns: 60,
+            jumble_seed: seed,
+            full_evaluation: true,
+            rounds: (0..10)
+                .map(|r| RoundRecord {
+                    kind: RoundKind::TaxonAddition,
+                    taxa_in_tree: 20,
+                    candidate_work: (0..35)
+                        .map(|j| 500_000 + (seed * 37 + r * 13 + j * 7) % 300_000)
+                        .collect(),
+                    master_work: 100_000,
+                    improved: true,
+                })
+                .collect(),
+            final_ln_likelihood: -1.0,
+            final_newick: String::new(),
+        }
+    }
+
+    #[test]
+    fn averages_across_jumbles() {
+        let traces = vec![trace(1), trace(2), trace(3)];
+        let rows = scaling_table(&traces, &[1, 4, 16], &CostModel::power3_sp());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.jumbles == 3));
+        // Serial row has speedup exactly 1.
+        assert!((rows[0].mean_speedup - 1.0).abs() < 1e-12);
+        // 16 processors faster than 4.
+        assert!(rows[2].mean_wall_seconds < rows[1].mean_wall_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "one dataset")]
+    fn mixed_datasets_rejected() {
+        let mut b = trace(2);
+        b.dataset = "other".into();
+        scaling_table(&[trace(1), b], &[1], &CostModel::power3_sp());
+    }
+
+    #[test]
+    fn table_formatting_contains_rows() {
+        let rows = scaling_table(&[trace(1)], &[1, 4], &CostModel::power3_sp());
+        let text = format_rows(&rows);
+        assert!(text.contains("procs"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the cluster simulator on randomized traces.
+
+use fdml_core::trace::{RoundKind, RoundRecord, SearchTrace};
+use fdml_simsp::{simulate_trace, simulate_trace_speculative, CostModel, SimConfig};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = SearchTrace> {
+    (
+        4usize..60,                      // taxa
+        1usize..20,                      // rounds
+        proptest::collection::vec((1usize..120, 0u64..1_000_000, any::<bool>()), 1..20),
+    )
+        .prop_map(|(taxa, _, round_specs)| {
+            let rounds: Vec<RoundRecord> = round_specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(size, work_seed, improved))| RoundRecord {
+                    kind: if i % 3 == 0 {
+                        RoundKind::TaxonAddition
+                    } else {
+                        RoundKind::Rearrangement
+                    },
+                    taxa_in_tree: taxa,
+                    candidate_work: (0..size)
+                        .map(|j| 100_000 + (work_seed.wrapping_mul(j as u64 + 1)) % 900_000)
+                        .collect(),
+                    master_work: work_seed % 100_000,
+                    improved: improved || i % 3 == 0,
+                })
+                .collect();
+            SearchTrace {
+                dataset: "prop".into(),
+                num_taxa: taxa,
+                num_sites: 500,
+                num_patterns: 180,
+                jumble_seed: 1,
+                full_evaluation: true,
+                rounds,
+                final_ln_likelihood: -1.0,
+                final_newick: String::new(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wall_time_is_monotone_in_processors(trace in arb_trace()) {
+        let cost = CostModel::power3_sp();
+        let mut last = f64::INFINITY;
+        for p in [4usize, 8, 16, 32, 64, 128] {
+            let r = simulate_trace(&trace, &SimConfig { processors: p, cost: cost.clone() });
+            prop_assert!(r.wall_seconds <= last * (1.0 + 1e-9), "P={}", p);
+            prop_assert!(r.wall_seconds.is_finite() && r.wall_seconds > 0.0);
+            prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+            last = r.wall_seconds;
+        }
+    }
+
+    #[test]
+    fn parallel_never_beats_the_work_lower_bound(trace in arb_trace()) {
+        // Wall time is bounded below by total work / workers and by the
+        // largest single candidate.
+        let cost = CostModel::power3_sp();
+        for p in [4usize, 16, 64] {
+            let cfg = SimConfig { processors: p, cost: cost.clone() };
+            let r = simulate_trace(&trace, &cfg);
+            let per_worker = r.worker_busy_seconds / cfg.workers() as f64;
+            prop_assert!(r.wall_seconds >= per_worker - 1e-9);
+            let slowest = trace
+                .rounds
+                .iter()
+                .flat_map(|round| {
+                    let cost = &cost;
+                    round.candidate_work.iter().map(move |&w| {
+                        cost.candidate_seconds(w, round.taxa_in_tree, trace.num_patterns, true)
+                    })
+                })
+                .fold(0.0f64, f64::max);
+            prop_assert!(r.wall_seconds >= slowest - 1e-9);
+        }
+    }
+
+    #[test]
+    fn speculation_helps_or_ties_never_hurts_much(trace in arb_trace()) {
+        // Speculation removes barriers; it can reorder work so tiny
+        // regressions from scheduling are possible in theory, but it must
+        // never cost more than a whisker.
+        let cost = CostModel::power3_sp();
+        for p in [4usize, 32, 128] {
+            let cfg = SimConfig { processors: p, cost: cost.clone() };
+            let plain = simulate_trace(&trace, &cfg);
+            let spec = simulate_trace_speculative(&trace, &cfg);
+            prop_assert!(
+                spec.wall_seconds <= plain.wall_seconds * 1.001 + 1e-6,
+                "P={}: speculative {} vs plain {}",
+                p,
+                spec.wall_seconds,
+                plain.wall_seconds
+            );
+            prop_assert!((spec.serial_seconds - plain.serial_seconds).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn speedup_bounded_by_worker_count(trace in arb_trace()) {
+        let cost = CostModel::power3_sp();
+        for p in [4usize, 16, 64] {
+            let cfg = SimConfig { processors: p, cost: cost.clone() };
+            let r = simulate_trace(&trace, &cfg);
+            prop_assert!(
+                r.speedup() <= cfg.workers() as f64 * (1.0 + 1e-9),
+                "P={}: speedup {} > workers {}",
+                p,
+                r.speedup(),
+                cfg.workers()
+            );
+        }
+    }
+}

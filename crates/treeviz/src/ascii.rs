@@ -1,0 +1,110 @@
+//! ASCII rendering of a laid-out tree (terminal phylogram).
+
+use crate::layout::{layout_tree, TreeLayout};
+use fdml_phylo::newick::NewickNode;
+
+/// Render a Newick AST as ASCII art, `width` characters wide.
+pub fn render(ast: &NewickNode, width: usize) -> String {
+    render_layout(&layout_tree(ast), width)
+}
+
+/// Render an existing layout.
+pub fn render_layout(layout: &TreeLayout, width: usize) -> String {
+    let width = width.max(20);
+    let name_space = layout
+        .nodes
+        .iter()
+        .filter(|n| n.is_leaf)
+        .map(|n| n.name.as_deref().unwrap_or("").len())
+        .max()
+        .unwrap_or(0)
+        + 2;
+    let plot_width = width.saturating_sub(name_space).max(8);
+    let rows = layout.num_leaves * 2 - 1;
+    let mut grid = vec![vec![' '; width]; rows.max(1)];
+    let scale = if layout.depth > 0.0 {
+        (plot_width - 1) as f64 / layout.depth
+    } else {
+        1.0
+    };
+    let col = |x: f64| ((x * scale).round() as usize).min(plot_width - 1);
+    let row = |y: f64| ((y * 2.0).round() as usize).min(rows.saturating_sub(1));
+
+    for (i, node) in layout.nodes.iter().enumerate() {
+        let r = row(node.y);
+        let c1 = col(node.x);
+        if let Some(p) = node.parent {
+            let parent = &layout.nodes[p];
+            let c0 = col(parent.x);
+            // Horizontal branch from the parent's column to this node.
+            for cell in grid[r][c0..=c1].iter_mut() {
+                if *cell == ' ' {
+                    *cell = '-';
+                }
+            }
+            // Vertical connector at the parent's column.
+            let pr = row(parent.y);
+            let (lo, hi) = if pr < r { (pr, r) } else { (r, pr) };
+            for g in grid.iter_mut().take(hi + 1).skip(lo) {
+                if g[c0] == ' ' || g[c0] == '-' {
+                    g[c0] = '|';
+                }
+            }
+            grid[r][c0] = '+';
+        }
+        if node.is_leaf {
+            let name = node.name.as_deref().unwrap_or("?");
+            for (k, ch) in name.chars().enumerate() {
+                let c = c1 + 2 + k;
+                if c < width {
+                    grid[r][c] = ch;
+                }
+            }
+        } else {
+            grid[r][c1] = '+';
+        }
+        let _ = i;
+    }
+    grid.into_iter()
+        .map(|r| r.into_iter().collect::<String>().trim_end().to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::newick;
+
+    #[test]
+    fn renders_all_leaf_names() {
+        let ast = newick::parse("((alpha:1,beta:1):1,gamma:2,delta:1);").unwrap();
+        let text = render(&ast, 60);
+        for name in ["alpha", "beta", "gamma", "delta"] {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn row_count_matches_leaves() {
+        let ast = newick::parse("(a,b,c,d,e);").unwrap();
+        let text = render(&ast, 40);
+        assert_eq!(text.lines().count(), 9); // 2·5 - 1
+    }
+
+    #[test]
+    fn longer_branches_reach_further_right() {
+        let ast = newick::parse("(near:0.1,far:5.0);").unwrap();
+        let text = render(&ast, 50);
+        let near_col = text.lines().find(|l| l.contains("near")).unwrap().find("near").unwrap();
+        let far_col = text.lines().find(|l| l.contains("far")).unwrap().find("far").unwrap();
+        assert!(far_col > near_col);
+    }
+
+    #[test]
+    fn handles_single_pair() {
+        let ast = newick::parse("(a:1,b:1);").unwrap();
+        let text = render(&ast, 30);
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

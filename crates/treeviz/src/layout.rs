@@ -1,0 +1,164 @@
+//! Planar tree layout.
+//!
+//! Converts a (possibly multifurcating) Newick AST into 2-D coordinates:
+//! `x` is the cumulative branch length from the root (or unit depth when
+//! lengths are absent), `y` spreads the leaves evenly and centers each
+//! internal node over its children — the classic phylogram embedding.
+
+use fdml_phylo::newick::NewickNode;
+
+/// One positioned node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutNode {
+    /// Leaf or internal label, if any.
+    pub name: Option<String>,
+    /// Horizontal position (cumulative branch length from the root).
+    pub x: f64,
+    /// Vertical position (leaf row, or mean of children).
+    pub y: f64,
+    /// Index of the parent in [`TreeLayout::nodes`] (`None` for the root).
+    pub parent: Option<usize>,
+    /// Is this a leaf?
+    pub is_leaf: bool,
+}
+
+/// A laid-out tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeLayout {
+    /// All nodes, root first, children after their parents.
+    pub nodes: Vec<LayoutNode>,
+    /// Number of leaves.
+    pub num_leaves: usize,
+    /// Maximum x (tree depth).
+    pub depth: f64,
+}
+
+impl TreeLayout {
+    /// Position of a leaf by name.
+    pub fn leaf_position(&self, name: &str) -> Option<(f64, f64)> {
+        self.nodes
+            .iter()
+            .find(|n| n.is_leaf && n.name.as_deref() == Some(name))
+            .map(|n| (n.x, n.y))
+    }
+
+    /// Indices of the children of node `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(i))
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+/// Lay out a Newick AST. Branch lengths default to 1 where absent.
+pub fn layout_tree(ast: &NewickNode) -> TreeLayout {
+    let mut nodes: Vec<LayoutNode> = Vec::new();
+    let mut next_leaf_row = 0usize;
+    let depth_of = build(ast, None, 0.0, &mut nodes, &mut next_leaf_row);
+    let depth = nodes.iter().map(|n| n.x).fold(0.0, f64::max);
+    let _ = depth_of;
+    TreeLayout { nodes, num_leaves: next_leaf_row, depth }
+}
+
+/// Returns this subtree's y position.
+fn build(
+    ast: &NewickNode,
+    parent: Option<usize>,
+    x: f64,
+    nodes: &mut Vec<LayoutNode>,
+    next_leaf_row: &mut usize,
+) -> f64 {
+    let my_index = nodes.len();
+    nodes.push(LayoutNode {
+        name: ast.name.clone(),
+        x,
+        y: 0.0,
+        parent,
+        is_leaf: ast.is_leaf(),
+    });
+    let y = if ast.is_leaf() {
+        let row = *next_leaf_row as f64;
+        *next_leaf_row += 1;
+        row
+    } else {
+        let mut sum = 0.0;
+        for child in &ast.children {
+            let cx = x + child.length.unwrap_or(1.0).max(0.0);
+            sum += build(child, Some(my_index), cx, nodes, next_leaf_row);
+        }
+        sum / ast.children.len() as f64
+    };
+    nodes[my_index].y = y;
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::newick;
+
+    #[test]
+    fn leaves_get_distinct_rows() {
+        let ast = newick::parse("((a:1,b:1):1,c:2,d:1);").unwrap();
+        let l = layout_tree(&ast);
+        assert_eq!(l.num_leaves, 4);
+        let mut ys: Vec<f64> = l.nodes.iter().filter(|n| n.is_leaf).map(|n| n.y).collect();
+        ys.sort_by(f64::total_cmp);
+        assert_eq!(ys, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn x_accumulates_branch_lengths() {
+        let ast = newick::parse("((a:1.5,b:0.5):2,c:1);").unwrap();
+        let l = layout_tree(&ast);
+        let (ax, _) = l.leaf_position("a").unwrap();
+        let (bx, _) = l.leaf_position("b").unwrap();
+        let (cx, _) = l.leaf_position("c").unwrap();
+        assert!((ax - 3.5).abs() < 1e-12);
+        assert!((bx - 2.5).abs() < 1e-12);
+        assert!((cx - 1.0).abs() < 1e-12);
+        assert!((l.depth - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_nodes_centered_over_children() {
+        let ast = newick::parse("((a:1,b:1):1,c:1);").unwrap();
+        let l = layout_tree(&ast);
+        // Node 1 is the (a,b) clade parent: y = (0+1)/2.
+        let ab = &l.nodes[1];
+        assert!(!ab.is_leaf);
+        assert!((ab.y - 0.5).abs() < 1e-12);
+        // Root centered over clade (0.5) and c (2.0).
+        assert!((l.nodes[0].y - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_lengths_default_to_unit() {
+        let ast = newick::parse("((a,b),c);").unwrap();
+        let l = layout_tree(&ast);
+        assert!((l.depth - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parents_precede_children() {
+        let ast = newick::parse("(((a,b),c),d,e);").unwrap();
+        let l = layout_tree(&ast);
+        for (i, n) in l.nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < i);
+            }
+        }
+        assert_eq!(l.children(0).len(), 3);
+    }
+
+    #[test]
+    fn multifurcations_supported() {
+        let ast = newick::parse("(a,b,c,d,e);").unwrap();
+        let l = layout_tree(&ast);
+        assert_eq!(l.num_leaves, 5);
+        assert_eq!(l.children(0).len(), 5);
+    }
+}

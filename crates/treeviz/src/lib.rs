@@ -1,0 +1,23 @@
+//! The tree viewer's core library.
+//!
+//! Paper §4: "We have developed a 3D tree viewer for fastDNAml … This
+//! viewer is based on a core library that uses the Open Inventor graphics
+//! API to convert ASCII-encoded tree files into planar 3D representations.
+//! This permits visual analysis, searching, and interaction among multiple
+//! trees." This crate is that core library, headless: it converts Newick
+//! trees into planar layouts ([`layout`]), renders them as ASCII art and
+//! SVG ([`ascii`], [`svg`]), traces selected taxa across multiple trees
+//! ([`trace`], the Figure 5 feature), and pivots subtrees into a canonical
+//! orientation so that trees that "only appear different because of
+//! reversed branch orderings" compare equal ([`pivot`]).
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod layout;
+pub mod pivot;
+pub mod svg;
+pub mod trace;
+
+pub use layout::{layout_tree, LayoutNode, TreeLayout};
+pub use pivot::{canonical, same_up_to_rotation};

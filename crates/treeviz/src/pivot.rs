@@ -1,0 +1,106 @@
+//! Canonical subtree orientation.
+//!
+//! Paper §4: the off-line viewer "allows the user to pivot a subtree in
+//! order to visually distinguish solutions that are topologically different
+//! from those that only appear different because of reversed branch
+//! orderings." The canonical form sorts every node's children by their
+//! smallest descendant leaf name, so two renderings of the same topology
+//! become identical.
+
+use fdml_phylo::newick::NewickNode;
+
+/// Rotate every internal node into canonical child order. Returns the
+/// canonicalized copy.
+pub fn canonical(ast: &NewickNode) -> NewickNode {
+    let mut node = ast.clone();
+    canonicalize(&mut node);
+    node
+}
+
+/// Smallest leaf name in the subtree (its sort key).
+fn min_leaf(node: &NewickNode) -> &str {
+    if node.is_leaf() {
+        node.name.as_deref().unwrap_or("")
+    } else {
+        node.children
+            .iter()
+            .map(min_leaf)
+            .min()
+            .unwrap_or("")
+    }
+}
+
+fn canonicalize(node: &mut NewickNode) {
+    for child in &mut node.children {
+        canonicalize(child);
+    }
+    node.children
+        .sort_by(|a, b| min_leaf(a).cmp(min_leaf(b)));
+}
+
+/// Are two trees the same drawing up to subtree pivots (and branch-length
+/// differences below `length_tolerance`)?
+pub fn same_up_to_rotation(a: &NewickNode, b: &NewickNode, length_tolerance: f64) -> bool {
+    fn eq(a: &NewickNode, b: &NewickNode, tol: f64) -> bool {
+        if a.is_leaf() != b.is_leaf() || a.children.len() != b.children.len() {
+            return false;
+        }
+        if a.is_leaf() && a.name != b.name {
+            return false;
+        }
+        match (a.length, b.length) {
+            (Some(x), Some(y)) if (x - y).abs() > tol => return false,
+            (Some(_), None) | (None, Some(_)) => return false,
+            _ => {}
+        }
+        a.children.iter().zip(&b.children).all(|(x, y)| eq(x, y, tol))
+    }
+    eq(&canonical(a), &canonical(b), length_tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::newick;
+
+    #[test]
+    fn rotation_is_detected_as_same() {
+        let a = newick::parse("((a:1,b:2):1,c:3);").unwrap();
+        let b = newick::parse("(c:3,(b:2,a:1):1);").unwrap();
+        assert!(same_up_to_rotation(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn different_topology_is_not_same() {
+        let a = newick::parse("((a:1,b:1):1,c:1,d:1);").unwrap();
+        let b = newick::parse("((a:1,c:1):1,b:1,d:1);").unwrap();
+        assert!(!same_up_to_rotation(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn length_differences_respect_tolerance() {
+        let a = newick::parse("(a:1.00,b:2.00);").unwrap();
+        let b = newick::parse("(b:2.01,a:1.00);").unwrap();
+        assert!(same_up_to_rotation(&a, &b, 0.1));
+        assert!(!same_up_to_rotation(&a, &b, 1e-4));
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_serializes_stably() {
+        let a = newick::parse("((z,(m,b)),c,(y,a));").unwrap();
+        let c1 = canonical(&a);
+        let c2 = canonical(&c1);
+        assert_eq!(c1, c2);
+        assert_eq!(newick::write(&c1), newick::write(&c2));
+        // Children ordered by smallest descendant: the clade containing 'a'
+        // comes first.
+        assert_eq!(newick::write(&c1), "((a,y),((b,m),z),c);");
+    }
+
+    #[test]
+    fn leaf_count_mismatch_is_not_same() {
+        let a = newick::parse("(a,b,c);").unwrap();
+        let b = newick::parse("(a,b,(c,d));").unwrap();
+        assert!(!same_up_to_rotation(&a, &b, 1e-9));
+    }
+}

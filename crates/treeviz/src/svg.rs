@@ -1,0 +1,151 @@
+//! SVG rendering of laid-out trees.
+
+use crate::layout::{layout_tree, TreeLayout};
+use fdml_phylo::newick::NewickNode;
+
+/// Styling options.
+#[derive(Debug, Clone)]
+pub struct SvgStyle {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Row height per leaf in pixels.
+    pub row_height: f64,
+    /// Branch stroke color.
+    pub stroke: String,
+    /// Label font size.
+    pub font_size: f64,
+}
+
+impl Default for SvgStyle {
+    fn default() -> SvgStyle {
+        SvgStyle {
+            width: 640.0,
+            row_height: 18.0,
+            stroke: "#333333".to_string(),
+            font_size: 12.0,
+        }
+    }
+}
+
+/// Render one tree as a standalone SVG document.
+pub fn render(ast: &NewickNode, style: &SvgStyle) -> String {
+    let layout = layout_tree(ast);
+    let mut body = String::new();
+    render_into(&layout, style, 0.0, 0.0, &[], &mut body);
+    let height = layout.num_leaves as f64 * style.row_height + 20.0;
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {:.0} {height:.0}\">\n{body}</svg>\n",
+        style.width, style.width
+    )
+}
+
+/// Render several trees side by side with colored trace lines connecting
+/// the listed taxa between adjacent trees — the viewer feature of paper §4
+/// / Figure 5 ("traces have been turned on for several taxa, facilitating
+/// comparison of the trees").
+pub fn render_comparison(asts: &[NewickNode], traced: &[&str], style: &SvgStyle) -> String {
+    const TRACE_COLORS: [&str; 6] =
+        ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+    let layouts: Vec<TreeLayout> = asts.iter().map(layout_tree).collect();
+    let max_leaves = layouts.iter().map(|l| l.num_leaves).max().unwrap_or(1);
+    let panel_w = style.width;
+    let total_w = panel_w * asts.len() as f64;
+    let height = max_leaves as f64 * style.row_height + 20.0;
+    let mut body = String::new();
+    let mut anchors: Vec<Vec<(f64, f64)>> = vec![Vec::new(); traced.len()];
+    for (i, layout) in layouts.iter().enumerate() {
+        let dx = i as f64 * panel_w;
+        render_into(layout, style, dx, 0.0, traced, &mut body);
+        for (k, name) in traced.iter().enumerate() {
+            if let Some((x, y)) = layout.leaf_position(name) {
+                let sx = dx + 10.0 + x / layout.depth.max(1e-9) * (panel_w - 120.0);
+                let sy = 10.0 + y * style.row_height;
+                anchors[k].push((sx, sy));
+            }
+        }
+    }
+    for (k, pts) in anchors.iter().enumerate() {
+        let color = TRACE_COLORS[k % TRACE_COLORS.len()];
+        for w in pts.windows(2) {
+            body.push_str(&format!(
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"{color}\" stroke-dasharray=\"4 3\" stroke-width=\"1.5\"/>\n",
+                w[0].0, w[0].1, w[1].0, w[1].1
+            ));
+        }
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {total_w:.0} {height:.0}\">\n{body}</svg>\n"
+    )
+}
+
+fn render_into(
+    layout: &TreeLayout,
+    style: &SvgStyle,
+    dx: f64,
+    dy: f64,
+    highlight: &[&str],
+    out: &mut String,
+) {
+    let plot_w = style.width - 120.0;
+    let sx = |x: f64| dx + 10.0 + x / layout.depth.max(1e-9) * plot_w;
+    let sy = |y: f64| dy + 10.0 + y * style.row_height;
+    for node in &layout.nodes {
+        if let Some(p) = node.parent {
+            let parent = &layout.nodes[p];
+            // Rectangular branches: vertical from parent, then horizontal.
+            out.push_str(&format!(
+                "<path d=\"M {:.1} {:.1} V {:.1} H {:.1}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.2\"/>\n",
+                sx(parent.x),
+                sy(parent.y),
+                sy(node.y),
+                sx(node.x),
+                style.stroke
+            ));
+        }
+        if node.is_leaf {
+            let name = node.name.as_deref().unwrap_or("?");
+            let bold = highlight.contains(&name);
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"{}\" font-family=\"monospace\"{}>{}</text>\n",
+                sx(node.x) + 4.0,
+                sy(node.y) + style.font_size / 3.0,
+                style.font_size,
+                if bold { " font-weight=\"bold\"" } else { "" },
+                name
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::newick;
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let ast = newick::parse("((a:1,b:1):1,c:2);").unwrap();
+        let svg = render(&ast, &SvgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<text").count(), 3);
+        assert!(svg.matches("<path").count() >= 3);
+    }
+
+    #[test]
+    fn comparison_draws_trace_lines() {
+        let a = newick::parse("((a:1,b:1):1,c:2);").unwrap();
+        let b = newick::parse("((a:1,c:1):1,b:2);").unwrap();
+        let svg = render_comparison(&[a, b], &["a", "c"], &SvgStyle::default());
+        // One dashed line per traced taxon per adjacent pair.
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+        assert!(svg.matches("font-weight=\"bold\"").count() >= 4);
+    }
+
+    #[test]
+    fn comparison_of_one_tree_has_no_traces() {
+        let a = newick::parse("(a,b,c);").unwrap();
+        let svg = render_comparison(&[a], &["a"], &SvgStyle::default());
+        assert_eq!(svg.matches("stroke-dasharray").count(), 0);
+    }
+}

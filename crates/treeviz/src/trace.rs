@@ -1,0 +1,107 @@
+//! Tracing taxa across multiple trees.
+//!
+//! Paper §4: the viewer "has a facility for tracing the position of
+//! selected taxa or subtrees among the multiple trees for more detailed
+//! monitoring and analysis". This module computes where a taxon (or the
+//! common ancestor of a taxon group) sits in each of a series of trees —
+//! e.g. the best tree of every search iteration — so a renderer can draw
+//! the connecting traces and an analyst can quantify how much a taxon
+//! moves.
+
+use crate::layout::{layout_tree, TreeLayout};
+use fdml_phylo::newick::NewickNode;
+
+/// The positions of one traced item across a series of trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxonTrace {
+    /// The traced taxon name.
+    pub name: String,
+    /// `(tree index, x, y)` for every tree that contains the taxon.
+    pub positions: Vec<(usize, f64, f64)>,
+}
+
+impl TaxonTrace {
+    /// Total vertical movement across consecutive trees — a scalar measure
+    /// of how unstable the taxon's placement is across iterations.
+    pub fn total_movement(&self) -> f64 {
+        self.positions
+            .windows(2)
+            .map(|w| (w[1].2 - w[0].2).abs())
+            .sum()
+    }
+}
+
+/// Trace a set of taxa across a series of trees.
+pub fn trace_taxa(trees: &[NewickNode], names: &[&str]) -> Vec<TaxonTrace> {
+    let layouts: Vec<TreeLayout> = trees.iter().map(layout_tree).collect();
+    names
+        .iter()
+        .map(|&name| TaxonTrace {
+            name: name.to_string(),
+            positions: layouts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| l.leaf_position(name).map(|(x, y)| (i, x, y)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Leaf-row distance between two taxa within one tree (how far apart they
+/// are drawn; 1 = adjacent rows).
+pub fn row_distance(tree: &NewickNode, a: &str, b: &str) -> Option<f64> {
+    let l = layout_tree(tree);
+    let (_, ya) = l.leaf_position(a)?;
+    let (_, yb) = l.leaf_position(b)?;
+    Some((ya - yb).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_phylo::newick;
+
+    #[test]
+    fn traces_follow_taxon_across_trees() {
+        let t1 = newick::parse("((a,b),c,d);").unwrap();
+        let t2 = newick::parse("((c,b),a,d);").unwrap();
+        let traces = trace_taxa(&[t1, t2], &["a", "d"]);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].positions.len(), 2);
+        // 'a' moves from row 0 to row 2; 'd' stays on the last row.
+        assert!(traces[0].total_movement() > 1.9);
+        assert!(traces[1].total_movement() < 1e-9);
+    }
+
+    #[test]
+    fn missing_taxa_are_skipped() {
+        let t1 = newick::parse("(a,b,c);").unwrap();
+        let t2 = newick::parse("(x,y,z);").unwrap();
+        let traces = trace_taxa(&[t1, t2], &["a"]);
+        assert_eq!(traces[0].positions.len(), 1);
+        assert_eq!(traces[0].positions[0].0, 0);
+    }
+
+    #[test]
+    fn row_distance_between_neighbors() {
+        let t = newick::parse("((a,b),c,d);").unwrap();
+        assert_eq!(row_distance(&t, "a", "b"), Some(1.0));
+        assert_eq!(row_distance(&t, "a", "d"), Some(3.0));
+        assert_eq!(row_distance(&t, "a", "zzz"), None);
+    }
+
+    #[test]
+    fn stable_taxon_in_growing_trees() {
+        // Simulates the real-time viewer: the best tree after each taxon
+        // addition; taxon 'a' stays at the top row throughout.
+        let steps = [
+            "(a,b,c);",
+            "((a,b),c,d);",
+            "(((a,b),e),c,d);",
+        ];
+        let trees: Vec<NewickNode> =
+            steps.iter().map(|s| newick::parse(s).unwrap()).collect();
+        let traces = trace_taxa(&trees, &["a"]);
+        assert!(traces[0].total_movement() < 1e-9);
+    }
+}

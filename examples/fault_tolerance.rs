@@ -1,0 +1,63 @@
+//! Fault tolerance (paper §2.2): a worker that fails to return a tree
+//! within the timeout is removed from the ready list and its tree is sent
+//! to a different worker; if it answers later it is re-admitted.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use fastdnaml::comm::fault::FaultPlan;
+use fastdnaml::core::config::SearchConfig;
+use fastdnaml::core::runner::{parallel_search, parallel_search_with_faults};
+use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
+use fastdnaml::phylo::bipartition::robinson_foulds;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn main() {
+    let tree = yule_tree(12, 0.08, 17);
+    let alignment = evolve(&tree, 300, &EvolutionConfig::default(), 9, "taxon");
+    let config = SearchConfig {
+        jumble_seed: 3,
+        worker_timeout: Duration::from_millis(250),
+        ..SearchConfig::default()
+    };
+
+    println!("clean run (5 ranks: master, foreman, monitor, 2 workers)…");
+    let clean = parallel_search(&alignment, &config, 5).expect("clean run");
+    println!(
+        "  lnL {:.3}; {} dispatches, {} timeouts",
+        clean.result.ln_likelihood, clean.foreman.dispatched, clean.foreman.timeouts
+    );
+
+    println!("\nfaulty run: worker 3 silently drops its first 6 results…");
+    let mut faults = HashMap::new();
+    faults.insert(3usize, FaultPlan::drop_first(6));
+    let faulty =
+        parallel_search_with_faults(&alignment, &config, 5, faults).expect("faulty run");
+    println!(
+        "  lnL {:.3}; {} dispatches, {} timeouts, {} re-admissions, {} duplicate results ignored",
+        faulty.result.ln_likelihood,
+        faulty.foreman.dispatched,
+        faulty.foreman.timeouts,
+        faulty.foreman.recoveries,
+        faulty.foreman.duplicates_ignored
+    );
+
+    let rf = robinson_foulds(&clean.result.tree, &faulty.result.tree, 12);
+    println!("\nresult unchanged despite the faults:");
+    println!("  same topology : {}", rf == 0);
+    println!(
+        "  lnL difference: {:.2e}",
+        (clean.result.ln_likelihood - faulty.result.ln_likelihood).abs()
+    );
+    println!("\nper-worker timeout counts seen by the monitor:");
+    let mut items: Vec<_> = faulty.monitor.per_worker.iter().collect();
+    items.sort_by_key(|(rank, _)| **rank);
+    for (rank, util) in items {
+        println!(
+            "  worker {rank}: {} completed, {} timeouts",
+            util.completed, util.timeouts
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The fastDNAml command-line program.
+//!
+//! ```text
+//! fastdnaml --input data.phy [options]
+//!
+//!   --input FILE         PHYLIP (or FASTA with --fasta) alignment   [required]
+//!   --jumble SEED        random addition-order seed                 [1]
+//!   --jumbles N          number of random orderings to analyze      [1]
+//!   --radius K           vertices crossed in local rearrangements   [1]
+//!   --final-radius K     vertices crossed in the final pass         [= radius]
+//!   --tt-ratio R         transition/transversion ratio              [2.0]
+//!   --categories K       estimate K rate categories (DNArates) first
+//!   --rates-file FILE    use a dnarates report for the category model
+//!   --parallel RANKS     run the threaded parallel program (≥ 4 ranks:
+//!                        master, foreman, monitor, workers)
+//!   --bootstrap N        bootstrap with N replicates instead of jumbles
+//!   --user-trees FILE    evaluate the Newick trees in FILE, no search
+//!   --checkpoint FILE    write a resumable checkpoint after every step
+//!   --resume FILE        resume a single-jumble run from a checkpoint
+//!   --outgroup T1,T2     root the output tree on this outgroup clade
+//!   --midpoint           midpoint-root the output tree
+//!   --output FILE        write the best tree / consensus ("-" = stdout)
+//!   --fasta              input is FASTA instead of PHYLIP
+//!   --quiet              suppress progress output
+//! ```
+
+use fastdnaml::core::checkpoint::Checkpoint;
+use fastdnaml::core::config::SearchConfig;
+use fastdnaml::core::executor::ScorerExecutor;
+use fastdnaml::core::runner::{
+    bootstrap_analysis, evaluate_user_trees, parallel_search, run_jumbles, serial_search,
+};
+use fastdnaml::core::search::StepwiseSearch;
+use fastdnaml::phylo::{fasta, newick, phylip};
+use fastdnaml::rates::{categorize, estimate_rates, RateGrid};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
+    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn parse_args() -> (HashMap<String, String>, Vec<String>) {
+    let mut values = HashMap::new();
+    let mut flags = Vec::new();
+    let mut iter = std::env::args().skip(1).peekable();
+    while let Some(item) = iter.next() {
+        if let Some(key) = item.strip_prefix("--") {
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+    }
+    (values, flags)
+}
+
+const USAGE: &str = "\
+fastdnaml --input data.phy [options]
+
+  --input FILE         PHYLIP (or FASTA with --fasta) alignment   [required]
+  --jumble SEED        random addition-order seed                 [1]
+  --jumbles N          number of random orderings to analyze      [1]
+  --radius K           vertices crossed in local rearrangements   [1]
+  --final-radius K     vertices crossed in the final pass         [= radius]
+  --tt-ratio R         transition/transversion ratio              [2.0]
+  --categories K       estimate K rate categories (DNArates) first
+  --rates-file FILE    use a dnarates report for the category model
+  --parallel RANKS     run the threaded parallel program (>= 4 ranks)
+  --bootstrap N        bootstrap with N replicates instead of jumbles
+  --user-trees FILE    evaluate the Newick trees in FILE, no search
+  --checkpoint FILE    write a resumable checkpoint after every step
+  --resume FILE        resume a single-jumble run from a checkpoint
+  --outgroup T1,T2     root the output tree on this outgroup clade
+  --midpoint           midpoint-root the output tree
+  --output FILE        write the best tree / consensus (\"-\" = stdout)
+  --fasta              input is FASTA instead of PHYLIP
+  --quiet              suppress progress output
+  --help               show this message
+";
+
+fn main() -> ExitCode {
+    let (args, flags) = parse_args();
+    if flags.iter().any(|f| f == "help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let quiet = flags.iter().any(|f| f == "quiet");
+    let Some(input) = args.get("input") else {
+        eprintln!("fastdnaml: --input FILE is required\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fastdnaml: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let alignment = match if flags.iter().any(|f| f == "fasta") {
+        fasta::parse(&text)
+    } else {
+        phylip::parse(&text)
+    } {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fastdnaml: cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        eprintln!(
+            "fastdnaml: {} taxa × {} sites",
+            alignment.num_taxa(),
+            alignment.num_sites()
+        );
+    }
+
+    let radius: usize = get(&args, "radius", 1);
+    let mut config = SearchConfig {
+        jumble_seed: get(&args, "jumble", 1),
+        rearrange_radius: radius,
+        final_radius: get(&args, "final-radius", radius),
+        tt_ratio: get(&args, "tt-ratio", 2.0),
+        ..SearchConfig::default()
+    };
+
+    // Category model from a dnarates report file.
+    if let Some(path) = args.get("rates-file") {
+        let report_text = std::fs::read_to_string(path).expect("read rates file");
+        let report = fastdnaml::rates::parse_report(&report_text).expect("parse rates file");
+        let patterns = fastdnaml::phylo::patterns::PatternAlignment::compress(&alignment);
+        config.categories = Some(
+            report
+                .to_categories(&patterns)
+                .normalized(patterns.weights()),
+        );
+        if !quiet {
+            eprintln!(
+                "fastdnaml: using {} rate categories from {path}",
+                report.rates.len()
+            );
+        }
+    }
+
+    // Optional DNArates pre-pass.
+    if let Some(k) = args.get("categories").and_then(|v| v.parse::<usize>().ok()) {
+        if !quiet {
+            eprintln!("fastdnaml: estimating {k} rate categories (DNArates pre-pass)…");
+        }
+        let engine = config.build_engine(&alignment);
+        let pre = fastdnaml::core::runner::fast_serial_search(&alignment, &config)
+            .expect("pre-pass search");
+        let est = estimate_rates(&engine, &pre.tree, &RateGrid::default());
+        config.categories = Some(categorize(&est.per_pattern, engine.patterns().weights(), k));
+    }
+
+    let output = args.get("output").map(String::as_str).unwrap_or("-");
+    let emit = |text: &str| {
+        if output == "-" {
+            println!("{text}");
+        } else {
+            std::fs::write(output, format!("{text}\n")).expect("write output");
+        }
+    };
+    // Optional rooting of result trees (§1.1: rooting is a separate step
+    // after the unrooted search).
+    let outgroup: Option<Vec<u32>> = args.get("outgroup").map(|list| {
+        list.split(',')
+            .map(|name| {
+                alignment
+                    .taxon_id(name.trim())
+                    .unwrap_or_else(|e| panic!("--outgroup: {e}"))
+            })
+            .collect()
+    });
+    let midpoint = flags.iter().any(|f| f == "midpoint");
+    let render_tree = |tree: &fastdnaml::phylo::tree::Tree| -> String {
+        if let Some(og) = &outgroup {
+            let rooted = fastdnaml::phylo::rooting::root_at_outgroup(tree, og, alignment.names())
+                .expect("outgroup rooting");
+            newick::write(&rooted)
+        } else if midpoint {
+            let rooted = fastdnaml::phylo::rooting::midpoint_root(tree, alignment.names())
+                .expect("midpoint rooting");
+            newick::write(&rooted)
+        } else {
+            newick::write_tree(tree, alignment.names())
+        }
+    };
+
+    // User-tree evaluation mode.
+    if let Some(path) = args.get("user-trees") {
+        let trees_text = std::fs::read_to_string(path).expect("read user trees");
+        let newicks: Vec<String> = trees_text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect();
+        let evaluated =
+            evaluate_user_trees(&alignment, &config, &newicks).expect("evaluate user trees");
+        for (i, e) in evaluated.iter().enumerate() {
+            println!("tree {:>3}: lnL {:.4}", i + 1, e.ln_likelihood);
+        }
+        let best = evaluated
+            .iter()
+            .max_by(|a, b| a.ln_likelihood.total_cmp(&b.ln_likelihood))
+            .expect("at least one tree");
+        emit(&best.newick);
+        return ExitCode::SUCCESS;
+    }
+
+    // Bootstrap mode.
+    if let Some(n) = args.get("bootstrap").and_then(|v| v.parse::<usize>().ok()) {
+        if !quiet {
+            eprintln!("fastdnaml: {n} bootstrap replicates…");
+        }
+        let (_, cons) =
+            bootstrap_analysis(&alignment, &config, n, config.jumble_seed).expect("bootstrap");
+        emit(&newick::write(&cons.tree));
+        if !quiet {
+            eprintln!("fastdnaml: consensus has {} splits above 50%", cons.splits.len());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Multiple jumbles → consensus.
+    let jumbles: usize = get(&args, "jumbles", 1);
+    if jumbles > 1 {
+        let seeds: Vec<u64> = (0..jumbles as u64).map(|i| config.jumble_seed + 2 * i).collect();
+        let (results, cons) = run_jumbles(&alignment, &config, &seeds).expect("jumbles");
+        for (seed, r) in seeds.iter().zip(&results) {
+            if !quiet {
+                eprintln!("fastdnaml: jumble {seed}: lnL {:.4}", r.ln_likelihood);
+            }
+        }
+        emit(&newick::write(&cons.tree));
+        return ExitCode::SUCCESS;
+    }
+
+    // Single search: parallel, resumable-serial, or plain serial.
+    if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
+        let outcome = parallel_search(&alignment, &config, ranks).expect("parallel search");
+        if !quiet {
+            eprintln!(
+                "fastdnaml: lnL {:.4} ({} trees over {} workers, {} timeouts)",
+                outcome.result.ln_likelihood,
+                outcome.foreman.results_forwarded,
+                ranks - 3,
+                outcome.foreman.timeouts
+            );
+        }
+        emit(&render_tree(&outcome.result.tree));
+        return ExitCode::SUCCESS;
+    }
+
+    let checkpoint_path = args.get("checkpoint").cloned();
+    let resume_path = args.get("resume").cloned();
+    let result = if checkpoint_path.is_some() || resume_path.is_some() {
+        let engine = config.build_engine(&alignment);
+        let executor = ScorerExecutor::new(&engine, config.optimize);
+        let mut search = StepwiseSearch::new(&config, executor, alignment.num_taxa())
+            .with_names(alignment.names().to_vec());
+        if let Some(path) = &resume_path {
+            let cp = Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
+                .expect("parse checkpoint");
+            search = search.resume_from(cp);
+        }
+        if let Some(path) = checkpoint_path.clone() {
+            search = search.on_checkpoint(move |cp| {
+                std::fs::write(&path, cp.to_json()).expect("write checkpoint");
+            });
+        }
+        search.run().expect("search")
+    } else {
+        serial_search(&alignment, &config).expect("search")
+    };
+    if !quiet {
+        eprintln!(
+            "fastdnaml: lnL {:.4} after {} candidate trees in {} rounds",
+            result.ln_likelihood, result.candidates_evaluated, result.rounds
+        );
+    }
+    emit(&render_tree(&result.tree));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! # fastdnaml
+//!
+//! A Rust reproduction of **fastDNAml** — *Parallel implementation and
+//! performance of fastDNAml: a program for maximum likelihood phylogenetic
+//! inference* (Stewart, Hart, Berry, Olsen, Wernert & Fischer, SC 2001).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`phylo`] — alignments, PHYLIP/FASTA/Newick I/O, unrooted trees,
+//!   rearrangements, bipartitions, consensus.
+//! * [`likelihood`] — the F84 maximum-likelihood kernel with Newton
+//!   branch-length optimization and rate categories.
+//! * [`rates`] — the DNArates analog (per-site rate estimation).
+//! * [`comm`] — the message-passing abstraction (serial / threads).
+//! * [`core`] — the fastDNAml search and the master / foreman / worker /
+//!   monitor parallel runtime.
+//! * [`simsp`] — the IBM RS/6000 SP discrete-event simulator used to
+//!   regenerate the paper's scaling figures.
+//! * [`datagen`] — synthetic dataset generation (random trees, sequence
+//!   evolution).
+//! * [`treeviz`] — tree layout, tracing, and rendering (the paper's viewer
+//!   core library).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastdnaml::prelude::*;
+//!
+//! // Four aligned sequences (PHYLIP text would normally come from a file).
+//! let alignment = Alignment::from_strings(&[
+//!     ("human",   "ACGTACGTACGTACGTAAAA"),
+//!     ("chimp",   "ACGTACGTACGTACGTAAAT"),
+//!     ("mouse",   "ACGAACGTACTTACGTTTAA"),
+//!     ("chicken", "ACGAACTTACTTACGTTTAT"),
+//! ]).unwrap();
+//!
+//! let config = SearchConfig { jumble_seed: 137, ..SearchConfig::default() };
+//! let result = serial_search(&alignment, &config).unwrap();
+//! assert_eq!(result.tree.num_tips(), 4);
+//! assert!(result.ln_likelihood < 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fdml_comm as comm;
+pub use fdml_core as core;
+pub use fdml_datagen as datagen;
+pub use fdml_likelihood as likelihood;
+pub use fdml_phylo as phylo;
+pub use fdml_rates as rates;
+pub use fdml_simsp as simsp;
+pub use fdml_treeviz as treeviz;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use fdml_comm::transport::Transport;
+    pub use fdml_core::config::SearchConfig;
+    pub use fdml_core::runner::{parallel_search, serial_search};
+    pub use fdml_core::search::SearchResult;
+    pub use fdml_likelihood::engine::LikelihoodEngine;
+    pub use fdml_likelihood::f84::F84Model;
+    pub use fdml_phylo::alignment::Alignment;
+    pub use fdml_phylo::bipartition::{robinson_foulds, SplitSet};
+    pub use fdml_phylo::newick;
+    pub use fdml_phylo::patterns::PatternAlignment;
+    pub use fdml_phylo::phylip;
+    pub use fdml_phylo::tree::Tree;
+}

@@ -1,0 +1,170 @@
+//! Integration tests of the two command-line programs, driven end-to-end
+//! through their real binaries.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PHYLIP: &str = "\
+6 40
+t0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+t1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT
+t2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT
+t3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT
+t4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA
+t5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA
+";
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdml_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    std::fs::write(dir.join("data.phy"), PHYLIP).expect("write alignment");
+    dir
+}
+
+fn fastdnaml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastdnaml"))
+}
+
+fn dnarates() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnarates"))
+}
+
+#[test]
+fn serial_search_emits_a_tree() {
+    let dir = workdir("serial");
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "7", "--radius", "2", "--quiet"])
+        .output()
+        .expect("run fastdnaml");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let tree = String::from_utf8(out.stdout).expect("utf8");
+    let ast = fastdnaml::phylo::newick::parse(tree.trim()).expect("valid Newick on stdout");
+    assert_eq!(ast.leaf_names().len(), 6);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn checkpoint_then_resume_gives_same_tree() {
+    let dir = workdir("resume");
+    let cp = dir.join("cp.json");
+    let run = |extra: &[&str]| -> String {
+        let mut cmd = fastdnaml();
+        cmd.args(["--input"]).arg(dir.join("data.phy")).args(["--jumble", "9", "--quiet"]);
+        for a in extra {
+            cmd.arg(a);
+        }
+        let out = cmd.output().expect("run");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap().trim().to_string()
+    };
+    let full = run(&["--checkpoint", cp.to_str().unwrap()]);
+    assert!(cp.exists(), "checkpoint file must be written");
+    let resumed = run(&["--resume", cp.to_str().unwrap()]);
+    // The saved checkpoint is the final one (all taxa placed), so resuming
+    // re-optimizes and emits the same topology.
+    let names: Vec<String> = (0..6).map(|i| format!("t{i}")).collect();
+    let a = fastdnaml::phylo::newick::parse_tree_with_names(&full, &names).unwrap();
+    let b = fastdnaml::phylo::newick::parse_tree_with_names(&resumed, &names).unwrap();
+    assert_eq!(fastdnaml::phylo::bipartition::robinson_foulds(&a, &b, 6), 0);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn dnarates_report_feeds_fastdnaml() {
+    let dir = workdir("rates");
+    let rates = dir.join("rates.txt");
+    let out = dnarates()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--categories", "3", "--output"])
+        .arg(&rates)
+        .output()
+        .expect("run dnarates");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report_text = std::fs::read_to_string(&rates).expect("report written");
+    let report = fastdnaml::rates::parse_report(&report_text).expect("parseable report");
+    assert_eq!(report.per_site_rate.len(), 40);
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--rates-file"])
+        .arg(&rates)
+        .args(["--quiet"])
+        .output()
+        .expect("run fastdnaml with rates");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = fastdnaml().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+    let out = fastdnaml().args(["--input", "/nonexistent.phy"]).output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn user_tree_mode_ranks_trees() {
+    let dir = workdir("user");
+    let trees = dir.join("trees.nwk");
+    std::fs::write(
+        &trees,
+        "(t0:0.1,t1:0.1,(t2:0.1,(t3:0.1,(t4:0.1,t5:0.1):0.1):0.1):0.1);\n\
+         (t0:0.1,t4:0.1,(t2:0.1,(t3:0.1,(t1:0.1,t5:0.1):0.1):0.1):0.1);\n",
+    )
+    .unwrap();
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--user-trees"])
+        .arg(&trees)
+        .args(["--quiet"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("tree   1"));
+    assert!(stdout.contains("tree   2"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn outgroup_and_midpoint_rooting() {
+    let dir = workdir("rooting");
+    let run = |extra: &[&str]| -> String {
+        let mut cmd = fastdnaml();
+        cmd.args(["--input"]).arg(dir.join("data.phy")).args(["--jumble", "7", "--quiet"]);
+        for a in extra {
+            cmd.arg(a);
+        }
+        let out = cmd.output().expect("run");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap().trim().to_string()
+    };
+    // Outgroup rooting: the root has two children, one of which is t5.
+    let rooted = run(&["--outgroup", "t5"]);
+    let ast = fastdnaml::phylo::newick::parse(&rooted).unwrap();
+    assert_eq!(ast.children.len(), 2);
+    assert!(ast.children.iter().any(|c| c.leaf_names() == vec!["t5"]));
+    // Midpoint rooting also yields a rooted binary tree over all taxa.
+    let rooted = run(&["--midpoint"]);
+    let ast = fastdnaml::phylo::newick::parse(&rooted).unwrap();
+    assert_eq!(ast.children.len(), 2);
+    assert_eq!(ast.leaf_names().len(), 6);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn help_flags_print_usage() {
+    let out = fastdnaml().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("--jumble") && text.contains("--outgroup"));
+    let out = dnarates().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("--grid-points"));
+}

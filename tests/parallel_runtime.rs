@@ -1,0 +1,107 @@
+//! Integration tests of the parallel runtime against the serial program:
+//! determinism across worker counts and robustness to injected faults
+//! (paper §2.2).
+
+use fastdnaml::comm::fault::FaultPlan;
+use fastdnaml::core::config::SearchConfig;
+use fastdnaml::core::runner::{parallel_search, parallel_search_with_faults, serial_search};
+use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
+use fastdnaml::phylo::alignment::Alignment;
+use fastdnaml::phylo::bipartition::SplitSet;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn dataset() -> Alignment {
+    let tree = yule_tree(9, 0.1, 51);
+    evolve(&tree, 400, &EvolutionConfig::default(), 6, "taxon")
+}
+
+#[test]
+fn worker_count_does_not_change_the_answer() {
+    let alignment = dataset();
+    let config = SearchConfig { jumble_seed: 11, ..SearchConfig::default() };
+    let serial = serial_search(&alignment, &config).expect("serial");
+    for ranks in [4usize, 5, 7] {
+        let outcome = parallel_search(&alignment, &config, ranks).expect("parallel");
+        assert_eq!(
+            SplitSet::of_tree(&serial.tree, 9),
+            SplitSet::of_tree(&outcome.result.tree, 9),
+            "ranks = {ranks}"
+        );
+        assert!(
+            (serial.ln_likelihood - outcome.result.ln_likelihood).abs() < 1e-5,
+            "ranks = {ranks}: serial {} vs parallel {}",
+            serial.ln_likelihood,
+            outcome.result.ln_likelihood
+        );
+    }
+}
+
+#[test]
+fn monitor_sees_every_dispatch() {
+    let alignment = dataset();
+    let config = SearchConfig { jumble_seed: 2, ..SearchConfig::default() };
+    let outcome = parallel_search(&alignment, &config, 5).expect("parallel");
+    let dispatched: u64 = outcome.monitor.per_worker.values().map(|w| w.dispatched).sum();
+    let completed: u64 = outcome.monitor.per_worker.values().map(|w| w.completed).sum();
+    assert_eq!(dispatched, outcome.foreman.dispatched);
+    assert_eq!(
+        completed,
+        outcome.foreman.results_forwarded + outcome.foreman.duplicates_ignored
+    );
+    assert!(!outcome.monitor.round_history.is_empty());
+    assert!(!outcome.monitor.best_trees.is_empty());
+    // The viewer stream parses back as trees.
+    for text in &outcome.monitor.best_trees {
+        fastdnaml::phylo::newick::parse(text).expect("best-tree stream is valid Newick");
+    }
+}
+
+#[test]
+fn delayed_worker_triggers_timeout_then_recovery() {
+    // A longer search (16 taxa) so the run is still going when the
+    // delinquent worker's late answer lands.
+    let tree = yule_tree(16, 0.1, 52);
+    let alignment = evolve(&tree, 700, &EvolutionConfig::default(), 6, "taxon");
+    let config = SearchConfig {
+        jumble_seed: 11,
+        worker_timeout: Duration::from_millis(40),
+        ..SearchConfig::default()
+    };
+    let mut faults = HashMap::new();
+    // Worker 3 delays its first result well past the timeout: the foreman
+    // must declare it delinquent, reassign, then re-admit it when the late
+    // answer arrives. The delay is far shorter than the total run so the
+    // late answer always lands while the foreman is still alive.
+    faults.insert(3usize, FaultPlan::delay_first(1, Duration::from_millis(150)));
+    let outcome = parallel_search_with_faults(&alignment, &config, 5, faults).expect("run");
+    assert!(outcome.foreman.timeouts >= 1, "timeout must fire");
+    assert!(
+        outcome.foreman.recoveries >= 1,
+        "late worker must be re-admitted (stats: {:?})",
+        outcome.foreman
+    );
+    let serial = serial_search(&alignment, &config).expect("serial");
+    assert_eq!(
+        SplitSet::of_tree(&serial.tree, 16),
+        SplitSet::of_tree(&outcome.result.tree, 16)
+    );
+}
+
+#[test]
+fn dead_worker_does_not_stall_the_run() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 4,
+        worker_timeout: Duration::from_millis(150),
+        ..SearchConfig::default()
+    };
+    let mut faults = HashMap::new();
+    // Worker 4 never delivers any result at all.
+    faults.insert(4usize, FaultPlan::drop_first(u64::MAX));
+    let outcome = parallel_search_with_faults(&alignment, &config, 5, faults).expect("run");
+    assert!(outcome.result.ln_likelihood.is_finite());
+    assert!(outcome.foreman.timeouts >= 1);
+    let serial = serial_search(&alignment, &config).expect("serial");
+    assert!((serial.ln_likelihood - outcome.result.ln_likelihood).abs() < 1e-5);
+}

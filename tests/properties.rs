@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crates.
+
+use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
+use fastdnaml::likelihood::engine::LikelihoodEngine;
+use fastdnaml::likelihood::f84::F84Model;
+use fastdnaml::likelihood::categories::RateCategories;
+use fastdnaml::phylo::alignment::Alignment;
+use fastdnaml::phylo::bipartition::{robinson_foulds, topology_fingerprint, SplitSet};
+use fastdnaml::phylo::ops::{apply_move, enumerate_spr_moves};
+use fastdnaml::phylo::patterns::PatternAlignment;
+use fastdnaml::phylo::{newick, phylip};
+use proptest::prelude::*;
+
+fn arb_freqs() -> impl Strategy<Value = [f64; 4]> {
+    [0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0].prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        [raw[0] / total, raw[1] / total, raw[2] / total, raw[3] / total]
+    })
+}
+
+fn arb_alignment(max_taxa: usize, max_sites: usize) -> impl Strategy<Value = Alignment> {
+    (4usize..=max_taxa, 16usize..=max_sites, 0u64..10_000).prop_map(|(taxa, sites, seed)| {
+        let tree = yule_tree(taxa, 0.15, seed);
+        evolve(
+            &tree,
+            sites,
+            &EvolutionConfig { missing_fraction: 0.02, ..Default::default() },
+            seed ^ 0x5555,
+            "t",
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn f84_matrices_are_stochastic_and_reversible(
+        freqs in arb_freqs(),
+        tt in 0.6f64..20.0,
+        t in 0.0f64..5.0,
+        rate in 0.05f64..4.0,
+    ) {
+        let m = F84Model::new(freqs, tt);
+        let p = m.transition_matrix(t, rate);
+        for i in 0..4 {
+            let row: f64 = p[i].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-10);
+            for j in 0..4 {
+                prop_assert!(p[i][j] >= -1e-15);
+                // Detailed balance.
+                prop_assert!((freqs[i] * p[i][j] - freqs[j] * p[j][i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn newick_roundtrip_preserves_topology_and_lengths(
+        taxa in 4usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let tree = yule_tree(taxa, 0.2, seed);
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let text = newick::write_tree(&tree, &names);
+        let back = newick::parse_tree_with_names(&text, &names).unwrap();
+        prop_assert_eq!(robinson_foulds(&tree, &back, taxa), 0);
+        prop_assert!((tree.total_length() - back.total_length()).abs() < 1e-6);
+        // Serialization is canonical: a second round-trip is bit-identical.
+        prop_assert_eq!(newick::write_tree(&back, &names), text);
+    }
+
+    #[test]
+    fn phylip_roundtrip_is_identity(alignment in arb_alignment(12, 120)) {
+        let text = phylip::write(&alignment);
+        let back = phylip::parse(&text).unwrap();
+        prop_assert_eq!(alignment, back);
+    }
+
+    #[test]
+    fn compression_never_changes_the_likelihood(alignment in arb_alignment(8, 80)) {
+        let tree = yule_tree(alignment.num_taxa(), 0.15, 1);
+        let model = F84Model::from_alignment(&alignment);
+        let compressed = LikelihoodEngine::with_parts(
+            PatternAlignment::compress(&alignment),
+            model.clone(),
+            RateCategories::single(PatternAlignment::compress(&alignment).num_patterns()),
+        );
+        let plain = LikelihoodEngine::with_parts(
+            PatternAlignment::uncompressed(&alignment),
+            model,
+            RateCategories::single(alignment.num_sites()),
+        );
+        let a = compressed.evaluate(&tree).ln_likelihood;
+        let b = plain.evaluate(&tree).ln_likelihood;
+        prop_assert!((a - b).abs() < 1e-7, "compressed {} vs plain {}", a, b);
+    }
+
+    #[test]
+    fn spr_moves_preserve_validity_and_fingerprints_are_distinct(
+        taxa in 5usize..16,
+        seed in 0u64..500,
+        radius in 1usize..4,
+    ) {
+        let tree = yule_tree(taxa, 0.2, seed);
+        let base_fp = topology_fingerprint(&tree);
+        let moves = enumerate_spr_moves(&tree, radius);
+        let mut fps = std::collections::HashSet::new();
+        for mv in &moves {
+            let mut cand = tree.clone();
+            apply_move(&mut cand, mv).unwrap();
+            cand.check_valid().unwrap();
+            let fp = topology_fingerprint(&cand);
+            prop_assert!(fp != base_fp, "move produced the base topology");
+            prop_assert!(fps.insert(fp), "duplicate candidate topology");
+        }
+    }
+
+    #[test]
+    fn rf_distance_is_a_metric_on_random_trees(
+        taxa in 4usize..24,
+        s1 in 0u64..300,
+        s2 in 0u64..300,
+        s3 in 0u64..300,
+    ) {
+        let a = yule_tree(taxa, 0.2, s1);
+        let b = yule_tree(taxa, 0.2, s2);
+        let c = yule_tree(taxa, 0.2, s3);
+        let ab = robinson_foulds(&a, &b, taxa);
+        let ba = robinson_foulds(&b, &a, taxa);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(robinson_foulds(&a, &a, taxa), 0);
+        // Triangle inequality.
+        let ac = robinson_foulds(&a, &c, taxa);
+        let cb = robinson_foulds(&c, &b, taxa);
+        prop_assert!(ab <= ac + cb);
+        // Agreement between split sets and fingerprints.
+        prop_assert_eq!(
+            ab == 0,
+            topology_fingerprint(&a) == topology_fingerprint(&b)
+        );
+    }
+
+    #[test]
+    fn likelihood_invariant_under_serialization(alignment in arb_alignment(10, 60)) {
+        let n = alignment.num_taxa();
+        let tree = yule_tree(n, 0.2, 9);
+        let engine = LikelihoodEngine::new(&alignment);
+        let direct = engine.evaluate(&tree).ln_likelihood;
+        let text = newick::write_tree(&tree, alignment.names());
+        let back = newick::parse_tree(&text, &alignment).unwrap();
+        let round = engine.evaluate(&back).ln_likelihood;
+        prop_assert!((direct - round).abs() < 1e-5, "direct {} vs roundtrip {}", direct, round);
+    }
+
+    #[test]
+    fn split_sets_are_pairwise_compatible_for_any_tree(
+        taxa in 4usize..40,
+        seed in 0u64..500,
+    ) {
+        let tree = yule_tree(taxa, 0.2, seed);
+        let s = SplitSet::of_tree(&tree, taxa);
+        prop_assert_eq!(s.len(), taxa - 3);
+        for (i, a) in s.splits().iter().enumerate() {
+            for b in &s.splits()[i + 1..] {
+                prop_assert!(a.compatible_with(b));
+            }
+        }
+    }
+}
