@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full local CI gate: build, tests, formatting, lints.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

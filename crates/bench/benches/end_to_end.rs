@@ -15,18 +15,34 @@ fn dataset() -> Alignment {
 
 fn bench_search_modes(c: &mut Criterion) {
     let alignment = dataset();
-    let config = SearchConfig { jumble_seed: 1, rearrange_radius: 1, final_radius: 1, ..Default::default() };
+    let config = SearchConfig {
+        jumble_seed: 1,
+        rearrange_radius: 1,
+        final_radius: 1,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("search_12taxa");
     group.sample_size(10);
     group.bench_function("serial_full_eval", |b| {
         b.iter(|| black_box(serial_search(&alignment, &config).unwrap().ln_likelihood))
     });
     group.bench_function("serial_incremental", |b| {
-        b.iter(|| black_box(fast_serial_search(&alignment, &config).unwrap().ln_likelihood))
+        b.iter(|| {
+            black_box(
+                fast_serial_search(&alignment, &config)
+                    .unwrap()
+                    .ln_likelihood,
+            )
+        })
     });
     group.bench_function("parallel_6ranks", |b| {
         b.iter(|| {
-            black_box(parallel_search(&alignment, &config, 6).unwrap().result.ln_likelihood)
+            black_box(
+                parallel_search(&alignment, &config, 6)
+                    .unwrap()
+                    .result
+                    .ln_likelihood,
+            )
         })
     });
     group.finish();

@@ -37,7 +37,11 @@ fn bench_full_evaluation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("optimize", taxa), &taxa, |b, _| {
             b.iter(|| {
                 let mut t = tree.clone();
-                black_box(engine.optimize(&mut t, &OptimizeOptions::default()).ln_likelihood)
+                black_box(
+                    engine
+                        .optimize(&mut t, &OptimizeOptions::default())
+                        .ln_likelihood,
+                )
             })
         });
     }

@@ -40,7 +40,11 @@ fn bench_topology_identity(c: &mut Criterion) {
     c.bench_function("newick_roundtrip_150", |b| {
         b.iter(|| {
             let text = newick::write_tree(&tree, &names);
-            black_box(newick::parse_tree_with_names(&text, &names).unwrap().num_tips())
+            black_box(
+                newick::parse_tree_with_names(&text, &names)
+                    .unwrap()
+                    .num_tips(),
+            )
         })
     });
 }

@@ -46,7 +46,10 @@ impl Args {
 
     /// String value of `--key`.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Was a bare `--flag` given?

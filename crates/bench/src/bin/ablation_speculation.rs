@@ -28,7 +28,10 @@ fn main() {
         let req = TraceRequest::paper(d, scale, jumbles);
         let traces = load_or_build_traces(&req);
         for p in [16usize, 64, 128] {
-            let cfg = SimConfig { processors: p, cost: cost.clone() };
+            let cfg = SimConfig {
+                processors: p,
+                cost: cost.clone(),
+            };
             let (mut plain, mut spec) = (0.0, 0.0);
             for t in &traces {
                 plain += simulate_trace(t, &cfg).wall_seconds;

@@ -12,6 +12,12 @@ fn main() {
     println!("  ns per work unit    : {:.2}", c.ns_per_work_unit);
     let model = CostModel::from_host_calibration(c.ns_per_work_unit, HOST_SPEEDUP_VS_POWER3);
     println!("\nimplied Power3+ model (host ≈ {HOST_SPEEDUP_VS_POWER3}× a 375 MHz Power3+):");
-    println!("  seconds per work unit (simulated) : {:.3e}", model.seconds_per_work_unit);
-    println!("  default model constant            : {:.3e}", CostModel::power3_sp().seconds_per_work_unit);
+    println!(
+        "  seconds per work unit (simulated) : {:.3e}",
+        model.seconds_per_work_unit
+    );
+    println!(
+        "  default model constant            : {:.3e}",
+        CostModel::power3_sp().seconds_per_work_unit
+    );
 }

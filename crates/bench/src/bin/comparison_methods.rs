@@ -45,9 +45,15 @@ fn main() {
     let ml_traces = load_or_build_traces(&req);
     println!("Scaling of the same dispatch structure under two per-tree costs");
     println!("(50-taxon dataset, radius 5; parsimony = Fitch, ML = measured)\n");
-    println!("{:>6} {:>14} {:>18}", "procs", "ML speedup", "parsimony speedup");
+    println!(
+        "{:>6} {:>14} {:>18}",
+        "procs", "ML speedup", "parsimony speedup"
+    );
     for p in [4usize, 8, 16, 32, 64] {
-        let cfg = SimConfig { processors: p, cost: cost.clone() };
+        let cfg = SimConfig {
+            processors: p,
+            cost: cost.clone(),
+        };
         let mut ml = 0.0;
         let mut pars = 0.0;
         for t in &ml_traces {

@@ -49,8 +49,14 @@ rearrangement: min {r_min} / median {r_med} / max {r_max}\n"
     let processors = [1usize, 16, 32, 64, 100, 128, 160, 200, 256];
     let cost = CostModel::power3_sp();
     let rows = scaling_table(&traces, &processors, &cost);
-    println!("Scalability falloff prediction, {} (§3.2)\n", dataset.label());
-    println!("{:>7} {:>12} {:>14} {:>16}", "procs", "speedup", "utilization", "marginal gain");
+    println!(
+        "Scalability falloff prediction, {} (§3.2)\n",
+        dataset.label()
+    );
+    println!(
+        "{:>7} {:>12} {:>14} {:>16}",
+        "procs", "speedup", "utilization", "marginal gain"
+    );
     let mut prev: Option<f64> = None;
     for r in rows.iter().skip(1) {
         let marginal = prev.map(|p| r.mean_speedup / p).unwrap_or(f64::NAN);

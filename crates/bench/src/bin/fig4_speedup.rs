@@ -41,8 +41,16 @@ fn main() {
     // Relative speedup 16 → 64, the paper's "quite good" regime.
     println!("\nrelative speedup 16→64 processors (perfect would be 61/13 = 4.69×):");
     for (name, rows) in ["50", "101", "150"].iter().zip(&per_dataset) {
-        let s16 = rows.iter().find(|r| r.processors == 16).unwrap().mean_speedup;
-        let s64 = rows.iter().find(|r| r.processors == 64).unwrap().mean_speedup;
+        let s16 = rows
+            .iter()
+            .find(|r| r.processors == 16)
+            .unwrap()
+            .mean_speedup;
+        let s64 = rows
+            .iter()
+            .find(|r| r.processors == 64)
+            .unwrap()
+            .mean_speedup;
         println!("  {name:>4} taxa: {:.2}×", s64 / s16);
     }
 }

@@ -15,7 +15,9 @@ fn main() {
     let taxa: usize = args.get("taxa", 24);
     let sites: usize = args.get("sites", 400);
     let radius: usize = args.get("radius", 2);
-    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let max_workers: usize = args.get("max-workers", host_cores.saturating_sub(1).clamp(1, 8));
     let tree = yule_tree(taxa, 0.08, 99);
     let alignment = evolve(&tree, sites, &EvolutionConfig::default(), 7, "taxon");
@@ -30,8 +32,14 @@ fn main() {
     let t0 = Instant::now();
     let serial = serial_search(&alignment, &config).expect("serial search");
     let serial_time = t0.elapsed().as_secs_f64();
-    println!("{:>8} {:>12} {:>10} {:>14}", "workers", "seconds", "speedup", "lnL");
-    println!("{:>8} {:>12.2} {:>10.2} {:>14.3}  (serial)", 1, serial_time, 1.0, serial.ln_likelihood);
+    println!(
+        "{:>8} {:>12} {:>10} {:>14}",
+        "workers", "seconds", "speedup", "lnL"
+    );
+    println!(
+        "{:>8} {:>12.2} {:>10.2} {:>14.3}  (serial)",
+        1, serial_time, 1.0, serial.ln_likelihood
+    );
     let mut workers = 1usize;
     while workers <= max_workers {
         let ranks = workers + 3;

@@ -22,8 +22,22 @@ fn main() {
     let mut serial = 0.0;
     let mut p64 = 0.0;
     for t in &traces {
-        serial += simulate_trace(t, &SimConfig { processors: 1, cost: cost.clone() }).wall_seconds;
-        p64 += simulate_trace(t, &SimConfig { processors: 64, cost: cost.clone() }).wall_seconds;
+        serial += simulate_trace(
+            t,
+            &SimConfig {
+                processors: 1,
+                cost: cost.clone(),
+            },
+        )
+        .wall_seconds;
+        p64 += simulate_trace(
+            t,
+            &SimConfig {
+                processors: 64,
+                cost: cost.clone(),
+            },
+        )
+        .wall_seconds;
     }
     serial /= traces.len() as f64;
     p64 /= traces.len() as f64;
@@ -37,9 +51,22 @@ fn main() {
     let days = |s: f64| s / 86400.0;
     println!("§6 time-to-solution, 150-taxon dataset (simulated Power3+ seconds,");
     println!("corrected ×{length_correction:.1} for the reduced alignment length)\n");
-    println!("  one jumble, serial      : {:>10.1} h  ({:.1} days)   [paper: ~192 h ≈ 9 days]", hours(serial_full), days(serial_full));
-    println!("  one jumble, 64 procs    : {:>10.1} h               [paper: < 4 h]", hours(p64_full));
-    println!("  200 jumbles, serial     : {:>10.1} years            [paper: ~5 years]", days(serial_full) * 200.0 / 365.0);
-    println!("  200 jumbles, 64 procs   : {:>10.1} months           [paper: ~1 month]", days(p64_full) * 200.0 / 30.0);
+    println!(
+        "  one jumble, serial      : {:>10.1} h  ({:.1} days)   [paper: ~192 h ≈ 9 days]",
+        hours(serial_full),
+        days(serial_full)
+    );
+    println!(
+        "  one jumble, 64 procs    : {:>10.1} h               [paper: < 4 h]",
+        hours(p64_full)
+    );
+    println!(
+        "  200 jumbles, serial     : {:>10.1} years            [paper: ~5 years]",
+        days(serial_full) * 200.0 / 365.0
+    );
+    println!(
+        "  200 jumbles, 64 procs   : {:>10.1} months           [paper: ~1 month]",
+        days(p64_full) * 200.0 / 30.0
+    );
     println!("  speedup at 64 processors: {:>10.1}×", serial / p64);
 }

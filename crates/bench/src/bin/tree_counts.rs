@@ -17,7 +17,12 @@ fn main() {
         } else {
             format!("{m:.1}e{e}")
         };
-        println!("{:>6} {:>14.2} {:>18}", n, log10_num_unrooted_trees(n), rendered);
+        println!(
+            "{:>6} {:>14.2} {:>18}",
+            n,
+            log10_num_unrooted_trees(n),
+            rendered
+        );
     }
     println!("\npaper quotes: 50 → 2.8e74, 100 → 1.7e182, 150 → 4.2e301");
 }

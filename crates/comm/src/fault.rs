@@ -38,12 +38,18 @@ impl FaultPlan {
     /// Drop the first `count` tree results (a worker that computes but
     /// whose replies are lost / a worker that dies mid-round).
     pub fn drop_first(count: u64) -> FaultPlan {
-        FaultPlan { kind: FaultKind::Drop, count }
+        FaultPlan {
+            kind: FaultKind::Drop,
+            count,
+        }
     }
 
     /// Delay the first `count` tree results.
     pub fn delay_first(count: u64, by: Duration) -> FaultPlan {
-        FaultPlan { kind: FaultKind::Delay(by), count }
+        FaultPlan {
+            kind: FaultKind::Delay(by),
+            count,
+        }
     }
 }
 
@@ -56,7 +62,10 @@ pub struct FaultyTransport<T: Transport> {
 impl<T: Transport> FaultyTransport<T> {
     /// Wrap a transport with a fault plan.
     pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
-        FaultyTransport { inner, plan: Mutex::new(plan) }
+        FaultyTransport {
+            inner,
+            plan: Mutex::new(plan),
+        }
     }
 
     /// Remaining faults to inject.
@@ -74,8 +83,8 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.size()
     }
 
-    fn send(&self, to: Rank, msg: Message) -> Result<(), CommError> {
-        if let Message::TreeResult { .. } = &msg {
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
+        if let Message::TreeResult { .. } = msg {
             let mut plan = self.plan.lock();
             if plan.count > 0 {
                 plan.count -= 1;
@@ -116,7 +125,7 @@ mod tests {
         let receiver = ends.remove(0);
         let faulty = FaultyTransport::new(ends.remove(0), FaultPlan::drop_first(2));
         for t in 0..4 {
-            faulty.send(0, result_msg(t)).unwrap();
+            faulty.send(0, &result_msg(t)).unwrap();
         }
         // Results 0 and 1 were dropped; 2 and 3 arrive.
         for expected in [2u64, 3] {
@@ -135,7 +144,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(2);
         let receiver = ends.remove(0);
         let faulty = FaultyTransport::new(ends.remove(0), FaultPlan::drop_first(u64::MAX));
-        faulty.send(0, Message::WorkerReady).unwrap();
+        faulty.send(0, &Message::WorkerReady).unwrap();
         assert!(receiver.try_recv().unwrap().is_some());
     }
 
@@ -148,7 +157,7 @@ mod tests {
             FaultPlan::delay_first(1, Duration::from_millis(30)),
         );
         let start = std::time::Instant::now();
-        faulty.send(0, result_msg(0)).unwrap();
+        faulty.send(0, &result_msg(0)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert!(receiver.try_recv().unwrap().is_some());
     }
@@ -158,7 +167,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(2);
         let plain = ends.remove(0);
         let faulty = FaultyTransport::new(ends.remove(0), FaultPlan::drop_first(u64::MAX));
-        plain.send(1, Message::Shutdown).unwrap();
+        plain.send(1, &Message::Shutdown).unwrap();
         let (from, msg) = faulty.try_recv().unwrap().unwrap();
         assert_eq!(from, 0);
         assert_eq!(msg, Message::Shutdown);

@@ -25,9 +25,11 @@
 
 pub mod fault;
 pub mod message;
+pub mod recording;
 pub mod threads;
 pub mod transport;
 
-pub use message::{Message, MonitorEvent};
+pub use message::{Message, MessageKind, MonitorEvent};
+pub use recording::Recording;
 pub use threads::ThreadUniverse;
-pub use transport::{CommError, Rank, Transport};
+pub use transport::{ranks, CommError, Rank, Transport};

@@ -5,6 +5,11 @@
 //! instrumentation events.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+fn default_service_us() -> u64 {
+    0
+}
 
 /// Instrumentation events consumed by the optional monitor process
 /// (paper §2.2: "an optional process that provides instrumentation").
@@ -27,6 +32,11 @@ pub enum MonitorEvent {
         ln_likelihood: f64,
         /// Work units the evaluation took.
         work_units: u64,
+        /// Wall-clock dispatch-to-result latency observed by the foreman,
+        /// in microseconds. Absent in logs written before this field
+        /// existed, hence the default.
+        #[serde(default = "default_service_us")]
+        service_us: u64,
     },
     /// A worker was marked delinquent after a timeout.
     WorkerTimedOut {
@@ -94,16 +104,55 @@ pub enum Message {
     Shutdown,
 }
 
-impl Message {
-    /// Short tag for logging.
-    pub fn kind(&self) -> &'static str {
+/// The kind of a [`Message`], without its payload. This is the unit of
+/// per-kind traffic accounting shared by the observability layer, fault
+/// injection, and the simulator's communication cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageKind {
+    /// [`Message::ProblemData`].
+    ProblemData,
+    /// [`Message::WorkerReady`].
+    WorkerReady,
+    /// [`Message::TreeTask`].
+    TreeTask,
+    /// [`Message::TreeResult`].
+    TreeResult,
+    /// [`Message::Monitor`].
+    Monitor,
+    /// [`Message::Shutdown`].
+    Shutdown,
+}
+
+impl MessageKind {
+    /// The stable string tag for logs and reports.
+    pub fn name(self) -> &'static str {
         match self {
-            Message::ProblemData { .. } => "ProblemData",
-            Message::WorkerReady => "WorkerReady",
-            Message::TreeTask { .. } => "TreeTask",
-            Message::TreeResult { .. } => "TreeResult",
-            Message::Monitor(_) => "Monitor",
-            Message::Shutdown => "Shutdown",
+            MessageKind::ProblemData => "ProblemData",
+            MessageKind::WorkerReady => "WorkerReady",
+            MessageKind::TreeTask => "TreeTask",
+            MessageKind::TreeResult => "TreeResult",
+            MessageKind::Monitor => "Monitor",
+            MessageKind::Shutdown => "Shutdown",
+        }
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Message {
+    /// The payload-free kind of this message.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::ProblemData { .. } => MessageKind::ProblemData,
+            Message::WorkerReady => MessageKind::WorkerReady,
+            Message::TreeTask { .. } => MessageKind::TreeTask,
+            Message::TreeResult { .. } => MessageKind::TreeResult,
+            Message::Monitor(_) => MessageKind::Monitor,
+            Message::Shutdown => MessageKind::Shutdown,
         }
     }
 
@@ -111,9 +160,10 @@ impl Message {
     /// communication cost model).
     pub fn wire_bytes(&self) -> usize {
         match self {
-            Message::ProblemData { phylip, config_json } => {
-                phylip.len() + config_json.len() + 16
-            }
+            Message::ProblemData {
+                phylip,
+                config_json,
+            } => phylip.len() + config_json.len() + 16,
             Message::WorkerReady => 16,
             Message::TreeTask { newick, .. } => newick.len() + 24,
             Message::TreeResult { newick, .. } => newick.len() + 40,
@@ -130,9 +180,15 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let msgs = vec![
-            Message::ProblemData { phylip: "2 4\na ACGT\nb ACGA\n".into(), config_json: "{}".into() },
+            Message::ProblemData {
+                phylip: "2 4\na ACGT\nb ACGA\n".into(),
+                config_json: "{}".into(),
+            },
             Message::WorkerReady,
-            Message::TreeTask { task: 7, newick: "(a:1,b:2);".into() },
+            Message::TreeTask {
+                task: 7,
+                newick: "(a:1,b:2);".into(),
+            },
             Message::TreeResult {
                 task: 7,
                 newick: "(a:1.1,b:1.9);".into(),
@@ -156,14 +212,39 @@ mod tests {
 
     #[test]
     fn kinds_are_stable() {
-        assert_eq!(Message::WorkerReady.kind(), "WorkerReady");
-        assert_eq!(Message::Shutdown.kind(), "Shutdown");
+        assert_eq!(Message::WorkerReady.kind(), MessageKind::WorkerReady);
+        assert_eq!(Message::WorkerReady.kind().name(), "WorkerReady");
+        assert_eq!(Message::Shutdown.kind().name(), "Shutdown");
+        assert_eq!(MessageKind::TreeResult.to_string(), "TreeResult");
+    }
+
+    #[test]
+    fn completed_event_defaults_service_us() {
+        // Logs written before `service_us` existed still parse.
+        let json = r#"{"Completed":{"task":1,"worker":3,"ln_likelihood":-10.5,"work_units":42}}"#;
+        let ev: MonitorEvent = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            ev,
+            MonitorEvent::Completed {
+                task: 1,
+                worker: 3,
+                ln_likelihood: -10.5,
+                work_units: 42,
+                service_us: 0,
+            }
+        );
     }
 
     #[test]
     fn wire_bytes_scale_with_payload() {
-        let small = Message::TreeTask { task: 1, newick: "(a,b);".into() };
-        let big = Message::TreeTask { task: 1, newick: "(a,b);".repeat(100) };
+        let small = Message::TreeTask {
+            task: 1,
+            newick: "(a,b);".into(),
+        };
+        let big = Message::TreeTask {
+            task: 1,
+            newick: "(a,b);".repeat(100),
+        };
         assert!(big.wire_bytes() > small.wire_bytes());
     }
 }

@@ -1,0 +1,130 @@
+//! A transport wrapper that emits per-message observability events.
+
+use crate::message::Message;
+use crate::transport::{CommError, Rank, Transport};
+use fdml_obs::{Event, Obs};
+use std::time::Duration;
+
+/// Wraps any [`Transport`] and emits an [`Event::MessageSent`] /
+/// [`Event::MessageReceived`] for every message that crosses it, tagged with
+/// the message's kind name and approximate wire size.
+///
+/// Because [`Obs::emit`] takes a closure, a `Recording` over a disabled
+/// handle costs one branch per call — no event construction, no allocation —
+/// so the runtime can wrap its transport unconditionally.
+pub struct Recording<T: Transport> {
+    inner: T,
+    obs: Obs,
+}
+
+impl<T: Transport> Recording<T> {
+    /// Wraps `inner`, reporting traffic to `obs`.
+    pub fn new(inner: T, obs: Obs) -> Recording<T> {
+        Recording { inner, obs }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps back into the underlying transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// The observability handle traffic is reported to.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+}
+
+impl<T: Transport> Transport for Recording<T> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
+        self.inner.send(to, msg)?;
+        self.obs.emit(|| Event::MessageSent {
+            from: self.inner.rank(),
+            to,
+            kind: msg.kind().name().to_string(),
+            bytes: msg.wire_bytes() as u64,
+        });
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError> {
+        let got = self.inner.recv_timeout(timeout)?;
+        if let Some((from, msg)) = &got {
+            self.obs.emit(|| Event::MessageReceived {
+                at: self.inner.rank(),
+                from: *from,
+                kind: msg.kind().name().to_string(),
+                bytes: msg.wire_bytes() as u64,
+            });
+        }
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threads::ThreadUniverse;
+    use fdml_obs::MemorySink;
+
+    #[test]
+    fn records_sends_and_receives() {
+        let mut endpoints = ThreadUniverse::create(2);
+        let b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        let mem = MemorySink::new();
+        let a = Recording::new(a, Obs::new(Box::new(mem.clone())));
+        let b = Recording::new(b, Obs::new(Box::new(mem.clone())));
+
+        a.send(1, &Message::Shutdown).unwrap();
+        let (from, msg) = b.recv().unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(msg, Message::Shutdown);
+
+        let records = mem.snapshot();
+        assert_eq!(records.len(), 2);
+        match &records[0].event {
+            Event::MessageSent {
+                from,
+                to,
+                kind,
+                bytes,
+            } => {
+                assert_eq!((*from, *to), (0, 1));
+                assert_eq!(kind, "Shutdown");
+                assert!(*bytes > 0);
+            }
+            other => panic!("expected MessageSent, got {other:?}"),
+        }
+        match &records[1].event {
+            Event::MessageReceived { at, from, kind, .. } => {
+                assert_eq!((*at, *from), (1, 0));
+                assert_eq!(kind, "Shutdown");
+            }
+            other => panic!("expected MessageReceived, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_obs_is_transparent() {
+        let mut endpoints = ThreadUniverse::create(2);
+        let b = endpoints.pop().unwrap();
+        let a = Recording::new(endpoints.pop().unwrap(), Obs::disabled());
+        assert_eq!(a.rank(), 0);
+        assert_eq!(a.size(), 2);
+        a.send(1, &Message::Shutdown).unwrap();
+        assert_eq!(b.recv().unwrap().1, Message::Shutdown);
+    }
+}

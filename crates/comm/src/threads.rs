@@ -48,9 +48,10 @@ impl Transport for ThreadTransport {
         self.senders.len()
     }
 
-    fn send(&self, to: Rank, msg: Message) -> Result<(), CommError> {
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
         let tx = self.senders.get(to).ok_or(CommError::UnknownRank(to))?;
-        tx.send((self.rank, msg)).map_err(|_| CommError::Disconnected(to))
+        tx.send((self.rank, msg.clone()))
+            .map_err(|_| CommError::Disconnected(to))
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError> {
@@ -75,9 +76,9 @@ mod tests {
         let echo = thread::spawn(move || {
             let (from, msg) = b.recv().unwrap();
             assert_eq!(from, 0);
-            b.send(from, msg).unwrap();
+            b.send(from, &msg).unwrap();
         });
-        a.send(1, Message::WorkerReady).unwrap();
+        a.send(1, &Message::WorkerReady).unwrap();
         let (from, msg) = a.recv().unwrap();
         assert_eq!(from, 1);
         assert_eq!(msg, Message::WorkerReady);
@@ -98,7 +99,7 @@ mod tests {
     fn self_send_is_allowed() {
         let ends = ThreadUniverse::create(1);
         let a = &ends[0];
-        a.send(0, Message::Shutdown).unwrap();
+        a.send(0, &Message::Shutdown).unwrap();
         let (from, msg) = a.try_recv().unwrap().unwrap();
         assert_eq!(from, 0);
         assert_eq!(msg, Message::Shutdown);
@@ -107,7 +108,10 @@ mod tests {
     #[test]
     fn unknown_rank_rejected() {
         let ends = ThreadUniverse::create(2);
-        assert_eq!(ends[0].send(9, Message::Shutdown), Err(CommError::UnknownRank(9)));
+        assert_eq!(
+            ends[0].send(9, &Message::Shutdown),
+            Err(CommError::UnknownRank(9))
+        );
     }
 
     #[test]
@@ -122,7 +126,15 @@ mod tests {
     fn messages_preserve_fifo_per_sender() {
         let ends = ThreadUniverse::create(2);
         for i in 0..10u64 {
-            ends[1].send(0, Message::TreeTask { task: i, newick: String::new() }).unwrap();
+            ends[1]
+                .send(
+                    0,
+                    &Message::TreeTask {
+                        task: i,
+                        newick: String::new(),
+                    },
+                )
+                .unwrap();
         }
         for i in 0..10u64 {
             let (_, msg) = ends[0].try_recv().unwrap().unwrap();

@@ -10,6 +10,21 @@ use std::time::Duration;
 /// version … requires a minimum of four processors".
 pub type Rank = usize;
 
+/// The rank convention of the parallel runtime (paper §2.2). These are the
+/// canonical constants; `fdml-core` re-exports them for compatibility.
+pub mod ranks {
+    use super::Rank;
+
+    /// Rank 0: the master process driving the search.
+    pub const MASTER: Rank = 0;
+    /// Rank 1: the foreman scheduling candidate trees onto workers.
+    pub const FOREMAN: Rank = 1;
+    /// Rank 2: the optional monitor aggregating instrumentation events.
+    pub const MONITOR: Rank = 2;
+    /// Ranks 3..: likelihood-evaluating workers.
+    pub const FIRST_WORKER: Rank = 3;
+}
+
 /// Transport-layer failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
@@ -39,8 +54,11 @@ pub trait Transport: Send {
     /// Total number of ranks in the universe.
     fn size(&self) -> usize;
 
-    /// Send a message to a rank (non-blocking, buffered).
-    fn send(&self, to: Rank, msg: Message) -> Result<(), CommError>;
+    /// Send a message to a rank (non-blocking, buffered). Takes the message
+    /// by reference — the same calling convention as [`Transport::broadcast`]
+    /// — so wrappers can observe traffic without taking ownership; transports
+    /// clone internally if they need an owned copy.
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError>;
 
     /// Receive the next message addressed to this rank, waiting at most
     /// `timeout`. `Ok(None)` on timeout.
@@ -64,7 +82,7 @@ pub trait Transport: Send {
     fn broadcast(&self, msg: &Message) -> Result<(), CommError> {
         for r in 0..self.size() {
             if r != self.rank() {
-                self.send(r, msg.clone())?;
+                self.send(r, msg)?;
             }
         }
         Ok(())

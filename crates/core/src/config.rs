@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn engine_config_wire_roundtrip() {
-        let mut c = SearchConfig { tt_ratio: 3.5, ..SearchConfig::default() };
+        let mut c = SearchConfig {
+            tt_ratio: 3.5,
+            ..SearchConfig::default()
+        };
         c.optimize.max_passes = 3;
         c.optimize.newton.max_iters = 7;
         let json = c.engine_config_json();

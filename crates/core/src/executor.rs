@@ -21,6 +21,47 @@ use fdml_likelihood::scorer::TreeScorer;
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::ops::{apply_move, TreeMove};
 use fdml_phylo::tree::Tree;
+use std::fmt;
+
+/// Errors an executor can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutorError {
+    /// `score_round` or `commit` was called before `set_base` established a
+    /// base tree.
+    NoBase,
+    /// A tree or likelihood operation failed.
+    Phylo(PhyloError),
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::NoBase => {
+                write!(f, "set_base must be called before scoring or committing")
+            }
+            ExecutorError::Phylo(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+impl From<PhyloError> for ExecutorError {
+    fn from(e: PhyloError) -> ExecutorError {
+        ExecutorError::Phylo(e)
+    }
+}
+
+impl From<ExecutorError> for PhyloError {
+    fn from(e: ExecutorError) -> PhyloError {
+        match e {
+            ExecutorError::NoBase => PhyloError::InvalidTreeOp(
+                "set_base must be called before scoring or committing".into(),
+            ),
+            ExecutorError::Phylo(e) => e,
+        }
+    }
+}
 
 /// The score of one candidate in a round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,16 +85,20 @@ pub struct BaseOutcome {
 }
 
 /// Evaluation strategy for candidate rounds.
+///
+/// Calling [`RoundExecutor::score_round`] or [`RoundExecutor::commit`]
+/// before [`RoundExecutor::set_base`] is a typed error
+/// ([`ExecutorError::NoBase`]), not a panic.
 pub trait RoundExecutor {
     /// Establish a new base tree, optimizing its branch lengths.
-    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError>;
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, ExecutorError>;
 
     /// Score every move against the current base.
-    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError>;
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, ExecutorError>;
 
     /// Apply one move to the base, fully optimize, and make the result the
     /// new base.
-    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError>;
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, ExecutorError>;
 }
 
 /// Full per-candidate evaluation in process (the serial worker).
@@ -66,16 +111,20 @@ pub struct FullEvalExecutor<'e> {
 impl<'e> FullEvalExecutor<'e> {
     /// Create an executor over an engine.
     pub fn new(engine: &'e LikelihoodEngine, opts: OptimizeOptions) -> FullEvalExecutor<'e> {
-        FullEvalExecutor { engine, opts, base: None }
+        FullEvalExecutor {
+            engine,
+            opts,
+            base: None,
+        }
     }
 
-    fn base(&self) -> &Tree {
-        self.base.as_ref().expect("set_base must be called before scoring")
+    fn base(&self) -> Result<&Tree, ExecutorError> {
+        self.base.as_ref().ok_or(ExecutorError::NoBase)
     }
 }
 
 impl RoundExecutor for FullEvalExecutor<'_> {
-    fn set_base(&mut self, mut tree: Tree) -> Result<BaseOutcome, PhyloError> {
+    fn set_base(&mut self, mut tree: Tree) -> Result<BaseOutcome, ExecutorError> {
         let r = self.engine.optimize(&mut tree, &self.opts);
         let out = BaseOutcome {
             tree: tree.clone(),
@@ -86,11 +135,11 @@ impl RoundExecutor for FullEvalExecutor<'_> {
         Ok(out)
     }
 
-    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, ExecutorError> {
         moves
             .iter()
             .map(|mv| {
-                let mut cand = self.base().clone();
+                let mut cand = self.base()?.clone();
                 apply_move(&mut cand, mv)?;
                 let r = self.engine.optimize(&mut cand, &self.opts);
                 Ok(CandidateScore {
@@ -101,8 +150,8 @@ impl RoundExecutor for FullEvalExecutor<'_> {
             .collect()
     }
 
-    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
-        let mut tree = self.base().clone();
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, ExecutorError> {
+        let mut tree = self.base()?.clone();
         apply_move(&mut tree, mv)?;
         self.set_base(tree)
     }
@@ -118,13 +167,21 @@ pub struct ScorerExecutor<'e> {
 impl<'e> ScorerExecutor<'e> {
     /// Create an executor over an engine.
     pub fn new(engine: &'e LikelihoodEngine, opts: OptimizeOptions) -> ScorerExecutor<'e> {
-        ScorerExecutor { engine, opts, scorer: None }
+        ScorerExecutor {
+            engine,
+            opts,
+            scorer: None,
+        }
     }
 }
 
 impl RoundExecutor for ScorerExecutor<'_> {
-    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError> {
-        let before = self.scorer.as_ref().map(|s| s.base_work().work_units()).unwrap_or(0);
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, ExecutorError> {
+        let before = self
+            .scorer
+            .as_ref()
+            .map(|s| s.base_work().work_units())
+            .unwrap_or(0);
         let scorer = TreeScorer::new(self.engine, tree, self.opts);
         let out = BaseOutcome {
             tree: scorer.tree().clone(),
@@ -136,11 +193,8 @@ impl RoundExecutor for ScorerExecutor<'_> {
         Ok(out)
     }
 
-    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
-        let scorer = self
-            .scorer
-            .as_mut()
-            .expect("set_base must be called before scoring");
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, ExecutorError> {
+        let scorer = self.scorer.as_mut().ok_or(ExecutorError::NoBase)?;
         Ok(scorer
             .score_moves(moves)
             .into_iter()
@@ -151,11 +205,8 @@ impl RoundExecutor for ScorerExecutor<'_> {
             .collect())
     }
 
-    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
-        let scorer = self
-            .scorer
-            .as_mut()
-            .expect("set_base must be called before commit");
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, ExecutorError> {
+        let scorer = self.scorer.as_mut().ok_or(ExecutorError::NoBase)?;
         let r = scorer.apply(mv)?;
         Ok(BaseOutcome {
             tree: scorer.tree().clone(),
@@ -228,13 +279,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "set_base")]
-    fn commit_before_base_panics() {
+    fn commit_before_base_is_typed_error() {
         use fdml_phylo::tree::NodeId;
         let (a, _) = setup();
         let engine = LikelihoodEngine::new(&a);
-        let mut ex = FullEvalExecutor::new(&engine, OptimizeOptions::default());
-        let mv = TreeMove::Insertion { taxon: 3, at: (NodeId(0), NodeId(1)) };
-        let _ = ex.commit(&mv);
+        let mv = TreeMove::Insertion {
+            taxon: 3,
+            at: (NodeId(0), NodeId(1)),
+        };
+
+        let mut full = FullEvalExecutor::new(&engine, OptimizeOptions::default());
+        assert!(matches!(full.commit(&mv), Err(ExecutorError::NoBase)));
+        assert!(matches!(
+            full.score_round(&[mv]),
+            Err(ExecutorError::NoBase)
+        ));
+
+        let mut fast = ScorerExecutor::new(&engine, OptimizeOptions::default());
+        assert!(matches!(fast.commit(&mv), Err(ExecutorError::NoBase)));
+        assert!(matches!(
+            fast.score_round(&[mv]),
+            Err(ExecutorError::NoBase)
+        ));
+
+        // The conversion into PhyloError keeps the message.
+        let p: PhyloError = ExecutorError::NoBase.into();
+        assert!(p.to_string().contains("set_base"));
     }
 }

@@ -8,6 +8,7 @@
 use crate::worker::ranks;
 use fdml_comm::message::{Message, MonitorEvent};
 use fdml_comm::transport::{CommError, Rank, Transport};
+use fdml_obs::{Event, Obs};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -43,19 +44,35 @@ pub fn run_foreman<T: Transport>(
     worker_timeout: Duration,
     has_monitor: bool,
 ) -> Result<ForemanStats, CommError> {
+    run_foreman_observed(transport, worker_timeout, has_monitor, Obs::disabled())
+}
+
+/// [`run_foreman`] with instrumentation: every scheduling action emits an
+/// [`Event::QueueDepth`] sample, and each accepted result carries its
+/// dispatch-to-result latency (`service_us`) to the monitor.
+pub fn run_foreman_observed<T: Transport>(
+    transport: T,
+    worker_timeout: Duration,
+    has_monitor: bool,
+    obs: Obs,
+) -> Result<ForemanStats, CommError> {
     let mut stats = ForemanStats::default();
     let mut work_queue: VecDeque<(u64, String)> = VecDeque::new();
     let mut ready: VecDeque<Rank> = VecDeque::new();
     let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
     let mut delinquent: HashSet<Rank> = HashSet::new();
     let mut completed: HashSet<u64> = HashSet::new();
-    let tick = (worker_timeout / 4).max(Duration::from_millis(1)).min(Duration::from_millis(50));
+    let tick = (worker_timeout / 4)
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(50));
 
     let monitor = |t: &T, ev: MonitorEvent| {
         if has_monitor {
-            let _ = t.send(ranks::MONITOR, Message::Monitor(ev));
+            let _ = t.send(ranks::MONITOR, &Message::Monitor(ev));
         }
     };
+
+    let mut last_depth: Option<(usize, usize, usize)> = None;
 
     loop {
         // Dispatch while both queues are non-empty.
@@ -65,8 +82,21 @@ pub fn run_foreman<T: Transport>(
                 continue;
             }
             let (task, newick) = work_queue.pop_front().expect("checked non-empty");
-            transport.send(worker, Message::TreeTask { task, newick: newick.clone() })?;
-            in_flight.insert(task, InFlight { worker, newick, dispatched_at: Instant::now() });
+            transport.send(
+                worker,
+                &Message::TreeTask {
+                    task,
+                    newick: newick.clone(),
+                },
+            )?;
+            in_flight.insert(
+                task,
+                InFlight {
+                    worker,
+                    newick,
+                    dispatched_at: Instant::now(),
+                },
+            );
             stats.dispatched += 1;
             monitor(&transport, MonitorEvent::Dispatched { task, worker });
         }
@@ -83,8 +113,26 @@ pub fn run_foreman<T: Transport>(
             delinquent.insert(f.worker);
             ready.retain(|&w| w != f.worker);
             stats.timeouts += 1;
-            monitor(&transport, MonitorEvent::WorkerTimedOut { worker: f.worker, task });
+            monitor(
+                &transport,
+                MonitorEvent::WorkerTimedOut {
+                    worker: f.worker,
+                    task,
+                },
+            );
             work_queue.push_back((task, f.newick));
+        }
+
+        // One queue-depth sample per state change (paper §3: "queue-length
+        // data from the foreman").
+        let depth = (work_queue.len(), ready.len(), in_flight.len());
+        if last_depth != Some(depth) {
+            last_depth = Some(depth);
+            obs.emit(|| Event::QueueDepth {
+                work: depth.0,
+                ready: depth.1,
+                in_flight: depth.2,
+            });
         }
 
         match transport.recv_timeout(tick)? {
@@ -97,7 +145,12 @@ pub fn run_foreman<T: Transport>(
                 Message::WorkerReady => {
                     ready.push_back(from);
                 }
-                Message::TreeResult { task, newick, ln_likelihood, work_units } => {
+                Message::TreeResult {
+                    task,
+                    newick,
+                    ln_likelihood,
+                    work_units,
+                } => {
                     if delinquent.remove(&from) {
                         stats.recoveries += 1;
                         monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
@@ -107,19 +160,35 @@ pub fn run_foreman<T: Transport>(
                         .map(|f| f.worker == from)
                         .unwrap_or(false);
                     let is_new = !completed.contains(&task)
-                        && (was_expected || work_queue.iter().any(|(t, _)| *t == task) || in_flight.contains_key(&task));
+                        && (was_expected
+                            || work_queue.iter().any(|(t, _)| *t == task)
+                            || in_flight.contains_key(&task));
                     if is_new {
                         completed.insert(task);
-                        in_flight.remove(&task);
+                        let service_us = in_flight
+                            .remove(&task)
+                            .map(|f| f.dispatched_at.elapsed().as_micros() as u64)
+                            .unwrap_or(0);
                         work_queue.retain(|(t, _)| *t != task);
                         transport.send(
                             ranks::MASTER,
-                            Message::TreeResult { task, newick, ln_likelihood, work_units },
+                            &Message::TreeResult {
+                                task,
+                                newick,
+                                ln_likelihood,
+                                work_units,
+                            },
                         )?;
                         stats.results_forwarded += 1;
                         monitor(
                             &transport,
-                            MonitorEvent::Completed { task, worker: from, ln_likelihood, work_units },
+                            MonitorEvent::Completed {
+                                task,
+                                worker: from,
+                                ln_likelihood,
+                                work_units,
+                                service_us,
+                            },
                         );
                     } else {
                         stats.duplicates_ignored += 1;
@@ -129,10 +198,10 @@ pub fn run_foreman<T: Transport>(
                 Message::Shutdown => {
                     debug_assert_eq!(from, ranks::MASTER);
                     for rank in ranks::FIRST_WORKER..transport.size() {
-                        let _ = transport.send(rank, Message::Shutdown);
+                        let _ = transport.send(rank, &Message::Shutdown);
                     }
                     if has_monitor {
-                        let _ = transport.send(ranks::MONITOR, Message::Shutdown);
+                        let _ = transport.send(ranks::MONITOR, &Message::Shutdown);
                     }
                     return Ok(stats);
                 }
@@ -161,30 +230,49 @@ mod tests {
         let worker = ends.remove(3);
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
-        let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_secs(5), false).unwrap()
-        });
+        let f =
+            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), false).unwrap());
         // Worker announces readiness, master queues a task.
-        worker.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
-            .send(ranks::FOREMAN, Message::TreeTask { task: 1, newick: "(a,b);".into() })
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "(a,b);".into(),
+                },
+            )
             .unwrap();
         // Worker receives the dispatch.
         let (_, msg) = worker.recv().unwrap();
-        let Message::TreeTask { task, .. } = msg else { panic!("expected task") };
+        let Message::TreeTask { task, .. } = msg else {
+            panic!("expected task")
+        };
         assert_eq!(task, 1);
         worker
             .send(
                 ranks::FOREMAN,
-                Message::TreeResult { task: 1, newick: "(a:1,b:1);".into(), ln_likelihood: -9.0, work_units: 3 },
+                &Message::TreeResult {
+                    task: 1,
+                    newick: "(a:1,b:1);".into(),
+                    ln_likelihood: -9.0,
+                    work_units: 3,
+                },
             )
             .unwrap();
         // Master receives the forwarded result.
         let (_, msg) = master.recv().unwrap();
-        let Message::TreeResult { task, ln_likelihood, .. } = msg else { panic!() };
+        let Message::TreeResult {
+            task,
+            ln_likelihood,
+            ..
+        } = msg
+        else {
+            panic!()
+        };
         assert_eq!(task, 1);
         assert_eq!(ln_likelihood, -9.0);
-        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
         // Worker gets the cascaded shutdown.
         let (_, msg) = worker.recv().unwrap();
         assert_eq!(msg, Message::Shutdown);
@@ -204,21 +292,35 @@ mod tests {
         let f = thread::spawn(move || {
             run_foreman(foreman_end, Duration::from_millis(60), false).unwrap()
         });
-        w1.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
-            .send(ranks::FOREMAN, Message::TreeTask { task: 7, newick: "(a,b);".into() })
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 7,
+                    newick: "(a,b);".into(),
+                },
+            )
             .unwrap();
         // w1 receives the task but stalls past the timeout.
         let (_, msg) = w1.recv().unwrap();
         assert!(matches!(msg, Message::TreeTask { task: 7, .. }));
         thread::sleep(Duration::from_millis(120));
         // Second worker comes online; the re-queued task goes to it.
-        w2.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        w2.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         let (_, msg) = w2.recv().unwrap();
-        assert!(matches!(msg, Message::TreeTask { task: 7, .. }), "requeued task must reach w2");
+        assert!(
+            matches!(msg, Message::TreeTask { task: 7, .. }),
+            "requeued task must reach w2"
+        );
         w2.send(
             ranks::FOREMAN,
-            Message::TreeResult { task: 7, newick: "(a:1,b:1);".into(), ln_likelihood: -5.0, work_units: 2 },
+            &Message::TreeResult {
+                task: 7,
+                newick: "(a:1,b:1);".into(),
+                ln_likelihood: -5.0,
+                work_units: 2,
+            },
         )
         .unwrap();
         let (_, msg) = master.recv().unwrap();
@@ -227,7 +329,12 @@ mod tests {
         // worker is recovered and re-admitted to the ready queue.
         w1.send(
             ranks::FOREMAN,
-            Message::TreeResult { task: 7, newick: "(a:2,b:2);".into(), ln_likelihood: -6.0, work_units: 2 },
+            &Message::TreeResult {
+                task: 7,
+                newick: "(a:2,b:2);".into(),
+                ln_likelihood: -6.0,
+                work_units: 2,
+            },
         )
         .unwrap();
         // Two more tasks: the ready queue now holds [w2, w1], so task 8
@@ -235,16 +342,24 @@ mod tests {
         // no further timeout can fire.
         for t in [8u64, 9] {
             master
-                .send(ranks::FOREMAN, Message::TreeTask { task: t, newick: "(a,b);".into() })
+                .send(
+                    ranks::FOREMAN,
+                    &Message::TreeTask {
+                        task: t,
+                        newick: "(a,b);".into(),
+                    },
+                )
                 .unwrap();
         }
         for w in [&w2, &w1] {
             let (_, msg) = w.recv().unwrap();
-            let Message::TreeTask { task, .. } = msg else { panic!("expected task") };
+            let Message::TreeTask { task, .. } = msg else {
+                panic!("expected task")
+            };
             assert!(task == 8 || task == 9);
             w.send(
                 ranks::FOREMAN,
-                Message::TreeResult {
+                &Message::TreeResult {
                     task,
                     newick: "(a:1,b:1);".into(),
                     ln_likelihood: -4.0,
@@ -258,7 +373,7 @@ mod tests {
             let (_, msg) = master.recv().unwrap();
             assert!(matches!(msg, Message::TreeResult { .. }));
         }
-        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
         let stats = f.join().unwrap();
         assert_eq!(stats.timeouts, 1);
         assert_eq!(stats.recoveries, 1);
@@ -273,25 +388,41 @@ mod tests {
         let monitor = ends.remove(2);
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
-        let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_secs(5), true).unwrap()
-        });
-        worker.send(ranks::FOREMAN, Message::WorkerReady).unwrap();
+        let f =
+            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), true).unwrap());
+        worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
-            .send(ranks::FOREMAN, Message::TreeTask { task: 1, newick: "(a,b);".into() })
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "(a,b);".into(),
+                },
+            )
             .unwrap();
         let (_, ev) = monitor.recv().unwrap();
-        assert!(matches!(ev, Message::Monitor(MonitorEvent::Dispatched { task: 1, .. })));
+        assert!(matches!(
+            ev,
+            Message::Monitor(MonitorEvent::Dispatched { task: 1, .. })
+        ));
         worker.recv().unwrap();
         worker
             .send(
                 ranks::FOREMAN,
-                Message::TreeResult { task: 1, newick: "(a,b);".into(), ln_likelihood: -1.0, work_units: 1 },
+                &Message::TreeResult {
+                    task: 1,
+                    newick: "(a,b);".into(),
+                    ln_likelihood: -1.0,
+                    work_units: 1,
+                },
             )
             .unwrap();
         let (_, ev) = monitor.recv().unwrap();
-        assert!(matches!(ev, Message::Monitor(MonitorEvent::Completed { task: 1, .. })));
-        master.send(ranks::FOREMAN, Message::Shutdown).unwrap();
+        assert!(matches!(
+            ev,
+            Message::Monitor(MonitorEvent::Completed { task: 1, .. })
+        ));
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
         let (_, ev) = monitor.recv().unwrap();
         assert_eq!(ev, Message::Shutdown);
         f.join().unwrap();

@@ -6,7 +6,7 @@
 //! a transport (the paper's point about the algorithm being independent of
 //! the message-passing layer).
 
-use crate::executor::{BaseOutcome, CandidateScore, RoundExecutor};
+use crate::executor::{BaseOutcome, CandidateScore, ExecutorError, RoundExecutor};
 use crate::worker::ranks;
 use fdml_comm::message::{Message, MonitorEvent};
 use fdml_comm::transport::Transport;
@@ -39,7 +39,13 @@ impl<T: Transport> ClusterExecutor<T> {
     ) -> ClusterExecutor<T> {
         for rank in ranks::FIRST_WORKER..transport.size() {
             transport
-                .send(rank, Message::ProblemData { phylip: phylip.clone(), config_json: config_json.clone() })
+                .send(
+                    rank,
+                    &Message::ProblemData {
+                        phylip: phylip.clone(),
+                        config_json: config_json.clone(),
+                    },
+                )
                 .expect("worker must be reachable at startup");
         }
         ClusterExecutor {
@@ -56,13 +62,16 @@ impl<T: Transport> ClusterExecutor<T> {
     /// Orderly shutdown: tell the foreman, which cascades to workers and
     /// the monitor.
     pub fn shutdown(self) -> T {
-        let _ = self.transport.send(ranks::FOREMAN, Message::Shutdown);
+        let _ = self.transport.send(ranks::FOREMAN, &Message::Shutdown);
         self.transport
     }
 
     /// Dispatch a batch of Newick strings; block until all results return.
     /// Results are reordered to match submission order.
-    fn dispatch_batch(&mut self, newicks: Vec<String>) -> Result<Vec<(Tree, f64, u64)>, PhyloError> {
+    fn dispatch_batch(
+        &mut self,
+        newicks: Vec<String>,
+    ) -> Result<Vec<(Tree, f64, u64)>, PhyloError> {
         let mut index_of: HashMap<u64, usize> = HashMap::with_capacity(newicks.len());
         let n = newicks.len();
         for (i, text) in newicks.into_iter().enumerate() {
@@ -70,7 +79,7 @@ impl<T: Transport> ClusterExecutor<T> {
             self.next_task += 1;
             index_of.insert(task, i);
             self.transport
-                .send(ranks::FOREMAN, Message::TreeTask { task, newick: text })
+                .send(ranks::FOREMAN, &Message::TreeTask { task, newick: text })
                 .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
         }
         let mut results: Vec<Option<(Tree, f64, u64)>> = (0..n).map(|_| None).collect();
@@ -81,8 +90,15 @@ impl<T: Transport> ClusterExecutor<T> {
                 .recv()
                 .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
             match msg {
-                Message::TreeResult { task, newick: text, ln_likelihood, work_units } => {
-                    let Some(&i) = index_of.get(&task) else { continue };
+                Message::TreeResult {
+                    task,
+                    newick: text,
+                    ln_likelihood,
+                    work_units,
+                } => {
+                    let Some(&i) = index_of.get(&task) else {
+                        continue;
+                    };
                     if results[i].is_none() {
                         let tree = newick::parse_tree_with_names(&text, &self.names)?;
                         results[i] = Some((tree, ln_likelihood, work_units));
@@ -94,11 +110,14 @@ impl<T: Transport> ClusterExecutor<T> {
                 }
             }
         }
-        Ok(results.into_iter().map(|r| r.expect("all received")).collect())
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all received"))
+            .collect())
     }
 
-    fn base(&self) -> &Tree {
-        self.base.as_ref().expect("set_base must be called first")
+    fn base(&self) -> Result<&Tree, ExecutorError> {
+        self.base.as_ref().ok_or(ExecutorError::NoBase)
     }
 
     fn announce_round(&mut self, candidates: usize, best_lnl: f64, best: &Tree) {
@@ -106,7 +125,7 @@ impl<T: Transport> ClusterExecutor<T> {
         if self.has_monitor {
             let _ = self.transport.send(
                 ranks::MONITOR,
-                Message::Monitor(MonitorEvent::RoundComplete {
+                &Message::Monitor(MonitorEvent::RoundComplete {
                     round: self.round,
                     candidates,
                     best_ln_likelihood: best_lnl,
@@ -118,19 +137,23 @@ impl<T: Transport> ClusterExecutor<T> {
 }
 
 impl<T: Transport> RoundExecutor for ClusterExecutor<T> {
-    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, PhyloError> {
+    fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, ExecutorError> {
         let text = newick::write_tree(&tree, &self.names);
         let mut results = self.dispatch_batch(vec![text])?;
         let (tree, lnl, work) = results.pop().expect("one result");
         self.base = Some(tree.clone());
         self.base_lnl = lnl;
-        Ok(BaseOutcome { tree, ln_likelihood: lnl, work_units: work })
+        Ok(BaseOutcome {
+            tree,
+            ln_likelihood: lnl,
+            work_units: work,
+        })
     }
 
-    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, PhyloError> {
+    fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, ExecutorError> {
         let mut newicks = Vec::with_capacity(moves.len());
         for mv in moves {
-            let mut cand = self.base().clone();
+            let mut cand = self.base()?.clone();
             apply_move(&mut cand, mv)?;
             newicks.push(newick::write_tree(&cand, &self.names));
         }
@@ -144,12 +167,15 @@ impl<T: Transport> RoundExecutor for ClusterExecutor<T> {
         }
         Ok(results
             .into_iter()
-            .map(|(_, lnl, work)| CandidateScore { ln_likelihood: lnl, work_units: work })
+            .map(|(_, lnl, work)| CandidateScore {
+                ln_likelihood: lnl,
+                work_units: work,
+            })
             .collect())
     }
 
-    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, PhyloError> {
-        let mut tree = self.base().clone();
+    fn commit(&mut self, mv: &TreeMove) -> Result<BaseOutcome, ExecutorError> {
+        let mut tree = self.base()?.clone();
         apply_move(&mut tree, mv)?;
         self.set_base(tree)
     }
@@ -185,7 +211,7 @@ mod tests {
                             for (task, newick) in pending.drain(..).rev() {
                                 end.send(
                                     ranks::MASTER,
-                                    Message::TreeResult {
+                                    &Message::TreeResult {
                                         task,
                                         newick,
                                         // Encode the task id in the lnL so the

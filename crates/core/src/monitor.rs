@@ -7,6 +7,7 @@
 
 use fdml_comm::message::{Message, MonitorEvent};
 use fdml_comm::transport::{CommError, Rank, Transport};
+use fdml_obs::{Event, Obs};
 use std::collections::HashMap;
 
 /// Per-worker utilization counters.
@@ -41,7 +42,11 @@ impl MonitorReport {
     /// Coefficient of variation of completed-tree counts across workers —
     /// a load-balance figure (near 0 = even load).
     pub fn load_imbalance(&self) -> f64 {
-        let counts: Vec<f64> = self.per_worker.values().map(|w| w.completed as f64).collect();
+        let counts: Vec<f64> = self
+            .per_worker
+            .values()
+            .map(|w| w.completed as f64)
+            .collect();
         if counts.len() < 2 {
             return 0.0;
         }
@@ -56,6 +61,17 @@ impl MonitorReport {
 
 /// Run the monitor loop until `Shutdown`, returning the aggregated report.
 pub fn run_monitor<T: Transport>(transport: T) -> Result<MonitorReport, CommError> {
+    run_monitor_observed(transport, Obs::disabled())
+}
+
+/// [`run_monitor`] with instrumentation: every protocol-level
+/// [`MonitorEvent`] is also re-emitted as a structured [`Event`] (task
+/// lifecycle and round boundaries), so the monitor rank is where the
+/// foreman's bookkeeping enters the observability stream.
+pub fn run_monitor_observed<T: Transport>(
+    transport: T,
+    obs: Obs,
+) -> Result<MonitorReport, CommError> {
     let mut report = MonitorReport::default();
     loop {
         let (_, msg) = transport.recv()?;
@@ -63,19 +79,35 @@ pub fn run_monitor<T: Transport>(transport: T) -> Result<MonitorReport, CommErro
             Message::Monitor(ev) => {
                 report.events += 1;
                 match ev {
-                    MonitorEvent::Dispatched { worker, .. } => {
+                    MonitorEvent::Dispatched { task, worker } => {
                         report.per_worker.entry(worker).or_default().dispatched += 1;
+                        obs.emit(|| Event::TaskDispatched { task, worker });
                     }
-                    MonitorEvent::Completed { worker, work_units, .. } => {
+                    MonitorEvent::Completed {
+                        task,
+                        worker,
+                        ln_likelihood,
+                        work_units,
+                        service_us,
+                    } => {
                         let w = report.per_worker.entry(worker).or_default();
                         w.completed += 1;
                         w.work_units += work_units;
+                        obs.emit(|| Event::TaskCompleted {
+                            task,
+                            worker,
+                            service_us,
+                            work_units,
+                            ln_likelihood,
+                        });
                     }
-                    MonitorEvent::WorkerTimedOut { worker, .. } => {
+                    MonitorEvent::WorkerTimedOut { worker, task } => {
                         report.per_worker.entry(worker).or_default().timeouts += 1;
+                        obs.emit(|| Event::TaskTimedOut { task, worker });
                     }
-                    MonitorEvent::WorkerRecovered { .. } => {
+                    MonitorEvent::WorkerRecovered { worker } => {
                         report.recoveries += 1;
+                        obs.emit(|| Event::WorkerRecovered { worker });
                     }
                     MonitorEvent::RoundComplete {
                         round,
@@ -83,8 +115,15 @@ pub fn run_monitor<T: Transport>(transport: T) -> Result<MonitorReport, CommErro
                         best_ln_likelihood,
                         best_newick,
                     } => {
-                        report.round_history.push((round, candidates, best_ln_likelihood));
+                        report
+                            .round_history
+                            .push((round, candidates, best_ln_likelihood));
                         report.best_trees.push(best_newick);
+                        obs.emit(|| Event::RoundCompleted {
+                            round,
+                            candidates,
+                            best_ln_likelihood,
+                        });
                     }
                 }
             }
@@ -110,7 +149,13 @@ mod tests {
         let handle = thread::spawn(move || run_monitor(monitor_end).unwrap());
         for ev in [
             MonitorEvent::Dispatched { task: 1, worker: 3 },
-            MonitorEvent::Completed { task: 1, worker: 3, ln_likelihood: -2.0, work_units: 10 },
+            MonitorEvent::Completed {
+                task: 1,
+                worker: 3,
+                ln_likelihood: -2.0,
+                work_units: 10,
+                service_us: 1500,
+            },
             MonitorEvent::Dispatched { task: 2, worker: 4 },
             MonitorEvent::WorkerTimedOut { worker: 4, task: 2 },
             MonitorEvent::WorkerRecovered { worker: 4 },
@@ -121,9 +166,9 @@ mod tests {
                 best_newick: "(a,b);".into(),
             },
         ] {
-            sender.send(2, Message::Monitor(ev)).unwrap();
+            sender.send(2, &Message::Monitor(ev)).unwrap();
         }
-        sender.send(2, Message::Shutdown).unwrap();
+        sender.send(2, &Message::Shutdown).unwrap();
         let report = handle.join().unwrap();
         assert_eq!(report.events, 6);
         assert_eq!(report.per_worker[&3].completed, 1);
@@ -137,10 +182,28 @@ mod tests {
     #[test]
     fn load_imbalance_zero_for_even_load() {
         let mut r = MonitorReport::default();
-        r.per_worker.insert(3, WorkerUtilization { completed: 10, ..Default::default() });
-        r.per_worker.insert(4, WorkerUtilization { completed: 10, ..Default::default() });
+        r.per_worker.insert(
+            3,
+            WorkerUtilization {
+                completed: 10,
+                ..Default::default()
+            },
+        );
+        r.per_worker.insert(
+            4,
+            WorkerUtilization {
+                completed: 10,
+                ..Default::default()
+            },
+        );
         assert!(r.load_imbalance() < 1e-12);
-        r.per_worker.insert(5, WorkerUtilization { completed: 0, ..Default::default() });
+        r.per_worker.insert(
+            5,
+            WorkerUtilization {
+                completed: 0,
+                ..Default::default()
+            },
+        );
         assert!(r.load_imbalance() > 0.1);
     }
 }

@@ -3,15 +3,17 @@
 
 use crate::config::SearchConfig;
 use crate::executor::{FullEvalExecutor, ScorerExecutor};
-use crate::foreman::{run_foreman, ForemanStats};
+use crate::foreman::{run_foreman_observed, ForemanStats};
 use crate::master::ClusterExecutor;
-use crate::monitor::{run_monitor, MonitorReport};
+use crate::monitor::{run_monitor_observed, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
-use crate::worker::{ranks, run_worker, WorkerStats};
+use crate::worker::{ranks, run_worker_observed, WorkerStats};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
+use fdml_comm::recording::Recording;
 use fdml_comm::threads::ThreadUniverse;
 use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::consensus::{consensus, Consensus};
 use fdml_phylo::error::PhyloError;
@@ -23,7 +25,10 @@ use std::thread;
 /// Serial search: the worker evaluation runs as an in-process subroutine,
 /// exactly as in fastDNAml's serial build. Every candidate tree receives
 /// the full branch-length optimization.
-pub fn serial_search(alignment: &Alignment, config: &SearchConfig) -> Result<SearchResult, PhyloError> {
+pub fn serial_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+) -> Result<SearchResult, PhyloError> {
     let engine = config.build_engine(alignment);
     let executor = FullEvalExecutor::new(&engine, config.optimize);
     StepwiseSearch::new(config, executor, alignment.num_taxa())
@@ -33,7 +38,10 @@ pub fn serial_search(alignment: &Alignment, config: &SearchConfig) -> Result<Sea
 
 /// Serial search using the incremental candidate scorer (fast mode) —
 /// used for paper-scale trace generation.
-pub fn fast_serial_search(alignment: &Alignment, config: &SearchConfig) -> Result<SearchResult, PhyloError> {
+pub fn fast_serial_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+) -> Result<SearchResult, PhyloError> {
     let engine = config.build_engine(alignment);
     let executor = ScorerExecutor::new(&engine, config.optimize);
     StepwiseSearch::new(config, executor, alignment.num_taxa())
@@ -85,6 +93,9 @@ pub struct ParallelOutcome {
     pub foreman: ForemanStats,
     /// Per-worker statistics, indexed by rank.
     pub workers: HashMap<usize, WorkerStats>,
+    /// The end-of-run observability report — `Some` when the run was
+    /// observed (see [`parallel_search_observed`]), `None` otherwise.
+    pub report: Option<RunReport>,
 }
 
 /// Parallel search over `num_ranks` thread-ranks: rank 0 master, rank 1
@@ -105,30 +116,71 @@ pub fn parallel_search_with_faults(
     alignment: &Alignment,
     config: &SearchConfig,
     num_ranks: usize,
+    faults: HashMap<usize, FaultPlan>,
+) -> Result<ParallelOutcome, PhyloError> {
+    parallel_search_observed(alignment, config, num_ranks, faults, Vec::new())
+}
+
+/// Parallel search with full instrumentation: every rank's transport is
+/// wrapped in [`Recording`], the foreman / workers / monitor emit structured
+/// [`Event`]s into `sinks`, and the outcome carries a [`RunReport`]
+/// aggregated from the stream.
+///
+/// An empty `sinks` (or all-null sinks) disables observation entirely —
+/// the instrumented code paths then cost one branch per emit point and no
+/// allocation, and `report` is `None`.
+pub fn parallel_search_observed(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    num_ranks: usize,
     mut faults: HashMap<usize, FaultPlan>,
+    mut sinks: Vec<Box<dyn Sink>>,
 ) -> Result<ParallelOutcome, PhyloError> {
     assert!(
         num_ranks >= 4,
         "the fully instrumented parallel version requires at least four ranks"
     );
+    // When observing, tee into a memory sink so the end-of-run report can
+    // be aggregated no matter where else the events go.
+    let observing = sinks.iter().any(|s| !s.is_null());
+    let mem = if observing {
+        let mem = MemorySink::new();
+        sinks.push(Box::new(mem.clone()));
+        Some(mem)
+    } else {
+        None
+    };
+    let obs = Obs::multi(sinks);
+    obs.emit(|| Event::RunStarted {
+        ranks: num_ranks,
+        workers: num_ranks - ranks::FIRST_WORKER,
+    });
+
     let mut endpoints = ThreadUniverse::create(num_ranks);
     // Take endpoints from the back so indices stay valid.
     let mut worker_handles = Vec::new();
     for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
         let end = endpoints.remove(rank);
         let fault = faults.remove(&rank);
+        let worker_obs = obs.clone();
         let handle = thread::spawn(move || match fault {
-            Some(plan) => run_worker(FaultyTransport::new(end, plan)),
-            None => run_worker(end),
+            Some(plan) => run_worker_observed(
+                Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
+                worker_obs,
+            ),
+            None => run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs),
         });
         worker_handles.push((rank, handle));
     }
-    let monitor_end = endpoints.remove(ranks::MONITOR);
-    let foreman_end = endpoints.remove(ranks::FOREMAN);
-    let master_end = endpoints.remove(ranks::MASTER);
+    let monitor_end = Recording::new(endpoints.remove(ranks::MONITOR), obs.clone());
+    let foreman_end = Recording::new(endpoints.remove(ranks::FOREMAN), obs.clone());
+    let master_end = Recording::new(endpoints.remove(ranks::MASTER), obs.clone());
     let timeout = config.worker_timeout;
-    let foreman_handle = thread::spawn(move || run_foreman(foreman_end, timeout, true));
-    let monitor_handle = thread::spawn(move || run_monitor(monitor_end));
+    let foreman_obs = obs.clone();
+    let foreman_handle =
+        thread::spawn(move || run_foreman_observed(foreman_end, timeout, true, foreman_obs));
+    let monitor_obs = obs.clone();
+    let monitor_handle = thread::spawn(move || run_monitor_observed(monitor_end, monitor_obs));
 
     let executor = ClusterExecutor::new(
         master_end,
@@ -159,7 +211,19 @@ pub fn parallel_search_with_faults(
             .unwrap_or_default();
         workers.insert(rank, stats);
     }
-    Ok(ParallelOutcome { result: result?, monitor, foreman, workers })
+    let result = result?;
+    obs.emit(|| Event::RunFinished {
+        ln_likelihood: result.ln_likelihood,
+    });
+    obs.flush();
+    let report = mem.map(|m| RunReport::from_events(&m.take()));
+    Ok(ParallelOutcome {
+        result,
+        monitor,
+        foreman,
+        workers,
+        report,
+    })
 }
 
 /// Run many jumbles serially and compute their majority-rule consensus —
@@ -173,7 +237,10 @@ pub fn run_jumbles(
     let engine = base_config.build_engine(alignment);
     let mut results = Vec::with_capacity(seeds.len());
     for &seed in seeds {
-        let config = SearchConfig { jumble_seed: seed, ..base_config.clone() };
+        let config = SearchConfig {
+            jumble_seed: seed,
+            ..base_config.clone()
+        };
         let executor = ScorerExecutor::new(&engine, config.optimize);
         let result = StepwiseSearch::new(&config, executor, alignment.num_taxa())
             .with_names(alignment.names().to_vec())
@@ -271,7 +338,10 @@ pub fn optimize_tt_ratio(
 ) -> (f64, f64) {
     assert!(lo > 0.0 && hi > lo);
     let eval = |tt: f64| -> f64 {
-        let cfg = SearchConfig { tt_ratio: tt, ..config.clone() };
+        let cfg = SearchConfig {
+            tt_ratio: tt,
+            ..config.clone()
+        };
         let engine = cfg.build_engine(alignment);
         let mut t = tree.clone();
         engine.optimize(&mut t, &cfg.optimize).ln_likelihood
@@ -325,7 +395,10 @@ mod tests {
     #[test]
     fn serial_search_completes() {
         let a = alignment();
-        let config = SearchConfig { jumble_seed: 5, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 5,
+            ..Default::default()
+        };
         let r = serial_search(&a, &config).unwrap();
         assert_eq!(r.tree.num_tips(), 6);
         assert!(r.ln_likelihood.is_finite() && r.ln_likelihood < 0.0);
@@ -335,7 +408,10 @@ mod tests {
     #[test]
     fn parallel_matches_serial_exactly() {
         let a = alignment();
-        let config = SearchConfig { jumble_seed: 5, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 5,
+            ..Default::default()
+        };
         let serial = serial_search(&a, &config).unwrap();
         let parallel = parallel_search(&a, &config, 6).unwrap();
         // Identical search decisions: same topology; likelihoods agree to
@@ -355,7 +431,10 @@ mod tests {
         assert!(parallel.monitor.events > 0);
         assert_eq!(parallel.workers.len(), 3);
         let total: u64 = parallel.workers.values().map(|w| w.trees_evaluated).sum();
-        assert_eq!(total, parallel.foreman.results_forwarded + parallel.foreman.duplicates_ignored);
+        assert_eq!(
+            total,
+            parallel.foreman.results_forwarded + parallel.foreman.duplicates_ignored
+        );
     }
 
     #[test]
@@ -382,13 +461,20 @@ mod tests {
             clean.result.ln_likelihood,
             faulty.result.ln_likelihood
         );
-        assert!(faulty.foreman.timeouts >= 1, "foreman must detect the stalled worker");
+        assert!(
+            faulty.foreman.timeouts >= 1,
+            "foreman must detect the stalled worker"
+        );
     }
 
     #[test]
     fn jumbles_and_consensus() {
         let a = alignment();
-        let config = SearchConfig { rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let config = SearchConfig {
+            rearrange_radius: 2,
+            final_radius: 2,
+            ..Default::default()
+        };
         let (results, cons) = run_jumbles(&a, &config, &[1, 3, 5]).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(cons.num_trees, 3);
@@ -400,7 +486,10 @@ mod tests {
     #[test]
     fn traced_search_produces_consistent_trace() {
         let a = alignment();
-        let config = SearchConfig { jumble_seed: 9, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 9,
+            ..Default::default()
+        };
         let (result, trace) = traced_search(&a, &config, "toy", false).unwrap();
         assert_eq!(trace.num_taxa, 6);
         assert_eq!(trace.final_ln_likelihood, result.ln_likelihood);
@@ -429,7 +518,11 @@ mod mode_tests {
 
     fn dataset(taxa: usize, sites: usize, tt: f64) -> (Alignment, Tree) {
         let tree = yule_tree(taxa, 0.1, 41);
-        let cfg = EvolutionConfig { tt_ratio: tt, missing_fraction: 0.0, ..Default::default() };
+        let cfg = EvolutionConfig {
+            tt_ratio: tt,
+            missing_fraction: 0.0,
+            ..Default::default()
+        };
         (evolve(&tree, sites, &cfg, 8, "taxon"), tree)
     }
 
@@ -469,7 +562,11 @@ mod mode_tests {
     #[test]
     fn bootstrap_supports_strong_clades() {
         let (a, truth) = dataset(8, 900, 2.0);
-        let config = SearchConfig { rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let config = SearchConfig {
+            rearrange_radius: 2,
+            final_radius: 2,
+            ..Default::default()
+        };
         let (results, cons) = bootstrap_analysis(&a, &config, 5, 17).unwrap();
         assert_eq!(results.len(), 5);
         assert_eq!(cons.num_trees, 5);
@@ -480,7 +577,11 @@ mod mode_tests {
             .iter()
             .filter(|s| truth_splits.splits().contains(&s.split))
             .count();
-        assert!(hits * 2 >= cons.splits.len(), "{hits}/{}", cons.splits.len());
+        assert!(
+            hits * 2 >= cons.splits.len(),
+            "{hits}/{}",
+            cons.splits.len()
+        );
     }
 
     #[test]
@@ -496,10 +597,16 @@ mod mode_tests {
             "generating ratio 6.0, estimated {tt}"
         );
         // And the likelihood at the estimate beats the default 2.0.
-        let cfg2 = SearchConfig { tt_ratio: 2.0, ..config.clone() };
+        let cfg2 = SearchConfig {
+            tt_ratio: 2.0,
+            ..config.clone()
+        };
         let engine2 = cfg2.build_engine(&a);
         let mut t2 = truth.clone();
         let at_default = engine2.optimize(&mut t2, &cfg2.optimize).ln_likelihood;
-        assert!(lnl > at_default, "lnl(tt̂={tt:.2}) = {lnl} vs lnl(2.0) = {at_default}");
+        assert!(
+            lnl > at_default,
+            "lnl(tt̂={tt:.2}) = {lnl} vs lnl(2.0) = {at_default}"
+        );
     }
 }

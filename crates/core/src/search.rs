@@ -85,7 +85,13 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
     }
 
     /// Enable trace recording for the simulator.
-    pub fn with_trace(mut self, dataset: &str, num_sites: usize, num_patterns: usize, full_evaluation: bool) -> Self {
+    pub fn with_trace(
+        mut self,
+        dataset: &str,
+        num_sites: usize,
+        num_patterns: usize,
+        full_evaluation: bool,
+    ) -> Self {
         self.trace = Some(SearchTrace {
             dataset: dataset.to_string(),
             num_taxa: self.num_taxa,
@@ -144,9 +150,17 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
         let resume = self.resume.take();
         let (order, start_idx, initial) = match resume {
             Some(cp) => {
-                assert_eq!(cp.order.len(), self.num_taxa, "checkpoint taxon count mismatch");
+                assert_eq!(
+                    cp.order.len(),
+                    self.num_taxa,
+                    "checkpoint taxon count mismatch"
+                );
                 let tree = newick::parse_tree_with_names(&cp.tree_newick, &self.names)?;
-                assert_eq!(tree.num_tips(), cp.taxa_placed, "checkpoint tree/count mismatch");
+                assert_eq!(
+                    tree.num_tips(),
+                    cp.taxa_placed,
+                    "checkpoint tree/count mismatch"
+                );
                 (cp.order, cp.taxa_placed, tree)
             }
             None => {
@@ -185,8 +199,12 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             self.notify(RoundKind::TaxonAddition, scores.len(), lnl, &tree);
 
             // Step 4: local rearrangements until no improvement.
-            let (t2, l2) =
-                self.rearrange_to_convergence(tree, lnl, self.config.rearrange_radius, RoundKind::Rearrangement)?;
+            let (t2, l2) = self.rearrange_to_convergence(
+                tree,
+                lnl,
+                self.config.rearrange_radius,
+                RoundKind::Rearrangement,
+            )?;
             tree = t2;
             lnl = l2;
             if let Some(sink) = &mut self.on_checkpoint {
@@ -275,7 +293,13 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
                 let restored = self.executor.set_base(backup.clone())?;
                 verify_work += restored.work_units;
             }
-            self.record_round(kind, tree.num_tips(), &scores, verify_work, accepted.is_some());
+            self.record_round(
+                kind,
+                tree.num_tips(),
+                &scores,
+                verify_work,
+                accepted.is_some(),
+            );
             self.work_units += verify_work;
             match accepted {
                 Some((t, l)) => {
@@ -373,7 +397,12 @@ mod tests {
     fn recovers_generating_topology() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 3, rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 3,
+            rearrange_radius: 2,
+            final_radius: 2,
+            ..Default::default()
+        };
         let ex = FullEvalExecutor::new(&engine, config.optimize);
         let mut search = StepwiseSearch::new(&config, ex, 6);
         let result = search.run().unwrap();
@@ -384,8 +413,14 @@ mod tests {
         // complement structure).
         let expect_01 = fdml_phylo::bipartition::Bipartition::from_side(&[0, 1], 6);
         let expect_45 = fdml_phylo::bipartition::Bipartition::from_side(&[4, 5], 6);
-        assert!(found.splits().contains(&expect_01), "missing (t0,t1): {found:?}");
-        assert!(found.splits().contains(&expect_45), "missing (t4,t5): {found:?}");
+        assert!(
+            found.splits().contains(&expect_01),
+            "missing (t0,t1): {found:?}"
+        );
+        assert!(
+            found.splits().contains(&expect_45),
+            "missing (t4,t5): {found:?}"
+        );
     }
 
     #[test]
@@ -398,7 +433,12 @@ mod tests {
         // With radius 2 the rearrangements do repair it here.
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 7, rearrange_radius: 2, final_radius: 2, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 7,
+            rearrange_radius: 2,
+            final_radius: 2,
+            ..Default::default()
+        };
         let full = FullEvalExecutor::new(&engine, config.optimize);
         let fast = ScorerExecutor::new(&engine, config.optimize);
         let r_full = StepwiseSearch::new(&config, full, 6).run().unwrap();
@@ -413,9 +453,12 @@ mod tests {
             r_full.ln_likelihood,
             r_fast.ln_likelihood
         );
-        let rf = SplitSet::of_tree(&r_full.tree, 6)
-            .robinson_foulds(&SplitSet::of_tree(&r_fast.tree, 6));
-        assert!(rf <= 2, "topologies differ by more than one split: RF = {rf}");
+        let rf =
+            SplitSet::of_tree(&r_full.tree, 6).robinson_foulds(&SplitSet::of_tree(&r_fast.tree, 6));
+        assert!(
+            rf <= 2,
+            "topologies differ by more than one split: RF = {rf}"
+        );
     }
 
     #[test]
@@ -424,7 +467,12 @@ mod tests {
         let engine = LikelihoodEngine::new(&a);
         let mut trees = Vec::new();
         for seed in [1u64, 5, 9] {
-            let config = SearchConfig { jumble_seed: seed, rearrange_radius: 2, final_radius: 2, ..Default::default() };
+            let config = SearchConfig {
+                jumble_seed: seed,
+                rearrange_radius: 2,
+                final_radius: 2,
+                ..Default::default()
+            };
             let ex = FullEvalExecutor::new(&engine, config.optimize);
             let r = StepwiseSearch::new(&config, ex, 6).run().unwrap();
             trees.push(SplitSet::of_tree(&r.tree, 6));
@@ -437,7 +485,12 @@ mod tests {
     fn trace_records_round_structure() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 1, rearrange_radius: 1, final_radius: 1, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 1,
+            rearrange_radius: 1,
+            final_radius: 1,
+            ..Default::default()
+        };
         let ex = FullEvalExecutor::new(&engine, config.optimize);
         let mut search = StepwiseSearch::new(&config, ex, 6)
             .with_names(a.names().to_vec())
@@ -458,14 +511,24 @@ mod tests {
         assert_eq!(additions, vec![3, 5, 7]);
         // Every addition is followed by at least one rearrangement round
         // (the confirming no-improvement round at minimum).
-        assert!(trace.rounds.iter().filter(|r| r.kind == RoundKind::Rearrangement).count() >= 3);
+        assert!(
+            trace
+                .rounds
+                .iter()
+                .filter(|r| r.kind == RoundKind::Rearrangement)
+                .count()
+                >= 3
+        );
     }
 
     #[test]
     fn observer_sees_monotone_likelihood() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 2, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 2,
+            ..Default::default()
+        };
         let ex = FullEvalExecutor::new(&engine, config.optimize);
         let mut lnls: Vec<f64> = Vec::new();
         {
@@ -501,9 +564,18 @@ mod tests {
     #[test]
     fn argmax_prefers_first_on_tie() {
         let scores = vec![
-            CandidateScore { ln_likelihood: -5.0, work_units: 1 },
-            CandidateScore { ln_likelihood: -3.0, work_units: 1 },
-            CandidateScore { ln_likelihood: -3.0, work_units: 1 },
+            CandidateScore {
+                ln_likelihood: -5.0,
+                work_units: 1,
+            },
+            CandidateScore {
+                ln_likelihood: -3.0,
+                work_units: 1,
+            },
+            CandidateScore {
+                ln_likelihood: -3.0,
+                work_units: 1,
+            },
         ];
         assert_eq!(argmax(&scores), 1);
     }
@@ -535,7 +607,10 @@ mod checkpoint_tests {
     fn checkpoints_are_emitted_per_addition() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 5, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 5,
+            ..Default::default()
+        };
         let ex = FullEvalExecutor::new(&engine, config.optimize);
         let mut checkpoints: Vec<Checkpoint> = Vec::new();
         {
@@ -558,7 +633,10 @@ mod checkpoint_tests {
     fn resume_reproduces_the_uninterrupted_run() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 9, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 9,
+            ..Default::default()
+        };
 
         // Uninterrupted run, saving the mid-run checkpoint.
         let mut checkpoints: Vec<Checkpoint> = Vec::new();
@@ -594,7 +672,10 @@ mod checkpoint_tests {
     fn resume_with_wrong_seed_panics() {
         let a = alignment();
         let engine = LikelihoodEngine::new(&a);
-        let config = SearchConfig { jumble_seed: 1, ..Default::default() };
+        let config = SearchConfig {
+            jumble_seed: 1,
+            ..Default::default()
+        };
         let ex = FullEvalExecutor::new(&engine, config.optimize);
         let cp = Checkpoint {
             jumble_seed: 2,

@@ -83,7 +83,10 @@ pub struct SearchTrace {
 impl SearchTrace {
     /// Total candidate (worker-side) work units across all rounds.
     pub fn total_worker_work(&self) -> u64 {
-        self.rounds.iter().map(RoundRecord::total_candidate_work).sum()
+        self.rounds
+            .iter()
+            .map(RoundRecord::total_candidate_work)
+            .sum()
     }
 
     /// Total master (serial) work units across all rounds.
@@ -148,7 +151,8 @@ mod tests {
 
     #[test]
     fn missing_improved_field_defaults_true() {
-        let json = r#"{"kind":"Rearrangement","taxa_in_tree":5,"candidate_work":[1],"master_work":0}"#;
+        let json =
+            r#"{"kind":"Rearrangement","taxa_in_tree":5,"candidate_work":[1],"master_work":0}"#;
         let r: RoundRecord = serde_json::from_str(json).unwrap();
         assert!(r.improved);
     }

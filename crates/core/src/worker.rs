@@ -6,23 +6,14 @@ use crate::config::SearchConfig;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Transport};
 use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_obs::{Event, Obs};
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::{newick, phylip};
+use std::time::Instant;
 
-/// Rank conventions of the runtime (as in the paper's four modules; the
-/// fully instrumented version needs at least four processors).
-pub mod ranks {
-    use fdml_comm::transport::Rank;
-
-    /// The master: generates and compares trees.
-    pub const MASTER: Rank = 0;
-    /// The foreman: dispatches trees, manages the work and ready queues.
-    pub const FOREMAN: Rank = 1;
-    /// The optional monitor: instrumentation.
-    pub const MONITOR: Rank = 2;
-    /// First worker rank; workers occupy `FIRST_WORKER..size`.
-    pub const FIRST_WORKER: Rank = 3;
-}
+// The rank convention now lives with the transport layer; re-exported here
+// because the runtime modules historically imported it from `worker`.
+pub use fdml_comm::transport::ranks;
 
 /// Summary statistics a worker returns when it shuts down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,19 +41,32 @@ impl From<CommError> for WorkerError {
 
 /// Run the worker event loop until `Shutdown`.
 pub fn run_worker<T: Transport>(transport: T) -> Result<WorkerStats, WorkerError> {
+    run_worker_observed(transport, Obs::disabled())
+}
+
+/// [`run_worker`] with instrumentation: each evaluated tree emits an
+/// [`Event::WorkerTaskDone`] carrying the time spent inside likelihood
+/// optimization (compute only — queueing and transport excluded).
+pub fn run_worker_observed<T: Transport>(
+    transport: T,
+    obs: Obs,
+) -> Result<WorkerStats, WorkerError> {
     let mut state: Option<(Alignment, LikelihoodEngine, SearchConfig)> = None;
     let mut stats = WorkerStats::default();
     loop {
         let (_, msg) = transport.recv()?;
         match msg {
-            Message::ProblemData { phylip, config_json } => {
+            Message::ProblemData {
+                phylip,
+                config_json,
+            } => {
                 let alignment = phylip::parse(&phylip)
                     .map_err(|e| WorkerError::Protocol(format!("bad alignment: {e}")))?;
                 let config = SearchConfig::from_engine_config_json(&config_json)
                     .map_err(|e| WorkerError::Protocol(format!("bad config: {e}")))?;
                 let engine = config.build_engine(&alignment);
                 state = Some((alignment, engine, config));
-                transport.send(ranks::FOREMAN, Message::WorkerReady)?;
+                transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
             }
             Message::TreeTask { task, newick: text } => {
                 let (alignment, engine, config) = state
@@ -70,12 +74,20 @@ pub fn run_worker<T: Transport>(transport: T) -> Result<WorkerStats, WorkerError
                     .ok_or_else(|| WorkerError::Protocol("task before problem data".into()))?;
                 let mut tree = newick::parse_tree(&text, alignment)
                     .map_err(|e| WorkerError::Protocol(format!("bad tree: {e}")))?;
+                let started = Instant::now();
                 let result = engine.optimize(&mut tree, &config.optimize);
+                let busy_us = started.elapsed().as_micros() as u64;
                 stats.trees_evaluated += 1;
                 stats.work_units += result.work.work_units();
+                obs.emit(|| Event::WorkerTaskDone {
+                    worker: transport.rank(),
+                    task,
+                    busy_us,
+                    work_units: result.work.work_units(),
+                });
                 transport.send(
                     ranks::FOREMAN,
-                    Message::TreeResult {
+                    &Message::TreeResult {
                         task,
                         newick: newick::write_tree(&tree, alignment.names()),
                         ln_likelihood: result.ln_likelihood,
@@ -120,17 +132,34 @@ mod tests {
         let handle = thread::spawn(move || run_worker(worker_end).unwrap());
         let (phylip_text, config_json) = problem();
         foreman_end
-            .send(3, Message::ProblemData { phylip: phylip_text, config_json })
+            .send(
+                3,
+                &Message::ProblemData {
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
             .unwrap();
         let (from, msg) = foreman_end.recv().unwrap();
         assert_eq!(from, 3);
         assert_eq!(msg, Message::WorkerReady);
         foreman_end
-            .send(3, Message::TreeTask { task: 42, newick: "(t0:0.1,t1:0.1,t2:0.1);".into() })
+            .send(
+                3,
+                &Message::TreeTask {
+                    task: 42,
+                    newick: "(t0:0.1,t1:0.1,t2:0.1);".into(),
+                },
+            )
             .unwrap();
         let (_, msg) = foreman_end.recv().unwrap();
         match msg {
-            Message::TreeResult { task, ln_likelihood, work_units, newick } => {
+            Message::TreeResult {
+                task,
+                ln_likelihood,
+                work_units,
+                newick,
+            } => {
                 assert_eq!(task, 42);
                 assert!(ln_likelihood.is_finite() && ln_likelihood < 0.0);
                 assert!(work_units > 0);
@@ -138,7 +167,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        foreman_end.send(3, Message::Shutdown).unwrap();
+        foreman_end.send(3, &Message::Shutdown).unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.trees_evaluated, 1);
     }
@@ -154,20 +183,29 @@ mod tests {
         let (phylip_text, config_json) = problem();
         for _ in 0..2 {
             foreman_end
-                .send(3, Message::ProblemData {
-                    phylip: phylip_text.clone(),
-                    config_json: config_json.clone(),
-                })
+                .send(
+                    3,
+                    &Message::ProblemData {
+                        phylip: phylip_text.clone(),
+                        config_json: config_json.clone(),
+                    },
+                )
                 .unwrap();
             let (_, msg) = foreman_end.recv().unwrap();
             assert_eq!(msg, Message::WorkerReady);
         }
         foreman_end
-            .send(3, Message::TreeTask { task: 1, newick: "(t0:0.1,t1:0.1,t2:0.1);".into() })
+            .send(
+                3,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "(t0:0.1,t1:0.1,t2:0.1);".into(),
+                },
+            )
             .unwrap();
         let (_, msg) = foreman_end.recv().unwrap();
         assert!(matches!(msg, Message::TreeResult { task: 1, .. }));
-        foreman_end.send(3, Message::Shutdown).unwrap();
+        foreman_end.send(3, &Message::Shutdown).unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.trees_evaluated, 1);
     }
@@ -178,7 +216,13 @@ mod tests {
         let worker_end = ends.remove(3);
         let foreman_end = ends.remove(1);
         foreman_end
-            .send(3, Message::TreeTask { task: 1, newick: "(a,b,c);".into() })
+            .send(
+                3,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "(a,b,c);".into(),
+                },
+            )
             .unwrap();
         let err = run_worker(worker_end).unwrap_err();
         assert!(matches!(err, WorkerError::Protocol(_)));
@@ -191,10 +235,22 @@ mod tests {
         let foreman_end = ends.remove(1);
         let (phylip_text, config_json) = problem();
         foreman_end
-            .send(3, Message::ProblemData { phylip: phylip_text, config_json })
+            .send(
+                3,
+                &Message::ProblemData {
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
             .unwrap();
         foreman_end
-            .send(3, Message::TreeTask { task: 1, newick: "not a tree".into() })
+            .send(
+                3,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "not a tree".into(),
+                },
+            )
             .unwrap();
         let err = run_worker(worker_end).unwrap_err();
         assert!(matches!(err, WorkerError::Protocol(_)));

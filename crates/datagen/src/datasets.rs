@@ -49,7 +49,11 @@ impl PaperDataset {
 
     /// All three datasets in the paper's order.
     pub fn all() -> [PaperDataset; 3] {
-        [PaperDataset::Taxa50, PaperDataset::Taxa101, PaperDataset::Taxa150]
+        [
+            PaperDataset::Taxa50,
+            PaperDataset::Taxa101,
+            PaperDataset::Taxa150,
+        ]
     }
 
     fn seed(self) -> u64 {

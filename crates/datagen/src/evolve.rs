@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn missing_fraction_injects_ambiguity() {
         let tree = yule_tree(10, 0.1, 6);
-        let config = EvolutionConfig { missing_fraction: 0.2, ..Default::default() };
+        let config = EvolutionConfig {
+            missing_fraction: 0.2,
+            ..Default::default()
+        };
         let a = evolve(&tree, 500, &config, 13, "t");
         let total = a.num_taxa() * a.num_sites();
         let missing: usize = (0..a.num_taxa() as u32)

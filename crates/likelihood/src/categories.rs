@@ -24,7 +24,10 @@ impl RateCategories {
     /// A single unit-rate category covering all `num_patterns` patterns:
     /// the default homogeneous model.
     pub fn single(num_patterns: usize) -> RateCategories {
-        RateCategories { rates: vec![1.0], assignment: vec![0; num_patterns] }
+        RateCategories {
+            rates: vec![1.0],
+            assignment: vec![0; num_patterns],
+        }
     }
 
     /// Build from explicit category rates and per-pattern assignment.

@@ -172,8 +172,7 @@ mod tests {
     use fdml_phylo::alignment::Alignment;
 
     fn setup() -> (PatternAlignment, F84Model, RateCategories) {
-        let a = Alignment::from_strings(&[("x", "ACGTN"), ("y", "AAGTC"), ("z", "TCGAA")])
-            .unwrap();
+        let a = Alignment::from_strings(&[("x", "ACGTN"), ("y", "AAGTC"), ("z", "TCGAA")]).unwrap();
         let p = PatternAlignment::compress(&a);
         let m = F84Model::new([0.3, 0.2, 0.25, 0.25], 2.0);
         let c = RateCategories::single(p.num_patterns());
@@ -260,7 +259,14 @@ mod tests {
         let (_, m, cats) = setup();
         let u = [0.3, 0.7, 0.2, 0.9];
         let d = [0.5, 0.1, 0.6, 0.2];
-        let mut terms = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; 1];
+        let mut terms = vec![
+            WTerms {
+                w1: 0.0,
+                w2: 0.0,
+                w3: 0.0
+            };
+            1
+        ];
         edge_w_terms(&m, &u, &d, &mut terms);
         for t in [0.05, 0.3, 1.5] {
             let co = branch_coefficients(&m, &cats, t)[0];
@@ -281,7 +287,11 @@ mod tests {
         let (_, m, cats1) = setup();
         let _ = cats1;
         let cats = RateCategories::single(1);
-        let terms = vec![WTerms { w1: 0.1, w2: 0.2, w3: 0.3 }];
+        let terms = vec![WTerms {
+            w1: 0.1,
+            w2: 0.2,
+            w3: 0.3,
+        }];
         let weights = [2u32];
         let no_scale = edge_log_likelihood(&m, &cats, 0.2, &terms, &weights, &[0]);
         let scaled = edge_log_likelihood(&m, &cats, 0.2, &terms, &weights, &[1]);

@@ -17,10 +17,20 @@ use fdml_phylo::nj::DistanceMatrix;
 /// substitutions per site.
 pub fn pairwise_distance(engine: &LikelihoodEngine, a: u32, b: u32) -> f64 {
     let np = engine.patterns().num_patterns();
-    let mut w = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np];
+    let mut w = vec![
+        WTerms {
+            w1: 0.0,
+            w2: 0.0,
+            w3: 0.0
+        };
+        np
+    ];
     edge_w_terms(engine.model(), engine.tip_clv(a), engine.tip_clv(b), &mut w);
     let mut work = WorkCounter::new();
-    let opts = NewtonOptions { max_iters: 60, tolerance: 1e-10 };
+    let opts = NewtonOptions {
+        max_iters: 60,
+        tolerance: 1e-10,
+    };
     optimize_branch(
         engine.model(),
         engine.categories(),
@@ -82,7 +92,10 @@ mod tests {
         let p = k as f64 / n as f64;
         let expected = -0.75 * (1.0 - 4.0 * p / 3.0).ln();
         let got = pairwise_distance(&engine, 0, 1);
-        assert!((got - expected).abs() < 1e-3, "expected {expected}, got {got}");
+        assert!(
+            (got - expected).abs() < 1e-3,
+            "expected {expected}, got {got}"
+        );
     }
 
     #[test]
@@ -115,8 +128,14 @@ mod tests {
         let splits = SplitSet::of_tree(&tree, 6);
         let s01 = fdml_phylo::bipartition::Bipartition::from_side(&[0, 1], 6);
         let s45 = fdml_phylo::bipartition::Bipartition::from_side(&[4, 5], 6);
-        assert!(splits.splits().contains(&s01), "NJ must group (t0,t1): {splits:?}");
-        assert!(splits.splits().contains(&s45), "NJ must group (t4,t5): {splits:?}");
+        assert!(
+            splits.splits().contains(&s01),
+            "NJ must group (t0,t1): {splits:?}"
+        );
+        assert!(
+            splits.splits().contains(&s45),
+            "NJ must group (t4,t5): {splits:?}"
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::categories::RateCategories;
 use crate::clv::{
-    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, fill_tip_clv,
-    WTerms, LN_SCALE,
+    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, fill_tip_clv, WTerms,
+    LN_SCALE,
 };
 use crate::f84::F84Model;
 use crate::newton::{optimize_branch, NewtonOptions};
@@ -95,7 +95,12 @@ impl LikelihoodEngine {
                 clv
             })
             .collect();
-        LikelihoodEngine { patterns, model, categories, tip_clvs }
+        LikelihoodEngine {
+            patterns,
+            model,
+            categories,
+            tip_clvs,
+        }
     }
 
     /// The pattern-compressed alignment.
@@ -131,7 +136,10 @@ impl LikelihoodEngine {
         ws.compute_all_down(tree, &mut work);
         let lnl = ws.root_log_likelihood(tree, &mut work);
         work.trees_evaluated = 1;
-        EvalResult { ln_likelihood: lnl, work }
+        EvalResult {
+            ln_likelihood: lnl,
+            work,
+        }
     }
 
     /// Optimize every branch length in place; returns the final
@@ -148,7 +156,10 @@ impl LikelihoodEngine {
         }
         let lnl = ws.root_log_likelihood(tree, &mut work);
         work.trees_evaluated = 1;
-        EvalResult { ln_likelihood: lnl, work }
+        EvalResult {
+            ln_likelihood: lnl,
+            work,
+        }
     }
 
     /// Per-pattern log-likelihood contributions (without pattern weights);
@@ -224,7 +235,14 @@ impl<'e> Workspace<'e> {
             down_scale: vec![Vec::new(); cap],
             up: vec![Vec::new(); cap],
             up_scale: vec![Vec::new(); cap],
-            wterms: vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np],
+            wterms: vec![
+                WTerms {
+                    w1: 0.0,
+                    w2: 0.0,
+                    w3: 0.0
+                };
+                np
+            ],
         }
     }
 
@@ -365,7 +383,12 @@ impl<'e> Workspace<'e> {
     /// One Gauss–Seidel sweep: preorder down the tree, optimizing each
     /// branch with a fresh `up` CLV, then rebuilding `down` CLVs on the way
     /// back up. Returns the largest branch-length change.
-    fn smooth_pass(&mut self, tree: &mut Tree, opts: &OptimizeOptions, work: &mut WorkCounter) -> f64 {
+    fn smooth_pass(
+        &mut self,
+        tree: &mut Tree,
+        opts: &OptimizeOptions,
+        work: &mut WorkCounter,
+    ) -> f64 {
         self.smooth_edge(tree, self.root_edge, opts, work)
     }
 
@@ -380,8 +403,12 @@ impl<'e> Workspace<'e> {
         self.compute_up_edge(tree, e, work);
         // Optimize this branch.
         let engine = self.engine;
-        work.loglik_pattern_evals +=
-            edge_w_terms(&engine.model, &self.up[ei], &self.down[ei], &mut self.wterms);
+        work.loglik_pattern_evals += edge_w_terms(
+            &engine.model,
+            &self.up[ei],
+            &self.down[ei],
+            &mut self.wterms,
+        );
         let t0 = tree.length(e);
         let t = optimize_branch(
             &engine.model,
@@ -560,8 +587,7 @@ mod tests {
         let np = patterns.num_patterns();
         let assignment: Vec<u32> = (0..np as u32).map(|p| p % 3).collect();
         let cats = RateCategories::new(vec![0.3, 1.0, 2.5], assignment);
-        let engine =
-            LikelihoodEngine::with_parts(patterns, F84Model::from_alignment(&a), cats);
+        let engine = LikelihoodEngine::with_parts(patterns, F84Model::from_alignment(&a), cats);
         let fast = engine.evaluate(&t).ln_likelihood;
         let brute = brute_force_lnl(&engine, &a, &t);
         assert!((fast - brute).abs() < 1e-8, "fast {fast} vs brute {brute}");
@@ -602,7 +628,10 @@ mod tests {
         let before = engine.evaluate(&t).ln_likelihood;
         let opts = OptimizeOptions::default();
         let after = engine.optimize(&mut t, &opts).ln_likelihood;
-        assert!(after >= before - 1e-9, "optimize must not reduce lnL: {before} → {after}");
+        assert!(
+            after >= before - 1e-9,
+            "optimize must not reduce lnL: {before} → {after}"
+        );
         // Idempotence: a second optimization barely moves.
         let mut t2 = t.clone();
         let again = engine.optimize(&mut t2, &opts).ln_likelihood;
@@ -628,7 +657,10 @@ mod tests {
         let opts = OptimizeOptions {
             max_passes: 20,
             length_tolerance: 1e-10,
-            newton: NewtonOptions { max_iters: 60, tolerance: 1e-12 },
+            newton: NewtonOptions {
+                max_iters: 60,
+                tolerance: 1e-12,
+            },
         };
         engine.optimize(&mut t, &opts);
         let p = k as f64 / n as f64;
@@ -668,11 +700,7 @@ mod tests {
             model.clone(),
             RateCategories::new(vec![2.0], vec![0; np]),
         );
-        let unit_rate = LikelihoodEngine::with_parts(
-            patterns,
-            model,
-            RateCategories::single(np),
-        );
+        let unit_rate = LikelihoodEngine::with_parts(patterns, model, RateCategories::single(np));
         let mut t2 = t.clone();
         for e in t2.edge_ids().collect::<Vec<_>>() {
             let len = t2.length(e);
@@ -714,7 +742,11 @@ mod tests {
         }
         let engine = LikelihoodEngine::new(&a);
         let r = engine.evaluate(&t);
-        assert!(r.ln_likelihood.is_finite(), "lnL must stay finite: {}", r.ln_likelihood);
+        assert!(
+            r.ln_likelihood.is_finite(),
+            "lnL must stay finite: {}",
+            r.ln_likelihood
+        );
         assert!(r.ln_likelihood < 0.0);
     }
 
@@ -739,12 +771,18 @@ mod tests {
         let engine = LikelihoodEngine::new(&a);
         engine.optimize(&mut t, &OptimizeOptions::default());
         let sum = |v: Vec<f64>| -> f64 {
-            v.iter().zip(engine.patterns().weights()).map(|(l, &w)| l * w as f64).sum()
+            v.iter()
+                .zip(engine.patterns().weights())
+                .map(|(l, &w)| l * w as f64)
+                .sum()
         };
         let tiny = sum(engine.per_pattern_lnl_at_rate(&t, 1e-3));
         let mid = sum(engine.per_pattern_lnl_at_rate(&t, 1.0));
         let huge = sum(engine.per_pattern_lnl_at_rate(&t, 100.0));
-        assert!(mid > tiny && mid > huge, "tiny {tiny}, mid {mid}, huge {huge}");
+        assert!(
+            mid > tiny && mid > huge,
+            "tiny {tiny}, mid {mid}, huge {huge}"
+        );
     }
 
     #[test]
@@ -763,7 +801,10 @@ mod tests {
     fn default_branch_length_constant_sane() {
         // Constant relationship, but pinned here so a constants change
         // cannot silently break insertion defaults.
-        let (lo, hi) = (crate::newton::MIN_BRANCH_LENGTH, crate::newton::MAX_BRANCH_LENGTH);
+        let (lo, hi) = (
+            crate::newton::MIN_BRANCH_LENGTH,
+            crate::newton::MAX_BRANCH_LENGTH,
+        );
         assert!((lo..hi).contains(&DEFAULT_BRANCH_LENGTH));
     }
 }

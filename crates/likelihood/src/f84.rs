@@ -76,7 +76,14 @@ impl F84Model {
         //   type-2 events with prob 2π_Aπ_G/π_R + 2π_Cπ_T/π_Y.
         let pi2: f64 = freqs.iter().map(|f| f * f).sum();
         let fracchange = (1.0 - pi2) + k * (2.0 * ag / freq_r + 2.0 * ct / freq_y);
-        F84Model { freqs, tt_ratio, k, fracchange, freq_r, freq_y }
+        F84Model {
+            freqs,
+            tt_ratio,
+            k,
+            fracchange,
+            freq_r,
+            freq_y,
+        }
     }
 
     /// Model with uniform frequencies: F84 degenerates toward Kimura's
@@ -129,7 +136,11 @@ impl F84Model {
         let e1 = (-u).exp();
         let ek = (-u * self.k).exp();
         let c1 = e1 * ek;
-        Coefficients { c1, c2: e1 - c1, c3: 1.0 - e1 }
+        Coefficients {
+            c1,
+            c2: e1 - c1,
+            c3: 1.0 - e1,
+        }
     }
 
     /// Coefficients plus their first and second derivatives with respect to
@@ -142,7 +153,11 @@ impl F84Model {
         let ek = (-u * self.k).exp();
         let c1 = e1 * ek;
         let kp1 = 1.0 + self.k;
-        let value = Coefficients { c1, c2: e1 - c1, c3: 1.0 - e1 };
+        let value = Coefficients {
+            c1,
+            c2: e1 - c1,
+            c3: 1.0 - e1,
+        };
         let d1 = Coefficients {
             c1: -q * kp1 * c1,
             c2: q * (kp1 * c1 - e1),
@@ -164,9 +179,13 @@ impl F84Model {
         let mut p = [[0.0; NUM_STATES]; NUM_STATES];
         for i in 0..NUM_STATES {
             for j in 0..NUM_STATES {
-                let same_group = self.group_freq(i) == self.group_freq(j)
-                    && is_purine(i) == is_purine(j);
-                let within = if same_group { self.freqs[j] / self.group_freq(j) } else { 0.0 };
+                let same_group =
+                    self.group_freq(i) == self.group_freq(j) && is_purine(i) == is_purine(j);
+                let within = if same_group {
+                    self.freqs[j] / self.group_freq(j)
+                } else {
+                    0.0
+                };
                 p[i][j] = c3 * self.freqs[j] + c2 * within + if i == j { c1 } else { 0.0 };
             }
         }

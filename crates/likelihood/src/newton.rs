@@ -36,7 +36,10 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> NewtonOptions {
-        NewtonOptions { max_iters: 12, tolerance: 1e-6 }
+        NewtonOptions {
+            max_iters: 12,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -153,7 +156,11 @@ mod tests {
     fn identical_tip_terms() -> (Vec<WTerms>, Vec<u32>) {
         // U = D = indicator of A.
         let m = model();
-        let mut terms = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }];
+        let mut terms = vec![WTerms {
+            w1: 0.0,
+            w2: 0.0,
+            w3: 0.0,
+        }];
         let u = [1.0, 0.0, 0.0, 0.0];
         crate::clv::edge_w_terms(&m, &u, &u, &mut terms);
         (terms, vec![1])
@@ -164,9 +171,21 @@ mod tests {
         let m = model();
         let cats = RateCategories::new(vec![0.7, 1.8], vec![0, 1, 0]);
         let w = vec![
-            WTerms { w1: 0.05, w2: 0.3, w3: 0.2 },
-            WTerms { w1: 0.4, w2: 0.1, w3: 0.25 },
-            WTerms { w1: 0.15, w2: 0.45, w3: 0.1 },
+            WTerms {
+                w1: 0.05,
+                w2: 0.3,
+                w3: 0.2,
+            },
+            WTerms {
+                w1: 0.4,
+                w2: 0.1,
+                w3: 0.25,
+            },
+            WTerms {
+                w1: 0.15,
+                w2: 0.45,
+                w3: 0.1,
+            },
         ];
         let weights = [2u32, 1, 3];
         let scales = [0i32; 3];
@@ -186,7 +205,15 @@ mod tests {
         let cats = RateCategories::single(1);
         let (w, weights) = identical_tip_terms();
         let mut work = WorkCounter::new();
-        let t = optimize_branch(&m, &cats, &w, &weights, 0.5, &NewtonOptions::default(), &mut work);
+        let t = optimize_branch(
+            &m,
+            &cats,
+            &w,
+            &weights,
+            0.5,
+            &NewtonOptions::default(),
+            &mut work,
+        );
         assert!(t <= MIN_BRANCH_LENGTH * 10.0, "optimized length {t}");
         assert!(work.newton_pattern_iters > 0);
     }
@@ -198,12 +225,22 @@ mod tests {
         let cats = RateCategories::single(2);
         let same = [1.0, 0.0, 0.0, 0.0];
         let diff = [0.0, 1.0, 0.0, 0.0];
-        let mut w = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; 2];
+        let mut w = vec![
+            WTerms {
+                w1: 0.0,
+                w2: 0.0,
+                w3: 0.0
+            };
+            2
+        ];
         crate::clv::edge_w_terms(&m, &same, &same, &mut w[0..1]);
         crate::clv::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
         let weights = [8u32, 2];
         let mut work = WorkCounter::new();
-        let opts = NewtonOptions { max_iters: 40, tolerance: 1e-10 };
+        let opts = NewtonOptions {
+            max_iters: 40,
+            tolerance: 1e-10,
+        };
         let t = optimize_branch(&m, &cats, &w, &weights, 0.1, &opts, &mut work);
         assert!(t > MIN_BRANCH_LENGTH && t < MAX_BRANCH_LENGTH);
         let (d1, _) = log_likelihood_derivatives(&m, &cats, t, &w, &weights);
@@ -222,11 +259,21 @@ mod tests {
         let cats = RateCategories::single(2);
         let same = [1.0, 0.0, 0.0, 0.0];
         let diff = [0.0, 0.0, 1.0, 0.0];
-        let mut w = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; 2];
+        let mut w = vec![
+            WTerms {
+                w1: 0.0,
+                w2: 0.0,
+                w3: 0.0
+            };
+            2
+        ];
         crate::clv::edge_w_terms(&m, &same, &same, &mut w[0..1]);
         crate::clv::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
         let weights = [5u32, 1];
-        let opts = NewtonOptions { max_iters: 60, tolerance: 1e-12 };
+        let opts = NewtonOptions {
+            max_iters: 60,
+            tolerance: 1e-12,
+        };
         let mut wk = WorkCounter::new();
         let t_a = optimize_branch(&m, &cats, &w, &weights, 0.01, &opts, &mut wk);
         let t_b = optimize_branch(&m, &cats, &w, &weights, 3.0, &opts, &mut wk);
@@ -240,11 +287,21 @@ mod tests {
         let cats = RateCategories::single(1);
         let u = [1.0, 0.0, 0.0, 0.0];
         let d = [0.0, 1.0, 0.0, 0.0];
-        let mut w = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }];
+        let mut w = vec![WTerms {
+            w1: 0.0,
+            w2: 0.0,
+            w3: 0.0,
+        }];
         crate::clv::edge_w_terms(&m, &u, &d, &mut w);
         let mut wk = WorkCounter::new();
-        let opts = NewtonOptions { max_iters: 60, tolerance: 1e-9 };
+        let opts = NewtonOptions {
+            max_iters: 60,
+            tolerance: 1e-9,
+        };
         let t = optimize_branch(&m, &cats, &w, &[1], 0.1, &opts, &mut wk);
-        assert!(t > 1.0, "fully conflicting single site should favor a long branch, got {t}");
+        assert!(
+            t > 1.0,
+            "fully conflicting single site should favor a long branch, got {t}"
+        );
     }
 }

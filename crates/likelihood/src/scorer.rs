@@ -16,7 +16,9 @@
 //! the dissolved node, bounded by the rearrangement radius, while the
 //! away-facing CLVs are reused from the base tree unchanged.
 
-use crate::clv::{branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, WTerms};
+use crate::clv::{
+    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, WTerms,
+};
 use crate::engine::{EvalResult, LikelihoodEngine, OptimizeOptions, Workspace};
 use crate::newton::optimize_branch;
 use crate::work::WorkCounter;
@@ -52,7 +54,11 @@ pub struct TreeScorer<'e> {
 impl<'e> TreeScorer<'e> {
     /// Take ownership of a tree, optimize its branch lengths fully, and
     /// index its directional CLVs.
-    pub fn new(engine: &'e LikelihoodEngine, mut tree: Tree, opts: OptimizeOptions) -> TreeScorer<'e> {
+    pub fn new(
+        engine: &'e LikelihoodEngine,
+        mut tree: Tree,
+        opts: OptimizeOptions,
+    ) -> TreeScorer<'e> {
         let result = engine.optimize(&mut tree, &opts);
         let mut ws = Workspace::new(engine, &tree);
         let mut work = result.work;
@@ -99,7 +105,11 @@ impl<'e> TreeScorer<'e> {
         for mv in moves {
             let scored = match *mv {
                 TreeMove::Insertion { taxon, at } => self.score_insertion(taxon, at),
-                TreeMove::Spr { root, attachment, target } => {
+                TreeMove::Spr {
+                    root,
+                    attachment,
+                    target,
+                } => {
                     let rebuild = match &ctx {
                         Some(c) => c.root != root || c.attachment != attachment,
                         None => true,
@@ -109,7 +119,7 @@ impl<'e> TreeScorer<'e> {
                     }
                     self.score_spr(ctx.as_mut().expect("context just built"), target)
                 }
-                };
+            };
             out.push(scored);
         }
         out
@@ -126,7 +136,10 @@ impl<'e> TreeScorer<'e> {
         self.ws.compute_all_down(&self.tree, &mut work);
         self.ws.compute_all_up(&self.tree, &mut work);
         self.base_work += work;
-        Ok(EvalResult { ln_likelihood: result.ln_likelihood, work })
+        Ok(EvalResult {
+            ln_likelihood: result.ln_likelihood,
+            work,
+        })
     }
 
     fn score_insertion(&self, taxon: TaxonId, at: (NodeId, NodeId)) -> ScoredMove {
@@ -351,7 +364,14 @@ fn score_attachment(
     let mut work = WorkCounter::new();
     let mut pair_clv = vec![0.0; np * NUM_STATES];
     let mut pair_scale = vec![0i32; np];
-    let mut wterms = vec![WTerms { w1: 0.0, w2: 0.0, w3: 0.0 }; np];
+    let mut wterms = vec![
+        WTerms {
+            w1: 0.0,
+            w2: 0.0,
+            w3: 0.0
+        };
+        np
+    ];
 
     const ROUNDS: usize = 2;
     for round in 0..ROUNDS {
@@ -361,8 +381,16 @@ fn score_attachment(
             let co_j = branch_coefficients(model, cats, lens[j]);
             let co_k = branch_coefficients(model, cats, lens[k]);
             work.clv_pattern_updates += combine_children(
-                model, cats, &co_j, clvs[j], scales[j], &co_k, clvs[k], scales[k],
-                &mut pair_clv, &mut pair_scale,
+                model,
+                cats,
+                &co_j,
+                clvs[j],
+                scales[j],
+                &co_k,
+                clvs[k],
+                scales[k],
+                &mut pair_clv,
+                &mut pair_scale,
             );
             work.loglik_pattern_evals += edge_w_terms(model, &pair_clv, clvs[i], &mut wterms);
             lens[i] = optimize_branch(
@@ -382,7 +410,10 @@ fn score_attachment(
                 }
                 let lnl = edge_log_likelihood(model, cats, lens[i], &wterms, weights, &scale_total);
                 work.loglik_pattern_evals += np as u64;
-                return ScoredMove { ln_likelihood: lnl, work };
+                return ScoredMove {
+                    ln_likelihood: lnl,
+                    work,
+                };
             }
         }
     }
@@ -423,7 +454,9 @@ mod tests {
         let (a, t) = case();
         let engine = LikelihoodEngine::new(&a);
         let mut t2 = t.clone();
-        let expected = engine.optimize(&mut t2, &OptimizeOptions::default()).ln_likelihood;
+        let expected = engine
+            .optimize(&mut t2, &OptimizeOptions::default())
+            .ln_likelihood;
         let scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
         assert!((scorer.ln_likelihood() - expected).abs() < 1e-6);
     }
@@ -487,7 +520,9 @@ mod tests {
         for (i, mv) in moves.iter().enumerate() {
             let mut cand = scorer.tree().clone();
             apply_move(&mut cand, mv).unwrap();
-            let lnl = engine.optimize(&mut cand, &OptimizeOptions::default()).ln_likelihood;
+            let lnl = engine
+                .optimize(&mut cand, &OptimizeOptions::default())
+                .ln_likelihood;
             if lnl > best_full.1 {
                 best_full = (i, lnl);
             }
@@ -708,7 +743,14 @@ mod adjusted_clv_tests {
         let scorer = TreeScorer::new(&engine, t, OptimizeOptions::default());
         let moves = enumerate_spr_moves(scorer.tree(), 5);
         for mv in &moves {
-            let TreeMove::Spr { root, attachment, target } = *mv else { continue };
+            let TreeMove::Spr {
+                root,
+                attachment,
+                target,
+            } = *mv
+            else {
+                continue;
+            };
             let mut ctx = PruneContext::build(scorer.tree(), root, attachment);
             let f = ctx.work_tree.edge_between(target.0, target.1).unwrap();
             let (facing, _away) = if ctx.dist(target.0) <= ctx.dist(target.1) {

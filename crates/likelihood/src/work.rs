@@ -84,8 +84,16 @@ mod tests {
 
     #[test]
     fn addition_accumulates() {
-        let a = WorkCounter { clv_pattern_updates: 10, newton_pattern_iters: 4, ..Default::default() };
-        let b = WorkCounter { clv_pattern_updates: 5, trees_evaluated: 1, ..Default::default() };
+        let a = WorkCounter {
+            clv_pattern_updates: 10,
+            newton_pattern_iters: 4,
+            ..Default::default()
+        };
+        let b = WorkCounter {
+            clv_pattern_updates: 5,
+            trees_evaluated: 1,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.clv_pattern_updates, 15);
         assert_eq!(c.newton_pattern_iters, 4);

@@ -14,7 +14,12 @@ use proptest::prelude::*;
 fn arb_freqs() -> impl Strategy<Value = [f64; 4]> {
     [0.08f64..1.0, 0.08f64..1.0, 0.08f64..1.0, 0.08f64..1.0].prop_map(|raw| {
         let total: f64 = raw.iter().sum();
-        [raw[0] / total, raw[1] / total, raw[2] / total, raw[3] / total]
+        [
+            raw[0] / total,
+            raw[1] / total,
+            raw[2] / total,
+            raw[3] / total,
+        ]
     })
 }
 

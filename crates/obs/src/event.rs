@@ -1,0 +1,207 @@
+//! The structured event vocabulary of the instrumented runtime.
+//!
+//! One schema serves both the real threaded runtime and the RS/6000 SP
+//! simulator; `t_us` is wall-clock microseconds since observation started in
+//! the former and simulated microseconds in the latter.
+
+use serde::{Deserialize, Serialize};
+
+/// A single runtime observation.
+///
+/// Ranks are plain `usize` (the `fdml-comm` rank convention: 0 = master,
+/// 1 = foreman, 2 = monitor, 3.. = workers) and message kinds are their
+/// stable string names, so this crate stays dependency-free below `serde`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Observation began; the universe has `ranks` ranks, of which
+    /// `workers` evaluate trees.
+    RunStarted {
+        /// Total rank count (master + foreman + monitor + workers).
+        ranks: usize,
+        /// Worker count (`ranks - 3`).
+        workers: usize,
+    },
+    /// A transport endpoint sent a message.
+    MessageSent {
+        /// Sending rank.
+        from: usize,
+        /// Destination rank.
+        to: usize,
+        /// Stable message-kind name (`MessageKind::name`).
+        kind: String,
+        /// Approximate wire size (`Message::wire_bytes`).
+        bytes: u64,
+    },
+    /// A transport endpoint received a message.
+    MessageReceived {
+        /// Receiving rank.
+        at: usize,
+        /// Originating rank.
+        from: usize,
+        /// Stable message-kind name (`MessageKind::name`).
+        kind: String,
+        /// Approximate wire size (`Message::wire_bytes`).
+        bytes: u64,
+    },
+    /// The foreman's queue state after a scheduling action.
+    QueueDepth {
+        /// Candidate trees waiting for a worker.
+        work: usize,
+        /// Workers waiting for a candidate tree.
+        ready: usize,
+        /// Tasks dispatched and not yet answered.
+        in_flight: usize,
+    },
+    /// The foreman handed a candidate tree to a worker.
+    TaskDispatched {
+        /// Task id.
+        task: u64,
+        /// Worker rank.
+        worker: usize,
+    },
+    /// A worker's evaluated tree was accepted by the foreman.
+    TaskCompleted {
+        /// Task id.
+        task: u64,
+        /// Worker rank.
+        worker: usize,
+        /// Dispatch-to-result latency seen by the foreman, µs.
+        service_us: u64,
+        /// Work units the evaluation reported.
+        work_units: u64,
+        /// The candidate's log-likelihood.
+        ln_likelihood: f64,
+    },
+    /// A worker blew the foreman's timeout; its task was re-queued.
+    TaskTimedOut {
+        /// The re-queued task id.
+        task: u64,
+        /// The delinquent worker's rank.
+        worker: usize,
+    },
+    /// A delinquent worker answered late and was re-admitted.
+    WorkerRecovered {
+        /// The recovered worker's rank.
+        worker: usize,
+    },
+    /// A worker finished the compute part of one task (measured on the
+    /// worker itself, excluding queueing and transport).
+    WorkerTaskDone {
+        /// The worker's rank.
+        worker: usize,
+        /// Task id.
+        task: u64,
+        /// Time spent inside likelihood evaluation, µs.
+        busy_us: u64,
+        /// Work units expended.
+        work_units: u64,
+    },
+    /// A dispatch round closed.
+    RoundCompleted {
+        /// Round ordinal.
+        round: u64,
+        /// Candidate trees evaluated in the round.
+        candidates: usize,
+        /// Best log-likelihood found in the round.
+        best_ln_likelihood: f64,
+    },
+    /// Observation ended.
+    RunFinished {
+        /// Final log-likelihood of the search.
+        ln_likelihood: f64,
+    },
+}
+
+impl Event {
+    /// A short stable tag for the event type (for filtering logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "RunStarted",
+            Event::MessageSent { .. } => "MessageSent",
+            Event::MessageReceived { .. } => "MessageReceived",
+            Event::QueueDepth { .. } => "QueueDepth",
+            Event::TaskDispatched { .. } => "TaskDispatched",
+            Event::TaskCompleted { .. } => "TaskCompleted",
+            Event::TaskTimedOut { .. } => "TaskTimedOut",
+            Event::WorkerRecovered { .. } => "WorkerRecovered",
+            Event::WorkerTaskDone { .. } => "WorkerTaskDone",
+            Event::RoundCompleted { .. } => "RoundCompleted",
+            Event::RunFinished { .. } => "RunFinished",
+        }
+    }
+}
+
+/// An [`Event`] stamped with its observation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Microseconds since observation started (wall clock in the real
+    /// runtime, simulated time in `fdml-simsp`).
+    pub t_us: u64,
+    /// The observation itself.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = vec![
+            Record {
+                t_us: 0,
+                event: Event::RunStarted {
+                    ranks: 5,
+                    workers: 2,
+                },
+            },
+            Record {
+                t_us: 17,
+                event: Event::MessageSent {
+                    from: 1,
+                    to: 3,
+                    kind: "TreeTask".into(),
+                    bytes: 120,
+                },
+            },
+            Record {
+                t_us: 40,
+                event: Event::TaskCompleted {
+                    task: 9,
+                    worker: 3,
+                    service_us: 23,
+                    work_units: 800,
+                    ln_likelihood: -1234.5,
+                },
+            },
+            Record {
+                t_us: 99,
+                event: Event::RunFinished {
+                    ln_likelihood: -1200.25,
+                },
+            },
+        ];
+        for r in records {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Record = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            Event::QueueDepth {
+                work: 0,
+                ready: 0,
+                in_flight: 0
+            }
+            .name(),
+            "QueueDepth"
+        );
+        assert_eq!(
+            Event::WorkerRecovered { worker: 3 }.name(),
+            "WorkerRecovered"
+        );
+    }
+}

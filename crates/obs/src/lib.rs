@@ -1,0 +1,198 @@
+//! Observability layer for the fastDNAml parallel runtime.
+//!
+//! The paper's evaluated artifact is the "fully instrumented parallel
+//! version" of fastDNAml: its scaling story is told entirely in terms of
+//! worker utilization, queue dynamics, and per-task service times. This
+//! crate is that instrumentation made structural:
+//!
+//! * [`event::Event`] — the structured vocabulary of runtime observations
+//!   (message traffic, queue depth, task lifecycle, round boundaries), each
+//!   wrapped in a timestamped [`event::Record`].
+//! * [`Obs`] — the cloneable handle the runtime emits through. A disabled
+//!   handle (or one built on [`sink::NullSink`]) is a single `Option` check:
+//!   no allocation, no event construction.
+//! * [`sink::Sink`] — where records go: [`sink::NullSink`] (nowhere),
+//!   [`sink::MemorySink`] (in-process, for tests and end-of-run reports),
+//!   [`sink::JsonlSink`] (one JSON object per line, for offline analysis).
+//! * [`registry::Registry`] — named counters, gauges, and log-bucketed
+//!   [`registry::Histogram`]s for code that wants aggregates rather than an
+//!   event stream.
+//! * [`report::RunReport`] — the end-of-run summary: per-worker utilization,
+//!   foreman queue-depth over time, per-message-kind traffic, the service
+//!   time distribution, and the per-round lnL trajectory.
+//!
+//! The same event schema is emitted by the real threaded runtime and by the
+//! `fdml-simsp` discrete-event simulator, so measured and simulated
+//! utilization are directly comparable.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+pub mod report;
+pub mod sink;
+
+pub use event::{Event, Record};
+pub use registry::{Histogram, Registry};
+pub use report::RunReport;
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ObsShared {
+    start: Instant,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+/// The handle the runtime emits events through.
+///
+/// Cloning is cheap (an `Arc` bump). A disabled handle makes
+/// [`Obs::emit`] a single branch: the event-constructing closure is never
+/// called, so instrumentation costs nothing when observation is off.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Option<Arc<ObsShared>>,
+}
+
+impl Obs {
+    /// A handle that records nothing and never runs emit closures.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A handle recording to one sink. A [`NullSink`] collapses to
+    /// [`Obs::disabled`], so the hot path stays allocation-free.
+    pub fn new(sink: Box<dyn Sink>) -> Obs {
+        Obs::multi(vec![sink])
+    }
+
+    /// A handle fanning every record out to several sinks (e.g. a JSONL log
+    /// plus an in-memory buffer for the end-of-run report). Null sinks are
+    /// dropped; if none remain the handle is disabled.
+    pub fn multi(sinks: Vec<Box<dyn Sink>>) -> Obs {
+        let sinks: Vec<Box<dyn Sink>> = sinks.into_iter().filter(|s| !s.is_null()).collect();
+        if sinks.is_empty() {
+            return Obs::disabled();
+        }
+        Obs {
+            inner: Some(Arc::new(ObsShared {
+                start: Instant::now(),
+                sinks,
+            })),
+        }
+    }
+
+    /// Whether records are being kept. When false, [`Obs::emit`] closures
+    /// never run.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records an event stamped with elapsed wall-clock time. The closure is
+    /// only invoked when the handle is enabled.
+    pub fn emit(&self, event: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.inner {
+            let t_us = shared.start.elapsed().as_micros() as u64;
+            let record = Record {
+                t_us,
+                event: event(),
+            };
+            for sink in &shared.sinks {
+                sink.record(&record);
+            }
+        }
+    }
+
+    /// Records an event at an explicit timestamp — used by the simulator,
+    /// whose clock is simulated seconds rather than wall time.
+    pub fn emit_at(&self, t_us: u64, event: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.inner {
+            let record = Record {
+                t_us,
+                event: event(),
+            };
+            for sink in &shared.sinks {
+                sink.record(&record);
+            }
+        }
+    }
+
+    /// Flushes every sink (e.g. the JSONL writer's buffer).
+    pub fn flush(&self) {
+        if let Some(shared) = &self.inner {
+            for sink in &shared.sinks {
+                sink.flush();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_runs_closures() {
+        let obs = Obs::disabled();
+        let mut ran = false;
+        obs.emit(|| {
+            ran = true;
+            Event::RunFinished { ln_likelihood: 0.0 }
+        });
+        assert!(!ran);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn null_sink_collapses_to_disabled() {
+        let obs = Obs::new(Box::new(NullSink));
+        assert!(!obs.enabled());
+        let obs = Obs::multi(vec![Box::new(NullSink), Box::new(NullSink)]);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn memory_sink_receives_timestamped_records() {
+        let mem = MemorySink::new();
+        let obs = Obs::new(Box::new(mem.clone()));
+        assert!(obs.enabled());
+        obs.emit(|| Event::RunStarted {
+            ranks: 4,
+            workers: 1,
+        });
+        obs.emit_at(1234, || Event::WorkerRecovered { worker: 3 });
+        let records = mem.snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[0].event,
+            Event::RunStarted {
+                ranks: 4,
+                workers: 1
+            }
+        );
+        assert_eq!(records[1].t_us, 1234);
+    }
+
+    #[test]
+    fn multi_fans_out_to_all_sinks() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let obs = Obs::multi(vec![
+            Box::new(a.clone()),
+            Box::new(NullSink),
+            Box::new(b.clone()),
+        ]);
+        obs.emit(|| Event::WorkerRecovered { worker: 5 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Named counters, gauges, and histograms for aggregate-oriented callers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Values land in bucket `⌈log₂(v+1)⌉` (bucket 0 holds zeros, bucket i holds
+/// values in `[2^(i-1), 2^i)`), so `observe` is allocation-free and the
+/// distribution of, say, service times in microseconds fits in 65 fixed
+/// buckets regardless of range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sample counts per power-of-two bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; 65],
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        64 - value.leading_zeros() as usize
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// The arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (q in [0, 1]): the top of
+    /// the bucket where the cumulative count crosses `q * count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe collection of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    state: Mutex<RegistryState>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to the counter `name` (creating it at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *st.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The counter's current value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's current value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.gauges.get(name).copied()
+    }
+
+    /// A copy of the histogram `name`, if any samples were observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.histograms.get(name).cloned()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = Registry::new();
+        reg.inc("sent", 1);
+        reg.inc("sent", 2);
+        reg.set_gauge("depth", 4.5);
+        assert_eq!(reg.counter("sent"), 3);
+        assert_eq!(reg.counter("absent"), 0);
+        assert_eq!(reg.gauge("depth"), Some(4.5));
+        assert_eq!(reg.counters(), vec![("sent".to_string(), 3)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1107);
+        assert!((h.mean() - 1107.0 / 7.0).abs() < 1e-9);
+        // Zeros land in bucket 0, ones in bucket 1, 2..3 in buckets 2..3.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        // Median ≤ 3 for this sample set; p100 covers the max.
+        assert!(h.quantile(0.5) <= 3);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe(5);
+        b.observe(50);
+        b.observe(2);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 2);
+        assert_eq!(a.max, 50);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let reg = Registry::new();
+        reg.observe("service_us", 10);
+        reg.observe("service_us", 20);
+        let h = reg.histogram("service_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(reg.histogram("absent").is_none());
+    }
+}

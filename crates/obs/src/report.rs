@@ -1,0 +1,472 @@
+//! The end-of-run summary assembled from an event stream.
+
+use crate::event::{Event, Record};
+use crate::registry::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One worker's share of the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerUsage {
+    /// The worker's rank.
+    pub worker: usize,
+    /// Tasks the foreman accepted from it.
+    pub tasks: u64,
+    /// Microseconds it spent inside likelihood evaluation.
+    pub busy_us: u64,
+    /// Work units it reported.
+    pub work_units: u64,
+    /// `busy_us` over the observed span — the paper's per-worker
+    /// utilization.
+    pub utilization: f64,
+}
+
+/// Message traffic for one message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KindTraffic {
+    /// Messages sent.
+    pub sent_msgs: u64,
+    /// Bytes sent (approximate wire size).
+    pub sent_bytes: u64,
+    /// Messages received.
+    pub recv_msgs: u64,
+    /// Bytes received (approximate wire size).
+    pub recv_bytes: u64,
+}
+
+/// One dispatch round's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSummary {
+    /// Round ordinal.
+    pub round: u64,
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Best log-likelihood of the round.
+    pub best_ln_likelihood: f64,
+    /// When the round closed (µs since observation start).
+    pub t_us: u64,
+}
+
+/// The end-of-run report: the numbers the paper's evaluation is written in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total ranks, if a `RunStarted` event was seen.
+    pub ranks: Option<usize>,
+    /// Observed span in microseconds (first to last record).
+    pub span_us: u64,
+    /// Per-worker usage, sorted by rank.
+    pub workers: Vec<WorkerUsage>,
+    /// Tasks dispatched by the foreman.
+    pub dispatched: u64,
+    /// Tasks completed (accepted results).
+    pub completed: u64,
+    /// Timeouts declared.
+    pub timeouts: u64,
+    /// Delinquent workers re-admitted.
+    pub recoveries: u64,
+    /// `(t_us, work, ready)` queue-depth samples in event order.
+    pub queue_depth: Vec<(u64, usize, usize)>,
+    /// Deepest work queue observed.
+    pub max_work_depth: usize,
+    /// Per-message-kind traffic, keyed by kind name.
+    pub traffic: BTreeMap<String, KindTraffic>,
+    /// Distribution of foreman-observed task service times (µs).
+    pub service_us: Histogram,
+    /// Per-round candidate counts and lnL trajectory.
+    pub rounds: Vec<RoundSummary>,
+    /// Final log-likelihood, if a `RunFinished` event was seen.
+    pub final_ln_likelihood: Option<f64>,
+}
+
+impl RunReport {
+    /// Builds the report from an event stream (any order-preserving sink's
+    /// contents; records need not be sorted by time).
+    pub fn from_events(records: &[Record]) -> RunReport {
+        let mut ranks = None;
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        let mut dispatched = 0u64;
+        let mut completed = 0u64;
+        let mut timeouts = 0u64;
+        let mut recoveries = 0u64;
+        let mut queue_depth = Vec::new();
+        let mut max_work_depth = 0usize;
+        let mut traffic: BTreeMap<String, KindTraffic> = BTreeMap::new();
+        let mut service_us = Histogram::new();
+        let mut rounds = Vec::new();
+        let mut final_ln_likelihood = None;
+        // worker → (tasks, busy_us, work_units)
+        let mut per_worker: BTreeMap<usize, (u64, u64, u64)> = BTreeMap::new();
+
+        for record in records {
+            t_min = t_min.min(record.t_us);
+            t_max = t_max.max(record.t_us);
+            match &record.event {
+                Event::RunStarted { ranks: n, .. } => ranks = Some(*n),
+                Event::MessageSent { kind, bytes, .. } => {
+                    let entry = traffic.entry(kind.clone()).or_default();
+                    entry.sent_msgs += 1;
+                    entry.sent_bytes += bytes;
+                }
+                Event::MessageReceived { kind, bytes, .. } => {
+                    let entry = traffic.entry(kind.clone()).or_default();
+                    entry.recv_msgs += 1;
+                    entry.recv_bytes += bytes;
+                }
+                Event::QueueDepth { work, ready, .. } => {
+                    queue_depth.push((record.t_us, *work, *ready));
+                    max_work_depth = max_work_depth.max(*work);
+                }
+                Event::TaskDispatched { .. } => dispatched += 1,
+                Event::TaskCompleted {
+                    worker,
+                    service_us: s,
+                    ..
+                } => {
+                    completed += 1;
+                    service_us.observe(*s);
+                    per_worker.entry(*worker).or_default().0 += 1;
+                }
+                Event::TaskTimedOut { .. } => timeouts += 1,
+                Event::WorkerRecovered { .. } => recoveries += 1,
+                Event::WorkerTaskDone {
+                    worker,
+                    busy_us,
+                    work_units,
+                    ..
+                } => {
+                    let entry = per_worker.entry(*worker).or_default();
+                    entry.1 += busy_us;
+                    entry.2 += work_units;
+                }
+                Event::RoundCompleted {
+                    round,
+                    candidates,
+                    best_ln_likelihood,
+                } => rounds.push(RoundSummary {
+                    round: *round,
+                    candidates: *candidates,
+                    best_ln_likelihood: *best_ln_likelihood,
+                    t_us: record.t_us,
+                }),
+                Event::RunFinished { ln_likelihood } => final_ln_likelihood = Some(*ln_likelihood),
+            }
+        }
+
+        let span_us = if t_min == u64::MAX {
+            0
+        } else {
+            (t_max - t_min).max(1)
+        };
+        let workers = per_worker
+            .into_iter()
+            .map(|(worker, (tasks, busy_us, work_units))| WorkerUsage {
+                worker,
+                tasks,
+                busy_us,
+                work_units,
+                utilization: busy_us as f64 / span_us as f64,
+            })
+            .collect();
+
+        RunReport {
+            ranks,
+            span_us,
+            workers,
+            dispatched,
+            completed,
+            timeouts,
+            recoveries,
+            queue_depth,
+            max_work_depth,
+            traffic,
+            service_us,
+            rounds,
+            final_ln_likelihood,
+        }
+    }
+
+    /// Mean worker utilization (0 when no workers were observed).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.utilization).sum::<f64>() / self.workers.len() as f64
+    }
+
+    /// The per-round best-lnL trajectory, in round order.
+    pub fn lnl_trajectory(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.best_ln_likelihood).collect()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run report")?;
+        writeln!(f, "  span: {:.3} s", self.span_us as f64 / 1e6)?;
+        if let Some(n) = self.ranks {
+            writeln!(f, "  ranks: {n}")?;
+        }
+        writeln!(
+            f,
+            "  tasks: {} dispatched, {} completed, {} timeouts, {} recoveries",
+            self.dispatched, self.completed, self.timeouts, self.recoveries
+        )?;
+        writeln!(f, "  max work-queue depth: {}", self.max_work_depth)?;
+        if self.service_us.count > 0 {
+            writeln!(
+                f,
+                "  service time: mean {:.1} µs, p50 ≤ {} µs, p95 ≤ {} µs, max {} µs",
+                self.service_us.mean(),
+                self.service_us.quantile(0.5),
+                self.service_us.quantile(0.95),
+                self.service_us.max
+            )?;
+        }
+        if !self.workers.is_empty() {
+            writeln!(
+                f,
+                "  workers ({}), mean utilization {:.1}%:",
+                self.workers.len(),
+                100.0 * self.mean_utilization()
+            )?;
+            for w in &self.workers {
+                writeln!(
+                    f,
+                    "    rank {:>3}: {:>5} tasks, {:>8} work units, busy {:.3} s ({:.1}%)",
+                    w.worker,
+                    w.tasks,
+                    w.work_units,
+                    w.busy_us as f64 / 1e6,
+                    100.0 * w.utilization
+                )?;
+            }
+        }
+        if !self.traffic.is_empty() {
+            writeln!(f, "  traffic by kind:")?;
+            for (kind, t) in &self.traffic {
+                writeln!(
+                    f,
+                    "    {kind:<12} sent {:>6} msgs / {:>9} B, received {:>6} msgs / {:>9} B",
+                    t.sent_msgs, t.sent_bytes, t.recv_msgs, t.recv_bytes
+                )?;
+            }
+        }
+        if !self.rounds.is_empty() {
+            writeln!(f, "  rounds ({}):", self.rounds.len())?;
+            for r in &self.rounds {
+                writeln!(
+                    f,
+                    "    round {:>3}: {:>4} candidates, best lnL {:.4}",
+                    r.round, r.candidates, r.best_ln_likelihood
+                )?;
+            }
+        }
+        if let Some(lnl) = self.final_ln_likelihood {
+            writeln!(f, "  final lnL: {lnl:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, event: Event) -> Record {
+        Record { t_us, event }
+    }
+
+    #[test]
+    fn aggregates_a_small_run() {
+        let records = vec![
+            rec(
+                0,
+                Event::RunStarted {
+                    ranks: 5,
+                    workers: 2,
+                },
+            ),
+            rec(
+                1,
+                Event::QueueDepth {
+                    work: 3,
+                    ready: 2,
+                    in_flight: 0,
+                },
+            ),
+            rec(2, Event::TaskDispatched { task: 0, worker: 3 }),
+            rec(2, Event::TaskDispatched { task: 1, worker: 4 }),
+            rec(
+                3,
+                Event::QueueDepth {
+                    work: 1,
+                    ready: 0,
+                    in_flight: 2,
+                },
+            ),
+            rec(
+                500_000,
+                Event::WorkerTaskDone {
+                    worker: 3,
+                    task: 0,
+                    busy_us: 400_000,
+                    work_units: 100,
+                },
+            ),
+            rec(
+                500_010,
+                Event::TaskCompleted {
+                    task: 0,
+                    worker: 3,
+                    service_us: 499_000,
+                    work_units: 100,
+                    ln_likelihood: -50.0,
+                },
+            ),
+            rec(600_000, Event::TaskTimedOut { task: 1, worker: 4 }),
+            rec(700_000, Event::WorkerRecovered { worker: 4 }),
+            rec(
+                800_000,
+                Event::WorkerTaskDone {
+                    worker: 4,
+                    task: 1,
+                    busy_us: 200_000,
+                    work_units: 60,
+                },
+            ),
+            rec(
+                800_010,
+                Event::TaskCompleted {
+                    task: 1,
+                    worker: 4,
+                    service_us: 798_000,
+                    work_units: 60,
+                    ln_likelihood: -48.5,
+                },
+            ),
+            rec(
+                900_000,
+                Event::RoundCompleted {
+                    round: 1,
+                    candidates: 2,
+                    best_ln_likelihood: -48.5,
+                },
+            ),
+            rec(
+                1_000_000,
+                Event::RunFinished {
+                    ln_likelihood: -48.5,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        assert_eq!(report.ranks, Some(5));
+        assert_eq!(report.span_us, 1_000_000);
+        assert_eq!(report.dispatched, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.timeouts, 1);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.max_work_depth, 3);
+        assert_eq!(report.queue_depth.len(), 2);
+        assert_eq!(report.workers.len(), 2);
+        let w3 = &report.workers[0];
+        assert_eq!(w3.worker, 3);
+        assert_eq!(w3.tasks, 1);
+        assert!((w3.utilization - 0.4).abs() < 1e-9);
+        assert_eq!(report.service_us.count, 2);
+        assert_eq!(report.lnl_trajectory(), vec![-48.5]);
+        assert_eq!(report.final_ln_likelihood, Some(-48.5));
+        // The Display form mentions the headline numbers.
+        let text = report.to_string();
+        assert!(text.contains("2 dispatched"));
+        assert!(text.contains("1 timeouts"));
+    }
+
+    #[test]
+    fn traffic_accumulates_per_kind() {
+        let records = vec![
+            rec(
+                0,
+                Event::MessageSent {
+                    from: 1,
+                    to: 3,
+                    kind: "TreeTask".into(),
+                    bytes: 100,
+                },
+            ),
+            rec(
+                1,
+                Event::MessageSent {
+                    from: 1,
+                    to: 4,
+                    kind: "TreeTask".into(),
+                    bytes: 150,
+                },
+            ),
+            rec(
+                2,
+                Event::MessageReceived {
+                    at: 3,
+                    from: 1,
+                    kind: "TreeTask".into(),
+                    bytes: 100,
+                },
+            ),
+            rec(
+                3,
+                Event::MessageSent {
+                    from: 3,
+                    to: 1,
+                    kind: "TreeResult".into(),
+                    bytes: 220,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        let task = &report.traffic["TreeTask"];
+        assert_eq!(task.sent_msgs, 2);
+        assert_eq!(task.sent_bytes, 250);
+        assert_eq!(task.recv_msgs, 1);
+        let result = &report.traffic["TreeResult"];
+        assert_eq!(result.sent_msgs, 1);
+        assert_eq!(result.sent_bytes, 220);
+    }
+
+    #[test]
+    fn empty_stream_is_a_zero_report() {
+        let report = RunReport::from_events(&[]);
+        assert_eq!(report.span_us, 0);
+        assert!(report.workers.is_empty());
+        assert_eq!(report.mean_utilization(), 0.0);
+        assert_eq!(report.final_ln_likelihood, None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let records = vec![
+            rec(
+                0,
+                Event::RunStarted {
+                    ranks: 4,
+                    workers: 1,
+                },
+            ),
+            rec(
+                10,
+                Event::TaskCompleted {
+                    task: 0,
+                    worker: 3,
+                    service_us: 9,
+                    work_units: 5,
+                    ln_likelihood: -1.0,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,175 @@
+//! Destinations for event records.
+
+use crate::event::Record;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A destination for [`Record`]s. Implementations must be callable from any
+/// rank's thread.
+pub trait Sink: Send + Sync {
+    /// Accepts one record.
+    fn record(&self, record: &Record);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+
+    /// Whether this sink discards everything. [`crate::Obs`] drops such
+    /// sinks at construction so the emit path stays a single branch.
+    fn is_null(&self) -> bool {
+        false
+    }
+}
+
+/// Discards every record. An `Obs` built over only null sinks is disabled
+/// outright, so instrumented code pays one pointer check and no allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _record: &Record) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Buffers records in memory — the sink behind end-of-run reports and
+/// integration tests.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, record: &Record) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+/// Writes one JSON object per line — the `--obs-out` format.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Parses a JSONL event log back into records (the inverse of this
+    /// sink), skipping blank lines.
+    pub fn parse(text: &str) -> Result<Vec<Record>, serde_json::Error> {
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        let json = serde_json::to_string(record).expect("event serializes");
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // I/O errors deliberately do not panic the runtime; a torn log is
+        // better than a torn run.
+        let _ = writeln!(writer, "{json}");
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record {
+                t_us: 1,
+                event: Event::RunStarted {
+                    ranks: 4,
+                    workers: 1,
+                },
+            },
+            Record {
+                t_us: 2,
+                event: Event::TaskDispatched { task: 0, worker: 3 },
+            },
+            Record {
+                t_us: 9,
+                event: Event::RunFinished {
+                    ln_likelihood: -5.5,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_sink_snapshot_and_take() {
+        let sink = MemorySink::new();
+        for r in sample_records() {
+            sink.record(&r);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.snapshot().len(), 3);
+        assert_eq!(sink.take(), sample_records());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_a_file() {
+        let path = std::env::temp_dir().join(format!("fdml-obs-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        for r in sample_records() {
+            sink.record(&r);
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 3);
+        let back = JsonlSink::parse(&text).unwrap();
+        assert_eq!(back, sample_records());
+    }
+}

@@ -43,13 +43,20 @@ impl Alignment {
                     got: seq.len(),
                 });
             }
-            if by_name.insert(name.clone(), names.len() as TaxonId).is_some() {
+            if by_name
+                .insert(name.clone(), names.len() as TaxonId)
+                .is_some()
+            {
                 return Err(PhyloError::DuplicateTaxon(name));
             }
             names.push(name);
             seqs.push(seq);
         }
-        Ok(Alignment { names, seqs, by_name })
+        Ok(Alignment {
+            names,
+            seqs,
+            by_name,
+        })
     }
 
     /// Convenience constructor from `(name, IUPAC string)` pairs.
@@ -126,7 +133,10 @@ impl Alignment {
             taxa.iter()
                 .map(|&t| {
                     if (t as usize) < self.names.len() {
-                        Ok((self.names[t as usize].clone(), self.seqs[t as usize].clone()))
+                        Ok((
+                            self.names[t as usize].clone(),
+                            self.seqs[t as usize].clone(),
+                        ))
                     } else {
                         Err(PhyloError::UnknownTaxon(format!("taxon id {t}")))
                     }
@@ -157,8 +167,7 @@ mod tests {
     use crate::dna::{A, C, G, T};
 
     fn toy() -> Alignment {
-        Alignment::from_strings(&[("alpha", "ACGT"), ("beta", "AGGT"), ("gamma", "ACGA")])
-            .unwrap()
+        Alignment::from_strings(&[("alpha", "ACGT"), ("beta", "AGGT"), ("gamma", "ACGA")]).unwrap()
     }
 
     #[test]
@@ -173,7 +182,10 @@ mod tests {
     #[test]
     fn unknown_and_duplicate_taxa_rejected() {
         let a = toy();
-        assert!(matches!(a.taxon_id("delta"), Err(PhyloError::UnknownTaxon(_))));
+        assert!(matches!(
+            a.taxon_id("delta"),
+            Err(PhyloError::UnknownTaxon(_))
+        ));
         let dup = Alignment::from_strings(&[("x", "AC"), ("x", "GT")]);
         assert!(matches!(dup, Err(PhyloError::DuplicateTaxon(_))));
     }
@@ -239,6 +251,9 @@ mod tests {
     #[test]
     fn subset_rejects_duplicates() {
         let a = toy();
-        assert!(matches!(a.subset(&[0, 0]), Err(PhyloError::DuplicateTaxon(_))));
+        assert!(matches!(
+            a.subset(&[0, 0]),
+            Err(PhyloError::DuplicateTaxon(_))
+        ));
     }
 }

@@ -95,7 +95,11 @@ impl Bipartition {
         assert_eq!(self.num_taxa, other.num_taxa);
         let rem = self.num_taxa % 64;
         let last = self.bits.len() - 1;
-        let pad_mask = if rem == 0 { u64::MAX } else { (1u64 << rem) - 1 };
+        let pad_mask = if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        };
         let mut xy = true; // X∩Y empty
         let mut xy2 = true; // X∩Y' empty
         let mut x2y = true; // X'∩Y empty
@@ -212,7 +216,10 @@ pub fn topology_fingerprint(tree: &Tree) -> u128 {
     let mut fp: u128 = 0;
     for &(child, edge, _parent) in &order {
         let (mut xa, mut xb) = match tree.taxon(child) {
-            Some(t) => (splitmix64(t as u64 + 1), splitmix64((t as u64) | 0xabcd_0000_0000)),
+            Some(t) => (
+                splitmix64(t as u64 + 1),
+                splitmix64((t as u64) | 0xabcd_0000_0000),
+            ),
             None => (0, 0),
         };
         for (e, _) in tree.neighbors(child) {

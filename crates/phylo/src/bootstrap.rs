@@ -31,11 +31,7 @@ pub fn bootstrap_alignment(alignment: &Alignment, seed: u64) -> Alignment {
 }
 
 /// A whole series of replicates with distinct derived seeds.
-pub fn bootstrap_replicates(
-    alignment: &Alignment,
-    count: usize,
-    seed: u64,
-) -> Vec<Alignment> {
+pub fn bootstrap_replicates(alignment: &Alignment, count: usize, seed: u64) -> Vec<Alignment> {
     (0..count as u64)
         .map(|i| bootstrap_alignment(alignment, seed.wrapping_mul(0x9e3779b9).wrapping_add(i)))
         .collect()
@@ -66,9 +62,7 @@ mod tests {
         let b = bootstrap_alignment(&a, 3);
         for s in 0..b.num_sites() {
             let col: Vec<Nucleotide> = b.column(s).collect();
-            let found = (0..a.num_sites()).any(|orig| {
-                a.column(orig).collect::<Vec<_>>() == col
-            });
+            let found = (0..a.num_sites()).any(|orig| a.column(orig).collect::<Vec<_>>() == col);
             assert!(found, "column {s} is not an original column");
         }
     }

@@ -76,7 +76,11 @@ pub fn consensus(
         })
         .collect();
     let tree = assemble(&splits, num_taxa, trees.len(), names);
-    Ok(Consensus { splits, num_trees: trees.len(), tree })
+    Ok(Consensus {
+        splits,
+        num_trees: trees.len(),
+        tree,
+    })
 }
 
 /// Assemble compatible splits into a rooted multifurcating AST.
@@ -90,9 +94,8 @@ fn assemble(
     num_trees: usize,
     names: &[String],
 ) -> NewickNode {
-    let name_of = |t: usize| -> String {
-        names.get(t).cloned().unwrap_or_else(|| format!("taxon{t}"))
-    };
+    let name_of =
+        |t: usize| -> String { names.get(t).cloned().unwrap_or_else(|| format!("taxon{t}")) };
     // Order clusters by increasing size: the splits are pairwise
     // compatible and all exclude taxon 0, so they form a laminar family —
     // processing children before parents lets each parent collect its
@@ -115,7 +118,11 @@ fn assemble(
     }
     // Start with each taxon as its own top-level node.
     let mut pool: Vec<Option<Build>> = (0..num_taxa)
-        .map(|t| Some(Build { node: NewickNode::leaf(name_of(t), None) }))
+        .map(|t| {
+            Some(Build {
+                node: NewickNode::leaf(name_of(t), None),
+            })
+        })
         .collect();
     let mut owner: Vec<usize> = (0..num_taxa).collect();
 
@@ -220,7 +227,7 @@ mod tests {
         }
         let c = consensus(&[t.clone(), t.clone()], 6, 0.5, &names(6)).unwrap();
         assert_eq!(c.splits.len(), 3); // n-3 internal splits
-        // Fully resolved: serialize and reparse as a binary tree via AST.
+                                       // Fully resolved: serialize and reparse as a binary tree via AST.
         let text = crate::newick::write(&c.tree);
         let ast = crate::newick::parse(&text).unwrap();
         let mut leaves = ast.leaf_names();

@@ -43,7 +43,9 @@ impl Nucleotide {
     /// is compatible with no base would force the tree likelihood to zero.
     pub fn from_mask(mask: u8) -> Result<Nucleotide, PhyloError> {
         if mask == 0 || mask > 0b1111 {
-            return Err(PhyloError::Format(format!("invalid nucleotide mask {mask:#06b}")));
+            return Err(PhyloError::Format(format!(
+                "invalid nucleotide mask {mask:#06b}"
+            )));
         }
         Ok(Nucleotide(mask))
     }
@@ -74,7 +76,10 @@ impl Nucleotide {
             'B' => 0b1110, // not A
             'N' | 'X' | '?' | '-' | '.' | 'O' => 0b1111,
             other => {
-                return Err(PhyloError::InvalidCharacter { position: 0, ch: other });
+                return Err(PhyloError::InvalidCharacter {
+                    position: 0,
+                    ch: other,
+                });
             }
         };
         Ok(Nucleotide(mask))
@@ -172,8 +177,7 @@ pub fn parse_sequence(s: &str) -> Result<Vec<Nucleotide>, PhyloError> {
         .filter(|c| !c.is_whitespace())
         .enumerate()
         .map(|(i, ch)| {
-            Nucleotide::from_char(ch)
-                .map_err(|_| PhyloError::InvalidCharacter { position: i, ch })
+            Nucleotide::from_char(ch).map_err(|_| PhyloError::InvalidCharacter { position: i, ch })
         })
         .collect()
 }
@@ -204,7 +208,11 @@ mod tests {
     #[test]
     fn gaps_and_unknowns_are_fully_ambiguous() {
         for ch in ['-', '.', '?', 'N', 'n', 'X'] {
-            assert_eq!(Nucleotide::from_char(ch).unwrap(), Nucleotide::ANY, "char {ch:?}");
+            assert_eq!(
+                Nucleotide::from_char(ch).unwrap(),
+                Nucleotide::ANY,
+                "char {ch:?}"
+            );
         }
     }
 
@@ -272,6 +280,12 @@ mod tests {
         assert_eq!(seq.len(), 6);
         assert_eq!(sequence_to_string(&seq), "ACGTRY");
         let err = parse_sequence("ACZT").unwrap_err();
-        assert_eq!(err, PhyloError::InvalidCharacter { position: 2, ch: 'Z' });
+        assert_eq!(
+            err,
+            PhyloError::InvalidCharacter {
+                position: 2,
+                ch: 'Z'
+            }
+        );
     }
 }

@@ -35,10 +35,17 @@ impl fmt::Display for PhyloError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PhyloError::InvalidCharacter { position, ch } => {
-                write!(f, "invalid nucleotide character {ch:?} at position {position}")
+                write!(
+                    f,
+                    "invalid nucleotide character {ch:?} at position {position}"
+                )
             }
             PhyloError::Format(msg) => write!(f, "format error: {msg}"),
-            PhyloError::RaggedAlignment { taxon, expected, got } => write!(
+            PhyloError::RaggedAlignment {
+                taxon,
+                expected,
+                got,
+            } => write!(
                 f,
                 "sequence for {taxon:?} has length {got}, expected {expected}"
             ),

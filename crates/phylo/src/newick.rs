@@ -25,12 +25,20 @@ pub struct NewickNode {
 impl NewickNode {
     /// Construct a leaf.
     pub fn leaf(name: impl Into<String>, length: Option<f64>) -> NewickNode {
-        NewickNode { name: Some(name.into()), length, children: Vec::new() }
+        NewickNode {
+            name: Some(name.into()),
+            length,
+            children: Vec::new(),
+        }
     }
 
     /// Construct an internal node.
     pub fn internal(children: Vec<NewickNode>, length: Option<f64>) -> NewickNode {
-        NewickNode { name: None, length, children }
+        NewickNode {
+            name: None,
+            length,
+            children,
+        }
     }
 
     /// Is this a leaf?
@@ -59,7 +67,10 @@ impl NewickNode {
 
 /// Parse one Newick string (must end with `;`).
 pub fn parse(text: &str) -> Result<NewickNode, PhyloError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let node = p.parse_node()?;
     p.skip_ws();
@@ -128,16 +139,27 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
-            NewickNode { name: None, length: None, children }
+            NewickNode {
+                name: None,
+                length: None,
+                children,
+            }
         } else {
-            NewickNode { name: None, length: None, children: Vec::new() }
+            NewickNode {
+                name: None,
+                length: None,
+                children: Vec::new(),
+            }
         };
         // Optional label.
         let label = self.parse_label()?;
         if !label.is_empty() {
             node.name = Some(label);
         } else if node.is_leaf() {
-            return Err(PhyloError::Format(format!("leaf without a name at byte {}", self.pos)));
+            return Err(PhyloError::Format(format!(
+                "leaf without a name at byte {}",
+                self.pos
+            )));
         }
         // Optional branch length.
         self.skip_ws();
@@ -195,9 +217,8 @@ impl<'a> Parser<'a> {
             }
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
-        s.parse::<f64>().map_err(|_| {
-            PhyloError::Format(format!("invalid branch length {s:?} at byte {start}"))
-        })
+        s.parse::<f64>()
+            .map_err(|_| PhyloError::Format(format!("invalid branch length {s:?} at byte {start}")))
     }
 }
 
@@ -289,7 +310,11 @@ fn subtree_to_ast(
             children.push(subtree_to_ast(tree, next, edge, name_of));
         }
     }
-    NewickNode { name: None, length, children }
+    NewickNode {
+        name: None,
+        length,
+        children,
+    }
 }
 
 /// Serialize a tree directly to a Newick string.
@@ -307,14 +332,22 @@ pub fn ast_to_tree(
 ) -> Result<Tree, PhyloError> {
     let mut tree = Tree::empty();
     match ast.children.len() {
-        0 => Err(PhyloError::Format("single-leaf Newick cannot form a tree".into())),
-        1 => Err(PhyloError::Format("root with a single child is not supported".into())),
+        0 => Err(PhyloError::Format(
+            "single-leaf Newick cannot form a tree".into(),
+        )),
+        1 => Err(PhyloError::Format(
+            "root with a single child is not supported".into(),
+        )),
         2 => {
             // Rooted: fuse the two root branches into one edge.
             let a = build_subtree(&mut tree, &ast.children[0], &mut resolve)?;
             let b = build_subtree(&mut tree, &ast.children[1], &mut resolve)?;
-            let len = ast.children[0].length.unwrap_or(crate::tree::DEFAULT_BRANCH_LENGTH / 2.0)
-                + ast.children[1].length.unwrap_or(crate::tree::DEFAULT_BRANCH_LENGTH / 2.0);
+            let len = ast.children[0]
+                .length
+                .unwrap_or(crate::tree::DEFAULT_BRANCH_LENGTH / 2.0)
+                + ast.children[1]
+                    .length
+                    .unwrap_or(crate::tree::DEFAULT_BRANCH_LENGTH / 2.0);
             tree.add_edge_raw(a, b, len);
             tree.check_valid()?;
             Ok(tree)

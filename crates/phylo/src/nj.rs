@@ -39,7 +39,9 @@ impl DistanceMatrix {
             for j in 0..n {
                 let x = d[i * n + j];
                 if !x.is_finite() || x < 0.0 {
-                    return Err(PhyloError::Format(format!("invalid distance at ({i},{j}): {x}")));
+                    return Err(PhyloError::Format(format!(
+                        "invalid distance at ({i},{j}): {x}"
+                    )));
                 }
                 if (x - d[j * n + i]).abs() > 1e-9 {
                     return Err(PhyloError::Format(format!("asymmetry at ({i},{j})")));
@@ -121,8 +123,9 @@ pub fn neighbor_joining(matrix: &DistanceMatrix) -> Tree {
     // Active cluster list: (node in the growing tree, original row index in
     // the shrinking working matrix).
     let mut tree = Tree::empty();
-    let mut nodes: Vec<crate::tree::NodeId> =
-        (0..n).map(|i| tree.add_node_raw(Some(i as TaxonId))).collect();
+    let mut nodes: Vec<crate::tree::NodeId> = (0..n)
+        .map(|i| tree.add_node_raw(Some(i as TaxonId)))
+        .collect();
     let mut d = matrix.d.clone();
     let mut size = n;
     let mut active: Vec<usize> = (0..n).collect(); // index into `d` rows
@@ -180,7 +183,8 @@ pub fn neighbor_joining(matrix: &DistanceMatrix) -> Tree {
     tree.add_edge_raw(center, nodes[a], la);
     tree.add_edge_raw(center, nodes[b], lb);
     tree.add_edge_raw(center, nodes[c], lc);
-    tree.check_valid().expect("NJ constructs a valid binary tree");
+    tree.check_valid()
+        .expect("NJ constructs a valid binary tree");
     tree
 }
 
@@ -280,8 +284,11 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 let (lo, hi) = (i.min(j), i.max(j));
-                let noise =
-                    if i != j { 0.01 * (((lo * 7 + hi * 13) % 5) as f64 - 2.0).abs() } else { 0.0 };
+                let noise = if i != j {
+                    0.01 * (((lo * 7 + hi * 13) % 5) as f64 - 2.0).abs()
+                } else {
+                    0.0
+                };
                 d[i * n + j] = m.get(i.min(j), i.max(j)) + noise;
             }
         }

@@ -58,10 +58,16 @@ fn prune_points(tree: &Tree) -> Vec<PrunePoint> {
     for e in tree.edge_ids() {
         let (a, b) = tree.endpoints(e);
         if tree.is_internal(b) {
-            out.push(PrunePoint { root: a, attachment: b });
+            out.push(PrunePoint {
+                root: a,
+                attachment: b,
+            });
         }
         if tree.is_internal(a) {
-            out.push(PrunePoint { root: b, attachment: a });
+            out.push(PrunePoint {
+                root: b,
+                attachment: a,
+            });
         }
     }
     out
@@ -199,7 +205,11 @@ pub fn apply_move(tree: &mut Tree, mv: &TreeMove) -> Result<EdgeId, crate::error
             })?;
             tree.insert_taxon(taxon, edge)
         }
-        TreeMove::Spr { root, attachment, target } => {
+        TreeMove::Spr {
+            root,
+            attachment,
+            target,
+        } => {
             let pendant = tree.edge_between(root, attachment).ok_or_else(|| {
                 crate::error::PhyloError::InvalidTreeOp(format!(
                     "prune point {root:?}-{attachment:?} is not an edge"
@@ -377,7 +387,10 @@ mod tests {
         let mut t = balanced8();
         let mut fps = HashSet::new();
         let count = for_each_rearrangement(&mut t, 3, |cand, _| {
-            assert!(fps.insert(topology_fingerprint(cand)), "duplicate candidate emitted");
+            assert!(
+                fps.insert(topology_fingerprint(cand)),
+                "duplicate candidate emitted"
+            );
         });
         assert_eq!(fps.len(), count);
     }
@@ -394,7 +407,10 @@ mod tests {
             for_each_rearrangement(&mut t, radius, |_, _| {});
             t.check_valid().unwrap();
             assert_eq!(SplitSet::of_tree(&t, 8), before_splits, "radius {radius}");
-            assert!((t.total_length() - before_total).abs() < 1e-9, "radius {radius}");
+            assert!(
+                (t.total_length() - before_total).abs() < 1e-9,
+                "radius {radius}"
+            );
         }
     }
 
@@ -470,7 +486,10 @@ mod tests {
     #[test]
     fn apply_move_rejects_stale_targets() {
         let t = balanced8();
-        let bogus = TreeMove::Insertion { taxon: 9, at: (NodeId(0), NodeId(0)) };
+        let bogus = TreeMove::Insertion {
+            taxon: 9,
+            at: (NodeId(0), NodeId(0)),
+        };
         let mut clone = t.clone();
         assert!(apply_move(&mut clone, &bogus).is_err());
     }

@@ -78,7 +78,9 @@ pub fn fitch_score(tree: &Tree, patterns: &PatternAlignment) -> (u64, ParsimonyW
     // Fold the root tip in as one more Fitch combination.
     let c0 = tree.other_end(tree.incident_edges(root)[0], root);
     for p in 0..np {
-        let tip = patterns.state(p, tree.taxon(root).expect("root is a tip") as usize).mask();
+        let tip = patterns
+            .state(p, tree.taxon(root).expect("root is a tip") as usize)
+            .mask();
         if tip & sets[c0.0 as usize * np + p] == 0 {
             changes[p] += 1;
         }
@@ -138,7 +140,9 @@ mod tests {
 
     #[test]
     fn constant_alignment_scores_zero() {
-        let a = Alignment::from_strings(&[("a", "AAAA"), ("b", "AAAA"), ("c", "AAAA"), ("d", "AAAA")]).unwrap();
+        let a =
+            Alignment::from_strings(&[("a", "AAAA"), ("b", "AAAA"), ("c", "AAAA"), ("d", "AAAA")])
+                .unwrap();
         let p = PatternAlignment::compress(&a);
         let (score, work) = fitch_score(&quartet_01_23(), &p);
         assert_eq!(score, 0);
@@ -162,7 +166,8 @@ mod tests {
     #[test]
     fn weights_multiply_pattern_scores() {
         // Three copies of the informative column → score 3 vs 6.
-        let a = Alignment::from_strings(&[("a", "AAA"), ("b", "AAA"), ("c", "CCC"), ("d", "CCC")]).unwrap();
+        let a = Alignment::from_strings(&[("a", "AAA"), ("b", "AAA"), ("c", "CCC"), ("d", "CCC")])
+            .unwrap();
         let p = PatternAlignment::compress(&a);
         assert_eq!(p.num_patterns(), 1);
         let (good, _) = fitch_score(&quartet_01_23(), &p);
@@ -222,7 +227,8 @@ mod tests {
 
     #[test]
     fn fitch_work_scales_with_patterns_and_taxa() {
-        let small = Alignment::from_strings(&[("a", "AC"), ("b", "AG"), ("c", "CT"), ("d", "GG")]).unwrap();
+        let small =
+            Alignment::from_strings(&[("a", "AC"), ("b", "AG"), ("c", "CT"), ("d", "GG")]).unwrap();
         let ps = PatternAlignment::compress(&small);
         let (_, w4) = fitch_score(&quartet_01_23(), &ps);
         // Add a taxon: more internal nodes → more ops.

@@ -43,7 +43,13 @@ impl PatternAlignment {
             weights[id as usize] += 1;
             site_to_pattern.push(id);
         }
-        PatternAlignment { num_taxa, num_sites, columns, weights, site_to_pattern }
+        PatternAlignment {
+            num_taxa,
+            num_sites,
+            columns,
+            weights,
+            site_to_pattern,
+        }
     }
 
     /// Build a trivial (uncompressed) pattern set: one pattern per site,
@@ -52,8 +58,9 @@ impl PatternAlignment {
     pub fn uncompressed(alignment: &Alignment) -> PatternAlignment {
         let num_taxa = alignment.num_taxa();
         let num_sites = alignment.num_sites();
-        let columns: Vec<Vec<Nucleotide>> =
-            (0..num_sites).map(|s| alignment.column(s).collect()).collect();
+        let columns: Vec<Vec<Nucleotide>> = (0..num_sites)
+            .map(|s| alignment.column(s).collect())
+            .collect();
         PatternAlignment {
             num_taxa,
             num_sites,

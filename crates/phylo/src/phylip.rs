@@ -31,7 +31,9 @@ pub fn parse(text: &str) -> Result<Alignment, PhyloError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| PhyloError::Format("PHYLIP header: missing site count".into()))?;
     if ntax == 0 || nsites == 0 {
-        return Err(PhyloError::Format("PHYLIP header: zero taxa or sites".into()));
+        return Err(PhyloError::Format(
+            "PHYLIP header: zero taxa or sites".into(),
+        ));
     }
 
     let body: Vec<&str> = lines.collect();
@@ -39,9 +41,7 @@ pub fn parse(text: &str) -> Result<Alignment, PhyloError> {
     // fastDNAml default so prefer it on ambiguity.
     match parse_interleaved(&body, ntax, nsites) {
         Ok(a) => Ok(a),
-        Err(interleaved_err) => {
-            parse_sequential(&body, ntax, nsites).map_err(|_| interleaved_err)
-        }
+        Err(interleaved_err) => parse_sequential(&body, ntax, nsites).map_err(|_| interleaved_err),
     }
 }
 
@@ -55,7 +55,9 @@ pub fn parse(text: &str) -> Result<Alignment, PhyloError> {
 fn split_name_line(line: &str) -> Result<(String, String), PhyloError> {
     let trimmed = line.trim_end();
     if trimmed.is_empty() {
-        return Err(PhyloError::Format("unexpected blank line in taxon block".into()));
+        return Err(PhyloError::Format(
+            "unexpected blank line in taxon block".into(),
+        ));
     }
     if let Some(ws) = trimmed.find(char::is_whitespace) {
         let (name, rest) = trimmed.split_at(ws);
@@ -63,7 +65,9 @@ fn split_name_line(line: &str) -> Result<(String, String), PhyloError> {
     }
     // No whitespace at all: fixed-width split.
     if trimmed.len() <= NAME_WIDTH {
-        return Err(PhyloError::Format(format!("taxon line too short: {trimmed:?}")));
+        return Err(PhyloError::Format(format!(
+            "taxon line too short: {trimmed:?}"
+        )));
     }
     let (name, rest) = trimmed.split_at(NAME_WIDTH);
     Ok((name.trim().to_string(), rest.to_string()))
@@ -85,7 +89,9 @@ fn parse_interleaved(body: &[&str], ntax: usize, nsites: usize) -> Result<Alignm
             continue;
         }
         if seqs[0].len() >= nsites && row == 0 {
-            return Err(PhyloError::Format("trailing data after full alignment".into()));
+            return Err(PhyloError::Format(
+                "trailing data after full alignment".into(),
+            ));
         }
         if first_block {
             let (name, seq_text) = split_name_line(line)?;

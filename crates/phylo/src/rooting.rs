@@ -30,7 +30,11 @@ fn subtree_ast(tree: &Tree, node: NodeId, via: EdgeId, names: &[String]) -> Newi
         .filter(|&(e, _)| e != via)
         .map(|(e, next)| subtree_ast(tree, next, e, names))
         .collect();
-    NewickNode { name: None, length, children }
+    NewickNode {
+        name: None,
+        length,
+        children,
+    }
 }
 
 /// Root the tree on edge `e`, placing the root `fraction` of the way from
@@ -63,10 +67,14 @@ pub fn root_at_outgroup(
     wanted.dedup();
     let all = tree.taxa();
     if wanted.iter().any(|t| !all.contains(t)) {
-        return Err(PhyloError::InvalidTreeOp("outgroup taxon not in tree".into()));
+        return Err(PhyloError::InvalidTreeOp(
+            "outgroup taxon not in tree".into(),
+        ));
     }
     if wanted.len() >= all.len() {
-        return Err(PhyloError::InvalidTreeOp("outgroup cannot be the whole tree".into()));
+        return Err(PhyloError::InvalidTreeOp(
+            "outgroup cannot be the whole tree".into(),
+        ));
     }
     for e in tree.edge_ids() {
         let (a, _) = tree.endpoints(e);
@@ -87,7 +95,9 @@ fn complement(all: &[TaxonId], side: &[TaxonId]) -> Vec<TaxonId> {
 /// Root the tree at the midpoint of the longest tip-to-tip path.
 pub fn midpoint_root(tree: &Tree, names: &[String]) -> Result<NewickNode, PhyloError> {
     if tree.num_tips() < 2 {
-        return Err(PhyloError::InvalidTreeOp("midpoint rooting needs two tips".into()));
+        return Err(PhyloError::InvalidTreeOp(
+            "midpoint rooting needs two tips".into(),
+        ));
     }
     // Distances from every tip to every node, tracking the first edge of
     // the path so the midpoint edge can be located.
@@ -159,11 +169,7 @@ mod tests {
     /// ((t0,t1),(t2,t3)) with distinct lengths.
     fn quartet() -> Tree {
         let nm = names(4);
-        newick::parse_tree_with_names(
-            "((t0:0.1,t1:0.2):0.05,(t2:0.3,t3:0.4):0.05);",
-            &nm,
-        )
-        .unwrap()
+        newick::parse_tree_with_names("((t0:0.1,t1:0.2):0.05,(t2:0.3,t3:0.4):0.05);", &nm).unwrap()
     }
 
     #[test]
@@ -172,8 +178,7 @@ mod tests {
         let rooted = root_at_outgroup(&t, &[3], &names(4)).unwrap();
         assert_eq!(rooted.children.len(), 2);
         // One side is exactly t3.
-        let leaves: Vec<Vec<&str>> =
-            rooted.children.iter().map(|c| c.leaf_names()).collect();
+        let leaves: Vec<Vec<&str>> = rooted.children.iter().map(|c| c.leaf_names()).collect();
         assert!(leaves.contains(&vec!["t3"]));
         // Pendant length 0.4 split in half.
         let t3_side = rooted
@@ -188,8 +193,7 @@ mod tests {
     fn clade_outgroup_roots_on_the_internal_branch() {
         let t = quartet();
         let rooted = root_at_outgroup(&t, &[2, 3], &names(4)).unwrap();
-        let mut sides: Vec<Vec<&str>> =
-            rooted.children.iter().map(|c| c.leaf_names()).collect();
+        let mut sides: Vec<Vec<&str>> = rooted.children.iter().map(|c| c.leaf_names()).collect();
         sides.iter_mut().for_each(|s| s.sort_unstable());
         assert!(sides.contains(&vec!["t2", "t3"]));
         assert!(sides.contains(&vec!["t0", "t1"]));
@@ -225,11 +229,8 @@ mod tests {
         // edge of 1.0), so the midpoint at 2.25 falls 0.75 into t3's
         // pendant and t3 hangs directly off the root at depth 2.25.
         let nm = names(4);
-        let t = newick::parse_tree_with_names(
-            "((t0:0.5,t1:0.1):0.5,(t2:0.1,t3:3.0):0.5);",
-            &nm,
-        )
-        .unwrap();
+        let t = newick::parse_tree_with_names("((t0:0.5,t1:0.1):0.5,(t2:0.1,t3:3.0):0.5);", &nm)
+            .unwrap();
         let rooted = midpoint_root(&t, &nm).unwrap();
         assert_eq!(rooted.children.len(), 2);
         let t3_side = rooted
@@ -237,15 +238,14 @@ mod tests {
             .iter()
             .find(|c| c.leaf_names() == vec!["t3"])
             .expect("t3 must hang directly off the root");
-        assert!((t3_side.length.unwrap() - 2.25).abs() < 1e-9, "{:?}", t3_side.length);
+        assert!(
+            (t3_side.length.unwrap() - 2.25).abs() < 1e-9,
+            "{:?}",
+            t3_side.length
+        );
         // The two root-to-farthest-leaf depths are equal (both = 2.0).
         fn depth(node: &NewickNode) -> f64 {
-            node.length.unwrap_or(0.0)
-                + node
-                    .children
-                    .iter()
-                    .map(depth)
-                    .fold(0.0, f64::max)
+            node.length.unwrap_or(0.0) + node.children.iter().map(depth).fold(0.0, f64::max)
         }
         let d: Vec<f64> = rooted.children.iter().map(depth).collect();
         assert!((d[0] - d[1]).abs() < 1e-9, "unbalanced depths {d:?}");
@@ -259,6 +259,9 @@ mod tests {
         let total: f64 = rooted.children.iter().map(|c| c.length.unwrap()).sum();
         assert!((total - 0.8).abs() < 1e-9);
         let lens: Vec<f64> = rooted.children.iter().map(|c| c.length.unwrap()).collect();
-        assert!((lens[0] - lens[1]).abs() < 1e-9, "midpoint splits evenly: {lens:?}");
+        assert!(
+            (lens[0] - lens[1]).abs() < 1e-9,
+            "midpoint splits evenly: {lens:?}"
+        );
     }
 }

@@ -123,20 +123,38 @@ impl Tree {
             self.num_tips += 1;
         }
         if let Some(id) = self.free_nodes.pop() {
-            self.nodes[id.0 as usize] = Node { taxon, adj: Vec::with_capacity(3), alive: true };
+            self.nodes[id.0 as usize] = Node {
+                taxon,
+                adj: Vec::with_capacity(3),
+                alive: true,
+            };
             id
         } else {
-            self.nodes.push(Node { taxon, adj: Vec::with_capacity(3), alive: true });
+            self.nodes.push(Node {
+                taxon,
+                adj: Vec::with_capacity(3),
+                alive: true,
+            });
             NodeId(self.nodes.len() as u32 - 1)
         }
     }
 
     fn new_edge(&mut self, a: NodeId, b: NodeId, length: f64) -> EdgeId {
         let id = if let Some(id) = self.free_edges.pop() {
-            self.edges[id.0 as usize] = Edge { a, b, length, alive: true };
+            self.edges[id.0 as usize] = Edge {
+                a,
+                b,
+                length,
+                alive: true,
+            };
             id
         } else {
-            self.edges.push(Edge { a, b, length, alive: true });
+            self.edges.push(Edge {
+                a,
+                b,
+                length,
+                alive: true,
+            });
             EdgeId(self.edges.len() as u32 - 1)
         };
         self.nodes[a.0 as usize].adj.push(id);
@@ -258,7 +276,10 @@ impl Tree {
 
     /// Set a branch length (must be finite and non-negative).
     pub fn set_length(&mut self, e: EdgeId, length: f64) {
-        debug_assert!(length.is_finite() && length >= 0.0, "bad branch length {length}");
+        debug_assert!(
+            length.is_finite() && length >= 0.0,
+            "bad branch length {length}"
+        );
         self.edges[e.0 as usize].length = length;
     }
 
@@ -280,10 +301,14 @@ impl Tree {
     /// Returns the new pendant edge.
     pub fn insert_taxon(&mut self, taxon: TaxonId, target: EdgeId) -> Result<EdgeId, PhyloError> {
         if !self.edges[target.0 as usize].alive {
-            return Err(PhyloError::InvalidTreeOp(format!("insert into dead edge {target:?}")));
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "insert into dead edge {target:?}"
+            )));
         }
         if self.tip_of(taxon).is_some() {
-            return Err(PhyloError::InvalidTreeOp(format!("taxon {taxon} already in tree")));
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "taxon {taxon} already in tree"
+            )));
         }
         let Edge { a, b, length, .. } = self.edges[target.0 as usize];
         self.delete_edge(target);
@@ -305,7 +330,9 @@ impl Tree {
             .tip_of(taxon)
             .ok_or_else(|| PhyloError::InvalidTreeOp(format!("taxon {taxon} not in tree")))?;
         if self.num_tips <= 2 {
-            return Err(PhyloError::InvalidTreeOp("cannot shrink below two tips".into()));
+            return Err(PhyloError::InvalidTreeOp(
+                "cannot shrink below two tips".into(),
+            ));
         }
         let pendant = self.nodes[tip.0 as usize].adj[0];
         let p = self.other_end(pendant, tip);
@@ -330,9 +357,15 @@ impl Tree {
     /// `pendant` must join `root_side` to an *internal* node `p` of the rest
     /// of the tree; `p` is dissolved and its two other branches merge. The
     /// pruned component dangles from `root_side` until [`Tree::attach`].
-    pub fn detach(&mut self, pendant: EdgeId, root_side: NodeId) -> Result<DetachedSubtree, PhyloError> {
+    pub fn detach(
+        &mut self,
+        pendant: EdgeId,
+        root_side: NodeId,
+    ) -> Result<DetachedSubtree, PhyloError> {
         if !self.edges[pendant.0 as usize].alive {
-            return Err(PhyloError::InvalidTreeOp(format!("detach dead edge {pendant:?}")));
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "detach dead edge {pendant:?}"
+            )));
         }
         let p = self.other_end(pendant, root_side);
         if !self.is_internal(p) {
@@ -351,7 +384,11 @@ impl Tree {
         self.delete_edge(adj[1]);
         self.delete_node(p);
         let merged_edge = self.new_edge(n0, n1, merged_len);
-        Ok(DetachedSubtree { root: root_side, pendant_length, merged_edge })
+        Ok(DetachedSubtree {
+            root: root_side,
+            pendant_length,
+            merged_edge,
+        })
     }
 
     /// Regraft a detached subtree into edge `target` of the remaining tree:
@@ -359,11 +396,15 @@ impl Tree {
     /// node and restores the pendant edge with its recorded length.
     pub fn attach(&mut self, sub: DetachedSubtree, target: EdgeId) -> Result<EdgeId, PhyloError> {
         if !self.edges[target.0 as usize].alive {
-            return Err(PhyloError::InvalidTreeOp(format!("attach into dead edge {target:?}")));
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "attach into dead edge {target:?}"
+            )));
         }
         let Edge { a, b, length, .. } = self.edges[target.0 as usize];
         if a == sub.root || b == sub.root {
-            return Err(PhyloError::InvalidTreeOp("attach target inside detached subtree".into()));
+            return Err(PhyloError::InvalidTreeOp(
+                "attach target inside detached subtree".into(),
+            ));
         }
         self.delete_edge(target);
         let p = self.new_node(None);
@@ -616,7 +657,13 @@ mod tests {
         let pendant = t.incident_edges(tip3)[0];
         let sub = t.detach(pendant, tip3).unwrap();
         // Remaining tree is a valid 4-taxon tree.
-        assert_eq!(t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).0).len() + t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).1).len(), 4);
+        assert_eq!(
+            t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).0)
+                .len()
+                + t.subtree_taxa(sub.merged_edge, t.endpoints(sub.merged_edge).1)
+                    .len(),
+            4
+        );
         let target = sub.merged_edge;
         t.attach(sub, target).unwrap();
         t.check_valid().unwrap();
@@ -627,7 +674,10 @@ mod tests {
     fn detach_internal_subtree() {
         let mut t = build_five();
         // Find an internal edge and detach the side with ≥2 taxa.
-        let e = t.internal_edges().next().expect("five-taxon tree has internal edges");
+        let e = t
+            .internal_edges()
+            .next()
+            .expect("five-taxon tree has internal edges");
         let (a, _) = t.endpoints(e);
         let sub = t.detach(e, a).unwrap();
         let target = sub.merged_edge;

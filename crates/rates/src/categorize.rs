@@ -54,7 +54,10 @@ mod tests {
     fn single_category_is_unit_rate() {
         let cats = categorize(&[0.5, 2.0, 1.0], &[1, 1, 1], 1);
         assert_eq!(cats.num_categories(), 1);
-        assert!((cats.rate(0) - 1.0).abs() < 1e-12, "normalization forces mean 1");
+        assert!(
+            (cats.rate(0) - 1.0).abs() < 1e-12,
+            "normalization forces mean 1"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub struct RateGrid {
 
 impl Default for RateGrid {
     fn default() -> RateGrid {
-        RateGrid { min: 0.05, max: 20.0, points: 25 }
+        RateGrid {
+            min: 0.05,
+            max: 20.0,
+            points: 25,
+        }
     }
 }
 
@@ -25,7 +29,9 @@ impl RateGrid {
     pub fn values(&self) -> Vec<f64> {
         assert!(self.points >= 3 && self.min > 0.0 && self.max > self.min);
         let step = (self.max / self.min).ln() / (self.points - 1) as f64;
-        (0..self.points).map(|i| self.min * (step * i as f64).exp()).collect()
+        (0..self.points)
+            .map(|i| self.min * (step * i as f64).exp())
+            .collect()
     }
 }
 
@@ -79,7 +85,10 @@ pub fn estimate_rates(engine: &LikelihoodEngine, tree: &Tree, grid: &RateGrid) -
         per_pattern.push(rate);
     }
     let per_site = engine.patterns().expand_to_sites(&per_pattern);
-    RateEstimate { per_pattern, per_site }
+    RateEstimate {
+        per_pattern,
+        per_site,
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +100,11 @@ mod tests {
 
     #[test]
     fn grid_is_geometric() {
-        let g = RateGrid { min: 0.1, max: 10.0, points: 5 };
+        let g = RateGrid {
+            min: 0.1,
+            max: 10.0,
+            points: 5,
+        };
         let v = g.values();
         assert_eq!(v.len(), 5);
         assert!((v[0] - 0.1).abs() < 1e-12);
@@ -176,7 +189,15 @@ mod tests {
         let a = Alignment::from_strings(&[("x", "AACC"), ("y", "GGTT")]).unwrap();
         let engine = LikelihoodEngine::new(&a);
         let tree = fdml_phylo::tree::Tree::pair(0, 1);
-        let est = estimate_rates(&engine, &tree, &RateGrid { min: 0.1, max: 5.0, points: 7 });
+        let est = estimate_rates(
+            &engine,
+            &tree,
+            &RateGrid {
+                min: 0.1,
+                max: 5.0,
+                points: 7,
+            },
+        );
         assert_eq!(est.per_site.len(), 4);
         // Sites 0,1 share a pattern, as do 2,3.
         assert_eq!(est.per_site[0], est.per_site[1]);

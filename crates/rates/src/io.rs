@@ -118,10 +118,20 @@ pub fn parse_report(text: &str) -> Result<RateReport, String> {
     if per_site_rate.is_empty() {
         return Err("no site lines".into());
     }
-    if let Some(&bad) = per_site_category.iter().find(|&&c| c as usize >= rates.len()) {
-        return Err(format!("category {bad} out of range ({} rates)", rates.len()));
+    if let Some(&bad) = per_site_category
+        .iter()
+        .find(|&&c| c as usize >= rates.len())
+    {
+        return Err(format!(
+            "category {bad} out of range ({} rates)",
+            rates.len()
+        ));
     }
-    Ok(RateReport { rates, per_site_rate, per_site_category })
+    Ok(RateReport {
+        rates,
+        per_site_rate,
+        per_site_category,
+    })
 }
 
 #[cfg(test)]

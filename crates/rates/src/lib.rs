@@ -15,5 +15,5 @@ pub mod estimate;
 pub mod io;
 
 pub use categorize::categorize;
-pub use io::{parse_report, write_report, RateReport};
 pub use estimate::{estimate_rates, RateEstimate, RateGrid};
+pub use io::{parse_report, write_report, RateReport};

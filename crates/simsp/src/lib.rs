@@ -29,4 +29,6 @@ pub mod schedule;
 
 pub use cost::CostModel;
 pub use report::{scaling_table, ScalingRow};
-pub use schedule::{simulate_trace, simulate_trace_speculative, SimConfig, SimReport};
+pub use schedule::{
+    simulate_trace, simulate_trace_observed, simulate_trace_speculative, SimConfig, SimReport,
+};

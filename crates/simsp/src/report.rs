@@ -43,7 +43,13 @@ pub fn scaling_table(
             let mut speedup = 0.0;
             let mut util = 0.0;
             for t in traces {
-                let r = simulate_trace(t, &SimConfig { processors: p, cost: cost.clone() });
+                let r = simulate_trace(
+                    t,
+                    &SimConfig {
+                        processors: p,
+                        cost: cost.clone(),
+                    },
+                );
                 wall += r.wall_seconds;
                 speedup += r.speedup();
                 util += r.utilization;

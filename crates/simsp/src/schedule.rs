@@ -2,6 +2,8 @@
 
 use crate::cost::CostModel;
 use fdml_core::trace::SearchTrace;
+use fdml_core::worker::ranks;
+use fdml_obs::{Event, Obs};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -41,7 +43,7 @@ pub fn simulate_trace_speculative(trace: &SearchTrace, config: &SimConfig) -> Si
     let mut avail: Vec<f64> = vec![0.0; workers];
     let mut busy = 0.0f64;
     let mut clock = 0.0f64; // completion time of the last finished round
-    // Master-side time at which the current round's candidates are ready.
+                            // Master-side time at which the current round's candidates are ready.
     let mut gen_ready = 0.0f64;
     let mut barrier_before_next = true;
     for round in &trace.rounds {
@@ -87,9 +89,16 @@ pub fn simulate_trace_speculative(trace: &SearchTrace, config: &SimConfig) -> Si
         clock = round_end + round.master_work as f64 * cost.seconds_per_work_unit;
         // Speculation applies only after fruitless rearrangement rounds.
         barrier_before_next = round.improved
-            || !matches!(round.kind, RoundKind::Rearrangement | RoundKind::FinalRearrangement);
+            || !matches!(
+                round.kind,
+                RoundKind::Rearrangement | RoundKind::FinalRearrangement
+            );
     }
-    let utilization = if clock > 0.0 { busy / (workers as f64 * clock) } else { 0.0 };
+    let utilization = if clock > 0.0 {
+        busy / (workers as f64 * clock)
+    } else {
+        0.0
+    };
     SimReport {
         processors: config.processors,
         wall_seconds: clock,
@@ -149,9 +158,29 @@ impl SimReport {
 /// tree returns (the implicit, loosely synchronized barrier of §3.2); the
 /// master then commits the best tree before the next round begins.
 pub fn simulate_trace(trace: &SearchTrace, config: &SimConfig) -> SimReport {
+    simulate_trace_observed(trace, config, &Obs::disabled())
+}
+
+/// [`simulate_trace`] emitting the *same structured event schema* as the
+/// real threaded runtime ([`Event`]), with timestamps in simulated
+/// microseconds — so `fdml_obs::RunReport`s from a measured run and a
+/// simulated run are directly comparable.
+///
+/// The trace does not record per-round likelihoods, so `RoundCompleted`
+/// events carry `best_ln_likelihood = 0.0`; the final likelihood comes from
+/// the trace itself.
+pub fn simulate_trace_observed(trace: &SearchTrace, config: &SimConfig, obs: &Obs) -> SimReport {
     let cost = &config.cost;
     let serial_seconds = cost.serial_seconds(trace);
+    let sim_us = |t: f64| (t * 1e6).round() as u64;
     if config.processors == 1 {
+        obs.emit_at(0, || Event::RunStarted {
+            ranks: 1,
+            workers: 1,
+        });
+        obs.emit_at(sim_us(serial_seconds), || Event::RunFinished {
+            ln_likelihood: trace.final_ln_likelihood,
+        });
         return SimReport {
             processors: 1,
             wall_seconds: serial_seconds,
@@ -162,9 +191,14 @@ pub fn simulate_trace(trace: &SearchTrace, config: &SimConfig) -> SimReport {
         };
     }
     let workers = config.workers();
+    obs.emit_at(0, || Event::RunStarted {
+        ranks: config.processors,
+        workers,
+    });
     let mut clock = 0.0f64;
     let mut busy = 0.0f64;
-    for round in &trace.rounds {
+    let mut next_task = 0u64;
+    for (round_no, round) in trace.rounds.iter().enumerate() {
         // Master generates all candidates of the round up front (the paper
         // notes both fastDNAml and Ceron's code "calculate in advance the
         // list of trees to be dispatched").
@@ -174,8 +208,8 @@ pub fn simulate_trace(trace: &SearchTrace, config: &SimConfig) -> SimReport {
         let round_start = clock + gen;
         let msg = cost.message_seconds(cost.tree_message_bytes(round.taxa_in_tree));
         // Greedy list scheduling over worker availability.
-        let mut free: BinaryHeap<Reverse<OrderedF64>> = (0..workers)
-            .map(|_| Reverse(OrderedF64(round_start)))
+        let mut free: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..workers)
+            .map(|w| Reverse((OrderedF64(round_start), w)))
             .collect();
         let mut round_end = round_start;
         for (j, &units) in round.candidate_work.iter().enumerate() {
@@ -185,7 +219,7 @@ pub fn simulate_trace(trace: &SearchTrace, config: &SimConfig) -> SimReport {
                 trace.num_patterns,
                 trace.full_evaluation,
             );
-            let Reverse(OrderedF64(avail)) = free.pop().expect("worker pool non-empty");
+            let Reverse((OrderedF64(avail), w)) = free.pop().expect("worker pool non-empty");
             // The foreman's dispatch loop is serial: message j cannot leave
             // before round_start + j·overhead.
             let dispatch_ready = round_start + j as f64 * cost.foreman_overhead;
@@ -193,12 +227,44 @@ pub fn simulate_trace(trace: &SearchTrace, config: &SimConfig) -> SimReport {
             let end = start + compute + msg;
             busy += compute;
             round_end = round_end.max(end);
-            free.push(Reverse(OrderedF64(end)));
+            free.push(Reverse((OrderedF64(end), w)));
+            let task = next_task;
+            next_task += 1;
+            let rank = ranks::FIRST_WORKER + w;
+            obs.emit_at(sim_us(dispatch_ready), || Event::TaskDispatched {
+                task,
+                worker: rank,
+            });
+            obs.emit_at(sim_us(start + compute), || Event::WorkerTaskDone {
+                worker: rank,
+                task,
+                busy_us: sim_us(compute),
+                work_units: units,
+            });
+            obs.emit_at(sim_us(end), || Event::TaskCompleted {
+                task,
+                worker: rank,
+                service_us: sim_us(end - dispatch_ready),
+                work_units: units,
+                ln_likelihood: 0.0,
+            });
         }
         // Master commits the winner before the next round.
         clock = round_end + round.master_work as f64 * cost.seconds_per_work_unit;
+        obs.emit_at(sim_us(round_end), || Event::RoundCompleted {
+            round: round_no as u64 + 1,
+            candidates: round.candidate_work.len(),
+            best_ln_likelihood: 0.0,
+        });
     }
-    let utilization = if clock > 0.0 { busy / (workers as f64 * clock) } else { 0.0 };
+    obs.emit_at(sim_us(clock), || Event::RunFinished {
+        ln_likelihood: trace.final_ln_likelihood,
+    });
+    let utilization = if clock > 0.0 {
+        busy / (workers as f64 * clock)
+    } else {
+        0.0
+    };
     SimReport {
         processors: config.processors,
         wall_seconds: clock,
@@ -261,7 +327,13 @@ mod tests {
     }
 
     fn sim(trace: &SearchTrace, p: usize) -> SimReport {
-        simulate_trace(trace, &SimConfig { processors: p, cost: CostModel::power3_sp() })
+        simulate_trace(
+            trace,
+            &SimConfig {
+                processors: p,
+                cost: CostModel::power3_sp(),
+            },
+        )
     }
 
     #[test]
@@ -330,7 +402,11 @@ mod tests {
         let t = synthetic_trace(10, 32);
         for p in [4usize, 8, 64] {
             let r = sim(&t, p);
-            assert!(r.utilization > 0.0 && r.utilization <= 1.0, "P={p}: {}", r.utilization);
+            assert!(
+                r.utilization > 0.0 && r.utilization <= 1.0,
+                "P={p}: {}",
+                r.utilization
+            );
             assert!(r.worker_busy_seconds <= (r.processors.max(4) - 3) as f64 * r.wall_seconds);
         }
     }
@@ -361,6 +437,37 @@ mod tests {
     fn two_processors_is_invalid() {
         let t = synthetic_trace(1, 4);
         sim(&t, 2);
+    }
+
+    #[test]
+    fn observed_simulation_matches_plain_and_its_own_report() {
+        use fdml_obs::{MemorySink, RunReport};
+        let t = synthetic_trace(12, 40);
+        let cfg = SimConfig {
+            processors: 8,
+            cost: CostModel::power3_sp(),
+        };
+        let plain = simulate_trace(&t, &cfg);
+        let mem = MemorySink::new();
+        let obs = Obs::new(Box::new(mem.clone()));
+        let observed = simulate_trace_observed(&t, &cfg, &obs);
+        // Emitting events must not change the schedule.
+        assert_eq!(observed, plain);
+        let report = RunReport::from_events(&mem.take());
+        assert_eq!(report.ranks, Some(8));
+        assert_eq!(report.workers.len(), 5);
+        assert_eq!(report.completed, 12 * 40);
+        assert_eq!(report.dispatched, 12 * 40);
+        assert_eq!(report.rounds.len(), 12);
+        // The report's mean utilization (busy µs over span µs, averaged
+        // over workers) reproduces the simulator's own figure.
+        assert!(
+            (report.mean_utilization() - observed.utilization).abs() < 0.01,
+            "report {} vs simulator {}",
+            report.mean_utilization(),
+            observed.utilization
+        );
+        assert_eq!(report.final_ln_likelihood, Some(-1.0));
     }
 }
 
@@ -402,7 +509,10 @@ mod speculation_tests {
     #[test]
     fn speculation_reduces_wall_time_with_many_workers() {
         let t = trace_with_fruitless_rounds();
-        let cfg = SimConfig { processors: 64, cost: CostModel::power3_sp() };
+        let cfg = SimConfig {
+            processors: 64,
+            cost: CostModel::power3_sp(),
+        };
         let plain = simulate_trace(&t, &cfg);
         let spec = simulate_trace_speculative(&t, &cfg);
         assert!(
@@ -419,7 +529,10 @@ mod speculation_tests {
     #[test]
     fn speculation_keeps_round_count_and_work() {
         let t = trace_with_fruitless_rounds();
-        let cfg = SimConfig { processors: 8, cost: CostModel::power3_sp() };
+        let cfg = SimConfig {
+            processors: 8,
+            cost: CostModel::power3_sp(),
+        };
         let plain = simulate_trace(&t, &cfg);
         let spec = simulate_trace_speculative(&t, &cfg);
         assert_eq!(spec.rounds, plain.rounds);
@@ -430,7 +543,10 @@ mod speculation_tests {
     fn speculation_never_hurts() {
         let t = trace_with_fruitless_rounds();
         for p in [4usize, 8, 32, 64, 128] {
-            let cfg = SimConfig { processors: p, cost: CostModel::power3_sp() };
+            let cfg = SimConfig {
+                processors: p,
+                cost: CostModel::power3_sp(),
+            };
             let plain = simulate_trace(&t, &cfg);
             let spec = simulate_trace_speculative(&t, &cfg);
             assert!(spec.wall_seconds <= plain.wall_seconds * 1.0000001, "P={p}");

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = SearchTrace> {
     (
-        4usize..60,                      // taxa
-        1usize..20,                      // rounds
+        4usize..60, // taxa
+        1usize..20, // rounds
         proptest::collection::vec((1usize..120, 0u64..1_000_000, any::<bool>()), 1..20),
     )
         .prop_map(|(taxa, _, round_specs)| {

@@ -96,8 +96,18 @@ mod tests {
     fn longer_branches_reach_further_right() {
         let ast = newick::parse("(near:0.1,far:5.0);").unwrap();
         let text = render(&ast, 50);
-        let near_col = text.lines().find(|l| l.contains("near")).unwrap().find("near").unwrap();
-        let far_col = text.lines().find(|l| l.contains("far")).unwrap().find("far").unwrap();
+        let near_col = text
+            .lines()
+            .find(|l| l.contains("near"))
+            .unwrap()
+            .find("near")
+            .unwrap();
+        let far_col = text
+            .lines()
+            .find(|l| l.contains("far"))
+            .unwrap()
+            .find("far")
+            .unwrap();
         assert!(far_col > near_col);
     }
 

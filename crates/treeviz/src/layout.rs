@@ -60,7 +60,11 @@ pub fn layout_tree(ast: &NewickNode) -> TreeLayout {
     let depth_of = build(ast, None, 0.0, &mut nodes, &mut next_leaf_row);
     let depth = nodes.iter().map(|n| n.x).fold(0.0, f64::max);
     let _ = depth_of;
-    TreeLayout { nodes, num_leaves: next_leaf_row, depth }
+    TreeLayout {
+        nodes,
+        num_leaves: next_leaf_row,
+        depth,
+    }
 }
 
 /// Returns this subtree's y position.

@@ -22,11 +22,7 @@ fn min_leaf(node: &NewickNode) -> &str {
     if node.is_leaf() {
         node.name.as_deref().unwrap_or("")
     } else {
-        node.children
-            .iter()
-            .map(min_leaf)
-            .min()
-            .unwrap_or("")
+        node.children.iter().map(min_leaf).min().unwrap_or("")
     }
 }
 
@@ -34,8 +30,7 @@ fn canonicalize(node: &mut NewickNode) {
     for child in &mut node.children {
         canonicalize(child);
     }
-    node.children
-        .sort_by(|a, b| min_leaf(a).cmp(min_leaf(b)));
+    node.children.sort_by(|a, b| min_leaf(a).cmp(min_leaf(b)));
 }
 
 /// Are two trees the same drawing up to subtree pivots (and branch-length
@@ -53,7 +48,10 @@ pub fn same_up_to_rotation(a: &NewickNode, b: &NewickNode, length_tolerance: f64
             (Some(_), None) | (None, Some(_)) => return false,
             _ => {}
         }
-        a.children.iter().zip(&b.children).all(|(x, y)| eq(x, y, tol))
+        a.children
+            .iter()
+            .zip(&b.children)
+            .all(|(x, y)| eq(x, y, tol))
     }
     eq(&canonical(a), &canonical(b), length_tolerance)
 }

@@ -44,8 +44,9 @@ pub fn render(ast: &NewickNode, style: &SvgStyle) -> String {
 /// / Figure 5 ("traces have been turned on for several taxa, facilitating
 /// comparison of the trees").
 pub fn render_comparison(asts: &[NewickNode], traced: &[&str], style: &SvgStyle) -> String {
-    const TRACE_COLORS: [&str; 6] =
-        ["#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf"];
+    const TRACE_COLORS: [&str; 6] = [
+        "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+    ];
     let layouts: Vec<TreeLayout> = asts.iter().map(layout_tree).collect();
     let max_leaves = layouts.iter().map(|l| l.num_leaves).max().unwrap_or(1);
     let panel_w = style.width;

@@ -94,13 +94,8 @@ mod tests {
     fn stable_taxon_in_growing_trees() {
         // Simulates the real-time viewer: the best tree after each taxon
         // addition; taxon 'a' stays at the top row throughout.
-        let steps = [
-            "(a,b,c);",
-            "((a,b),c,d);",
-            "(((a,b),e),c,d);",
-        ];
-        let trees: Vec<NewickNode> =
-            steps.iter().map(|s| newick::parse(s).unwrap()).collect();
+        let steps = ["(a,b,c);", "((a,b),c,d);", "(((a,b),e),c,d);"];
+        let trees: Vec<NewickNode> = steps.iter().map(|s| newick::parse(s).unwrap()).collect();
         let traces = trace_taxa(&trees, &["a"]);
         assert!(traces[0].total_movement() < 1e-9);
     }

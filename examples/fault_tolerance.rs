@@ -33,8 +33,7 @@ fn main() {
     println!("\nfaulty run: worker 3 silently drops its first 6 results…");
     let mut faults = HashMap::new();
     faults.insert(3usize, FaultPlan::drop_first(6));
-    let faulty =
-        parallel_search_with_faults(&alignment, &config, 5, faults).expect("faulty run");
+    let faulty = parallel_search_with_faults(&alignment, &config, 5, faults).expect("faulty run");
     println!(
         "  lnL {:.3}; {} dispatches, {} timeouts, {} re-admissions, {} duplicate results ignored",
         faulty.result.ln_likelihood,

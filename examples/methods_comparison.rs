@@ -51,7 +51,10 @@ fn main() {
     let (pars_nj, _) = fitch_score(&nj_tree, &patterns);
     let (pars_ml, _) = fitch_score(&ml.tree, &patterns);
 
-    println!("{:<22} {:>14} {:>12} {:>12}", "method", "lnL", "parsimony", "RF vs truth");
+    println!(
+        "{:<22} {:>14} {:>12} {:>12}",
+        "method", "lnL", "parsimony", "RF vs truth"
+    );
     println!(
         "{:<22} {:>14.2} {:>12} {:>12}",
         "neighbor joining",

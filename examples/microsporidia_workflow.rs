@@ -30,7 +30,10 @@ fn main() {
     println!("running {} jumbles (random addition orders)…", seeds.len());
     let (results, consensus) = run_jumbles(&alignment, &config, &seeds).expect("jumbles succeed");
 
-    println!("\n{:>6} {:>16} {:>12} {:>14}", "seed", "lnL", "rounds", "RF vs truth");
+    println!(
+        "\n{:>6} {:>16} {:>12} {:>14}",
+        "seed", "lnL", "rounds", "RF vs truth"
+    );
     for (seed, r) in seeds.iter().zip(&results) {
         println!(
             "{:>6} {:>16.2} {:>12} {:>14}",
@@ -47,7 +50,10 @@ fn main() {
         .expect("at least one jumble");
     println!("\nbest jumble lnL: {:.2}", best.ln_likelihood);
 
-    println!("\nmajority-rule consensus of {} trees:", consensus.num_trees);
+    println!(
+        "\nmajority-rule consensus of {} trees:",
+        consensus.num_trees
+    );
     println!("  {} splits above 50% support", consensus.splits.len());
     for s in consensus.splits.iter().take(8) {
         println!(

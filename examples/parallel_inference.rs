@@ -7,9 +7,11 @@
 //! ```
 
 use fastdnaml::core::config::SearchConfig;
-use fastdnaml::core::runner::{parallel_search, serial_search};
+use fastdnaml::core::runner::{parallel_search_observed, serial_search};
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
+use fastdnaml::obs::{MemorySink, Sink};
 use fastdnaml::phylo::bipartition::robinson_foulds;
+use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +37,9 @@ fn main() {
     let ranks = workers + 3; // master + foreman + monitor + workers
     println!("\nparallel run with {ranks} ranks ({workers} workers)…");
     let t0 = Instant::now();
-    let outcome = parallel_search(&alignment, &config, ranks).expect("parallel search");
+    let sinks: Vec<Box<dyn Sink>> = vec![Box::new(MemorySink::new())];
+    let outcome = parallel_search_observed(&alignment, &config, ranks, HashMap::new(), sinks)
+        .expect("parallel search");
     let par_secs = t0.elapsed().as_secs_f64();
     println!(
         "  lnL {:.3} in {par_secs:.2}s → speedup {:.2}×",
@@ -49,8 +53,14 @@ fn main() {
 
     println!("\nmonitor report:");
     println!("  events                : {}", outcome.monitor.events);
-    println!("  rounds observed       : {}", outcome.monitor.round_history.len());
-    println!("  load imbalance (cv)   : {:.3}", outcome.monitor.load_imbalance());
+    println!(
+        "  rounds observed       : {}",
+        outcome.monitor.round_history.len()
+    );
+    println!(
+        "  load imbalance (cv)   : {:.3}",
+        outcome.monitor.load_imbalance()
+    );
     let mut ranks_sorted: Vec<_> = outcome.monitor.per_worker.iter().collect();
     ranks_sorted.sort_by_key(|(rank, _)| **rank);
     for (rank, util) in ranks_sorted {
@@ -59,5 +69,13 @@ fn main() {
             util.completed, util.work_units
         );
     }
-    println!("  foreman: {} dispatches, {} results", outcome.foreman.dispatched, outcome.foreman.results_forwarded);
+    println!(
+        "  foreman: {} dispatches, {} results",
+        outcome.foreman.dispatched, outcome.foreman.results_forwarded
+    );
+
+    if let Some(report) = &outcome.report {
+        println!("\nrun report (fdml-obs):");
+        println!("{report}");
+    }
 }

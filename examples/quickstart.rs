@@ -31,7 +31,10 @@ fn main() {
 
     // fastDNAml defaults: empirical base frequencies, tt-ratio 2.0,
     // local rearrangements crossing one vertex.
-    let config = SearchConfig { jumble_seed: 137, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 137,
+        ..SearchConfig::default()
+    };
     let result = serial_search(&alignment, &config).expect("search succeeds");
 
     println!("\nbest tree lnL = {:.4}", result.ln_likelihood);

@@ -15,20 +15,34 @@ use fastdnaml::rates::{categorize, estimate_rates, RateGrid};
 fn main() {
     // Strongly heterogeneous data: lognormal site rates + invariant sites.
     let tree = yule_tree(16, 0.1, 31);
-    let gen_config = EvolutionConfig { rate_sigma: 1.2, prop_invariant: 0.4, ..Default::default() };
+    let gen_config = EvolutionConfig {
+        rate_sigma: 1.2,
+        prop_invariant: 0.4,
+        ..Default::default()
+    };
     let alignment = evolve(&tree, 800, &gen_config, 6, "taxon");
 
     // Reference tree from a homogeneous-model search.
-    let config = SearchConfig { jumble_seed: 1, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 1,
+        ..SearchConfig::default()
+    };
     let result = fast_serial_search(&alignment, &config).expect("search");
-    println!("reference tree lnL (single rate): {:.2}", result.ln_likelihood);
+    println!(
+        "reference tree lnL (single rate): {:.2}",
+        result.ln_likelihood
+    );
 
     // DNArates: per-site ML rates on the reference tree.
     let engine = LikelihoodEngine::new(&alignment);
     let grid = RateGrid::default();
     let estimate = estimate_rates(&engine, &result.tree, &grid);
     let mean: f64 = estimate.per_site.iter().sum::<f64>() / estimate.per_site.len() as f64;
-    let slow = estimate.per_site.iter().filter(|&&r| r <= grid.min * 1.01).count();
+    let slow = estimate
+        .per_site
+        .iter()
+        .filter(|&&r| r <= grid.min * 1.01)
+        .count();
     println!(
         "estimated rates over {} sites: mean {:.2}, {} sites pinned at the slow bound",
         estimate.per_site.len(),

@@ -22,7 +22,10 @@ fn main() {
     // Three jumbles → three (possibly different) trees.
     let mut asts = Vec::new();
     for seed in [1u64, 7, 13] {
-        let config = SearchConfig { jumble_seed: seed, ..SearchConfig::default() };
+        let config = SearchConfig {
+            jumble_seed: seed,
+            ..SearchConfig::default()
+        };
         let r = fast_serial_search(&alignment, &config).expect("search");
         let text = newick::write_tree(&r.tree, alignment.names());
         println!("jumble {seed}: lnL {:.3}", r.ln_likelihood);
@@ -52,5 +55,8 @@ fn main() {
     let path = "target/tree_comparison.svg";
     std::fs::create_dir_all("target").ok();
     std::fs::write(path, &svg).expect("write SVG");
-    println!("\nside-by-side comparison with traces written to {path} ({} bytes)", svg.len());
+    println!(
+        "\nside-by-side comparison with traces written to {path} ({} bytes)",
+        svg.len()
+    );
 }

@@ -1,0 +1,52 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy for the full domain of a primitive (see [`Arbitrary`] impls).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_impl {
+    ($t:ty, $gen:expr) => {
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    };
+}
+
+arbitrary_impl!(bool, |rng| rng.next_u64() & 1 == 1);
+arbitrary_impl!(u8, |rng| rng.next_u64() as u8);
+arbitrary_impl!(u16, |rng| rng.next_u64() as u16);
+arbitrary_impl!(u32, |rng| rng.next_u64() as u32);
+arbitrary_impl!(u64, |rng| rng.next_u64());
+arbitrary_impl!(usize, |rng| rng.next_u64() as usize);
+arbitrary_impl!(i32, |rng| rng.next_u64() as i32);
+arbitrary_impl!(i64, |rng| rng.next_u64() as i64);
+arbitrary_impl!(f64, |rng| rng.next_f64());

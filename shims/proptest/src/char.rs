@@ -1,0 +1,34 @@
+//! Character strategies (`proptest::char::range`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy yielding chars in an inclusive code-point range.
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+/// Generates chars uniformly in `[lo, hi]` (inclusive), skipping the
+/// surrogate gap.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let span = (self.hi - self.lo + 1) as u64;
+        loop {
+            let code = self.lo + (rng.next_u64() % span) as u32;
+            if let Some(c) = char::from_u32(code) {
+                return c;
+            }
+        }
+    }
+}

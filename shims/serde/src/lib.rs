@@ -1,0 +1,62 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor architecture, this shim round-trips every type
+//! through a self-describing [`Value`] tree: [`Serialize`] renders a value
+//! into a `Value`, [`Deserialize`] rebuilds one from it. The companion
+//! `serde_json` shim prints and parses `Value`s, and `serde_derive` generates
+//! impls of these two traits with the same JSON shapes real serde would use
+//! (named structs → objects, newtype structs → their inner value, unit enum
+//! variants → strings, data-carrying variants → single-key objects).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+mod impls;
+
+pub use value::{Number, Value};
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Returns the `Value` representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`, or explains why it cannot.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a "missing field" error for `ty.field`.
+    pub fn missing(ty: &str, field: &str) -> Self {
+        DeError {
+            msg: format!("{ty}: missing field `{field}`"),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up `key` in an object's entry list (insertion order preserved).
+pub fn value_get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

@@ -1,0 +1,162 @@
+//! The self-describing data model every (de)serialization passes through.
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON numbers (integer fidelity preserved, see [`Number`]).
+    Number(Number),
+    /// JSON strings.
+    String(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number that remembers whether it was an unsigned integer, a signed
+/// integer, or a float, so `u64::MAX` and friends round-trip exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integers.
+    U(u64),
+    /// Negative integers.
+    I(i64),
+    /// Everything with a fraction or exponent.
+    F(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {}
+        }
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {}
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl Number {
+    /// The value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(f) => {
+                if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                    Some(f as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    /// The entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short label for error messages ("object", "string", …).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

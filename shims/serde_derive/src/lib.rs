@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the Value-based `serde::Serialize` /
+//! `serde::Deserialize` shim traits with the same JSON shapes real serde
+//! uses: named structs → objects, newtype structs → their inner value, unit
+//! enum variants → strings, newtype variants → `{"Variant": inner}`, struct
+//! variants → `{"Variant": {fields…}}`. Supports `#[serde(default)]` and
+//! `#[serde(default = "path")]` on named fields. No generics, lifetimes, or
+//! multi-field tuple variants — the workspace does not use them.
+//!
+//! The input is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote`), and the generated impl is rendered as a string and
+//! re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the Value-based `Serialize` shim trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the Value-based `Deserialize` shim trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum DefaultKind {
+    Trait,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility down to the `struct`/`enum` keyword.
+    loop {
+        if is_punct(tokens.get(i), '#') {
+            i += 2; // '#' + bracketed group
+        } else if is_ident(tokens.get(i), "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else if is_ident(tokens.get(i), "struct") || is_ident(tokens.get(i), "enum") {
+            break;
+        } else {
+            match tokens.get(i) {
+                Some(_) => i += 1,
+                None => panic!("serde_derive shim: no struct/enum keyword found"),
+            }
+        }
+    }
+
+    let is_struct = is_ident(tokens.get(i), "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), &name);
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name: name.clone(),
+                variants: parse_variants(g.stream(), &name),
+            },
+            other => panic!("serde_derive shim: unsupported enum body for `{name}`: {other:?}"),
+        }
+    }
+}
+
+/// Counts comma-separated segments at angle-bracket depth 0.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut any = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        return 0;
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+/// Extracts `default` / `default = "path"` from a `serde(...)` attribute body.
+fn parse_serde_attr(stream: TokenStream) -> Option<DefaultKind> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if !is_ident(tokens.first(), "serde") {
+        return None;
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if is_ident(inner.get(j), "default") {
+            if is_punct(inner.get(j + 1), '=') {
+                if let Some(TokenTree::Literal(lit)) = inner.get(j + 2) {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_string();
+                    return Some(DefaultKind::Path(path));
+                }
+            }
+            return Some(DefaultKind::Trait);
+        }
+        j += 1;
+    }
+    None
+}
+
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = None;
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(d) = parse_serde_attr(g.stream()) {
+                    default = Some(d);
+                }
+            }
+            i += 2;
+        }
+        if is_ident(tokens.get(i), "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: `{ty}`: expected field name, got {other:?}"),
+        };
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            panic!("serde_derive shim: `{ty}.{name}`: expected `:` after field name");
+        }
+        i += 1;
+        // Skip the type, honoring angle-bracket nesting so commas inside
+        // `HashMap<String, TaxonId>` do not end the field.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while is_punct(tokens.get(i), '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: `{ty}`: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match tuple_arity(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => panic!(
+                        "serde_derive shim: `{ty}::{name}`: {n}-field tuple variants unsupported"
+                    ),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream(), ty))
+            }
+            _ => Shape::Unit,
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn push_object_entries(out: &mut String, fields: &[Field], access_prefix: &str) {
+    out.push_str("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([");
+    for f in fields {
+        out.push_str(&format!(
+            "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize_value(&{p}{n})),",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("])))");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ fn serialize_value(&self) -> ::serde::Value {{ "
+            ));
+            push_object_entries(&mut out, fields, "self.");
+            out.push_str(" } }");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ fn serialize_value(&self) -> ::serde::Value {{ "
+            ));
+            if *arity == 1 {
+                out.push_str("::serde::Serialize::serialize_value(&self.0)");
+            } else {
+                out.push_str("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([");
+                for idx in 0..*arity {
+                    out.push_str(&format!(
+                        "::serde::Serialize::serialize_value(&self.{idx}),"
+                    ));
+                }
+                out.push_str("])))");
+            }
+            out.push_str(" } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ fn serialize_value(&self) -> ::serde::Value {{ match self {{ "
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Shape::Newtype => out.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize_value(__f0))]))),"
+                    )),
+                    Shape::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from(\"{vn}\"), ",
+                            bindings.join(", ")
+                        ));
+                        push_object_entries(&mut out, fields, "");
+                        out.push_str(")]))),");
+                    }
+                }
+            }
+            out.push_str(" } } }");
+        }
+    }
+    out
+}
+
+fn push_field_builders(out: &mut String, ty: &str, fields: &[Field]) {
+    for f in fields {
+        let n = &f.name;
+        out.push_str(&format!(
+            "{n}: match ::serde::value_get(__obj, \"{n}\") {{ \
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize_value(__x)?, \
+             ::std::option::Option::None => "
+        ));
+        match &f.default {
+            Some(DefaultKind::Trait) => out.push_str("::std::default::Default::default()"),
+            Some(DefaultKind::Path(path)) => out.push_str(&format!("{path}()")),
+            None => out.push_str(&format!(
+                // Absent fields still deserialize when the type accepts
+                // `null` (Option<T> → None); everything else is an error.
+                "match ::serde::Deserialize::deserialize_value(&::serde::Value::Null) {{ \
+                 ::std::result::Result::Ok(__d) => __d, \
+                 ::std::result::Result::Err(_) => return ::std::result::Result::Err(::serde::DeError::missing(\"{ty}\", \"{n}\")) }}"
+            )),
+        }
+        out.push_str(" },");
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"{name}: expected object\"))?; \
+                 ::std::result::Result::Ok({name} {{ "
+            ));
+            push_field_builders(&mut out, name, fields);
+            out.push_str(" }) } }");
+        }
+        Item::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ "
+            ));
+            if *arity == 1 {
+                out.push_str(&format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"{name}: expected array\"))?; \
+                     if __items.len() != {arity} {{ return ::std::result::Result::Err(::serde::DeError::new(\"{name}: wrong tuple length\")); }} \
+                     ::std::result::Result::Ok({name}("
+                ));
+                for idx in 0..*arity {
+                    out.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(&__items[{idx}])?,"
+                    ));
+                }
+                out.push_str("))");
+            }
+            out.push_str(" } }");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ "
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() { return match __s { ",
+            );
+            for v in variants {
+                if let Shape::Unit = v.shape {
+                    out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::DeError::new(\"unknown {name} variant\")) }}; }} "
+            ));
+            // Data variants arrive as single-key objects.
+            out.push_str(&format!(
+                "let __entries = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"{name}: expected string or object\"))?; \
+                 if __entries.len() != 1 {{ return ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected single-key object\")); }} \
+                 let (__k, __inner) = &__entries[0]; \
+                 match __k.as_str() {{ "
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Newtype => out.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize_value(__inner)?)),"
+                    )),
+                    Shape::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                             let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected object\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ "
+                        ));
+                        push_field_builders(&mut out, name, fields);
+                        out.push_str(" }) },");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::DeError::new(\"unknown {name} variant\")) }} }} }}"
+            ));
+        }
+    }
+    out
+}

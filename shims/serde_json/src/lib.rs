@@ -1,0 +1,113 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Prints and parses JSON over the `serde` shim's [`Value`] model, exposing
+//! the `to_string` / `to_string_pretty` / `from_str` entry points and an
+//! [`Error`] type compatible with how this workspace uses the real crate.
+
+pub use serde::value::{Number, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+mod parse;
+mod print;
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.serialize_value()))
+}
+
+/// Serializes `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.serialize_value()))
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(
+            to_string("hi\n\"there\"").unwrap(),
+            "\"hi\\n\\\"there\\\"\""
+        );
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("-2.5e3").unwrap(), -2500.0);
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+
+        let opt: Option<u32> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let x = -1234.567891234567f64;
+        let s = to_string(&x).unwrap();
+        assert_eq!(from_str::<f64>(&s).unwrap(), x);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Number(Number::U(1))),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let pretty = print::pretty(&v);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("42 junk").is_err());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+    }
+}

@@ -77,15 +77,29 @@ fn main() -> ExitCode {
         }
         None => {
             eprintln!("dnarates: no --tree given; inferring a reference tree first…");
-            fast_serial_search(&alignment, &config).expect("reference search").tree
+            fast_serial_search(&alignment, &config)
+                .expect("reference search")
+                .tree
         }
     };
     let grid = RateGrid {
-        min: args.get("grid-min").and_then(|v| v.parse().ok()).unwrap_or(0.05),
-        max: args.get("grid-max").and_then(|v| v.parse().ok()).unwrap_or(20.0),
-        points: args.get("grid-points").and_then(|v| v.parse().ok()).unwrap_or(25),
+        min: args
+            .get("grid-min")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05),
+        max: args
+            .get("grid-max")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20.0),
+        points: args
+            .get("grid-points")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25),
     };
-    let k: usize = args.get("categories").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let k: usize = args
+        .get("categories")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
 
     let engine = LikelihoodEngine::new(&alignment);
     let estimate = estimate_rates(&engine, &tree, &grid);

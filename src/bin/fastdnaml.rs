@@ -13,6 +13,8 @@
 //!   --rates-file FILE    use a dnarates report for the category model
 //!   --parallel RANKS     run the threaded parallel program (≥ 4 ranks:
 //!                        master, foreman, monitor, workers)
+//!   --obs-out FILE       write runtime events as JSON lines (parallel only)
+//!   --obs-summary        print the end-of-run report (parallel only)
 //!   --bootstrap N        bootstrap with N replicates instead of jumbles
 //!   --user-trees FILE    evaluate the Newick trees in FILE, no search
 //!   --checkpoint FILE    write a resumable checkpoint after every step
@@ -28,16 +30,19 @@ use fastdnaml::core::checkpoint::Checkpoint;
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::executor::ScorerExecutor;
 use fastdnaml::core::runner::{
-    bootstrap_analysis, evaluate_user_trees, parallel_search, run_jumbles, serial_search,
+    bootstrap_analysis, evaluate_user_trees, parallel_search_observed, run_jumbles, serial_search,
 };
 use fastdnaml::core::search::StepwiseSearch;
+use fastdnaml::obs::{JsonlSink, MemorySink, Sink};
 use fastdnaml::phylo::{fasta, newick, phylip};
 use fastdnaml::rates::{categorize, estimate_rates, RateGrid};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
-    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    args.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn parse_args() -> (HashMap<String, String>, Vec<String>) {
@@ -69,6 +74,8 @@ fastdnaml --input data.phy [options]
   --categories K       estimate K rate categories (DNArates) first
   --rates-file FILE    use a dnarates report for the category model
   --parallel RANKS     run the threaded parallel program (>= 4 ranks)
+  --obs-out FILE       write runtime events as JSON lines (parallel only)
+  --obs-summary        print the end-of-run report (parallel only)
   --bootstrap N        bootstrap with N replicates instead of jumbles
   --user-trees FILE    evaluate the Newick trees in FILE, no search
   --checkpoint FILE    write a resumable checkpoint after every step
@@ -222,7 +229,10 @@ fn main() -> ExitCode {
             bootstrap_analysis(&alignment, &config, n, config.jumble_seed).expect("bootstrap");
         emit(&newick::write(&cons.tree));
         if !quiet {
-            eprintln!("fastdnaml: consensus has {} splits above 50%", cons.splits.len());
+            eprintln!(
+                "fastdnaml: consensus has {} splits above 50%",
+                cons.splits.len()
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -230,7 +240,9 @@ fn main() -> ExitCode {
     // Multiple jumbles → consensus.
     let jumbles: usize = get(&args, "jumbles", 1);
     if jumbles > 1 {
-        let seeds: Vec<u64> = (0..jumbles as u64).map(|i| config.jumble_seed + 2 * i).collect();
+        let seeds: Vec<u64> = (0..jumbles as u64)
+            .map(|i| config.jumble_seed + 2 * i)
+            .collect();
         let (results, cons) = run_jumbles(&alignment, &config, &seeds).expect("jumbles");
         for (seed, r) in seeds.iter().zip(&results) {
             if !quiet {
@@ -243,7 +255,25 @@ fn main() -> ExitCode {
 
     // Single search: parallel, resumable-serial, or plain serial.
     if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
-        let outcome = parallel_search(&alignment, &config, ranks).expect("parallel search");
+        let obs_summary = flags.iter().any(|f| f == "obs-summary");
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        if let Some(path) = args.get("obs-out") {
+            sinks.push(Box::new(
+                JsonlSink::create(path).unwrap_or_else(|e| panic!("--obs-out {path}: {e}")),
+            ));
+        }
+        if obs_summary && sinks.is_empty() {
+            // No event log requested, but the report still needs the stream.
+            sinks.push(Box::new(MemorySink::new()));
+        }
+        let outcome = parallel_search_observed(&alignment, &config, ranks, HashMap::new(), sinks)
+            .expect("parallel search");
+        if obs_summary {
+            match &outcome.report {
+                Some(report) => println!("{report}"),
+                None => eprintln!("fastdnaml: no observability data collected"),
+            }
+        }
         if !quiet {
             eprintln!(
                 "fastdnaml: lnL {:.4} ({} trees over {} workers, {} timeouts)",
@@ -265,8 +295,9 @@ fn main() -> ExitCode {
         let mut search = StepwiseSearch::new(&config, executor, alignment.num_taxa())
             .with_names(alignment.names().to_vec());
         if let Some(path) = &resume_path {
-            let cp = Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
-                .expect("parse checkpoint");
+            let cp =
+                Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
+                    .expect("parse checkpoint");
             search = search.resume_from(cp);
         }
         if let Some(path) = checkpoint_path.clone() {

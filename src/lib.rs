@@ -14,6 +14,8 @@
 //! * [`comm`] — the message-passing abstraction (serial / threads).
 //! * [`core`] — the fastDNAml search and the master / foreman / worker /
 //!   monitor parallel runtime.
+//! * [`obs`] — the observability layer: structured runtime events, sinks
+//!   (memory / JSONL), and the end-of-run [`obs::RunReport`].
 //! * [`simsp`] — the IBM RS/6000 SP discrete-event simulator used to
 //!   regenerate the paper's scaling figures.
 //! * [`datagen`] — synthetic dataset generation (random trees, sequence
@@ -46,6 +48,7 @@ pub use fdml_comm as comm;
 pub use fdml_core as core;
 pub use fdml_datagen as datagen;
 pub use fdml_likelihood as likelihood;
+pub use fdml_obs as obs;
 pub use fdml_phylo as phylo;
 pub use fdml_rates as rates;
 pub use fdml_simsp as simsp;
@@ -55,10 +58,11 @@ pub use fdml_treeviz as treeviz;
 pub mod prelude {
     pub use fdml_comm::transport::Transport;
     pub use fdml_core::config::SearchConfig;
-    pub use fdml_core::runner::{parallel_search, serial_search};
+    pub use fdml_core::runner::{parallel_search, parallel_search_observed, serial_search};
     pub use fdml_core::search::SearchResult;
     pub use fdml_likelihood::engine::LikelihoodEngine;
     pub use fdml_likelihood::f84::F84Model;
+    pub use fdml_obs::{Event, JsonlSink, MemorySink, Obs, RunReport, Sink};
     pub use fdml_phylo::alignment::Alignment;
     pub use fdml_phylo::bipartition::{robinson_foulds, SplitSet};
     pub use fdml_phylo::newick;

@@ -38,7 +38,11 @@ fn serial_search_emits_a_tree() {
         .args(["--jumble", "7", "--radius", "2", "--quiet"])
         .output()
         .expect("run fastdnaml");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let tree = String::from_utf8(out.stdout).expect("utf8");
     let ast = fastdnaml::phylo::newick::parse(tree.trim()).expect("valid Newick on stdout");
     assert_eq!(ast.leaf_names().len(), 6);
@@ -51,12 +55,18 @@ fn checkpoint_then_resume_gives_same_tree() {
     let cp = dir.join("cp.json");
     let run = |extra: &[&str]| -> String {
         let mut cmd = fastdnaml();
-        cmd.args(["--input"]).arg(dir.join("data.phy")).args(["--jumble", "9", "--quiet"]);
+        cmd.args(["--input"])
+            .arg(dir.join("data.phy"))
+            .args(["--jumble", "9", "--quiet"]);
         for a in extra {
             cmd.arg(a);
         }
         let out = cmd.output().expect("run");
-        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8(out.stdout).unwrap().trim().to_string()
     };
     let full = run(&["--checkpoint", cp.to_str().unwrap()]);
@@ -82,7 +92,11 @@ fn dnarates_report_feeds_fastdnaml() {
         .arg(&rates)
         .output()
         .expect("run dnarates");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report_text = std::fs::read_to_string(&rates).expect("report written");
     let report = fastdnaml::rates::parse_report(&report_text).expect("parseable report");
     assert_eq!(report.per_site_rate.len(), 40);
@@ -94,7 +108,11 @@ fn dnarates_report_feeds_fastdnaml() {
         .args(["--quiet"])
         .output()
         .expect("run fastdnaml with rates");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 
@@ -103,7 +121,10 @@ fn missing_input_fails_cleanly() {
     let out = fastdnaml().output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
-    let out = fastdnaml().args(["--input", "/nonexistent.phy"]).output().expect("run");
+    let out = fastdnaml()
+        .args(["--input", "/nonexistent.phy"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
 }
 
@@ -137,12 +158,18 @@ fn outgroup_and_midpoint_rooting() {
     let dir = workdir("rooting");
     let run = |extra: &[&str]| -> String {
         let mut cmd = fastdnaml();
-        cmd.args(["--input"]).arg(dir.join("data.phy")).args(["--jumble", "7", "--quiet"]);
+        cmd.args(["--input"])
+            .arg(dir.join("data.phy"))
+            .args(["--jumble", "7", "--quiet"]);
         for a in extra {
             cmd.arg(a);
         }
         let out = cmd.output().expect("run");
-        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8(out.stdout).unwrap().trim().to_string()
     };
     // Outgroup rooting: the root has two children, one of which is t5.
@@ -159,6 +186,47 @@ fn outgroup_and_midpoint_rooting() {
 }
 
 #[test]
+fn parallel_run_writes_an_event_log_and_a_summary() {
+    let dir = workdir("obs");
+    let log = dir.join("events.jsonl");
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "3", "--parallel", "4", "--quiet", "--obs-out"])
+        .arg(&log)
+        .args(["--obs-summary"])
+        .output()
+        .expect("run fastdnaml");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The summary report and the best tree both land on stdout.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("run report"), "stdout: {stdout}");
+    assert!(stdout.contains("dispatched"), "stdout: {stdout}");
+    // The event log parses back and tells a consistent story.
+    let text = std::fs::read_to_string(&log).expect("event log written");
+    let records = fastdnaml::obs::JsonlSink::parse(&text).expect("valid JSONL");
+    assert!(matches!(
+        records.first().map(|r| &r.event),
+        Some(fastdnaml::obs::Event::RunStarted {
+            ranks: 4,
+            workers: 1
+        })
+    ));
+    assert!(matches!(
+        records.last().map(|r| &r.event),
+        Some(fastdnaml::obs::Event::RunFinished { .. })
+    ));
+    let report = fastdnaml::obs::RunReport::from_events(&records);
+    assert!(report.dispatched > 0);
+    assert_eq!(report.completed, report.dispatched);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn help_flags_print_usage() {
     let out = fastdnaml().args(["--help"]).output().expect("run");
     assert!(out.status.success());
@@ -166,5 +234,7 @@ fn help_flags_print_usage() {
     assert!(text.contains("--jumble") && text.contains("--outgroup"));
     let out = dnarates().args(["--help"]).output().expect("run");
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("--grid-points"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("--grid-points"));
 }

@@ -42,14 +42,17 @@ fn phylip_roundtrip_preserves_search_result() {
     let alignment = evolve(&truth, 500, &EvolutionConfig::default(), 2, "taxon");
     let text = phylip::write(&alignment);
     let reparsed = phylip::parse(&text).expect("roundtrip parse");
-    let config = SearchConfig { jumble_seed: 9, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 9,
+        ..SearchConfig::default()
+    };
     let a = serial_search(&alignment, &config).expect("original");
     let b = serial_search(&reparsed, &config).expect("reparsed");
-    assert_eq!(a.ln_likelihood, b.ln_likelihood, "byte-identical inputs, identical search");
     assert_eq!(
-        SplitSet::of_tree(&a.tree, 8),
-        SplitSet::of_tree(&b.tree, 8)
+        a.ln_likelihood, b.ln_likelihood,
+        "byte-identical inputs, identical search"
     );
+    assert_eq!(SplitSet::of_tree(&a.tree, 8), SplitSet::of_tree(&b.tree, 8));
 }
 
 #[test]
@@ -110,7 +113,10 @@ fn final_tree_is_a_local_optimum_under_nni() {
     // (that is exactly what the rearrangement loop guarantees).
     let truth = yule_tree(8, 0.1, 31);
     let alignment = evolve(&truth, 800, &EvolutionConfig::default(), 3, "taxon");
-    let config = SearchConfig { jumble_seed: 7, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 7,
+        ..SearchConfig::default()
+    };
     let result = serial_search(&alignment, &config).expect("search");
     let engine = LikelihoodEngine::new(&alignment);
     let moves = fastdnaml::phylo::ops::enumerate_spr_moves(&result.tree, 1);
@@ -118,7 +124,10 @@ fn final_tree_is_a_local_optimum_under_nni() {
         let mut cand = result.tree.clone();
         fastdnaml::phylo::ops::apply_move(&mut cand, mv).expect("apply");
         let lnl = engine
-            .optimize(&mut cand, &fastdnaml::likelihood::engine::OptimizeOptions::default())
+            .optimize(
+                &mut cand,
+                &fastdnaml::likelihood::engine::OptimizeOptions::default(),
+            )
             .ln_likelihood;
         assert!(
             lnl <= result.ln_likelihood + 1e-3,

@@ -19,7 +19,10 @@ fn dataset() -> Alignment {
 #[test]
 fn worker_count_does_not_change_the_answer() {
     let alignment = dataset();
-    let config = SearchConfig { jumble_seed: 11, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 11,
+        ..SearchConfig::default()
+    };
     let serial = serial_search(&alignment, &config).expect("serial");
     for ranks in [4usize, 5, 7] {
         let outcome = parallel_search(&alignment, &config, ranks).expect("parallel");
@@ -40,10 +43,23 @@ fn worker_count_does_not_change_the_answer() {
 #[test]
 fn monitor_sees_every_dispatch() {
     let alignment = dataset();
-    let config = SearchConfig { jumble_seed: 2, ..SearchConfig::default() };
+    let config = SearchConfig {
+        jumble_seed: 2,
+        ..SearchConfig::default()
+    };
     let outcome = parallel_search(&alignment, &config, 5).expect("parallel");
-    let dispatched: u64 = outcome.monitor.per_worker.values().map(|w| w.dispatched).sum();
-    let completed: u64 = outcome.monitor.per_worker.values().map(|w| w.completed).sum();
+    let dispatched: u64 = outcome
+        .monitor
+        .per_worker
+        .values()
+        .map(|w| w.dispatched)
+        .sum();
+    let completed: u64 = outcome
+        .monitor
+        .per_worker
+        .values()
+        .map(|w| w.completed)
+        .sum();
     assert_eq!(dispatched, outcome.foreman.dispatched);
     assert_eq!(
         completed,
@@ -73,7 +89,10 @@ fn delayed_worker_triggers_timeout_then_recovery() {
     // must declare it delinquent, reassign, then re-admit it when the late
     // answer arrives. The delay is far shorter than the total run so the
     // late answer always lands while the foreman is still alive.
-    faults.insert(3usize, FaultPlan::delay_first(1, Duration::from_millis(150)));
+    faults.insert(
+        3usize,
+        FaultPlan::delay_first(1, Duration::from_millis(150)),
+    );
     let outcome = parallel_search_with_faults(&alignment, &config, 5, faults).expect("run");
     assert!(outcome.foreman.timeouts >= 1, "timeout must fire");
     assert!(

@@ -2,9 +2,9 @@
 //! invariants, spanning crates.
 
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
+use fastdnaml::likelihood::categories::RateCategories;
 use fastdnaml::likelihood::engine::LikelihoodEngine;
 use fastdnaml::likelihood::f84::F84Model;
-use fastdnaml::likelihood::categories::RateCategories;
 use fastdnaml::phylo::alignment::Alignment;
 use fastdnaml::phylo::bipartition::{robinson_foulds, topology_fingerprint, SplitSet};
 use fastdnaml::phylo::ops::{apply_move, enumerate_spr_moves};
@@ -15,7 +15,12 @@ use proptest::prelude::*;
 fn arb_freqs() -> impl Strategy<Value = [f64; 4]> {
     [0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0].prop_map(|raw| {
         let total: f64 = raw.iter().sum();
-        [raw[0] / total, raw[1] / total, raw[2] / total, raw[3] / total]
+        [
+            raw[0] / total,
+            raw[1] / total,
+            raw[2] / total,
+            raw[3] / total,
+        ]
     })
 }
 
@@ -25,7 +30,10 @@ fn arb_alignment(max_taxa: usize, max_sites: usize) -> impl Strategy<Value = Ali
         evolve(
             &tree,
             sites,
-            &EvolutionConfig { missing_fraction: 0.02, ..Default::default() },
+            &EvolutionConfig {
+                missing_fraction: 0.02,
+                ..Default::default()
+            },
             seed ^ 0x5555,
             "t",
         )

@@ -44,8 +44,16 @@ fn figure3_shape_from_a_real_trace() {
     // Speedups grow substantially from 16 to 64 (the paper's "quite good"
     // relative speedups): with 30 taxa the rounds are modest, so demand at
     // least a 2× relative gain.
-    let s16 = rows.iter().find(|r| r.processors == 16).unwrap().mean_speedup;
-    let s64 = rows.iter().find(|r| r.processors == 64).unwrap().mean_speedup;
+    let s16 = rows
+        .iter()
+        .find(|r| r.processors == 16)
+        .unwrap()
+        .mean_speedup;
+    let s64 = rows
+        .iter()
+        .find(|r| r.processors == 64)
+        .unwrap()
+        .mean_speedup;
     assert!(s64 / s16 > 2.0, "16→64 relative speedup {}", s64 / s16);
 }
 
@@ -70,8 +78,20 @@ fn falloff_when_workers_exceed_round_sizes() {
     // Radius-1 rounds on 20 taxa have ≤ ~37 candidates; past ~40 workers,
     // extra processors are idle.
     let cost = CostModel::power3_sp();
-    let r64 = simulate_trace(&trace, &SimConfig { processors: 64, cost: cost.clone() });
-    let r256 = simulate_trace(&trace, &SimConfig { processors: 256, cost: cost.clone() });
+    let r64 = simulate_trace(
+        &trace,
+        &SimConfig {
+            processors: 64,
+            cost: cost.clone(),
+        },
+    );
+    let r256 = simulate_trace(
+        &trace,
+        &SimConfig {
+            processors: 256,
+            cost: cost.clone(),
+        },
+    );
     let gain = r64.wall_seconds / r256.wall_seconds;
     assert!(
         gain < 1.1,
@@ -84,12 +104,23 @@ fn falloff_when_workers_exceed_round_sizes() {
 fn trace_work_matches_simulated_busy_time() {
     let trace = real_trace(16, 2);
     let cost = CostModel::power3_sp();
-    let serial = simulate_trace(&trace, &SimConfig { processors: 1, cost: cost.clone() });
-    let p8 = simulate_trace(&trace, &SimConfig { processors: 8, cost });
+    let serial = simulate_trace(
+        &trace,
+        &SimConfig {
+            processors: 1,
+            cost: cost.clone(),
+        },
+    );
+    let p8 = simulate_trace(
+        &trace,
+        &SimConfig {
+            processors: 8,
+            cost,
+        },
+    );
     // Worker busy time is invariant to the processor count (same work).
     assert!(
-        (p8.worker_busy_seconds - serial.worker_busy_seconds).abs()
-            / serial.worker_busy_seconds
+        (p8.worker_busy_seconds - serial.worker_busy_seconds).abs() / serial.worker_busy_seconds
             < 0.05,
         "busy {} vs serial {}",
         p8.worker_busy_seconds,
