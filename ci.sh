@@ -7,3 +7,9 @@ cargo test -q
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Benches must keep compiling, and the kernel perf reporter must produce
+# valid JSON end to end (quick datasets; the checked-in BENCH_kernels.json
+# comes from a full run).
+cargo bench --no-run
+cargo run --release -p fdml-bench --bin kernel_report -- --quick --out target/bench_kernels_smoke.json

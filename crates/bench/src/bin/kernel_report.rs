@@ -1,0 +1,107 @@
+//! Times the gated likelihood workloads under both kernel modes and writes
+//! `BENCH_kernels.json` (see `fdml_bench::kernel_report`).
+//!
+//! Usage:
+//!   kernel_report [--quick] [--samples N] [--out PATH]
+//!
+//! `--quick` shrinks the datasets and sample counts to a CI smoke test;
+//! the checked-in report must come from a full (default) run.
+
+use fdml_bench::kernel_report::{compare, measure, KernelReport, WorkloadReport};
+use fdml_bench::Args;
+use fdml_core::config::SearchConfig;
+use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
+use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
+use fdml_likelihood::KernelMode;
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::tree::Tree;
+use std::hint::black_box;
+
+fn dataset(taxa: usize, sites: usize) -> (Alignment, Tree) {
+    let tree = yule_tree(taxa, 0.08, 42);
+    let alignment = evolve(&tree, sites, &EvolutionConfig::default(), 7, "t");
+    (alignment, tree)
+}
+
+/// Runs one workload under both modes. `work_of` performs one pass and
+/// returns its pattern-update count (identical in both modes).
+fn run_workload(
+    name: &str,
+    samples: usize,
+    engine: &mut LikelihoodEngine,
+    mut pass: impl FnMut(&LikelihoodEngine) -> u64,
+) -> WorkloadReport {
+    engine.set_kernel_mode(KernelMode::Optimized);
+    let updates = pass(engine);
+    let optimized = measure(samples, updates, || {
+        black_box(pass(engine));
+    });
+    engine.set_kernel_mode(KernelMode::Reference);
+    let reference = measure(samples, updates, || {
+        black_box(pass(engine));
+    });
+    engine.set_kernel_mode(KernelMode::Optimized);
+    let row = compare(name, optimized, reference);
+    println!(
+        "{:<32} opt {:>9.3} ms  ref {:>9.3} ms  {:>7.0} kpat/s  speedup {:.2}x",
+        row.name,
+        row.optimized.mean_seconds * 1e3,
+        row.reference.mean_seconds * 1e3,
+        row.optimized.patterns_per_sec / 1e3,
+        row.speedup
+    );
+    row
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has_flag("quick");
+    let samples = args.get("samples", if quick { 3 } else { 15 });
+    let out = args.get_str("out", "BENCH_kernels.json");
+
+    let (eval_taxa, eval_sites) = if quick { (24, 200) } else { (101, 500) };
+    let by_sites = if quick { (16, 300) } else { (32, 1858) };
+
+    let mut workloads = Vec::new();
+
+    {
+        let (alignment, tree) = dataset(eval_taxa, eval_sites);
+        let mut engine = SearchConfig::default().build_engine(&alignment);
+        workloads.push(run_workload(
+            &format!("tree_evaluate/evaluate/{eval_taxa}"),
+            samples,
+            &mut engine,
+            |e| e.evaluate(&tree).work.total_pattern_updates(),
+        ));
+        workloads.push(run_workload(
+            &format!("tree_evaluate/optimize/{eval_taxa}"),
+            samples,
+            &mut engine,
+            |e| {
+                let mut t = tree.clone();
+                e.optimize(&mut t, &OptimizeOptions::default())
+                    .work
+                    .total_pattern_updates()
+            },
+        ));
+    }
+
+    {
+        let (alignment, tree) = dataset(by_sites.0, by_sites.1);
+        let mut engine = LikelihoodEngine::new(&alignment);
+        workloads.push(run_workload(
+            &format!("evaluate_by_sites/{}", by_sites.1),
+            samples,
+            &mut engine,
+            |e| e.evaluate(&tree).work.total_pattern_updates(),
+        ));
+    }
+
+    let report = KernelReport {
+        generated_by: "fdml-bench kernel_report".into(),
+        quick,
+        workloads,
+    };
+    std::fs::write(&out, report.to_json() + "\n").expect("write report");
+    println!("wrote {out}");
+}

@@ -1,0 +1,137 @@
+//! Benchmark-gated kernel performance report.
+//!
+//! The `kernel_report` binary times the gated likelihood workloads under
+//! both [`fdml_likelihood::KernelMode`]s and emits `BENCH_kernels.json`:
+//! mean wall time, pattern throughput, and the optimized-over-reference
+//! speedup per workload. The reference kernels reproduce the seed
+//! implementation (including its per-call allocations), so the speedup
+//! column is an honest before/after for the kernel rewrite. CI runs the
+//! binary with `--quick` as a smoke test; the checked-in report comes from
+//! a full run.
+
+use serde::Serialize;
+use std::time::Instant;
+
+/// One kernel mode's timing for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeStats {
+    /// Timed samples (after one untimed warmup).
+    pub samples: usize,
+    /// Mean wall time of one run, seconds.
+    pub mean_seconds: f64,
+    /// Fastest observed run, seconds.
+    pub min_seconds: f64,
+    /// Per-pattern kernel operations one run performs
+    /// (`WorkCounter::total_pattern_updates`; identical across modes).
+    pub pattern_updates: u64,
+    /// `pattern_updates / mean_seconds`.
+    pub patterns_per_sec: f64,
+    /// `mean_seconds / pattern_updates`, in nanoseconds.
+    pub ns_per_pattern: f64,
+}
+
+/// One workload's optimized-vs-reference comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadReport {
+    /// Workload id, matching the Criterion bench names
+    /// (e.g. `tree_evaluate/optimize/101`).
+    pub name: String,
+    /// Timing under the optimized kernels (the engine default).
+    pub optimized: ModeStats,
+    /// Timing under the scalar reference kernels (seed behavior).
+    pub reference: ModeStats,
+    /// `reference.mean_seconds / optimized.mean_seconds`.
+    pub speedup: f64,
+}
+
+/// The whole report, serialized to `BENCH_kernels.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelReport {
+    /// Tool that wrote the file.
+    pub generated_by: String,
+    /// True when produced by the `--quick` CI smoke configuration
+    /// (smaller datasets, fewer samples — not for the gate).
+    pub quick: bool,
+    /// Per-workload comparisons.
+    pub workloads: Vec<WorkloadReport>,
+}
+
+impl KernelReport {
+    /// Pretty JSON for the report file.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Times `run` (`samples` timed passes after one untimed warmup) and
+/// derives throughput stats; `pattern_updates` is the per-run operation
+/// count the workload reports.
+pub fn measure(samples: usize, pattern_updates: u64, mut run: impl FnMut()) -> ModeStats {
+    run(); // warmup: page in CLVs, warm caches, trigger lazy allocation
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        run();
+        let dt = start.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / samples as f64;
+    ModeStats {
+        samples,
+        mean_seconds: mean,
+        min_seconds: min,
+        pattern_updates,
+        patterns_per_sec: pattern_updates as f64 / mean,
+        ns_per_pattern: mean * 1e9 / pattern_updates.max(1) as f64,
+    }
+}
+
+/// Combines two mode timings into a workload row.
+pub fn compare(name: &str, optimized: ModeStats, reference: ModeStats) -> WorkloadReport {
+    let speedup = reference.mean_seconds / optimized.mean_seconds;
+    WorkloadReport {
+        name: name.to_string(),
+        optimized,
+        reference,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_and_rates() {
+        let mut calls = 0u32;
+        let stats = measure(5, 1000, || calls += 1);
+        assert_eq!(calls, 6, "warmup + samples");
+        assert_eq!(stats.samples, 5);
+        assert!(stats.mean_seconds >= 0.0);
+        assert!(stats.min_seconds <= stats.mean_seconds * (1.0 + 1e-9));
+        assert!(stats.patterns_per_sec > 0.0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let s = |mean: f64| ModeStats {
+            samples: 3,
+            mean_seconds: mean,
+            min_seconds: mean,
+            pattern_updates: 100,
+            patterns_per_sec: 100.0 / mean,
+            ns_per_pattern: mean * 1e9 / 100.0,
+        };
+        let report = KernelReport {
+            generated_by: "fdml-bench kernel_report".into(),
+            quick: false,
+            workloads: vec![compare("w", s(1.0), s(2.0))],
+        };
+        assert!((report.workloads[0].speedup - 2.0).abs() < 1e-12);
+        let json = report.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"tree_evaluate\"") || json.contains("\"w\""));
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod args;
 pub mod calibrate;
+pub mod kernel_report;
 pub mod traces;
 
 pub use args::Args;

@@ -44,9 +44,10 @@ pub fn fast_serial_search(
 ) -> Result<SearchResult, PhyloError> {
     let engine = config.build_engine(alignment);
     let executor = ScorerExecutor::new(&engine, config.optimize);
-    StepwiseSearch::new(config, executor, alignment.num_taxa())
+    let result = StepwiseSearch::new(config, executor, alignment.num_taxa())
         .with_names(alignment.names().to_vec())
-        .run()
+        .run();
+    result
 }
 
 /// Serial search with trace recording, for the simulator.

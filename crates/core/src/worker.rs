@@ -84,6 +84,7 @@ pub fn run_worker_observed<T: Transport>(
                     task,
                     busy_us,
                     work_units: result.work.work_units(),
+                    pattern_updates: result.work.total_pattern_updates(),
                 });
                 transport.send(
                     ranks::FOREMAN,

@@ -1,4 +1,5 @@
-//! Conditional likelihood vector (CLV) kernels: Felsenstein pruning.
+//! Conditional likelihood vector (CLV) layout, scaling constants, and tip
+//! vectors: the pieces shared by both kernel implementations.
 //!
 //! A CLV anchored at node `m` for a region `X` of the tree stores, for every
 //! site pattern `p` and state `s`, `P(data of X at pattern p | state(m)=s)`.
@@ -18,10 +19,13 @@
 //!
 //! which is 4 multiply-adds for the sums plus ~3 flops per state — the whole
 //! kernel is O(patterns), independent of any 4×4 matrix multiplication.
+//!
+//! The kernels themselves live in two sibling modules:
+//! [`crate::kernels`] (blocked, division-free, autovectorization-friendly —
+//! the default) and [`crate::reference`] (the original scalar code, kept as
+//! the equivalence oracle and benchmark baseline).
 
-use crate::categories::RateCategories;
-use crate::f84::{Coefficients, F84Model};
-use fdml_phylo::dna::{A, C, G, NUM_STATES, T};
+use fdml_phylo::dna::NUM_STATES;
 use fdml_phylo::patterns::PatternAlignment;
 
 /// Rescaling threshold: when every state's CLV entry for a pattern drops
@@ -46,73 +50,6 @@ pub fn fill_tip_clv(patterns: &PatternAlignment, taxon: usize, clv: &mut [f64]) 
     }
 }
 
-/// Per-category branch coefficients for one edge at one length.
-pub fn branch_coefficients(model: &F84Model, cats: &RateCategories, t: f64) -> Vec<Coefficients> {
-    (0..cats.num_categories())
-        .map(|c| model.coefficients(t, cats.rate(c)))
-        .collect()
-}
-
-/// Propagate one CLV pattern through a branch.
-#[inline]
-fn prop_pattern(model: &F84Model, co: &Coefficients, l: &[f64], out: &mut [f64]) {
-    let f = &model.freqs;
-    let sr = f[A] * l[A] + f[G] * l[G];
-    let sy = f[C] * l[C] + f[T] * l[T];
-    let s = sr + sy;
-    let wr = co.c2 * sr / model.freq_r() + co.c3 * s;
-    let wy = co.c2 * sy / model.freq_y() + co.c3 * s;
-    out[A] = co.c1 * l[A] + wr;
-    out[G] = co.c1 * l[G] + wr;
-    out[C] = co.c1 * l[C] + wy;
-    out[T] = co.c1 * l[T] + wy;
-}
-
-/// Compute the CLV of an internal node from its two child CLVs:
-/// `out = prop(branch1, clv1) ⊙ prop(branch2, clv2)`, with per-pattern
-/// rescaling. `scale_out[p] = scale1[p] + scale2[p] (+1 if rescaled)`.
-/// Returns the number of pattern updates performed (for work accounting).
-#[allow(clippy::too_many_arguments)]
-pub fn combine_children(
-    model: &F84Model,
-    cats: &RateCategories,
-    co1: &[Coefficients],
-    clv1: &[f64],
-    scale1: &[i32],
-    co2: &[Coefficients],
-    clv2: &[f64],
-    scale2: &[i32],
-    out: &mut [f64],
-    scale_out: &mut [i32],
-) -> u64 {
-    let np = cats.num_patterns();
-    let mut a = [0.0f64; NUM_STATES];
-    let mut b = [0.0f64; NUM_STATES];
-    for p in 0..np {
-        let cat = cats.category_of(p);
-        let base = p * NUM_STATES;
-        prop_pattern(model, &co1[cat], &clv1[base..base + 4], &mut a);
-        prop_pattern(model, &co2[cat], &clv2[base..base + 4], &mut b);
-        let o = &mut out[base..base + 4];
-        let mut max = 0.0f64;
-        for s in 0..NUM_STATES {
-            o[s] = a[s] * b[s];
-            if o[s] > max {
-                max = o[s];
-            }
-        }
-        let mut sc = scale1[p] + scale2[p];
-        if max < SCALE_THRESHOLD && max > 0.0 {
-            for v in o.iter_mut() {
-                *v *= SCALE_FACTOR;
-            }
-            sc += 1;
-        }
-        scale_out[p] = sc;
-    }
-    np as u64
-}
-
 /// The three per-pattern terms of the F84 edge likelihood
 /// `f_p(t) = c1·W1 + c2·W2 + c3·W3` between two CLVs anchored at the two
 /// ends of a branch.
@@ -126,44 +63,13 @@ pub struct WTerms {
     pub w3: f64,
 }
 
-/// Compute the W-terms for every pattern; `out` has one entry per pattern.
-pub fn edge_w_terms(model: &F84Model, u: &[f64], d: &[f64], out: &mut [WTerms]) -> u64 {
-    let f = &model.freqs;
-    let np = out.len();
-    for (p, w) in out.iter_mut().enumerate() {
-        let b = p * NUM_STATES;
-        let (ua, uc, ug, ut) = (u[b + A], u[b + C], u[b + G], u[b + T]);
-        let (da, dc, dg, dt) = (d[b + A], d[b + C], d[b + G], d[b + T]);
-        let w1 = f[A] * ua * da + f[C] * uc * dc + f[G] * ug * dg + f[T] * ut * dt;
-        let ur = f[A] * ua + f[G] * ug;
-        let uy = f[C] * uc + f[T] * ut;
-        let dr = f[A] * da + f[G] * dg;
-        let dy = f[C] * dc + f[T] * dt;
-        let w2 = ur * dr / model.freq_r() + uy * dy / model.freq_y();
-        let w3 = (ur + uy) * (dr + dy);
-        *w = WTerms { w1, w2, w3 };
-    }
-    np as u64
-}
-
-/// Log-likelihood of one branch given per-pattern W-terms, pattern weights,
-/// and the combined per-pattern scale counts of the two CLVs.
-pub fn edge_log_likelihood(
-    model: &F84Model,
-    cats: &RateCategories,
-    t: f64,
-    w: &[WTerms],
-    weights: &[u32],
-    scale: &[i32],
-) -> f64 {
-    let co = branch_coefficients(model, cats, t);
-    let mut lnl = 0.0;
-    for (p, terms) in w.iter().enumerate() {
-        let c = &co[cats.category_of(p)];
-        let f = (c.c1 * terms.w1 + c.c2 * terms.w2 + c.c3 * terms.w3).max(f64::MIN_POSITIVE);
-        lnl += weights[p] as f64 * (f.ln() + scale[p] as f64 * LN_SCALE);
-    }
-    lnl
+impl WTerms {
+    /// The all-zero terms, used to size scratch buffers.
+    pub const ZERO: WTerms = WTerms {
+        w1: 0.0,
+        w2: 0.0,
+        w3: 0.0,
+    };
 }
 
 #[cfg(test)]
@@ -171,17 +77,10 @@ mod tests {
     use super::*;
     use fdml_phylo::alignment::Alignment;
 
-    fn setup() -> (PatternAlignment, F84Model, RateCategories) {
-        let a = Alignment::from_strings(&[("x", "ACGTN"), ("y", "AAGTC"), ("z", "TCGAA")]).unwrap();
-        let p = PatternAlignment::compress(&a);
-        let m = F84Model::new([0.3, 0.2, 0.25, 0.25], 2.0);
-        let c = RateCategories::single(p.num_patterns());
-        (p, m, c)
-    }
-
     #[test]
     fn tip_clv_respects_masks() {
-        let (p, _, _) = setup();
+        let a = Alignment::from_strings(&[("x", "ACGTN"), ("y", "AAGTC"), ("z", "TCGAA")]).unwrap();
+        let p = PatternAlignment::compress(&a);
         let mut clv = vec![0.0; p.num_patterns() * 4];
         fill_tip_clv(&p, 0, &mut clv);
         for pat in 0..p.num_patterns() {
@@ -194,124 +93,8 @@ mod tests {
     }
 
     #[test]
-    fn propagation_matches_matrix_multiplication() {
-        let (_, m, _) = setup();
-        let t = 0.31;
-        let co = m.coefficients(t, 1.0);
-        let pmat = m.transition_matrix(t, 1.0);
-        let l = [0.2, 0.9, 0.05, 0.4];
-        let mut out = [0.0; 4];
-        prop_pattern(&m, &co, &l, &mut out);
-        for x in 0..4 {
-            let direct: f64 = (0..4).map(|s| pmat[x][s] * l[s]).sum();
-            assert!((out[x] - direct).abs() < 1e-12, "state {x}");
-        }
-    }
-
-    #[test]
-    fn combine_children_multiplies_propagated() {
-        let (p, m, cats) = setup();
-        let np = p.num_patterns();
-        let mut c1 = vec![0.0; np * 4];
-        let mut c2 = vec![0.0; np * 4];
-        fill_tip_clv(&p, 0, &mut c1);
-        fill_tip_clv(&p, 1, &mut c2);
-        let s0 = vec![0i32; np];
-        let co1 = branch_coefficients(&m, &cats, 0.1);
-        let co2 = branch_coefficients(&m, &cats, 0.4);
-        let mut out = vec![0.0; np * 4];
-        let mut sc = vec![0i32; np];
-        let n = combine_children(&m, &cats, &co1, &c1, &s0, &co2, &c2, &s0, &mut out, &mut sc);
-        assert_eq!(n, np as u64);
-        // Verify one pattern by direct matrix computation.
-        let p1 = m.transition_matrix(0.1, 1.0);
-        let p2 = m.transition_matrix(0.4, 1.0);
-        for pat in 0..np {
-            for s in 0..4 {
-                let a: f64 = (0..4).map(|x| p1[s][x] * c1[pat * 4 + x]).sum();
-                let b: f64 = (0..4).map(|x| p2[s][x] * c2[pat * 4 + x]).sum();
-                assert!((out[pat * 4 + s] - a * b).abs() < 1e-12);
-            }
-            assert_eq!(sc[pat], 0);
-        }
-    }
-
-    #[test]
-    fn rescaling_triggers_and_preserves_value() {
-        let (p, m, cats) = setup();
-        let np = p.num_patterns();
-        // Feed tiny CLVs so the product underflows the threshold.
-        let c1 = vec![1e-60; np * 4];
-        let c2 = vec![1e-60; np * 4];
-        let s0 = vec![3i32; np];
-        let co = branch_coefficients(&m, &cats, 0.1);
-        let mut out = vec![0.0; np * 4];
-        let mut sc = vec![0i32; np];
-        combine_children(&m, &cats, &co, &c1, &s0, &co, &c2, &s0, &mut out, &mut sc);
-        for pat in 0..np {
-            assert_eq!(sc[pat], 7, "3+3 inherited plus one new");
-            assert!(out[pat * 4] > SCALE_THRESHOLD);
-        }
-    }
-
-    #[test]
-    fn w_terms_reproduce_full_quadratic_form() {
-        let (_, m, cats) = setup();
-        let u = [0.3, 0.7, 0.2, 0.9];
-        let d = [0.5, 0.1, 0.6, 0.2];
-        let mut terms = vec![
-            WTerms {
-                w1: 0.0,
-                w2: 0.0,
-                w3: 0.0
-            };
-            1
-        ];
-        edge_w_terms(&m, &u, &d, &mut terms);
-        for t in [0.05, 0.3, 1.5] {
-            let co = branch_coefficients(&m, &cats, t)[0];
-            let via_terms = co.c1 * terms[0].w1 + co.c2 * terms[0].w2 + co.c3 * terms[0].w3;
-            let pmat = m.transition_matrix(t, 1.0);
-            let mut direct = 0.0;
-            for s in 0..4 {
-                for x in 0..4 {
-                    direct += m.freqs[s] * u[s] * pmat[s][x] * d[x];
-                }
-            }
-            assert!((via_terms - direct).abs() < 1e-12, "t = {t}");
-        }
-    }
-
-    #[test]
-    fn edge_log_likelihood_accounts_for_scaling() {
-        let (_, m, cats1) = setup();
-        let _ = cats1;
-        let cats = RateCategories::single(1);
-        let terms = vec![WTerms {
-            w1: 0.1,
-            w2: 0.2,
-            w3: 0.3,
-        }];
-        let weights = [2u32];
-        let no_scale = edge_log_likelihood(&m, &cats, 0.2, &terms, &weights, &[0]);
-        let scaled = edge_log_likelihood(&m, &cats, 0.2, &terms, &weights, &[1]);
-        assert!((scaled - (no_scale + 2.0 * LN_SCALE)).abs() < 1e-9);
-    }
-
-    #[test]
     fn ln_scale_constant_is_consistent() {
         assert!((LN_SCALE - SCALE_THRESHOLD.ln()).abs() < 1e-9);
         assert!((SCALE_FACTOR * SCALE_THRESHOLD - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn rate_categories_change_propagation() {
-        let (_, m, _) = setup();
-        let cats = RateCategories::new(vec![0.5, 2.0], vec![0, 1]);
-        let co = branch_coefficients(&m, &cats, 0.3);
-        // Category 1 evolves 4× faster than category 0.
-        assert!(co[1].c3 > co[0].c3);
-        let co_equiv = m.coefficients(0.6, 1.0);
-        assert!((co[1].c1 - co_equiv.c1).abs() < 1e-15);
     }
 }

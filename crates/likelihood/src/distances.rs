@@ -7,9 +7,10 @@
 //! [`fdml_phylo::nj::neighbor_joining`] yields the classic fast baseline
 //! the paper's ML results are compared against.
 
-use crate::clv::{edge_w_terms, WTerms};
+use crate::clv::WTerms;
 use crate::engine::LikelihoodEngine;
 use crate::newton::{optimize_branch, NewtonOptions, MAX_BRANCH_LENGTH};
+use crate::reference::edge_w_terms;
 use crate::work::WorkCounter;
 use fdml_phylo::nj::DistanceMatrix;
 

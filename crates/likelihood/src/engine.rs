@@ -8,21 +8,23 @@
 //! The evaluator anchors a *directional* CLV at each end of every edge:
 //! `down[e]` covers the subtree on the far side of `e` from the root tip,
 //! `up[e]` covers everything else. Both are computed by sweeps of the
-//! [`crate::clv::combine_children`] kernel; a branch's log-likelihood joins
-//! its two directional CLVs through the branch's transition coefficients.
+//! CLV-combine kernel (see [`crate::kernels`]); a branch's log-likelihood
+//! joins its two directional CLVs through the branch's transition
+//! coefficients. Kernels are dispatched through the engine's
+//! [`KernelMode`]: the blocked, division-free path by default, the scalar
+//! reference oracle on request.
 
 use crate::categories::RateCategories;
-use crate::clv::{
-    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, fill_tip_clv, WTerms,
-    LN_SCALE,
-};
+use crate::clv::{fill_tip_clv, WTerms, LN_SCALE};
 use crate::f84::F84Model;
-use crate::newton::{optimize_branch, NewtonOptions};
+use crate::kernels::{self, KernelMode, KernelScratch};
+use crate::newton::NewtonOptions;
 use crate::work::WorkCounter;
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::dna::NUM_STATES;
 use fdml_phylo::patterns::PatternAlignment;
 use fdml_phylo::tree::{EdgeId, NodeId, Tree};
+use std::sync::Mutex;
 
 /// Options controlling full-tree branch-length optimization.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +66,55 @@ pub struct LikelihoodEngine {
     categories: RateCategories,
     /// Tip CLVs cached per taxon.
     tip_clvs: Vec<Vec<f64>>,
+    /// Which kernel implementation evaluations route through.
+    mode: KernelMode,
+    /// Recycled workspace buffers (optimized mode only; the reference mode
+    /// allocates per call like the seed implementation it reproduces).
+    pool: WorkspacePool,
+}
+
+/// Upper bound on retained workspace buffer sets. Evaluations overlap only
+/// when a scorer holds its indexed workspace while re-optimizing, so a
+/// handful covers every caller without hoarding memory.
+const MAX_POOLED_WORKSPACES: usize = 8;
+
+/// A lock-guarded stack of recycled [`PoolEntry`] buffer sets.
+///
+/// Cloning an engine starts the clone with an empty pool: pooled buffers
+/// are a cache, not state.
+struct WorkspacePool(Mutex<Vec<PoolEntry>>);
+
+impl WorkspacePool {
+    fn new() -> WorkspacePool {
+        WorkspacePool(Mutex::new(Vec::new()))
+    }
+
+    fn pop(&self) -> Option<PoolEntry> {
+        self.0.lock().unwrap().pop()
+    }
+
+    fn put(&self, entry: PoolEntry) {
+        let mut pool = self.0.lock().unwrap();
+        if pool.len() < MAX_POOLED_WORKSPACES {
+            pool.push(entry);
+        }
+    }
+
+    fn clear(&self) {
+        self.0.lock().unwrap().clear();
+    }
+}
+
+impl Clone for WorkspacePool {
+    fn clone(&self) -> WorkspacePool {
+        WorkspacePool::new()
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkspacePool({})", self.0.lock().unwrap().len())
+    }
 }
 
 impl LikelihoodEngine {
@@ -100,7 +151,26 @@ impl LikelihoodEngine {
             model,
             categories,
             tip_clvs,
+            mode: KernelMode::default(),
+            pool: WorkspacePool::new(),
         }
+    }
+
+    /// The same engine routed through a specific kernel implementation
+    /// (used by equivalence tests and benchmark baselines).
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> LikelihoodEngine {
+        self.mode = mode;
+        self
+    }
+
+    /// Switch the kernel implementation in place.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// The active kernel implementation.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// The pattern-compressed alignment.
@@ -122,6 +192,9 @@ impl LikelihoodEngine {
     pub fn set_categories(&mut self, categories: RateCategories) {
         assert_eq!(categories.num_patterns(), self.patterns.num_patterns());
         self.categories = categories;
+        // Pooled kernel scratch carries category runs for the old
+        // assignment; drop it rather than let stale runs be reused.
+        self.pool.clear();
     }
 
     /// The cached tip CLV of one taxon.
@@ -187,6 +260,86 @@ impl LikelihoodEngine {
     }
 }
 
+/// The directional CLV buffers of one workspace, separated from the rest so
+/// kernel scratch (`&mut`) and CLV reads (`&`) can borrow disjoint fields.
+#[derive(Default)]
+pub(crate) struct ClvBuffers {
+    /// Parent node of each edge under the root orientation.
+    parent: Vec<NodeId>,
+    /// Child node of each edge under the root orientation.
+    child: Vec<NodeId>,
+    /// Taxon whose cached tip CLV backs `down[e]` (`u32::MAX` when the
+    /// buffer itself holds the data). Optimized mode aliases pendant-edge
+    /// CLVs to the engine's tip cache instead of copying them.
+    down_tip: Vec<u32>,
+    /// Same for `up[e]` (only the root pendant edge has a tip parent).
+    up_tip: Vec<u32>,
+    down: Vec<Vec<f64>>,
+    down_scale: Vec<Vec<i32>>,
+    up: Vec<Vec<f64>>,
+    up_scale: Vec<Vec<i32>>,
+    /// Shared all-zero scale vector backing aliased tip CLVs.
+    zero_scale: Vec<i32>,
+}
+
+impl ClvBuffers {
+    /// Re-key the buffers to one tree: size the per-edge tables and rebuild
+    /// the orientation index. Existing CLV allocations are kept; their stale
+    /// contents are fully overwritten before being read.
+    fn prepare(&mut self, cap: usize, order: &[(NodeId, EdgeId, NodeId)]) {
+        self.down.resize_with(cap, Vec::new);
+        self.down_scale.resize_with(cap, Vec::new);
+        self.up.resize_with(cap, Vec::new);
+        self.up_scale.resize_with(cap, Vec::new);
+        self.parent.clear();
+        self.parent.resize(cap, NodeId(u32::MAX));
+        self.child.clear();
+        self.child.resize(cap, NodeId(u32::MAX));
+        self.down_tip.clear();
+        self.down_tip.resize(cap, u32::MAX);
+        self.up_tip.clear();
+        self.up_tip.resize(cap, u32::MAX);
+        for &(c, e, p) in order {
+            self.parent[e.0 as usize] = p;
+            self.child[e.0 as usize] = c;
+        }
+    }
+
+    /// The `down` CLV of edge `ei` with its scale counts, resolving tip
+    /// aliases to the engine's cached tip vectors.
+    fn down_of<'a>(&'a self, engine: &'a LikelihoodEngine, ei: usize) -> (&'a [f64], &'a [i32]) {
+        match self.down_tip[ei] {
+            u32::MAX => (&self.down[ei], &self.down_scale[ei]),
+            taxon => (engine.tip_clv(taxon), &self.zero_scale),
+        }
+    }
+
+    /// The `up` CLV of edge `ei` with its scale counts (see [`Self::down_of`]).
+    fn up_of<'a>(&'a self, engine: &'a LikelihoodEngine, ei: usize) -> (&'a [f64], &'a [i32]) {
+        match self.up_tip[ei] {
+            u32::MAX => (&self.up[ei], &self.up_scale[ei]),
+            taxon => (engine.tip_clv(taxon), &self.zero_scale),
+        }
+    }
+}
+
+/// One recycled buffer set: CLVs plus the per-workspace kernel state.
+struct PoolEntry {
+    clvs: ClvBuffers,
+    wterms: Vec<WTerms>,
+    scratch: KernelScratch,
+}
+
+impl PoolEntry {
+    fn fresh(categories: &RateCategories) -> PoolEntry {
+        PoolEntry {
+            clvs: ClvBuffers::default(),
+            wterms: Vec::new(),
+            scratch: KernelScratch::new(categories),
+        }
+    }
+}
+
 /// Directional-CLV workspace for one tree.
 pub(crate) struct Workspace<'e> {
     engine: &'e LikelihoodEngine,
@@ -195,16 +348,12 @@ pub(crate) struct Workspace<'e> {
     root_edge: EdgeId,
     /// Postorder of directed steps (child, edge, parent) toward `root`.
     order: Vec<(NodeId, EdgeId, NodeId)>,
-    /// Parent node of each edge under the root orientation.
-    parent: Vec<NodeId>,
-    /// Child node of each edge under the root orientation.
-    child: Vec<NodeId>,
-    down: Vec<Vec<f64>>,
-    down_scale: Vec<Vec<i32>>,
-    up: Vec<Vec<f64>>,
-    up_scale: Vec<Vec<i32>>,
+    /// Per-edge CLV storage and orientation index.
+    clvs: ClvBuffers,
     /// Scratch for W-terms.
     wterms: Vec<WTerms>,
+    /// Reusable kernel state (category runs + coefficient tables).
+    scratch: KernelScratch,
 }
 
 impl<'e> Workspace<'e> {
@@ -218,31 +367,33 @@ impl<'e> Workspace<'e> {
         let root_edge = tree.incident_edges(root)[0];
         let order = tree.postorder_toward(root);
         let cap = tree.edge_capacity();
-        let mut parent = vec![NodeId(u32::MAX); cap];
-        let mut child = vec![NodeId(u32::MAX); cap];
-        for &(c, e, p) in &order {
-            parent[e.0 as usize] = p;
-            child[e.0 as usize] = c;
+        let recycled = if engine.mode == KernelMode::Optimized {
+            engine.pool.pop()
+        } else {
+            None
+        };
+        let PoolEntry {
+            mut clvs,
+            mut wterms,
+            scratch,
+        } = recycled.unwrap_or_else(|| PoolEntry::fresh(&engine.categories));
+        clvs.prepare(cap, &order);
+        if engine.mode == KernelMode::Optimized && clvs.zero_scale.len() != np {
+            clvs.zero_scale.clear();
+            clvs.zero_scale.resize(np, 0);
+        }
+        if wterms.len() != np {
+            wterms.clear();
+            wterms.resize(np, WTerms::ZERO);
         }
         Workspace {
             engine,
             root,
             root_edge,
             order,
-            parent,
-            child,
-            down: vec![Vec::new(); cap],
-            down_scale: vec![Vec::new(); cap],
-            up: vec![Vec::new(); cap],
-            up_scale: vec![Vec::new(); cap],
-            wterms: vec![
-                WTerms {
-                    w1: 0.0,
-                    w2: 0.0,
-                    w3: 0.0
-                };
-                np
-            ],
+            clvs,
+            wterms,
+            scratch,
         }
     }
 
@@ -252,8 +403,8 @@ impl<'e> Workspace<'e> {
 
     /// Compute `down[e]` for every edge, children before parents.
     pub(crate) fn compute_all_down(&mut self, tree: &Tree, work: &mut WorkCounter) {
-        let order = self.order.clone();
-        for &(c, e, _) in &order {
+        for i in 0..self.order.len() {
+            let (c, e, _) = self.order[i];
             self.compute_down_edge(tree, c, e, work);
         }
     }
@@ -261,8 +412,8 @@ impl<'e> Workspace<'e> {
     /// Compute `up[e]` for every edge, parents before children (requires
     /// `compute_all_down` to have run).
     pub(crate) fn compute_all_up(&mut self, tree: &Tree, work: &mut WorkCounter) {
-        let order = self.order.clone();
-        for &(_, e, _) in order.iter().rev() {
+        for i in (0..self.order.len()).rev() {
+            let (_, e, _) = self.order[i];
             self.compute_up_edge(tree, e, work);
         }
     }
@@ -272,11 +423,11 @@ impl<'e> Workspace<'e> {
     /// scale counts. Requires both sweeps to have run.
     pub(crate) fn directional(&self, e: EdgeId, anchor: NodeId) -> (&[f64], &[i32]) {
         let ei = e.0 as usize;
-        if self.child[ei] == anchor {
-            (&self.down[ei], &self.down_scale[ei])
+        if self.clvs.child[ei] == anchor {
+            self.clvs.down_of(self.engine, ei)
         } else {
-            debug_assert_eq!(self.parent[ei], anchor);
-            (&self.up[ei], &self.up_scale[ei])
+            debug_assert_eq!(self.clvs.parent[ei], anchor);
+            self.clvs.up_of(self.engine, ei)
         }
     }
 
@@ -285,39 +436,56 @@ impl<'e> Workspace<'e> {
     fn compute_down_edge(&mut self, tree: &Tree, c: NodeId, e: EdgeId, work: &mut WorkCounter) {
         let np = self.np();
         let ei = e.0 as usize;
+        let engine = self.engine;
         if let Some(taxon) = tree.taxon(c) {
-            self.down[ei] = self.engine.tip_clv(taxon).to_vec();
-            self.down_scale[ei] = vec![0; np];
+            if engine.mode == KernelMode::Optimized {
+                // Zero-copy: the pendant CLV aliases the engine's cached
+                // tip vector; scale counts alias the shared zero vector.
+                self.clvs.down_tip[ei] = taxon;
+            } else {
+                // Seed behavior: copy the tip CLV into this edge's buffer,
+                // reusing its allocation.
+                let dst = &mut self.clvs.down[ei];
+                dst.clear();
+                dst.extend_from_slice(engine.tip_clv(taxon));
+                let sc = &mut self.clvs.down_scale[ei];
+                sc.clear();
+                sc.resize(np, 0);
+            }
             return;
         }
-        let kids: Vec<(EdgeId, f64)> = tree
-            .neighbors(c)
-            .filter(|&(f, _)| f != e)
-            .map(|(f, _)| (f, tree.length(f)))
-            .collect();
-        debug_assert_eq!(kids.len(), 2);
-        let engine = self.engine;
-        let co1 = branch_coefficients(&engine.model, &engine.categories, kids[0].1);
-        let co2 = branch_coefficients(&engine.model, &engine.categories, kids[1].1);
-        let (f1, f2) = (kids[0].0 .0 as usize, kids[1].0 .0 as usize);
-        let mut out = std::mem::take(&mut self.down[ei]);
-        let mut out_scale = std::mem::take(&mut self.down_scale[ei]);
+        let mut kids = [(usize::MAX, 0.0f64); 2];
+        let mut nk = 0;
+        for (f, _) in tree.neighbors(c) {
+            if f != e {
+                kids[nk] = (f.0 as usize, tree.length(f));
+                nk += 1;
+            }
+        }
+        debug_assert_eq!(nk, 2);
+        let (f1, f2) = (kids[0].0, kids[1].0);
+        let mut out = std::mem::take(&mut self.clvs.down[ei]);
+        let mut out_scale = std::mem::take(&mut self.clvs.down_scale[ei]);
         out.resize(np * NUM_STATES, 0.0);
         out_scale.resize(np, 0);
-        work.clv_pattern_updates += combine_children(
+        let (clv1, sc1) = self.clvs.down_of(engine, f1);
+        let (clv2, sc2) = self.clvs.down_of(engine, f2);
+        work.clv_pattern_updates += kernels::combine_edges(
+            engine.mode,
             &engine.model,
             &engine.categories,
-            &co1,
-            &self.down[f1],
-            &self.down_scale[f1],
-            &co2,
-            &self.down[f2],
-            &self.down_scale[f2],
+            &mut self.scratch,
+            kids[0].1,
+            clv1,
+            sc1,
+            kids[1].1,
+            clv2,
+            sc2,
             &mut out,
             &mut out_scale,
         );
-        self.down[ei] = out;
-        self.down_scale[ei] = out_scale;
+        self.clvs.down[ei] = out;
+        self.clvs.down_scale[ei] = out_scale;
     }
 
     /// Recompute `up[e]` (anchored at its parent `p`) from `p`'s other
@@ -325,59 +493,67 @@ impl<'e> Workspace<'e> {
     fn compute_up_edge(&mut self, tree: &Tree, e: EdgeId, work: &mut WorkCounter) {
         let np = self.np();
         let ei = e.0 as usize;
-        let p = self.parent[ei];
+        let p = self.clvs.parent[ei];
+        let engine = self.engine;
         if let Some(taxon) = tree.taxon(p) {
-            self.up[ei] = self.engine.tip_clv(taxon).to_vec();
-            self.up_scale[ei] = vec![0; np];
+            if engine.mode == KernelMode::Optimized {
+                self.clvs.up_tip[ei] = taxon;
+            } else {
+                let dst = &mut self.clvs.up[ei];
+                dst.clear();
+                dst.extend_from_slice(engine.tip_clv(taxon));
+                let sc = &mut self.clvs.up_scale[ei];
+                sc.clear();
+                sc.resize(np, 0);
+            }
             return;
         }
         // p's other two edges: either down-edges (p is their parent) or p's
         // own rootward edge (p is its child) whose far CLV is `up`.
-        let others: Vec<(usize, f64, bool)> = tree
-            .neighbors(p)
-            .filter(|&(f, _)| f != e)
-            .map(|(f, _)| {
+        let mut others = [(usize::MAX, 0.0f64, false); 2];
+        let mut nk = 0;
+        for (f, _) in tree.neighbors(p) {
+            if f != e {
                 let fi = f.0 as usize;
-                let p_is_parent = self.parent[fi] == p;
-                (fi, tree.length(f), p_is_parent)
-            })
-            .collect();
-        debug_assert_eq!(others.len(), 2);
-        let engine = self.engine;
-        let co1 = branch_coefficients(&engine.model, &engine.categories, others[0].1);
-        let co2 = branch_coefficients(&engine.model, &engine.categories, others[1].1);
+                others[nk] = (fi, tree.length(f), self.clvs.parent[fi] == p);
+                nk += 1;
+            }
+        }
+        debug_assert_eq!(nk, 2);
         // When p is the far edge's parent, the far CLV is that edge's down;
         // when p is its child (p's own rootward edge), the far CLV is up.
         let (f1, f1_down) = (others[0].0, others[0].2);
         let (f2, f2_down) = (others[1].0, others[1].2);
-        let mut out = std::mem::take(&mut self.up[ei]);
-        let mut out_scale = std::mem::take(&mut self.up_scale[ei]);
+        let mut out = std::mem::take(&mut self.clvs.up[ei]);
+        let mut out_scale = std::mem::take(&mut self.clvs.up_scale[ei]);
         out.resize(np * NUM_STATES, 0.0);
         out_scale.resize(np, 0);
         let (clv1, sc1) = if f1_down {
-            (&self.down[f1], &self.down_scale[f1])
+            self.clvs.down_of(engine, f1)
         } else {
-            (&self.up[f1], &self.up_scale[f1])
+            self.clvs.up_of(engine, f1)
         };
         let (clv2, sc2) = if f2_down {
-            (&self.down[f2], &self.down_scale[f2])
+            self.clvs.down_of(engine, f2)
         } else {
-            (&self.up[f2], &self.up_scale[f2])
+            self.clvs.up_of(engine, f2)
         };
-        work.clv_pattern_updates += combine_children(
+        work.clv_pattern_updates += kernels::combine_edges(
+            engine.mode,
             &engine.model,
             &engine.categories,
-            &co1,
+            &mut self.scratch,
+            others[0].1,
             clv1,
             sc1,
-            &co2,
+            others[1].1,
             clv2,
             sc2,
             &mut out,
             &mut out_scale,
         );
-        self.up[ei] = out;
-        self.up_scale[ei] = out_scale;
+        self.clvs.up[ei] = out;
+        self.clvs.up_scale[ei] = out_scale;
     }
 
     /// One Gauss–Seidel sweep: preorder down the tree, optimizing each
@@ -403,16 +579,21 @@ impl<'e> Workspace<'e> {
         self.compute_up_edge(tree, e, work);
         // Optimize this branch.
         let engine = self.engine;
-        work.loglik_pattern_evals += edge_w_terms(
+        let (up_clv, _) = self.clvs.up_of(engine, ei);
+        let (down_clv, _) = self.clvs.down_of(engine, ei);
+        work.loglik_pattern_evals += kernels::compute_w_terms(
+            engine.mode,
             &engine.model,
-            &self.up[ei],
-            &self.down[ei],
+            up_clv,
+            down_clv,
             &mut self.wterms,
         );
         let t0 = tree.length(e);
-        let t = optimize_branch(
+        let t = kernels::optimize_branch_dispatch(
+            engine.mode,
             &engine.model,
             &engine.categories,
+            &mut self.scratch,
             &self.wterms,
             engine.patterns.weights(),
             t0,
@@ -421,14 +602,17 @@ impl<'e> Workspace<'e> {
         );
         tree.set_length(e, t);
         let mut max_delta = (t - t0).abs();
-        let c = self.child[ei];
+        let c = self.clvs.child[ei];
         if tree.is_internal(c) {
-            let kid_edges: Vec<EdgeId> = tree
-                .neighbors(c)
-                .filter(|&(f, _)| f != e)
-                .map(|(f, _)| f)
-                .collect();
-            for f in kid_edges {
+            let mut kid_edges = [EdgeId(u32::MAX); 2];
+            let mut nk = 0;
+            for (f, _) in tree.neighbors(c) {
+                if f != e {
+                    kid_edges[nk] = f;
+                    nk += 1;
+                }
+            }
+            for &f in &kid_edges[..nk] {
                 max_delta = max_delta.max(self.smooth_edge(tree, f, opts, work));
             }
             self.compute_down_edge(tree, c, e, work);
@@ -443,15 +627,18 @@ impl<'e> Workspace<'e> {
         // up[root_edge] is the root tip vector.
         let root_taxon = tree.taxon(self.root).expect("root is a tip");
         let tip = engine.tip_clv(root_taxon);
+        let (down_clv, down_sc) = self.clvs.down_of(engine, ei);
         work.loglik_pattern_evals +=
-            edge_w_terms(&engine.model, tip, &self.down[ei], &mut self.wterms);
-        edge_log_likelihood(
+            kernels::compute_w_terms(engine.mode, &engine.model, tip, down_clv, &mut self.wterms);
+        kernels::branch_lnl(
+            engine.mode,
             &engine.model,
             &engine.categories,
+            &mut self.scratch,
             tree.length(self.root_edge),
             &self.wterms,
             engine.patterns.weights(),
-            &self.down_scale[ei],
+            down_sc,
         )
     }
 
@@ -461,8 +648,10 @@ impl<'e> Workspace<'e> {
         let engine = self.engine;
         let root_taxon = tree.taxon(self.root).expect("root is a tip");
         let tip = engine.tip_clv(root_taxon);
-        edge_w_terms(&engine.model, tip, &self.down[ei], &mut self.wterms);
-        let co = branch_coefficients(
+        let (down_clv, down_sc) = self.clvs.down_of(engine, ei);
+        kernels::compute_w_terms(engine.mode, &engine.model, tip, down_clv, &mut self.wterms);
+        // Cold path (one call per rate scan); the per-call allocation is fine.
+        let co = crate::reference::branch_coefficients(
             &engine.model,
             &engine.categories,
             tree.length(self.root_edge),
@@ -473,9 +662,23 @@ impl<'e> Workspace<'e> {
             .map(|(p, w)| {
                 let c = &co[engine.categories.category_of(p)];
                 let f = (c.c1 * w.w1 + c.c2 * w.w2 + c.c3 * w.w3).max(f64::MIN_POSITIVE);
-                f.ln() + self.down_scale[ei][p] as f64 * LN_SCALE
+                f.ln() + down_sc[p] as f64 * LN_SCALE
             })
             .collect()
+    }
+}
+
+impl Drop for Workspace<'_> {
+    /// Recycle the buffer set through the engine's pool (optimized mode
+    /// only; the reference mode frees per call like the seed).
+    fn drop(&mut self) {
+        if self.engine.mode == KernelMode::Optimized {
+            self.engine.pool.put(PoolEntry {
+                clvs: std::mem::take(&mut self.clvs),
+                wterms: std::mem::take(&mut self.wterms),
+                scratch: std::mem::take(&mut self.scratch),
+            });
+        }
     }
 }
 
@@ -795,6 +998,30 @@ mod tests {
         assert!(r.work.loglik_pattern_evals > 0);
         assert_eq!(r.work.trees_evaluated, 1);
         assert!(r.work.work_units() > 0);
+    }
+
+    #[test]
+    fn pooled_workspace_reuse_is_deterministic() {
+        // The optimized mode recycles workspace buffers through the
+        // engine's pool; repeated evaluations — including across trees of
+        // different sizes, where the pooled per-edge tables are re-keyed —
+        // must reproduce a fresh engine's results exactly.
+        let (a, t) = five_taxon_case();
+        let engine = LikelihoodEngine::new(&a);
+        let first = engine.evaluate(&t).ln_likelihood;
+        for _ in 0..3 {
+            assert_eq!(engine.evaluate(&t).ln_likelihood, first);
+        }
+        // A smaller tree over the same alignment (taxa subset) between two
+        // full-size evaluations exercises pool entries shrinking/growing.
+        let small = Tree::triplet(0, 1, 2);
+        let small_first = engine.evaluate(&small).ln_likelihood;
+        assert_eq!(engine.evaluate(&t).ln_likelihood, first);
+        assert_eq!(engine.evaluate(&small).ln_likelihood, small_first);
+        // And a fresh engine (empty pool) agrees bit-for-bit.
+        let fresh = LikelihoodEngine::new(&a);
+        assert_eq!(fresh.evaluate(&t).ln_likelihood, first);
+        assert_eq!(fresh.evaluate(&small).ln_likelihood, small_first);
     }
 
     #[test]

@@ -1,0 +1,878 @@
+//! Optimized likelihood kernels: division-free, allocation-free, blocked.
+//!
+//! This module is the default implementation behind
+//! [`crate::engine::LikelihoodEngine`]; the original scalar code lives in
+//! [`crate::reference`] and serves as the equivalence oracle and benchmark
+//! baseline. Three transformations separate the two:
+//!
+//! 1. **Folded coefficients** ([`EdgeCoefficients`]): the per-branch F84
+//!    triple `(c1, c2, c3)` is precomputed per rate category with
+//!    `c2/π_R` and `c2/π_Y` folded in, so the propagation inner loop is
+//!    pure multiply-adds — the reference kernel divides twice per pattern.
+//! 2. **Reusable scratch** ([`KernelScratch`], [`JunctionScratch`]): the
+//!    coefficient tables, category runs, and junction buffers are owned by
+//!    the caller's workspace and refilled in place, eliminating the
+//!    per-call `Vec` allocations of `reference::branch_coefficients` —
+//!    most importantly from the per-iteration Newton objective.
+//! 3. **Blocked, category-run iteration**: patterns sharing a rate category
+//!    form maximal runs ([`CategoryRun`]), so the per-pattern category
+//!    lookup disappears from the hot loops and coefficients stay in
+//!    registers; the underflow-rescaling check is deferred out of the
+//!    multiply-add loop and performed in blocks of [`SCALE_CHECK_BLOCK`]
+//!    patterns, with a branch-free fast path when no pattern underflows.
+//!    Newton's per-pattern `ln` — the dominant cost of branch-length
+//!    optimization — is replaced by a running product in mantissa/exponent
+//!    form ([`LnProd`]) that takes a single `ln` per evaluation.
+//!
+//! Work accounting is unchanged: both paths count one unit per pattern per
+//! kernel invocation, so `WorkCounter` totals are comparable across
+//! [`KernelMode::Optimized`] and [`KernelMode::Reference`] runs.
+
+use crate::categories::RateCategories;
+use crate::clv::{WTerms, LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
+use crate::f84::{CoefficientsD2, F84Model};
+use crate::newton::{self, NewtonOptions};
+use crate::reference;
+use crate::work::WorkCounter;
+use fdml_phylo::dna::{A, C, G, T};
+
+/// How many patterns the deferred underflow scan covers per block.
+pub const SCALE_CHECK_BLOCK: usize = 32;
+
+/// Which kernel implementation an engine routes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The blocked, division-free kernels in this module (the default).
+    #[default]
+    Optimized,
+    /// The scalar oracle in [`crate::reference`] — the seed implementation,
+    /// kept selectable for equivalence tests and benchmark baselines.
+    Reference,
+}
+
+/// One branch's F84 coefficients for one rate category, with the group
+/// divisions pre-folded: `c2r = c2/π_R`, `c2y = c2/π_Y`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldedCoefficients {
+    /// Identity-term weight.
+    pub c1: f64,
+    /// Raw within-group weight (needed where the likelihood itself uses
+    /// `c2`, e.g. against W-terms that already carry the division).
+    pub c2: f64,
+    /// `c2 / π_R`.
+    pub c2r: f64,
+    /// `c2 / π_Y`.
+    pub c2y: f64,
+    /// Equilibrium-term weight.
+    pub c3: f64,
+}
+
+/// Per-category folded coefficients for one branch at one length, refilled
+/// in place (no allocation after the first fill at a given category count).
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCoefficients {
+    per_cat: Vec<FoldedCoefficients>,
+}
+
+impl EdgeCoefficients {
+    /// An empty table; call [`EdgeCoefficients::fill`] before use.
+    pub fn new() -> EdgeCoefficients {
+        EdgeCoefficients::default()
+    }
+
+    /// Recompute the table for a branch of length `t`.
+    pub fn fill(&mut self, model: &F84Model, cats: &RateCategories, t: f64) {
+        let inv_r = 1.0 / model.freq_r();
+        let inv_y = 1.0 / model.freq_y();
+        self.per_cat.clear();
+        self.per_cat.extend((0..cats.num_categories()).map(|c| {
+            let co = model.coefficients(t, cats.rate(c));
+            FoldedCoefficients {
+                c1: co.c1,
+                c2: co.c2,
+                c2r: co.c2 * inv_r,
+                c2y: co.c2 * inv_y,
+                c3: co.c3,
+            }
+        }));
+    }
+
+    /// The folded coefficients, indexed by category.
+    pub fn per_cat(&self) -> &[FoldedCoefficients] {
+        &self.per_cat
+    }
+}
+
+/// Per-category value/d1/d2 coefficient triples for one branch, refilled in
+/// place each Newton iteration (replacing a per-iteration `Vec` collect).
+#[derive(Debug, Clone, Default)]
+pub struct EdgeDerivCoefficients {
+    per_cat: Vec<CoefficientsD2>,
+}
+
+impl EdgeDerivCoefficients {
+    /// Recompute the table for a branch of length `t`.
+    pub fn fill(&mut self, model: &F84Model, cats: &RateCategories, t: f64) {
+        self.per_cat.clear();
+        self.per_cat
+            .extend((0..cats.num_categories()).map(|c| model.coefficients_d2(t, cats.rate(c))));
+    }
+
+    /// The coefficient triples, indexed by category.
+    pub fn per_cat(&self) -> &[CoefficientsD2] {
+        &self.per_cat
+    }
+}
+
+/// A maximal run of consecutive patterns sharing one rate category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryRun {
+    /// First pattern of the run.
+    pub start: usize,
+    /// One past the last pattern of the run.
+    pub end: usize,
+    /// The shared category index.
+    pub category: usize,
+}
+
+/// Decompose a category assignment into maximal constant-category runs.
+pub fn category_runs(cats: &RateCategories) -> Vec<CategoryRun> {
+    let mut runs = Vec::new();
+    fill_category_runs(cats, &mut runs);
+    runs
+}
+
+fn fill_category_runs(cats: &RateCategories, out: &mut Vec<CategoryRun>) {
+    out.clear();
+    let assignment = cats.assignment();
+    let mut p = 0;
+    while p < assignment.len() {
+        let category = assignment[p] as usize;
+        let start = p;
+        while p < assignment.len() && assignment[p] as usize == category {
+            p += 1;
+        }
+        out.push(CategoryRun {
+            start,
+            end: p,
+            category,
+        });
+    }
+}
+
+/// Reusable per-workspace kernel state: the category-run decomposition plus
+/// coefficient tables for the (at most two) branches of one kernel call.
+///
+/// The `Default` value is an inert placeholder (no runs, no pattern maxes)
+/// left behind when a workspace's scratch is recycled; build usable scratch
+/// with [`KernelScratch::new`].
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    runs: Vec<CategoryRun>,
+    co_a: EdgeCoefficients,
+    co_b: EdgeCoefficients,
+    deriv: EdgeDerivCoefficients,
+    maxes: Vec<f64>,
+}
+
+impl KernelScratch {
+    /// Scratch bound to one category assignment (the runs are computed once
+    /// here; a `RateCategories` is immutable for the scratch's lifetime).
+    pub fn new(cats: &RateCategories) -> KernelScratch {
+        KernelScratch {
+            runs: category_runs(cats),
+            co_a: EdgeCoefficients::new(),
+            co_b: EdgeCoefficients::new(),
+            deriv: EdgeDerivCoefficients::default(),
+            maxes: vec![0.0; cats.num_patterns()],
+        }
+    }
+
+    /// The category runs.
+    pub fn runs(&self) -> &[CategoryRun] {
+        &self.runs
+    }
+}
+
+/// Reusable buffers for three-way junction scoring (`scorer`): the paired
+/// CLV, its scale counts, the total-scale buffer, and the W-terms.
+#[derive(Debug, Clone)]
+pub struct JunctionScratch {
+    /// Combined CLV of two junction arms.
+    pub pair_clv: Vec<f64>,
+    /// Scale counts of `pair_clv`.
+    pub pair_scale: Vec<i32>,
+    /// `pair_scale + third arm's scale`, for the final likelihood.
+    pub scale_total: Vec<i32>,
+    /// W-terms between `pair_clv` and the third arm.
+    pub wterms: Vec<WTerms>,
+}
+
+impl JunctionScratch {
+    /// Buffers sized for `np` patterns.
+    pub fn new(np: usize) -> JunctionScratch {
+        JunctionScratch {
+            pair_clv: vec![0.0; np * 4],
+            pair_scale: vec![0; np],
+            scale_total: vec![0; np],
+            wterms: vec![WTerms::ZERO; np],
+        }
+    }
+}
+
+/// A running product `Π f_p^{w_p}` kept as `mantissa · 2^exponent` (plus a
+/// plain log-space accumulator for oversized powers), so the branch
+/// log-likelihood needs one `ln` per *evaluation* instead of one per
+/// pattern.
+#[derive(Debug, Clone)]
+pub struct LnProd {
+    mantissa: f64,
+    exponent: i64,
+    extra: f64,
+}
+
+/// Largest weight folded into the product via `powi`; beyond this the
+/// pattern falls back to `w·ln f` directly (accuracy of `powi` degrades and
+/// the fallback is rare enough not to matter).
+const POW_LIMIT: u32 = 512;
+
+const MANTISSA_MASK: u64 = 0x000f_ffff_ffff_ffff;
+const ONE_EXPONENT: u64 = 0x3ff0_0000_0000_0000;
+
+impl LnProd {
+    /// The empty product (value 1, log 0).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> LnProd {
+        LnProd {
+            mantissa: 1.0,
+            exponent: 0,
+            extra: 0.0,
+        }
+    }
+
+    #[inline]
+    fn renormalize(&mut self) {
+        let bits = self.mantissa.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        if e != 0 {
+            self.mantissa = f64::from_bits((bits & MANTISSA_MASK) | ONE_EXPONENT);
+            self.exponent += e;
+        }
+    }
+
+    /// Multiply `f^w` into the product. `f` must be positive, finite, and
+    /// normal (callers clamp with `max(f64::MIN_POSITIVE)`).
+    #[inline]
+    pub fn mul_pow(&mut self, f: f64, w: u32) {
+        debug_assert!(f >= f64::MIN_POSITIVE && f.is_finite());
+        if w == 0 {
+            return;
+        }
+        let bits = f.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let m = f64::from_bits((bits & MANTISSA_MASK) | ONE_EXPONENT);
+        if w == 1 {
+            // The common case (pattern weight 1): one multiply, and a
+            // renormalize only when the mantissa has drifted far enough
+            // that another factor in [1,2) could eventually overflow.
+            self.mantissa *= m;
+            self.exponent += e;
+            if self.mantissa >= 1e128 {
+                self.renormalize();
+            }
+        } else if w <= POW_LIMIT {
+            // m ∈ [1,2) and w ≤ 512, so m^w ≤ 2^512 — representable, but
+            // keep the running mantissa small around it.
+            self.renormalize();
+            self.mantissa *= m.powi(w as i32);
+            self.exponent += e * w as i64;
+            self.renormalize();
+        } else {
+            self.extra += w as f64 * f.ln();
+        }
+    }
+
+    /// `ln` of the accumulated product.
+    pub fn value(&self) -> f64 {
+        self.mantissa.ln() + self.exponent as f64 * std::f64::consts::LN_2 + self.extra
+    }
+}
+
+/// One pattern of division-free CLV propagation-and-product (the scalar
+/// form; also the tail/fallback of the vectorized span kernel). Returns the
+/// pattern's maximum entry, feeding the deferred rescale scan without a
+/// second pass over the output.
+#[inline]
+fn combine_pattern(
+    freqs: &[f64; 4],
+    ca: &FoldedCoefficients,
+    cb: &FoldedCoefficients,
+    l1: &[f64],
+    l2: &[f64],
+    op: &mut [f64],
+) -> f64 {
+    let (fa, fc, fg, ft) = (freqs[A], freqs[C], freqs[G], freqs[T]);
+    let sr1 = fa.mul_add(l1[A], fg * l1[G]);
+    let sy1 = fc.mul_add(l1[C], ft * l1[T]);
+    let s1 = sr1 + sy1;
+    let wr1 = ca.c2r.mul_add(sr1, ca.c3 * s1);
+    let wy1 = ca.c2y.mul_add(sy1, ca.c3 * s1);
+    let sr2 = fa.mul_add(l2[A], fg * l2[G]);
+    let sy2 = fc.mul_add(l2[C], ft * l2[T]);
+    let s2 = sr2 + sy2;
+    let wr2 = cb.c2r.mul_add(sr2, cb.c3 * s2);
+    let wy2 = cb.c2y.mul_add(sy2, cb.c3 * s2);
+    op[A] = ca.c1.mul_add(l1[A], wr1) * cb.c1.mul_add(l2[A], wr2);
+    op[C] = ca.c1.mul_add(l1[C], wy1) * cb.c1.mul_add(l2[C], wy2);
+    op[G] = ca.c1.mul_add(l1[G], wr1) * cb.c1.mul_add(l2[G], wr2);
+    op[T] = ca.c1.mul_add(l1[T], wy1) * cb.c1.mul_add(l2[T], wy2);
+    op[A].max(op[C]).max(op[G]).max(op[T])
+}
+
+/// Propagate-and-multiply one constant-category span of patterns, recording
+/// each pattern's maximum entry in `maxes` (one slot per pattern).
+/// Dispatches to the 4-pattern-wide AVX2+FMA kernel when those target
+/// features are compiled in (`.cargo/config.toml` sets `target-cpu=native`),
+/// with the scalar pattern loop covering the tail and other targets.
+fn combine_span(
+    model: &F84Model,
+    ca: &FoldedCoefficients,
+    cb: &FoldedCoefficients,
+    x1: &[f64],
+    x2: &[f64],
+    out: &mut [f64],
+    maxes: &mut [f64],
+) {
+    let freqs = &model.freqs;
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    let done = x86::combine_span_avx2(freqs, ca, cb, x1, x2, out, maxes);
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    let done = 0;
+    for (((l1, l2), op), mx) in x1[done..]
+        .chunks_exact(4)
+        .zip(x2[done..].chunks_exact(4))
+        .zip(out[done..].chunks_exact_mut(4))
+        .zip(maxes[done / 4..].iter_mut())
+    {
+        *mx = combine_pattern(freqs, ca, cb, l1, l2, op);
+    }
+}
+
+/// Explicitly vectorized x86-64 kernels. The CLV layout is pattern-major
+/// (`[A,C,G,T]` per pattern), so cross-pattern SIMD needs a 4×4 transpose
+/// to state-major registers; after that every step is a vertical packed
+/// multiply-add over four patterns at once, which the scalar form's
+/// per-pattern horizontal reductions (`sr`, `sy`) prevent the
+/// autovectorizer from discovering on its own.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+mod x86 {
+    use super::FoldedCoefficients;
+    use core::arch::x86_64::*;
+
+    /// 4×4 transpose: four pattern rows → four state lanes (or back).
+    #[inline]
+    fn transpose4(r0: __m256d, r1: __m256d, r2: __m256d, r3: __m256d) -> [__m256d; 4] {
+        // Safe: these intrinsics are register-only and the avx2 target
+        // feature is statically enabled for this module.
+        unsafe {
+            let t0 = _mm256_unpacklo_pd(r0, r1); // [r0.0 r1.0 r0.2 r1.2]
+            let t1 = _mm256_unpackhi_pd(r0, r1); // [r0.1 r1.1 r0.3 r1.3]
+            let t2 = _mm256_unpacklo_pd(r2, r3);
+            let t3 = _mm256_unpackhi_pd(r2, r3);
+            [
+                _mm256_permute2f128_pd(t0, t2, 0x20),
+                _mm256_permute2f128_pd(t1, t3, 0x20),
+                _mm256_permute2f128_pd(t0, t2, 0x31),
+                _mm256_permute2f128_pd(t1, t3, 0x31),
+            ]
+        }
+    }
+
+    /// Load four consecutive patterns and transpose to state-major lanes
+    /// `[vA, vC, vG, vT]`.
+    #[inline]
+    unsafe fn load4(src: *const f64) -> [__m256d; 4] {
+        let r0 = _mm256_loadu_pd(src);
+        let r1 = _mm256_loadu_pd(src.add(4));
+        let r2 = _mm256_loadu_pd(src.add(8));
+        let r3 = _mm256_loadu_pd(src.add(12));
+        transpose4(r0, r1, r2, r3)
+    }
+
+    /// Propagate four patterns of one child through its branch:
+    /// state-major lanes in, state-major propagated lanes out.
+    #[inline]
+    fn propagate4(co: &FoldedCoefficients, f: [__m256d; 4], v: [__m256d; 4]) -> [__m256d; 4] {
+        let [va, vc, vg, vt] = v;
+        let [fa, fc, fg, ft] = f;
+        unsafe {
+            let sr = _mm256_fmadd_pd(fa, va, _mm256_mul_pd(fg, vg));
+            let sy = _mm256_fmadd_pd(fc, vc, _mm256_mul_pd(ft, vt));
+            let s = _mm256_add_pd(sr, sy);
+            let c1 = _mm256_set1_pd(co.c1);
+            let c3s = _mm256_mul_pd(_mm256_set1_pd(co.c3), s);
+            let wr = _mm256_fmadd_pd(_mm256_set1_pd(co.c2r), sr, c3s);
+            let wy = _mm256_fmadd_pd(_mm256_set1_pd(co.c2y), sy, c3s);
+            [
+                _mm256_fmadd_pd(c1, va, wr),
+                _mm256_fmadd_pd(c1, vc, wy),
+                _mm256_fmadd_pd(c1, vg, wr),
+                _mm256_fmadd_pd(c1, vt, wy),
+            ]
+        }
+    }
+
+    /// The combine kernel over `x1.len()/4` patterns, four at a time, with
+    /// per-pattern maxima recorded into `maxes` while the products are
+    /// still in state-major registers (three packed `max` ops per quad).
+    /// Returns how many *doubles* were processed (a multiple of 16); the
+    /// caller's scalar loop finishes the remainder.
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine_span_avx2(
+        freqs: &[f64; 4],
+        ca: &FoldedCoefficients,
+        cb: &FoldedCoefficients,
+        x1: &[f64],
+        x2: &[f64],
+        out: &mut [f64],
+        maxes: &mut [f64],
+    ) -> usize {
+        let quads = x1.len() / 16;
+        let f = unsafe {
+            [
+                _mm256_set1_pd(freqs[0]),
+                _mm256_set1_pd(freqs[1]),
+                _mm256_set1_pd(freqs[2]),
+                _mm256_set1_pd(freqs[3]),
+            ]
+        };
+        for q in 0..quads {
+            let base = q * 16;
+            // Safety: `base + 16 <= x1.len()` and the three slices share
+            // that length by the kernel's contract.
+            unsafe {
+                let p1 = propagate4(ca, f, load4(x1.as_ptr().add(base)));
+                let p2 = propagate4(cb, f, load4(x2.as_ptr().add(base)));
+                let oa = _mm256_mul_pd(p1[0], p2[0]);
+                let oc = _mm256_mul_pd(p1[1], p2[1]);
+                let og = _mm256_mul_pd(p1[2], p2[2]);
+                let ot = _mm256_mul_pd(p1[3], p2[3]);
+                let vmax = _mm256_max_pd(_mm256_max_pd(oa, oc), _mm256_max_pd(og, ot));
+                _mm256_storeu_pd(maxes.as_mut_ptr().add(q * 4), vmax);
+                let rows = super::x86::transpose4(oa, oc, og, ot);
+                let dst = out.as_mut_ptr().add(base);
+                _mm256_storeu_pd(dst, rows[0]);
+                _mm256_storeu_pd(dst.add(4), rows[1]);
+                _mm256_storeu_pd(dst.add(8), rows[2]);
+                _mm256_storeu_pd(dst.add(12), rows[3]);
+            }
+        }
+        quads * 16
+    }
+}
+
+/// Optimized [`reference::combine_children`]: folded coefficients, category
+/// runs, multiply-add inner loop, deferred blocked rescaling. Numerics agree
+/// with the reference to rounding (≤1e-12 per entry in the equivalence
+/// suite); the rescale decision logic is identical per pattern.
+#[allow(clippy::too_many_arguments)]
+pub fn combine_folded(
+    model: &F84Model,
+    runs: &[CategoryRun],
+    co1: &[FoldedCoefficients],
+    clv1: &[f64],
+    scale1: &[i32],
+    co2: &[FoldedCoefficients],
+    clv2: &[f64],
+    scale2: &[i32],
+    out: &mut [f64],
+    scale_out: &mut [i32],
+    maxes: &mut [f64],
+) -> u64 {
+    for run in runs {
+        let ca = co1[run.category];
+        let cb = co2[run.category];
+        let (lo, hi) = (run.start * 4, run.end * 4);
+        combine_span(
+            model,
+            &ca,
+            &cb,
+            &clv1[lo..hi],
+            &clv2[lo..hi],
+            &mut out[lo..hi],
+            &mut maxes[run.start..run.end],
+        );
+    }
+    // Deferred rescaling: scan the per-pattern maxima (recorded by the
+    // combine loop while the products were in registers) a block at a time.
+    // The fast path (every max comfortably above threshold — the
+    // overwhelmingly common case) only copies scale sums; the cold path
+    // replicates the reference per-pattern decision exactly.
+    let np = scale_out.len();
+    let mut p = 0;
+    while p < np {
+        let end = (p + SCALE_CHECK_BLOCK).min(np);
+        let mut all_above = true;
+        for &m in &maxes[p..end] {
+            all_above &= m >= SCALE_THRESHOLD;
+        }
+        if all_above {
+            for q in p..end {
+                scale_out[q] = scale1[q] + scale2[q];
+            }
+        } else {
+            for q in p..end {
+                let m = maxes[q];
+                let b = q * 4;
+                let mut sc = scale1[q] + scale2[q];
+                if m < SCALE_THRESHOLD && m > 0.0 {
+                    for v in &mut out[b..b + 4] {
+                        *v *= SCALE_FACTOR;
+                    }
+                    sc += 1;
+                }
+                scale_out[q] = sc;
+            }
+        }
+        p = end;
+    }
+    np as u64
+}
+
+/// Optimized [`reference::edge_w_terms`]: reciprocal group frequencies
+/// hoisted, multiply-add form.
+pub fn w_terms_folded(model: &F84Model, u: &[f64], d: &[f64], out: &mut [WTerms]) -> u64 {
+    let f = &model.freqs;
+    let (fa, fc, fg, ft) = (f[A], f[C], f[G], f[T]);
+    let inv_r = 1.0 / model.freq_r();
+    let inv_y = 1.0 / model.freq_y();
+    for ((w, uu), dd) in out.iter_mut().zip(u.chunks_exact(4)).zip(d.chunks_exact(4)) {
+        let w1 = (fa * uu[A]).mul_add(
+            dd[A],
+            (fc * uu[C]).mul_add(dd[C], (fg * uu[G]).mul_add(dd[G], ft * uu[T] * dd[T])),
+        );
+        let ur = fa.mul_add(uu[A], fg * uu[G]);
+        let uy = fc.mul_add(uu[C], ft * uu[T]);
+        let dr = fa.mul_add(dd[A], fg * dd[G]);
+        let dy = fc.mul_add(dd[C], ft * dd[T]);
+        let w2 = (ur * dr).mul_add(inv_r, uy * dy * inv_y);
+        let w3 = (ur + uy) * (dr + dy);
+        *w = WTerms { w1, w2, w3 };
+    }
+    out.len() as u64
+}
+
+/// Optimized [`reference::edge_log_likelihood`] over a prefilled coefficient
+/// table: category runs plus [`LnProd`] (one `ln` total instead of one per
+/// pattern); the scale offset is accumulated exactly in integers.
+pub fn branch_lnl_folded(
+    co: &EdgeCoefficients,
+    runs: &[CategoryRun],
+    w: &[WTerms],
+    weights: &[u32],
+    scale: &[i32],
+) -> f64 {
+    let mut prod = LnProd::new();
+    let mut scale_sum: i64 = 0;
+    for run in runs {
+        let c = &co.per_cat[run.category];
+        for p in run.start..run.end {
+            let terms = &w[p];
+            let f =
+                c.c1.mul_add(terms.w1, c.c2.mul_add(terms.w2, c.c3 * terms.w3))
+                    .max(f64::MIN_POSITIVE);
+            prod.mul_pow(f, weights[p]);
+            scale_sum += weights[p] as i64 * scale[p] as i64;
+        }
+    }
+    prod.value() + scale_sum as f64 * LN_SCALE
+}
+
+/// Fused W-terms → (lnL, d1, d2) evaluation for Newton: one pass over the
+/// patterns computes the likelihood and both derivatives from a prefilled
+/// derivative-coefficient table. Matches
+/// [`crate::newton::log_likelihood_d012`] (which excludes the constant
+/// scaling offset) to rounding.
+pub fn lnl_d012_folded(
+    deriv: &EdgeDerivCoefficients,
+    runs: &[CategoryRun],
+    w: &[WTerms],
+    weights: &[u32],
+) -> (f64, f64, f64) {
+    let mut prod = LnProd::new();
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    for run in runs {
+        let co = &deriv.per_cat[run.category];
+        let (v, g, h) = (&co.value, &co.d1, &co.d2);
+        for p in run.start..run.end {
+            let terms = &w[p];
+            let f =
+                v.c1.mul_add(terms.w1, v.c2.mul_add(terms.w2, v.c3 * terms.w3))
+                    .max(f64::MIN_POSITIVE);
+            let fp =
+                g.c1.mul_add(terms.w1, g.c2.mul_add(terms.w2, g.c3 * terms.w3));
+            let fpp =
+                h.c1.mul_add(terms.w1, h.c2.mul_add(terms.w2, h.c3 * terms.w3));
+            let wgt = weights[p] as f64;
+            let inv = 1.0 / f;
+            let r = fp * inv;
+            prod.mul_pow(f, weights[p]);
+            d1 += wgt * r;
+            d2 += wgt * r.mul_add(-r, fpp * inv);
+        }
+    }
+    (prod.value(), d1, d2)
+}
+
+/// Mode-dispatched internal-node CLV combine: fills the scratch coefficient
+/// tables from the two branch lengths and runs the selected kernel.
+/// `Reference` reproduces the seed behavior including its per-call
+/// allocations, so benchmark baselines stay honest.
+#[allow(clippy::too_many_arguments)]
+pub fn combine_edges(
+    mode: KernelMode,
+    model: &F84Model,
+    cats: &RateCategories,
+    scratch: &mut KernelScratch,
+    t1: f64,
+    clv1: &[f64],
+    scale1: &[i32],
+    t2: f64,
+    clv2: &[f64],
+    scale2: &[i32],
+    out: &mut [f64],
+    scale_out: &mut [i32],
+) -> u64 {
+    match mode {
+        KernelMode::Reference => {
+            let co1 = reference::branch_coefficients(model, cats, t1);
+            let co2 = reference::branch_coefficients(model, cats, t2);
+            reference::combine_children(
+                model, cats, &co1, clv1, scale1, &co2, clv2, scale2, out, scale_out,
+            )
+        }
+        KernelMode::Optimized => {
+            let KernelScratch {
+                runs,
+                co_a,
+                co_b,
+                maxes,
+                ..
+            } = scratch;
+            co_a.fill(model, cats, t1);
+            co_b.fill(model, cats, t2);
+            combine_folded(
+                model,
+                runs,
+                &co_a.per_cat,
+                clv1,
+                scale1,
+                &co_b.per_cat,
+                clv2,
+                scale2,
+                out,
+                scale_out,
+                maxes,
+            )
+        }
+    }
+}
+
+/// Mode-dispatched W-term assembly.
+pub fn compute_w_terms(
+    mode: KernelMode,
+    model: &F84Model,
+    u: &[f64],
+    d: &[f64],
+    out: &mut [WTerms],
+) -> u64 {
+    match mode {
+        KernelMode::Reference => reference::edge_w_terms(model, u, d, out),
+        KernelMode::Optimized => w_terms_folded(model, u, d, out),
+    }
+}
+
+/// Mode-dispatched branch log-likelihood.
+#[allow(clippy::too_many_arguments)]
+pub fn branch_lnl(
+    mode: KernelMode,
+    model: &F84Model,
+    cats: &RateCategories,
+    scratch: &mut KernelScratch,
+    t: f64,
+    w: &[WTerms],
+    weights: &[u32],
+    scale: &[i32],
+) -> f64 {
+    match mode {
+        KernelMode::Reference => reference::edge_log_likelihood(model, cats, t, w, weights, scale),
+        KernelMode::Optimized => {
+            scratch.co_a.fill(model, cats, t);
+            branch_lnl_folded(&scratch.co_a, &scratch.runs, w, weights, scale)
+        }
+    }
+}
+
+/// Mode-dispatched Newton branch-length optimization. The optimized arm
+/// shares the safeguarded iteration in [`crate::newton`] but evaluates the
+/// objective through the fused kernel with a reusable coefficient table —
+/// no allocation per iteration (the reference arm keeps the seed's
+/// per-iteration `Vec` collect).
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_branch_dispatch(
+    mode: KernelMode,
+    model: &F84Model,
+    cats: &RateCategories,
+    scratch: &mut KernelScratch,
+    w: &[WTerms],
+    weights: &[u32],
+    t0: f64,
+    opts: &NewtonOptions,
+    work: &mut WorkCounter,
+) -> f64 {
+    match mode {
+        KernelMode::Reference => newton::optimize_branch(model, cats, w, weights, t0, opts, work),
+        KernelMode::Optimized => {
+            let KernelScratch { runs, deriv, .. } = scratch;
+            newton::newton_loop(t0, opts, &mut |t| {
+                deriv.fill(model, cats, t);
+                work.newton_pattern_iters += w.len() as u64;
+                lnl_d012_folded(deriv, runs, w, weights)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_optimized() {
+        assert_eq!(KernelMode::default(), KernelMode::Optimized);
+    }
+
+    #[test]
+    fn category_runs_cover_assignment() {
+        let cats = RateCategories::new(vec![1.0, 2.0, 3.0], vec![0, 0, 1, 1, 1, 2, 0, 0]);
+        let runs = category_runs(&cats);
+        assert_eq!(
+            runs,
+            vec![
+                CategoryRun {
+                    start: 0,
+                    end: 2,
+                    category: 0
+                },
+                CategoryRun {
+                    start: 2,
+                    end: 5,
+                    category: 1
+                },
+                CategoryRun {
+                    start: 5,
+                    end: 6,
+                    category: 2
+                },
+                CategoryRun {
+                    start: 6,
+                    end: 8,
+                    category: 0
+                },
+            ]
+        );
+        let covered: usize = runs.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(covered, cats.num_patterns());
+    }
+
+    #[test]
+    fn category_runs_empty_assignment() {
+        let cats = RateCategories::new(vec![1.0], vec![]);
+        assert!(category_runs(&cats).is_empty());
+    }
+
+    #[test]
+    fn folded_coefficients_match_divisions() {
+        let m = F84Model::new([0.3, 0.2, 0.25, 0.25], 2.0);
+        let cats = RateCategories::new(vec![0.5, 1.0, 2.0], vec![0, 1, 2]);
+        let mut table = EdgeCoefficients::new();
+        table.fill(&m, &cats, 0.37);
+        for (c, folded) in table.per_cat().iter().enumerate() {
+            let raw = m.coefficients(0.37, cats.rate(c));
+            assert_eq!(folded.c1, raw.c1);
+            assert_eq!(folded.c2, raw.c2);
+            let rel = |x: f64, y: f64| (x - y).abs() <= 1e-15 * y.abs().max(1e-300);
+            assert!(rel(folded.c2r, raw.c2 / m.freq_r()));
+            assert!(rel(folded.c2y, raw.c2 / m.freq_y()));
+            assert_eq!(folded.c3, raw.c3);
+        }
+        // Refill shrinks/reuses without reallocating semantics breakage.
+        table.fill(&m, &cats, 1.2);
+        assert_eq!(table.per_cat().len(), 3);
+    }
+
+    #[test]
+    fn ln_prod_matches_direct_log_sum() {
+        let mut prod = LnProd::new();
+        let mut direct = 0.0;
+        let factors = [
+            (0.3_f64, 1_u32),
+            (1.7e-102, 3),
+            (0.999, 200),
+            (2.5e-5, 1),
+            (0.04, 1000), // beyond POW_LIMIT → ln fallback
+            (0.87, 512),
+            (f64::MIN_POSITIVE, 2),
+        ];
+        for &(f, w) in &factors {
+            prod.mul_pow(f, w);
+            direct += w as f64 * f.ln();
+        }
+        let got = prod.value();
+        assert!(
+            (got - direct).abs() < 1e-9 * direct.abs().max(1.0),
+            "{got} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn ln_prod_survives_many_tiny_factors() {
+        // 10^5 factors of ~1e-100 would underflow any plain product; the
+        // mantissa/exponent split keeps the log exact to rounding.
+        let mut prod = LnProd::new();
+        for i in 0..100_000u32 {
+            let f = 1e-100 * (1.0 + (i % 7) as f64 * 0.1);
+            prod.mul_pow(f, 1);
+        }
+        let got = prod.value();
+        assert!(got.is_finite());
+        let mut direct = 0.0;
+        for i in 0..100_000u32 {
+            direct += (1e-100 * (1.0 + (i % 7) as f64 * 0.1)).ln();
+        }
+        assert!(
+            (got - direct).abs() < 1e-7 * direct.abs(),
+            "{got} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_is_identity() {
+        let mut prod = LnProd::new();
+        prod.mul_pow(0.5, 0);
+        assert_eq!(prod.value(), 0.0);
+    }
+}

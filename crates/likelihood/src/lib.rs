@@ -7,7 +7,9 @@
 //!   transition/transversion ratio ([`f84`]),
 //! * per-site **rate categories** ([`categories`]),
 //! * **Felsenstein pruning** over conditional likelihood vectors with
-//!   underflow scaling ([`clv`]),
+//!   underflow scaling (layout and constants in [`clv`]; the blocked,
+//!   division-free default kernels in [`kernels`]; the scalar oracle in
+//!   [`reference`]),
 //! * **Newton–Raphson branch-length optimization** using the three-term
 //!   F84 decomposition ([`newton`]),
 //! * the full-tree evaluator with Gauss–Seidel smoothing passes
@@ -23,12 +25,15 @@ pub mod clv;
 pub mod distances;
 pub mod engine;
 pub mod f84;
+pub mod kernels;
 pub mod newton;
+pub mod reference;
 pub mod scorer;
 pub mod work;
 
 pub use categories::RateCategories;
 pub use engine::{EvalResult, LikelihoodEngine, OptimizeOptions};
 pub use f84::F84Model;
+pub use kernels::KernelMode;
 pub use scorer::{ScoredMove, TreeScorer};
 pub use work::WorkCounter;

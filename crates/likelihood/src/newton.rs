@@ -85,17 +85,15 @@ pub fn log_likelihood_derivatives(
     (d1, d2)
 }
 
-/// Maximize the branch log-likelihood over the branch length, starting from
-/// `t0`. Returns the optimized length; accumulates per-pattern Newton work
-/// into `work`.
-pub fn optimize_branch(
-    model: &F84Model,
-    cats: &RateCategories,
-    w: &[WTerms],
-    weights: &[u32],
+/// The safeguarded Newton ascent shared by both kernel paths: `eval(t)`
+/// returns `(lnL, d1, d2)` at a candidate length (and does its own work
+/// accounting). Factored out so the optimized fused-kernel objective in
+/// [`crate::kernels`] and the scalar reference objective iterate through
+/// byte-identical control flow.
+pub(crate) fn newton_loop(
     t0: f64,
     opts: &NewtonOptions,
-    work: &mut WorkCounter,
+    eval: &mut dyn FnMut(f64) -> (f64, f64, f64),
 ) -> f64 {
     if opts.max_iters == 0 {
         // Optimization disabled: keep the starting length exactly (the
@@ -107,8 +105,7 @@ pub fn optimize_branch(
     let mut best_t = t;
     let mut best_lnl = f64::NEG_INFINITY;
     for _ in 0..opts.max_iters {
-        let (lnl, d1, d2) = log_likelihood_d012(model, cats, t, w, weights);
-        work.newton_pattern_iters += w.len() as u64;
+        let (lnl, d1, d2) = eval(t);
         // Track the best point actually visited: Newton steps can overshoot
         // and reduce the likelihood, but returning the argmax over visited
         // points makes the optimization monotone (never worse than t0).
@@ -134,18 +131,38 @@ pub fn optimize_branch(
         }
     }
     // Account for the final point (reached but not yet measured).
-    let (lnl, _, _) = log_likelihood_d012(model, cats, t, w, weights);
-    work.newton_pattern_iters += w.len() as u64;
+    let (lnl, _, _) = eval(t);
     if lnl > best_lnl {
         best_t = t;
     }
     best_t
 }
 
+/// Maximize the branch log-likelihood over the branch length, starting from
+/// `t0`. Returns the optimized length; accumulates per-pattern Newton work
+/// into `work`. This is the scalar-objective entry point (the seed's code
+/// path, including its per-evaluation coefficient allocation); the engine's
+/// default path goes through
+/// [`crate::kernels::optimize_branch_dispatch`].
+pub fn optimize_branch(
+    model: &F84Model,
+    cats: &RateCategories,
+    w: &[WTerms],
+    weights: &[u32],
+    t0: f64,
+    opts: &NewtonOptions,
+    work: &mut WorkCounter,
+) -> f64 {
+    newton_loop(t0, opts, &mut |t| {
+        work.newton_pattern_iters += w.len() as u64;
+        log_likelihood_d012(model, cats, t, w, weights)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clv::edge_log_likelihood;
+    use crate::reference::edge_log_likelihood;
 
     fn model() -> F84Model {
         F84Model::new([0.3, 0.2, 0.25, 0.25], 2.0)
@@ -162,7 +179,7 @@ mod tests {
             w3: 0.0,
         }];
         let u = [1.0, 0.0, 0.0, 0.0];
-        crate::clv::edge_w_terms(&m, &u, &u, &mut terms);
+        crate::reference::edge_w_terms(&m, &u, &u, &mut terms);
         (terms, vec![1])
     }
 
@@ -233,8 +250,8 @@ mod tests {
             };
             2
         ];
-        crate::clv::edge_w_terms(&m, &same, &same, &mut w[0..1]);
-        crate::clv::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
+        crate::reference::edge_w_terms(&m, &same, &same, &mut w[0..1]);
+        crate::reference::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
         let weights = [8u32, 2];
         let mut work = WorkCounter::new();
         let opts = NewtonOptions {
@@ -267,8 +284,8 @@ mod tests {
             };
             2
         ];
-        crate::clv::edge_w_terms(&m, &same, &same, &mut w[0..1]);
-        crate::clv::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
+        crate::reference::edge_w_terms(&m, &same, &same, &mut w[0..1]);
+        crate::reference::edge_w_terms(&m, &same, &diff, &mut w[1..2]);
         let weights = [5u32, 1];
         let opts = NewtonOptions {
             max_iters: 60,
@@ -292,7 +309,7 @@ mod tests {
             w2: 0.0,
             w3: 0.0,
         }];
-        crate::clv::edge_w_terms(&m, &u, &d, &mut w);
+        crate::reference::edge_w_terms(&m, &u, &d, &mut w);
         let mut wk = WorkCounter::new();
         let opts = NewtonOptions {
             max_iters: 60,

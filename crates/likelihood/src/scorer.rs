@@ -16,11 +16,8 @@
 //! the dissolved node, bounded by the rearrangement radius, while the
 //! away-facing CLVs are reused from the base tree unchanged.
 
-use crate::clv::{
-    branch_coefficients, combine_children, edge_log_likelihood, edge_w_terms, WTerms,
-};
 use crate::engine::{EvalResult, LikelihoodEngine, OptimizeOptions, Workspace};
-use crate::newton::optimize_branch;
+use crate::kernels::{self, JunctionScratch, KernelScratch};
 use crate::work::WorkCounter;
 use fdml_phylo::alignment::TaxonId;
 use fdml_phylo::dna::NUM_STATES;
@@ -46,6 +43,10 @@ pub struct TreeScorer<'e> {
     ws: Workspace<'e>,
     opts: OptimizeOptions,
     zero_scale: Vec<i32>,
+    /// Reusable kernel state for candidate scoring.
+    scratch: KernelScratch,
+    /// Reusable junction buffers for candidate scoring.
+    junction: JunctionScratch,
     /// Work spent on base-tree maintenance (optimization + CLV builds),
     /// excluding per-candidate scoring work.
     base_work: WorkCounter,
@@ -71,6 +72,8 @@ impl<'e> TreeScorer<'e> {
             ws,
             opts,
             zero_scale: vec![0; engine.patterns().num_patterns()],
+            scratch: KernelScratch::new(engine.categories()),
+            junction: JunctionScratch::new(engine.patterns().num_patterns()),
             base_work: work,
         }
     }
@@ -142,7 +145,7 @@ impl<'e> TreeScorer<'e> {
         })
     }
 
-    fn score_insertion(&self, taxon: TaxonId, at: (NodeId, NodeId)) -> ScoredMove {
+    fn score_insertion(&mut self, taxon: TaxonId, at: (NodeId, NodeId)) -> ScoredMove {
         let e = self
             .tree
             .edge_between(at.0, at.1)
@@ -153,6 +156,8 @@ impl<'e> TreeScorer<'e> {
         let half = self.tree.length(e) / 2.0;
         score_attachment(
             self.engine,
+            &mut self.scratch,
+            &mut self.junction,
             (clv_a, sc_a),
             (clv_b, sc_b),
             (clv_c, &self.zero_scale),
@@ -161,7 +166,7 @@ impl<'e> TreeScorer<'e> {
         )
     }
 
-    fn score_spr(&self, ctx: &mut PruneContext, target: (NodeId, NodeId)) -> ScoredMove {
+    fn score_spr(&mut self, ctx: &mut PruneContext, target: (NodeId, NodeId)) -> ScoredMove {
         let f = ctx
             .work_tree
             .edge_between(target.0, target.1)
@@ -173,7 +178,14 @@ impl<'e> TreeScorer<'e> {
             (target.1, target.0)
         };
         let mut work = WorkCounter::new();
-        ctx.ensure_adjusted(self.engine, &self.ws, f, facing, &mut work);
+        ctx.ensure_adjusted(
+            self.engine,
+            &self.ws,
+            &mut self.scratch,
+            f,
+            facing,
+            &mut work,
+        );
         let (adj_clv, adj_sc) = ctx.adjusted.get(&(f, facing)).expect("just ensured");
         let (away_clv, away_sc) = self.ws.directional(f, away);
         // The pruned subtree's own CLV, anchored at its root, is the base
@@ -182,6 +194,8 @@ impl<'e> TreeScorer<'e> {
         let half = ctx.work_tree.length(f) / 2.0;
         let mut scored = score_attachment(
             self.engine,
+            &mut self.scratch,
+            &mut self.junction,
             (adj_clv, adj_sc),
             (away_clv, away_sc),
             (sub_clv, sub_sc),
@@ -266,6 +280,7 @@ impl PruneContext {
         &mut self,
         engine: &LikelihoodEngine,
         ws: &Workspace<'_>,
+        scratch: &mut KernelScratch,
         f: EdgeId,
         s: NodeId,
         work: &mut WorkCounter,
@@ -290,7 +305,7 @@ impl PruneContext {
         // Recurse first so the memo is populated before we borrow it.
         for &(g, m, _) in &others {
             if g != self.merged_edge && self.dist(m) < self.dist(s) {
-                self.ensure_adjusted(engine, ws, g, m, work);
+                self.ensure_adjusted(engine, ws, scratch, g, m, work);
             }
         }
         let np = engine.patterns().num_patterns();
@@ -317,17 +332,17 @@ impl PruneContext {
             }
             let (g1, m1, l1) = others[0];
             let (g2, m2, l2) = others[1];
-            let co1 = branch_coefficients(engine.model(), engine.categories(), l1);
-            let co2 = branch_coefficients(engine.model(), engine.categories(), l2);
             let (clv1, sc1) = resolve(self, ws, s, g1, m1);
             let (clv2, sc2) = resolve(self, ws, s, g2, m2);
-            work.clv_pattern_updates += combine_children(
+            work.clv_pattern_updates += kernels::combine_edges(
+                engine.kernel_mode(),
                 engine.model(),
                 engine.categories(),
-                &co1,
+                scratch,
+                l1,
                 clv1,
                 sc1,
-                &co2,
+                l2,
                 clv2,
                 sc2,
                 &mut out,
@@ -346,15 +361,21 @@ impl PruneContext {
 /// anchors `A`, `B`, `C` by branches of the given initial lengths. The three
 /// branch lengths are optimized (two Gauss–Seidel rounds of Newton), all
 /// other likelihood state held fixed. This is the common kernel of taxon
-/// insertion (C = tip) and subtree regraft (C = pruned subtree).
+/// insertion (C = tip) and subtree regraft (C = pruned subtree). All
+/// intermediate buffers live in the caller's [`JunctionScratch`], so scoring
+/// a candidate allocates nothing.
+#[allow(clippy::too_many_arguments)]
 fn score_attachment(
     engine: &LikelihoodEngine,
+    scratch: &mut KernelScratch,
+    junction: &mut JunctionScratch,
     a: (&[f64], &[i32]),
     b: (&[f64], &[i32]),
     c: (&[f64], &[i32]),
     mut lens: [f64; 3],
     opts: &OptimizeOptions,
 ) -> ScoredMove {
+    let mode = engine.kernel_mode();
     let model = engine.model();
     let cats = engine.categories();
     let weights = engine.patterns().weights();
@@ -362,41 +383,39 @@ fn score_attachment(
     let clvs = [a.0, b.0, c.0];
     let scales = [a.1, b.1, c.1];
     let mut work = WorkCounter::new();
-    let mut pair_clv = vec![0.0; np * NUM_STATES];
-    let mut pair_scale = vec![0i32; np];
-    let mut wterms = vec![
-        WTerms {
-            w1: 0.0,
-            w2: 0.0,
-            w3: 0.0
-        };
-        np
-    ];
 
     const ROUNDS: usize = 2;
     for round in 0..ROUNDS {
         for i in 0..3 {
             let j = (i + 1) % 3;
             let k = (i + 2) % 3;
-            let co_j = branch_coefficients(model, cats, lens[j]);
-            let co_k = branch_coefficients(model, cats, lens[k]);
-            work.clv_pattern_updates += combine_children(
+            work.clv_pattern_updates += kernels::combine_edges(
+                mode,
                 model,
                 cats,
-                &co_j,
+                scratch,
+                lens[j],
                 clvs[j],
                 scales[j],
-                &co_k,
+                lens[k],
                 clvs[k],
                 scales[k],
-                &mut pair_clv,
-                &mut pair_scale,
+                &mut junction.pair_clv,
+                &mut junction.pair_scale,
             );
-            work.loglik_pattern_evals += edge_w_terms(model, &pair_clv, clvs[i], &mut wterms);
-            lens[i] = optimize_branch(
+            work.loglik_pattern_evals += kernels::compute_w_terms(
+                mode,
+                model,
+                &junction.pair_clv,
+                clvs[i],
+                &mut junction.wterms,
+            );
+            lens[i] = kernels::optimize_branch_dispatch(
+                mode,
                 model,
                 cats,
-                &wterms,
+                scratch,
+                &junction.wterms,
                 weights,
                 lens[i],
                 &opts.newton,
@@ -404,11 +423,19 @@ fn score_attachment(
             );
             // Final round, last branch: evaluate the likelihood right here.
             if round == ROUNDS - 1 && i == 2 {
-                let mut scale_total = vec![0i32; np];
-                for p in 0..np {
-                    scale_total[p] = pair_scale[p] + scales[i][p];
+                for (p, total) in junction.scale_total.iter_mut().enumerate().take(np) {
+                    *total = junction.pair_scale[p] + scales[i][p];
                 }
-                let lnl = edge_log_likelihood(model, cats, lens[i], &wterms, weights, &scale_total);
+                let lnl = kernels::branch_lnl(
+                    mode,
+                    model,
+                    cats,
+                    scratch,
+                    lens[i],
+                    &junction.wterms,
+                    weights,
+                    &junction.scale_total,
+                );
                 work.loglik_pattern_evals += np as u64;
                 return ScoredMove {
                     ln_likelihood: lnl,
@@ -759,7 +786,8 @@ mod adjusted_clv_tests {
                 (target.1, target.0)
             };
             let mut wk2 = WorkCounter::new();
-            ctx.ensure_adjusted(&engine, &scorer.ws, f, facing, &mut wk2);
+            let mut scratch = KernelScratch::new(engine.categories());
+            ctx.ensure_adjusted(&engine, &scorer.ws, &mut scratch, f, facing, &mut wk2);
             let (adj, adj_sc) = &ctx.adjusted[&(f, facing)];
             // Ground truth: matrix recursion over the remaining component.
             let wt = &ctx.work_tree;

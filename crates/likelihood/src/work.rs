@@ -46,6 +46,15 @@ impl WorkCounter {
             + (self.loglik_pattern_evals * 75).div_ceil(100)
     }
 
+    /// Total per-pattern kernel operations, unweighted: the raw pattern
+    /// throughput number behind the observability layer's patterns/sec
+    /// gauge. Counted identically by the optimized and reference kernel
+    /// paths, so rates are comparable across `KernelMode`s (and against
+    /// the simulator, which accounts in the same units).
+    pub fn total_pattern_updates(&self) -> u64 {
+        self.clv_pattern_updates + self.newton_pattern_iters + self.loglik_pattern_evals
+    }
+
     /// True when nothing has been counted.
     pub fn is_zero(&self) -> bool {
         *self == WorkCounter::default()

@@ -1,10 +1,11 @@
 //! Property-based tests of the likelihood kernels.
 
 use fdml_likelihood::categories::RateCategories;
-use fdml_likelihood::clv::{edge_log_likelihood, edge_w_terms, WTerms};
+use fdml_likelihood::clv::WTerms;
 use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
 use fdml_likelihood::f84::F84Model;
 use fdml_likelihood::newton::{optimize_branch, NewtonOptions};
+use fdml_likelihood::reference::{edge_log_likelihood, edge_w_terms};
 use fdml_likelihood::work::WorkCounter;
 use fdml_phylo::alignment::{Alignment, TaxonId};
 use fdml_phylo::patterns::PatternAlignment;

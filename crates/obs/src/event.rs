@@ -95,6 +95,10 @@ pub enum Event {
         busy_us: u64,
         /// Work units expended.
         work_units: u64,
+        /// Raw per-pattern kernel operations performed
+        /// (`WorkCounter::total_pattern_updates`), the unweighted count
+        /// behind the patterns/sec throughput gauge.
+        pattern_updates: u64,
     },
     /// A dispatch round closed.
     RoundCompleted {

@@ -17,6 +17,13 @@ pub struct WorkerUsage {
     pub busy_us: u64,
     /// Work units it reported.
     pub work_units: u64,
+    /// Raw per-pattern kernel operations it reported (unweighted, unlike
+    /// `work_units`). Comparable across kernel modes and between the real
+    /// runtime and the simulator.
+    pub pattern_updates: u64,
+    /// `pattern_updates` per second of busy time — the kernel throughput
+    /// gauge the benchmark suite tracks.
+    pub patterns_per_sec: f64,
     /// `busy_us` over the observed span — the paper's per-worker
     /// utilization.
     pub utilization: f64,
@@ -96,8 +103,8 @@ impl RunReport {
         let mut service_us = Histogram::new();
         let mut rounds = Vec::new();
         let mut final_ln_likelihood = None;
-        // worker → (tasks, busy_us, work_units)
-        let mut per_worker: BTreeMap<usize, (u64, u64, u64)> = BTreeMap::new();
+        // worker → (tasks, busy_us, work_units, pattern_updates)
+        let mut per_worker: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
 
         for record in records {
             t_min = t_min.min(record.t_us);
@@ -134,11 +141,13 @@ impl RunReport {
                     worker,
                     busy_us,
                     work_units,
+                    pattern_updates,
                     ..
                 } => {
                     let entry = per_worker.entry(*worker).or_default();
                     entry.1 += busy_us;
                     entry.2 += work_units;
+                    entry.3 += pattern_updates;
                 }
                 Event::RoundCompleted {
                     round,
@@ -161,13 +170,21 @@ impl RunReport {
         };
         let workers = per_worker
             .into_iter()
-            .map(|(worker, (tasks, busy_us, work_units))| WorkerUsage {
-                worker,
-                tasks,
-                busy_us,
-                work_units,
-                utilization: busy_us as f64 / span_us as f64,
-            })
+            .map(
+                |(worker, (tasks, busy_us, work_units, pattern_updates))| WorkerUsage {
+                    worker,
+                    tasks,
+                    busy_us,
+                    work_units,
+                    pattern_updates,
+                    patterns_per_sec: if busy_us > 0 {
+                        pattern_updates as f64 * 1e6 / busy_us as f64
+                    } else {
+                        0.0
+                    },
+                    utilization: busy_us as f64 / span_us as f64,
+                },
+            )
             .collect();
 
         RunReport {
@@ -234,12 +251,13 @@ impl fmt::Display for RunReport {
             for w in &self.workers {
                 writeln!(
                     f,
-                    "    rank {:>3}: {:>5} tasks, {:>8} work units, busy {:.3} s ({:.1}%)",
+                    "    rank {:>3}: {:>5} tasks, {:>8} work units, busy {:.3} s ({:.1}%), {:.0} patterns/s",
                     w.worker,
                     w.tasks,
                     w.work_units,
                     w.busy_us as f64 / 1e6,
-                    100.0 * w.utilization
+                    100.0 * w.utilization,
+                    w.patterns_per_sec
                 )?;
             }
         }
@@ -313,6 +331,7 @@ mod tests {
                     task: 0,
                     busy_us: 400_000,
                     work_units: 100,
+                    pattern_updates: 200_000,
                 },
             ),
             rec(
@@ -334,6 +353,7 @@ mod tests {
                     task: 1,
                     busy_us: 200_000,
                     work_units: 60,
+                    pattern_updates: 80_000,
                 },
             ),
             rec(
@@ -375,6 +395,9 @@ mod tests {
         assert_eq!(w3.worker, 3);
         assert_eq!(w3.tasks, 1);
         assert!((w3.utilization - 0.4).abs() < 1e-9);
+        assert_eq!(w3.pattern_updates, 200_000);
+        // 200k pattern updates in 0.4 s of busy time → 500k patterns/s.
+        assert!((w3.patterns_per_sec - 500_000.0).abs() < 1e-6);
         assert_eq!(report.service_us.count, 2);
         assert_eq!(report.lnl_trajectory(), vec![-48.5]);
         assert_eq!(report.final_ln_likelihood, Some(-48.5));

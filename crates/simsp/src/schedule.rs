@@ -235,11 +235,15 @@ pub fn simulate_trace_observed(trace: &SearchTrace, config: &SimConfig, obs: &Ob
                 task,
                 worker: rank,
             });
+            // The trace records weighted work units; the simulator has no
+            // finer-grained counter, so report them as pattern-update
+            // equivalents to keep the throughput gauge populated.
             obs.emit_at(sim_us(start + compute), || Event::WorkerTaskDone {
                 worker: rank,
                 task,
                 busy_us: sim_us(compute),
                 work_units: units,
+                pattern_updates: units,
             });
             obs.emit_at(sim_us(end), || Event::TaskCompleted {
                 task,
