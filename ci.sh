@@ -13,3 +13,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 # comes from a full run).
 cargo bench --no-run
 cargo run --release -p fdml-bench --bin kernel_report -- --quick --out target/bench_kernels_smoke.json
+
+# Multi-process smoke: a 4-rank TCP deployment (one OS process per rank,
+# loopback) must emit the identical tree, byte for byte, to the threaded
+# in-process run of the same search.
+SMOKE=target/net_smoke
+mkdir -p "$SMOKE"
+printf '%s\n' \
+  '6 40' \
+  't0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT' \
+  't1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT' \
+  't2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT' \
+  't3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT' \
+  't4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA' \
+  't5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA' \
+  > "$SMOKE/data.phy"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --quiet --output "$SMOKE/net.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet --output "$SMOKE/threads.nwk"
+cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"

@@ -11,6 +11,7 @@
 use crate::message::Message;
 use crate::transport::{CommError, Rank, Transport};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// What to do with outgoing messages.
@@ -22,15 +23,22 @@ pub enum FaultKind {
     /// "delinquent worker recovers late" scenario). The delay is applied
     /// by sleeping on the sending side, which is adequate for tests.
     Delay(Duration),
+    /// Sever the rank entirely: once triggered, every send *and* receive
+    /// fails with [`CommError::Disconnected`] — the in-process stand-in for
+    /// a worker process dying or its link dropping mid-round.
+    Disconnect,
 }
 
 /// A fault plan: apply `kind` to the first `count` outgoing `TreeResult`
-/// messages, then behave normally.
+/// messages, then behave normally. For [`FaultKind::Disconnect`] the
+/// `count` is instead how many tree results are let *through* before the
+/// link is severed.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// The fault to inject.
     pub kind: FaultKind,
-    /// How many tree results to affect (`u64::MAX` ≈ forever).
+    /// How many tree results to affect (`u64::MAX` ≈ forever); for
+    /// `Disconnect`, how many to allow before severing.
     pub count: u64,
 }
 
@@ -51,26 +59,42 @@ impl FaultPlan {
             count,
         }
     }
+
+    /// Let `count` tree results through, then sever the link for good.
+    pub fn disconnect_after(count: u64) -> FaultPlan {
+        FaultPlan {
+            kind: FaultKind::Disconnect,
+            count,
+        }
+    }
 }
 
 /// A transport wrapper that injects faults into outgoing tree results.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     plan: Mutex<FaultPlan>,
+    severed: AtomicBool,
 }
 
 impl<T: Transport> FaultyTransport<T> {
     /// Wrap a transport with a fault plan.
     pub fn new(inner: T, plan: FaultPlan) -> FaultyTransport<T> {
+        let severed = plan.kind == FaultKind::Disconnect && plan.count == 0;
         FaultyTransport {
             inner,
             plan: Mutex::new(plan),
+            severed: AtomicBool::new(severed),
         }
     }
 
     /// Remaining faults to inject.
     pub fn remaining(&self) -> u64 {
         self.plan.lock().count
+    }
+
+    /// Whether a [`FaultKind::Disconnect`] plan has triggered.
+    pub fn is_severed(&self) -> bool {
+        self.severed.load(Ordering::SeqCst)
     }
 }
 
@@ -84,23 +108,39 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
+        if self.severed.load(Ordering::SeqCst) {
+            return Err(CommError::Disconnected(self.inner.rank()));
+        }
         if let Message::TreeResult { .. } = msg {
             let mut plan = self.plan.lock();
-            if plan.count > 0 {
-                plan.count -= 1;
-                match plan.kind {
-                    FaultKind::Drop => return Ok(()),
-                    FaultKind::Delay(by) => {
+            match plan.kind {
+                FaultKind::Disconnect => {
+                    if plan.count == 0 {
                         drop(plan);
-                        std::thread::sleep(by);
+                        self.severed.store(true, Ordering::SeqCst);
+                        return Err(CommError::Disconnected(self.inner.rank()));
                     }
+                    plan.count -= 1;
                 }
+                FaultKind::Drop if plan.count > 0 => {
+                    plan.count -= 1;
+                    return Ok(());
+                }
+                FaultKind::Delay(by) if plan.count > 0 => {
+                    plan.count -= 1;
+                    drop(plan);
+                    std::thread::sleep(by);
+                }
+                _ => {}
             }
         }
         self.inner.send(to, msg)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError> {
+        if self.severed.load(Ordering::SeqCst) {
+            return Err(CommError::Disconnected(self.inner.rank()));
+        }
         self.inner.recv_timeout(timeout)
     }
 }
@@ -160,6 +200,53 @@ mod tests {
         faulty.send(0, &result_msg(0)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert!(receiver.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn disconnect_severs_after_allowed_results() {
+        let mut ends = ThreadUniverse::create(2);
+        let receiver = ends.remove(0);
+        let faulty = FaultyTransport::new(ends.remove(0), FaultPlan::disconnect_after(2));
+        // The first two results pass through.
+        faulty.send(0, &result_msg(0)).unwrap();
+        faulty.send(0, &result_msg(1)).unwrap();
+        assert!(!faulty.is_severed());
+        // The third triggers severance...
+        assert_eq!(
+            faulty.send(0, &result_msg(2)),
+            Err(CommError::Disconnected(1))
+        );
+        assert!(faulty.is_severed());
+        // ...after which *everything* fails, both directions.
+        assert_eq!(
+            faulty.send(0, &Message::WorkerReady),
+            Err(CommError::Disconnected(1))
+        );
+        assert_eq!(
+            faulty.recv_timeout(Duration::from_millis(1)),
+            Err(CommError::Disconnected(1))
+        );
+        // The other side saw exactly the two allowed results.
+        for expected in [0u64, 1] {
+            let (_, msg) = receiver.try_recv().unwrap().unwrap();
+            match msg {
+                Message::TreeResult { task, .. } => assert_eq!(task, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(receiver.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn disconnect_after_zero_is_severed_from_the_start() {
+        let mut ends = ThreadUniverse::create(2);
+        let _receiver = ends.remove(0);
+        let faulty = FaultyTransport::new(ends.remove(0), FaultPlan::disconnect_after(0));
+        assert!(faulty.is_severed());
+        assert_eq!(
+            faulty.send(0, &Message::WorkerReady),
+            Err(CommError::Disconnected(1))
+        );
     }
 
     #[test]

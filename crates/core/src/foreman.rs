@@ -82,13 +82,27 @@ pub fn run_foreman_observed<T: Transport>(
                 continue;
             }
             let (task, newick) = work_queue.pop_front().expect("checked non-empty");
-            transport.send(
+            match transport.send(
                 worker,
                 &Message::TreeTask {
                     task,
                     newick: newick.clone(),
                 },
-            )?;
+            ) {
+                Ok(()) => {}
+                // A dead link is the network analogue of a delinquent
+                // worker: re-queue the tree immediately instead of waiting
+                // for the timeout to notice (paper §2.2's recovery path,
+                // triggered eagerly).
+                Err(CommError::Disconnected(_)) => {
+                    delinquent.insert(worker);
+                    stats.timeouts += 1;
+                    monitor(&transport, MonitorEvent::WorkerTimedOut { worker, task });
+                    work_queue.push_front((task, newick));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
             in_flight.insert(
                 task,
                 InFlight {
@@ -379,6 +393,53 @@ mod tests {
         assert_eq!(stats.recoveries, 1);
         assert_eq!(stats.duplicates_ignored, 1);
         assert_eq!(stats.results_forwarded, 3);
+    }
+
+    #[test]
+    fn disconnected_worker_requeues_without_waiting_for_timeout() {
+        let mut ends = universe(5);
+        let w2 = ends.remove(4);
+        let w1 = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        // A long timeout: if the eager path didn't fire, the test would hang
+        // far past its deadline waiting for the timer.
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+        });
+        w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        // w1 dies before any task reaches it.
+        drop(w1);
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 3,
+                    newick: "(a,b);".into(),
+                },
+            )
+            .unwrap();
+        // The dispatch to the dead w1 fails; the tree must go to w2 as soon
+        // as it announces itself.
+        w2.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        let (_, msg) = w2.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 3, .. }));
+        w2.send(
+            ranks::FOREMAN,
+            &Message::TreeResult {
+                task: 3,
+                newick: "(a:1,b:1);".into(),
+                ln_likelihood: -2.0,
+                work_units: 1,
+            },
+        )
+        .unwrap();
+        let (_, msg) = master.recv().unwrap();
+        assert!(matches!(msg, Message::TreeResult { task: 3, .. }));
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
+        let stats = f.join().unwrap();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.results_forwarded, 1);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   modules of the paper (§2.2), written against `fdml-comm`'s transport.
 //! * [`runner`] — entry points: serial search, threaded parallel search,
 //!   multi-jumble orchestration.
+//! * [`netrun`] — the same topology across OS processes over `fdml-net`'s
+//!   TCP transport: coordinator, peer, and single-command spawn launchers.
 //! * [`trace`] — dispatch-round traces consumed by the RS/6000 SP
 //!   simulator to regenerate Figures 3 and 4.
 //! * [`checkpoint`] — resumable snapshots of long runs.
@@ -25,6 +27,7 @@ pub mod foreman;
 pub mod jumble;
 pub mod master;
 pub mod monitor;
+pub mod netrun;
 pub mod runner;
 pub mod search;
 pub mod trace;

@@ -1,0 +1,317 @@
+//! Multi-process orchestration over the TCP transport.
+//!
+//! This is the launcher layer of the paper's distributed deployments: one
+//! *coordinator* process hosts the hub and the master (rank 0); *peer*
+//! processes dial in and become whatever rank the hub assigns — 1 foreman,
+//! 2 monitor, 3.. workers — running exactly the same `run_foreman` /
+//! `run_monitor` / `run_worker` loops the threaded build runs, now against
+//! [`fdml_net::TcpTransport`] instead of a channel endpoint.
+//!
+//! [`net_coordinator_search`] can also fork the peers itself (`spawn`
+//! mode), reproducing the single-command cluster launch of `mpirun -np N`
+//! on one machine: children are re-invocations of the current executable in
+//! peer mode, connected over loopback.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::SearchConfig;
+use crate::foreman::{run_foreman_observed, ForemanStats};
+use crate::master::ClusterExecutor;
+use crate::monitor::{run_monitor_observed, MonitorReport};
+use crate::search::{SearchResult, StepwiseSearch};
+use crate::worker::{ranks, run_worker_observed, WorkerStats};
+use fdml_comm::message::Message;
+use fdml_comm::recording::Recording;
+use fdml_comm::transport::{CommError, Rank, Transport};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
+use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
+use fdml_phylo::alignment::Alignment;
+use fdml_phylo::error::PhyloError;
+use fdml_phylo::phylip;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Spawn-mode settings: the coordinator forks its own peers.
+#[derive(Debug, Clone)]
+pub struct NetSpawn {
+    /// The executable to run for each peer (normally `current_exe`).
+    pub program: PathBuf,
+    /// Chaos: the child destined for this rank is told to kill itself
+    /// (`process::exit`) just before sending result number `tasks + 1` —
+    /// a real process death mid-search, for exercising the foreman's
+    /// requeue path end to end.
+    pub die_after_tasks: Option<(Rank, u64)>,
+    /// Forward `--quiet` to the children, silencing their shutdown
+    /// summaries on stderr.
+    pub quiet: bool,
+}
+
+/// What a coordinator run returns.
+#[derive(Debug)]
+pub struct NetOutcome {
+    /// The search result (identical to a threads-transport run with the
+    /// same configuration).
+    pub result: SearchResult,
+    /// End-of-run observability report — master-side traffic plus the
+    /// hub's per-peer connection events. `None` when unobserved.
+    pub report: Option<RunReport>,
+    /// Exit statuses of spawned peers (spawn mode only), by rank.
+    pub peer_exits: Vec<(Rank, Option<i32>)>,
+}
+
+/// What a peer process ran, with its shutdown statistics.
+#[derive(Debug)]
+pub enum PeerOutcome {
+    /// This process was rank 1.
+    Foreman(ForemanStats),
+    /// This process was rank 2.
+    Monitor(MonitorReport),
+    /// This process was a worker rank.
+    Worker(WorkerStats),
+}
+
+/// How long the coordinator waits for the universe to assemble.
+const READY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Run the coordinator: bind the hub, (optionally) fork peers, wait for
+/// the universe, then drive the stepwise search as rank 0.
+///
+/// `checkpoint_out` writes a [`Checkpoint`] file after every completed
+/// taxon addition; `resume` restarts from one — together they make a
+/// coordinator killed mid-search restartable (the peers are stateless
+/// between tasks, so only rank 0 carries state worth saving).
+#[allow(clippy::too_many_arguments)]
+pub fn net_coordinator_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    listen: &str,
+    num_ranks: usize,
+    mut sinks: Vec<Box<dyn Sink>>,
+    checkpoint_out: Option<PathBuf>,
+    resume: Option<Checkpoint>,
+    spawn: Option<NetSpawn>,
+) -> Result<NetOutcome, PhyloError> {
+    assert!(
+        num_ranks >= 4,
+        "the fully instrumented parallel version requires at least four ranks"
+    );
+    let observing = sinks.iter().any(|s| !s.is_null());
+    let mem = if observing {
+        let mem = MemorySink::new();
+        sinks.push(Box::new(mem.clone()));
+        Some(mem)
+    } else {
+        None
+    };
+    let obs = Obs::multi(sinks);
+    obs.emit(|| Event::RunStarted {
+        ranks: num_ranks,
+        workers: num_ranks - ranks::FIRST_WORKER,
+    });
+
+    let net_cfg = NetConfig {
+        worker_timeout: config.worker_timeout,
+        ..NetConfig::default()
+    };
+    let hub = TcpHub::bind(listen, num_ranks, net_cfg, obs.clone())
+        .map_err(|e| PhyloError::Format(format!("bind {listen}: {e}")))?;
+    let addr = hub.local_addr().to_string();
+
+    let mut children: Vec<(Rank, Child)> = Vec::new();
+    if let Some(spawn) = &spawn {
+        // Sequential spawn: wait for each child's handshake before forking
+        // the next, so connection order — and therefore rank assignment —
+        // is deterministic (child i becomes rank i).
+        for rank in 1..num_ranks {
+            let mut cmd = Command::new(&spawn.program);
+            cmd.arg("--net")
+                .arg("worker")
+                .arg("--connect")
+                .arg(&addr)
+                .stdout(Stdio::null());
+            if spawn.quiet {
+                cmd.arg("--quiet");
+            }
+            if let Some((die_rank, tasks)) = spawn.die_after_tasks {
+                if die_rank == rank {
+                    cmd.arg("--die-after-tasks").arg(tasks.to_string());
+                }
+            }
+            let child = cmd
+                .spawn()
+                .map_err(|e| PhyloError::Format(format!("spawn peer: {e}")))?;
+            children.push((rank, child));
+            let deadline = Instant::now() + READY_TIMEOUT;
+            while hub.connected_peers() < rank {
+                if Instant::now() >= deadline {
+                    reap(&mut children, Duration::ZERO);
+                    return Err(PhyloError::Format(format!(
+                        "spawned peer for rank {rank} never connected"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    hub.wait_ready(READY_TIMEOUT)
+        .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
+
+    let master_end = Recording::new(hub, obs.clone());
+    let executor = ClusterExecutor::new(
+        master_end,
+        alignment.names().to_vec(),
+        phylip::write(alignment),
+        config.engine_config_json(),
+        true,
+    );
+    let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
+        .with_names(alignment.names().to_vec());
+    if let Some(cp) = resume {
+        search = search.resume_from(cp);
+    }
+    if let Some(path) = checkpoint_out {
+        search = search.on_checkpoint(move |cp| {
+            // Write-then-rename so a kill mid-write never leaves a torn
+            // checkpoint behind.
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, cp.to_json()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        });
+    }
+    let result = search.run();
+    let executor = search.into_executor();
+    // `shutdown` returns the transport; keep the hub alive until the peers
+    // acknowledge by disconnecting, or the foreman's Shutdown cascade would
+    // race the relay teardown and surviving ranks would die on a broken
+    // link instead of exiting cleanly.
+    let master_end = executor.shutdown();
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let peer_exits = reap(&mut children, Duration::from_secs(30));
+    drop(master_end);
+    let result = result?;
+    obs.emit(|| Event::RunFinished {
+        ln_likelihood: result.ln_likelihood,
+    });
+    obs.flush();
+    let report = mem.map(|m| RunReport::from_events(&m.take()));
+    Ok(NetOutcome {
+        result,
+        report,
+        peer_exits,
+    })
+}
+
+/// Collect spawned peers, killing any that outlive `grace`.
+fn reap(children: &mut Vec<(Rank, Child)>, grace: Duration) -> Vec<(Rank, Option<i32>)> {
+    let deadline = Instant::now() + grace;
+    let mut exits = Vec::with_capacity(children.len());
+    for (rank, mut child) in children.drain(..) {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    exits.push((rank, status.code()));
+                    break;
+                }
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    exits.push((rank, None));
+                    break;
+                }
+            }
+        }
+    }
+    exits
+}
+
+/// Run this process as a peer: dial the coordinator, learn our rank, and
+/// run that rank's loop until shutdown. `die_after_tasks` arms the chaos
+/// exit used by fault-injection tests (see [`NetSpawn::die_after_tasks`]).
+pub fn run_net_peer(
+    connect: &str,
+    sinks: Vec<Box<dyn Sink>>,
+    die_after_tasks: Option<u64>,
+) -> Result<(Rank, PeerOutcome), String> {
+    let obs = Obs::multi(sinks);
+    let transport = TcpTransport::connect_observed(connect, ClientConfig::default(), obs.clone())
+        .map_err(|e| format!("connect {connect}: {e}"))?;
+    let rank = transport.rank();
+    let worker_timeout = transport.worker_timeout();
+    let outcome = match rank {
+        ranks::FOREMAN => run_foreman_observed(
+            Recording::new(transport, obs.clone()),
+            worker_timeout,
+            true,
+            obs.clone(),
+        )
+        .map(PeerOutcome::Foreman)
+        .map_err(|e| format!("foreman: {e}"))?,
+        ranks::MONITOR => run_monitor_observed(Recording::new(transport, obs.clone()), obs.clone())
+            .map(PeerOutcome::Monitor)
+            .map_err(|e| format!("monitor: {e}"))?,
+        _ => {
+            let recorded = Recording::new(transport, obs.clone());
+            let stats = match die_after_tasks {
+                Some(n) => run_worker_observed(DieAfter::new(recorded, n), obs.clone()),
+                None => run_worker_observed(recorded, obs.clone()),
+            }
+            .map_err(|e| format!("worker: {e:?}"))?;
+            PeerOutcome::Worker(stats)
+        }
+    };
+    obs.flush();
+    Ok((rank, outcome))
+}
+
+/// Chaos wrapper: lets `limit` tree results through, then terminates the
+/// whole process before the next one — a genuine worker death, distinct
+/// from [`fdml_comm::fault::FaultyTransport`]'s in-process severance.
+struct DieAfter<T: Transport> {
+    inner: T,
+    limit: u64,
+    sent: std::cell::Cell<u64>,
+}
+
+impl<T: Transport> DieAfter<T> {
+    fn new(inner: T, limit: u64) -> DieAfter<T> {
+        DieAfter {
+            inner,
+            limit,
+            sent: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl<T: Transport> Transport for DieAfter<T> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
+        if let Message::TreeResult { .. } = msg {
+            if self.sent.get() >= self.limit {
+                // Abrupt death: no Goodbye, no flush — the coordinator
+                // must discover it via liveness, exactly like a crashed
+                // node in the paper's clusters.
+                std::process::exit(3);
+            }
+            self.sent.set(self.sent.get() + 1);
+        }
+        self.inner.send(to, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError> {
+        self.inner.recv_timeout(timeout)
+    }
+}

@@ -469,6 +469,41 @@ mod tests {
     }
 
     #[test]
+    fn severed_worker_mid_search_still_converges() {
+        let a = alignment();
+        let config = SearchConfig {
+            jumble_seed: 5,
+            worker_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let clean = parallel_search(&a, &config, 6).unwrap();
+        // Worker 3 returns one result, then its link is severed for good —
+        // the in-process analogue of a worker process dying mid-search. The
+        // foreman must requeue its outstanding task (timeout first, then the
+        // eager path on every later dispatch attempt) and the two surviving
+        // workers must finish the search with an identical result.
+        let mut faults = HashMap::new();
+        faults.insert(3usize, FaultPlan::disconnect_after(1));
+        let faulty = parallel_search_with_faults(&a, &config, 6, faults).unwrap();
+        assert_eq!(
+            SplitSet::of_tree(&clean.result.tree, 6),
+            SplitSet::of_tree(&faulty.result.tree, 6)
+        );
+        assert!(
+            (clean.result.ln_likelihood - faulty.result.ln_likelihood).abs() < 1e-6,
+            "clean {} vs severed {}",
+            clean.result.ln_likelihood,
+            faulty.result.ln_likelihood
+        );
+        assert!(
+            faulty.foreman.timeouts >= 1,
+            "foreman must declare the severed worker delinquent"
+        );
+        // The dead worker never recovers.
+        assert_eq!(faulty.foreman.recoveries, 0);
+    }
+
+    #[test]
     fn jumbles_and_consensus() {
         let a = alignment();
         let config = SearchConfig {

@@ -1,0 +1,490 @@
+//! The coordinator-side hub: listener, handshake, and message routing.
+//!
+//! The hub is the process topology's star point. It owns the listening
+//! socket, assigns ranks to connecting peers in arrival order (1, 2, 3, …),
+//! and relays every [`Frame::Data`] between them, so peer processes need a
+//! route to the coordinator only — exactly the property that let the
+//! paper's PVM version span clusters where workers could not reach each
+//! other directly. The hub's own process hosts rank 0 (the master): the
+//! [`TcpHub`] value *is* that rank's [`Transport`] endpoint.
+//!
+//! Liveness: every peer connection has a reader thread (frames in, misses
+//! counted) and a writer thread (bounded queue out, heartbeats when idle).
+//! A peer silent for `miss_limit` heartbeat intervals — or whose socket
+//! errors — is declared dead: its slot is cleared, an obs event is emitted,
+//! and local sends to it fail with [`CommError::Disconnected`] so the
+//! foreman's requeue machinery takes over. A dead peer that dials back in
+//! with `Hello { rejoin: Some(rank) }` is re-bound to its old slot.
+
+use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use fdml_comm::message::Message;
+use fdml_comm::transport::{CommError, Rank, Transport};
+use fdml_obs::{Event, Obs};
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tunables for a TCP universe. The hub owns the canonical copy; clients
+/// learn the liveness parameters from their `Welcome`.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Heartbeat cadence: a writer idle this long emits a keep-alive.
+    pub heartbeat_interval: Duration,
+    /// Consecutive silent intervals before a peer is declared dead.
+    pub miss_limit: u32,
+    /// Depth of each peer's bounded outgoing queue (frames).
+    pub queue_depth: usize,
+    /// The foreman's fault-tolerance timeout, forwarded in `Welcome` so a
+    /// remote foreman process configures itself from the wire.
+    pub worker_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            miss_limit: 4,
+            queue_depth: 256,
+            worker_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One remote rank's connection state.
+#[derive(Default)]
+struct Slot {
+    /// Sender into the peer's writer thread; `None` while disconnected.
+    out: Option<SyncSender<Frame>>,
+    /// Bumped on every (re)bind so stale reader/writer threads from a
+    /// previous connection cannot clobber a newer one's state.
+    generation: u64,
+    /// Whether this slot ever completed a handshake.
+    ever_connected: bool,
+    /// Completed rebinds after a drop.
+    reconnects: u64,
+}
+
+struct HubShared {
+    size: usize,
+    cfg: NetConfig,
+    obs: Obs,
+    shutdown: AtomicBool,
+    slots: Mutex<Vec<Slot>>,
+    /// Every reader thread (and rank-0 self-sends) feeds this.
+    in_tx: Sender<(Rank, Message)>,
+}
+
+impl HubShared {
+    /// Declare `rank`'s connection (of `generation`) dead. Idempotent and
+    /// generation-checked: a reader noticing EOF and a writer noticing a
+    /// send error race here harmlessly, and a thread from a replaced
+    /// connection cannot kill its successor.
+    fn mark_dead(&self, rank: Rank, generation: u64, graceful: bool) {
+        let mut slots = self.slots.lock();
+        let slot = &mut slots[rank];
+        if slot.generation == generation && slot.out.is_some() {
+            slot.out = None;
+            self.obs
+                .emit(|| Event::NetPeerDisconnected { rank, graceful });
+        }
+    }
+}
+
+/// The coordinator's endpoint: rank 0 of a TCP universe.
+pub struct TcpHub {
+    shared: Arc<HubShared>,
+    in_rx: Mutex<Receiver<(Rank, Message)>>,
+    local_addr: SocketAddr,
+}
+
+impl TcpHub {
+    /// Bind `addr` and start accepting peers for a universe of `size`
+    /// ranks (rank 0 is this process; ranks 1..size are remote). Returns
+    /// as soon as the listener is up; use [`TcpHub::wait_ready`] to block
+    /// until the universe is complete.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        size: usize,
+        cfg: NetConfig,
+        obs: Obs,
+    ) -> io::Result<TcpHub> {
+        assert!(size >= 2, "a TCP universe needs at least one remote rank");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (in_tx, in_rx) = mpsc::channel();
+        let mut slots = Vec::with_capacity(size);
+        for _ in 0..size {
+            slots.push(Slot::default());
+        }
+        let shared = Arc::new(HubShared {
+            size,
+            cfg,
+            obs,
+            shutdown: AtomicBool::new(false),
+            slots: Mutex::new(slots),
+            in_tx,
+        });
+        let accept_shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("fdml-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(TcpHub {
+            shared,
+            in_rx: Mutex::new(in_rx),
+            local_addr,
+        })
+    }
+
+    /// The address the hub actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Block until every remote rank has completed its handshake, or fail
+    /// after `timeout`.
+    pub fn wait_ready(&self, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let connected = {
+                let slots = self.shared.slots.lock();
+                slots[1..].iter().all(|s| s.out.is_some())
+            };
+            if connected {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let missing: Vec<Rank> = {
+                    let slots = self.shared.slots.lock();
+                    (1..self.shared.size)
+                        .filter(|&r| slots[r].out.is_none())
+                        .collect()
+                };
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("ranks {missing:?} never connected"),
+                ));
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// How many remote ranks are currently connected.
+    pub fn connected_peers(&self) -> usize {
+        self.shared.slots.lock()[1..]
+            .iter()
+            .filter(|s| s.out.is_some())
+            .count()
+    }
+
+    /// Chaos hook: declare `rank`'s connection dead right now, as if its
+    /// heartbeats had lapsed. The peer's writer thread drains away, the
+    /// peer notices the silent hub and redials, and the rejoin path
+    /// re-binds it — used by tests to exercise reconnection without
+    /// waiting for real network failures.
+    pub fn sever_peer(&self, rank: Rank) {
+        if rank >= 1 && rank < self.shared.size {
+            let generation = self.shared.slots.lock()[rank].generation;
+            self.shared.mark_dead(rank, generation, false);
+        }
+    }
+}
+
+impl Drop for TcpHub {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Transport for TcpHub {
+    fn rank(&self) -> Rank {
+        0
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
+        if to >= self.shared.size {
+            return Err(CommError::UnknownRank(to));
+        }
+        if to == 0 {
+            return self
+                .shared
+                .in_tx
+                .send((0, msg.clone()))
+                .map_err(|_| CommError::Disconnected(0));
+        }
+        let out = {
+            let slots = self.shared.slots.lock();
+            slots[to].out.clone()
+        };
+        let Some(out) = out else {
+            return Err(CommError::Disconnected(to));
+        };
+        out.send(Frame::Data {
+            from: 0,
+            to,
+            msg: msg.clone(),
+        })
+        .map_err(|_| CommError::Disconnected(to))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Rank, Message)>, CommError> {
+        match self.in_rx.lock().recv_timeout(timeout) {
+            Ok(pair) => Ok(Some(pair)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(CommError::Disconnected(0)),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<HubShared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let hs = Arc::clone(&shared);
+                // Handshake on its own thread: one slow dialer must not
+                // stall other peers' accepts.
+                let _ = thread::Builder::new()
+                    .name("fdml-net-handshake".into())
+                    .spawn(move || handshake(stream, hs));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let hello = match read_frame(&mut stream, Duration::from_secs(5)) {
+        Ok(Some(f)) => f,
+        _ => return,
+    };
+    let rejoin = match hello {
+        Frame::Hello { version, rejoin } if version == PROTOCOL_VERSION => rejoin,
+        Frame::Hello { version, .. } => {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Reject {
+                    reason: format!("protocol version {version} != {PROTOCOL_VERSION}"),
+                },
+            );
+            return;
+        }
+        _ => return,
+    };
+
+    // Pick (or re-bind) a slot under the lock; do the socket I/O after.
+    let (rank, generation, out_rx, reconnected) = {
+        let mut slots = shared.slots.lock();
+        let Some((rank, reconnected)) = assign_slot(&slots, shared.size, rejoin) else {
+            drop(slots);
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Reject {
+                    reason: "universe is full".into(),
+                },
+            );
+            return;
+        };
+        let slot = &mut slots[rank];
+        slot.generation += 1;
+        slot.ever_connected = true;
+        if reconnected {
+            slot.reconnects += 1;
+        }
+        let (out_tx, out_rx) = mpsc::sync_channel(shared.cfg.queue_depth);
+        slot.out = Some(out_tx);
+        (rank, slot.generation, out_rx, reconnected)
+    };
+
+    let welcome = Frame::Welcome {
+        rank,
+        size: shared.size,
+        worker_timeout_ms: shared.cfg.worker_timeout.as_millis() as u64,
+        heartbeat_ms: shared.cfg.heartbeat_interval.as_millis() as u64,
+        miss_limit: shared.cfg.miss_limit,
+    };
+    if write_frame(&mut stream, &welcome).is_err() {
+        shared.mark_dead(rank, generation, false);
+        return;
+    }
+
+    if reconnected {
+        let reconnects = shared.slots.lock()[rank].reconnects;
+        shared
+            .obs
+            .emit(|| Event::NetPeerReconnected { rank, reconnects });
+    } else {
+        shared.obs.emit(|| Event::NetPeerConnected { rank });
+    }
+
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.mark_dead(rank, generation, false);
+            return;
+        }
+    };
+    let ws = Arc::clone(&shared);
+    let _ = thread::Builder::new()
+        .name(format!("fdml-net-w{rank}"))
+        .spawn(move || peer_writer(writer_stream, out_rx, rank, generation, ws));
+    let rs = Arc::clone(&shared);
+    let _ = thread::Builder::new()
+        .name(format!("fdml-net-r{rank}"))
+        .spawn(move || peer_reader(stream, rank, generation, rs));
+}
+
+/// Choose a slot for a connecting peer: `Some((rank, is_reconnect))`, or
+/// `None` when the universe is full. Called with the slot table locked.
+fn assign_slot(slots: &[Slot], size: usize, rejoin: Option<Rank>) -> Option<(Rank, bool)> {
+    // A rejoin gets its old rank back iff that slot is currently dead.
+    if let Some(r) = rejoin {
+        if r >= 1 && r < size && slots[r].out.is_none() {
+            return Some((r, slots[r].ever_connected));
+        }
+    }
+    // Fresh joins take the lowest slot never yet used, then the lowest
+    // dead slot (a replacement process for a dead peer counts as that
+    // rank reconnecting).
+    let peers = slots[..size].iter().enumerate().skip(1);
+    if let Some((r, _)) = peers
+        .clone()
+        .find(|(_, s)| s.out.is_none() && !s.ever_connected)
+    {
+        return Some((r, false));
+    }
+    peers
+        .clone()
+        .find(|(_, s)| s.out.is_none())
+        .map(|(r, _)| (r, true))
+}
+
+/// Drain a peer's outgoing queue onto its socket; heartbeat when idle.
+fn peer_writer(
+    mut stream: TcpStream,
+    out_rx: Receiver<Frame>,
+    rank: Rank,
+    generation: u64,
+    shared: Arc<HubShared>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match out_rx.recv_timeout(shared.cfg.heartbeat_interval) {
+            Ok(frame) => {
+                if write_frame(&mut stream, &frame).is_err() {
+                    shared.mark_dead(rank, generation, false);
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if write_frame(&mut stream, &Frame::Heartbeat { from: 0 }).is_err() {
+                    shared.mark_dead(rank, generation, false);
+                    return;
+                }
+            }
+            // The slot was cleared (peer declared dead or replaced).
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Read a peer's frames, route them, and watch its liveness.
+fn peer_reader(mut stream: TcpStream, rank: Rank, generation: u64, shared: Arc<HubShared>) {
+    let mut misses: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream, shared.cfg.heartbeat_interval) {
+            Ok(Some(frame)) => {
+                misses = 0;
+                match frame {
+                    Frame::Data { from, to, msg } => route(&shared, rank, from, to, msg),
+                    Frame::Heartbeat { .. } => {}
+                    Frame::Goodbye { .. } => {
+                        shared.mark_dead(rank, generation, true);
+                        return;
+                    }
+                    // Handshake frames mid-session: protocol violation.
+                    Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Reject { .. } => {
+                        shared.mark_dead(rank, generation, false);
+                        return;
+                    }
+                }
+            }
+            Ok(None) => {
+                misses += 1;
+                let m = misses;
+                shared
+                    .obs
+                    .emit(|| Event::NetHeartbeatMiss { rank, misses: m });
+                if misses >= shared.cfg.miss_limit as u64 {
+                    shared.mark_dead(rank, generation, false);
+                    return;
+                }
+            }
+            Err(_) => {
+                shared.mark_dead(rank, generation, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Deliver a routed frame: to the local rank 0, or relayed to a peer.
+fn route(shared: &Arc<HubShared>, via: Rank, from: Rank, to: Rank, msg: Message) {
+    // Peers can only speak for themselves; a mismatched `from` is a bug or
+    // a confused peer, and trusting it would mis-attribute results.
+    let from = if from == via { from } else { via };
+    if to == 0 {
+        let _ = shared.in_tx.send((from, msg));
+        return;
+    }
+    let out = {
+        let slots = shared.slots.lock();
+        if to >= shared.size {
+            return;
+        }
+        slots[to].out.clone()
+    };
+    if let Some(out) = out {
+        // Bounded relay: apply backpressure to this peer's reader rather
+        // than buffering without limit. A full queue to a *dead-ish* peer
+        // resolves when its liveness check clears the slot.
+        let frame = Frame::Data { from, to, msg };
+        let mut frame = Some(frame);
+        loop {
+            match out.try_send(frame.take().expect("frame present")) {
+                Ok(()) => return,
+                Err(TrySendError::Full(f)) => {
+                    frame = Some(f);
+                    thread::sleep(Duration::from_millis(1));
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                // Destination died; the foreman's timeout machinery will
+                // requeue whatever this message carried.
+                Err(TrySendError::Disconnected(_)) => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! TCP transport for the fastDNAml parallel runtime.
+//!
+//! The paper ran fastDNAml's master/foreman/worker/monitor topology over
+//! PVM and MPI across clusters and supercomputers; this crate is the
+//! workspace's equivalent of that `comm_*.c` layer for plain sockets, so
+//! the same `fdml-core` run loops span OS processes and machines:
+//!
+//! * [`wire`] — the framed wire format: 4-byte length prefix + JSON, a
+//!   versioned `Hello`/`Welcome` handshake, heartbeats, `Goodbye`.
+//! * [`hub::TcpHub`] — the coordinator's endpoint (rank 0). Owns the
+//!   listening socket, assigns ranks in arrival order, relays every
+//!   message between peers, and watches their liveness.
+//! * [`client::TcpTransport`] — a peer's endpoint. Learns its rank from
+//!   the handshake and reconnects with exponential backoff when the link
+//!   drops; only an exhausted backoff schedule surfaces as
+//!   [`CommError::Disconnected`](fdml_comm::transport::CommError).
+//!
+//! Both endpoints implement [`fdml_comm::transport::Transport`] with the
+//! exact semantics of the threaded transport (`send` is non-blocking and
+//! buffered, `recv_timeout` returns `Ok(None)` on timeout), so everything
+//! written against the trait — the foreman's scheduling, fault injection
+//! via `FaultyTransport`, wire-byte accounting via `Recording` — composes
+//! unchanged over TCP.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hub;
+pub mod wire;
+
+pub use client::{ClientConfig, TcpTransport};
+pub use hub::{NetConfig, TcpHub};

@@ -1,0 +1,290 @@
+//! The framed wire format.
+//!
+//! Every frame is a 4-byte big-endian length prefix followed by that many
+//! bytes of JSON — the same self-describing encoding fastDNAml used for its
+//! ASCII tree interchange, applied to the whole protocol. JSON keeps the
+//! format debuggable with `nc` and independent of struct layout; the length
+//! prefix makes framing trivial and lets a reader reject garbage before
+//! allocating.
+
+use fdml_comm::message::Message;
+use fdml_comm::transport::Rank;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Protocol version spoken by this build. A hub rejects any `Hello` whose
+/// version differs — mixing builds across a cluster corrupts likelihoods
+/// far more subtly than a refused connection does.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame body. Real frames are a few KiB (`ProblemData`
+/// is the largest); anything bigger is a corrupt stream or a hostile peer.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// How long a frame, once its first byte has arrived, may take to finish.
+/// Distinct from the idle timeout: mid-frame silence is a broken peer, not
+/// an idle one, but transient TCP stalls should not kill the link.
+pub const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One unit on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Client → hub, first frame on every connection.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+        /// `None` for a fresh join; `Some(rank)` when reconnecting after a
+        /// dropped link, asking for the old rank back.
+        rejoin: Option<Rank>,
+    },
+    /// Hub → client, accepting a `Hello`.
+    Welcome {
+        /// The rank this connection now speaks for.
+        rank: Rank,
+        /// Total ranks in the universe.
+        size: usize,
+        /// The foreman's fault-tolerance timeout, so a remote foreman
+        /// process learns its configuration over the wire.
+        worker_timeout_ms: u64,
+        /// Liveness: heartbeat cadence every peer must keep.
+        heartbeat_ms: u64,
+        /// Liveness: consecutive silent intervals before a peer is dead.
+        miss_limit: u32,
+    },
+    /// Hub → client, refusing a `Hello` (version skew, full universe).
+    Reject {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// A routed runtime message. Clients address any rank; the hub relays.
+    Data {
+        /// Originating rank.
+        from: Rank,
+        /// Destination rank.
+        to: Rank,
+        /// The payload.
+        msg: Message,
+    },
+    /// Keep-alive, sent when a writer has been idle for one heartbeat
+    /// interval. Receiving *anything* resets the peer's miss counter.
+    Heartbeat {
+        /// The sender's rank.
+        from: Rank,
+    },
+    /// Orderly departure; suppresses reconnect bookkeeping for this peer.
+    Goodbye {
+        /// The departing rank.
+        from: Rank,
+    },
+}
+
+/// Serialize and write one frame. Blocking; respects the stream's write
+/// timeout if one is set.
+pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+    let body = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let body = body.as_bytes();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_BYTES",
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(body);
+    stream.write_all(&buf)
+}
+
+/// Read one frame, waiting at most `idle` for its first byte.
+///
+/// Returns `Ok(None)` on a *clean* idle timeout — no byte of the next frame
+/// had arrived, the stream is still aligned. Once a first byte is in, the
+/// frame must complete within [`FRAME_COMPLETION_TIMEOUT`] or the call
+/// fails: a partial frame cannot be resumed, so abandoning it mid-read
+/// would desynchronize everything after it.
+pub fn read_frame(stream: &mut TcpStream, idle: Duration) -> io::Result<Option<Frame>> {
+    // Wake often enough to notice both deadlines without busy-waiting.
+    let chunk = idle
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(50));
+    stream.set_read_timeout(Some(chunk))?;
+
+    let mut len_buf = [0u8; 4];
+    if !read_exact_deadline(stream, &mut len_buf, Some(idle))? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_deadline(stream, &mut body, None)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+    let frame: Frame = serde_json::from_str(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(frame))
+}
+
+/// Fill `buf`, tolerating read-timeout wakeups. With `idle = Some(d)`,
+/// returns `Ok(false)` if nothing at all arrived within `d`. Once any byte
+/// has arrived (or with `idle = None`), the fill must finish within
+/// [`FRAME_COMPLETION_TIMEOUT`].
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle: Option<Duration>,
+) -> io::Result<bool> {
+    let start = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    if let Some(idle) = idle {
+                        if start.elapsed() >= idle {
+                            return Ok(false);
+                        }
+                        continue;
+                    }
+                }
+                if start.elapsed() >= FRAME_COMPLETION_TIMEOUT {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "frame stalled mid-read",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (mut a, mut b) = pair();
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                rejoin: None,
+            },
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                rejoin: Some(3),
+            },
+            Frame::Welcome {
+                rank: 4,
+                size: 6,
+                worker_timeout_ms: 5000,
+                heartbeat_ms: 500,
+                miss_limit: 4,
+            },
+            Frame::Reject {
+                reason: "full".into(),
+            },
+            Frame::Data {
+                from: 3,
+                to: 1,
+                msg: Message::TreeResult {
+                    task: 9,
+                    newick: "(a:1,b:2);".into(),
+                    ln_likelihood: -123.5,
+                    work_units: 7,
+                },
+            },
+            Frame::Heartbeat { from: 2 },
+            Frame::Goodbye { from: 5 },
+        ];
+        for f in &frames {
+            write_frame(&mut a, f).unwrap();
+        }
+        for f in &frames {
+            let got = read_frame(&mut b, Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(&got, f);
+        }
+    }
+
+    #[test]
+    fn idle_timeout_is_clean() {
+        let (_a, mut b) = pair();
+        let got = read_frame(&mut b, Duration::from_millis(40)).unwrap();
+        assert!(got.is_none());
+        // The stream is still usable afterwards.
+        let got = read_frame(&mut b, Duration::from_millis(40)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn partial_frame_survives_idle_timeouts() {
+        let (mut a, mut b) = pair();
+        let frame = Frame::Heartbeat { from: 1 };
+        let body = serde_json::to_string(&frame).unwrap();
+        let body = body.as_bytes();
+        // Dribble the frame in two halves with a pause in between, longer
+        // than the reader's idle timeout.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        wire.extend_from_slice(body);
+        let (head, tail) = wire.split_at(3);
+        let head = head.to_vec();
+        let tail = tail.to_vec();
+        let writer = thread::spawn(move || {
+            a.write_all(&head).unwrap();
+            thread::sleep(Duration::from_millis(80));
+            a.write_all(&tail).unwrap();
+            a
+        });
+        let got = read_frame(&mut b, Duration::from_millis(20))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, frame);
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let (mut a, mut b) = pair();
+        a.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        let err = read_frame(&mut b, Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn closed_peer_is_an_error() {
+        let (a, mut b) = pair();
+        drop(a);
+        let err = read_frame(&mut b, Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

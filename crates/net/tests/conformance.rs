@@ -1,0 +1,361 @@
+//! Transport conformance: one behavioural contract, two implementations.
+//!
+//! Every check here runs against both the threaded transport (ranks as OS
+//! threads over channels) and the TCP transport (ranks as processes behind
+//! a hub, here exercised in-process over loopback). The run loops in
+//! `fdml-core` are written against the `Transport` trait alone, so any
+//! semantic daylight between the two implementations — ordering, timeout
+//! behaviour, failure surfaced — would show up as a parallel run behaving
+//! differently across processes than across threads.
+
+use fdml_comm::message::Message;
+use fdml_comm::threads::ThreadUniverse;
+use fdml_comm::transport::{CommError, Transport};
+use fdml_net::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
+use fdml_obs::{Event, MemorySink, Obs};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+type Universe = Vec<Box<dyn Transport>>;
+
+fn thread_universe(n: usize) -> Universe {
+    ThreadUniverse::create(n)
+        .into_iter()
+        .map(|t| Box::new(t) as Box<dyn Transport>)
+        .collect()
+}
+
+/// Liveness tuned fast enough for tests without being racy.
+fn fast_net_config() -> NetConfig {
+    NetConfig {
+        heartbeat_interval: Duration::from_millis(40),
+        miss_limit: 4,
+        ..NetConfig::default()
+    }
+}
+
+fn tcp_universe(n: usize) -> Universe {
+    let hub = TcpHub::bind("127.0.0.1:0", n, fast_net_config(), Obs::disabled()).unwrap();
+    let addr = hub.local_addr();
+    let mut ends: Universe = vec![Box::new(hub)];
+    // Sequential connects: each handshake completes before the next dial,
+    // so rank assignment is deterministic (arrival order).
+    for expect in 1..n {
+        let t = TcpTransport::connect(addr).unwrap();
+        assert_eq!(t.rank(), expect);
+        ends.push(Box::new(t));
+    }
+    ends
+}
+
+/// Run one check against both transports.
+fn for_both(n: usize, check: fn(Universe)) {
+    check(thread_universe(n));
+    check(tcp_universe(n));
+}
+
+fn task(t: u64) -> Message {
+    Message::TreeTask {
+        task: t,
+        newick: "(a,b);".into(),
+    }
+}
+
+/// Wait for a condition that becomes true asynchronously (TCP delivery is
+/// not instantaneous the way a channel push is).
+fn eventually(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+#[test]
+fn ranks_and_size_are_consistent() {
+    for_both(4, |ends| {
+        for (i, e) in ends.iter().enumerate() {
+            assert_eq!(e.rank(), i);
+            assert_eq!(e.size(), 4);
+        }
+    });
+}
+
+#[test]
+fn fifo_order_is_preserved_per_sender() {
+    for_both(4, |ends| {
+        for t in 0..20u64 {
+            ends[1].send(0, &task(t)).unwrap();
+        }
+        for t in 0..20u64 {
+            let (from, msg) = ends[0].recv().unwrap();
+            assert_eq!(from, 1);
+            match msg {
+                Message::TreeTask { task, .. } => assert_eq!(task, t),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn peer_to_peer_routing_works_both_directions() {
+    for_both(5, |ends| {
+        // Worker (rank 3) to foreman (rank 1) and back: over TCP neither
+        // is the hub, so this exercises the relay path.
+        ends[3].send(1, &Message::WorkerReady).unwrap();
+        let (from, msg) = ends[1].recv().unwrap();
+        assert_eq!(from, 3);
+        assert_eq!(msg, Message::WorkerReady);
+        ends[1].send(3, &task(7)).unwrap();
+        let (from, msg) = ends[3].recv().unwrap();
+        assert_eq!(from, 1);
+        assert!(matches!(msg, Message::TreeTask { task: 7, .. }));
+    });
+}
+
+#[test]
+fn recv_timeout_returns_none_cleanly() {
+    for_both(4, |ends| {
+        for e in &ends {
+            let got = e.recv_timeout(Duration::from_millis(30)).unwrap();
+            assert!(got.is_none());
+            let got = e.try_recv().unwrap();
+            assert!(got.is_none());
+        }
+        // The endpoint is still fully usable after timeouts.
+        ends[2].send(0, &Message::WorkerReady).unwrap();
+        let (from, _) = ends[0].recv().unwrap();
+        assert_eq!(from, 2);
+    });
+}
+
+#[test]
+fn self_send_is_delivered() {
+    for_both(4, |ends| {
+        for e in &ends {
+            e.send(e.rank(), &Message::Shutdown).unwrap();
+            let (from, msg) = e.recv().unwrap();
+            assert_eq!(from, e.rank());
+            assert_eq!(msg, Message::Shutdown);
+        }
+    });
+}
+
+#[test]
+fn unknown_rank_is_rejected() {
+    for_both(4, |ends| {
+        assert_eq!(
+            ends[0].send(99, &Message::Shutdown),
+            Err(CommError::UnknownRank(99))
+        );
+        assert_eq!(
+            ends[3].send(99, &Message::Shutdown),
+            Err(CommError::UnknownRank(99))
+        );
+    });
+}
+
+#[test]
+fn broadcast_reaches_everyone_but_self() {
+    for_both(5, |ends| {
+        ends[0].broadcast(&Message::Shutdown).unwrap();
+        for e in &ends[1..] {
+            let (from, msg) = e.recv().unwrap();
+            assert_eq!(from, 0);
+            assert_eq!(msg, Message::Shutdown);
+        }
+        assert!(ends[0].try_recv().unwrap().is_none());
+        // And from a non-hub rank.
+        ends[2].broadcast(&Message::WorkerReady).unwrap();
+        for e in &ends {
+            if e.rank() == 2 {
+                continue;
+            }
+            let (from, msg) = e.recv().unwrap();
+            assert_eq!(from, 2);
+            assert_eq!(msg, Message::WorkerReady);
+        }
+    });
+}
+
+#[test]
+fn dropping_an_endpoint_fails_sends_to_it() {
+    for_both(4, |mut ends| {
+        let dropped = ends.remove(3);
+        drop(dropped);
+        // Threads: immediate. TCP: the Goodbye must reach the hub first.
+        eventually(
+            || ends[0].send(3, &Message::Shutdown) == Err(CommError::Disconnected(3)),
+            "send to the departed rank to fail Disconnected",
+        );
+    });
+}
+
+// ---- TCP-specific protocol behaviour -----------------------------------
+
+#[test]
+fn version_skew_is_rejected() {
+    let hub = TcpHub::bind("127.0.0.1:0", 2, fast_net_config(), Obs::disabled()).unwrap();
+    let mut stream = TcpStream::connect(hub.local_addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION + 999,
+            rejoin: None,
+        },
+    )
+    .unwrap();
+    match read_frame(&mut stream, Duration::from_secs(5)).unwrap() {
+        Some(Frame::Reject { reason }) => assert!(reason.contains("version")),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    // And the high-level client maps it to an error.
+    assert_eq!(hub.connected_peers(), 0);
+}
+
+#[test]
+fn full_universe_is_rejected() {
+    let hub = TcpHub::bind("127.0.0.1:0", 2, fast_net_config(), Obs::disabled()).unwrap();
+    let addr = hub.local_addr();
+    let _first = TcpTransport::connect(addr).unwrap();
+    let err = TcpTransport::connect(addr).map(|_| ()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}
+
+#[test]
+fn silent_peer_is_declared_dead_by_heartbeat_misses() {
+    let mem = MemorySink::new();
+    let cfg = NetConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        miss_limit: 3,
+        ..NetConfig::default()
+    };
+    let hub = TcpHub::bind("127.0.0.1:0", 2, cfg, Obs::new(Box::new(mem.clone()))).unwrap();
+    // A raw socket that handshakes and then goes silent forever — the
+    // stand-in for a wedged worker process. (A real client would be
+    // heartbeating.)
+    let mut stream = TcpStream::connect(hub.local_addr()).unwrap();
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            rejoin: None,
+        },
+    )
+    .unwrap();
+    let welcome = read_frame(&mut stream, Duration::from_secs(5)).unwrap();
+    assert!(matches!(welcome, Some(Frame::Welcome { rank: 1, .. })));
+    eventually(
+        || hub.connected_peers() == 0,
+        "hub to declare the peer dead",
+    );
+    let events: Vec<Event> = mem.snapshot().into_iter().map(|r| r.event).collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::NetHeartbeatMiss { rank: 1, .. })),
+        "expected heartbeat misses, got {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::NetPeerDisconnected {
+                rank: 1,
+                graceful: false
+            }
+        )),
+        "expected an ungraceful disconnect, got {events:?}"
+    );
+    // Sends to the dead rank now fail, which is what lets the foreman's
+    // requeue machinery take over.
+    assert_eq!(
+        hub.send(1, &Message::Shutdown),
+        Err(CommError::Disconnected(1))
+    );
+}
+
+#[test]
+fn severed_client_reconnects_and_traffic_resumes() {
+    let mem = MemorySink::new();
+    let cfg = NetConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        miss_limit: 3,
+        ..NetConfig::default()
+    };
+    let hub = TcpHub::bind("127.0.0.1:0", 2, cfg, Obs::new(Box::new(mem.clone()))).unwrap();
+    let addr = hub.local_addr();
+    let client = TcpTransport::connect_observed(
+        addr,
+        ClientConfig {
+            reconnect_attempts: 10,
+            reconnect_backoff: Duration::from_millis(20),
+            ..ClientConfig::default()
+        },
+        Obs::disabled(),
+    )
+    .unwrap();
+    assert_eq!(client.rank(), 1);
+
+    // Chaos: the hub declares the link dead. The client notices the silent
+    // hub via its own heartbeat misses and redials with rejoin.
+    hub.sever_peer(1);
+    eventually(|| hub.connected_peers() == 1, "client to rejoin its slot");
+    assert!(!client.is_dead());
+
+    // Traffic flows again in both directions over the new connection.
+    hub.send(1, &Message::WorkerReady).unwrap();
+    let (from, msg) = client.recv().unwrap();
+    assert_eq!((from, msg), (0, Message::WorkerReady));
+    client.send(0, &Message::Shutdown).unwrap();
+    let (from, msg) = hub.recv().unwrap();
+    assert_eq!((from, msg), (1, Message::Shutdown));
+
+    let events: Vec<Event> = mem.snapshot().into_iter().map(|r| r.event).collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::NetPeerReconnected { rank: 1, .. })),
+        "expected a reconnect event, got {events:?}"
+    );
+}
+
+#[test]
+fn dead_hub_exhausts_reconnects_and_surfaces_disconnected() {
+    let cfg = NetConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        miss_limit: 2,
+        ..NetConfig::default()
+    };
+    let hub = TcpHub::bind("127.0.0.1:0", 2, cfg, Obs::disabled()).unwrap();
+    let addr = hub.local_addr();
+    let client = TcpTransport::connect_observed(
+        addr,
+        ClientConfig {
+            reconnect_attempts: 2,
+            reconnect_backoff: Duration::from_millis(10),
+            ..ClientConfig::default()
+        },
+        Obs::disabled(),
+    )
+    .unwrap();
+    // The whole coordinator goes away: listener and per-peer threads wind
+    // down, so every redial is refused.
+    drop(hub);
+    eventually(
+        || client.is_dead(),
+        "client to exhaust its backoff schedule",
+    );
+    assert_eq!(
+        client.recv_timeout(Duration::from_millis(10)),
+        Err(CommError::Disconnected(1))
+    );
+    assert_eq!(
+        client.send(0, &Message::WorkerReady),
+        Err(CommError::Disconnected(1))
+    );
+}

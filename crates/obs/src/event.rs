@@ -114,6 +114,36 @@ pub enum Event {
         /// Final log-likelihood of the search.
         ln_likelihood: f64,
     },
+    /// A network peer completed the transport handshake and joined the
+    /// universe (emitted by `fdml-net`; the threaded transport never
+    /// produces it, the simulator emits one per simulated worker so real
+    /// and simulated reports share a schema).
+    NetPeerConnected {
+        /// The rank the peer was assigned.
+        rank: usize,
+    },
+    /// A network peer's connection was lost (or closed in an orderly way).
+    NetPeerDisconnected {
+        /// The disconnected peer's rank.
+        rank: usize,
+        /// True when the peer said goodbye; false for a dropped link.
+        graceful: bool,
+    },
+    /// A heartbeat interval elapsed with no traffic from a peer.
+    NetHeartbeatMiss {
+        /// The silent peer's rank.
+        rank: usize,
+        /// Consecutive misses so far (the peer is declared dead at the
+        /// transport's miss limit).
+        misses: u64,
+    },
+    /// A previously lost peer reconnected and was re-bound to its rank.
+    NetPeerReconnected {
+        /// The returning peer's rank.
+        rank: usize,
+        /// Cumulative reconnects for this rank, this one included.
+        reconnects: u64,
+    },
 }
 
 impl Event {
@@ -131,6 +161,10 @@ impl Event {
             Event::WorkerTaskDone { .. } => "WorkerTaskDone",
             Event::RoundCompleted { .. } => "RoundCompleted",
             Event::RunFinished { .. } => "RunFinished",
+            Event::NetPeerConnected { .. } => "NetPeerConnected",
+            Event::NetPeerDisconnected { .. } => "NetPeerDisconnected",
+            Event::NetHeartbeatMiss { .. } => "NetHeartbeatMiss",
+            Event::NetPeerReconnected { .. } => "NetPeerReconnected",
         }
     }
 }

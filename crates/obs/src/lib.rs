@@ -34,7 +34,7 @@ pub mod sink;
 
 pub use event::{Event, Record};
 pub use registry::{Histogram, Registry};
-pub use report::RunReport;
+pub use report::{NetPeerStats, RunReport};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
 
 use std::sync::Arc;

@@ -42,6 +42,24 @@ pub struct KindTraffic {
     pub recv_bytes: u64,
 }
 
+/// One network peer's connection history over a run (populated only when
+/// the run used the `fdml-net` TCP transport or a simulated equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetPeerStats {
+    /// The peer's rank.
+    pub rank: usize,
+    /// Successful handshakes (first connect plus any rejoins counted as
+    /// connects by the emitting side).
+    pub connects: u64,
+    /// Connections lost or closed.
+    pub disconnects: u64,
+    /// Heartbeat intervals that elapsed without traffic from the peer.
+    pub heartbeat_misses: u64,
+    /// Times the peer reconnected after a lost link (the per-rank
+    /// reconnect count the failure model is judged by).
+    pub reconnects: u64,
+}
+
 /// One dispatch round's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundSummary {
@@ -82,6 +100,9 @@ pub struct RunReport {
     pub service_us: Histogram,
     /// Per-round candidate counts and lnL trajectory.
     pub rounds: Vec<RoundSummary>,
+    /// Per-rank network connection history, sorted by rank. Empty for
+    /// in-process (threads transport) runs.
+    pub net_peers: Vec<NetPeerStats>,
     /// Final log-likelihood, if a `RunFinished` event was seen.
     pub final_ln_likelihood: Option<f64>,
 }
@@ -105,6 +126,7 @@ impl RunReport {
         let mut final_ln_likelihood = None;
         // worker → (tasks, busy_us, work_units, pattern_updates)
         let mut per_worker: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
+        let mut net: BTreeMap<usize, NetPeerStats> = BTreeMap::new();
 
         for record in records {
             t_min = t_min.min(record.t_us);
@@ -160,6 +182,26 @@ impl RunReport {
                     t_us: record.t_us,
                 }),
                 Event::RunFinished { ln_likelihood } => final_ln_likelihood = Some(*ln_likelihood),
+                Event::NetPeerConnected { rank } => {
+                    let e = net.entry(*rank).or_default();
+                    e.rank = *rank;
+                    e.connects += 1;
+                }
+                Event::NetPeerDisconnected { rank, .. } => {
+                    let e = net.entry(*rank).or_default();
+                    e.rank = *rank;
+                    e.disconnects += 1;
+                }
+                Event::NetHeartbeatMiss { rank, .. } => {
+                    let e = net.entry(*rank).or_default();
+                    e.rank = *rank;
+                    e.heartbeat_misses += 1;
+                }
+                Event::NetPeerReconnected { rank, reconnects } => {
+                    let e = net.entry(*rank).or_default();
+                    e.rank = *rank;
+                    e.reconnects = (*reconnects).max(e.reconnects + 1);
+                }
             }
         }
 
@@ -200,6 +242,7 @@ impl RunReport {
             traffic,
             service_us,
             rounds,
+            net_peers: net.into_values().collect(),
             final_ln_likelihood,
         }
     }
@@ -268,6 +311,16 @@ impl fmt::Display for RunReport {
                     f,
                     "    {kind:<12} sent {:>6} msgs / {:>9} B, received {:>6} msgs / {:>9} B",
                     t.sent_msgs, t.sent_bytes, t.recv_msgs, t.recv_bytes
+                )?;
+            }
+        }
+        if !self.net_peers.is_empty() {
+            writeln!(f, "  network peers:")?;
+            for p in &self.net_peers {
+                writeln!(
+                    f,
+                    "    rank {:>3}: {} connects, {} disconnects, {} heartbeat misses, {} reconnects",
+                    p.rank, p.connects, p.disconnects, p.heartbeat_misses, p.reconnects
                 )?;
             }
         }
@@ -455,6 +508,59 @@ mod tests {
         let result = &report.traffic["TreeResult"];
         assert_eq!(result.sent_msgs, 1);
         assert_eq!(result.sent_bytes, 220);
+    }
+
+    #[test]
+    fn net_events_aggregate_per_rank() {
+        let records = vec![
+            rec(0, Event::NetPeerConnected { rank: 3 }),
+            rec(1, Event::NetPeerConnected { rank: 4 }),
+            rec(50, Event::NetHeartbeatMiss { rank: 3, misses: 1 }),
+            rec(60, Event::NetHeartbeatMiss { rank: 3, misses: 2 }),
+            rec(
+                70,
+                Event::NetPeerDisconnected {
+                    rank: 3,
+                    graceful: false,
+                },
+            ),
+            rec(
+                90,
+                Event::NetPeerReconnected {
+                    rank: 3,
+                    reconnects: 1,
+                },
+            ),
+            rec(
+                100,
+                Event::NetPeerDisconnected {
+                    rank: 4,
+                    graceful: true,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        assert_eq!(report.net_peers.len(), 2);
+        let p3 = &report.net_peers[0];
+        assert_eq!(
+            (
+                p3.rank,
+                p3.connects,
+                p3.disconnects,
+                p3.heartbeat_misses,
+                p3.reconnects
+            ),
+            (3, 1, 1, 2, 1)
+        );
+        let p4 = &report.net_peers[1];
+        assert_eq!((p4.rank, p4.connects, p4.disconnects), (4, 1, 1));
+        let text = report.to_string();
+        assert!(text.contains("network peers"));
+        assert!(text.contains("2 heartbeat misses"));
+        // Net events round-trip through the serialized report.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.net_peers, report.net_peers);
     }
 
     #[test]

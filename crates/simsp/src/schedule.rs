@@ -195,6 +195,14 @@ pub fn simulate_trace_observed(trace: &SearchTrace, config: &SimConfig, obs: &Ob
         ranks: config.processors,
         workers,
     });
+    // The simulated cluster "connects" instantly: one NetPeerConnected per
+    // worker rank keeps the report schema identical to a real `fdml-net`
+    // run (whose coordinator emits the same events from live handshakes).
+    for w in 0..workers {
+        obs.emit_at(0, || Event::NetPeerConnected {
+            rank: ranks::FIRST_WORKER + w,
+        });
+    }
     let mut clock = 0.0f64;
     let mut busy = 0.0f64;
     let mut next_task = 0u64;

@@ -13,11 +13,23 @@
 //!   --rates-file FILE    use a dnarates report for the category model
 //!   --parallel RANKS     run the threaded parallel program (≥ 4 ranks:
 //!                        master, foreman, monitor, workers)
+//!   --net coordinator    host the TCP hub and run rank 0 (master); use
+//!                        with --listen ADDR and --ranks N
+//!   --net worker         join a coordinator as a peer process; use with
+//!                        --connect ADDR (rank assigned by the hub)
+//!   --net spawn N        coordinator that also forks N-1 local worker
+//!                        processes — single-command multi-process run
+//!   --listen ADDR        coordinator bind address          [127.0.0.1:0]
+//!   --connect ADDR       coordinator address for --net worker
+//!   --ranks N            universe size for --net coordinator [4]
+//!   --worker-timeout-ms T  foreman timeout before a task is requeued
 //!   --obs-out FILE       write runtime events as JSON lines (parallel only)
 //!   --obs-summary        print the end-of-run report (parallel only)
 //!   --bootstrap N        bootstrap with N replicates instead of jumbles
 //!   --user-trees FILE    evaluate the Newick trees in FILE, no search
 //!   --checkpoint FILE    write a resumable checkpoint after every step
+//!                        (--checkpoint-out is an alias; also honoured by
+//!                        the --net coordinator/spawn modes)
 //!   --resume FILE        resume a single-jumble run from a checkpoint
 //!   --outgroup T1,T2     root the output tree on this outgroup clade
 //!   --midpoint           midpoint-root the output tree
@@ -29,6 +41,7 @@
 use fastdnaml::core::checkpoint::Checkpoint;
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::executor::ScorerExecutor;
+use fastdnaml::core::netrun::{net_coordinator_search, run_net_peer, NetSpawn};
 use fastdnaml::core::runner::{
     bootstrap_analysis, evaluate_user_trees, parallel_search_observed, run_jumbles, serial_search,
 };
@@ -53,7 +66,16 @@ fn parse_args() -> (HashMap<String, String>, Vec<String>) {
         if let Some(key) = item.strip_prefix("--") {
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                    let value = iter.next().expect("peeked");
+                    // `--net spawn N` carries a second operand: the rank
+                    // count rides in as if `--ranks N` had been given.
+                    if key == "net" && value == "spawn" {
+                        if let Some(n) = iter.peek().and_then(|v| v.parse::<usize>().ok()) {
+                            values.insert("ranks".to_string(), n.to_string());
+                            iter.next();
+                        }
+                    }
+                    values.insert(key.to_string(), value);
                 }
                 _ => flags.push(key.to_string()),
             }
@@ -74,11 +96,20 @@ fastdnaml --input data.phy [options]
   --categories K       estimate K rate categories (DNArates) first
   --rates-file FILE    use a dnarates report for the category model
   --parallel RANKS     run the threaded parallel program (>= 4 ranks)
+  --net coordinator    host the TCP hub and run rank 0 (--listen, --ranks)
+  --net worker         join a coordinator as a peer process (--connect)
+  --net spawn N        coordinator that also forks N-1 local peers
+  --listen ADDR        coordinator bind address          [127.0.0.1:0]
+  --connect ADDR       coordinator address for --net worker
+  --ranks N            universe size for --net coordinator [4]
+  --worker-timeout-ms T  foreman timeout before a task is requeued
   --obs-out FILE       write runtime events as JSON lines (parallel only)
   --obs-summary        print the end-of-run report (parallel only)
   --bootstrap N        bootstrap with N replicates instead of jumbles
   --user-trees FILE    evaluate the Newick trees in FILE, no search
   --checkpoint FILE    write a resumable checkpoint after every step
+                       (--checkpoint-out is an alias; also honoured by
+                       the --net coordinator/spawn modes)
   --resume FILE        resume a single-jumble run from a checkpoint
   --outgroup T1,T2     root the output tree on this outgroup clade
   --midpoint           midpoint-root the output tree
@@ -95,6 +126,38 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let quiet = flags.iter().any(|f| f == "quiet");
+
+    // Peer mode: no alignment, no search options — everything (problem
+    // data, engine configuration, rank) arrives from the coordinator over
+    // the wire, like an MPI rank joining a job.
+    if matches!(args.get("net").map(String::as_str), Some("worker" | "peer")) {
+        let Some(connect) = args.get("connect") else {
+            eprintln!("fastdnaml: --net worker requires --connect ADDR");
+            return ExitCode::FAILURE;
+        };
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        if let Some(path) = args.get("obs-out") {
+            sinks.push(Box::new(
+                JsonlSink::create(path).unwrap_or_else(|e| panic!("--obs-out {path}: {e}")),
+            ));
+        }
+        let die_after = args
+            .get("die-after-tasks")
+            .and_then(|v| v.parse::<u64>().ok());
+        match run_net_peer(connect, sinks, die_after) {
+            Ok((rank, outcome)) => {
+                if !quiet {
+                    eprintln!("fastdnaml: rank {rank} done: {outcome:?}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("fastdnaml: net worker: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let Some(input) = args.get("input") else {
         eprintln!("fastdnaml: --input FILE is required\n\n{USAGE}");
         return ExitCode::FAILURE;
@@ -133,6 +196,12 @@ fn main() -> ExitCode {
         tt_ratio: get(&args, "tt-ratio", 2.0),
         ..SearchConfig::default()
     };
+    if let Some(ms) = args
+        .get("worker-timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        config.worker_timeout = std::time::Duration::from_millis(ms);
+    }
 
     // Category model from a dnarates report file.
     if let Some(path) = args.get("rates-file") {
@@ -253,6 +322,87 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // Checkpoint / resume apply to both the serial search and the net
+    // coordinator (rank 0 carries all the search state either way).
+    let checkpoint_path = args
+        .get("checkpoint-out")
+        .or_else(|| args.get("checkpoint"))
+        .cloned();
+    let resume_checkpoint = args.get("resume").map(|path| {
+        Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
+            .expect("parse checkpoint")
+    });
+
+    // Multi-process modes: coordinator (peers join from elsewhere) or
+    // spawn (the coordinator forks its own local peers).
+    if let Some(mode) = args.get("net").map(String::as_str) {
+        if mode != "coordinator" && mode != "spawn" {
+            eprintln!("fastdnaml: unknown --net mode {mode:?} (coordinator | worker | spawn N)");
+            return ExitCode::FAILURE;
+        }
+        let ranks: usize = get(&args, "ranks", 4);
+        let listen = args
+            .get("listen")
+            .map(String::as_str)
+            .unwrap_or("127.0.0.1:0");
+        let spawn = if mode == "spawn" {
+            let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
+            let die_tasks = args
+                .get("die-after-tasks")
+                .and_then(|v| v.parse::<u64>().ok());
+            Some(NetSpawn {
+                program: std::env::current_exe().expect("current executable path"),
+                die_after_tasks: die_rank.zip(die_tasks),
+                quiet,
+            })
+        } else {
+            None
+        };
+        let obs_summary = flags.iter().any(|f| f == "obs-summary");
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        if let Some(path) = args.get("obs-out") {
+            sinks.push(Box::new(
+                JsonlSink::create(path).unwrap_or_else(|e| panic!("--obs-out {path}: {e}")),
+            ));
+        }
+        if obs_summary && sinks.is_empty() {
+            sinks.push(Box::new(MemorySink::new()));
+        }
+        if !quiet {
+            eprintln!("fastdnaml: net {mode}: {ranks} ranks via {listen}");
+        }
+        let outcome = net_coordinator_search(
+            &alignment,
+            &config,
+            listen,
+            ranks,
+            sinks,
+            checkpoint_path.clone().map(std::path::PathBuf::from),
+            resume_checkpoint,
+            spawn,
+        )
+        .expect("net coordinator search");
+        if obs_summary {
+            match &outcome.report {
+                Some(report) => println!("{report}"),
+                None => eprintln!("fastdnaml: no observability data collected"),
+            }
+        }
+        if !quiet {
+            eprintln!(
+                "fastdnaml: lnL {:.4} over {} process ranks",
+                outcome.result.ln_likelihood, ranks
+            );
+            for (rank, code) in &outcome.peer_exits {
+                if *code != Some(0) {
+                    eprintln!("fastdnaml: peer rank {rank} exited with {code:?}");
+                }
+            }
+        }
+        emit(&render_tree(&outcome.result.tree));
+        return ExitCode::SUCCESS;
+    }
+
     // Single search: parallel, resumable-serial, or plain serial.
     if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
         let obs_summary = flags.iter().any(|f| f == "obs-summary");
@@ -287,17 +437,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let checkpoint_path = args.get("checkpoint").cloned();
-    let resume_path = args.get("resume").cloned();
-    let result = if checkpoint_path.is_some() || resume_path.is_some() {
+    let result = if checkpoint_path.is_some() || resume_checkpoint.is_some() {
         let engine = config.build_engine(&alignment);
         let executor = ScorerExecutor::new(&engine, config.optimize);
         let mut search = StepwiseSearch::new(&config, executor, alignment.num_taxa())
             .with_names(alignment.names().to_vec());
-        if let Some(path) = &resume_path {
-            let cp =
-                Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
-                    .expect("parse checkpoint");
+        if let Some(cp) = resume_checkpoint {
             search = search.resume_from(cp);
         }
         if let Some(path) = checkpoint_path.clone() {

@@ -1,0 +1,189 @@
+//! Multi-process end-to-end tests: the real `fastdnaml` binary running the
+//! TCP transport, one OS process per rank, over loopback.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const PHYLIP: &str = "\
+6 40
+t0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+t1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT
+t2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT
+t3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT
+t4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA
+t5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA
+";
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdml_net_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    std::fs::write(dir.join("data.phy"), PHYLIP).expect("write alignment");
+    dir
+}
+
+fn fastdnaml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fastdnaml"))
+}
+
+/// Run the binary, assert success, return (stdout, stderr).
+fn run(dir: &Path, extra: &[&str]) -> (String, String) {
+    let mut cmd = fastdnaml();
+    cmd.args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "7"]);
+    for a in extra {
+        cmd.arg(a);
+    }
+    let out = cmd.output().expect("run fastdnaml");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The `RunFinished` likelihood from an obs event log.
+fn final_lnl(log: &Path) -> f64 {
+    let text = std::fs::read_to_string(log).expect("event log written");
+    let records = fastdnaml::obs::JsonlSink::parse(&text).expect("valid JSONL");
+    records
+        .iter()
+        .find_map(|r| match r.event {
+            fastdnaml::obs::Event::RunFinished { ln_likelihood } => Some(ln_likelihood),
+            _ => None,
+        })
+        .expect("RunFinished event present")
+}
+
+#[test]
+fn spawned_processes_match_threaded_parallel_exactly() {
+    let dir = workdir("spawn");
+    let net_log = dir.join("net.jsonl");
+    let thr_log = dir.join("thr.jsonl");
+    // One command, four OS processes: coordinator (master) + foreman +
+    // monitor + worker, talking over loopback TCP.
+    let (net_tree, _) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "4",
+            "--quiet",
+            "--obs-out",
+            net_log.to_str().unwrap(),
+        ],
+    );
+    let (thr_tree, _) = run(
+        &dir,
+        &[
+            "--parallel",
+            "4",
+            "--quiet",
+            "--obs-out",
+            thr_log.to_str().unwrap(),
+        ],
+    );
+    // Same search decisions in both deployments: the emitted Newick is
+    // byte-for-byte identical, and the final likelihood matches to well
+    // under 1e-9 (the events carry it at full f64 precision).
+    assert_eq!(net_tree, thr_tree);
+    let (net_lnl, thr_lnl) = (final_lnl(&net_log), final_lnl(&thr_log));
+    assert!(
+        (net_lnl - thr_lnl).abs() < 1e-9,
+        "net {net_lnl} vs threads {thr_lnl}"
+    );
+    // The hub recorded each peer process joining.
+    let text = std::fs::read_to_string(&net_log).unwrap();
+    let records = fastdnaml::obs::JsonlSink::parse(&text).unwrap();
+    for rank in 1..4usize {
+        assert!(
+            records.iter().any(|r| matches!(
+                r.event,
+                fastdnaml::obs::Event::NetPeerConnected { rank: got } if got == rank
+            )),
+            "rank {rank} never connected"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn killed_worker_process_is_requeued_and_the_result_stands() {
+    let dir = workdir("chaos");
+    let log = dir.join("events.jsonl");
+    let (clean_tree, _) = run(&dir, &["--net", "spawn", "5", "--quiet"]);
+    // Worker rank 4 calls process::exit after two results: a genuine
+    // process death the foreman must detect (timeout, then the eager
+    // disconnect path) and route around.
+    let (chaos_tree, stderr) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "5",
+            "--die-rank",
+            "4",
+            "--die-after-tasks",
+            "2",
+            "--worker-timeout-ms",
+            "300",
+            "--obs-out",
+            log.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(chaos_tree, clean_tree);
+    assert!(
+        stderr.contains("peer rank 4 exited with Some(3)"),
+        "stderr: {stderr}"
+    );
+    let text = std::fs::read_to_string(&log).unwrap();
+    let records = fastdnaml::obs::JsonlSink::parse(&text).unwrap();
+    assert!(
+        records.iter().any(|r| matches!(
+            r.event,
+            fastdnaml::obs::Event::NetPeerDisconnected {
+                rank: 4,
+                graceful: false
+            }
+        )),
+        "hub must record the ungraceful death of rank 4"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn coordinator_checkpoint_resumes_to_the_same_tree() {
+    let dir = workdir("netcp");
+    let cp = dir.join("cp.json");
+    let (full_tree, _) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "4",
+            "--quiet",
+            "--checkpoint-out",
+            cp.to_str().unwrap(),
+        ],
+    );
+    assert!(cp.exists(), "checkpoint file must be written");
+    // A fresh universe resumes rank 0's saved state; the peers are
+    // stateless between tasks so nothing else needs restoring.
+    let (resumed_tree, _) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "4",
+            "--quiet",
+            "--resume",
+            cp.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(resumed_tree, full_tree);
+    std::fs::remove_dir_all(dir).ok();
+}
