@@ -31,3 +31,13 @@ printf '%s\n' \
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --quiet --output "$SMOKE/net.nwk"
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet --output "$SMOKE/threads.nwk"
 cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
+
+# Jumble-farm smoke: 3 jumbles at width 2, sharded over worker processes
+# (TCP) and worker threads — the per-jumble trees and the consensus must
+# both be byte-identical across the two transports.
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --jumbles 3 --farm-width 2 --net spawn 4 --quiet \
+  --jumble-trees "$SMOKE/farm_net_trees.txt" --output "$SMOKE/farm_net.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --jumbles 3 --farm-width 2 --parallel 4 --quiet \
+  --jumble-trees "$SMOKE/farm_thr_trees.txt" --output "$SMOKE/farm_thr.nwk"
+cmp "$SMOKE/farm_net_trees.txt" "$SMOKE/farm_thr_trees.txt"
+cmp "$SMOKE/farm_net.nwk" "$SMOKE/farm_thr.nwk"

@@ -29,10 +29,10 @@ pub enum FaultKind {
     Disconnect,
 }
 
-/// A fault plan: apply `kind` to the first `count` outgoing `TreeResult`
-/// messages, then behave normally. For [`FaultKind::Disconnect`] the
-/// `count` is instead how many tree results are let *through* before the
-/// link is severed.
+/// A fault plan: apply `kind` to the first `count` outgoing result
+/// messages (`TreeResult` or `JumbleResult`), then behave normally. For
+/// [`FaultKind::Disconnect`] the `count` is instead how many results are
+/// let *through* before the link is severed.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// The fault to inject.
@@ -111,7 +111,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if self.severed.load(Ordering::SeqCst) {
             return Err(CommError::Disconnected(self.inner.rank()));
         }
-        if let Message::TreeResult { .. } = msg {
+        if let Message::TreeResult { .. } | Message::JumbleResult { .. } = msg {
             let mut plan = self.plan.lock();
             match plan.kind {
                 FaultKind::Disconnect => {

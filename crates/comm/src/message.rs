@@ -98,6 +98,33 @@ pub enum Message {
         /// Work units expended (for instrumentation and the simulator).
         work_units: u64,
     },
+    /// Foreman → worker: run one whole jumble (a complete stepwise-addition
+    /// search with this addition-order seed) and return the final tree.
+    /// This is the farm's unit of work: an entire random restart, not one
+    /// candidate tree.
+    JumbleTask {
+        /// Task id, unique within the run.
+        task: u64,
+        /// The jumble seed (already adjusted and deduplicated).
+        seed: u64,
+    },
+    /// Worker → foreman: a finished jumble.
+    JumbleResult {
+        /// Task id echoed back.
+        task: u64,
+        /// The jumble seed echoed back.
+        seed: u64,
+        /// The best tree of the jumble, as Newick text.
+        newick: String,
+        /// Its log-likelihood.
+        ln_likelihood: f64,
+        /// Dispatch rounds the search ran.
+        rounds: u64,
+        /// Candidate trees the search evaluated.
+        candidates: u64,
+        /// Work units expended over the whole search.
+        work_units: u64,
+    },
     /// Instrumentation, routed to the monitor rank.
     Monitor(MonitorEvent),
     /// Orderly shutdown of a worker or the monitor.
@@ -117,6 +144,10 @@ pub enum MessageKind {
     TreeTask,
     /// [`Message::TreeResult`].
     TreeResult,
+    /// [`Message::JumbleTask`].
+    JumbleTask,
+    /// [`Message::JumbleResult`].
+    JumbleResult,
     /// [`Message::Monitor`].
     Monitor,
     /// [`Message::Shutdown`].
@@ -131,6 +162,8 @@ impl MessageKind {
             MessageKind::WorkerReady => "WorkerReady",
             MessageKind::TreeTask => "TreeTask",
             MessageKind::TreeResult => "TreeResult",
+            MessageKind::JumbleTask => "JumbleTask",
+            MessageKind::JumbleResult => "JumbleResult",
             MessageKind::Monitor => "Monitor",
             MessageKind::Shutdown => "Shutdown",
         }
@@ -151,6 +184,8 @@ impl Message {
             Message::WorkerReady => MessageKind::WorkerReady,
             Message::TreeTask { .. } => MessageKind::TreeTask,
             Message::TreeResult { .. } => MessageKind::TreeResult,
+            Message::JumbleTask { .. } => MessageKind::JumbleTask,
+            Message::JumbleResult { .. } => MessageKind::JumbleResult,
             Message::Monitor(_) => MessageKind::Monitor,
             Message::Shutdown => MessageKind::Shutdown,
         }
@@ -167,6 +202,8 @@ impl Message {
             Message::WorkerReady => 16,
             Message::TreeTask { newick, .. } => newick.len() + 24,
             Message::TreeResult { newick, .. } => newick.len() + 40,
+            Message::JumbleTask { .. } => 32,
+            Message::JumbleResult { newick, .. } => newick.len() + 64,
             Message::Monitor(_) => 64,
             Message::Shutdown => 16,
         }
@@ -194,6 +231,16 @@ mod tests {
                 newick: "(a:1.1,b:1.9);".into(),
                 ln_likelihood: -123.45,
                 work_units: 999,
+            },
+            Message::JumbleTask { task: 8, seed: 11 },
+            Message::JumbleResult {
+                task: 8,
+                seed: 11,
+                newick: "(a:1,b:2);".into(),
+                ln_likelihood: -99.5,
+                rounds: 4,
+                candidates: 17,
+                work_units: 1234,
             },
             Message::Monitor(MonitorEvent::RoundComplete {
                 round: 3,

@@ -38,6 +38,104 @@ impl Checkpoint {
     }
 }
 
+/// The lifecycle of one jumble inside a farm manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JumbleStatus {
+    /// Not finished yet (queued or in flight when the farm stopped).
+    Pending,
+    /// Finished; `newick` and `ln_likelihood` are recorded.
+    Done,
+}
+
+/// One jumble's entry in a [`FarmManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The adjusted, deduplicated jumble seed.
+    pub seed: u64,
+    /// Where this jumble stands.
+    pub status: JumbleStatus,
+    /// The jumble's best tree (present when `Done`).
+    pub newick: Option<String>,
+    /// Its log-likelihood (present when `Done`).
+    pub ln_likelihood: Option<f64>,
+}
+
+/// The farm's checkpoint: one entry per jumble, written (write-then-rename)
+/// after every completion, so a killed farm resumes by recomputing only the
+/// `Pending` entries. Deliberately timestamp-free: two farms over the same
+/// seeds produce byte-identical manifests regardless of completion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FarmManifest {
+    /// Entries in seed order (the order results are reported in).
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl FarmManifest {
+    /// A fresh manifest with every seed `Pending`.
+    pub fn new(seeds: &[u64]) -> FarmManifest {
+        FarmManifest {
+            entries: seeds
+                .iter()
+                .map(|&seed| ManifestEntry {
+                    seed,
+                    status: JumbleStatus::Pending,
+                    newick: None,
+                    ln_likelihood: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The seeds, in manifest order.
+    pub fn seeds(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.seed).collect()
+    }
+
+    /// Seeds still `Pending`, in manifest order.
+    pub fn unfinished(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.status == JumbleStatus::Pending)
+            .map(|e| e.seed)
+            .collect()
+    }
+
+    /// Whether every jumble is `Done`.
+    pub fn is_complete(&self) -> bool {
+        self.entries.iter().all(|e| e.status == JumbleStatus::Done)
+    }
+
+    /// Record a finished jumble.
+    pub fn mark_done(&mut self, seed: u64, newick: String, ln_likelihood: f64) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.seed == seed)
+            .unwrap_or_else(|| panic!("seed {seed} not in manifest"));
+        entry.status = JumbleStatus::Done;
+        entry.newick = Some(newick);
+        entry.ln_likelihood = Some(ln_likelihood);
+    }
+
+    /// Serialize to the on-disk format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parse the on-disk format.
+    pub fn from_json(text: &str) -> Result<FarmManifest, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Write atomically: to a temporary sibling first, then rename over the
+    /// target, so a kill mid-write never leaves a torn manifest behind.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +153,41 @@ mod tests {
         let back = Checkpoint::from_json(&json).unwrap();
         assert_eq!(c, back);
         assert!(Checkpoint::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn manifest_tracks_completion() {
+        let mut m = FarmManifest::new(&[1, 3, 5]);
+        assert_eq!(m.seeds(), vec![1, 3, 5]);
+        assert_eq!(m.unfinished(), vec![1, 3, 5]);
+        assert!(!m.is_complete());
+        m.mark_done(3, "(a:1,b:1);".into(), -10.0);
+        assert_eq!(m.unfinished(), vec![1, 5]);
+        m.mark_done(1, "(a:1,b:1);".into(), -11.0);
+        m.mark_done(5, "(a:1,b:1);".into(), -12.0);
+        assert!(m.is_complete());
+        let back = FarmManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.entries[1].ln_likelihood, Some(-10.0));
+    }
+
+    #[test]
+    fn manifest_save_is_atomic_and_order_independent() {
+        let dir = std::env::temp_dir().join(format!("fdml_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("farm.json");
+        let mut a = FarmManifest::new(&[1, 3]);
+        a.mark_done(1, "(x);".into(), -1.0);
+        a.mark_done(3, "(y);".into(), -2.0);
+        let mut b = FarmManifest::new(&[1, 3]);
+        b.mark_done(3, "(y);".into(), -2.0);
+        b.mark_done(1, "(x);".into(), -1.0);
+        // Completion order does not leak into the serialized form.
+        assert_eq!(a.to_json(), b.to_json());
+        a.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(FarmManifest::from_json(&text).unwrap(), a);
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

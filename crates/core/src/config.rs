@@ -95,16 +95,20 @@ impl SearchConfig {
         serde_json::to_string(&EngineConfigWire::from(self)).expect("config serializes")
     }
 
-    /// Rebuild a search configuration from the wire form (worker side);
-    /// search-control fields take defaults, which workers never use.
+    /// Rebuild a search configuration from the wire form (worker side).
+    /// The wire carries both the engine model and the search-control
+    /// fields, so a worker handed a whole jumble ([`fdml_comm::Message::JumbleTask`])
+    /// runs the byte-identical search a serial process would.
     pub fn from_engine_config_json(json: &str) -> Result<SearchConfig, serde_json::Error> {
         let wire: EngineConfigWire = serde_json::from_str(json)?;
         Ok(wire.into_config())
     }
 }
 
-/// The engine-relevant subset of [`SearchConfig`], as broadcast in
-/// [`fdml_comm::Message::ProblemData`].
+/// The transferable subset of [`SearchConfig`] — the engine model plus the
+/// search-control parameters — as broadcast in
+/// [`fdml_comm::Message::ProblemData`]. Only `worker_timeout` (a purely
+/// foreman-side concern) and `jumble_seed` (carried per-task) stay behind.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineConfigWire {
     tt_ratio: f64,
@@ -114,6 +118,38 @@ struct EngineConfigWire {
     newton_tolerance: f64,
     category_rates: Vec<f64>,
     category_assignment: Option<Vec<u32>>,
+    #[serde(default = "default_rearrange_radius")]
+    rearrange_radius: usize,
+    #[serde(default = "default_rearrange_radius")]
+    final_radius: usize,
+    #[serde(default = "default_min_improvement")]
+    min_improvement: f64,
+    #[serde(default = "default_max_rearrange_rounds")]
+    max_rearrange_rounds: usize,
+    #[serde(default = "default_max_verify_per_round")]
+    max_verify_per_round: usize,
+    #[serde(default = "default_verify_slack")]
+    verify_slack: f64,
+}
+
+fn default_rearrange_radius() -> usize {
+    SearchConfig::default().rearrange_radius
+}
+
+fn default_min_improvement() -> f64 {
+    SearchConfig::default().min_improvement
+}
+
+fn default_max_rearrange_rounds() -> usize {
+    SearchConfig::default().max_rearrange_rounds
+}
+
+fn default_max_verify_per_round() -> usize {
+    SearchConfig::default().max_verify_per_round
+}
+
+fn default_verify_slack() -> f64 {
+    SearchConfig::default().verify_slack
 }
 
 impl From<&SearchConfig> for EngineConfigWire {
@@ -130,6 +166,12 @@ impl From<&SearchConfig> for EngineConfigWire {
                 .map(|cat| cat.rates().to_vec())
                 .unwrap_or_else(|| vec![1.0]),
             category_assignment: c.categories.as_ref().map(|cat| cat.assignment().to_vec()),
+            rearrange_radius: c.rearrange_radius,
+            final_radius: c.final_radius,
+            min_improvement: c.min_improvement,
+            max_rearrange_rounds: c.max_rearrange_rounds,
+            max_verify_per_round: c.max_verify_per_round,
+            verify_slack: c.verify_slack,
         }
     }
 }
@@ -150,6 +192,12 @@ impl EngineConfigWire {
                 },
             },
             categories,
+            rearrange_radius: self.rearrange_radius,
+            final_radius: self.final_radius,
+            min_improvement: self.min_improvement,
+            max_rearrange_rounds: self.max_rearrange_rounds,
+            max_verify_per_round: self.max_verify_per_round,
+            verify_slack: self.verify_slack,
             ..SearchConfig::default()
         }
     }
@@ -188,6 +236,41 @@ mod tests {
         assert_eq!(back.optimize.max_passes, 3);
         assert_eq!(back.optimize.newton.max_iters, 7);
         assert!(back.categories.is_none());
+    }
+
+    #[test]
+    fn engine_config_wire_carries_search_controls() {
+        // A worker given a whole jumble must search exactly like a serial
+        // process with the same configuration would.
+        let c = SearchConfig {
+            rearrange_radius: 4,
+            final_radius: 6,
+            min_improvement: 2e-4,
+            max_rearrange_rounds: 11,
+            max_verify_per_round: 3,
+            verify_slack: 7.5,
+            ..SearchConfig::default()
+        };
+        let back = SearchConfig::from_engine_config_json(&c.engine_config_json()).unwrap();
+        assert_eq!(back.rearrange_radius, 4);
+        assert_eq!(back.final_radius, 6);
+        assert_eq!(back.min_improvement, 2e-4);
+        assert_eq!(back.max_rearrange_rounds, 11);
+        assert_eq!(back.max_verify_per_round, 3);
+        assert_eq!(back.verify_slack, 7.5);
+    }
+
+    #[test]
+    fn engine_config_json_without_search_controls_takes_defaults() {
+        // Wire payloads written before the search-control fields existed
+        // still parse.
+        let json = r#"{"tt_ratio":2.0,"max_passes":2,"length_tolerance":1e-5,
+            "newton_max_iters":10,"newton_tolerance":1e-6,
+            "category_rates":[1.0],"category_assignment":null}"#;
+        let back = SearchConfig::from_engine_config_json(json).unwrap();
+        let d = SearchConfig::default();
+        assert_eq!(back.rearrange_radius, d.rearrange_radius);
+        assert_eq!(back.verify_slack, d.verify_slack);
     }
 
     #[test]

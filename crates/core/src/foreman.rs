@@ -27,9 +27,33 @@ pub struct ForemanStats {
     pub duplicates_ignored: u64,
 }
 
+/// What a queued task asks a worker to do: evaluate one candidate tree, or
+/// run a whole jumble. The foreman's scheduling (ready queue, timeouts,
+/// eager requeue, duplicate dedup) is identical for both — only the
+/// dispatched message differs.
+#[derive(Debug, Clone)]
+enum TaskBody {
+    /// One candidate tree as Newick text.
+    Tree(String),
+    /// One whole stepwise-addition search, identified by its jumble seed.
+    Jumble(u64),
+}
+
+impl TaskBody {
+    fn to_message(&self, task: u64) -> Message {
+        match self {
+            TaskBody::Tree(newick) => Message::TreeTask {
+                task,
+                newick: newick.clone(),
+            },
+            TaskBody::Jumble(seed) => Message::JumbleTask { task, seed: *seed },
+        }
+    }
+}
+
 struct InFlight {
     worker: Rank,
-    newick: String,
+    body: TaskBody,
     dispatched_at: Instant,
 }
 
@@ -57,7 +81,7 @@ pub fn run_foreman_observed<T: Transport>(
     obs: Obs,
 ) -> Result<ForemanStats, CommError> {
     let mut stats = ForemanStats::default();
-    let mut work_queue: VecDeque<(u64, String)> = VecDeque::new();
+    let mut work_queue: VecDeque<(u64, TaskBody)> = VecDeque::new();
     let mut ready: VecDeque<Rank> = VecDeque::new();
     let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
     let mut delinquent: HashSet<Rank> = HashSet::new();
@@ -81,24 +105,18 @@ pub fn run_foreman_observed<T: Transport>(
             if delinquent.contains(&worker) {
                 continue;
             }
-            let (task, newick) = work_queue.pop_front().expect("checked non-empty");
-            match transport.send(
-                worker,
-                &Message::TreeTask {
-                    task,
-                    newick: newick.clone(),
-                },
-            ) {
+            let (task, body) = work_queue.pop_front().expect("checked non-empty");
+            match transport.send(worker, &body.to_message(task)) {
                 Ok(()) => {}
                 // A dead link is the network analogue of a delinquent
-                // worker: re-queue the tree immediately instead of waiting
+                // worker: re-queue the task immediately instead of waiting
                 // for the timeout to notice (paper §2.2's recovery path,
                 // triggered eagerly).
                 Err(CommError::Disconnected(_)) => {
                     delinquent.insert(worker);
                     stats.timeouts += 1;
                     monitor(&transport, MonitorEvent::WorkerTimedOut { worker, task });
-                    work_queue.push_front((task, newick));
+                    work_queue.push_front((task, body));
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -107,7 +125,7 @@ pub fn run_foreman_observed<T: Transport>(
                 task,
                 InFlight {
                     worker,
-                    newick,
+                    body,
                     dispatched_at: Instant::now(),
                 },
             );
@@ -134,7 +152,7 @@ pub fn run_foreman_observed<T: Transport>(
                     task,
                 },
             );
-            work_queue.push_back((task, f.newick));
+            work_queue.push_back((task, f.body));
         }
 
         // One queue-depth sample per state change (paper §3: "queue-length
@@ -154,17 +172,28 @@ pub fn run_foreman_observed<T: Transport>(
             Some((from, msg)) => match msg {
                 Message::TreeTask { task, newick } => {
                     debug_assert_eq!(from, ranks::MASTER);
-                    work_queue.push_back((task, newick));
+                    work_queue.push_back((task, TaskBody::Tree(newick)));
                 }
-                Message::WorkerReady => {
-                    ready.push_back(from);
+                Message::JumbleTask { task, seed } => {
+                    debug_assert_eq!(from, ranks::MASTER);
+                    work_queue.push_back((task, TaskBody::Jumble(seed)));
                 }
-                Message::TreeResult {
-                    task,
-                    newick,
-                    ln_likelihood,
-                    work_units,
-                } => {
+                msg @ (Message::TreeResult { .. } | Message::JumbleResult { .. }) => {
+                    let (task, ln_likelihood, work_units) = match &msg {
+                        Message::TreeResult {
+                            task,
+                            ln_likelihood,
+                            work_units,
+                            ..
+                        }
+                        | Message::JumbleResult {
+                            task,
+                            ln_likelihood,
+                            work_units,
+                            ..
+                        } => (*task, *ln_likelihood, *work_units),
+                        _ => unreachable!("outer pattern admits only results"),
+                    };
                     if delinquent.remove(&from) {
                         stats.recoveries += 1;
                         monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
@@ -184,15 +213,7 @@ pub fn run_foreman_observed<T: Transport>(
                             .map(|f| f.dispatched_at.elapsed().as_micros() as u64)
                             .unwrap_or(0);
                         work_queue.retain(|(t, _)| *t != task);
-                        transport.send(
-                            ranks::MASTER,
-                            &Message::TreeResult {
-                                task,
-                                newick,
-                                ln_likelihood,
-                                work_units,
-                            },
-                        )?;
+                        transport.send(ranks::MASTER, &msg)?;
                         stats.results_forwarded += 1;
                         monitor(
                             &transport,
@@ -207,6 +228,9 @@ pub fn run_foreman_observed<T: Transport>(
                     } else {
                         stats.duplicates_ignored += 1;
                     }
+                    ready.push_back(from);
+                }
+                Message::WorkerReady => {
                     ready.push_back(from);
                 }
                 Message::Shutdown => {
@@ -440,6 +464,42 @@ mod tests {
         let stats = f.join().unwrap();
         assert_eq!(stats.timeouts, 1);
         assert_eq!(stats.results_forwarded, 1);
+    }
+
+    #[test]
+    fn jumble_tasks_use_the_same_scheduling_machinery() {
+        let mut ends = universe(4);
+        let worker = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f =
+            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), false).unwrap());
+        worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        master
+            .send(ranks::FOREMAN, &Message::JumbleTask { task: 5, seed: 9 })
+            .unwrap();
+        let (_, msg) = worker.recv().unwrap();
+        assert_eq!(msg, Message::JumbleTask { task: 5, seed: 9 });
+        let result = Message::JumbleResult {
+            task: 5,
+            seed: 9,
+            newick: "(a:1,b:1);".into(),
+            ln_likelihood: -7.0,
+            rounds: 2,
+            candidates: 6,
+            work_units: 11,
+        };
+        worker.send(ranks::FOREMAN, &result).unwrap();
+        // The whole result (seed, rounds, candidates) reaches the master.
+        let (_, msg) = master.recv().unwrap();
+        assert_eq!(msg, result);
+        // A duplicate is ignored, not forwarded twice.
+        worker.send(ranks::FOREMAN, &result).unwrap();
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
+        let stats = f.join().unwrap();
+        assert_eq!(stats.dispatched, 1);
+        assert_eq!(stats.results_forwarded, 1);
+        assert_eq!(stats.duplicates_ignored, 1);
     }
 
     #[test]

@@ -16,13 +16,17 @@
 //!   TCP transport: coordinator, peer, and single-command spawn launchers.
 //! * [`trace`] — dispatch-round traces consumed by the RS/6000 SP
 //!   simulator to regenerate Figures 3 and 4.
-//! * [`checkpoint`] — resumable snapshots of long runs.
+//! * [`checkpoint`] — resumable snapshots of long runs, including the farm
+//!   manifest.
+//! * [`farm`] — the jumble farm: whole random-addition searches sharded
+//!   across the worker pool, streaming into an incremental consensus.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod config;
 pub mod executor;
+pub mod farm;
 pub mod foreman;
 pub mod jumble;
 pub mod master;

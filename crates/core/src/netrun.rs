@@ -12,8 +12,9 @@
 //! on one machine: children are re-invocations of the current executable in
 //! peer mode, connected over loopback.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, FarmManifest};
 use crate::config::SearchConfig;
+use crate::farm::{run_farm_master, FarmOptions, JumbleRun};
 use crate::foreman::{run_foreman_observed, ForemanStats};
 use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor_observed, MonitorReport};
@@ -25,6 +26,7 @@ use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
 use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
 use fdml_phylo::alignment::Alignment;
+use fdml_phylo::consensus::Consensus;
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::phylip;
 use std::path::PathBuf;
@@ -205,6 +207,129 @@ pub fn net_coordinator_search(
     })
 }
 
+/// What a farm coordinator run returns.
+#[derive(Debug)]
+pub struct NetFarmOutcome {
+    /// Per-jumble results in seed order — byte-identical to a serial or
+    /// threads-transport farm with the same configuration.
+    pub runs: Vec<JumbleRun>,
+    /// The majority-rule consensus over all jumbles.
+    pub consensus: Consensus,
+    /// The final manifest (every entry `Done`).
+    pub manifest: FarmManifest,
+    /// End-of-run observability report. `None` when unobserved.
+    pub report: Option<RunReport>,
+    /// Exit statuses of spawned peers (spawn mode only), by rank.
+    pub peer_exits: Vec<(Rank, Option<i32>)>,
+}
+
+/// Run the coordinator as a jumble-farm master: bind the hub, (optionally)
+/// fork peers, then shard whole jumbles across the worker processes via
+/// [`run_farm_master`]. Manifest checkpointing and resume come from
+/// `options`; the peers run the same worker loop as a tree-task search, so
+/// no peer-side flags change.
+#[allow(clippy::too_many_arguments)]
+pub fn net_farm_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    listen: &str,
+    num_ranks: usize,
+    seeds: &[u64],
+    options: &FarmOptions,
+    mut sinks: Vec<Box<dyn Sink>>,
+    spawn: Option<NetSpawn>,
+) -> Result<NetFarmOutcome, PhyloError> {
+    assert!(
+        num_ranks >= 4,
+        "the fully instrumented parallel version requires at least four ranks"
+    );
+    let observing = sinks.iter().any(|s| !s.is_null());
+    let mem = if observing {
+        let mem = MemorySink::new();
+        sinks.push(Box::new(mem.clone()));
+        Some(mem)
+    } else {
+        None
+    };
+    let obs = Obs::multi(sinks);
+    obs.emit(|| Event::RunStarted {
+        ranks: num_ranks,
+        workers: num_ranks - ranks::FIRST_WORKER,
+    });
+
+    let net_cfg = NetConfig {
+        worker_timeout: config.worker_timeout,
+        ..NetConfig::default()
+    };
+    let hub = TcpHub::bind(listen, num_ranks, net_cfg, obs.clone())
+        .map_err(|e| PhyloError::Format(format!("bind {listen}: {e}")))?;
+    let addr = hub.local_addr().to_string();
+
+    let mut children: Vec<(Rank, Child)> = Vec::new();
+    if let Some(spawn) = &spawn {
+        // Sequential spawn, as in `net_coordinator_search`: deterministic
+        // connection order means deterministic rank assignment.
+        for rank in 1..num_ranks {
+            let mut cmd = Command::new(&spawn.program);
+            cmd.arg("--net")
+                .arg("worker")
+                .arg("--connect")
+                .arg(&addr)
+                .stdout(Stdio::null());
+            if spawn.quiet {
+                cmd.arg("--quiet");
+            }
+            if let Some((die_rank, tasks)) = spawn.die_after_tasks {
+                if die_rank == rank {
+                    cmd.arg("--die-after-tasks").arg(tasks.to_string());
+                }
+            }
+            let child = cmd
+                .spawn()
+                .map_err(|e| PhyloError::Format(format!("spawn peer: {e}")))?;
+            children.push((rank, child));
+            let deadline = Instant::now() + READY_TIMEOUT;
+            while hub.connected_peers() < rank {
+                if Instant::now() >= deadline {
+                    reap(&mut children, Duration::ZERO);
+                    return Err(PhyloError::Format(format!(
+                        "spawned peer for rank {rank} never connected"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    hub.wait_ready(READY_TIMEOUT)
+        .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
+
+    let master_end = Recording::new(hub, obs.clone());
+    let parts = run_farm_master(&master_end, alignment, config, seeds, options, &obs);
+    // Shut the universe down regardless of the farm outcome, then keep the
+    // hub alive until the peers acknowledge by disconnecting (see
+    // `net_coordinator_search` for why).
+    let _ = master_end.send(ranks::FOREMAN, &Message::Shutdown);
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let peer_exits = reap(&mut children, Duration::from_secs(30));
+    drop(master_end);
+    let parts = parts?;
+    obs.emit(|| Event::RunFinished {
+        ln_likelihood: parts.best_ln_likelihood(),
+    });
+    obs.flush();
+    let report = mem.map(|m| RunReport::from_events(&m.take()));
+    Ok(NetFarmOutcome {
+        runs: parts.runs,
+        consensus: parts.consensus,
+        manifest: parts.manifest,
+        report,
+        peer_exits,
+    })
+}
+
 /// Collect spawned peers, killing any that outlive `grace`.
 fn reap(children: &mut Vec<(Rank, Child)>, grace: Duration) -> Vec<(Rank, Option<i32>)> {
     let deadline = Instant::now() + grace;
@@ -270,7 +395,7 @@ pub fn run_net_peer(
     Ok((rank, outcome))
 }
 
-/// Chaos wrapper: lets `limit` tree results through, then terminates the
+/// Chaos wrapper: lets `limit` results (tree or jumble) through, then terminates the
 /// whole process before the next one — a genuine worker death, distinct
 /// from [`fdml_comm::fault::FaultyTransport`]'s in-process severance.
 struct DieAfter<T: Transport> {
@@ -299,7 +424,7 @@ impl<T: Transport> Transport for DieAfter<T> {
     }
 
     fn send(&self, to: Rank, msg: &Message) -> Result<(), CommError> {
-        if let Message::TreeResult { .. } = msg {
+        if let Message::TreeResult { .. } | Message::JumbleResult { .. } = msg {
             if self.sent.get() >= self.limit {
                 // Abrupt death: no Goodbye, no flush — the coordinator
                 // must discover it via liveness, exactly like a crashed

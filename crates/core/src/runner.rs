@@ -1,8 +1,10 @@
 //! Entry points: the serial program, the threaded parallel program, and
 //! multi-jumble orchestration.
 
+use crate::checkpoint::FarmManifest;
 use crate::config::SearchConfig;
 use crate::executor::{FullEvalExecutor, ScorerExecutor};
+use crate::farm::{dedup_adjusted, run_farm_master, run_one_jumble, FarmOptions, JumbleRun};
 use crate::foreman::{run_foreman_observed, ForemanStats};
 use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor_observed, MonitorReport};
@@ -10,8 +12,10 @@ use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
 use crate::worker::{ranks, run_worker_observed, WorkerStats};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
+use fdml_comm::message::Message;
 use fdml_comm::recording::Recording;
 use fdml_comm::threads::ThreadUniverse;
+use fdml_comm::transport::Transport;
 use fdml_likelihood::engine::LikelihoodEngine;
 use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
 use fdml_phylo::alignment::Alignment;
@@ -234,23 +238,174 @@ pub fn run_jumbles(
     base_config: &SearchConfig,
     seeds: &[u64],
 ) -> Result<(Vec<SearchResult>, Consensus), PhyloError> {
-    assert!(!seeds.is_empty());
+    // Canonicalize up front: an empty list is a typed error (not a panic),
+    // and seeds that collide after the odd-seed adjustment (e.g. 4 and 5)
+    // would silently run the same jumble twice and double-weight it in the
+    // consensus.
+    let seeds = dedup_adjusted(seeds)?;
     let engine = base_config.build_engine(alignment);
     let mut results = Vec::with_capacity(seeds.len());
-    for &seed in seeds {
-        let config = SearchConfig {
-            jumble_seed: seed,
-            ..base_config.clone()
-        };
-        let executor = ScorerExecutor::new(&engine, config.optimize);
-        let result = StepwiseSearch::new(&config, executor, alignment.num_taxa())
-            .with_names(alignment.names().to_vec())
-            .run()?;
-        results.push(result);
+    for &seed in &seeds {
+        results.push(run_one_jumble(&engine, alignment, base_config, seed)?);
     }
     let trees: Vec<Tree> = results.iter().map(|r| r.tree.clone()).collect();
     let cons = consensus(&trees, alignment.num_taxa(), 0.5, alignment.names())?;
     Ok((results, cons))
+}
+
+/// Everything a threaded farm run returns.
+#[derive(Debug)]
+pub struct FarmOutcome {
+    /// Per-jumble results in seed order — byte-identical to the serial
+    /// farm's regardless of farm width.
+    pub runs: Vec<JumbleRun>,
+    /// The majority-rule consensus over all jumbles.
+    pub consensus: Consensus,
+    /// The final manifest (every entry `Done`).
+    pub manifest: FarmManifest,
+    /// The monitor's aggregated instrumentation.
+    pub monitor: MonitorReport,
+    /// Foreman statistics.
+    pub foreman: ForemanStats,
+    /// Per-worker statistics, indexed by rank.
+    pub workers: HashMap<usize, WorkerStats>,
+    /// The end-of-run observability report — `Some` when the run was
+    /// observed, `None` otherwise.
+    pub report: Option<RunReport>,
+}
+
+/// The threaded jumble farm: whole jumbles sharded across `num_ranks - 3`
+/// worker threads through the foreman (paper §6's many-jumbles workload).
+pub fn farm_search(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seeds: &[u64],
+    num_ranks: usize,
+    options: FarmOptions,
+) -> Result<FarmOutcome, PhyloError> {
+    farm_search_observed(
+        alignment,
+        config,
+        seeds,
+        num_ranks,
+        options,
+        HashMap::new(),
+        Vec::new(),
+    )
+}
+
+/// [`farm_search`] with injected worker faults (keyed by worker rank):
+/// dropped, delayed, or severed jumble results exercise the foreman's
+/// timeout/requeue machinery at farm granularity.
+pub fn farm_search_with_faults(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seeds: &[u64],
+    num_ranks: usize,
+    options: FarmOptions,
+    faults: HashMap<usize, FaultPlan>,
+) -> Result<FarmOutcome, PhyloError> {
+    farm_search_observed(
+        alignment,
+        config,
+        seeds,
+        num_ranks,
+        options,
+        faults,
+        Vec::new(),
+    )
+}
+
+/// [`farm_search`] with full instrumentation, mirroring
+/// [`parallel_search_observed`]: rank 0 runs the farm scheduler instead of
+/// a stepwise search, and the report aggregates `JumbleStarted` /
+/// `JumbleCompleted` / `FarmProgress` events.
+pub fn farm_search_observed(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seeds: &[u64],
+    num_ranks: usize,
+    options: FarmOptions,
+    mut faults: HashMap<usize, FaultPlan>,
+    mut sinks: Vec<Box<dyn Sink>>,
+) -> Result<FarmOutcome, PhyloError> {
+    assert!(
+        num_ranks >= 4,
+        "the fully instrumented parallel version requires at least four ranks"
+    );
+    let observing = sinks.iter().any(|s| !s.is_null());
+    let mem = if observing {
+        let mem = MemorySink::new();
+        sinks.push(Box::new(mem.clone()));
+        Some(mem)
+    } else {
+        None
+    };
+    let obs = Obs::multi(sinks);
+    obs.emit(|| Event::RunStarted {
+        ranks: num_ranks,
+        workers: num_ranks - ranks::FIRST_WORKER,
+    });
+
+    let mut endpoints = ThreadUniverse::create(num_ranks);
+    let mut worker_handles = Vec::new();
+    for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
+        let end = endpoints.remove(rank);
+        let fault = faults.remove(&rank);
+        let worker_obs = obs.clone();
+        let handle = thread::spawn(move || match fault {
+            Some(plan) => run_worker_observed(
+                Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
+                worker_obs,
+            ),
+            None => run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs),
+        });
+        worker_handles.push((rank, handle));
+    }
+    let monitor_end = Recording::new(endpoints.remove(ranks::MONITOR), obs.clone());
+    let foreman_end = Recording::new(endpoints.remove(ranks::FOREMAN), obs.clone());
+    let master_end = Recording::new(endpoints.remove(ranks::MASTER), obs.clone());
+    let timeout = config.worker_timeout;
+    let foreman_obs = obs.clone();
+    let foreman_handle =
+        thread::spawn(move || run_foreman_observed(foreman_end, timeout, true, foreman_obs));
+    let monitor_obs = obs.clone();
+    let monitor_handle = thread::spawn(move || run_monitor_observed(monitor_end, monitor_obs));
+
+    let parts = run_farm_master(&master_end, alignment, config, seeds, &options, &obs);
+    // Shut everything down regardless of the farm outcome.
+    let _ = master_end.send(ranks::FOREMAN, &Message::Shutdown);
+    let foreman = foreman_handle
+        .join()
+        .expect("foreman thread must not panic")
+        .expect("foreman must exit cleanly");
+    let monitor = monitor_handle
+        .join()
+        .expect("monitor thread must not panic")
+        .expect("monitor must exit cleanly");
+    let mut workers = HashMap::new();
+    for (rank, handle) in worker_handles {
+        let stats = handle
+            .join()
+            .expect("worker thread must not panic")
+            .unwrap_or_default();
+        workers.insert(rank, stats);
+    }
+    let parts = parts?;
+    obs.emit(|| Event::RunFinished {
+        ln_likelihood: parts.best_ln_likelihood(),
+    });
+    obs.flush();
+    let report = mem.map(|m| RunReport::from_events(&m.take()));
+    Ok(FarmOutcome {
+        runs: parts.runs,
+        consensus: parts.consensus,
+        manifest: parts.manifest,
+        monitor,
+        foreman,
+        workers,
+        report,
+    })
 }
 
 /// Convenience: build the default engine for an alignment (re-exported for
@@ -517,6 +672,21 @@ mod tests {
         let mut leaves = cons.tree.leaf_names();
         leaves.sort_unstable();
         assert_eq!(leaves.len(), 6);
+    }
+
+    #[test]
+    fn run_jumbles_rejects_empty_and_dedups_colliding_seeds() {
+        let a = alignment();
+        let config = SearchConfig {
+            rearrange_radius: 1,
+            final_radius: 1,
+            ..Default::default()
+        };
+        assert!(run_jumbles(&a, &config, &[]).is_err());
+        // 4 adjusts to 5: one jumble, not the same jumble twice.
+        let (results, cons) = run_jumbles(&a, &config, &[4, 5]).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(cons.num_trees, 1);
     }
 
     #[test]

@@ -96,6 +96,36 @@ pub fn run_worker_observed<T: Transport>(
                     },
                 )?;
             }
+            Message::JumbleTask { task, seed } => {
+                let (alignment, engine, config) = state
+                    .as_ref()
+                    .ok_or_else(|| WorkerError::Protocol("jumble before problem data".into()))?;
+                let started = Instant::now();
+                let result = crate::farm::run_one_jumble(engine, alignment, config, seed)
+                    .map_err(|e| WorkerError::Protocol(format!("jumble {seed}: {e}")))?;
+                let busy_us = started.elapsed().as_micros() as u64;
+                stats.trees_evaluated += 1;
+                stats.work_units += result.work_units;
+                obs.emit(|| Event::WorkerTaskDone {
+                    worker: transport.rank(),
+                    task,
+                    busy_us,
+                    work_units: result.work_units,
+                    pattern_updates: 0,
+                });
+                transport.send(
+                    ranks::FOREMAN,
+                    &Message::JumbleResult {
+                        task,
+                        seed,
+                        newick: newick::write_tree(&result.tree, alignment.names()),
+                        ln_likelihood: result.ln_likelihood,
+                        rounds: result.rounds as u64,
+                        candidates: result.candidates_evaluated as u64,
+                        work_units: result.work_units,
+                    },
+                )?;
+            }
             Message::Shutdown => return Ok(stats),
             other => {
                 return Err(WorkerError::Protocol(format!(
@@ -171,6 +201,53 @@ mod tests {
         foreman_end.send(3, &Message::Shutdown).unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.trees_evaluated, 1);
+    }
+
+    #[test]
+    fn worker_runs_a_whole_jumble() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let (phylip_text, config_json) = problem();
+        foreman_end
+            .send(
+                3,
+                &Message::ProblemData {
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        assert_eq!(msg, Message::WorkerReady);
+        foreman_end
+            .send(3, &Message::JumbleTask { task: 7, seed: 9 })
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        match msg {
+            Message::JumbleResult {
+                task,
+                seed,
+                newick,
+                ln_likelihood,
+                candidates,
+                ..
+            } => {
+                assert_eq!(task, 7);
+                assert_eq!(seed, 9);
+                assert!(ln_likelihood.is_finite() && ln_likelihood < 0.0);
+                // Three taxa admit a single topology, so no candidate
+                // rearrangements are evaluated.
+                assert_eq!(candidates, 0);
+                assert!(newick.contains("t0"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        foreman_end.send(3, &Message::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.trees_evaluated, 1);
+        assert!(stats.work_units > 0);
     }
 
     #[test]

@@ -144,6 +144,34 @@ pub enum Event {
         /// Cumulative reconnects for this rank, this one included.
         reconnects: u64,
     },
+    /// The farm scheduler handed a jumble (one whole random-addition
+    /// search) to the worker pool.
+    JumbleStarted {
+        /// The adjusted jumble seed.
+        seed: u64,
+    },
+    /// A jumble finished and its tree entered the incremental consensus.
+    JumbleCompleted {
+        /// The adjusted jumble seed.
+        seed: u64,
+        /// The jumble's final log-likelihood.
+        ln_likelihood: f64,
+        /// True when the result came from a resumed manifest rather than a
+        /// fresh computation.
+        reused: bool,
+    },
+    /// A farm scheduling state change: how many jumbles are done, running,
+    /// and still queued (the farm's throughput gauge).
+    FarmProgress {
+        /// Jumbles completed so far.
+        completed: usize,
+        /// Jumbles currently dispatched to the pool.
+        in_flight: usize,
+        /// Jumbles not yet dispatched.
+        pending: usize,
+        /// Total jumbles in the farm.
+        total: usize,
+    },
 }
 
 impl Event {
@@ -165,6 +193,9 @@ impl Event {
             Event::NetPeerDisconnected { .. } => "NetPeerDisconnected",
             Event::NetHeartbeatMiss { .. } => "NetHeartbeatMiss",
             Event::NetPeerReconnected { .. } => "NetPeerReconnected",
+            Event::JumbleStarted { .. } => "JumbleStarted",
+            Event::JumbleCompleted { .. } => "JumbleCompleted",
+            Event::FarmProgress { .. } => "FarmProgress",
         }
     }
 }

@@ -60,6 +60,17 @@ pub struct NetPeerStats {
     pub reconnects: u64,
 }
 
+/// One finished jumble of a farm run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JumbleOutcome {
+    /// The adjusted jumble seed.
+    pub seed: u64,
+    /// The jumble's final log-likelihood.
+    pub ln_likelihood: f64,
+    /// True when the result was replayed from a resumed manifest.
+    pub reused: bool,
+}
+
 /// One dispatch round's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundSummary {
@@ -103,6 +114,14 @@ pub struct RunReport {
     /// Per-rank network connection history, sorted by rank. Empty for
     /// in-process (threads transport) runs.
     pub net_peers: Vec<NetPeerStats>,
+    /// Finished jumbles of a farm run, in completion order. Empty for
+    /// single-search runs.
+    #[serde(default)]
+    pub jumbles: Vec<JumbleOutcome>,
+    /// Jumbles the farm dispatched (counting `JumbleStarted` events; a
+    /// reused manifest entry completes without starting).
+    #[serde(default)]
+    pub jumbles_started: u64,
     /// Final log-likelihood, if a `RunFinished` event was seen.
     pub final_ln_likelihood: Option<f64>,
 }
@@ -123,6 +142,8 @@ impl RunReport {
         let mut traffic: BTreeMap<String, KindTraffic> = BTreeMap::new();
         let mut service_us = Histogram::new();
         let mut rounds = Vec::new();
+        let mut jumbles = Vec::new();
+        let mut jumbles_started = 0u64;
         let mut final_ln_likelihood = None;
         // worker → (tasks, busy_us, work_units, pattern_updates)
         let mut per_worker: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
@@ -202,6 +223,19 @@ impl RunReport {
                     e.rank = *rank;
                     e.reconnects = (*reconnects).max(e.reconnects + 1);
                 }
+                Event::JumbleStarted { .. } => jumbles_started += 1,
+                Event::JumbleCompleted {
+                    seed,
+                    ln_likelihood,
+                    reused,
+                } => jumbles.push(JumbleOutcome {
+                    seed: *seed,
+                    ln_likelihood: *ln_likelihood,
+                    reused: *reused,
+                }),
+                // Farm progress is a gauge stream; the report keeps the
+                // completion list instead of every sample.
+                Event::FarmProgress { .. } => {}
             }
         }
 
@@ -243,6 +277,8 @@ impl RunReport {
             service_us,
             rounds,
             net_peers: net.into_values().collect(),
+            jumbles,
+            jumbles_started,
             final_ln_likelihood,
         }
     }
@@ -331,6 +367,23 @@ impl fmt::Display for RunReport {
                     f,
                     "    round {:>3}: {:>4} candidates, best lnL {:.4}",
                     r.round, r.candidates, r.best_ln_likelihood
+                )?;
+            }
+        }
+        if !self.jumbles.is_empty() {
+            writeln!(
+                f,
+                "  jumbles ({} completed, {} dispatched):",
+                self.jumbles.len(),
+                self.jumbles_started
+            )?;
+            for j in &self.jumbles {
+                writeln!(
+                    f,
+                    "    seed {:>6}: lnL {:.4}{}",
+                    j.seed,
+                    j.ln_likelihood,
+                    if j.reused { " (resumed)" } else { "" }
                 )?;
             }
         }
@@ -561,6 +614,52 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.net_peers, report.net_peers);
+    }
+
+    #[test]
+    fn farm_events_aggregate_into_jumble_list() {
+        let records = vec![
+            rec(0, Event::JumbleStarted { seed: 3 }),
+            rec(1, Event::JumbleStarted { seed: 5 }),
+            rec(
+                2,
+                Event::FarmProgress {
+                    completed: 0,
+                    in_flight: 2,
+                    pending: 1,
+                    total: 3,
+                },
+            ),
+            rec(
+                10,
+                Event::JumbleCompleted {
+                    seed: 5,
+                    ln_likelihood: -42.5,
+                    reused: false,
+                },
+            ),
+            rec(
+                11,
+                Event::JumbleCompleted {
+                    seed: 1,
+                    ln_likelihood: -43.0,
+                    reused: true,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        assert_eq!(report.jumbles_started, 2);
+        assert_eq!(report.jumbles.len(), 2);
+        assert_eq!(report.jumbles[0].seed, 5);
+        assert!(report.jumbles[1].reused);
+        let text = report.to_string();
+        assert!(text.contains("jumbles (2 completed, 2 dispatched)"));
+        assert!(text.contains("(resumed)"));
+        // Round-trips, and a report serialized before the farm fields
+        // existed still parses.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

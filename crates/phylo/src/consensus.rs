@@ -46,41 +46,89 @@ pub fn consensus(
     fraction: f64,
     names: &[String],
 ) -> Result<Consensus, PhyloError> {
-    if trees.is_empty() {
-        return Err(PhyloError::InvalidTreeOp("consensus of zero trees".into()));
-    }
-    if fraction < 0.5 {
-        return Err(PhyloError::InvalidTreeOp(
-            "consensus threshold below 0.5 can produce incompatible splits".into(),
-        ));
-    }
+    let mut acc = ConsensusAccumulator::new(num_taxa, fraction, names.to_vec())?;
     for t in trees {
-        if t.num_tips() != num_taxa {
+        acc.add_tree(t)?;
+    }
+    acc.consensus()
+}
+
+/// An online majority-rule consensus: trees stream in one at a time (in any
+/// order — the result is order-independent), and [`consensus`](ConsensusAccumulator::consensus)
+/// snapshots the current consensus at any point. This is what lets a jumble
+/// farm publish the consensus the moment the last jumble lands, instead of
+/// re-walking every stored tree.
+#[derive(Debug, Clone)]
+pub struct ConsensusAccumulator {
+    counter: SplitCounter,
+    num_taxa: usize,
+    fraction: f64,
+    names: Vec<String>,
+}
+
+impl ConsensusAccumulator {
+    /// An empty accumulator over `num_taxa` taxa with the given support
+    /// threshold (≥ 0.5, or the selected splits may be incompatible).
+    pub fn new(
+        num_taxa: usize,
+        fraction: f64,
+        names: Vec<String>,
+    ) -> Result<ConsensusAccumulator, PhyloError> {
+        if fraction < 0.5 {
+            return Err(PhyloError::InvalidTreeOp(
+                "consensus threshold below 0.5 can produce incompatible splits".into(),
+            ));
+        }
+        Ok(ConsensusAccumulator {
+            counter: SplitCounter::new(),
+            num_taxa,
+            fraction,
+            names,
+        })
+    }
+
+    /// Fold one tree into the running bipartition counts.
+    pub fn add_tree(&mut self, tree: &Tree) -> Result<(), PhyloError> {
+        if tree.num_tips() != self.num_taxa {
             return Err(PhyloError::InvalidTreeOp(format!(
-                "tree has {} taxa, expected {num_taxa}",
-                t.num_tips()
+                "tree has {} taxa, expected {}",
+                tree.num_tips(),
+                self.num_taxa
             )));
         }
+        self.counter.add_tree(tree, self.num_taxa);
+        Ok(())
     }
-    let mut counter = SplitCounter::new();
-    for t in trees {
-        counter.add_tree(t, num_taxa);
+
+    /// Trees accumulated so far.
+    pub fn num_trees(&self) -> usize {
+        self.counter.num_trees()
     }
-    let raw = counter.splits_above(fraction);
-    let splits: Vec<SupportedSplit> = raw
-        .into_iter()
-        .map(|(split, count)| SupportedSplit {
-            split,
-            count,
-            support: count as f64 / trees.len() as f64,
+
+    /// Snapshot the consensus of everything accumulated so far. Agrees
+    /// exactly with the batch [`consensus`] of the same trees.
+    pub fn consensus(&self) -> Result<Consensus, PhyloError> {
+        let num_trees = self.counter.num_trees();
+        if num_trees == 0 {
+            return Err(PhyloError::InvalidTreeOp("consensus of zero trees".into()));
+        }
+        let splits: Vec<SupportedSplit> = self
+            .counter
+            .splits_above(self.fraction)
+            .into_iter()
+            .map(|(split, count)| SupportedSplit {
+                split,
+                count,
+                support: count as f64 / num_trees as f64,
+            })
+            .collect();
+        let tree = assemble(&splits, self.num_taxa, num_trees, &self.names);
+        Ok(Consensus {
+            splits,
+            num_trees,
+            tree,
         })
-        .collect();
-    let tree = assemble(&splits, num_taxa, trees.len(), names);
-    Ok(Consensus {
-        splits,
-        num_trees: trees.len(),
-        tree,
-    })
+    }
 }
 
 /// Assemble compatible splits into a rooted multifurcating AST.
@@ -258,6 +306,26 @@ mod tests {
         // Serializes and reparses cleanly.
         let text = crate::newick::write(&c.tree);
         crate::newick::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn accumulator_matches_batch_at_every_prefix() {
+        let trees = [quartet(2), quartet(1), quartet(2), quartet(0), quartet(2)];
+        let mut acc = ConsensusAccumulator::new(4, 0.5, names(4)).unwrap();
+        for (i, t) in trees.iter().enumerate() {
+            acc.add_tree(t).unwrap();
+            let batch = consensus(&trees[..=i], 4, 0.5, &names(4)).unwrap();
+            assert_eq!(acc.consensus().unwrap(), batch, "prefix of {} trees", i + 1);
+        }
+        assert_eq!(acc.num_trees(), 5);
+    }
+
+    #[test]
+    fn accumulator_rejects_bad_input() {
+        assert!(ConsensusAccumulator::new(4, 0.3, names(4)).is_err());
+        let mut acc = ConsensusAccumulator::new(4, 0.5, names(4)).unwrap();
+        assert!(acc.consensus().is_err(), "zero trees must be an error");
+        assert!(acc.add_tree(&Tree::triplet(0, 1, 2)).is_err());
     }
 
     #[test]

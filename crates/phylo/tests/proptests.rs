@@ -2,6 +2,7 @@
 
 use fdml_phylo::alignment::TaxonId;
 use fdml_phylo::bipartition::{topology_fingerprint, Bipartition, SplitSet};
+use fdml_phylo::consensus::{consensus, ConsensusAccumulator};
 use fdml_phylo::newick;
 use fdml_phylo::ops::{enumerate_spr_moves, nni_count};
 use fdml_phylo::tree::Tree;
@@ -132,6 +133,73 @@ proptest! {
         let same_splits = SplitSet::of_tree(&a, taxa) == SplitSet::of_tree(&b, taxa);
         let same_fp = topology_fingerprint(&a) == topology_fingerprint(&b);
         prop_assert_eq!(same_splits, same_fp);
+    }
+
+    #[test]
+    fn consensus_of_identical_trees_is_that_tree(
+        taxa in 4usize..16,
+        seed in 0u64..5_000,
+        copies in 1usize..8,
+    ) {
+        // k copies of one tree: every internal split of the tree appears in
+        // the consensus at 100% support, and nothing else does.
+        let tree = random_tree_by_insertion(taxa, seed);
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let trees = vec![tree.clone(); copies];
+        let cons = consensus(&trees, taxa, 0.5, &names).unwrap();
+        prop_assert_eq!(cons.num_trees, copies);
+        let expected: std::collections::HashSet<_> =
+            SplitSet::of_tree(&tree, taxa).splits().iter().cloned().collect();
+        let got: std::collections::HashSet<_> =
+            cons.splits.iter().map(|s| s.split.clone()).collect();
+        prop_assert_eq!(got, expected);
+        for s in &cons.splits {
+            prop_assert_eq!(s.count, copies);
+            prop_assert!((s.support - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn consensus_is_invariant_under_tree_order(
+        taxa in 4usize..14,
+        seed in 0u64..5_000,
+        num_trees in 2usize..7,
+        rot in 1usize..6,
+    ) {
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let trees: Vec<Tree> = (0..num_trees)
+            .map(|i| random_tree_by_insertion(taxa, seed.wrapping_add(i as u64)))
+            .collect();
+        // Any rotation of the input list: same splits, same rendered tree.
+        let mut permuted = trees.clone();
+        permuted.rotate_left(rot % num_trees);
+        let a = consensus(&trees, taxa, 0.5, &names).unwrap();
+        let b = consensus(&permuted, taxa, 0.5, &names).unwrap();
+        prop_assert_eq!(&a.splits, &b.splits);
+        prop_assert_eq!(newick::write(&a.tree), newick::write(&b.tree));
+    }
+
+    #[test]
+    fn incremental_accumulator_agrees_with_batch(
+        taxa in 4usize..14,
+        seed in 0u64..5_000,
+        num_trees in 1usize..7,
+    ) {
+        let names: Vec<String> = (0..taxa).map(|i| format!("t{i}")).collect();
+        let trees: Vec<Tree> = (0..num_trees)
+            .map(|i| random_tree_by_insertion(taxa, seed.wrapping_add(i as u64)))
+            .collect();
+        // Streaming the trees one at a time matches the batch computation
+        // at *every* prefix, not just the end.
+        let mut acc = ConsensusAccumulator::new(taxa, 0.5, names.clone()).unwrap();
+        for (i, t) in trees.iter().enumerate() {
+            acc.add_tree(t).unwrap();
+            prop_assert_eq!(acc.num_trees(), i + 1);
+            let streamed = acc.consensus().unwrap();
+            let batch = consensus(&trees[..=i], taxa, 0.5, &names).unwrap();
+            prop_assert_eq!(&streamed.splits, &batch.splits);
+            prop_assert_eq!(newick::write(&streamed.tree), newick::write(&batch.tree));
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!   --input FILE         PHYLIP (or FASTA with --fasta) alignment   [required]
 //!   --jumble SEED        random addition-order seed                 [1]
 //!   --jumbles N          number of random orderings to analyze      [1]
+//!   --farm-width W       max jumbles in flight at once (0 = all)    [0]
+//!   --jumble-trees FILE  write every jumble's tree, one per line
 //!   --radius K           vertices crossed in local rearrangements   [1]
 //!   --final-radius K     vertices crossed in the final pass         [= radius]
 //!   --tt-ratio R         transition/transversion ratio              [2.0]
@@ -29,8 +31,10 @@
 //!   --user-trees FILE    evaluate the Newick trees in FILE, no search
 //!   --checkpoint FILE    write a resumable checkpoint after every step
 //!                        (--checkpoint-out is an alias; also honoured by
-//!                        the --net coordinator/spawn modes)
-//!   --resume FILE        resume a single-jumble run from a checkpoint
+//!                        the --net coordinator/spawn modes; with
+//!                        --jumbles > 1 it is the farm manifest)
+//!   --resume FILE        resume a single-jumble run from a checkpoint,
+//!                        or a farm from its manifest (--jumbles > 1)
 //!   --outgroup T1,T2     root the output tree on this outgroup clade
 //!   --midpoint           midpoint-root the output tree
 //!   --output FILE        write the best tree / consensus ("-" = stdout)
@@ -38,15 +42,18 @@
 //!   --quiet              suppress progress output
 //! ```
 
-use fastdnaml::core::checkpoint::Checkpoint;
+use fastdnaml::core::checkpoint::{Checkpoint, FarmManifest};
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::executor::ScorerExecutor;
-use fastdnaml::core::netrun::{net_coordinator_search, run_net_peer, NetSpawn};
+use fastdnaml::core::farm::{plan_seeds, serial_farm, FarmOptions, JumbleRun};
+use fastdnaml::core::netrun::{net_coordinator_search, net_farm_search, run_net_peer, NetSpawn};
 use fastdnaml::core::runner::{
-    bootstrap_analysis, evaluate_user_trees, parallel_search_observed, run_jumbles, serial_search,
+    bootstrap_analysis, evaluate_user_trees, farm_search_observed, parallel_search_observed,
+    serial_search,
 };
 use fastdnaml::core::search::StepwiseSearch;
-use fastdnaml::obs::{JsonlSink, MemorySink, Sink};
+use fastdnaml::obs::{JsonlSink, MemorySink, Obs, RunReport, Sink};
+use fastdnaml::phylo::consensus::Consensus;
 use fastdnaml::phylo::{fasta, newick, phylip};
 use fastdnaml::rates::{categorize, estimate_rates, RateGrid};
 use std::collections::HashMap;
@@ -90,6 +97,8 @@ fastdnaml --input data.phy [options]
   --input FILE         PHYLIP (or FASTA with --fasta) alignment   [required]
   --jumble SEED        random addition-order seed                 [1]
   --jumbles N          number of random orderings to analyze      [1]
+  --farm-width W       max jumbles in flight at once (0 = all)    [0]
+  --jumble-trees FILE  write every jumble's tree, one per line
   --radius K           vertices crossed in local rearrangements   [1]
   --final-radius K     vertices crossed in the final pass         [= radius]
   --tt-ratio R         transition/transversion ratio              [2.0]
@@ -109,8 +118,10 @@ fastdnaml --input data.phy [options]
   --user-trees FILE    evaluate the Newick trees in FILE, no search
   --checkpoint FILE    write a resumable checkpoint after every step
                        (--checkpoint-out is an alias; also honoured by
-                       the --net coordinator/spawn modes)
-  --resume FILE        resume a single-jumble run from a checkpoint
+                       the --net coordinator/spawn modes; with
+                       --jumbles > 1 it is the farm manifest)
+  --resume FILE        resume a single-jumble run from a checkpoint,
+                       or a farm from its manifest (--jumbles > 1)
   --outgroup T1,T2     root the output tree on this outgroup clade
   --midpoint           midpoint-root the output tree
   --output FILE        write the best tree / consensus (\"-\" = stdout)
@@ -306,28 +317,154 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Multiple jumbles → consensus.
-    let jumbles: usize = get(&args, "jumbles", 1);
-    if jumbles > 1 {
-        let seeds: Vec<u64> = (0..jumbles as u64)
-            .map(|i| config.jumble_seed + 2 * i)
-            .collect();
-        let (results, cons) = run_jumbles(&alignment, &config, &seeds).expect("jumbles");
-        for (seed, r) in seeds.iter().zip(&results) {
-            if !quiet {
-                eprintln!("fastdnaml: jumble {seed}: lnL {:.4}", r.ln_likelihood);
-            }
-        }
-        emit(&newick::write(&cons.tree));
-        return ExitCode::SUCCESS;
-    }
-
-    // Checkpoint / resume apply to both the serial search and the net
-    // coordinator (rank 0 carries all the search state either way).
+    // Checkpoint / resume apply to the serial search, the net coordinator
+    // (rank 0 carries all the search state either way), and the jumble farm
+    // (where the file is a farm manifest instead of a search checkpoint).
     let checkpoint_path = args
         .get("checkpoint-out")
         .or_else(|| args.get("checkpoint"))
         .cloned();
+
+    // Multiple jumbles → the jumble farm: serial, threaded (--parallel), or
+    // multi-process (--net), with an incremental majority-rule consensus
+    // and a resumable manifest.
+    let jumbles: usize = get(&args, "jumbles", 1);
+    if jumbles > 1 {
+        let seeds = plan_seeds(config.jumble_seed, jumbles).expect("plan seeds");
+        let farm_options = FarmOptions {
+            width: get(&args, "farm-width", 0),
+            manifest_path: checkpoint_path.clone().map(std::path::PathBuf::from),
+            resume: args.get("resume").map(|path| {
+                FarmManifest::from_json(&std::fs::read_to_string(path).expect("read farm manifest"))
+                    .expect("parse farm manifest")
+            }),
+        };
+        let obs_summary = flags.iter().any(|f| f == "obs-summary");
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        if let Some(path) = args.get("obs-out") {
+            sinks.push(Box::new(
+                JsonlSink::create(path).unwrap_or_else(|e| panic!("--obs-out {path}: {e}")),
+            ));
+        }
+        if obs_summary && sinks.is_empty() {
+            sinks.push(Box::new(MemorySink::new()));
+        }
+        let (runs, cons, report): (Vec<JumbleRun>, Consensus, Option<RunReport>) =
+            if let Some(mode) = args.get("net").map(String::as_str) {
+                if mode != "coordinator" && mode != "spawn" {
+                    eprintln!(
+                        "fastdnaml: unknown --net mode {mode:?} (coordinator | worker | spawn N)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                let ranks: usize = get(&args, "ranks", 4);
+                let listen = args
+                    .get("listen")
+                    .map(String::as_str)
+                    .unwrap_or("127.0.0.1:0");
+                let spawn = if mode == "spawn" {
+                    let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
+                    let die_tasks = args
+                        .get("die-after-tasks")
+                        .and_then(|v| v.parse::<u64>().ok());
+                    Some(NetSpawn {
+                        program: std::env::current_exe().expect("current executable path"),
+                        die_after_tasks: die_rank.zip(die_tasks),
+                        quiet,
+                    })
+                } else {
+                    None
+                };
+                if !quiet {
+                    eprintln!(
+                        "fastdnaml: net {mode} farm: {} jumbles over {ranks} ranks via {listen}",
+                        seeds.len()
+                    );
+                }
+                let outcome = net_farm_search(
+                    &alignment,
+                    &config,
+                    listen,
+                    ranks,
+                    &seeds,
+                    &farm_options,
+                    sinks,
+                    spawn,
+                )
+                .expect("net farm search");
+                if !quiet {
+                    for (rank, code) in &outcome.peer_exits {
+                        if *code != Some(0) {
+                            eprintln!("fastdnaml: peer rank {rank} exited with {code:?}");
+                        }
+                    }
+                }
+                (outcome.runs, outcome.consensus, outcome.report)
+            } else if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
+                let outcome = farm_search_observed(
+                    &alignment,
+                    &config,
+                    &seeds,
+                    ranks,
+                    farm_options,
+                    HashMap::new(),
+                    sinks,
+                )
+                .expect("farm search");
+                (outcome.runs, outcome.consensus, outcome.report)
+            } else {
+                let observing = sinks.iter().any(|s| !s.is_null());
+                let mem = if observing {
+                    let mem = MemorySink::new();
+                    sinks.push(Box::new(mem.clone()));
+                    Some(mem)
+                } else {
+                    None
+                };
+                let obs = Obs::multi(sinks);
+                let parts =
+                    serial_farm(&alignment, &config, &seeds, &farm_options, &obs).expect("farm");
+                obs.flush();
+                let report = mem.map(|m| RunReport::from_events(&m.take()));
+                (parts.runs, parts.consensus, report)
+            };
+        if obs_summary {
+            match &report {
+                Some(report) => println!("{report}"),
+                None => eprintln!("fastdnaml: no observability data collected"),
+            }
+        }
+        if !quiet {
+            for r in &runs {
+                eprintln!(
+                    "fastdnaml: jumble {}: lnL {:.4}{}",
+                    r.seed,
+                    r.ln_likelihood,
+                    if r.reused { " (resumed)" } else { "" }
+                );
+            }
+        }
+        // The determinism artifact: every jumble's tree, verbatim as the
+        // search produced it, one per line in seed order.
+        if let Some(path) = args.get("jumble-trees") {
+            let mut text = String::new();
+            for r in &runs {
+                text.push_str(&r.newick);
+                text.push('\n');
+            }
+            std::fs::write(path, text).expect("write jumble trees");
+        }
+        emit(&newick::write(&cons.tree));
+        if !quiet {
+            eprintln!(
+                "fastdnaml: consensus of {} jumbles has {} splits above 50%",
+                runs.len(),
+                cons.splits.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let resume_checkpoint = args.get("resume").map(|path| {
         Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
             .expect("parse checkpoint")
