@@ -1,6 +1,48 @@
 #!/bin/sh
 # The full local CI gate: build, tests, formatting, lints.
+#
+#   ./ci.sh         the whole gate (includes the chaos smoke)
+#   ./ci.sh chaos   just the fault-injection smoke: the seeded soak matrix
+#                   plus a killed-and-supervised TCP worker, with the final
+#                   tree compared byte-for-byte against the fault-free run
 set -eux
+
+SMOKE=target/net_smoke
+
+write_smoke_data() {
+  mkdir -p "$SMOKE"
+  printf '%s\n' \
+    '6 40' \
+    't0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT' \
+    't1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT' \
+    't2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT' \
+    't3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT' \
+    't4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA' \
+    't5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA' \
+    > "$SMOKE/data.phy"
+}
+
+chaos_smoke() {
+  # The in-process soak: seeded drop/delay/duplicate/corrupt/kill schedules
+  # must reproduce the fault-free tree and likelihood bit for bit.
+  cargo test -q --test chaos_soak
+  # Process-level chaos over TCP: worker rank 4 calls process::exit
+  # mid-search and the supervisor re-forks it; the self-healing run must
+  # emit the identical tree to the undisturbed one.
+  cargo build --release
+  write_smoke_data
+  ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 5 --quiet \
+    --output "$SMOKE/chaos_clean.nwk"
+  ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 5 --quiet \
+    --supervise --die-rank 4 --die-after-tasks 2 --worker-timeout-ms 300 \
+    --output "$SMOKE/chaos_faulty.nwk"
+  cmp "$SMOKE/chaos_clean.nwk" "$SMOKE/chaos_faulty.nwk"
+}
+
+if [ "${1:-all}" = "chaos" ]; then
+  chaos_smoke
+  exit 0
+fi
 
 cargo build --release
 cargo test -q
@@ -17,17 +59,7 @@ cargo run --release -p fdml-bench --bin kernel_report -- --quick --out target/be
 # Multi-process smoke: a 4-rank TCP deployment (one OS process per rank,
 # loopback) must emit the identical tree, byte for byte, to the threaded
 # in-process run of the same search.
-SMOKE=target/net_smoke
-mkdir -p "$SMOKE"
-printf '%s\n' \
-  '6 40' \
-  't0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT' \
-  't1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT' \
-  't2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT' \
-  't3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT' \
-  't4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA' \
-  't5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA' \
-  > "$SMOKE/data.phy"
+write_smoke_data
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --quiet --output "$SMOKE/net.nwk"
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet --output "$SMOKE/threads.nwk"
 cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
@@ -41,3 +73,6 @@ cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
   --jumble-trees "$SMOKE/farm_thr_trees.txt" --output "$SMOKE/farm_thr.nwk"
 cmp "$SMOKE/farm_net_trees.txt" "$SMOKE/farm_thr_trees.txt"
 cmp "$SMOKE/farm_net.nwk" "$SMOKE/farm_thr.nwk"
+
+# Fault-injection smoke rides the default gate too.
+chaos_smoke

@@ -29,7 +29,7 @@ pub mod recording;
 pub mod threads;
 pub mod transport;
 
-pub use message::{Message, MessageKind, MonitorEvent};
+pub use message::{Message, MessageKind, MonitorEvent, TaskPayload};
 pub use recording::Recording;
 pub use threads::ThreadUniverse;
 pub use transport::{ranks, CommError, Rank, Transport};

@@ -65,6 +65,23 @@ pub enum MonitorEvent {
     },
 }
 
+/// The payload of one unit of work, detached from its routing envelope.
+/// Carried inside [`Message::Quarantined`] so the master can evaluate a
+/// poisoned task locally with the same inputs the workers saw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskPayload {
+    /// A single candidate tree (the payload of a [`Message::TreeTask`]).
+    Tree {
+        /// The candidate tree as Newick text.
+        newick: String,
+    },
+    /// A whole jumble (the payload of a [`Message::JumbleTask`]).
+    Jumble {
+        /// The adjusted jumble seed.
+        seed: u64,
+    },
+}
+
 /// Messages exchanged between master, foreman, workers, and monitor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
@@ -127,6 +144,47 @@ pub enum Message {
     },
     /// Instrumentation, routed to the monitor rank.
     Monitor(MonitorEvent),
+    /// Transport → foreman: a worker rank was lost (connection dropped,
+    /// corrupt frame, or process death). The foreman eagerly requeues the
+    /// rank's in-flight task instead of waiting out the timeout. Never
+    /// routed to workers.
+    PeerDown {
+        /// The lost worker's rank.
+        rank: usize,
+    },
+    /// Transport → foreman: a previously lost worker rank rejoined (a
+    /// reconnect or a supervisor respawn re-admitted through the
+    /// Hello/Welcome path). The foreman re-broadcasts the problem data so
+    /// the fresh process can rebuild its engine. Never routed to workers.
+    PeerUp {
+        /// The returning worker's rank.
+        rank: usize,
+    },
+    /// Foreman → master: a task exhausted its failure budget across
+    /// distinct workers and was pulled from the queue; the master must
+    /// evaluate it locally as a last resort.
+    Quarantined {
+        /// Task id of the poisoned task.
+        task: u64,
+        /// Distinct workers that failed it before quarantine.
+        failures: u64,
+        /// The work itself, so the master can redo it locally.
+        payload: TaskPayload,
+    },
+    /// Foreman → master: the run cannot continue (every worker is dead
+    /// with work still outstanding). The master surfaces a typed error and
+    /// leaves the last checkpoint on disk.
+    Abort {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Foreman → worker: a liveness probe. A delinquent worker gets no new
+    /// work, so without a probe a silently dead one would never be
+    /// discovered (nothing is ever sent to it again) and an idle-but-alive
+    /// one would never be re-admitted. The worker answers with
+    /// [`Message::WorkerReady`]; on the threaded transport a dead endpoint
+    /// fails the send instead.
+    Ping,
     /// Orderly shutdown of a worker or the monitor.
     Shutdown,
 }
@@ -150,6 +208,16 @@ pub enum MessageKind {
     JumbleResult,
     /// [`Message::Monitor`].
     Monitor,
+    /// [`Message::PeerDown`].
+    PeerDown,
+    /// [`Message::PeerUp`].
+    PeerUp,
+    /// [`Message::Quarantined`].
+    Quarantined,
+    /// [`Message::Abort`].
+    Abort,
+    /// [`Message::Ping`].
+    Ping,
     /// [`Message::Shutdown`].
     Shutdown,
 }
@@ -165,6 +233,11 @@ impl MessageKind {
             MessageKind::JumbleTask => "JumbleTask",
             MessageKind::JumbleResult => "JumbleResult",
             MessageKind::Monitor => "Monitor",
+            MessageKind::PeerDown => "PeerDown",
+            MessageKind::PeerUp => "PeerUp",
+            MessageKind::Quarantined => "Quarantined",
+            MessageKind::Abort => "Abort",
+            MessageKind::Ping => "Ping",
             MessageKind::Shutdown => "Shutdown",
         }
     }
@@ -187,6 +260,11 @@ impl Message {
             Message::JumbleTask { .. } => MessageKind::JumbleTask,
             Message::JumbleResult { .. } => MessageKind::JumbleResult,
             Message::Monitor(_) => MessageKind::Monitor,
+            Message::PeerDown { .. } => MessageKind::PeerDown,
+            Message::PeerUp { .. } => MessageKind::PeerUp,
+            Message::Quarantined { .. } => MessageKind::Quarantined,
+            Message::Abort { .. } => MessageKind::Abort,
+            Message::Ping => MessageKind::Ping,
             Message::Shutdown => MessageKind::Shutdown,
         }
     }
@@ -205,6 +283,15 @@ impl Message {
             Message::JumbleTask { .. } => 32,
             Message::JumbleResult { newick, .. } => newick.len() + 64,
             Message::Monitor(_) => 64,
+            Message::PeerDown { .. } | Message::PeerUp { .. } => 24,
+            Message::Quarantined { payload, .. } => {
+                32 + match payload {
+                    TaskPayload::Tree { newick } => newick.len() + 8,
+                    TaskPayload::Jumble { .. } => 16,
+                }
+            }
+            Message::Abort { reason } => reason.len() + 16,
+            Message::Ping => 16,
             Message::Shutdown => 16,
         }
     }
@@ -248,6 +335,24 @@ mod tests {
                 best_ln_likelihood: -100.0,
                 best_newick: "(a,b);".into(),
             }),
+            Message::PeerDown { rank: 4 },
+            Message::PeerUp { rank: 4 },
+            Message::Quarantined {
+                task: 9,
+                failures: 3,
+                payload: TaskPayload::Tree {
+                    newick: "(a:1,b:2);".into(),
+                },
+            },
+            Message::Quarantined {
+                task: 10,
+                failures: 3,
+                payload: TaskPayload::Jumble { seed: 17 },
+            },
+            Message::Abort {
+                reason: "all workers dead".into(),
+            },
+            Message::Ping,
             Message::Shutdown,
         ];
         for m in msgs {
@@ -263,6 +368,10 @@ mod tests {
         assert_eq!(Message::WorkerReady.kind().name(), "WorkerReady");
         assert_eq!(Message::Shutdown.kind().name(), "Shutdown");
         assert_eq!(MessageKind::TreeResult.to_string(), "TreeResult");
+        assert_eq!(Message::PeerDown { rank: 3 }.kind().name(), "PeerDown");
+        assert_eq!(Message::PeerUp { rank: 3 }.kind().name(), "PeerUp");
+        assert_eq!(MessageKind::Quarantined.name(), "Quarantined");
+        assert_eq!(MessageKind::Abort.name(), "Abort");
     }
 
     #[test]

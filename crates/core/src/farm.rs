@@ -323,15 +323,15 @@ pub fn run_farm_master<T: Transport>(
     obs: &Obs,
 ) -> Result<FarmParts, PhyloError> {
     for rank in ranks::FIRST_WORKER..transport.size() {
-        transport
-            .send(
-                rank,
-                &Message::ProblemData {
-                    phylip: phylip::write(alignment),
-                    config_json: config.engine_config_json(),
-                },
-            )
-            .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
+        // Best-effort: a worker that died before the broadcast is the
+        // foreman's problem (eager requeue / all-dead abort), not ours.
+        let _ = transport.send(
+            rank,
+            &Message::ProblemData {
+                phylip: phylip::write(alignment),
+                config_json: config.engine_config_json(),
+            },
+        );
     }
     let (mut manifest, mut runs, mut acc, todo) = prepare(alignment, seeds, options, obs)?;
     let total = manifest.entries.len();
@@ -343,6 +343,8 @@ pub fn run_farm_master<T: Transport>(
     let mut pending: VecDeque<u64> = todo.into();
     let mut in_flight: usize = 0;
     let mut next_task: u64 = 0;
+    // Built only if the foreman quarantines a jumble.
+    let mut local_engine: Option<LikelihoodEngine> = None;
     macro_rules! dispatch_up_to_width {
         () => {
             while in_flight < width {
@@ -410,6 +412,56 @@ pub fn run_farm_master<T: Transport>(
                     },
                 )?;
                 dispatch_up_to_width!();
+            }
+            Message::Quarantined { payload, .. } => {
+                // The foreman exhausted this jumble's failure budget across
+                // distinct workers; run it here. Same `run_one_jumble` the
+                // workers call, so the tree is byte-identical.
+                let fdml_comm::message::TaskPayload::Jumble { seed } = payload else {
+                    continue;
+                };
+                if runs.contains_key(&seed) {
+                    continue;
+                }
+                let engine = local_engine.get_or_insert_with(|| config.build_engine(alignment));
+                let result = run_one_jumble(engine, alignment, config, seed)?;
+                in_flight -= 1;
+                absorb(
+                    alignment,
+                    options,
+                    &mut manifest,
+                    &mut runs,
+                    &mut acc,
+                    obs,
+                    JumbleRun {
+                        seed,
+                        newick: newick::write_tree(&result.tree, alignment.names()),
+                        ln_likelihood: result.ln_likelihood,
+                        rounds: result.rounds as u64,
+                        candidates: result.candidates_evaluated as u64,
+                        work_units: result.work_units,
+                        reused: false,
+                    },
+                )?;
+                dispatch_up_to_width!();
+            }
+            Message::Abort { reason } => {
+                // The manifest on disk is still valid (write-then-rename
+                // after every completion), so the run is resumable.
+                return Err(PhyloError::Format(format!("farm aborted: {reason}")));
+            }
+            // Transport-synthesized liveness: a departed worker is the
+            // foreman's problem; a (re)joined worker needs the problem data
+            // before it can serve jumbles.
+            Message::PeerDown { .. } => {}
+            Message::PeerUp { rank } => {
+                let _ = transport.send(
+                    rank,
+                    &Message::ProblemData {
+                        phylip: phylip::write(alignment),
+                        config_json: config.engine_config_json(),
+                    },
+                );
             }
             other => {
                 debug_assert!(false, "farm master got unexpected {}", other.kind());

@@ -6,11 +6,54 @@
 //! tolerance)."
 
 use crate::worker::ranks;
-use fdml_comm::message::{Message, MonitorEvent};
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload};
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// How many *distinct* workers may fail a task (timeout or disconnect
+/// while holding it) before the foreman stops requeuing it and hands it to
+/// the master for local evaluation. Distinct workers, so one flapping
+/// worker cannot quarantine a healthy task by failing it repeatedly.
+pub const QUARANTINE_BUDGET: u64 = 3;
+
+/// Why the foreman stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForemanError {
+    /// The transport failed underneath the scheduler.
+    Comm(CommError),
+    /// A scheduler invariant was violated — a bug, reported as a typed
+    /// error instead of a panic, because a panicking foreman hangs every
+    /// remote peer blocked on it.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for ForemanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForemanError::Comm(e) => write!(f, "foreman transport failure: {e}"),
+            ForemanError::Invariant(what) => {
+                write!(f, "foreman scheduler invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForemanError {}
+
+impl From<CommError> for ForemanError {
+    fn from(e: CommError) -> ForemanError {
+        ForemanError::Comm(e)
+    }
+}
+
+/// The single invariant guard: turns an `Option` that must be `Some` into
+/// a typed [`ForemanError::Invariant`] naming what was violated.
+fn invariant<V>(value: Option<V>, what: &'static str) -> Result<V, ForemanError> {
+    value.ok_or(ForemanError::Invariant(what))
+}
 
 /// Foreman statistics returned at shutdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,6 +68,9 @@ pub struct ForemanStats {
     pub recoveries: u64,
     /// Late/duplicate results ignored.
     pub duplicates_ignored: u64,
+    /// Tasks that exhausted their failure budget and were handed to the
+    /// master for local evaluation.
+    pub quarantined: u64,
 }
 
 /// What a queued task asks a worker to do: evaluate one candidate tree, or
@@ -49,12 +95,102 @@ impl TaskBody {
             TaskBody::Jumble(seed) => Message::JumbleTask { task, seed: *seed },
         }
     }
+
+    fn into_payload(self) -> TaskPayload {
+        match self {
+            TaskBody::Tree(newick) => TaskPayload::Tree { newick },
+            TaskBody::Jumble(seed) => TaskPayload::Jumble { seed },
+        }
+    }
 }
 
 struct InFlight {
     worker: Rank,
     body: TaskBody,
     dispatched_at: Instant,
+}
+
+/// The foreman's mutable scheduling state, bundled so the failure /
+/// quarantine bookkeeping can live in one place.
+#[derive(Default)]
+struct Sched {
+    work_queue: VecDeque<(u64, TaskBody)>,
+    ready: VecDeque<Rank>,
+    in_flight: HashMap<u64, InFlight>,
+    delinquent: HashSet<Rank>,
+    /// Workers whose link is known dead (failed send, or a transport
+    /// `PeerDown`). Distinct from `delinquent`: a delinquent worker may
+    /// still answer; a dead one cannot until the transport says `PeerUp`.
+    dead: HashSet<Rank>,
+    completed: HashSet<u64>,
+    /// Per-task set of distinct workers that failed it, for the
+    /// poison-task quarantine budget.
+    failures: HashMap<u64, HashSet<Rank>>,
+    stats: ForemanStats,
+}
+
+impl Sched {
+    /// Attribute a failure of `task` (held by `worker`) and decide its
+    /// fate: requeued (front or back), or — once [`QUARANTINE_BUDGET`]
+    /// distinct workers have failed it — quarantined. Returns the
+    /// `Quarantined` message to forward to the master in the latter case.
+    fn fail_task(
+        &mut self,
+        task: u64,
+        body: TaskBody,
+        worker: Rank,
+        front: bool,
+        obs: &Obs,
+    ) -> Option<Message> {
+        let set = self.failures.entry(task).or_default();
+        set.insert(worker);
+        let failures = set.len() as u64;
+        if failures >= QUARANTINE_BUDGET {
+            // The task has now serially killed (or stalled) several
+            // different workers: stop feeding it to the fleet. Marking it
+            // completed makes any late answers plain duplicates.
+            self.failures.remove(&task);
+            self.completed.insert(task);
+            self.stats.quarantined += 1;
+            obs.emit(|| Event::TaskQuarantined { task, failures });
+            Some(Message::Quarantined {
+                task,
+                failures,
+                payload: body.into_payload(),
+            })
+        } else {
+            if front {
+                self.work_queue.push_front((task, body));
+            } else {
+                self.work_queue.push_back((task, body));
+            }
+            None
+        }
+    }
+
+    /// Declare `worker`'s link dead: eagerly requeue everything it holds
+    /// (instead of waiting out the timeout) and bar it from dispatch.
+    /// Returns any `Quarantined` messages the requeues produced.
+    fn peer_down(&mut self, worker: Rank, obs: &Obs) -> Vec<(u64, Option<Message>)> {
+        self.dead.insert(worker);
+        self.delinquent.insert(worker);
+        self.ready.retain(|&w| w != worker);
+        let held: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.worker == worker)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut out = Vec::new();
+        for task in held {
+            if let Some(f) = self.in_flight.remove(&task) {
+                self.stats.timeouts += 1;
+                let quarantined = self.fail_task(task, f.body, worker, true, obs);
+                out.push((task, quarantined));
+            }
+        }
+        out
+    }
 }
 
 /// Run the foreman loop until the master sends `Shutdown`.
@@ -67,7 +203,7 @@ pub fn run_foreman<T: Transport>(
     transport: T,
     worker_timeout: Duration,
     has_monitor: bool,
-) -> Result<ForemanStats, CommError> {
+) -> Result<ForemanStats, ForemanError> {
     run_foreman_observed(transport, worker_timeout, has_monitor, Obs::disabled())
 }
 
@@ -79,13 +215,8 @@ pub fn run_foreman_observed<T: Transport>(
     worker_timeout: Duration,
     has_monitor: bool,
     obs: Obs,
-) -> Result<ForemanStats, CommError> {
-    let mut stats = ForemanStats::default();
-    let mut work_queue: VecDeque<(u64, TaskBody)> = VecDeque::new();
-    let mut ready: VecDeque<Rank> = VecDeque::new();
-    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
-    let mut delinquent: HashSet<Rank> = HashSet::new();
-    let mut completed: HashSet<u64> = HashSet::new();
+) -> Result<ForemanStats, ForemanError> {
+    let mut s = Sched::default();
     let tick = (worker_timeout / 4)
         .max(Duration::from_millis(1))
         .min(Duration::from_millis(50));
@@ -97,15 +228,18 @@ pub fn run_foreman_observed<T: Transport>(
     };
 
     let mut last_depth: Option<(usize, usize, usize)> = None;
+    let mut aborted = false;
+    let mut next_ping: HashMap<Rank, Instant> = HashMap::new();
 
     loop {
         // Dispatch while both queues are non-empty.
-        while !work_queue.is_empty() && !ready.is_empty() {
-            let worker = ready.pop_front().expect("checked non-empty");
-            if delinquent.contains(&worker) {
+        while !s.work_queue.is_empty() && !s.ready.is_empty() {
+            let worker = invariant(s.ready.pop_front(), "ready queue emptied mid-dispatch")?;
+            if s.delinquent.contains(&worker) {
                 continue;
             }
-            let (task, body) = work_queue.pop_front().expect("checked non-empty");
+            let (task, body) =
+                invariant(s.work_queue.pop_front(), "work queue emptied mid-dispatch")?;
             match transport.send(worker, &body.to_message(task)) {
                 Ok(()) => {}
                 // A dead link is the network analogue of a delinquent
@@ -113,15 +247,18 @@ pub fn run_foreman_observed<T: Transport>(
                 // for the timeout to notice (paper §2.2's recovery path,
                 // triggered eagerly).
                 Err(CommError::Disconnected(_)) => {
-                    delinquent.insert(worker);
-                    stats.timeouts += 1;
+                    s.delinquent.insert(worker);
+                    s.dead.insert(worker);
+                    s.stats.timeouts += 1;
                     monitor(&transport, MonitorEvent::WorkerTimedOut { worker, task });
-                    work_queue.push_front((task, body));
+                    if let Some(q) = s.fail_task(task, body, worker, true, &obs) {
+                        transport.send(ranks::MASTER, &q)?;
+                    }
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
-            in_flight.insert(
+            s.in_flight.insert(
                 task,
                 InFlight {
                     worker,
@@ -129,22 +266,23 @@ pub fn run_foreman_observed<T: Transport>(
                     dispatched_at: Instant::now(),
                 },
             );
-            stats.dispatched += 1;
+            s.stats.dispatched += 1;
             monitor(&transport, MonitorEvent::Dispatched { task, worker });
         }
 
         // Fault tolerance: re-queue trees held past the timeout.
         let now = Instant::now();
-        let timed_out: Vec<u64> = in_flight
+        let timed_out: Vec<u64> = s
+            .in_flight
             .iter()
             .filter(|(_, f)| now.duration_since(f.dispatched_at) > worker_timeout)
             .map(|(&task, _)| task)
             .collect();
         for task in timed_out {
-            let f = in_flight.remove(&task).expect("key just listed");
-            delinquent.insert(f.worker);
-            ready.retain(|&w| w != f.worker);
-            stats.timeouts += 1;
+            let f = invariant(s.in_flight.remove(&task), "timed-out task not in flight")?;
+            s.delinquent.insert(f.worker);
+            s.ready.retain(|&w| w != f.worker);
+            s.stats.timeouts += 1;
             monitor(
                 &transport,
                 MonitorEvent::WorkerTimedOut {
@@ -152,12 +290,61 @@ pub fn run_foreman_observed<T: Transport>(
                     task,
                 },
             );
-            work_queue.push_back((task, f.body));
+            if let Some(q) = s.fail_task(task, f.body, f.worker, false, &obs) {
+                transport.send(ranks::MASTER, &q)?;
+            }
+        }
+
+        // Liveness probe: a delinquent worker receives no new work, so a
+        // silently dead one would never be rediscovered — and without it
+        // the all-dead check below could never trip on the threaded
+        // transport. While work is outstanding, ping each delinquent,
+        // not-known-dead worker once per timeout period. An idle live
+        // worker answers `WorkerReady` and is re-admitted; a dropped
+        // thread endpoint fails the send, which is that transport's
+        // death certificate (TCP peers get `PeerDown` from the hub).
+        if !s.work_queue.is_empty() || !s.in_flight.is_empty() {
+            let due: Vec<Rank> = s
+                .delinquent
+                .iter()
+                .copied()
+                .filter(|w| !s.dead.contains(w))
+                .filter(|w| next_ping.get(w).is_none_or(|&t| now >= t))
+                .collect();
+            for worker in due {
+                next_ping.insert(worker, now + worker_timeout);
+                if let Err(CommError::Disconnected(_)) = transport.send(worker, &Message::Ping) {
+                    for (task, quarantined) in s.peer_down(worker, &obs) {
+                        monitor(&transport, MonitorEvent::WorkerTimedOut { worker, task });
+                        if let Some(q) = quarantined {
+                            transport.send(ranks::MASTER, &q)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // The run cannot heal if every worker's link is dead while work is
+        // outstanding: tell the master (which surfaces a typed error and
+        // leaves its last checkpoint valid) rather than spinning forever.
+        let size = transport.size();
+        if !aborted
+            && size > ranks::FIRST_WORKER
+            && (ranks::FIRST_WORKER..size).all(|r| s.dead.contains(&r))
+            && (!s.work_queue.is_empty() || !s.in_flight.is_empty())
+        {
+            aborted = true;
+            let reason = format!(
+                "all {} workers are dead with {} tasks outstanding",
+                size - ranks::FIRST_WORKER,
+                s.work_queue.len() + s.in_flight.len()
+            );
+            transport.send(ranks::MASTER, &Message::Abort { reason })?;
         }
 
         // One queue-depth sample per state change (paper §3: "queue-length
         // data from the foreman").
-        let depth = (work_queue.len(), ready.len(), in_flight.len());
+        let depth = (s.work_queue.len(), s.ready.len(), s.in_flight.len());
         if last_depth != Some(depth) {
             last_depth = Some(depth);
             obs.emit(|| Event::QueueDepth {
@@ -172,11 +359,11 @@ pub fn run_foreman_observed<T: Transport>(
             Some((from, msg)) => match msg {
                 Message::TreeTask { task, newick } => {
                     debug_assert_eq!(from, ranks::MASTER);
-                    work_queue.push_back((task, TaskBody::Tree(newick)));
+                    s.work_queue.push_back((task, TaskBody::Tree(newick)));
                 }
                 Message::JumbleTask { task, seed } => {
                     debug_assert_eq!(from, ranks::MASTER);
-                    work_queue.push_back((task, TaskBody::Jumble(seed)));
+                    s.work_queue.push_back((task, TaskBody::Jumble(seed)));
                 }
                 msg @ (Message::TreeResult { .. } | Message::JumbleResult { .. }) => {
                     let (task, ln_likelihood, work_units) = match &msg {
@@ -194,27 +381,32 @@ pub fn run_foreman_observed<T: Transport>(
                         } => (*task, *ln_likelihood, *work_units),
                         _ => unreachable!("outer pattern admits only results"),
                     };
-                    if delinquent.remove(&from) {
-                        stats.recoveries += 1;
+                    // A worker that answers is demonstrably alive.
+                    s.dead.remove(&from);
+                    if s.delinquent.remove(&from) {
+                        s.stats.recoveries += 1;
                         monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
                     }
-                    let was_expected = in_flight
+                    let was_expected = s
+                        .in_flight
                         .get(&task)
                         .map(|f| f.worker == from)
                         .unwrap_or(false);
-                    let is_new = !completed.contains(&task)
+                    let is_new = !s.completed.contains(&task)
                         && (was_expected
-                            || work_queue.iter().any(|(t, _)| *t == task)
-                            || in_flight.contains_key(&task));
+                            || s.work_queue.iter().any(|(t, _)| *t == task)
+                            || s.in_flight.contains_key(&task));
                     if is_new {
-                        completed.insert(task);
-                        let service_us = in_flight
+                        s.completed.insert(task);
+                        s.failures.remove(&task);
+                        let service_us = s
+                            .in_flight
                             .remove(&task)
                             .map(|f| f.dispatched_at.elapsed().as_micros() as u64)
                             .unwrap_or(0);
-                        work_queue.retain(|(t, _)| *t != task);
+                        s.work_queue.retain(|(t, _)| *t != task);
                         transport.send(ranks::MASTER, &msg)?;
-                        stats.results_forwarded += 1;
+                        s.stats.results_forwarded += 1;
                         monitor(
                             &transport,
                             MonitorEvent::Completed {
@@ -226,12 +418,46 @@ pub fn run_foreman_observed<T: Transport>(
                             },
                         );
                     } else {
-                        stats.duplicates_ignored += 1;
+                        s.stats.duplicates_ignored += 1;
                     }
-                    ready.push_back(from);
+                    s.ready.push_back(from);
                 }
                 Message::WorkerReady => {
-                    ready.push_back(from);
+                    s.dead.remove(&from);
+                    if s.delinquent.remove(&from) {
+                        s.stats.recoveries += 1;
+                        monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
+                    }
+                    // A respawned worker may re-announce while already
+                    // queued; one slot per worker keeps dispatch fair.
+                    if !s.ready.contains(&from) {
+                        s.ready.push_back(from);
+                    }
+                }
+                Message::PeerDown { rank } => {
+                    // Synthesized by the transport (the TCP hub); on the
+                    // threaded transport the failed-send path plays this
+                    // role. Eagerly requeue whatever the lost rank held.
+                    let requeued = s.peer_down(rank, &obs);
+                    for (task, quarantined) in requeued {
+                        monitor(
+                            &transport,
+                            MonitorEvent::WorkerTimedOut { worker: rank, task },
+                        );
+                        if let Some(q) = quarantined {
+                            transport.send(ranks::MASTER, &q)?;
+                        }
+                    }
+                }
+                Message::PeerUp { rank } => {
+                    // The rank rejoined (reconnect or supervisor respawn).
+                    // It will announce `WorkerReady` once it has rebuilt
+                    // its engine; until then just stop treating it as dead.
+                    s.dead.remove(&rank);
+                    if s.delinquent.remove(&rank) {
+                        s.stats.recoveries += 1;
+                        monitor(&transport, MonitorEvent::WorkerRecovered { worker: rank });
+                    }
                 }
                 Message::Shutdown => {
                     debug_assert_eq!(from, ranks::MASTER);
@@ -241,7 +467,7 @@ pub fn run_foreman_observed<T: Transport>(
                     if has_monitor {
                         let _ = transport.send(ranks::MONITOR, &Message::Shutdown);
                     }
-                    return Ok(stats);
+                    return Ok(s.stats);
                 }
                 other => {
                     debug_assert!(false, "foreman got unexpected {}", other.kind());
@@ -260,6 +486,17 @@ mod tests {
     /// Stand up a foreman with scripted master and worker behaviour.
     fn universe(n: usize) -> Vec<fdml_comm::threads::ThreadTransport> {
         ThreadUniverse::create(n)
+    }
+
+    /// Receive, skipping liveness probes: a scripted worker that stalls
+    /// past the timeout accumulates `Ping`s in its queue.
+    fn recv_skipping_pings(t: &fdml_comm::threads::ThreadTransport) -> Message {
+        loop {
+            let (_, msg) = t.recv().unwrap();
+            if msg != Message::Ping {
+                return msg;
+            }
+        }
     }
 
     #[test]
@@ -390,7 +627,7 @@ mod tests {
                 .unwrap();
         }
         for w in [&w2, &w1] {
-            let (_, msg) = w.recv().unwrap();
+            let msg = recv_skipping_pings(w);
             let Message::TreeTask { task, .. } = msg else {
                 panic!("expected task")
             };
@@ -546,6 +783,210 @@ mod tests {
         master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
         let (_, ev) = monitor.recv().unwrap();
         assert_eq!(ev, Message::Shutdown);
+        f.join().unwrap();
+    }
+
+    #[test]
+    fn poison_task_is_quarantined_after_distinct_worker_failures() {
+        use fdml_comm::message::TaskPayload;
+        // Three workers; a short timeout so each "failure" is quick.
+        let mut ends = universe(6);
+        let w3 = ends.remove(5);
+        let w2 = ends.remove(4);
+        let w1 = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_millis(40), false).unwrap()
+        });
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 13,
+                    newick: "(poison);".into(),
+                },
+            )
+            .unwrap();
+        // Each worker in turn announces ready, receives the poison task,
+        // and goes silent past the timeout — the serial-fleet-killer
+        // scenario the quarantine budget exists for.
+        for w in [&w1, &w2, &w3] {
+            w.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+            let (_, msg) = w.recv().unwrap();
+            assert!(matches!(msg, Message::TreeTask { task: 13, .. }));
+            // Not answering; the foreman's timeout attributes a failure.
+        }
+        // After the third distinct failure the master gets the task back.
+        let (_, msg) = master.recv().unwrap();
+        match msg {
+            Message::Quarantined {
+                task,
+                failures,
+                payload,
+            } => {
+                assert_eq!(task, 13);
+                assert_eq!(failures, QUARANTINE_BUDGET);
+                assert_eq!(
+                    payload,
+                    TaskPayload::Tree {
+                        newick: "(poison);".into()
+                    }
+                );
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        // A late answer from a failed worker is a plain duplicate.
+        w1.send(
+            ranks::FOREMAN,
+            &Message::TreeResult {
+                task: 13,
+                newick: "(poison:1);".into(),
+                ln_likelihood: -1.0,
+                work_units: 1,
+            },
+        )
+        .unwrap();
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
+        let stats = f.join().unwrap();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.timeouts, QUARANTINE_BUDGET);
+        assert_eq!(stats.duplicates_ignored, 1);
+        assert_eq!(stats.results_forwarded, 0);
+    }
+
+    #[test]
+    fn peer_down_requeues_eagerly_and_peer_up_readmits() {
+        let mut ends = universe(5);
+        let w2 = ends.remove(4);
+        let w1 = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        // Long timeout: only the PeerDown path can requeue in time.
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+        });
+        w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 4,
+                    newick: "(a,b);".into(),
+                },
+            )
+            .unwrap();
+        let (_, msg) = w1.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 4, .. }));
+        // The transport reports w1's link lost while it holds task 4.
+        master
+            .send(ranks::FOREMAN, &Message::PeerDown { rank: 3 })
+            .unwrap();
+        // The task reaches w2 without waiting out the 60 s timeout.
+        w2.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        let (_, msg) = w2.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 4, .. }));
+        w2.send(
+            ranks::FOREMAN,
+            &Message::TreeResult {
+                task: 4,
+                newick: "(a:1,b:1);".into(),
+                ln_likelihood: -3.0,
+                work_units: 1,
+            },
+        )
+        .unwrap();
+        let (_, msg) = master.recv().unwrap();
+        assert!(matches!(msg, Message::TreeResult { task: 4, .. }));
+        // w1 rejoins; after PeerUp + WorkerReady it gets work again.
+        master
+            .send(ranks::FOREMAN, &Message::PeerUp { rank: 3 })
+            .unwrap();
+        w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 5,
+                    newick: "(a,b);".into(),
+                },
+            )
+            .unwrap();
+        // Ready order is [w2, w1]; w2 answers 5, then 6 must reach w1.
+        let (_, msg) = w2.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 5, .. }));
+        w2.send(
+            ranks::FOREMAN,
+            &Message::TreeResult {
+                task: 5,
+                newick: "(a:1,b:1);".into(),
+                ln_likelihood: -3.0,
+                work_units: 1,
+            },
+        )
+        .unwrap();
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 6,
+                    newick: "(a,b);".into(),
+                },
+            )
+            .unwrap();
+        let (_, msg) = w1.recv().unwrap();
+        assert!(matches!(msg, Message::TreeTask { task: 6, .. }));
+        w1.send(
+            ranks::FOREMAN,
+            &Message::TreeResult {
+                task: 6,
+                newick: "(a:1,b:1);".into(),
+                ln_likelihood: -3.0,
+                work_units: 1,
+            },
+        )
+        .unwrap();
+        for _ in 0..2 {
+            let (_, msg) = master.recv().unwrap();
+            assert!(matches!(msg, Message::TreeResult { .. }));
+        }
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
+        let stats = f.join().unwrap();
+        assert_eq!(stats.timeouts, 1, "PeerDown counts as one eager timeout");
+        assert_eq!(stats.recoveries, 1, "PeerUp re-admitted w1");
+        assert_eq!(stats.results_forwarded, 3);
+    }
+
+    #[test]
+    fn all_workers_dead_sends_abort_to_master() {
+        let mut ends = universe(4);
+        let worker = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let master = ends.remove(0);
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+        });
+        worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
+        // The only worker dies while holding the only task.
+        drop(worker);
+        master
+            .send(
+                ranks::FOREMAN,
+                &Message::TreeTask {
+                    task: 1,
+                    newick: "(a,b);".into(),
+                },
+            )
+            .unwrap();
+        let (_, msg) = master.recv().unwrap();
+        match msg {
+            Message::Abort { reason } => {
+                assert!(reason.contains("dead"), "reason was: {reason}");
+            }
+            other => panic!("expected Abort, got {other:?}"),
+        }
+        // The foreman is still responsive: an orderly shutdown works.
+        master.send(ranks::FOREMAN, &Message::Shutdown).unwrap();
         f.join().unwrap();
     }
 }

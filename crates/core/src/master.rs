@@ -6,14 +6,17 @@
 //! a transport (the paper's point about the algorithm being independent of
 //! the message-passing layer).
 
+use crate::config::SearchConfig;
 use crate::executor::{BaseOutcome, CandidateScore, ExecutorError, RoundExecutor};
 use crate::worker::ranks;
-use fdml_comm::message::{Message, MonitorEvent};
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload};
 use fdml_comm::transport::Transport;
+use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_phylo::alignment::Alignment;
 use fdml_phylo::error::PhyloError;
-use fdml_phylo::newick;
 use fdml_phylo::ops::{apply_move, TreeMove};
 use fdml_phylo::tree::Tree;
+use fdml_phylo::{newick, phylip};
 use std::collections::HashMap;
 
 /// Master-side executor: each candidate becomes a `TreeTask` dispatched via
@@ -21,6 +24,9 @@ use std::collections::HashMap;
 pub struct ClusterExecutor<T: Transport> {
     transport: T,
     names: Vec<String>,
+    phylip: String,
+    config_json: String,
+    local: Option<(Alignment, LikelihoodEngine, SearchConfig)>,
     base: Option<Tree>,
     base_lnl: f64,
     next_task: u64,
@@ -38,25 +44,43 @@ impl<T: Transport> ClusterExecutor<T> {
         has_monitor: bool,
     ) -> ClusterExecutor<T> {
         for rank in ranks::FIRST_WORKER..transport.size() {
-            transport
-                .send(
-                    rank,
-                    &Message::ProblemData {
-                        phylip: phylip.clone(),
-                        config_json: config_json.clone(),
-                    },
-                )
-                .expect("worker must be reachable at startup");
+            // A worker that died before the broadcast is the foreman's
+            // problem (eager requeue / all-dead abort), not a panic here.
+            let _ = transport.send(
+                rank,
+                &Message::ProblemData {
+                    phylip: phylip.clone(),
+                    config_json: config_json.clone(),
+                },
+            );
         }
         ClusterExecutor {
             transport,
             names,
+            phylip,
+            config_json,
+            local: None,
             base: None,
             base_lnl: f64::NEG_INFINITY,
             next_task: 0,
             round: 0,
             has_monitor,
         }
+    }
+
+    /// Build (once) the master's own likelihood engine, used only to
+    /// evaluate quarantined tasks. It runs the identical parse → optimize
+    /// path as the workers, so a locally evaluated task is byte-identical
+    /// to what a healthy worker would have returned.
+    fn local_engine(&mut self) -> Result<&(Alignment, LikelihoodEngine, SearchConfig), PhyloError> {
+        if self.local.is_none() {
+            let alignment = phylip::parse(&self.phylip)?;
+            let config = SearchConfig::from_engine_config_json(&self.config_json)
+                .map_err(|e| PhyloError::Format(format!("bad engine config: {e}")))?;
+            let engine = config.build_engine(&alignment);
+            self.local = Some((alignment, engine, config));
+        }
+        Ok(self.local.as_ref().expect("just built"))
     }
 
     /// Orderly shutdown: tell the foreman, which cascades to workers and
@@ -104,6 +128,43 @@ impl<T: Transport> ClusterExecutor<T> {
                         results[i] = Some((tree, ln_likelihood, work_units));
                         received += 1;
                     }
+                }
+                Message::Quarantined { task, payload, .. } => {
+                    // The foreman exhausted a task's failure budget across
+                    // distinct workers; the master evaluates it itself.
+                    let Some(&i) = index_of.get(&task) else {
+                        continue;
+                    };
+                    if results[i].is_some() {
+                        continue;
+                    }
+                    let TaskPayload::Tree { newick: text } = payload else {
+                        continue;
+                    };
+                    let (tree, lnl, work) = {
+                        let (alignment, engine, config) = self.local_engine()?;
+                        let mut tree = newick::parse_tree(&text, alignment)?;
+                        let r = engine.optimize(&mut tree, &config.optimize);
+                        (tree, r.ln_likelihood, r.work.work_units())
+                    };
+                    results[i] = Some((tree, lnl, work));
+                    received += 1;
+                }
+                Message::Abort { reason } => {
+                    return Err(PhyloError::Format(format!("search aborted: {reason}")));
+                }
+                // Transport-synthesized liveness. A departed worker is the
+                // foreman's problem; a (re)joined worker needs the problem
+                // data before it can serve tasks.
+                Message::PeerDown { .. } => {}
+                Message::PeerUp { rank } => {
+                    let _ = self.transport.send(
+                        rank,
+                        &Message::ProblemData {
+                            phylip: self.phylip.clone(),
+                            config_json: self.config_json.clone(),
+                        },
+                    );
                 }
                 other => {
                     debug_assert!(false, "master got unexpected {}", other.kind());
@@ -260,6 +321,102 @@ mod tests {
         assert_eq!(works, vec![2, 3, 4]);
         // Deterministic selection: argmax picks the first (task 1).
         assert_eq!(argmax(&scores), 0);
+        ex.shutdown();
+        foreman.join().unwrap();
+    }
+
+    fn problem() -> (Alignment, String, String) {
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGTACGTACGT"),
+            ("t1", "ACGTACGTACTTACGTACGA"),
+            ("t2", "ACGAACGTACGTACGGAGGT"),
+            ("t3", "TCGAACGGACGTACGGAGGA"),
+        ])
+        .unwrap();
+        let config = SearchConfig::default();
+        (
+            a.clone(),
+            fdml_phylo::phylip::write(&a),
+            config.engine_config_json(),
+        )
+    }
+
+    #[test]
+    fn quarantined_task_is_evaluated_locally_and_matches_a_worker() {
+        let (alignment, phylip_text, config_json) = problem();
+        let names: Vec<String> = alignment.names().to_vec();
+        let mut ends = ThreadUniverse::create(2);
+        let foreman_end = ends.remove(1);
+        let master_end = ends.remove(0);
+        // A foreman that gives up on every task: each TreeTask bounces
+        // straight back as Quarantined, forcing the local-eval path.
+        let foreman = thread::spawn(move || loop {
+            let (_, msg) = foreman_end.recv().unwrap();
+            match msg {
+                Message::TreeTask { task, newick } => {
+                    foreman_end
+                        .send(
+                            ranks::MASTER,
+                            &Message::Quarantined {
+                                task,
+                                failures: 3,
+                                payload: TaskPayload::Tree { newick },
+                            },
+                        )
+                        .unwrap();
+                }
+                Message::Shutdown => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        let mut ex = ClusterExecutor::new(
+            master_end,
+            names,
+            phylip_text.clone(),
+            config_json.clone(),
+            false,
+        );
+        let base = ex.set_base(Tree::triplet(0, 1, 2)).unwrap();
+        assert!(base.ln_likelihood.is_finite() && base.ln_likelihood < 0.0);
+        ex.shutdown();
+        foreman.join().unwrap();
+
+        // Byte-identical to what a healthy worker (same engine, same
+        // optimizer) computes for the same tree.
+        let config = SearchConfig::from_engine_config_json(&config_json).unwrap();
+        let engine = config.build_engine(&alignment);
+        let mut tree = Tree::triplet(0, 1, 2);
+        let r = engine.optimize(&mut tree, &config.optimize);
+        assert_eq!(base.ln_likelihood.to_bits(), r.ln_likelihood.to_bits());
+        assert_eq!(base.work_units, r.work.work_units());
+    }
+
+    #[test]
+    fn foreman_abort_surfaces_as_typed_error() {
+        let names: Vec<String> = (0..3).map(|i| format!("t{i}")).collect();
+        let mut ends = ThreadUniverse::create(2);
+        let foreman_end = ends.remove(1);
+        let master_end = ends.remove(0);
+        let foreman = thread::spawn(move || {
+            let (_, msg) = foreman_end.recv().unwrap();
+            assert!(matches!(msg, Message::TreeTask { .. }));
+            foreman_end
+                .send(
+                    ranks::MASTER,
+                    &Message::Abort {
+                        reason: "all 3 workers dead".into(),
+                    },
+                )
+                .unwrap();
+            // Absorb the shutdown that follows the error.
+            let (_, msg) = foreman_end.recv().unwrap();
+            assert_eq!(msg, Message::Shutdown);
+        });
+        let mut ex = ClusterExecutor::new(master_end, names, String::new(), String::new(), false);
+        let err = ex.set_base(Tree::triplet(0, 1, 2)).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("aborted"), "got: {text}");
+        assert!(text.contains("workers dead"), "got: {text}");
         ex.shutdown();
         foreman.join().unwrap();
     }

@@ -20,6 +20,7 @@ use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor_observed, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::worker::{ranks, run_worker_observed, WorkerStats};
+use fdml_chaos::ChaosPlan;
 use fdml_comm::message::Message;
 use fdml_comm::recording::Recording;
 use fdml_comm::transport::{CommError, Rank, Transport};
@@ -29,8 +30,11 @@ use fdml_phylo::alignment::Alignment;
 use fdml_phylo::consensus::Consensus;
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::phylip;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Spawn-mode settings: the coordinator forks its own peers.
@@ -46,6 +50,35 @@ pub struct NetSpawn {
     /// Forward `--quiet` to the children, silencing their shutdown
     /// summaries on stderr.
     pub quiet: bool,
+    /// Self-healing: respawn worker processes that die mid-run, with
+    /// capped exponential backoff. The replacement dials back in, the hub
+    /// re-binds it to the lowest dead slot, the master re-sends the
+    /// problem data (`PeerUp`), and the foreman re-admits it through the
+    /// ready queue. Respawned children never inherit `die_after_tasks`.
+    pub supervise: bool,
+    /// Ceiling on respawns per worker slot when supervising.
+    pub max_restarts: u32,
+}
+
+impl NetSpawn {
+    /// Plain spawn settings for `program`: no chaos, no supervision.
+    pub fn new(program: PathBuf) -> NetSpawn {
+        NetSpawn {
+            program,
+            die_after_tasks: None,
+            quiet: false,
+            supervise: false,
+            max_restarts: 3,
+        }
+    }
+
+    /// Maps a [`ChaosPlan`]'s kill schedule onto a real process death:
+    /// the first scheduled kill becomes a `--die-after-tasks` child (the
+    /// process-level analogue of the plan's in-process link severance).
+    pub fn with_chaos_kills(mut self, plan: &ChaosPlan) -> NetSpawn {
+        self.die_after_tasks = plan.kills.first().copied();
+        self
+    }
 }
 
 /// What a coordinator run returns.
@@ -158,6 +191,16 @@ pub fn net_coordinator_search(
     hub.wait_ready(READY_TIMEOUT)
         .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
 
+    let supervisor = match &spawn {
+        Some(s) if s.supervise => Some(Supervisor::start(
+            std::mem::take(&mut children),
+            s.clone(),
+            addr.clone(),
+            obs.clone(),
+        )),
+        _ => None,
+    };
+
     let master_end = Recording::new(hub, obs.clone());
     let executor = ClusterExecutor::new(
         master_end,
@@ -188,11 +231,18 @@ pub fn net_coordinator_search(
     // race the relay teardown and surviving ranks would die on a broken
     // link instead of exiting cleanly.
     let master_end = executor.shutdown();
+    let mut early_exits = Vec::new();
+    if let Some(sup) = supervisor {
+        let (mut kids, mut exits) = sup.finish();
+        children.append(&mut kids);
+        early_exits.append(&mut exits);
+    }
     let drain_deadline = Instant::now() + Duration::from_secs(10);
     while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    let peer_exits = reap(&mut children, Duration::from_secs(30));
+    let mut peer_exits = early_exits;
+    peer_exits.extend(reap(&mut children, Duration::from_secs(30)));
     drop(master_end);
     let result = result?;
     obs.emit(|| Event::RunFinished {
@@ -303,17 +353,34 @@ pub fn net_farm_search(
     hub.wait_ready(READY_TIMEOUT)
         .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
 
+    let supervisor = match &spawn {
+        Some(s) if s.supervise => Some(Supervisor::start(
+            std::mem::take(&mut children),
+            s.clone(),
+            addr.clone(),
+            obs.clone(),
+        )),
+        _ => None,
+    };
+
     let master_end = Recording::new(hub, obs.clone());
     let parts = run_farm_master(&master_end, alignment, config, seeds, options, &obs);
     // Shut the universe down regardless of the farm outcome, then keep the
     // hub alive until the peers acknowledge by disconnecting (see
     // `net_coordinator_search` for why).
     let _ = master_end.send(ranks::FOREMAN, &Message::Shutdown);
+    let mut early_exits = Vec::new();
+    if let Some(sup) = supervisor {
+        let (mut kids, mut exits) = sup.finish();
+        children.append(&mut kids);
+        early_exits.append(&mut exits);
+    }
     let drain_deadline = Instant::now() + Duration::from_secs(10);
     while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    let peer_exits = reap(&mut children, Duration::from_secs(30));
+    let mut peer_exits = early_exits;
+    peer_exits.extend(reap(&mut children, Duration::from_secs(30)));
     drop(master_end);
     let parts = parts?;
     obs.emit(|| Event::RunFinished {
@@ -328,6 +395,113 @@ pub fn net_farm_search(
         report,
         peer_exits,
     })
+}
+
+/// What supervision hands back at shutdown: the surviving children, plus
+/// the exit status of every child that died (and was possibly replaced)
+/// along the way.
+type SupervisionOutcome = (Vec<(Rank, Child)>, Vec<(Rank, Option<i32>)>);
+
+/// First respawn delay; doubles per restart of the same slot.
+const RESPAWN_BACKOFF: Duration = Duration::from_millis(50);
+/// Ceiling on the per-slot respawn delay.
+const RESPAWN_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// The process-level half of the self-healing layer: watches spawned
+/// children on its own thread and respawns dead workers. The coordinator
+/// stops it the moment shutdown begins, so deaths during teardown are not
+/// "healed" back to life.
+struct Supervisor {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<SupervisionOutcome>,
+}
+
+impl Supervisor {
+    fn start(children: Vec<(Rank, Child)>, spawn: NetSpawn, addr: String, obs: Obs) -> Supervisor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || supervise(children, spawn, addr, obs, stop_flag));
+        Supervisor { stop, handle }
+    }
+
+    /// Stop supervising and hand back the surviving children plus the
+    /// exit statuses of every child that died (and was possibly replaced)
+    /// along the way.
+    fn finish(self) -> SupervisionOutcome {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("supervisor thread must not panic")
+    }
+}
+
+fn supervise(
+    mut children: Vec<(Rank, Child)>,
+    spawn: NetSpawn,
+    addr: String,
+    obs: Obs,
+    stop: Arc<AtomicBool>,
+) -> SupervisionOutcome {
+    let mut restarts: HashMap<Rank, u32> = HashMap::new();
+    // Slots waiting out their backoff before the next respawn attempt.
+    let mut due: Vec<(Rank, Instant)> = Vec::new();
+    let mut early_exits: Vec<(Rank, Option<i32>)> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let mut i = 0;
+        while i < children.len() {
+            match children[i].1.try_wait() {
+                Ok(Some(status)) => {
+                    let (rank, _) = children.remove(i);
+                    early_exits.push((rank, status.code()));
+                    let count = *restarts.get(&rank).unwrap_or(&0);
+                    if rank >= ranks::FIRST_WORKER && count < spawn.max_restarts {
+                        let backoff = RESPAWN_BACKOFF
+                            .saturating_mul(1u32 << count.min(16))
+                            .min(RESPAWN_BACKOFF_CAP);
+                        due.push((rank, Instant::now() + backoff));
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        let now = Instant::now();
+        let mut j = 0;
+        while j < due.len() {
+            if due[j].1 > now {
+                j += 1;
+                continue;
+            }
+            let (rank, _) = due.remove(j);
+            let count = restarts.entry(rank).or_insert(0);
+            *count += 1;
+            let restart_count = *count as u64;
+            let mut cmd = Command::new(&spawn.program);
+            cmd.arg("--net")
+                .arg("worker")
+                .arg("--connect")
+                .arg(&addr)
+                .stdout(Stdio::null());
+            if spawn.quiet {
+                cmd.arg("--quiet");
+            }
+            // Deliberately no `--die-after-tasks`: the replacement is
+            // healthy even when the original was a chaos casualty.
+            match cmd.spawn() {
+                Ok(child) => {
+                    obs.emit(|| Event::WorkerRespawned {
+                        worker: rank,
+                        restarts: restart_count,
+                    });
+                    children.push((rank, child));
+                }
+                Err(_) => {
+                    // The slot stays dead; the foreman schedules around it.
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (children, early_exits)
 }
 
 /// Collect spawned peers, killing any that outlive `grace`.

@@ -11,6 +11,7 @@ use crate::monitor::{run_monitor_observed, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
 use crate::worker::{ranks, run_worker_observed, WorkerStats};
+use fdml_chaos::{ChaosPlan, ChaosTransport};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
 use fdml_comm::message::Message;
 use fdml_comm::recording::Recording;
@@ -138,7 +139,41 @@ pub fn parallel_search_observed(
     alignment: &Alignment,
     config: &SearchConfig,
     num_ranks: usize,
+    faults: HashMap<usize, FaultPlan>,
+    sinks: Vec<Box<dyn Sink>>,
+) -> Result<ParallelOutcome, PhyloError> {
+    parallel_search_inner(alignment, config, num_ranks, faults, None, sinks)
+}
+
+/// Parallel search under a seeded [`ChaosPlan`]: every worker transport is
+/// wrapped in [`ChaosTransport`], injecting the plan's exact per-rank
+/// drop / delay / duplicate / corrupt / kill schedule. The soak property:
+/// as long as at least one worker survives, the result is byte-identical
+/// to the fault-free run; when the plan kills every worker, the foreman
+/// aborts and this returns a typed error instead of hanging.
+pub fn parallel_search_chaotic(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    num_ranks: usize,
+    plan: &ChaosPlan,
+    sinks: Vec<Box<dyn Sink>>,
+) -> Result<ParallelOutcome, PhyloError> {
+    parallel_search_inner(
+        alignment,
+        config,
+        num_ranks,
+        HashMap::new(),
+        Some(plan.clone()),
+        sinks,
+    )
+}
+
+fn parallel_search_inner(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    num_ranks: usize,
     mut faults: HashMap<usize, FaultPlan>,
+    chaos: Option<ChaosPlan>,
     mut sinks: Vec<Box<dyn Sink>>,
 ) -> Result<ParallelOutcome, PhyloError> {
     assert!(
@@ -167,13 +202,23 @@ pub fn parallel_search_observed(
     for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
         let end = endpoints.remove(rank);
         let fault = faults.remove(&rank);
+        let chaos = chaos.clone();
         let worker_obs = obs.clone();
-        let handle = thread::spawn(move || match fault {
-            Some(plan) => run_worker_observed(
+        let handle = thread::spawn(move || match (chaos, fault) {
+            (Some(plan), _) => run_worker_observed(
+                Recording::new(
+                    ChaosTransport::new(end, plan, worker_obs.clone()),
+                    worker_obs.clone(),
+                ),
+                worker_obs,
+            ),
+            (None, Some(plan)) => run_worker_observed(
                 Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
                 worker_obs,
             ),
-            None => run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs),
+            (None, None) => {
+                run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs)
+            }
         });
         worker_handles.push((rank, handle));
     }
@@ -326,7 +371,46 @@ pub fn farm_search_observed(
     seeds: &[u64],
     num_ranks: usize,
     options: FarmOptions,
+    faults: HashMap<usize, FaultPlan>,
+    sinks: Vec<Box<dyn Sink>>,
+) -> Result<FarmOutcome, PhyloError> {
+    farm_search_inner(
+        alignment, config, seeds, num_ranks, options, faults, None, sinks,
+    )
+}
+
+/// [`farm_search`] under a seeded [`ChaosPlan`] — the farm-granularity
+/// counterpart of [`parallel_search_chaotic`].
+pub fn farm_search_chaotic(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seeds: &[u64],
+    num_ranks: usize,
+    options: FarmOptions,
+    plan: &ChaosPlan,
+    sinks: Vec<Box<dyn Sink>>,
+) -> Result<FarmOutcome, PhyloError> {
+    farm_search_inner(
+        alignment,
+        config,
+        seeds,
+        num_ranks,
+        options,
+        HashMap::new(),
+        Some(plan.clone()),
+        sinks,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn farm_search_inner(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seeds: &[u64],
+    num_ranks: usize,
+    options: FarmOptions,
     mut faults: HashMap<usize, FaultPlan>,
+    chaos: Option<ChaosPlan>,
     mut sinks: Vec<Box<dyn Sink>>,
 ) -> Result<FarmOutcome, PhyloError> {
     assert!(
@@ -352,13 +436,23 @@ pub fn farm_search_observed(
     for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
         let end = endpoints.remove(rank);
         let fault = faults.remove(&rank);
+        let chaos = chaos.clone();
         let worker_obs = obs.clone();
-        let handle = thread::spawn(move || match fault {
-            Some(plan) => run_worker_observed(
+        let handle = thread::spawn(move || match (chaos, fault) {
+            (Some(plan), _) => run_worker_observed(
+                Recording::new(
+                    ChaosTransport::new(end, plan, worker_obs.clone()),
+                    worker_obs.clone(),
+                ),
+                worker_obs,
+            ),
+            (None, Some(plan)) => run_worker_observed(
                 Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
                 worker_obs,
             ),
-            None => run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs),
+            (None, None) => {
+                run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs)
+            }
         });
         worker_handles.push((rank, handle));
     }

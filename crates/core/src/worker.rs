@@ -126,6 +126,12 @@ pub fn run_worker_observed<T: Transport>(
                     },
                 )?;
             }
+            Message::Ping => {
+                // Foreman liveness probe: answering re-admits a worker
+                // whose result was lost in flight and who would otherwise
+                // idle forever as delinquent.
+                transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
+            }
             Message::Shutdown => return Ok(stats),
             other => {
                 return Err(WorkerError::Protocol(format!(

@@ -413,13 +413,37 @@ fn client_writer(
     }
 }
 
-/// Exponential-backoff redial, asking for our old rank back. `None` when
-/// the schedule is exhausted (or shutdown was requested).
+/// The sleep before reconnect attempt `attempt`: exponential growth from
+/// the configured base, scaled by a jitter factor in roughly 0.5..1.5
+/// derived from `(rank, attempt)`. Without jitter, a hub restart makes
+/// every client of a mass-disconnect redial on the *same* schedule — a
+/// synchronized stampede against a listener that is just coming back.
+/// Deriving the factor from stable inputs (splitmix64, no global RNG)
+/// keeps runs reproducible while desynchronizing the fleet.
+fn backoff_with_jitter(base: Duration, rank: Rank, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let mut z = (rank as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x5EED_1E55_B10F_F5ED);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 512..1536 out of 1024 ≈ a 0.5x..1.5x scale.
+    let scale_millis = 512 + (z % 1024) as u32;
+    exp.saturating_mul(scale_millis) / 1024
+}
+
+/// Exponential-backoff redial (with per-rank jitter), asking for our old
+/// rank back. `None` when the schedule is exhausted (or shutdown was
+/// requested).
 fn reconnect(shared: &Arc<ClientShared>) -> Option<TcpStream> {
-    let mut backoff = shared.cfg.reconnect_backoff;
-    for _ in 0..shared.cfg.reconnect_attempts {
-        thread::sleep(backoff);
-        backoff = backoff.saturating_mul(2);
+    for attempt in 0..shared.cfg.reconnect_attempts {
+        thread::sleep(backoff_with_jitter(
+            shared.cfg.reconnect_backoff,
+            shared.rank,
+            attempt,
+        ));
         if shared.shutdown.load(Ordering::SeqCst) {
             return None;
         }
@@ -434,4 +458,33 @@ fn reconnect(shared: &Arc<ClientShared>) -> Option<TcpStream> {
         }
     }
     None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_desynchronizes_ranks_but_stays_bounded() {
+        let base = Duration::from_millis(100);
+        // Same inputs, same sleep: the schedule is reproducible.
+        assert_eq!(
+            backoff_with_jitter(base, 3, 2),
+            backoff_with_jitter(base, 3, 2)
+        );
+        // Different ranks at the same attempt must not all sleep the same
+        // amount — that is the stampede jitter exists to break.
+        let sleeps: Vec<Duration> = (3..8).map(|r| backoff_with_jitter(base, r, 0)).collect();
+        let distinct: std::collections::HashSet<_> = sleeps.iter().collect();
+        assert!(distinct.len() > 1, "all ranks slept {sleeps:?}");
+        // Every sleep stays within the 0.5x..1.5x band of its exponential
+        // step, so backoff still grows and never collapses to zero.
+        for (attempt, factor) in [(0u32, 1u32), (1, 2), (2, 4), (3, 8)] {
+            let step = base * factor;
+            for rank in 3..8 {
+                let s = backoff_with_jitter(base, rank, attempt);
+                assert!(s >= step / 2 && s <= step * 3 / 2, "{s:?} out of band");
+            }
+        }
+    }
 }

@@ -18,7 +18,7 @@
 
 use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
 use fdml_comm::message::Message;
-use fdml_comm::transport::{CommError, Rank, Transport};
+use fdml_comm::transport::{ranks, CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
 use parking_lot::Mutex;
 use std::io;
@@ -91,6 +91,28 @@ impl HubShared {
             slot.out = None;
             self.obs
                 .emit(|| Event::NetPeerDisconnected { rank, graceful });
+            if rank >= ranks::FIRST_WORKER {
+                let foreman_out = slots[ranks::FOREMAN].out.clone();
+                drop(slots);
+                self.notify_liveness(foreman_out, Message::PeerDown { rank });
+            }
+        }
+    }
+
+    /// Tell the schedulers a worker's liveness changed. The hub otherwise
+    /// *silently drops* relays to dead peers, so without this the foreman
+    /// would only notice a lost worker when its task timed out; the
+    /// synthesized message triggers the eager-requeue path instead. The
+    /// local master always hears it; a remote foreman process hears it too
+    /// when connected.
+    fn notify_liveness(&self, foreman_out: Option<SyncSender<Frame>>, msg: Message) {
+        let _ = self.in_tx.send((ranks::MASTER, msg.clone()));
+        if let Some(out) = foreman_out {
+            let _ = out.try_send(Frame::Data {
+                from: ranks::MASTER,
+                to: ranks::FOREMAN,
+                msg,
+            });
         }
     }
 }
@@ -329,6 +351,10 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
         shared
             .obs
             .emit(|| Event::NetPeerReconnected { rank, reconnects });
+        if rank >= ranks::FIRST_WORKER {
+            let foreman_out = shared.slots.lock()[ranks::FOREMAN].out.clone();
+            shared.notify_liveness(foreman_out, Message::PeerUp { rank });
+        }
     } else {
         shared.obs.emit(|| Event::NetPeerConnected { rank });
     }
@@ -441,7 +467,13 @@ fn peer_reader(mut stream: TcpStream, rank: Rank, generation: u64, shared: Arc<H
                     return;
                 }
             }
-            Err(_) => {
+            Err(e) => {
+                // A CRC failure (or other malformed frame) is *detected*
+                // corruption: report it, then treat the peer as lost so
+                // the requeue machinery takes over. Never parse garbage.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    shared.obs.emit(|| Event::FrameCorrupt { rank });
+                }
                 shared.mark_dead(rank, generation, false);
                 return;
             }

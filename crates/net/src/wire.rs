@@ -1,11 +1,14 @@
 //! The framed wire format.
 //!
-//! Every frame is a 4-byte big-endian length prefix followed by that many
-//! bytes of JSON — the same self-describing encoding fastDNAml used for its
-//! ASCII tree interchange, applied to the whole protocol. JSON keeps the
-//! format debuggable with `nc` and independent of struct layout; the length
-//! prefix makes framing trivial and lets a reader reject garbage before
-//! allocating.
+//! Every frame is a 4-byte big-endian length prefix, a 4-byte big-endian
+//! CRC32 of the body, then that many bytes of JSON — the same
+//! self-describing encoding fastDNAml used for its ASCII tree interchange,
+//! applied to the whole protocol. JSON keeps the format debuggable and
+//! independent of struct layout; the length prefix makes framing trivial
+//! and lets a reader reject garbage before allocating; the checksum turns
+//! in-flight corruption into a detected, typed failure (the reader treats
+//! it as a peer disconnect) instead of a JSON parse panic or — worse — a
+//! silently wrong likelihood.
 
 use fdml_comm::message::Message;
 use fdml_comm::transport::Rank;
@@ -17,7 +20,41 @@ use std::time::{Duration, Instant};
 /// Protocol version spoken by this build. A hub rejects any `Hello` whose
 /// version differs — mixing builds across a cluster corrupts likelihoods
 /// far more subtly than a refused connection does.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the per-frame CRC32.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The IEEE 802.3 CRC32 lookup table (reflected polynomial 0xEDB88320),
+/// built at compile time so the checksum needs no runtime setup and no
+/// external crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The standard IEEE CRC32 (the one `zlib`, Ethernet, and PNG use), so the
+/// framing stays verifiable with any off-the-shelf tool.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Upper bound on a frame body. Real frames are a few KiB (`ProblemData`
 /// is the largest); anything bigger is a corrupt stream or a hostile peer.
@@ -80,9 +117,7 @@ pub enum Frame {
     },
 }
 
-/// Serialize and write one frame. Blocking; respects the stream's write
-/// timeout if one is set.
-pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
     let body = serde_json::to_string(frame)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let body = body.as_bytes();
@@ -92,9 +127,28 @@ pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
             "frame exceeds MAX_FRAME_BYTES",
         ));
     }
-    let mut buf = Vec::with_capacity(4 + body.len());
+    let mut buf = Vec::with_capacity(8 + body.len());
     buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&crc32(body).to_be_bytes());
     buf.extend_from_slice(body);
+    Ok(buf)
+}
+
+/// Serialize and write one frame. Blocking; respects the stream's write
+/// timeout if one is set.
+pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
+    stream.write_all(&encode_frame(frame)?)
+}
+
+/// Write a frame whose body has one byte XOR-flipped *after* the CRC was
+/// computed: the byte-flipping injection mode. The frame is well-formed at
+/// the framing layer (correct length) but its checksum cannot match, so a
+/// conforming reader must reject it as corrupt rather than attempt to
+/// parse it. `byte` indexes into the JSON body, modulo its length.
+pub fn write_frame_corrupted(stream: &mut TcpStream, frame: &Frame, byte: usize) -> io::Result<()> {
+    let mut buf = encode_frame(frame)?;
+    let body_len = buf.len() - 8;
+    buf[8 + byte % body_len] ^= 0xA5;
     stream.write_all(&buf)
 }
 
@@ -112,11 +166,12 @@ pub fn read_frame(stream: &mut TcpStream, idle: Duration) -> io::Result<Option<F
         .min(Duration::from_millis(50));
     stream.set_read_timeout(Some(chunk))?;
 
-    let mut len_buf = [0u8; 4];
-    if !read_exact_deadline(stream, &mut len_buf, Some(idle))? {
+    let mut header = [0u8; 8];
+    if !read_exact_deadline(stream, &mut header, Some(idle))? {
         return Ok(None);
     }
-    let len = u32::from_be_bytes(len_buf) as usize;
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let expected_crc = u32::from_be_bytes(header[4..].try_into().expect("4-byte slice"));
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -125,6 +180,13 @@ pub fn read_frame(stream: &mut TcpStream, idle: Duration) -> io::Result<Option<F
     }
     let mut body = vec![0u8; len];
     read_exact_deadline(stream, &mut body, None)?;
+    let actual_crc = crc32(&body);
+    if actual_crc != expected_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame CRC mismatch: header says {expected_crc:#010x}, body hashes to {actual_crc:#010x}"),
+        ));
+    }
     let text = std::str::from_utf8(&body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
     let frame: Frame = serde_json::from_str(text)
@@ -255,6 +317,7 @@ mod tests {
         // than the reader's idle timeout.
         let mut wire = Vec::new();
         wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&crc32(body).to_be_bytes());
         wire.extend_from_slice(body);
         let (head, tail) = wire.split_at(3);
         let head = head.to_vec();
@@ -276,8 +339,49 @@ mod tests {
     fn oversized_length_rejected() {
         let (mut a, mut b) = pair();
         a.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        a.write_all(&0u32.to_be_bytes()).unwrap(); // CRC field
         let err = read_frame(&mut b, Duration::from_secs(1)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard check vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected_not_parsed() {
+        let (mut a, mut b) = pair();
+        let frame = Frame::Data {
+            from: 3,
+            to: 1,
+            msg: Message::TreeResult {
+                task: 9,
+                newick: "(a:1,b:2);".into(),
+                ln_likelihood: -123.5,
+                work_units: 7,
+            },
+        };
+        // Flip a byte at several offsets; every position must be caught.
+        for byte in [0usize, 7, 23] {
+            write_frame_corrupted(&mut a, &frame, byte).unwrap();
+            let err = read_frame(&mut b, Duration::from_secs(2)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().contains("CRC"),
+                "error should name the CRC, got: {err}"
+            );
+        }
+        // An intact frame on a fresh pair still parses (the reader stays
+        // aligned because the corrupt body had the correct length).
+        let (mut a, mut b) = pair();
+        write_frame(&mut a, &frame).unwrap();
+        assert_eq!(
+            read_frame(&mut b, Duration::from_secs(2)).unwrap().unwrap(),
+            frame
+        );
     }
 
     #[test]

@@ -172,6 +172,27 @@ pub enum Event {
         /// Total jumbles in the farm.
         total: usize,
     },
+    /// The supervisor restarted a dead worker process (or thread).
+    WorkerRespawned {
+        /// The respawned worker's rank.
+        worker: usize,
+        /// Cumulative restarts for this rank, this one included.
+        restarts: u64,
+    },
+    /// A frame failed its CRC32 check (or a chaos plan corrupted a
+    /// message); the payload was discarded and the peer treated as lost.
+    FrameCorrupt {
+        /// The rank whose traffic was corrupted.
+        rank: usize,
+    },
+    /// A task exhausted its failure budget across distinct workers and was
+    /// pulled from the queue for local evaluation on the master.
+    TaskQuarantined {
+        /// The quarantined task id.
+        task: u64,
+        /// Distinct workers that failed the task before quarantine.
+        failures: u64,
+    },
 }
 
 impl Event {
@@ -196,6 +217,9 @@ impl Event {
             Event::JumbleStarted { .. } => "JumbleStarted",
             Event::JumbleCompleted { .. } => "JumbleCompleted",
             Event::FarmProgress { .. } => "FarmProgress",
+            Event::WorkerRespawned { .. } => "WorkerRespawned",
+            Event::FrameCorrupt { .. } => "FrameCorrupt",
+            Event::TaskQuarantined { .. } => "TaskQuarantined",
         }
     }
 }
@@ -272,5 +296,51 @@ mod tests {
             Event::WorkerRecovered { worker: 3 }.name(),
             "WorkerRecovered"
         );
+        assert_eq!(
+            Event::WorkerRespawned {
+                worker: 3,
+                restarts: 1
+            }
+            .name(),
+            "WorkerRespawned"
+        );
+        assert_eq!(Event::FrameCorrupt { rank: 4 }.name(), "FrameCorrupt");
+        assert_eq!(
+            Event::TaskQuarantined {
+                task: 9,
+                failures: 2
+            }
+            .name(),
+            "TaskQuarantined"
+        );
+    }
+
+    #[test]
+    fn robustness_events_round_trip_through_json() {
+        let records = vec![
+            Record {
+                t_us: 5,
+                event: Event::WorkerRespawned {
+                    worker: 4,
+                    restarts: 2,
+                },
+            },
+            Record {
+                t_us: 6,
+                event: Event::FrameCorrupt { rank: 3 },
+            },
+            Record {
+                t_us: 7,
+                event: Event::TaskQuarantined {
+                    task: 12,
+                    failures: 3,
+                },
+            },
+        ];
+        for r in records {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Record = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
     }
 }

@@ -122,6 +122,17 @@ pub struct RunReport {
     /// reused manifest entry completes without starting).
     #[serde(default)]
     pub jumbles_started: u64,
+    /// Dead workers the supervisor respawned (`WorkerRespawned` events).
+    #[serde(default)]
+    pub respawns: u64,
+    /// Frames discarded for CRC mismatch or chaos-injected corruption
+    /// (`FrameCorrupt` events).
+    #[serde(default)]
+    pub corrupt_frames: u64,
+    /// Tasks pulled from the queue after exhausting their failure budget
+    /// and evaluated locally on the master (`TaskQuarantined` events).
+    #[serde(default)]
+    pub quarantined: u64,
     /// Final log-likelihood, if a `RunFinished` event was seen.
     pub final_ln_likelihood: Option<f64>,
 }
@@ -144,6 +155,9 @@ impl RunReport {
         let mut rounds = Vec::new();
         let mut jumbles = Vec::new();
         let mut jumbles_started = 0u64;
+        let mut respawns = 0u64;
+        let mut corrupt_frames = 0u64;
+        let mut quarantined = 0u64;
         let mut final_ln_likelihood = None;
         // worker → (tasks, busy_us, work_units, pattern_updates)
         let mut per_worker: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
@@ -236,6 +250,9 @@ impl RunReport {
                 // Farm progress is a gauge stream; the report keeps the
                 // completion list instead of every sample.
                 Event::FarmProgress { .. } => {}
+                Event::WorkerRespawned { .. } => respawns += 1,
+                Event::FrameCorrupt { .. } => corrupt_frames += 1,
+                Event::TaskQuarantined { .. } => quarantined += 1,
             }
         }
 
@@ -279,6 +296,9 @@ impl RunReport {
             net_peers: net.into_values().collect(),
             jumbles,
             jumbles_started,
+            respawns,
+            corrupt_frames,
+            quarantined,
             final_ln_likelihood,
         }
     }
@@ -310,6 +330,13 @@ impl fmt::Display for RunReport {
             self.dispatched, self.completed, self.timeouts, self.recoveries
         )?;
         writeln!(f, "  max work-queue depth: {}", self.max_work_depth)?;
+        if self.respawns + self.corrupt_frames + self.quarantined > 0 {
+            writeln!(
+                f,
+                "  faults: {} respawns, {} corrupt frames, {} quarantined tasks",
+                self.respawns, self.corrupt_frames, self.quarantined
+            )?;
+        }
         if self.service_us.count > 0 {
             writeln!(
                 f,
@@ -660,6 +687,50 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn robustness_events_aggregate_into_fault_counters() {
+        let records = vec![
+            rec(
+                0,
+                Event::WorkerRespawned {
+                    worker: 3,
+                    restarts: 1,
+                },
+            ),
+            rec(
+                1,
+                Event::WorkerRespawned {
+                    worker: 3,
+                    restarts: 2,
+                },
+            ),
+            rec(2, Event::FrameCorrupt { rank: 4 }),
+            rec(
+                3,
+                Event::TaskQuarantined {
+                    task: 17,
+                    failures: 3,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        assert_eq!(report.respawns, 2);
+        assert_eq!(report.corrupt_frames, 1);
+        assert_eq!(report.quarantined, 1);
+        let text = report.to_string();
+        assert!(text.contains("2 respawns"));
+        assert!(text.contains("1 corrupt frames"));
+        assert!(text.contains("1 quarantined tasks"));
+        // A report serialized before the fault counters existed parses.
+        let json = serde_json::to_string(&RunReport::from_events(&[])).unwrap();
+        let stripped = json
+            .replace("\"respawns\":0,", "")
+            .replace("\"corrupt_frames\":0,", "")
+            .replace("\"quarantined\":0,", "");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.respawns, 0);
     }
 
     #[test]

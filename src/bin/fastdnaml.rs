@@ -24,6 +24,9 @@
 //!   --listen ADDR        coordinator bind address          [127.0.0.1:0]
 //!   --connect ADDR       coordinator address for --net worker
 //!   --ranks N            universe size for --net coordinator [4]
+//!   --supervise          (--net spawn) respawn worker processes that die,
+//!                        with capped exponential backoff
+//!   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
 //!   --worker-timeout-ms T  foreman timeout before a task is requeued
 //!   --obs-out FILE       write runtime events as JSON lines (parallel only)
 //!   --obs-summary        print the end-of-run report (parallel only)
@@ -63,6 +66,21 @@ fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default:
     args.get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Load a `--resume` farm manifest, naming the file in every failure: a
+/// missing, truncated, or non-manifest file is a clean error, not a panic.
+fn load_farm_manifest(path: &str) -> Result<FarmManifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+    FarmManifest::from_json(&text)
+        .map_err(|e| format!("--resume {path}: not a valid farm manifest: {e}"))
+}
+
+/// Load a `--resume` search checkpoint, naming the file in every failure.
+fn load_checkpoint(path: &str) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+    Checkpoint::from_json(&text)
+        .map_err(|e| format!("--resume {path}: not a valid checkpoint: {e}"))
 }
 
 fn parse_args() -> (HashMap<String, String>, Vec<String>) {
@@ -111,6 +129,8 @@ fastdnaml --input data.phy [options]
   --listen ADDR        coordinator bind address          [127.0.0.1:0]
   --connect ADDR       coordinator address for --net worker
   --ranks N            universe size for --net coordinator [4]
+  --supervise          (--net spawn) respawn dead worker processes
+  --max-restarts N     respawn ceiling per worker slot with --supervise [3]
   --worker-timeout-ms T  foreman timeout before a task is requeued
   --obs-out FILE       write runtime events as JSON lines (parallel only)
   --obs-summary        print the end-of-run report (parallel only)
@@ -331,13 +351,29 @@ fn main() -> ExitCode {
     let jumbles: usize = get(&args, "jumbles", 1);
     if jumbles > 1 {
         let seeds = plan_seeds(config.jumble_seed, jumbles).expect("plan seeds");
+        let farm_resume = match args.get("resume") {
+            Some(path) => match load_farm_manifest(path) {
+                Ok(m) if m.seeds() != seeds => {
+                    eprintln!(
+                        "fastdnaml: --resume {path}: manifest seeds {:?} do not match \
+                         this farm's {:?} (same --jumble / --jumbles required)",
+                        m.seeds(),
+                        seeds
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Ok(m) => Some(m),
+                Err(e) => {
+                    eprintln!("fastdnaml: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
         let farm_options = FarmOptions {
             width: get(&args, "farm-width", 0),
             manifest_path: checkpoint_path.clone().map(std::path::PathBuf::from),
-            resume: args.get("resume").map(|path| {
-                FarmManifest::from_json(&std::fs::read_to_string(path).expect("read farm manifest"))
-                    .expect("parse farm manifest")
-            }),
+            resume: farm_resume,
         };
         let obs_summary = flags.iter().any(|f| f == "obs-summary");
         let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
@@ -371,6 +407,8 @@ fn main() -> ExitCode {
                         program: std::env::current_exe().expect("current executable path"),
                         die_after_tasks: die_rank.zip(die_tasks),
                         quiet,
+                        supervise: flags.iter().any(|f| f == "supervise"),
+                        max_restarts: get(&args, "max-restarts", 3),
                     })
                 } else {
                     None
@@ -381,7 +419,7 @@ fn main() -> ExitCode {
                         seeds.len()
                     );
                 }
-                let outcome = net_farm_search(
+                let outcome = match net_farm_search(
                     &alignment,
                     &config,
                     listen,
@@ -390,8 +428,13 @@ fn main() -> ExitCode {
                     &farm_options,
                     sinks,
                     spawn,
-                )
-                .expect("net farm search");
+                ) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("fastdnaml: net farm: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 if !quiet {
                     for (rank, code) in &outcome.peer_exits {
                         if *code != Some(0) {
@@ -401,7 +444,7 @@ fn main() -> ExitCode {
                 }
                 (outcome.runs, outcome.consensus, outcome.report)
             } else if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
-                let outcome = farm_search_observed(
+                let outcome = match farm_search_observed(
                     &alignment,
                     &config,
                     &seeds,
@@ -409,8 +452,13 @@ fn main() -> ExitCode {
                     farm_options,
                     HashMap::new(),
                     sinks,
-                )
-                .expect("farm search");
+                ) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("fastdnaml: farm: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 (outcome.runs, outcome.consensus, outcome.report)
             } else {
                 let observing = sinks.iter().any(|s| !s.is_null());
@@ -422,8 +470,13 @@ fn main() -> ExitCode {
                     None
                 };
                 let obs = Obs::multi(sinks);
-                let parts =
-                    serial_farm(&alignment, &config, &seeds, &farm_options, &obs).expect("farm");
+                let parts = match serial_farm(&alignment, &config, &seeds, &farm_options, &obs) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("fastdnaml: farm: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 obs.flush();
                 let report = mem.map(|m| RunReport::from_events(&m.take()));
                 (parts.runs, parts.consensus, report)
@@ -465,10 +518,16 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let resume_checkpoint = args.get("resume").map(|path| {
-        Checkpoint::from_json(&std::fs::read_to_string(path).expect("read checkpoint"))
-            .expect("parse checkpoint")
-    });
+    let resume_checkpoint = match args.get("resume") {
+        Some(path) => match load_checkpoint(path) {
+            Ok(cp) => Some(cp),
+            Err(e) => {
+                eprintln!("fastdnaml: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     // Multi-process modes: coordinator (peers join from elsewhere) or
     // spawn (the coordinator forks its own local peers).
@@ -491,6 +550,8 @@ fn main() -> ExitCode {
                 program: std::env::current_exe().expect("current executable path"),
                 die_after_tasks: die_rank.zip(die_tasks),
                 quiet,
+                supervise: flags.iter().any(|f| f == "supervise"),
+                max_restarts: get(&args, "max-restarts", 3),
             })
         } else {
             None
@@ -508,7 +569,7 @@ fn main() -> ExitCode {
         if !quiet {
             eprintln!("fastdnaml: net {mode}: {ranks} ranks via {listen}");
         }
-        let outcome = net_coordinator_search(
+        let outcome = match net_coordinator_search(
             &alignment,
             &config,
             listen,
@@ -517,8 +578,13 @@ fn main() -> ExitCode {
             checkpoint_path.clone().map(std::path::PathBuf::from),
             resume_checkpoint,
             spawn,
-        )
-        .expect("net coordinator search");
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("fastdnaml: net coordinator: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if obs_summary {
             match &outcome.report {
                 Some(report) => println!("{report}"),
@@ -587,7 +653,13 @@ fn main() -> ExitCode {
                 std::fs::write(&path, cp.to_json()).expect("write checkpoint");
             });
         }
-        search.run().expect("search")
+        match search.run() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fastdnaml: search: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         serial_search(&alignment, &config).expect("search")
     };

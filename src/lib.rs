@@ -12,6 +12,8 @@
 //!   branch-length optimization and rate categories.
 //! * [`rates`] — the DNArates analog (per-site rate estimation).
 //! * [`comm`] — the message-passing abstraction (serial / threads).
+//! * [`chaos`] — the deterministic chaos harness: seeded fault schedules
+//!   applied through a transport wrapper.
 //! * [`core`] — the fastDNAml search and the master / foreman / worker /
 //!   monitor parallel runtime.
 //! * [`obs`] — the observability layer: structured runtime events, sinks
@@ -44,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub use fdml_chaos as chaos;
 pub use fdml_comm as comm;
 pub use fdml_core as core;
 pub use fdml_datagen as datagen;

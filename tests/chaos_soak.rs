@@ -1,0 +1,228 @@
+//! Chaos soak: seeded fault schedules over the threaded runtime.
+//!
+//! The property under test is the strong one from the paper's
+//! fault-tolerance design: as long as at least one worker survives, the
+//! final tree and its log-likelihood are **byte-identical** to the
+//! fault-free run — drops are requeued, delays are deduplicated, corrupt
+//! frames degrade to loss, and a killed worker's work is redistributed.
+//! When no worker survives, the run ends in a clean typed error and the
+//! farm manifest on disk remains valid and resumable.
+
+use fastdnaml::chaos::ChaosPlan;
+use fastdnaml::core::checkpoint::FarmManifest;
+use fastdnaml::core::config::SearchConfig;
+use fastdnaml::core::farm::FarmOptions;
+use fastdnaml::core::runner::{
+    farm_search, farm_search_chaotic, parallel_search, parallel_search_chaotic,
+};
+use fastdnaml::obs::{MemorySink, Sink};
+use fastdnaml::phylo::alignment::Alignment;
+use fastdnaml::phylo::newick;
+use std::time::Duration;
+
+fn alignment() -> Alignment {
+    Alignment::from_strings(&[
+        ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
+        ("t1", "ACGTACGTACTTACGTACGTACGAACGTACGT"),
+        ("t2", "ACGAACGTACGTACGGACGTACGTACCTAGGT"),
+        ("t3", "ACGAACGTACGTACGGACGTACTTACCTAGTT"),
+        ("t4", "TCGAACGGACGTACGGAAGTACGTACCTAGGA"),
+        ("t5", "TCGAACGGACGTACGGAAGTACGTTCCTAGGA"),
+    ])
+    .unwrap()
+}
+
+fn config() -> SearchConfig {
+    SearchConfig {
+        jumble_seed: 5,
+        // Short timeout so dropped results requeue quickly under chaos.
+        worker_timeout: Duration::from_millis(200),
+        ..Default::default()
+    }
+}
+
+/// The soak matrix: eight seeded fault mixes (every other one also kills
+/// a worker mid-search), plus a pure partition plan. Each must reproduce
+/// the fault-free tree and likelihood to the last bit.
+#[test]
+fn seeded_chaos_matrix_is_byte_identical_to_fault_free() {
+    let a = alignment();
+    let cfg = config();
+    let clean = parallel_search(&a, &cfg, 6).unwrap();
+    let clean_tree = newick::write_tree(&clean.result.tree, a.names());
+
+    let mut plans: Vec<ChaosPlan> = (1..=8)
+        .map(|seed| {
+            let plan = ChaosPlan::seeded(seed);
+            if seed % 2 == 0 {
+                // Half the matrix also loses worker 3 for good after two
+                // results — two of three workers must carry the rest.
+                plan.with_kill(3, 2)
+            } else {
+                plan
+            }
+        })
+        .collect();
+    plans.push(ChaosPlan::quiet(99).with_partition(1, 3));
+
+    for plan in &plans {
+        let chaotic = parallel_search_chaotic(&a, &cfg, 6, plan, Vec::new())
+            .unwrap_or_else(|e| panic!("plan seed {}: {e}", plan.seed));
+        let chaos_tree = newick::write_tree(&chaotic.result.tree, a.names());
+        assert_eq!(
+            chaos_tree, clean_tree,
+            "plan seed {} changed the tree",
+            plan.seed
+        );
+        assert_eq!(
+            chaotic.result.ln_likelihood.to_bits(),
+            clean.result.ln_likelihood.to_bits(),
+            "plan seed {} changed the likelihood",
+            plan.seed
+        );
+    }
+}
+
+/// Corruption is detected-and-dropped, surfaced in the run report, and
+/// still converges to the fault-free answer.
+#[test]
+fn corrupt_heavy_plan_is_counted_and_survived() {
+    let a = alignment();
+    let cfg = config();
+    let clean = parallel_search(&a, &cfg, 6).unwrap();
+    let plan = ChaosPlan {
+        corrupt_per_mille: 300,
+        ..ChaosPlan::quiet(7)
+    };
+    let sinks: Vec<Box<dyn Sink>> = vec![Box::new(MemorySink::new())];
+    let chaotic = parallel_search_chaotic(&a, &cfg, 6, &plan, sinks).unwrap();
+    assert_eq!(
+        chaotic.result.ln_likelihood.to_bits(),
+        clean.result.ln_likelihood.to_bits()
+    );
+    let report = chaotic.report.expect("observed run has a report");
+    assert!(
+        report.corrupt_frames > 0,
+        "a 30% corruption rate must hit at least one frame"
+    );
+}
+
+/// The same plan twice injects the same fault sequence, so both runs
+/// converge to the same tree and likelihood.
+#[test]
+fn chaos_runs_are_reproducible() {
+    let a = alignment();
+    let cfg = config();
+    let plan = ChaosPlan::seeded(4).with_kill(3, 1);
+    let one = parallel_search_chaotic(&a, &cfg, 6, &plan, Vec::new()).unwrap();
+    let two = parallel_search_chaotic(&a, &cfg, 6, &plan, Vec::new()).unwrap();
+    assert_eq!(
+        one.result.ln_likelihood.to_bits(),
+        two.result.ln_likelihood.to_bits()
+    );
+    assert_eq!(
+        newick::write_tree(&one.result.tree, a.names()),
+        newick::write_tree(&two.result.tree, a.names())
+    );
+}
+
+/// The jumble farm under chaos: same trees, same manifest, regardless of
+/// drops, duplicates, and a mid-farm worker kill.
+#[test]
+fn farm_under_chaos_matches_fault_free() {
+    let a = alignment();
+    let cfg = SearchConfig {
+        rearrange_radius: 1,
+        final_radius: 1,
+        ..config()
+    };
+    let seeds = [1, 3, 5, 7];
+    let clean = farm_search(&a, &cfg, &seeds, 6, FarmOptions::default()).unwrap();
+    for seed in [2u64, 11] {
+        let plan = ChaosPlan::seeded(seed).with_kill(4, 1);
+        let chaotic = farm_search_chaotic(
+            &a,
+            &cfg,
+            &seeds,
+            6,
+            FarmOptions::default(),
+            &plan,
+            Vec::new(),
+        )
+        .unwrap_or_else(|e| panic!("farm plan seed {seed}: {e}"));
+        assert_eq!(chaotic.runs.len(), clean.runs.len());
+        for (c, f) in chaotic.runs.iter().zip(clean.runs.iter()) {
+            assert_eq!(c.seed, f.seed);
+            assert_eq!(
+                c.newick, f.newick,
+                "farm plan seed {seed}, jumble {}",
+                c.seed
+            );
+            assert_eq!(c.ln_likelihood.to_bits(), f.ln_likelihood.to_bits());
+        }
+    }
+}
+
+/// When the plan kills every worker, the run must end in a clean typed
+/// error (the foreman's all-dead abort), and the manifest written before
+/// the collapse must remain valid and resumable.
+#[test]
+fn all_workers_dead_is_a_typed_error_with_a_resumable_manifest() {
+    let a = alignment();
+    let cfg = SearchConfig {
+        rearrange_radius: 1,
+        final_radius: 1,
+        ..config()
+    };
+    let seeds = [1, 3, 5, 7, 9, 11];
+    let dir = std::env::temp_dir().join(format!("fdml_chaos_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest_path = dir.join("farm.json");
+    // Every worker dies after completing one jumble: three land, three
+    // never can.
+    let plan = ChaosPlan::quiet(0)
+        .with_kill(3, 1)
+        .with_kill(4, 1)
+        .with_kill(5, 1);
+    let options = FarmOptions {
+        width: 0,
+        manifest_path: Some(manifest_path.clone()),
+        resume: None,
+    };
+    let err = farm_search_chaotic(&a, &cfg, &seeds, 6, options, &plan, Vec::new())
+        .expect_err("an all-dead farm must fail");
+    let text = err.to_string();
+    assert!(text.contains("aborted"), "got: {text}");
+
+    // The manifest survived the collapse and resumes to completion on a
+    // healthy universe.
+    let manifest =
+        FarmManifest::from_json(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    let done = manifest.entries.len() - manifest.unfinished().len();
+    assert!(
+        done >= 1,
+        "at least one jumble completed before the collapse"
+    );
+    assert!(
+        !manifest.unfinished().is_empty(),
+        "the collapse must leave work behind for the resume to prove anything"
+    );
+    let resumed = farm_search(
+        &a,
+        &cfg,
+        &seeds,
+        6,
+        FarmOptions {
+            width: 0,
+            manifest_path: None,
+            resume: Some(manifest),
+        },
+    )
+    .unwrap();
+    let fresh = farm_search(&a, &cfg, &seeds, 6, FarmOptions::default()).unwrap();
+    for (r, f) in resumed.runs.iter().zip(fresh.runs.iter()) {
+        assert_eq!(r.seed, f.seed);
+        assert_eq!(r.newick, f.newick, "resumed jumble {} diverged", r.seed);
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

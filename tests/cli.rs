@@ -82,6 +82,92 @@ fn checkpoint_then_resume_gives_same_tree() {
 }
 
 #[test]
+fn truncated_checkpoint_fails_cleanly_naming_the_file() {
+    let dir = workdir("badcp");
+    let cp = dir.join("cp.json");
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "9", "--quiet", "--checkpoint"])
+        .arg(&cp)
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    // Chop the checkpoint mid-JSON — a crash during write-then-rename
+    // cannot produce this, but a copied or tampered file can.
+    let text = std::fs::read_to_string(&cp).unwrap();
+    std::fs::write(&cp, &text[..text.len() / 2]).unwrap();
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "9", "--quiet", "--resume"])
+        .arg(&cp)
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "truncated checkpoint must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cp.json") && stderr.contains("not a valid checkpoint"),
+        "stderr must name the file and the problem: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic output: {stderr}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn wrong_seed_farm_manifest_fails_cleanly_naming_the_file() {
+    let dir = workdir("badfarm");
+    let manifest = dir.join("farm.json");
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "1", "--jumbles", "3", "--radius", "1"])
+        .args(["--quiet", "--checkpoint"])
+        .arg(&manifest)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Resuming under a different base seed plans a different seed set;
+    // silently mixing the two farms would corrupt the consensus.
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "11", "--jumbles", "3", "--radius", "1"])
+        .args(["--quiet", "--resume"])
+        .arg(&manifest)
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "wrong-seed manifest must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("farm.json") && stderr.contains("do not match"),
+        "stderr must name the file and the mismatch: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic output: {stderr}");
+    // A garbled manifest is caught at parse time, same contract.
+    std::fs::write(&manifest, "{ not json").unwrap();
+    let out = fastdnaml()
+        .args(["--input"])
+        .arg(dir.join("data.phy"))
+        .args(["--jumble", "1", "--jumbles", "3", "--radius", "1"])
+        .args(["--quiet", "--resume"])
+        .arg(&manifest)
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("farm.json") && stderr.contains("not a valid farm manifest"),
+        "stderr: {stderr}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn dnarates_report_feeds_fastdnaml() {
     let dir = workdir("rates");
     let rates = dir.join("rates.txt");

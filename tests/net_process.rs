@@ -156,6 +156,69 @@ fn killed_worker_process_is_requeued_and_the_result_stands() {
 }
 
 #[test]
+fn supervised_worker_is_respawned_and_readmitted() {
+    let dir = workdir("respawn");
+    let log = dir.join("events.jsonl");
+    // The 6-taxon toy search finishes in tens of milliseconds — less than
+    // the supervisor's respawn backoff — so the respawned worker would
+    // have nothing left to rejoin. Synthesize a problem big enough that
+    // the run comfortably outlasts death, re-fork, and re-admission.
+    let tree = fastdnaml::datagen::randtree::yule_tree(12, 0.1, 42);
+    let aln = fastdnaml::datagen::evolve(
+        &tree,
+        300,
+        &fastdnaml::datagen::EvolutionConfig::default(),
+        7,
+        "t",
+    );
+    std::fs::write(dir.join("data.phy"), fastdnaml::phylo::phylip::write(&aln))
+        .expect("write synthesized alignment");
+    let (clean_tree, _) = run(&dir, &["--net", "spawn", "5", "--quiet"]);
+    // Worker rank 4 dies after two results, but this time a supervisor is
+    // watching: the dead process is re-forked (without the die flags), it
+    // dials back in, is re-bound to its old rank, receives the problem
+    // data again, and serves the rest of the run.
+    let (chaos_tree, _) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "5",
+            "--supervise",
+            "--die-rank",
+            "4",
+            "--die-after-tasks",
+            "2",
+            "--worker-timeout-ms",
+            "300",
+            "--obs-out",
+            log.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(chaos_tree, clean_tree);
+    let text = std::fs::read_to_string(&log).unwrap();
+    let records = fastdnaml::obs::JsonlSink::parse(&text).unwrap();
+    assert!(
+        records.iter().any(|r| matches!(
+            r.event,
+            fastdnaml::obs::Event::WorkerRespawned {
+                worker: 4,
+                restarts
+            } if restarts >= 1
+        )),
+        "supervisor must record the respawn of rank 4"
+    );
+    assert!(
+        records.iter().any(|r| matches!(
+            r.event,
+            fastdnaml::obs::Event::NetPeerReconnected { rank: 4, .. }
+        )),
+        "hub must re-bind the respawned process to rank 4"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn coordinator_checkpoint_resumes_to_the_same_tree() {
     let dir = workdir("netcp");
     let cp = dir.join("cp.json");
