@@ -74,5 +74,44 @@ cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
 cmp "$SMOKE/farm_net_trees.txt" "$SMOKE/farm_thr_trees.txt"
 cmp "$SMOKE/farm_net.nwk" "$SMOKE/farm_thr.nwk"
 
+# Service smoke: start the job daemon with no workers, submit two farms
+# (they stay queued — no fleet yet), kill the daemon without ceremony,
+# then restart it on a fresh port with a spawned fleet and the same state
+# directory. Both jobs must resume from durable state and finish with
+# results byte-identical to local serial runs of the same seeds.
+SERVE=target/serve_smoke
+rm -rf "$SERVE"
+mkdir -p "$SERVE"
+cp "$SMOKE/data.phy" "$SERVE/data.phy"
+./target/release/fastdnaml --serve --state-dir "$SERVE/state" --listen 127.0.0.1:0 \
+  --addr-file "$SERVE/addr" --ranks 4 --quiet &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE/addr" ] && break; sleep 0.1; done
+ADDR=$(cat "$SERVE/addr")
+JOB_A=$(./target/release/fastdnaml --submit --connect "$ADDR" --input "$SERVE/data.phy" \
+  --jumble 7 --jumbles 3 --job-label smoke-a --quiet)
+JOB_B=$(./target/release/fastdnaml --submit --connect "$ADDR" --input "$SERVE/data.phy" \
+  --jumble 11 --jumbles 2 --job-label smoke-b --quiet)
+./target/release/fastdnaml --status "$JOB_A" --connect "$ADDR" | grep -q queued
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+rm -f "$SERVE/addr"
+./target/release/fastdnaml --serve --state-dir "$SERVE/state" --listen 127.0.0.1:0 \
+  --addr-file "$SERVE/addr" --ranks 5 --spawn-workers --quiet &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE/addr" ] && break; sleep 0.1; done
+ADDR=$(cat "$SERVE/addr")
+./target/release/fastdnaml --attach "$JOB_A" --connect "$ADDR" --quiet --output "$SERVE/job_a.nwk"
+./target/release/fastdnaml --attach "$JOB_B" --connect "$ADDR" --quiet --output "$SERVE/job_b.nwk"
+./target/release/fastdnaml --status "$JOB_A" --connect "$ADDR" | grep -q done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+./target/release/fastdnaml --input "$SERVE/data.phy" --jumble 7 --jumbles 3 --quiet \
+  --output "$SERVE/serial_a.nwk"
+./target/release/fastdnaml --input "$SERVE/data.phy" --jumble 11 --jumbles 2 --quiet \
+  --output "$SERVE/serial_b.nwk"
+cmp "$SERVE/job_a.nwk" "$SERVE/serial_a.nwk"
+cmp "$SERVE/job_b.nwk" "$SERVE/serial_b.nwk"
+
 # Fault-injection smoke rides the default gate too.
 chaos_smoke

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fdml_core::config::SearchConfig;
-use fdml_core::runner::{fast_serial_search, parallel_search, serial_search};
+use fdml_core::job::ResolvedJob;
+use fdml_core::runner::{fast_serial_search, parallel_search, serial_search, RunOptions};
 use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
 use fdml_phylo::alignment::Alignment;
 use std::hint::black_box;
@@ -36,9 +37,11 @@ fn bench_search_modes(c: &mut Criterion) {
         })
     });
     group.bench_function("parallel_6ranks", |b| {
+        let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1)
+            .expect("resolve benchmark job");
         b.iter(|| {
             black_box(
-                parallel_search(&alignment, &config, 6)
+                parallel_search(&job, 6, RunOptions::default())
                     .unwrap()
                     .result
                     .ln_likelihood,

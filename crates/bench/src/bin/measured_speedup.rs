@@ -6,7 +6,8 @@
 
 use fdml_bench::Args;
 use fdml_core::config::SearchConfig;
-use fdml_core::runner::{parallel_search, serial_search};
+use fdml_core::job::ResolvedJob;
+use fdml_core::runner::{parallel_search, serial_search, RunOptions};
 use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
 use std::time::Instant;
 
@@ -44,7 +45,9 @@ fn main() {
     while workers <= max_workers {
         let ranks = workers + 3;
         let t0 = Instant::now();
-        let outcome = parallel_search(&alignment, &config, ranks).expect("parallel search");
+        let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1)
+            .expect("resolve benchmark job");
+        let outcome = parallel_search(&job, ranks, RunOptions::default()).expect("parallel search");
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "{:>8} {:>12.2} {:>10.2} {:>14.3}  (ranks={ranks}, util cv={:.2})",

@@ -24,11 +24,16 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod job;
 pub mod message;
 pub mod recording;
 pub mod threads;
 pub mod transport;
 
+pub use job::{
+    JobId, JobResult, JobSpec, JobSpecBuilder, JobSpecError, JobState, JobStatus, JobTree,
+    RejectReason,
+};
 pub use message::{Message, MessageKind, MonitorEvent, TaskPayload};
 pub use recording::Recording;
 pub use threads::ThreadUniverse;

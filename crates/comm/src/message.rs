@@ -178,6 +178,45 @@ pub enum Message {
         /// Human-readable cause.
         reason: String,
     },
+    /// Daemon scheduler → worker: the problem data of one job in a
+    /// multi-tenant fleet. Unlike [`Message::ProblemData`] (one anonymous
+    /// problem per process lifetime) this is tagged with the job id, and a
+    /// worker caches one engine per job so tasks from concurrent jobs can
+    /// interleave on the same rank.
+    JobData {
+        /// The job this data belongs to.
+        job: crate::job::JobId,
+        /// PHYLIP-formatted alignment text.
+        phylip: String,
+        /// Engine configuration (model, categories, optimizer options).
+        config_json: String,
+    },
+    /// Daemon scheduler → worker: run one whole jumble of one job. The
+    /// worker evaluates it with the engine cached for `job` (the scheduler
+    /// always sends [`Message::JobData`] first).
+    JobTask {
+        /// The job the jumble belongs to.
+        job: crate::job::JobId,
+        /// Task id, unique within the daemon's lifetime.
+        task: u64,
+        /// The jumble seed (already adjusted and deduplicated).
+        seed: u64,
+    },
+    /// Worker → daemon scheduler: a finished job jumble.
+    JobTaskResult {
+        /// The job echoed back.
+        job: crate::job::JobId,
+        /// Task id echoed back.
+        task: u64,
+        /// The jumble seed echoed back.
+        seed: u64,
+        /// The best tree of the jumble, as Newick text.
+        newick: String,
+        /// Its log-likelihood.
+        ln_likelihood: f64,
+        /// Work units expended over the whole search.
+        work_units: u64,
+    },
     /// Foreman → worker: a liveness probe. A delinquent worker gets no new
     /// work, so without a probe a silently dead one would never be
     /// discovered (nothing is ever sent to it again) and an idle-but-alive
@@ -216,6 +255,12 @@ pub enum MessageKind {
     Quarantined,
     /// [`Message::Abort`].
     Abort,
+    /// [`Message::JobData`].
+    JobData,
+    /// [`Message::JobTask`].
+    JobTask,
+    /// [`Message::JobTaskResult`].
+    JobTaskResult,
     /// [`Message::Ping`].
     Ping,
     /// [`Message::Shutdown`].
@@ -237,6 +282,9 @@ impl MessageKind {
             MessageKind::PeerUp => "PeerUp",
             MessageKind::Quarantined => "Quarantined",
             MessageKind::Abort => "Abort",
+            MessageKind::JobData => "JobData",
+            MessageKind::JobTask => "JobTask",
+            MessageKind::JobTaskResult => "JobTaskResult",
             MessageKind::Ping => "Ping",
             MessageKind::Shutdown => "Shutdown",
         }
@@ -264,6 +312,9 @@ impl Message {
             Message::PeerUp { .. } => MessageKind::PeerUp,
             Message::Quarantined { .. } => MessageKind::Quarantined,
             Message::Abort { .. } => MessageKind::Abort,
+            Message::JobData { .. } => MessageKind::JobData,
+            Message::JobTask { .. } => MessageKind::JobTask,
+            Message::JobTaskResult { .. } => MessageKind::JobTaskResult,
             Message::Ping => MessageKind::Ping,
             Message::Shutdown => MessageKind::Shutdown,
         }
@@ -291,6 +342,13 @@ impl Message {
                 }
             }
             Message::Abort { reason } => reason.len() + 16,
+            Message::JobData {
+                phylip,
+                config_json,
+                ..
+            } => phylip.len() + config_json.len() + 24,
+            Message::JobTask { .. } => 40,
+            Message::JobTaskResult { newick, .. } => newick.len() + 72,
             Message::Ping => 16,
             Message::Shutdown => 16,
         }
@@ -351,6 +409,24 @@ mod tests {
             },
             Message::Abort {
                 reason: "all workers dead".into(),
+            },
+            Message::JobData {
+                job: 2,
+                phylip: "2 4\na ACGT\nb ACGA\n".into(),
+                config_json: "{}".into(),
+            },
+            Message::JobTask {
+                job: 2,
+                task: 40,
+                seed: 11,
+            },
+            Message::JobTaskResult {
+                job: 2,
+                task: 40,
+                seed: 11,
+                newick: "(a:1,b:2);".into(),
+                ln_likelihood: -99.5,
+                work_units: 1234,
             },
             Message::Ping,
             Message::Shutdown,

@@ -199,18 +199,11 @@ impl Sched {
 /// tree longer than this is marked delinquent, removed from the ready
 /// queue, and the tree goes to a different worker; if the delinquent worker
 /// answers later it is re-admitted (paper §2.2).
+///
+/// Pass [`Obs::disabled`] to run unobserved; otherwise every scheduling
+/// action emits an [`Event::QueueDepth`] sample, and each accepted result
+/// carries its dispatch-to-result latency (`service_us`) to the monitor.
 pub fn run_foreman<T: Transport>(
-    transport: T,
-    worker_timeout: Duration,
-    has_monitor: bool,
-) -> Result<ForemanStats, ForemanError> {
-    run_foreman_observed(transport, worker_timeout, has_monitor, Obs::disabled())
-}
-
-/// [`run_foreman`] with instrumentation: every scheduling action emits an
-/// [`Event::QueueDepth`] sample, and each accepted result carries its
-/// dispatch-to-result latency (`service_us`) to the monitor.
-pub fn run_foreman_observed<T: Transport>(
     transport: T,
     worker_timeout: Duration,
     has_monitor: bool,
@@ -505,8 +498,9 @@ mod tests {
         let worker = ends.remove(3);
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
-        let f =
-            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), false).unwrap());
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(5), false, Obs::disabled()).unwrap()
+        });
         // Worker announces readiness, master queues a task.
         worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
@@ -565,7 +559,13 @@ mod tests {
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
         let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_millis(60), false).unwrap()
+            run_foreman(
+                foreman_end,
+                Duration::from_millis(60),
+                false,
+                Obs::disabled(),
+            )
+            .unwrap()
         });
         w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
@@ -666,7 +666,7 @@ mod tests {
         // A long timeout: if the eager path didn't fire, the test would hang
         // far past its deadline waiting for the timer.
         let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+            run_foreman(foreman_end, Duration::from_secs(60), false, Obs::disabled()).unwrap()
         });
         w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         // w1 dies before any task reaches it.
@@ -709,8 +709,9 @@ mod tests {
         let worker = ends.remove(3);
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
-        let f =
-            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), false).unwrap());
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(5), false, Obs::disabled()).unwrap()
+        });
         worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
             .send(ranks::FOREMAN, &Message::JumbleTask { task: 5, seed: 9 })
@@ -746,8 +747,9 @@ mod tests {
         let monitor = ends.remove(2);
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
-        let f =
-            thread::spawn(move || run_foreman(foreman_end, Duration::from_secs(5), true).unwrap());
+        let f = thread::spawn(move || {
+            run_foreman(foreman_end, Duration::from_secs(5), true, Obs::disabled()).unwrap()
+        });
         worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
             .send(
@@ -797,7 +799,13 @@ mod tests {
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
         let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_millis(40), false).unwrap()
+            run_foreman(
+                foreman_end,
+                Duration::from_millis(40),
+                false,
+                Obs::disabled(),
+            )
+            .unwrap()
         });
         master
             .send(
@@ -864,7 +872,7 @@ mod tests {
         let master = ends.remove(0);
         // Long timeout: only the PeerDown path can requeue in time.
         let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+            run_foreman(foreman_end, Duration::from_secs(60), false, Obs::disabled()).unwrap()
         });
         w1.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         master
@@ -964,7 +972,7 @@ mod tests {
         let foreman_end = ends.remove(1);
         let master = ends.remove(0);
         let f = thread::spawn(move || {
-            run_foreman(foreman_end, Duration::from_secs(60), false).unwrap()
+            run_foreman(foreman_end, Duration::from_secs(60), false, Obs::disabled()).unwrap()
         });
         worker.send(ranks::FOREMAN, &Message::WorkerReady).unwrap();
         // The only worker dies while holding the only task.

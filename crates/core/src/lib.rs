@@ -10,6 +10,9 @@
 //!   subroutine"), and the incremental scorer used for large traces.
 //! * [`master`], [`foreman`], [`worker`], [`monitor`] — the four parallel
 //!   modules of the paper (§2.2), written against `fdml-comm`'s transport.
+//! * [`job`] — the unified job surface: resolving a wire-level
+//!   `JobSpec` into the runnable form every orchestration entrypoint is
+//!   constructed from.
 //! * [`runner`] — entry points: serial search, threaded parallel search,
 //!   multi-jumble orchestration.
 //! * [`netrun`] — the same topology across OS processes over `fdml-net`'s
@@ -28,6 +31,7 @@ pub mod config;
 pub mod executor;
 pub mod farm;
 pub mod foreman;
+pub mod job;
 pub mod jumble;
 pub mod master;
 pub mod monitor;
@@ -38,5 +42,6 @@ pub mod trace;
 pub mod worker;
 
 pub use config::SearchConfig;
-pub use runner::{parallel_search, serial_search};
+pub use job::ResolvedJob;
+pub use runner::{parallel_search, serial_search, RunOptions};
 pub use search::{SearchResult, StepwiseSearch};

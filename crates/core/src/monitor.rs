@@ -60,18 +60,12 @@ impl MonitorReport {
 }
 
 /// Run the monitor loop until `Shutdown`, returning the aggregated report.
-pub fn run_monitor<T: Transport>(transport: T) -> Result<MonitorReport, CommError> {
-    run_monitor_observed(transport, Obs::disabled())
-}
-
-/// [`run_monitor`] with instrumentation: every protocol-level
-/// [`MonitorEvent`] is also re-emitted as a structured [`Event`] (task
-/// lifecycle and round boundaries), so the monitor rank is where the
-/// foreman's bookkeeping enters the observability stream.
-pub fn run_monitor_observed<T: Transport>(
-    transport: T,
-    obs: Obs,
-) -> Result<MonitorReport, CommError> {
+///
+/// Pass [`Obs::disabled`] to run unobserved; otherwise every
+/// protocol-level [`MonitorEvent`] is also re-emitted as a structured
+/// [`Event`] (task lifecycle and round boundaries), so the monitor rank
+/// is where the foreman's bookkeeping enters the observability stream.
+pub fn run_monitor<T: Transport>(transport: T, obs: Obs) -> Result<MonitorReport, CommError> {
     let mut report = MonitorReport::default();
     loop {
         let (_, msg) = transport.recv()?;
@@ -146,7 +140,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(3);
         let monitor_end = ends.remove(2);
         let sender = ends.remove(1);
-        let handle = thread::spawn(move || run_monitor(monitor_end).unwrap());
+        let handle = thread::spawn(move || run_monitor(monitor_end, Obs::disabled()).unwrap());
         for ev in [
             MonitorEvent::Dispatched { task: 1, worker: 3 },
             MonitorEvent::Completed {

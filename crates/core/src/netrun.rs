@@ -7,26 +7,30 @@
 //! `run_monitor` / `run_worker` loops the threaded build runs, now against
 //! [`fdml_net::TcpTransport`] instead of a channel endpoint.
 //!
+//! Like every orchestration entrypoint in this crate, the coordinators are
+//! constructed from a [`ResolvedJob`] (what to run) plus a [`NetOptions`]
+//! bundle (where and how to run it) — the same two-part surface the
+//! threaded [`crate::runner`] and the `fdml-serve` daemon use.
+//!
 //! [`net_coordinator_search`] can also fork the peers itself (`spawn`
 //! mode), reproducing the single-command cluster launch of `mpirun -np N`
 //! on one machine: children are re-invocations of the current executable in
 //! peer mode, connected over loopback.
 
 use crate::checkpoint::{Checkpoint, FarmManifest};
-use crate::config::SearchConfig;
 use crate::farm::{run_farm_master, FarmOptions, JumbleRun};
-use crate::foreman::{run_foreman_observed, ForemanStats};
+use crate::foreman::{run_foreman, ForemanStats};
+use crate::job::ResolvedJob;
 use crate::master::ClusterExecutor;
-use crate::monitor::{run_monitor_observed, MonitorReport};
+use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
-use crate::worker::{ranks, run_worker_observed, WorkerStats};
+use crate::worker::{ranks, run_worker, WorkerStats};
 use fdml_chaos::ChaosPlan;
 use fdml_comm::message::Message;
 use fdml_comm::recording::Recording;
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
 use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
-use fdml_phylo::alignment::Alignment;
 use fdml_phylo::consensus::Consensus;
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::phylip;
@@ -81,6 +85,54 @@ impl NetSpawn {
     }
 }
 
+/// Where and how a coordinator runs: the listen address, universe size,
+/// observer sinks, checkpointing, and optional peer spawning. The job
+/// itself (alignment, config, seeds) rides separately as a
+/// [`ResolvedJob`]; [`NetOptions::new`] gives the plain unobserved run.
+pub struct NetOptions {
+    /// Address to bind the hub on (`host:0` picks an ephemeral port).
+    pub listen: String,
+    /// Total universe size including the coordinator (minimum 4).
+    pub num_ranks: usize,
+    /// Observer sinks. Empty (or all-null) disables observation and the
+    /// outcome's `report` is `None`.
+    pub sinks: Vec<Box<dyn Sink>>,
+    /// Write a [`Checkpoint`] file after every completed taxon addition
+    /// (one-shot searches only; farms checkpoint via their manifest).
+    pub checkpoint_out: Option<PathBuf>,
+    /// Resume a one-shot search from a checkpoint.
+    pub resume: Option<Checkpoint>,
+    /// Fork the peers ourselves — the single-command cluster launch.
+    pub spawn: Option<NetSpawn>,
+}
+
+impl NetOptions {
+    /// Plain settings: listen on `listen`, expect `num_ranks` ranks, no
+    /// observation, no checkpointing, peers dial in on their own.
+    pub fn new(listen: impl Into<String>, num_ranks: usize) -> NetOptions {
+        NetOptions {
+            listen: listen.into(),
+            num_ranks,
+            sinks: Vec::new(),
+            checkpoint_out: None,
+            resume: None,
+            spawn: None,
+        }
+    }
+
+    /// Attach observer sinks.
+    pub fn observed(mut self, sinks: Vec<Box<dyn Sink>>) -> NetOptions {
+        self.sinks = sinks;
+        self
+    }
+
+    /// Fork the peers from `spawn` instead of waiting for external dials.
+    pub fn spawning(mut self, spawn: NetSpawn) -> NetOptions {
+        self.spawn = Some(spawn);
+        self
+    }
+}
+
 /// What a coordinator run returns.
 #[derive(Debug)]
 pub struct NetOutcome {
@@ -108,28 +160,9 @@ pub enum PeerOutcome {
 /// How long the coordinator waits for the universe to assemble.
 const READY_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Run the coordinator: bind the hub, (optionally) fork peers, wait for
-/// the universe, then drive the stepwise search as rank 0.
-///
-/// `checkpoint_out` writes a [`Checkpoint`] file after every completed
-/// taxon addition; `resume` restarts from one — together they make a
-/// coordinator killed mid-search restartable (the peers are stateless
-/// between tasks, so only rank 0 carries state worth saving).
-#[allow(clippy::too_many_arguments)]
-pub fn net_coordinator_search(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    listen: &str,
-    num_ranks: usize,
-    mut sinks: Vec<Box<dyn Sink>>,
-    checkpoint_out: Option<PathBuf>,
-    resume: Option<Checkpoint>,
-    spawn: Option<NetSpawn>,
-) -> Result<NetOutcome, PhyloError> {
-    assert!(
-        num_ranks >= 4,
-        "the fully instrumented parallel version requires at least four ranks"
-    );
+/// Tee a [`MemorySink`] into `sinks` when any sink is live, so the
+/// end-of-run report can be aggregated no matter where else events go.
+fn observe(mut sinks: Vec<Box<dyn Sink>>) -> (Obs, Option<MemorySink>) {
     let observing = sinks.iter().any(|s| !s.is_null());
     let mem = if observing {
         let mem = MemorySink::new();
@@ -138,14 +171,46 @@ pub fn net_coordinator_search(
     } else {
         None
     };
-    let obs = Obs::multi(sinks);
-    obs.emit(|| Event::RunStarted {
-        ranks: num_ranks,
-        workers: num_ranks - ranks::FIRST_WORKER,
-    });
+    (Obs::multi(sinks), mem)
+}
 
+/// Build the peer-mode command line for one child.
+fn peer_command(spawn: &NetSpawn, addr: &str, rank: Option<Rank>) -> Command {
+    let mut cmd = Command::new(&spawn.program);
+    cmd.arg("--net")
+        .arg("worker")
+        .arg("--connect")
+        .arg(addr)
+        .stdout(Stdio::null());
+    if spawn.quiet {
+        cmd.arg("--quiet");
+    }
+    if let (Some(rank), Some((die_rank, tasks))) = (rank, spawn.die_after_tasks) {
+        if die_rank == rank {
+            cmd.arg("--die-after-tasks").arg(tasks.to_string());
+        }
+    }
+    cmd
+}
+
+/// Bind the hub, fork peers if asked, and wait for the universe.
+///
+/// Spawning is sequential — each child's handshake is awaited before the
+/// next fork — so connection order, and therefore rank assignment, is
+/// deterministic (child *i* becomes rank *i*).
+fn assemble_universe(
+    listen: &str,
+    num_ranks: usize,
+    worker_timeout: Duration,
+    obs: &Obs,
+    spawn: &Option<NetSpawn>,
+) -> Result<(TcpHub, Vec<(Rank, Child)>), PhyloError> {
+    assert!(
+        num_ranks >= 4,
+        "the fully instrumented parallel version requires at least four ranks"
+    );
     let net_cfg = NetConfig {
-        worker_timeout: config.worker_timeout,
+        worker_timeout,
         ..NetConfig::default()
     };
     let hub = TcpHub::bind(listen, num_ranks, net_cfg, obs.clone())
@@ -153,26 +218,9 @@ pub fn net_coordinator_search(
     let addr = hub.local_addr().to_string();
 
     let mut children: Vec<(Rank, Child)> = Vec::new();
-    if let Some(spawn) = &spawn {
-        // Sequential spawn: wait for each child's handshake before forking
-        // the next, so connection order — and therefore rank assignment —
-        // is deterministic (child i becomes rank i).
+    if let Some(spawn) = spawn {
         for rank in 1..num_ranks {
-            let mut cmd = Command::new(&spawn.program);
-            cmd.arg("--net")
-                .arg("worker")
-                .arg("--connect")
-                .arg(&addr)
-                .stdout(Stdio::null());
-            if spawn.quiet {
-                cmd.arg("--quiet");
-            }
-            if let Some((die_rank, tasks)) = spawn.die_after_tasks {
-                if die_rank == rank {
-                    cmd.arg("--die-after-tasks").arg(tasks.to_string());
-                }
-            }
-            let child = cmd
+            let child = peer_command(spawn, &addr, Some(rank))
                 .spawn()
                 .map_err(|e| PhyloError::Format(format!("spawn peer: {e}")))?;
             children.push((rank, child));
@@ -190,12 +238,69 @@ pub fn net_coordinator_search(
     }
     hub.wait_ready(READY_TIMEOUT)
         .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
+    Ok((hub, children))
+}
 
+/// Shut the universe down: stop supervision, wait for the peers to
+/// acknowledge by disconnecting (or the foreman's Shutdown cascade would
+/// race the relay teardown and surviving ranks would die on a broken link
+/// instead of exiting cleanly), then collect child exit statuses.
+fn drain_and_reap(
+    master_end: Recording<TcpHub>,
+    supervisor: Option<Supervisor>,
+    mut children: Vec<(Rank, Child)>,
+) -> Vec<(Rank, Option<i32>)> {
+    let mut peer_exits = Vec::new();
+    if let Some(sup) = supervisor {
+        let (mut kids, mut exits) = sup.finish();
+        children.append(&mut kids);
+        peer_exits.append(&mut exits);
+    }
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    peer_exits.extend(reap(&mut children, Duration::from_secs(30)));
+    drop(master_end);
+    peer_exits
+}
+
+/// Run the coordinator: bind the hub, (optionally) fork peers, wait for
+/// the universe, then drive the stepwise search as rank 0.
+///
+/// `options.checkpoint_out` writes a [`Checkpoint`] file after every
+/// completed taxon addition; `options.resume` restarts from one —
+/// together they make a coordinator killed mid-search restartable (the
+/// peers are stateless between tasks, so only rank 0 carries state worth
+/// saving).
+pub fn net_coordinator_search(
+    job: &ResolvedJob,
+    options: NetOptions,
+) -> Result<NetOutcome, PhyloError> {
+    let NetOptions {
+        listen,
+        num_ranks,
+        sinks,
+        checkpoint_out,
+        resume,
+        spawn,
+    } = options;
+    let alignment = &job.alignment;
+    let config = &job.config;
+    let (obs, mem) = observe(sinks);
+    obs.emit(|| Event::RunStarted {
+        ranks: num_ranks,
+        workers: num_ranks - ranks::FIRST_WORKER,
+    });
+
+    let (hub, mut children) =
+        assemble_universe(&listen, num_ranks, config.worker_timeout, &obs, &spawn)?;
+    let addr = hub.local_addr().to_string();
     let supervisor = match &spawn {
         Some(s) if s.supervise => Some(Supervisor::start(
             std::mem::take(&mut children),
             s.clone(),
-            addr.clone(),
+            addr,
             obs.clone(),
         )),
         _ => None,
@@ -226,24 +331,10 @@ pub fn net_coordinator_search(
     }
     let result = search.run();
     let executor = search.into_executor();
-    // `shutdown` returns the transport; keep the hub alive until the peers
-    // acknowledge by disconnecting, or the foreman's Shutdown cascade would
-    // race the relay teardown and surviving ranks would die on a broken
-    // link instead of exiting cleanly.
+    // `shutdown` returns the transport; the teardown helper keeps the hub
+    // alive until the peers acknowledge by disconnecting.
     let master_end = executor.shutdown();
-    let mut early_exits = Vec::new();
-    if let Some(sup) = supervisor {
-        let (mut kids, mut exits) = sup.finish();
-        children.append(&mut kids);
-        early_exits.append(&mut exits);
-    }
-    let drain_deadline = Instant::now() + Duration::from_secs(10);
-    while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let mut peer_exits = early_exits;
-    peer_exits.extend(reap(&mut children, Duration::from_secs(30)));
-    drop(master_end);
+    let peer_exits = drain_and_reap(master_end, supervisor, children);
     let result = result?;
     obs.emit(|| Event::RunFinished {
         ln_likelihood: result.ln_likelihood,
@@ -274,114 +365,48 @@ pub struct NetFarmOutcome {
 }
 
 /// Run the coordinator as a jumble-farm master: bind the hub, (optionally)
-/// fork peers, then shard whole jumbles across the worker processes via
-/// [`run_farm_master`]. Manifest checkpointing and resume come from
-/// `options`; the peers run the same worker loop as a tree-task search, so
-/// no peer-side flags change.
-#[allow(clippy::too_many_arguments)]
+/// fork peers, then shard the job's planned seeds across the worker
+/// processes via [`run_farm_master`]. Manifest checkpointing and resume
+/// come from `farm`; the peers run the same worker loop as a tree-task
+/// search, so no peer-side flags change.
 pub fn net_farm_search(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    listen: &str,
-    num_ranks: usize,
-    seeds: &[u64],
-    options: &FarmOptions,
-    mut sinks: Vec<Box<dyn Sink>>,
-    spawn: Option<NetSpawn>,
+    job: &ResolvedJob,
+    farm: &FarmOptions,
+    options: NetOptions,
 ) -> Result<NetFarmOutcome, PhyloError> {
-    assert!(
-        num_ranks >= 4,
-        "the fully instrumented parallel version requires at least four ranks"
-    );
-    let observing = sinks.iter().any(|s| !s.is_null());
-    let mem = if observing {
-        let mem = MemorySink::new();
-        sinks.push(Box::new(mem.clone()));
-        Some(mem)
-    } else {
-        None
-    };
-    let obs = Obs::multi(sinks);
+    let NetOptions {
+        listen,
+        num_ranks,
+        sinks,
+        spawn,
+        ..
+    } = options;
+    let alignment = &job.alignment;
+    let config = &job.config;
+    let (obs, mem) = observe(sinks);
     obs.emit(|| Event::RunStarted {
         ranks: num_ranks,
         workers: num_ranks - ranks::FIRST_WORKER,
     });
 
-    let net_cfg = NetConfig {
-        worker_timeout: config.worker_timeout,
-        ..NetConfig::default()
-    };
-    let hub = TcpHub::bind(listen, num_ranks, net_cfg, obs.clone())
-        .map_err(|e| PhyloError::Format(format!("bind {listen}: {e}")))?;
+    let (hub, mut children) =
+        assemble_universe(&listen, num_ranks, config.worker_timeout, &obs, &spawn)?;
     let addr = hub.local_addr().to_string();
-
-    let mut children: Vec<(Rank, Child)> = Vec::new();
-    if let Some(spawn) = &spawn {
-        // Sequential spawn, as in `net_coordinator_search`: deterministic
-        // connection order means deterministic rank assignment.
-        for rank in 1..num_ranks {
-            let mut cmd = Command::new(&spawn.program);
-            cmd.arg("--net")
-                .arg("worker")
-                .arg("--connect")
-                .arg(&addr)
-                .stdout(Stdio::null());
-            if spawn.quiet {
-                cmd.arg("--quiet");
-            }
-            if let Some((die_rank, tasks)) = spawn.die_after_tasks {
-                if die_rank == rank {
-                    cmd.arg("--die-after-tasks").arg(tasks.to_string());
-                }
-            }
-            let child = cmd
-                .spawn()
-                .map_err(|e| PhyloError::Format(format!("spawn peer: {e}")))?;
-            children.push((rank, child));
-            let deadline = Instant::now() + READY_TIMEOUT;
-            while hub.connected_peers() < rank {
-                if Instant::now() >= deadline {
-                    reap(&mut children, Duration::ZERO);
-                    return Err(PhyloError::Format(format!(
-                        "spawned peer for rank {rank} never connected"
-                    )));
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-        }
-    }
-    hub.wait_ready(READY_TIMEOUT)
-        .map_err(|e| PhyloError::Format(format!("waiting for peers: {e}")))?;
-
     let supervisor = match &spawn {
         Some(s) if s.supervise => Some(Supervisor::start(
             std::mem::take(&mut children),
             s.clone(),
-            addr.clone(),
+            addr,
             obs.clone(),
         )),
         _ => None,
     };
 
     let master_end = Recording::new(hub, obs.clone());
-    let parts = run_farm_master(&master_end, alignment, config, seeds, options, &obs);
-    // Shut the universe down regardless of the farm outcome, then keep the
-    // hub alive until the peers acknowledge by disconnecting (see
-    // `net_coordinator_search` for why).
+    let parts = run_farm_master(&master_end, alignment, config, &job.seeds, farm, &obs);
+    // Shut the universe down regardless of the farm outcome.
     let _ = master_end.send(ranks::FOREMAN, &Message::Shutdown);
-    let mut early_exits = Vec::new();
-    if let Some(sup) = supervisor {
-        let (mut kids, mut exits) = sup.finish();
-        children.append(&mut kids);
-        early_exits.append(&mut exits);
-    }
-    let drain_deadline = Instant::now() + Duration::from_secs(10);
-    while master_end.inner().connected_peers() > 0 && Instant::now() < drain_deadline {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let mut peer_exits = early_exits;
-    peer_exits.extend(reap(&mut children, Duration::from_secs(30)));
-    drop(master_end);
+    let peer_exits = drain_and_reap(master_end, supervisor, children);
     let parts = parts?;
     obs.emit(|| Event::RunFinished {
         ln_likelihood: parts.best_ln_likelihood(),
@@ -475,18 +500,10 @@ fn supervise(
             let count = restarts.entry(rank).or_insert(0);
             *count += 1;
             let restart_count = *count as u64;
-            let mut cmd = Command::new(&spawn.program);
-            cmd.arg("--net")
-                .arg("worker")
-                .arg("--connect")
-                .arg(&addr)
-                .stdout(Stdio::null());
-            if spawn.quiet {
-                cmd.arg("--quiet");
-            }
-            // Deliberately no `--die-after-tasks`: the replacement is
-            // healthy even when the original was a chaos casualty.
-            match cmd.spawn() {
+            // Deliberately built without `--die-after-tasks` (rank None):
+            // the replacement is healthy even when the original was a
+            // chaos casualty.
+            match peer_command(&spawn, &addr, None).spawn() {
                 Ok(child) => {
                     obs.emit(|| Event::WorkerRespawned {
                         worker: rank,
@@ -544,7 +561,7 @@ pub fn run_net_peer(
     let rank = transport.rank();
     let worker_timeout = transport.worker_timeout();
     let outcome = match rank {
-        ranks::FOREMAN => run_foreman_observed(
+        ranks::FOREMAN => run_foreman(
             Recording::new(transport, obs.clone()),
             worker_timeout,
             true,
@@ -552,14 +569,14 @@ pub fn run_net_peer(
         )
         .map(PeerOutcome::Foreman)
         .map_err(|e| format!("foreman: {e}"))?,
-        ranks::MONITOR => run_monitor_observed(Recording::new(transport, obs.clone()), obs.clone())
+        ranks::MONITOR => run_monitor(Recording::new(transport, obs.clone()), obs.clone())
             .map(PeerOutcome::Monitor)
             .map_err(|e| format!("monitor: {e}"))?,
         _ => {
             let recorded = Recording::new(transport, obs.clone());
             let stats = match die_after_tasks {
-                Some(n) => run_worker_observed(DieAfter::new(recorded, n), obs.clone()),
-                None => run_worker_observed(recorded, obs.clone()),
+                Some(n) => run_worker(DieAfter::new(recorded, n), obs.clone()),
+                None => run_worker(recorded, obs.clone()),
             }
             .map_err(|e| format!("worker: {e:?}"))?;
             PeerOutcome::Worker(stats)

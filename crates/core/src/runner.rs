@@ -5,12 +5,13 @@ use crate::checkpoint::FarmManifest;
 use crate::config::SearchConfig;
 use crate::executor::{FullEvalExecutor, ScorerExecutor};
 use crate::farm::{dedup_adjusted, run_farm_master, run_one_jumble, FarmOptions, JumbleRun};
-use crate::foreman::{run_foreman_observed, ForemanStats};
+use crate::foreman::{run_foreman, ForemanStats};
+use crate::job::ResolvedJob;
 use crate::master::ClusterExecutor;
-use crate::monitor::{run_monitor_observed, MonitorReport};
+use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
-use crate::worker::{ranks, run_worker_observed, WorkerStats};
+use crate::worker::{ranks, run_worker, WorkerStats};
 use fdml_chaos::{ChaosPlan, ChaosTransport};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
 use fdml_comm::message::Message;
@@ -87,6 +88,55 @@ pub fn traced_search(
     }
 }
 
+/// Optional machinery threaded through a parallel or farm run: fault
+/// injection, a chaos plan, and observer sinks. [`RunOptions::default`] is
+/// the plain unobserved run, so the common call reads
+/// `parallel_search(&job, n, RunOptions::default())`.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Injected per-worker fault plans, keyed by worker rank — exercises
+    /// the foreman's timeout machinery.
+    pub faults: HashMap<usize, FaultPlan>,
+    /// A seeded chaos plan: every worker transport is wrapped in
+    /// [`ChaosTransport`], injecting the plan's exact per-rank drop /
+    /// delay / duplicate / corrupt / kill schedule.
+    pub chaos: Option<ChaosPlan>,
+    /// Observer sinks. Empty (or all-null) disables observation entirely —
+    /// the instrumented code paths then cost one branch per emit point and
+    /// no allocation, and the outcome's `report` is `None`.
+    pub sinks: Vec<Box<dyn Sink>>,
+}
+
+impl RunOptions {
+    /// Observation only: events stream into `sinks` and the outcome
+    /// carries a [`RunReport`].
+    pub fn observed(sinks: Vec<Box<dyn Sink>>) -> RunOptions {
+        RunOptions {
+            sinks,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Fault injection only (keyed by worker rank).
+    pub fn with_faults(faults: HashMap<usize, FaultPlan>) -> RunOptions {
+        RunOptions {
+            faults,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Chaos plan only. The soak property: as long as at least one worker
+    /// survives, the result is byte-identical to the fault-free run; when
+    /// the plan kills every worker, the run returns a typed error instead
+    /// of hanging.
+    pub fn chaotic(plan: &ChaosPlan) -> RunOptions {
+        RunOptions {
+            chaos: Some(plan.clone()),
+            ..RunOptions::default()
+        }
+    }
+}
+
 /// Everything a parallel run returns.
 #[derive(Debug)]
 pub struct ParallelOutcome {
@@ -100,7 +150,7 @@ pub struct ParallelOutcome {
     /// Per-worker statistics, indexed by rank.
     pub workers: HashMap<usize, WorkerStats>,
     /// The end-of-run observability report — `Some` when the run was
-    /// observed (see [`parallel_search_observed`]), `None` otherwise.
+    /// observed (sinks in [`RunOptions`]), `None` otherwise.
     pub report: Option<RunReport>,
 }
 
@@ -108,74 +158,22 @@ pub struct ParallelOutcome {
 /// foreman, rank 2 monitor, ranks 3.. workers. As in the paper, "the fully
 /// instrumented parallel version of fastDNAml requires a minimum of four
 /// processors".
-pub fn parallel_search(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    num_ranks: usize,
-) -> Result<ParallelOutcome, PhyloError> {
-    parallel_search_with_faults(alignment, config, num_ranks, HashMap::new())
-}
-
-/// Parallel search with injected worker faults (keyed by worker rank),
-/// exercising the foreman's timeout machinery.
-pub fn parallel_search_with_faults(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    num_ranks: usize,
-    faults: HashMap<usize, FaultPlan>,
-) -> Result<ParallelOutcome, PhyloError> {
-    parallel_search_observed(alignment, config, num_ranks, faults, Vec::new())
-}
-
-/// Parallel search with full instrumentation: every rank's transport is
-/// wrapped in [`Recording`], the foreman / workers / monitor emit structured
-/// [`Event`]s into `sinks`, and the outcome carries a [`RunReport`]
-/// aggregated from the stream.
 ///
-/// An empty `sinks` (or all-null sinks) disables observation entirely —
-/// the instrumented code paths then cost one branch per emit point and no
-/// allocation, and `report` is `None`.
-pub fn parallel_search_observed(
-    alignment: &Alignment,
-    config: &SearchConfig,
+/// The job (alignment + config) arrives as a [`ResolvedJob`]; faults,
+/// chaos, and observer sinks ride in [`RunOptions`]
+/// ([`RunOptions::default`] for a plain run).
+pub fn parallel_search(
+    job: &ResolvedJob,
     num_ranks: usize,
-    faults: HashMap<usize, FaultPlan>,
-    sinks: Vec<Box<dyn Sink>>,
+    options: RunOptions,
 ) -> Result<ParallelOutcome, PhyloError> {
-    parallel_search_inner(alignment, config, num_ranks, faults, None, sinks)
-}
-
-/// Parallel search under a seeded [`ChaosPlan`]: every worker transport is
-/// wrapped in [`ChaosTransport`], injecting the plan's exact per-rank
-/// drop / delay / duplicate / corrupt / kill schedule. The soak property:
-/// as long as at least one worker survives, the result is byte-identical
-/// to the fault-free run; when the plan kills every worker, the foreman
-/// aborts and this returns a typed error instead of hanging.
-pub fn parallel_search_chaotic(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    num_ranks: usize,
-    plan: &ChaosPlan,
-    sinks: Vec<Box<dyn Sink>>,
-) -> Result<ParallelOutcome, PhyloError> {
-    parallel_search_inner(
-        alignment,
-        config,
-        num_ranks,
-        HashMap::new(),
-        Some(plan.clone()),
-        sinks,
-    )
-}
-
-fn parallel_search_inner(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    num_ranks: usize,
-    mut faults: HashMap<usize, FaultPlan>,
-    chaos: Option<ChaosPlan>,
-    mut sinks: Vec<Box<dyn Sink>>,
-) -> Result<ParallelOutcome, PhyloError> {
+    let RunOptions {
+        mut faults,
+        chaos,
+        mut sinks,
+    } = options;
+    let alignment = &job.alignment;
+    let config = &job.config;
     assert!(
         num_ranks >= 4,
         "the fully instrumented parallel version requires at least four ranks"
@@ -205,20 +203,18 @@ fn parallel_search_inner(
         let chaos = chaos.clone();
         let worker_obs = obs.clone();
         let handle = thread::spawn(move || match (chaos, fault) {
-            (Some(plan), _) => run_worker_observed(
+            (Some(plan), _) => run_worker(
                 Recording::new(
                     ChaosTransport::new(end, plan, worker_obs.clone()),
                     worker_obs.clone(),
                 ),
                 worker_obs,
             ),
-            (None, Some(plan)) => run_worker_observed(
+            (None, Some(plan)) => run_worker(
                 Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
                 worker_obs,
             ),
-            (None, None) => {
-                run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs)
-            }
+            (None, None) => run_worker(Recording::new(end, worker_obs.clone()), worker_obs),
         });
         worker_handles.push((rank, handle));
     }
@@ -228,9 +224,9 @@ fn parallel_search_inner(
     let timeout = config.worker_timeout;
     let foreman_obs = obs.clone();
     let foreman_handle =
-        thread::spawn(move || run_foreman_observed(foreman_end, timeout, true, foreman_obs));
+        thread::spawn(move || run_foreman(foreman_end, timeout, true, foreman_obs));
     let monitor_obs = obs.clone();
-    let monitor_handle = thread::spawn(move || run_monitor_observed(monitor_end, monitor_obs));
+    let monitor_handle = thread::spawn(move || run_monitor(monitor_end, monitor_obs));
 
     let executor = ClusterExecutor::new(
         master_end,
@@ -319,100 +315,25 @@ pub struct FarmOutcome {
     pub report: Option<RunReport>,
 }
 
-/// The threaded jumble farm: whole jumbles sharded across `num_ranks - 3`
-/// worker threads through the foreman (paper §6's many-jumbles workload).
+/// The threaded jumble farm: whole jumbles (the [`ResolvedJob`]'s planned
+/// seed list) sharded across `num_ranks - 3` worker threads through the
+/// foreman (paper §6's many-jumbles workload). Faults, chaos, and observer
+/// sinks ride in [`RunOptions`]; when observing, the report aggregates
+/// `JumbleStarted` / `JumbleCompleted` / `FarmProgress` events.
 pub fn farm_search(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    seeds: &[u64],
+    job: &ResolvedJob,
     num_ranks: usize,
     options: FarmOptions,
+    run: RunOptions,
 ) -> Result<FarmOutcome, PhyloError> {
-    farm_search_observed(
-        alignment,
-        config,
-        seeds,
-        num_ranks,
-        options,
-        HashMap::new(),
-        Vec::new(),
-    )
-}
-
-/// [`farm_search`] with injected worker faults (keyed by worker rank):
-/// dropped, delayed, or severed jumble results exercise the foreman's
-/// timeout/requeue machinery at farm granularity.
-pub fn farm_search_with_faults(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    seeds: &[u64],
-    num_ranks: usize,
-    options: FarmOptions,
-    faults: HashMap<usize, FaultPlan>,
-) -> Result<FarmOutcome, PhyloError> {
-    farm_search_observed(
-        alignment,
-        config,
-        seeds,
-        num_ranks,
-        options,
-        faults,
-        Vec::new(),
-    )
-}
-
-/// [`farm_search`] with full instrumentation, mirroring
-/// [`parallel_search_observed`]: rank 0 runs the farm scheduler instead of
-/// a stepwise search, and the report aggregates `JumbleStarted` /
-/// `JumbleCompleted` / `FarmProgress` events.
-pub fn farm_search_observed(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    seeds: &[u64],
-    num_ranks: usize,
-    options: FarmOptions,
-    faults: HashMap<usize, FaultPlan>,
-    sinks: Vec<Box<dyn Sink>>,
-) -> Result<FarmOutcome, PhyloError> {
-    farm_search_inner(
-        alignment, config, seeds, num_ranks, options, faults, None, sinks,
-    )
-}
-
-/// [`farm_search`] under a seeded [`ChaosPlan`] — the farm-granularity
-/// counterpart of [`parallel_search_chaotic`].
-pub fn farm_search_chaotic(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    seeds: &[u64],
-    num_ranks: usize,
-    options: FarmOptions,
-    plan: &ChaosPlan,
-    sinks: Vec<Box<dyn Sink>>,
-) -> Result<FarmOutcome, PhyloError> {
-    farm_search_inner(
-        alignment,
-        config,
-        seeds,
-        num_ranks,
-        options,
-        HashMap::new(),
-        Some(plan.clone()),
-        sinks,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn farm_search_inner(
-    alignment: &Alignment,
-    config: &SearchConfig,
-    seeds: &[u64],
-    num_ranks: usize,
-    options: FarmOptions,
-    mut faults: HashMap<usize, FaultPlan>,
-    chaos: Option<ChaosPlan>,
-    mut sinks: Vec<Box<dyn Sink>>,
-) -> Result<FarmOutcome, PhyloError> {
+    let RunOptions {
+        mut faults,
+        chaos,
+        mut sinks,
+    } = run;
+    let alignment = &job.alignment;
+    let config = &job.config;
+    let seeds: &[u64] = &job.seeds;
     assert!(
         num_ranks >= 4,
         "the fully instrumented parallel version requires at least four ranks"
@@ -439,20 +360,18 @@ fn farm_search_inner(
         let chaos = chaos.clone();
         let worker_obs = obs.clone();
         let handle = thread::spawn(move || match (chaos, fault) {
-            (Some(plan), _) => run_worker_observed(
+            (Some(plan), _) => run_worker(
                 Recording::new(
                     ChaosTransport::new(end, plan, worker_obs.clone()),
                     worker_obs.clone(),
                 ),
                 worker_obs,
             ),
-            (None, Some(plan)) => run_worker_observed(
+            (None, Some(plan)) => run_worker(
                 Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
                 worker_obs,
             ),
-            (None, None) => {
-                run_worker_observed(Recording::new(end, worker_obs.clone()), worker_obs)
-            }
+            (None, None) => run_worker(Recording::new(end, worker_obs.clone()), worker_obs),
         });
         worker_handles.push((rank, handle));
     }
@@ -462,9 +381,9 @@ fn farm_search_inner(
     let timeout = config.worker_timeout;
     let foreman_obs = obs.clone();
     let foreman_handle =
-        thread::spawn(move || run_foreman_observed(foreman_end, timeout, true, foreman_obs));
+        thread::spawn(move || run_foreman(foreman_end, timeout, true, foreman_obs));
     let monitor_obs = obs.clone();
-    let monitor_handle = thread::spawn(move || run_monitor_observed(monitor_end, monitor_obs));
+    let monitor_handle = thread::spawn(move || run_monitor(monitor_end, monitor_obs));
 
     let parts = run_farm_master(&master_end, alignment, config, seeds, &options, &obs);
     // Shut everything down regardless of the farm outcome.
@@ -630,6 +549,10 @@ mod tests {
     use fdml_phylo::bipartition::SplitSet;
     use std::time::Duration;
 
+    fn job(a: &Alignment, config: &SearchConfig) -> ResolvedJob {
+        ResolvedJob::from_parts(a.clone(), config.clone(), 1).unwrap()
+    }
+
     fn alignment() -> Alignment {
         Alignment::from_strings(&[
             ("t0", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
@@ -663,7 +586,7 @@ mod tests {
             ..Default::default()
         };
         let serial = serial_search(&a, &config).unwrap();
-        let parallel = parallel_search(&a, &config, 6).unwrap();
+        let parallel = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
         // Identical search decisions: same topology; likelihoods agree to
         // the Newick round-trip precision of branch lengths.
         assert_eq!(
@@ -695,12 +618,13 @@ mod tests {
             worker_timeout: Duration::from_millis(200),
             ..Default::default()
         };
-        let clean = parallel_search(&a, &config, 6).unwrap();
+        let clean = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
         // Worker 3 silently drops its first four results: the foreman must
         // time it out, re-dispatch, and the final tree must be unchanged.
         let mut faults = HashMap::new();
         faults.insert(3usize, FaultPlan::drop_first(4));
-        let faulty = parallel_search_with_faults(&a, &config, 6, faults).unwrap();
+        let faulty =
+            parallel_search(&job(&a, &config), 6, RunOptions::with_faults(faults)).unwrap();
         assert_eq!(
             SplitSet::of_tree(&clean.result.tree, 6),
             SplitSet::of_tree(&faulty.result.tree, 6)
@@ -725,7 +649,7 @@ mod tests {
             worker_timeout: Duration::from_millis(200),
             ..Default::default()
         };
-        let clean = parallel_search(&a, &config, 6).unwrap();
+        let clean = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
         // Worker 3 returns one result, then its link is severed for good —
         // the in-process analogue of a worker process dying mid-search. The
         // foreman must requeue its outstanding task (timeout first, then the
@@ -733,7 +657,8 @@ mod tests {
         // workers must finish the search with an identical result.
         let mut faults = HashMap::new();
         faults.insert(3usize, FaultPlan::disconnect_after(1));
-        let faulty = parallel_search_with_faults(&a, &config, 6, faults).unwrap();
+        let faulty =
+            parallel_search(&job(&a, &config), 6, RunOptions::with_faults(faults)).unwrap();
         assert_eq!(
             SplitSet::of_tree(&clean.result.tree, 6),
             SplitSet::of_tree(&faulty.result.tree, 6)
@@ -806,7 +731,7 @@ mod tests {
     fn too_few_ranks_panics() {
         let a = alignment();
         let config = SearchConfig::default();
-        let _ = parallel_search(&a, &config, 3);
+        let _ = parallel_search(&job(&a, &config), 3, RunOptions::default());
     }
 }
 

@@ -1,14 +1,22 @@
 //! The worker process (paper §2.2): "calculate branch lengths for a tree
 //! topology and the likelihood value for the tree. The worker processes
 //! communicate only with the foreman process."
+//!
+//! In service mode ([`crate::netrun`] peers attached to an `fdml-serve`
+//! daemon) a worker serves several jobs at once: each
+//! [`Message::JobData`] broadcast installs one engine per job id, and
+//! job-tagged jumbles ([`Message::JobTask`]) from concurrent jobs
+//! interleave freely on the same rank.
 
 use crate::config::SearchConfig;
+use fdml_comm::job::JobId;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Transport};
 use fdml_likelihood::engine::LikelihoodEngine;
 use fdml_obs::{Event, Obs};
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::{newick, phylip};
+use std::collections::HashMap;
 use std::time::Instant;
 
 // The rank convention now lives with the transport layer; re-exported here
@@ -39,19 +47,36 @@ impl From<CommError> for WorkerError {
     }
 }
 
-/// Run the worker event loop until `Shutdown`.
-pub fn run_worker<T: Transport>(transport: T) -> Result<WorkerStats, WorkerError> {
-    run_worker_observed(transport, Obs::disabled())
+/// One job's cached problem: the parsed alignment, the engine built from
+/// it, and the search controls.
+struct Problem {
+    alignment: Alignment,
+    engine: LikelihoodEngine,
+    config: SearchConfig,
 }
 
-/// [`run_worker`] with instrumentation: each evaluated tree emits an
+impl Problem {
+    fn build(phylip_text: &str, config_json: &str) -> Result<Problem, WorkerError> {
+        let alignment = phylip::parse(phylip_text)
+            .map_err(|e| WorkerError::Protocol(format!("bad alignment: {e}")))?;
+        let config = SearchConfig::from_engine_config_json(config_json)
+            .map_err(|e| WorkerError::Protocol(format!("bad config: {e}")))?;
+        let engine = config.build_engine(&alignment);
+        Ok(Problem {
+            alignment,
+            engine,
+            config,
+        })
+    }
+}
+
+/// Run the worker event loop until `Shutdown`. Pass [`Obs::disabled`] to
+/// run unobserved; otherwise each evaluated tree emits an
 /// [`Event::WorkerTaskDone`] carrying the time spent inside likelihood
 /// optimization (compute only — queueing and transport excluded).
-pub fn run_worker_observed<T: Transport>(
-    transport: T,
-    obs: Obs,
-) -> Result<WorkerStats, WorkerError> {
-    let mut state: Option<(Alignment, LikelihoodEngine, SearchConfig)> = None;
+pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, WorkerError> {
+    let mut state: Option<Problem> = None;
+    let mut jobs: HashMap<JobId, Problem> = HashMap::new();
     let mut stats = WorkerStats::default();
     loop {
         let (_, msg) = transport.recv()?;
@@ -60,22 +85,28 @@ pub fn run_worker_observed<T: Transport>(
                 phylip,
                 config_json,
             } => {
-                let alignment = phylip::parse(&phylip)
-                    .map_err(|e| WorkerError::Protocol(format!("bad alignment: {e}")))?;
-                let config = SearchConfig::from_engine_config_json(&config_json)
-                    .map_err(|e| WorkerError::Protocol(format!("bad config: {e}")))?;
-                let engine = config.build_engine(&alignment);
-                state = Some((alignment, engine, config));
+                state = Some(Problem::build(&phylip, &config_json)?);
                 transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
             }
+            Message::JobData {
+                job,
+                phylip,
+                config_json,
+            } => {
+                // Per-job data in a multi-tenant fleet. No WorkerReady
+                // reply: the scheduler pairs this with the JobTask that
+                // needs it, and readiness is tracked per rank, not per
+                // job.
+                jobs.insert(job, Problem::build(&phylip, &config_json)?);
+            }
             Message::TreeTask { task, newick: text } => {
-                let (alignment, engine, config) = state
+                let p = state
                     .as_ref()
                     .ok_or_else(|| WorkerError::Protocol("task before problem data".into()))?;
-                let mut tree = newick::parse_tree(&text, alignment)
+                let mut tree = newick::parse_tree(&text, &p.alignment)
                     .map_err(|e| WorkerError::Protocol(format!("bad tree: {e}")))?;
                 let started = Instant::now();
-                let result = engine.optimize(&mut tree, &config.optimize);
+                let result = p.engine.optimize(&mut tree, &p.config.optimize);
                 let busy_us = started.elapsed().as_micros() as u64;
                 stats.trees_evaluated += 1;
                 stats.work_units += result.work.work_units();
@@ -90,18 +121,18 @@ pub fn run_worker_observed<T: Transport>(
                     ranks::FOREMAN,
                     &Message::TreeResult {
                         task,
-                        newick: newick::write_tree(&tree, alignment.names()),
+                        newick: newick::write_tree(&tree, p.alignment.names()),
                         ln_likelihood: result.ln_likelihood,
                         work_units: result.work.work_units(),
                     },
                 )?;
             }
             Message::JumbleTask { task, seed } => {
-                let (alignment, engine, config) = state
+                let p = state
                     .as_ref()
                     .ok_or_else(|| WorkerError::Protocol("jumble before problem data".into()))?;
                 let started = Instant::now();
-                let result = crate::farm::run_one_jumble(engine, alignment, config, seed)
+                let result = crate::farm::run_one_jumble(&p.engine, &p.alignment, &p.config, seed)
                     .map_err(|e| WorkerError::Protocol(format!("jumble {seed}: {e}")))?;
                 let busy_us = started.elapsed().as_micros() as u64;
                 stats.trees_evaluated += 1;
@@ -118,10 +149,39 @@ pub fn run_worker_observed<T: Transport>(
                     &Message::JumbleResult {
                         task,
                         seed,
-                        newick: newick::write_tree(&result.tree, alignment.names()),
+                        newick: newick::write_tree(&result.tree, p.alignment.names()),
                         ln_likelihood: result.ln_likelihood,
                         rounds: result.rounds as u64,
                         candidates: result.candidates_evaluated as u64,
+                        work_units: result.work_units,
+                    },
+                )?;
+            }
+            Message::JobTask { job, task, seed } => {
+                let p = jobs.get(&job).ok_or_else(|| {
+                    WorkerError::Protocol(format!("job {job} task before its JobData"))
+                })?;
+                let started = Instant::now();
+                let result = crate::farm::run_one_jumble(&p.engine, &p.alignment, &p.config, seed)
+                    .map_err(|e| WorkerError::Protocol(format!("job {job} jumble {seed}: {e}")))?;
+                let busy_us = started.elapsed().as_micros() as u64;
+                stats.trees_evaluated += 1;
+                stats.work_units += result.work_units;
+                obs.emit(|| Event::WorkerTaskDone {
+                    worker: transport.rank(),
+                    task,
+                    busy_us,
+                    work_units: result.work_units,
+                    pattern_updates: 0,
+                });
+                transport.send(
+                    ranks::FOREMAN,
+                    &Message::JobTaskResult {
+                        job,
+                        task,
+                        seed,
+                        newick: newick::write_tree(&result.tree, p.alignment.names()),
+                        ln_likelihood: result.ln_likelihood,
                         work_units: result.work_units,
                     },
                 )?;
@@ -166,7 +226,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(4);
         let worker_end = ends.remove(3);
         let foreman_end = ends.remove(1);
-        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()).unwrap());
         let (phylip_text, config_json) = problem();
         foreman_end
             .send(
@@ -214,7 +274,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(4);
         let worker_end = ends.remove(3);
         let foreman_end = ends.remove(1);
-        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()).unwrap());
         let (phylip_text, config_json) = problem();
         foreman_end
             .send(
@@ -263,7 +323,7 @@ mod tests {
         let mut ends = ThreadUniverse::create(4);
         let worker_end = ends.remove(3);
         let foreman_end = ends.remove(1);
-        let handle = thread::spawn(move || run_worker(worker_end).unwrap());
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()).unwrap());
         let (phylip_text, config_json) = problem();
         for _ in 0..2 {
             foreman_end
@@ -308,7 +368,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let err = run_worker(worker_end).unwrap_err();
+        let err = run_worker(worker_end, Obs::disabled()).unwrap_err();
         assert!(matches!(err, WorkerError::Protocol(_)));
     }
 
@@ -336,7 +396,90 @@ mod tests {
                 },
             )
             .unwrap();
-        let err = run_worker(worker_end).unwrap_err();
+        let err = run_worker(worker_end, Obs::disabled()).unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)));
+    }
+
+    #[test]
+    fn concurrent_jobs_interleave_on_one_worker() {
+        // Two jobs with different alignments; their tasks interleave and
+        // each answer is tagged with its job id.
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()).unwrap());
+        let (phylip_a, config_a) = problem();
+        let b = Alignment::from_strings(&[
+            ("x0", "AAGTACGTAGGT"),
+            ("x1", "ACGTACTAACGT"),
+            ("x2", "ACTTACGAACGA"),
+            ("x3", "TCTTACGAACGA"),
+        ])
+        .unwrap();
+        let config_b = SearchConfig::default();
+        foreman_end
+            .send(
+                3,
+                &Message::JobData {
+                    job: 1,
+                    phylip: phylip_a,
+                    config_json: config_a,
+                },
+            )
+            .unwrap();
+        foreman_end
+            .send(
+                3,
+                &Message::JobData {
+                    job: 2,
+                    phylip: phylip::write(&b),
+                    config_json: config_b.engine_config_json(),
+                },
+            )
+            .unwrap();
+        for (job, task, seed) in [(1u64, 10u64, 9u64), (2, 11, 7), (1, 12, 11)] {
+            foreman_end
+                .send(3, &Message::JobTask { job, task, seed })
+                .unwrap();
+            let (_, msg) = foreman_end.recv().unwrap();
+            match msg {
+                Message::JobTaskResult {
+                    job: j,
+                    task: t,
+                    seed: s,
+                    newick,
+                    ln_likelihood,
+                    ..
+                } => {
+                    assert_eq!((j, t, s), (job, task, seed));
+                    assert!(ln_likelihood.is_finite() && ln_likelihood < 0.0);
+                    let tip = if job == 1 { "t0" } else { "x0" };
+                    assert!(newick.contains(tip));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        foreman_end.send(3, &Message::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.trees_evaluated, 3);
+    }
+
+    #[test]
+    fn job_task_before_its_data_is_protocol_error() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        foreman_end
+            .send(
+                3,
+                &Message::JobTask {
+                    job: 5,
+                    task: 1,
+                    seed: 3,
+                },
+            )
+            .unwrap();
+        let err = run_worker(worker_end, Obs::disabled()).unwrap_err();
         assert!(matches!(err, WorkerError::Protocol(_)));
     }
 }

@@ -11,6 +11,7 @@
 //! it exits and the coordinator's fault tolerance takes over.
 
 use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use fdml_comm::job::JobId;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
@@ -33,6 +34,10 @@ pub struct ClientConfig {
     pub reconnect_backoff: Duration,
     /// Depth of the bounded outgoing queue (frames).
     pub queue_depth: usize,
+    /// The job this connection's rank is dedicated to, presented in
+    /// every `Hello` (initial and rejoin). `None` — the default — joins
+    /// as a shared-fleet rank. See the hub's cross-job rejoin guard.
+    pub job: Option<JobId>,
 }
 
 impl Default for ClientConfig {
@@ -41,6 +46,7 @@ impl Default for ClientConfig {
             reconnect_attempts: 5,
             reconnect_backoff: Duration::from_millis(100),
             queue_depth: 256,
+            job: None,
         }
     }
 }
@@ -95,7 +101,7 @@ impl TcpTransport {
         let addr_s = addr.to_string();
         let mut stream = TcpStream::connect(&addr)?;
         stream.set_nodelay(true).ok();
-        let welcome = handshake(&mut stream, None)?;
+        let welcome = handshake(&mut stream, None, cfg.job)?;
         let Frame::Welcome {
             rank,
             size,
@@ -237,17 +243,26 @@ impl Transport for TcpTransport {
 }
 
 /// Present a `Hello`, expect a `Welcome`.
-fn handshake(stream: &mut TcpStream, rejoin: Option<Rank>) -> io::Result<Frame> {
+fn handshake(
+    stream: &mut TcpStream,
+    rejoin: Option<Rank>,
+    job: Option<JobId>,
+) -> io::Result<Frame> {
     write_frame(
         stream,
         &Frame::Hello {
             version: PROTOCOL_VERSION,
             rejoin,
+            job,
         },
     )?;
     match read_frame(stream, Duration::from_secs(5))? {
         Some(f @ Frame::Welcome { .. }) => Ok(f),
         Some(Frame::Reject { reason }) => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("hub rejected us: {reason}"),
+        )),
+        Some(Frame::Rejected { reason }) => Err(io::Error::new(
             io::ErrorKind::ConnectionRefused,
             format!("hub rejected us: {reason}"),
         )),
@@ -451,7 +466,7 @@ fn reconnect(shared: &Arc<ClientShared>) -> Option<TcpStream> {
             continue;
         };
         stream.set_nodelay(true).ok();
-        match handshake(&mut stream, Some(shared.rank)) {
+        match handshake(&mut stream, Some(shared.rank), shared.cfg.job) {
             Ok(Frame::Welcome { rank, .. }) if rank == shared.rank => return Some(stream),
             // The hub gave our slot away (or refused us): no way back.
             Ok(_) | Err(_) => continue,

@@ -14,9 +14,19 @@
 //! errors — is declared dead: its slot is cleared, an obs event is emitted,
 //! and local sends to it fail with [`CommError::Disconnected`] so the
 //! foreman's requeue machinery takes over. A dead peer that dials back in
-//! with `Hello { rejoin: Some(rank) }` is re-bound to its old slot.
+//! with `Hello { rejoin: Some(rank) }` is re-bound to its old slot — but
+//! only if its `job` binding still matches the slot's: once a dead slot
+//! has been handed to a different job's replacement, the stale client's
+//! rejoin is refused with a typed `Reject` (the cross-job guard, sitting
+//! alongside the per-connection generation check).
+//!
+//! The hub also fronts the *service plane*: a connection whose first frame
+//! is `Submit` / `Query` / `Attach` (rather than `Hello`) is not a rank at
+//! all — it is handed off wholesale through [`TcpHub::accept_service`] to
+//! whoever is running the job API, socket and opening frame together.
 
 use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use fdml_comm::job::{JobId, RejectReason};
 use fdml_comm::message::Message;
 use fdml_comm::transport::{ranks, CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
@@ -67,6 +77,20 @@ struct Slot {
     ever_connected: bool,
     /// Completed rebinds after a drop.
     reconnects: u64,
+    /// The job this rank slot is currently dedicated to (`None` for a
+    /// shared or single-job fleet). Set at every bind; a rejoin must
+    /// present the same binding or be refused.
+    job: Option<JobId>,
+}
+
+/// A service-plane connection handed out of the handshake: its first
+/// frame was `Submit` / `Query` / `Attach` rather than `Hello`, so it
+/// belongs to the job API, not the compute universe.
+pub struct ServiceRequest {
+    /// The socket, positioned just past the opening frame.
+    pub stream: TcpStream,
+    /// The frame that opened the connection.
+    pub first: Frame,
 }
 
 struct HubShared {
@@ -77,6 +101,8 @@ struct HubShared {
     slots: Mutex<Vec<Slot>>,
     /// Every reader thread (and rank-0 self-sends) feeds this.
     in_tx: Sender<(Rank, Message)>,
+    /// Service-plane connections flow here for [`TcpHub::accept_service`].
+    service_tx: Sender<ServiceRequest>,
 }
 
 impl HubShared {
@@ -121,6 +147,7 @@ impl HubShared {
 pub struct TcpHub {
     shared: Arc<HubShared>,
     in_rx: Mutex<Receiver<(Rank, Message)>>,
+    service_rx: Mutex<Receiver<ServiceRequest>>,
     local_addr: SocketAddr,
 }
 
@@ -140,6 +167,7 @@ impl TcpHub {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let (in_tx, in_rx) = mpsc::channel();
+        let (service_tx, service_rx) = mpsc::channel();
         let mut slots = Vec::with_capacity(size);
         for _ in 0..size {
             slots.push(Slot::default());
@@ -151,6 +179,7 @@ impl TcpHub {
             shutdown: AtomicBool::new(false),
             slots: Mutex::new(slots),
             in_tx,
+            service_tx,
         });
         let accept_shared = Arc::clone(&shared);
         thread::Builder::new()
@@ -160,8 +189,28 @@ impl TcpHub {
         Ok(TcpHub {
             shared,
             in_rx: Mutex::new(in_rx),
+            service_rx: Mutex::new(service_rx),
             local_addr,
         })
+    }
+
+    /// Take the next service-plane connection (a `Submit` / `Query` /
+    /// `Attach` opener), waiting at most `timeout`. The daemon's API loop
+    /// polls this; plain coordinator runs simply never call it, and any
+    /// service frame that arrives anyway is answered with a typed
+    /// rejection by the handshake when this queue's receiver is gone.
+    pub fn accept_service(&self, timeout: Duration) -> Option<ServiceRequest> {
+        self.service_rx.lock().recv_timeout(timeout).ok()
+    }
+
+    /// Dedicate `rank`'s slot to `job` from the hub side, so replacement
+    /// workers spawned for that job (which dial in with the matching
+    /// `Hello { job }`) can claim it, and stale clients of other jobs
+    /// cannot.
+    pub fn bind_job(&self, rank: Rank, job: Option<JobId>) {
+        if rank >= 1 && rank < self.shared.size {
+            self.shared.slots.lock()[rank].job = job;
+        }
     }
 
     /// The address the hub actually listens on (resolves port 0).
@@ -195,6 +244,19 @@ impl TcpHub {
             }
             thread::sleep(Duration::from_millis(10));
         }
+    }
+
+    /// The remote ranks currently connected, in rank order. The daemon's
+    /// scheduler polls this to discover workers as they join the shared
+    /// fleet (fresh joins are not announced over the foreman's transport
+    /// the way reconnects are).
+    pub fn peer_ranks(&self) -> Vec<Rank> {
+        self.shared.slots.lock()[1..]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.out.is_some())
+            .map(|(i, _)| i + 1)
+            .collect()
     }
 
     /// How many remote ranks are currently connected.
@@ -296,8 +358,12 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
         Ok(Some(f)) => f,
         _ => return,
     };
-    let rejoin = match hello {
-        Frame::Hello { version, rejoin } if version == PROTOCOL_VERSION => rejoin,
+    let (rejoin, job) = match hello {
+        Frame::Hello {
+            version,
+            rejoin,
+            job,
+        } if version == PROTOCOL_VERSION => (rejoin, job),
         Frame::Hello { version, .. } => {
             let _ = write_frame(
                 &mut stream,
@@ -307,25 +373,42 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
             );
             return;
         }
+        // Service plane: the connection belongs to the job API. Hand the
+        // socket and its opening frame to whoever drains the service
+        // queue; if nobody ever will (a plain coordinator run), answer
+        // with a typed refusal instead of going silent.
+        first @ (Frame::Submit { .. } | Frame::Query { .. } | Frame::Attach { .. }) => {
+            if let Err(send_err) = shared.service_tx.send(ServiceRequest { stream, first }) {
+                let mut stream = send_err.0.stream;
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Rejected {
+                        reason: RejectReason::Malformed {
+                            reason: "this coordinator does not serve the job API".into(),
+                        },
+                    },
+                );
+            }
+            return;
+        }
         _ => return,
     };
 
     // Pick (or re-bind) a slot under the lock; do the socket I/O after.
     let (rank, generation, out_rx, reconnected) = {
         let mut slots = shared.slots.lock();
-        let Some((rank, reconnected)) = assign_slot(&slots, shared.size, rejoin) else {
-            drop(slots);
-            let _ = write_frame(
-                &mut stream,
-                &Frame::Reject {
-                    reason: "universe is full".into(),
-                },
-            );
-            return;
+        let (rank, reconnected) = match assign_slot(&slots, shared.size, rejoin, job) {
+            Ok(pair) => pair,
+            Err(reject) => {
+                drop(slots);
+                let _ = write_frame(&mut stream, &reject);
+                return;
+            }
         };
         let slot = &mut slots[rank];
         slot.generation += 1;
         slot.ever_connected = true;
+        slot.job = job;
         if reconnected {
             slot.reconnects += 1;
         }
@@ -376,13 +459,32 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
         .spawn(move || peer_reader(stream, rank, generation, rs));
 }
 
-/// Choose a slot for a connecting peer: `Some((rank, is_reconnect))`, or
-/// `None` when the universe is full. Called with the slot table locked.
-fn assign_slot(slots: &[Slot], size: usize, rejoin: Option<Rank>) -> Option<(Rank, bool)> {
-    // A rejoin gets its old rank back iff that slot is currently dead.
+/// Choose a slot for a connecting peer: `Ok((rank, is_reconnect))`, or
+/// the `Reject`/`Rejected` frame to answer with. Called with the slot
+/// table locked.
+fn assign_slot(
+    slots: &[Slot],
+    size: usize,
+    rejoin: Option<Rank>,
+    job: Option<JobId>,
+) -> Result<(Rank, bool), Frame> {
+    // A rejoin gets its old rank back iff that slot is currently dead
+    // *and* still bound to the same job. The generation check protects a
+    // slot from its own past connections; this guard protects it from a
+    // different job's — a stale client whose rank the scheduler has since
+    // re-dedicated must not compute against the wrong problem.
     if let Some(r) = rejoin {
         if r >= 1 && r < size && slots[r].out.is_none() {
-            return Some((r, slots[r].ever_connected));
+            if slots[r].ever_connected && slots[r].job != job {
+                return Err(Frame::Rejected {
+                    reason: RejectReason::WrongJob {
+                        rank: r,
+                        bound: slots[r].job,
+                        presented: job,
+                    },
+                });
+            }
+            return Ok((r, slots[r].ever_connected));
         }
     }
     // Fresh joins take the lowest slot never yet used, then the lowest
@@ -393,12 +495,15 @@ fn assign_slot(slots: &[Slot], size: usize, rejoin: Option<Rank>) -> Option<(Ran
         .clone()
         .find(|(_, s)| s.out.is_none() && !s.ever_connected)
     {
-        return Some((r, false));
+        return Ok((r, false));
     }
     peers
         .clone()
         .find(|(_, s)| s.out.is_none())
         .map(|(r, _)| (r, true))
+        .ok_or(Frame::Reject {
+            reason: "universe is full".into(),
+        })
 }
 
 /// Drain a peer's outgoing queue onto its socket; heartbeat when idle.
@@ -449,8 +554,9 @@ fn peer_reader(mut stream: TcpStream, rank: Rank, generation: u64, shared: Arc<H
                         shared.mark_dead(rank, generation, true);
                         return;
                     }
-                    // Handshake frames mid-session: protocol violation.
-                    Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Reject { .. } => {
+                    // Handshake or service frames mid-session: protocol
+                    // violation.
+                    _ => {
                         shared.mark_dead(rank, generation, false);
                         return;
                     }

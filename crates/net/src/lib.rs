@@ -9,7 +9,10 @@
 //!   versioned `Hello`/`Welcome` handshake, heartbeats, `Goodbye`.
 //! * [`hub::TcpHub`] — the coordinator's endpoint (rank 0). Owns the
 //!   listening socket, assigns ranks in arrival order, relays every
-//!   message between peers, and watches their liveness.
+//!   message between peers, and watches their liveness. It also fronts
+//!   the v3 *service plane*: connections opening with `Submit` / `Query`
+//!   / `Attach` are handed to the job API via
+//!   [`hub::TcpHub::accept_service`].
 //! * [`client::TcpTransport`] — a peer's endpoint. Learns its rank from
 //!   the handshake and reconnects with exponential backoff when the link
 //!   drops; only an exhausted backoff schedule surfaces as
@@ -29,4 +32,4 @@ pub mod hub;
 pub mod wire;
 
 pub use client::{ClientConfig, TcpTransport};
-pub use hub::{NetConfig, TcpHub};
+pub use hub::{NetConfig, ServiceRequest, TcpHub};

@@ -10,6 +10,7 @@
 //! it as a peer disconnect) instead of a JSON parse panic or — worse — a
 //! silently wrong likelihood.
 
+use fdml_comm::job::{JobId, JobResult, JobSpec, JobStatus, RejectReason};
 use fdml_comm::message::Message;
 use fdml_comm::transport::Rank;
 use serde::{Deserialize, Serialize};
@@ -20,8 +21,10 @@ use std::time::{Duration, Instant};
 /// Protocol version spoken by this build. A hub rejects any `Hello` whose
 /// version differs — mixing builds across a cluster corrupts likelihoods
 /// far more subtly than a refused connection does.
-/// Version 2 added the per-frame CRC32.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 2 added the per-frame CRC32. Version 3 added job multiplexing:
+/// the `job` binding on `Hello` and the service-plane frames
+/// (`Submit` … `Done`) the `fdml-serve` daemon speaks.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The IEEE 802.3 CRC32 lookup table (reflected polynomial 0xEDB88320),
 /// built at compile time so the checksum needs no runtime setup and no
@@ -68,13 +71,20 @@ pub const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(10);
 /// One unit on the wire.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Frame {
-    /// Client → hub, first frame on every connection.
+    /// Client → hub, first frame of a compute-plane connection.
     Hello {
         /// Must equal [`PROTOCOL_VERSION`].
         version: u32,
         /// `None` for a fresh join; `Some(rank)` when reconnecting after a
         /// dropped link, asking for the old rank back.
         rejoin: Option<Rank>,
+        /// The job this connection's rank slot is dedicated to; `None`
+        /// for a shared-fleet (or single-job) universe. A rejoin whose
+        /// `job` differs from the slot's current binding is rejected —
+        /// the cross-job guard that keeps a stale client of one job from
+        /// reattaching to a slot the daemon has since given to another.
+        #[serde(default)]
+        job: Option<JobId>,
     },
     /// Hub → client, accepting a `Hello`.
     Welcome {
@@ -114,6 +124,56 @@ pub enum Frame {
     Goodbye {
         /// The departing rank.
         from: Rank,
+    },
+
+    // ---- Service plane (v3): frames a daemon client opens with instead
+    // of `Hello`. They never carry a rank — the connection belongs to the
+    // job API, not to the compute universe.
+    /// Client → daemon: admit this job.
+    Submit {
+        /// The complete job description.
+        spec: JobSpec,
+    },
+    /// Daemon → client: the job was admitted and queued.
+    Accepted {
+        /// The registry id assigned to it.
+        job: JobId,
+    },
+    /// Daemon → client: the submission (or query) was refused.
+    Rejected {
+        /// The typed admission-control verdict.
+        reason: RejectReason,
+    },
+    /// Client → daemon: report this job's state.
+    Query {
+        /// The job to report on.
+        job: JobId,
+    },
+    /// Daemon → client: answer to a `Query`.
+    Status {
+        /// The job's current state and progress.
+        status: JobStatus,
+    },
+    /// Client → daemon: stream this job's progress events and, when it
+    /// completes, its result. The connection stays open until `Done`.
+    Attach {
+        /// The job to follow.
+        job: JobId,
+    },
+    /// Daemon → attached client: one observable progress line.
+    JobEvent {
+        /// The job it belongs to.
+        job: JobId,
+        /// Rendered event text (JSONL record of the obs event).
+        text: String,
+    },
+    /// Daemon → attached client: the job finished; final frame.
+    Done {
+        /// The job that finished.
+        job: JobId,
+        /// Its trees, consensus, and report (`failure` rides in the
+        /// status surface — a failed job answers `Query`, not `Attach`).
+        result: JobResult,
     },
 }
 
@@ -260,10 +320,12 @@ mod tests {
             Frame::Hello {
                 version: PROTOCOL_VERSION,
                 rejoin: None,
+                job: None,
             },
             Frame::Hello {
                 version: PROTOCOL_VERSION,
                 rejoin: Some(3),
+                job: Some(7),
             },
             Frame::Welcome {
                 rank: 4,
@@ -287,6 +349,52 @@ mod tests {
             },
             Frame::Heartbeat { from: 2 },
             Frame::Goodbye { from: 5 },
+            Frame::Submit {
+                spec: JobSpec {
+                    phylip: " 2 4\na ACGT\nb ACGA\n".into(),
+                    config_json: "{}".into(),
+                    jumbles: 3,
+                    base_seed: 11,
+                    max_ranks: 4,
+                    max_wall_ms: 0,
+                    label: "demo".into(),
+                },
+            },
+            Frame::Accepted { job: 1 },
+            Frame::Rejected {
+                reason: RejectReason::QuotaExceeded {
+                    quota: "max_ranks".into(),
+                    requested: 64,
+                    limit: 8,
+                },
+            },
+            Frame::Query { job: 1 },
+            Frame::Status {
+                status: JobStatus {
+                    job: 1,
+                    state: fdml_comm::job::JobState::Running,
+                    done: 1,
+                    total: 3,
+                    label: "demo".into(),
+                    failure: None,
+                },
+            },
+            Frame::Attach { job: 1 },
+            Frame::JobEvent {
+                job: 1,
+                text: "{\"event\":\"JumbleCompleted\"}".into(),
+            },
+            Frame::Done {
+                job: 1,
+                result: JobResult {
+                    job: 1,
+                    trees: vec![],
+                    consensus_newick: None,
+                    best_newick: "(a,b);".into(),
+                    best_ln_likelihood: -10.5,
+                    report: None,
+                },
+            },
         ];
         for f in &frames {
             write_frame(&mut a, f).unwrap();
@@ -295,6 +403,22 @@ mod tests {
             let got = read_frame(&mut b, Duration::from_secs(2)).unwrap().unwrap();
             assert_eq!(&got, f);
         }
+    }
+
+    #[test]
+    fn hello_without_job_binding_still_parses() {
+        // The `job` field is `#[serde(default)]`: a Hello emitted without
+        // it (single-job launchers never set one) must parse as unbound.
+        let json = r#"{"Hello":{"version":3,"rejoin":null}}"#;
+        let f: Frame = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            f,
+            Frame::Hello {
+                version: 3,
+                rejoin: None,
+                job: None
+            }
+        );
     }
 
     #[test]

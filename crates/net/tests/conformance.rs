@@ -207,6 +207,7 @@ fn version_skew_is_rejected() {
         &Frame::Hello {
             version: PROTOCOL_VERSION + 999,
             rejoin: None,
+            job: None,
         },
     )
     .unwrap();
@@ -228,6 +229,100 @@ fn full_universe_is_rejected() {
 }
 
 #[test]
+fn cross_job_rejoin_is_rejected_with_typed_reason() {
+    use fdml_comm::job::RejectReason;
+    let hub = TcpHub::bind("127.0.0.1:0", 2, fast_net_config(), Obs::disabled()).unwrap();
+    let addr = hub.local_addr();
+
+    // A worker dedicated to job 1 claims rank 1, then dies.
+    let mut a = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut a,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            rejoin: None,
+            job: Some(1),
+        },
+    )
+    .unwrap();
+    let welcome = read_frame(&mut a, Duration::from_secs(5)).unwrap();
+    assert!(matches!(welcome, Some(Frame::Welcome { rank: 1, .. })));
+    hub.sever_peer(1);
+
+    // The generation check alone would admit this: the slot is dead and
+    // the rank matches. The cross-job guard must still refuse it, because
+    // the slot belongs to job 1 and this client claims job 2.
+    let mut b = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut b,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            rejoin: Some(1),
+            job: Some(2),
+        },
+    )
+    .unwrap();
+    match read_frame(&mut b, Duration::from_secs(5)).unwrap() {
+        Some(Frame::Rejected { reason }) => assert_eq!(
+            reason,
+            RejectReason::WrongJob {
+                rank: 1,
+                bound: Some(1),
+                presented: Some(2),
+            }
+        ),
+        other => panic!("expected a typed WrongJob rejection, got {other:?}"),
+    }
+    assert_eq!(hub.connected_peers(), 0);
+
+    // The rightful owner (same job binding) still gets its slot back.
+    let mut c = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut c,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            rejoin: Some(1),
+            job: Some(1),
+        },
+    )
+    .unwrap();
+    let welcome = read_frame(&mut c, Duration::from_secs(5)).unwrap();
+    assert!(matches!(welcome, Some(Frame::Welcome { rank: 1, .. })));
+}
+
+#[test]
+fn service_opener_is_handed_off_with_its_frame() {
+    use fdml_comm::job::RejectReason;
+    let hub = TcpHub::bind("127.0.0.1:0", 2, fast_net_config(), Obs::disabled()).unwrap();
+    let mut client = TcpStream::connect(hub.local_addr()).unwrap();
+    write_frame(&mut client, &Frame::Query { job: 9 }).unwrap();
+
+    // The hub does not treat the opener as a rank: it hands socket and
+    // frame to the service queue, and the compute universe is untouched.
+    let mut req = hub
+        .accept_service(Duration::from_secs(5))
+        .expect("service opener handed off");
+    assert!(matches!(req.first, Frame::Query { job: 9 }));
+    assert_eq!(hub.connected_peers(), 0);
+
+    // The handed-off socket is live: a reply written on it reaches the
+    // original client.
+    write_frame(
+        &mut req.stream,
+        &Frame::Rejected {
+            reason: RejectReason::UnknownJob { job: 9 },
+        },
+    )
+    .unwrap();
+    match read_frame(&mut client, Duration::from_secs(5)).unwrap() {
+        Some(Frame::Rejected { reason }) => {
+            assert_eq!(reason, RejectReason::UnknownJob { job: 9 })
+        }
+        other => panic!("expected the relayed rejection, got {other:?}"),
+    }
+}
+
+#[test]
 fn silent_peer_is_declared_dead_by_heartbeat_misses() {
     let mem = MemorySink::new();
     let cfg = NetConfig {
@@ -245,6 +340,7 @@ fn silent_peer_is_declared_dead_by_heartbeat_misses() {
         &Frame::Hello {
             version: PROTOCOL_VERSION,
             rejoin: None,
+            job: None,
         },
     )
     .unwrap();

@@ -193,6 +193,34 @@ pub enum Event {
         /// Distinct workers that failed the task before quarantine.
         failures: u64,
     },
+    /// The daemon admitted a job into its registry (service mode).
+    JobSubmitted {
+        /// The registry id assigned at admission.
+        job: u64,
+        /// How many jumbles the job plans.
+        jumbles: usize,
+        /// The submitter's display label.
+        label: String,
+    },
+    /// The fair-share scheduler dispatched a job's first piece of work.
+    JobStarted {
+        /// The job that left the queue.
+        job: u64,
+    },
+    /// Every jumble of a job completed; its result is available.
+    JobCompleted {
+        /// The finished job.
+        job: u64,
+        /// The best log-likelihood over its jumbles.
+        best_ln_likelihood: f64,
+    },
+    /// A job ended without a result (search error, wall-time quota).
+    JobFailed {
+        /// The failed job.
+        job: u64,
+        /// Why it failed.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -220,6 +248,10 @@ impl Event {
             Event::WorkerRespawned { .. } => "WorkerRespawned",
             Event::FrameCorrupt { .. } => "FrameCorrupt",
             Event::TaskQuarantined { .. } => "TaskQuarantined",
+            Event::JobSubmitted { .. } => "JobSubmitted",
+            Event::JobStarted { .. } => "JobStarted",
+            Event::JobCompleted { .. } => "JobCompleted",
+            Event::JobFailed { .. } => "JobFailed",
         }
     }
 }

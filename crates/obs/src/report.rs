@@ -253,6 +253,12 @@ impl RunReport {
                 Event::WorkerRespawned { .. } => respawns += 1,
                 Event::FrameCorrupt { .. } => corrupt_frames += 1,
                 Event::TaskQuarantined { .. } => quarantined += 1,
+                // Job lifecycle events belong to the daemon's per-job
+                // ledger, not the per-run report.
+                Event::JobSubmitted { .. }
+                | Event::JobStarted { .. }
+                | Event::JobCompleted { .. }
+                | Event::JobFailed { .. } => {}
             }
         }
 

@@ -1,0 +1,108 @@
+//! The service-plane client: submit a job to a running daemon, poll its
+//! status, or attach and stream its progress to completion.
+//!
+//! Each call opens one TCP connection to the daemon's hub, sends one
+//! service frame (`Submit` / `Query` / `Attach`), and reads the answer.
+//! The hub recognizes a service opener during its handshake and hands the
+//! socket to the scheduler, so the same listening port serves both the
+//! compute universe and the job API.
+
+use fdml_comm::job::{JobId, JobResult, JobSpec, JobStatus, RejectReason};
+use fdml_net::wire::{read_frame, write_frame, Frame};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A service-plane call's failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The daemon refused, with its typed verdict.
+    Rejected(RejectReason),
+    /// The daemon answered with something the call cannot interpret.
+    Protocol(String),
+    /// No terminal answer arrived inside the caller's patience.
+    TimedOut,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+            ClientError::TimedOut => f.write_str("timed out waiting for the daemon"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+fn open(addr: impl ToSocketAddrs) -> Result<TcpStream, ClientError> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ClientError::Protocol("address resolves to nothing".into()))?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Submit `spec` to the daemon at `addr`; returns the admitted job id.
+pub fn submit(addr: impl ToSocketAddrs, spec: &JobSpec) -> Result<JobId, ClientError> {
+    let mut stream = open(addr)?;
+    write_frame(&mut stream, &Frame::Submit { spec: spec.clone() })?;
+    match read_frame(&mut stream, Duration::from_secs(10))? {
+        Some(Frame::Accepted { job }) => Ok(job),
+        Some(Frame::Rejected { reason }) => Err(ClientError::Rejected(reason)),
+        Some(other) => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        None => Err(ClientError::TimedOut),
+    }
+}
+
+/// Ask the daemon at `addr` where job `job` stands.
+pub fn status(addr: impl ToSocketAddrs, job: JobId) -> Result<JobStatus, ClientError> {
+    let mut stream = open(addr)?;
+    write_frame(&mut stream, &Frame::Query { job })?;
+    match read_frame(&mut stream, Duration::from_secs(10))? {
+        Some(Frame::Status { status }) => Ok(status),
+        Some(Frame::Rejected { reason }) => Err(ClientError::Rejected(reason)),
+        Some(other) => Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+        None => Err(ClientError::TimedOut),
+    }
+}
+
+/// Attach to job `job` on the daemon at `addr`: progress lines stream
+/// into `on_event` until the job completes (returning its result) or
+/// fails (a typed [`ClientError::Rejected`]). Gives up after `patience`
+/// with no terminal answer.
+pub fn attach(
+    addr: impl ToSocketAddrs,
+    job: JobId,
+    patience: Duration,
+    on_event: &mut dyn FnMut(&str),
+) -> Result<JobResult, ClientError> {
+    let mut stream = open(addr)?;
+    write_frame(&mut stream, &Frame::Attach { job })?;
+    let deadline = Instant::now() + patience;
+    loop {
+        match read_frame(&mut stream, Duration::from_millis(500))? {
+            Some(Frame::JobEvent { text, .. }) => on_event(&text),
+            Some(Frame::Done { result, .. }) => return Ok(result),
+            Some(Frame::Rejected { reason }) => return Err(ClientError::Rejected(reason)),
+            Some(other) => return Err(ClientError::Protocol(format!("unexpected {other:?}"))),
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(ClientError::TimedOut);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The daemon's durable job registry.
+//!
+//! Everything the scheduler must survive a restart with lives in one
+//! state directory:
+//!
+//! * `jobs.json` — the registry proper: the next id to assign and, per
+//!   job, its full [`JobSpec`], lifecycle [`JobState`], and failure
+//!   reason. Written atomically (write-then-rename) after every
+//!   transition.
+//! * `job-<id>.manifest.json` — one farm manifest per job, the same
+//!   [`FarmManifest`] format the jumble farm checkpoints with: which
+//!   adjusted seeds are planned, and for each `Done` seed the tree and
+//!   its likelihood. Written after every completed jumble.
+//!
+//! A restarted daemon reloads both, requeues every `Pending` seed, and
+//! resumes — no jumble is lost, and none runs twice, because a seed is
+//! only marked `Done` when its result is already on disk.
+
+use fdml_comm::job::{JobId, JobSpec, JobState, JobStatus};
+use fdml_core::checkpoint::FarmManifest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One job's durable record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobEntry {
+    /// The id assigned at admission.
+    pub id: JobId,
+    /// The complete submitted spec.
+    pub spec: JobSpec,
+    /// Lifecycle state at the last save.
+    pub state: JobState,
+    /// Failure reason, when `state` is [`JobState::Failed`].
+    pub failure: Option<String>,
+}
+
+/// The `jobs.json` wire form (ids are also inside the entries; a list
+/// keeps the JSON portable — object keys must be strings).
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedRegistry {
+    next_id: JobId,
+    jobs: Vec<JobEntry>,
+}
+
+/// The durable registry: admission, state transitions, and per-job
+/// manifests, all backed by one state directory.
+pub struct Registry {
+    dir: PathBuf,
+    next_id: JobId,
+    jobs: BTreeMap<JobId, JobEntry>,
+}
+
+impl Registry {
+    /// Open (or create) the registry in `dir`, reloading `jobs.json` if a
+    /// previous daemon left one behind.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Registry> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("jobs.json");
+        let (next_id, jobs) = if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let persisted: PersistedRegistry = serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+            let jobs = persisted.jobs.into_iter().map(|j| (j.id, j)).collect();
+            (persisted.next_id, jobs)
+        } else {
+            (1, BTreeMap::new())
+        };
+        Ok(Registry { dir, next_id, jobs })
+    }
+
+    /// Admit a spec: assign the next id, record the job as
+    /// [`JobState::Queued`], create its manifest, and persist both.
+    pub fn admit(&mut self, spec: JobSpec, seeds: &[u64]) -> io::Result<JobId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            JobEntry {
+                id,
+                spec,
+                state: JobState::Queued,
+                failure: None,
+            },
+        );
+        FarmManifest::new(seeds).save(&self.manifest_path(id))?;
+        self.save()?;
+        Ok(id)
+    }
+
+    /// Move `id` to `state` (clearing any failure) and persist.
+    pub fn set_state(&mut self, id: JobId, state: JobState) -> io::Result<()> {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.state = state;
+            job.failure = None;
+            self.save()?;
+        }
+        Ok(())
+    }
+
+    /// Mark `id` failed with `reason` and persist.
+    pub fn set_failed(&mut self, id: JobId, reason: String) -> io::Result<()> {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.state = JobState::Failed;
+            job.failure = Some(reason);
+            self.save()?;
+        }
+        Ok(())
+    }
+
+    /// The job's durable record, if admitted.
+    pub fn get(&self, id: JobId) -> Option<&JobEntry> {
+        self.jobs.get(&id)
+    }
+
+    /// Every admitted job, in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobEntry> {
+        self.jobs.values()
+    }
+
+    /// Jobs counted against the admission queue (everything not yet
+    /// finished).
+    pub fn active_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+            .count()
+    }
+
+    /// Where `id`'s farm manifest lives.
+    pub fn manifest_path(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("job-{id}.manifest.json"))
+    }
+
+    /// Reload `id`'s manifest from disk (a fresh all-`Pending` one if the
+    /// file is somehow missing).
+    pub fn load_manifest(&self, id: JobId, seeds: &[u64]) -> FarmManifest {
+        let path = self.manifest_path(id);
+        std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| FarmManifest::from_json(&text).ok())
+            .unwrap_or_else(|| FarmManifest::new(seeds))
+    }
+
+    /// Assemble the `--status` answer for `id` given its manifest
+    /// progress.
+    pub fn status(&self, id: JobId, done: usize, total: usize) -> Option<JobStatus> {
+        self.jobs.get(&id).map(|j| JobStatus {
+            job: id,
+            state: j.state,
+            done,
+            total,
+            label: j.spec.label.clone(),
+            failure: j.failure.clone(),
+        })
+    }
+
+    /// Persist `jobs.json` atomically (write a temporary sibling, then
+    /// rename over the target — a kill mid-write never torn-writes the
+    /// registry).
+    pub fn save(&self) -> io::Result<()> {
+        let persisted = PersistedRegistry {
+            next_id: self.next_id,
+            jobs: self.jobs.values().cloned().collect(),
+        };
+        let text = serde_json::to_string_pretty(&persisted)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        let path = self.dir.join("jobs.json");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+/// Atomically save `manifest` for job `id` under `dir`-less registries'
+/// convention (helper for the scheduler, which holds manifests in memory).
+pub fn save_manifest(path: &Path, manifest: &FarmManifest) -> io::Result<()> {
+    manifest.save(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdml_comm::job::JobSpec;
+
+    fn spec(label: &str) -> JobSpec {
+        JobSpec {
+            phylip: " 4 4\na ACGT\nb ACGA\nc AGGT\nd ACTT\n".into(),
+            config_json: "{}".into(),
+            jumbles: 2,
+            base_seed: 1,
+            max_ranks: 0,
+            max_wall_ms: 0,
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            assert_eq!(reg.admit(spec("a"), &[1, 3]).unwrap(), 1);
+            assert_eq!(reg.admit(spec("b"), &[5, 7]).unwrap(), 2);
+            reg.set_state(2, JobState::Running).unwrap();
+        }
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            assert_eq!(reg.jobs().count(), 2);
+            assert_eq!(reg.get(2).unwrap().state, JobState::Running);
+            assert_eq!(reg.get(1).unwrap().spec.label, "a");
+            // The next id continues where the dead daemon stopped.
+            assert_eq!(reg.admit(spec("c"), &[9]).unwrap(), 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_the_state_dir() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-m-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut reg = Registry::open(&dir).unwrap();
+        let id = reg.admit(spec("m"), &[1, 3, 5]).unwrap();
+        let mut manifest = reg.load_manifest(id, &[1, 3, 5]);
+        manifest.mark_done(3, "(a,b,(c,d));".into(), -42.0);
+        manifest.save(&reg.manifest_path(id)).unwrap();
+        let back = reg.load_manifest(id, &[1, 3, 5]);
+        assert_eq!(back.unfinished(), vec![1, 5]);
+        assert!(!back.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_reason_is_persisted() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-f-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            let id = reg.admit(spec("f"), &[1]).unwrap();
+            reg.set_failed(id, "wall-time quota exhausted".into())
+                .unwrap();
+        }
+        let reg = Registry::open(&dir).unwrap();
+        let status = reg.status(1, 0, 1).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert_eq!(status.failure.as_deref(), Some("wall-time quota exhausted"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

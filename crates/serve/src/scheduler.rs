@@ -1,0 +1,815 @@
+//! The daemon's fair-share scheduler: one loop owning the hub, the job
+//! registry, and the shared worker fleet.
+//!
+//! Topology: the daemon process hosts the [`TcpHub`] (rank 0) and dials
+//! its own loopback twice — rank 1 is the scheduler's transport (the
+//! foreman slot, so worker [`Message::JobTaskResult`] replies route
+//! here), rank 2 a placeholder monitor connection keeping the classic
+//! rank convention (workers at 3 and up). Worker processes are either
+//! forked by the daemon or join externally with
+//! `fastdnaml --net worker --connect ADDR`; either way they are one
+//! *shared* fleet, multiplexed across every admitted job.
+//!
+//! Fair share: active jobs sit in a round-robin ring; each dispatch round
+//! hands one jumble to one idle worker per eligible job, cycling until
+//! workers or work run out. A job's `max_ranks` quota caps how many
+//! workers it occupies at once, so a wide job cannot starve a narrow one.
+//!
+//! Durability: every admission and state transition is written through
+//! [`Registry`] before it is acknowledged, and every completed jumble
+//! lands in the job's farm manifest before the in-memory ledger advances.
+//! A daemon killed at any point restarts by requeueing exactly the
+//! `Pending` seeds — nothing lost, nothing run twice.
+
+use crate::registry::Registry;
+use fdml_comm::job::{JobId, JobResult, JobSpec, JobState, JobStatus, JobTree, RejectReason};
+use fdml_comm::message::Message;
+use fdml_comm::transport::{ranks, Rank, Transport};
+use fdml_core::checkpoint::{FarmManifest, JumbleStatus};
+use fdml_core::job::ResolvedJob;
+use fdml_net::wire::{write_frame, Frame};
+use fdml_net::{ServiceRequest, TcpHub, TcpTransport};
+use fdml_obs::{Event, MemorySink, Obs, RunReport};
+use fdml_phylo::consensus::consensus;
+use fdml_phylo::newick;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scheduler run mode, shared with the [`crate::Daemon`] handle.
+pub(crate) const MODE_RUN: u8 = 0;
+/// Graceful stop: workers get `Shutdown`, state is flushed.
+pub(crate) const MODE_STOP: u8 = 1;
+/// Hard stop: drop everything mid-flight, as a crash would.
+pub(crate) const MODE_KILL: u8 = 2;
+
+/// Admission ceilings, from [`crate::ServeOptions`].
+pub(crate) struct Limits {
+    /// Most jobs admitted-but-unfinished at once.
+    pub max_jobs: usize,
+    /// Ceiling on a spec's `max_ranks` request (0 = none).
+    pub max_job_ranks: usize,
+    /// Ceiling on a spec's `max_wall_ms` request, and the default budget
+    /// for specs that ask for none (0 = none).
+    pub max_wall_ms: u64,
+}
+
+/// One admitted, unfinished job's live state.
+struct Active {
+    resolved: ResolvedJob,
+    manifest: FarmManifest,
+    /// Seeds not yet dispatched, in plan order (requeues go to the front
+    /// so a restart-heavy run still drains oldest-first).
+    pending: VecDeque<u64>,
+    /// Jumbles currently on a worker.
+    in_flight: usize,
+    /// Effective worker cap (0 = share the whole fleet).
+    width: usize,
+    /// Effective wall budget (0 = unlimited), armed at first dispatch.
+    wall_ms: u64,
+    deadline: Option<Instant>,
+    started: bool,
+    /// Per-job event buffer behind the per-job run report.
+    sink: MemorySink,
+    obs: Obs,
+    /// Streams attached with `Attach`, fed progress and the final result.
+    attached: Vec<TcpStream>,
+}
+
+/// One shared-fleet worker's state.
+#[derive(Default)]
+struct Worker {
+    /// The task currently on this worker, if any.
+    busy: Option<u64>,
+    /// Jobs whose `JobData` this worker process has already received.
+    knows: HashSet<JobId>,
+}
+
+/// An outstanding dispatch.
+struct Flight {
+    job: JobId,
+    seed: u64,
+    rank: Rank,
+}
+
+pub(crate) struct Scheduler {
+    hub: TcpHub,
+    foreman: TcpTransport,
+    /// Holds the monitor rank open so workers start at rank 3.
+    _monitor: TcpTransport,
+    registry: Registry,
+    obs: Obs,
+    limits: Limits,
+    active: HashMap<JobId, Active>,
+    ring: VecDeque<JobId>,
+    results: HashMap<JobId, JobResult>,
+    workers: HashMap<Rank, Worker>,
+    in_flight: HashMap<u64, Flight>,
+    next_task: u64,
+    mode: Arc<AtomicU8>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(
+        hub: TcpHub,
+        foreman: TcpTransport,
+        monitor: TcpTransport,
+        registry: Registry,
+        obs: Obs,
+        limits: Limits,
+        mode: Arc<AtomicU8>,
+    ) -> Scheduler {
+        let mut s = Scheduler {
+            hub,
+            foreman,
+            _monitor: monitor,
+            registry,
+            obs,
+            limits,
+            active: HashMap::new(),
+            ring: VecDeque::new(),
+            results: HashMap::new(),
+            workers: HashMap::new(),
+            in_flight: HashMap::new(),
+            next_task: 1,
+            mode,
+        };
+        s.revive();
+        s
+    }
+
+    /// Re-admit every unfinished job a previous daemon left in the state
+    /// directory: reload its manifest and requeue exactly the `Pending`
+    /// seeds.
+    fn revive(&mut self) {
+        let unfinished: Vec<(JobId, JobSpec)> = self
+            .registry
+            .jobs()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+            .map(|j| (j.id, j.spec.clone()))
+            .collect();
+        for (id, spec) in unfinished {
+            match ResolvedJob::from_spec(&spec) {
+                Ok(resolved) => {
+                    let manifest = self.registry.load_manifest(id, &resolved.seeds);
+                    if manifest.is_complete() {
+                        // It finished just before the old daemon died;
+                        // only the registry transition was lost.
+                        let result = assemble_result(id, &resolved, &manifest, None);
+                        let _ = self.registry.set_state(id, JobState::Done);
+                        self.results.insert(id, result);
+                        continue;
+                    }
+                    self.activate(id, &spec, resolved, manifest);
+                }
+                Err(e) => {
+                    let _ = self
+                        .registry
+                        .set_failed(id, format!("unresolvable after restart: {e}"));
+                }
+            }
+        }
+    }
+
+    fn activate(
+        &mut self,
+        id: JobId,
+        spec: &JobSpec,
+        resolved: ResolvedJob,
+        manifest: FarmManifest,
+    ) {
+        let width = effective(spec.max_ranks as u64, self.limits.max_job_ranks as u64) as usize;
+        let wall_ms = effective(spec.max_wall_ms, self.limits.max_wall_ms);
+        let pending: VecDeque<u64> = manifest.unfinished().into();
+        let sink = MemorySink::new();
+        let obs = Obs::new(Box::new(sink.clone()));
+        self.active.insert(
+            id,
+            Active {
+                resolved,
+                manifest,
+                pending,
+                in_flight: 0,
+                width,
+                wall_ms,
+                deadline: None,
+                started: false,
+                sink,
+                obs,
+                attached: Vec::new(),
+            },
+        );
+        self.ring.push_back(id);
+    }
+
+    /// The scheduler loop: drain service connections, drain worker
+    /// results, refresh the fleet, enforce wall quotas, dispatch.
+    pub(crate) fn run(mut self) {
+        loop {
+            match self.mode.load(Ordering::SeqCst) {
+                MODE_RUN => {}
+                MODE_STOP => {
+                    for (&rank, _) in self.workers.iter() {
+                        let _ = self.foreman.send(rank, &Message::Shutdown);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                    return;
+                }
+                _ => return,
+            }
+
+            // Service plane: Submit / Query / Attach openers.
+            let mut service_wait = Duration::from_millis(10);
+            while let Some(req) = self.hub.accept_service(service_wait) {
+                service_wait = Duration::ZERO;
+                self.handle_service(req);
+            }
+
+            // Compute plane: results and liveness, via the foreman slot.
+            let mut recv_wait = Duration::from_millis(10);
+            while let Ok(Some((from, msg))) = self.foreman.recv_timeout(recv_wait) {
+                recv_wait = Duration::ZERO;
+                self.handle_message(from, msg);
+            }
+
+            // The hub's own rank-0 queue gets liveness notifications too;
+            // nothing reads it in daemon mode, so drain and discard.
+            while let Ok(Some(_)) = self.hub.recv_timeout(Duration::ZERO) {}
+
+            self.refresh_workers();
+            self.enforce_wall_quotas();
+            self.dispatch();
+        }
+    }
+
+    /// Reconcile the worker table with the hub's live connections.
+    fn refresh_workers(&mut self) {
+        let connected: HashSet<Rank> = self
+            .hub
+            .peer_ranks()
+            .into_iter()
+            .filter(|&r| r >= ranks::FIRST_WORKER)
+            .collect();
+        for &rank in &connected {
+            self.workers.entry(rank).or_default();
+        }
+        let gone: Vec<Rank> = self
+            .workers
+            .keys()
+            .filter(|r| !connected.contains(r))
+            .copied()
+            .collect();
+        for rank in gone {
+            self.worker_lost(rank);
+        }
+    }
+
+    /// A worker's connection dropped: requeue whatever it carried. Its
+    /// late result, should the process somehow still deliver one through
+    /// a rejoin, is deduplicated against the manifest.
+    fn worker_lost(&mut self, rank: Rank) {
+        let Some(worker) = self.workers.remove(&rank) else {
+            return;
+        };
+        if let Some(task) = worker.busy {
+            self.requeue(task);
+        }
+    }
+
+    /// A worker reconnected under the same rank: it may be a fresh
+    /// replacement process with no engines, so its `JobData` cache resets
+    /// and anything it carried is requeued.
+    fn worker_rejoined(&mut self, rank: Rank) {
+        if let Some(worker) = self.workers.get_mut(&rank) {
+            let busy = worker.busy.take();
+            worker.knows.clear();
+            if let Some(task) = busy {
+                self.requeue(task);
+            }
+        }
+    }
+
+    fn requeue(&mut self, task: u64) {
+        if let Some(flight) = self.in_flight.remove(&task) {
+            if let Some(job) = self.active.get_mut(&flight.job) {
+                job.in_flight = job.in_flight.saturating_sub(1);
+                let still_pending = job
+                    .manifest
+                    .entries
+                    .iter()
+                    .any(|e| e.seed == flight.seed && e.status == JumbleStatus::Pending);
+                if still_pending {
+                    job.pending.push_front(flight.seed);
+                }
+            }
+        }
+    }
+
+    fn handle_message(&mut self, _from: Rank, msg: Message) {
+        match msg {
+            Message::JobTaskResult {
+                job,
+                task,
+                seed,
+                newick,
+                ln_likelihood,
+                ..
+            } => self.absorb_result(job, task, seed, newick, ln_likelihood),
+            Message::PeerDown { rank } => self.worker_lost(rank),
+            Message::PeerUp { rank } => self.worker_rejoined(rank),
+            // Stray WorkerReady (ping answers), heartbeat artifacts, and
+            // legacy single-job traffic are not the scheduler's concern.
+            _ => {}
+        }
+    }
+
+    fn absorb_result(&mut self, job_id: JobId, task: u64, seed: u64, newick: String, lnl: f64) {
+        if let Some(flight) = self.in_flight.remove(&task) {
+            if let Some(worker) = self.workers.get_mut(&flight.rank) {
+                if worker.busy == Some(task) {
+                    worker.busy = None;
+                }
+            }
+        }
+        let Some(job) = self.active.get_mut(&job_id) else {
+            return; // late result for a finished/failed job
+        };
+        job.in_flight = job.in_flight.saturating_sub(1);
+        let fresh = job
+            .manifest
+            .entries
+            .iter()
+            .any(|e| e.seed == seed && e.status == JumbleStatus::Pending);
+        if !fresh {
+            return; // duplicate of a requeued-and-recomputed jumble
+        }
+        job.manifest.mark_done(seed, newick, lnl);
+        let _ = job.manifest.save(&self.registry.manifest_path(job_id));
+        let done = job
+            .manifest
+            .entries
+            .iter()
+            .filter(|e| e.status == JumbleStatus::Done)
+            .count();
+        let total = job.manifest.entries.len();
+        let ev = Event::JumbleCompleted {
+            seed,
+            ln_likelihood: lnl,
+            reused: false,
+        };
+        self.obs.emit(|| ev.clone());
+        job.obs.emit(|| ev);
+        let progress = Event::FarmProgress {
+            completed: done,
+            in_flight: job.in_flight,
+            pending: job.pending.len(),
+            total,
+        };
+        self.obs.emit(|| progress.clone());
+        job.obs.emit(|| progress);
+        let line = format!("jumble seed={seed} lnL={lnl:.4} ({done}/{total})");
+        notify_attached(&mut job.attached, job_id, &line);
+        if job.manifest.is_complete() && job.pending.is_empty() && job.in_flight == 0 {
+            self.finish(job_id);
+        }
+    }
+
+    /// Every jumble landed: assemble the result, persist `Done`, answer
+    /// the attached clients.
+    fn finish(&mut self, id: JobId) {
+        let Some(mut job) = self.active.remove(&id) else {
+            return;
+        };
+        self.ring.retain(|&j| j != id);
+        let report = RunReport::from_events(&job.sink.snapshot());
+        let report_json = serde_json::to_string(&report).ok();
+        let result = assemble_result(id, &job.resolved, &job.manifest, report_json);
+        let _ = self.registry.set_state(id, JobState::Done);
+        let ev = Event::JobCompleted {
+            job: id,
+            best_ln_likelihood: result.best_ln_likelihood,
+        };
+        self.obs.emit(|| ev.clone());
+        job.obs.emit(|| ev);
+        for mut stream in job.attached.drain(..) {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Done {
+                    job: id,
+                    result: result.clone(),
+                },
+            );
+        }
+        self.results.insert(id, result);
+    }
+
+    fn fail(&mut self, id: JobId, reason: String) {
+        let Some(mut job) = self.active.remove(&id) else {
+            return;
+        };
+        self.ring.retain(|&j| j != id);
+        let _ = self.registry.set_failed(id, reason.clone());
+        let ev = Event::JobFailed {
+            job: id,
+            reason: reason.clone(),
+        };
+        self.obs.emit(|| ev.clone());
+        job.obs.emit(|| ev);
+        for mut stream in job.attached.drain(..) {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Rejected {
+                    reason: RejectReason::JobFailed {
+                        job: id,
+                        reason: reason.clone(),
+                    },
+                },
+            );
+        }
+        // In-flight tasks stay in the flight table; their late results
+        // find no active job and are discarded.
+    }
+
+    fn enforce_wall_quotas(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(JobId, u64)> = self
+            .active
+            .iter()
+            .filter_map(|(&id, job)| match job.deadline {
+                Some(d) if now >= d => Some((id, job.wall_ms)),
+                _ => None,
+            })
+            .collect();
+        for (id, wall_ms) in expired {
+            self.fail(id, format!("wall-time quota exhausted ({wall_ms} ms)"));
+        }
+    }
+
+    /// Fair-share dispatch: one jumble per eligible job per ring cycle,
+    /// until idle workers or eligible work run out.
+    fn dispatch(&mut self) {
+        loop {
+            let Some(rank) = self.idle_worker() else {
+                return;
+            };
+            let mut assigned = false;
+            for _ in 0..self.ring.len() {
+                let Some(id) = self.ring.pop_front() else {
+                    break;
+                };
+                let eligible = self
+                    .active
+                    .get(&id)
+                    .map(|j| !j.pending.is_empty() && (j.width == 0 || j.in_flight < j.width))
+                    .unwrap_or(false);
+                self.ring.push_back(id);
+                if eligible {
+                    self.assign(id, rank);
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                return;
+            }
+        }
+    }
+
+    fn idle_worker(&self) -> Option<Rank> {
+        self.workers
+            .iter()
+            .filter(|(_, w)| w.busy.is_none())
+            .map(|(&r, _)| r)
+            .min()
+    }
+
+    fn assign(&mut self, id: JobId, rank: Rank) {
+        let Some(job) = self.active.get_mut(&id) else {
+            return;
+        };
+        let Some(seed) = job.pending.pop_front() else {
+            return;
+        };
+        let worker = self.workers.entry(rank).or_default();
+        if !worker.knows.contains(&id) {
+            let data = Message::JobData {
+                job: id,
+                phylip: fdml_phylo::phylip::write(&job.resolved.alignment),
+                config_json: job.resolved.config.engine_config_json(),
+            };
+            if self.foreman.send(rank, &data).is_err() {
+                job.pending.push_front(seed);
+                return;
+            }
+            worker.knows.insert(id);
+        }
+        let task = self.next_task;
+        self.next_task += 1;
+        if self
+            .foreman
+            .send(
+                rank,
+                &Message::JobTask {
+                    job: id,
+                    task,
+                    seed,
+                },
+            )
+            .is_err()
+        {
+            job.pending.push_front(seed);
+            return;
+        }
+        self.workers.get_mut(&rank).expect("worker present").busy = Some(task);
+        self.in_flight.insert(
+            task,
+            Flight {
+                job: id,
+                seed,
+                rank,
+            },
+        );
+        job.in_flight += 1;
+        if !job.started {
+            job.started = true;
+            if job.wall_ms > 0 {
+                job.deadline = Some(Instant::now() + Duration::from_millis(job.wall_ms));
+            }
+            let _ = self.registry.set_state(id, JobState::Running);
+            let ev = Event::JobStarted { job: id };
+            self.obs.emit(|| ev.clone());
+            job.obs.emit(|| ev);
+        }
+        let ev = Event::JumbleStarted { seed };
+        self.obs.emit(|| ev.clone());
+        job.obs.emit(|| ev);
+    }
+
+    // ----- service plane -------------------------------------------------
+
+    fn handle_service(&mut self, req: ServiceRequest) {
+        let ServiceRequest { mut stream, first } = req;
+        match first {
+            Frame::Submit { spec } => {
+                let answer = match self.admit(spec) {
+                    Ok(job) => Frame::Accepted { job },
+                    Err(reason) => Frame::Rejected { reason },
+                };
+                let _ = write_frame(&mut stream, &answer);
+            }
+            Frame::Query { job } => {
+                let answer = match self.status_of(job) {
+                    Some(status) => Frame::Status { status },
+                    None => Frame::Rejected {
+                        reason: RejectReason::UnknownJob { job },
+                    },
+                };
+                let _ = write_frame(&mut stream, &answer);
+            }
+            Frame::Attach { job } => self.attach(job, stream),
+            _ => {}
+        }
+    }
+
+    /// Admission control: validate the spec, check it against the
+    /// daemon's quotas, and only then assign an id and persist.
+    fn admit(&mut self, spec: JobSpec) -> Result<JobId, RejectReason> {
+        let resolved = ResolvedJob::from_spec(&spec).map_err(|e| RejectReason::Malformed {
+            reason: e.to_string(),
+        })?;
+        if self.limits.max_job_ranks > 0 && spec.max_ranks > self.limits.max_job_ranks {
+            return Err(RejectReason::QuotaExceeded {
+                quota: "max_ranks".into(),
+                requested: spec.max_ranks as u64,
+                limit: self.limits.max_job_ranks as u64,
+            });
+        }
+        if self.limits.max_wall_ms > 0 && spec.max_wall_ms > self.limits.max_wall_ms {
+            return Err(RejectReason::QuotaExceeded {
+                quota: "max_wall_ms".into(),
+                requested: spec.max_wall_ms,
+                limit: self.limits.max_wall_ms,
+            });
+        }
+        if self.registry.active_jobs() >= self.limits.max_jobs {
+            return Err(RejectReason::QueueFull {
+                limit: self.limits.max_jobs,
+            });
+        }
+        let id = self
+            .registry
+            .admit(spec.clone(), &resolved.seeds)
+            .map_err(|e| RejectReason::Malformed {
+                reason: format!("state dir unwritable: {e}"),
+            })?;
+        let manifest = FarmManifest::new(&resolved.seeds);
+        self.activate(id, &spec, resolved, manifest);
+        let jumbles = spec.jumbles;
+        let label = spec.label;
+        let ev = Event::JobSubmitted {
+            job: id,
+            jumbles,
+            label,
+        };
+        self.obs.emit(|| ev.clone());
+        if let Some(job) = self.active.get(&id) {
+            job.obs.emit(|| ev);
+        }
+        Ok(id)
+    }
+
+    fn status_of(&self, id: JobId) -> Option<JobStatus> {
+        if let Some(job) = self.active.get(&id) {
+            let done = job
+                .manifest
+                .entries
+                .iter()
+                .filter(|e| e.status == JumbleStatus::Done)
+                .count();
+            return self.registry.status(id, done, job.manifest.entries.len());
+        }
+        let entry = self.registry.get(id)?;
+        let manifest = self.registry.load_manifest(id, &[]);
+        let done = manifest
+            .entries
+            .iter()
+            .filter(|e| e.status == JumbleStatus::Done)
+            .count();
+        let total = if manifest.entries.is_empty() {
+            entry.spec.jumbles
+        } else {
+            manifest.entries.len()
+        };
+        self.registry.status(id, done, total)
+    }
+
+    fn attach(&mut self, id: JobId, mut stream: TcpStream) {
+        if let Some(result) = self.results.get(&id) {
+            // Keep the stream shape uniform whether the client attached
+            // before or after completion: at least one event, then Done.
+            let _ = write_frame(
+                &mut stream,
+                &Frame::JobEvent {
+                    job: id,
+                    text: "attached (already complete)".into(),
+                },
+            );
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Done {
+                    job: id,
+                    result: result.clone(),
+                },
+            );
+            return;
+        }
+        if let Some(job) = self.active.get_mut(&id) {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::JobEvent {
+                    job: id,
+                    text: "attached".into(),
+                },
+            );
+            job.attached.push(stream);
+            return;
+        }
+        let answer = match self.registry.get(id) {
+            Some(entry) if entry.state == JobState::Done => {
+                // Completed before a restart; rebuild the result from the
+                // durable manifest (the in-memory report did not survive).
+                match ResolvedJob::from_spec(&entry.spec) {
+                    Ok(resolved) => {
+                        let manifest = self.registry.load_manifest(id, &resolved.seeds);
+                        let result = assemble_result(id, &resolved, &manifest, None);
+                        self.results.insert(id, result.clone());
+                        Frame::Done { job: id, result }
+                    }
+                    Err(e) => Frame::Rejected {
+                        reason: RejectReason::JobFailed {
+                            job: id,
+                            reason: format!("result unrecoverable: {e}"),
+                        },
+                    },
+                }
+            }
+            Some(entry) if entry.state == JobState::Failed => Frame::Rejected {
+                reason: RejectReason::JobFailed {
+                    job: id,
+                    reason: entry
+                        .failure
+                        .clone()
+                        .unwrap_or_else(|| "unknown failure".into()),
+                },
+            },
+            _ => Frame::Rejected {
+                reason: RejectReason::UnknownJob { job: id },
+            },
+        };
+        if matches!(answer, Frame::Done { .. }) {
+            let _ = write_frame(
+                &mut stream,
+                &Frame::JobEvent {
+                    job: id,
+                    text: "attached (already complete)".into(),
+                },
+            );
+        }
+        let _ = write_frame(&mut stream, &answer);
+    }
+}
+
+/// `requested` capped by `ceiling`, where 0 means "unset" on both sides.
+fn effective(requested: u64, ceiling: u64) -> u64 {
+    match (requested, ceiling) {
+        (0, c) => c,
+        (r, 0) => r,
+        (r, c) => r.min(c),
+    }
+}
+
+/// Push one progress line to every attached stream, dropping streams
+/// whose client went away.
+fn notify_attached(attached: &mut Vec<TcpStream>, job: JobId, text: &str) {
+    attached.retain_mut(|stream| {
+        write_frame(
+            stream,
+            &Frame::JobEvent {
+                job,
+                text: text.into(),
+            },
+        )
+        .is_ok()
+    });
+}
+
+/// Build the final [`JobResult`] from a complete manifest: trees in plan
+/// order, the best tree (first on ties), and the majority-rule consensus
+/// for multi-jumble jobs — byte-identical to a serial farm over the same
+/// seeds, because every jumble ran through `run_one_jumble`.
+fn assemble_result(
+    id: JobId,
+    resolved: &ResolvedJob,
+    manifest: &FarmManifest,
+    report: Option<String>,
+) -> JobResult {
+    let trees: Vec<JobTree> = manifest
+        .entries
+        .iter()
+        .map(|e| JobTree {
+            seed: e.seed,
+            newick: e.newick.clone().unwrap_or_default(),
+            ln_likelihood: e.ln_likelihood.unwrap_or(f64::NEG_INFINITY),
+        })
+        .collect();
+    // Strictly-greater comparison keeps the first tree in plan order on
+    // ties, matching the serial farm's tie-break.
+    let mut best = JobTree {
+        seed: 0,
+        newick: String::new(),
+        ln_likelihood: f64::NEG_INFINITY,
+    };
+    for t in &trees {
+        if t.ln_likelihood > best.ln_likelihood {
+            best = t.clone();
+        }
+    }
+    let consensus_newick = if trees.len() > 1 {
+        let parsed: Result<Vec<_>, _> = trees
+            .iter()
+            .map(|t| newick::parse_tree(&t.newick, &resolved.alignment))
+            .collect();
+        parsed.ok().and_then(|ts| {
+            let names = resolved.alignment.names().to_vec();
+            consensus(&ts, names.len(), 0.5, &names)
+                .ok()
+                .map(|c| newick::write(&c.tree))
+        })
+    } else {
+        None
+    };
+    JobResult {
+        job: id,
+        trees,
+        consensus_newick,
+        best_newick: best.newick,
+        best_ln_likelihood: best.ln_likelihood,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_caps_compose() {
+        assert_eq!(effective(0, 0), 0);
+        assert_eq!(effective(0, 8), 8);
+        assert_eq!(effective(4, 0), 4);
+        assert_eq!(effective(16, 8), 8);
+        assert_eq!(effective(4, 8), 4);
+    }
+}

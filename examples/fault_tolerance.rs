@@ -8,7 +8,8 @@
 
 use fastdnaml::comm::fault::FaultPlan;
 use fastdnaml::core::config::SearchConfig;
-use fastdnaml::core::runner::{parallel_search, parallel_search_with_faults};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{parallel_search, RunOptions};
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
 use fastdnaml::phylo::bipartition::robinson_foulds;
 use std::collections::HashMap;
@@ -24,7 +25,8 @@ fn main() {
     };
 
     println!("clean run (5 ranks: master, foreman, monitor, 2 workers)…");
-    let clean = parallel_search(&alignment, &config, 5).expect("clean run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).expect("resolve job");
+    let clean = parallel_search(&job, 5, RunOptions::default()).expect("clean run");
     println!(
         "  lnL {:.3}; {} dispatches, {} timeouts",
         clean.result.ln_likelihood, clean.foreman.dispatched, clean.foreman.timeouts
@@ -33,7 +35,7 @@ fn main() {
     println!("\nfaulty run: worker 3 silently drops its first 6 results…");
     let mut faults = HashMap::new();
     faults.insert(3usize, FaultPlan::drop_first(6));
-    let faulty = parallel_search_with_faults(&alignment, &config, 5, faults).expect("faulty run");
+    let faulty = parallel_search(&job, 5, RunOptions::with_faults(faults)).expect("faulty run");
     println!(
         "  lnL {:.3}; {} dispatches, {} timeouts, {} re-admissions, {} duplicate results ignored",
         faulty.result.ln_likelihood,

@@ -7,11 +7,11 @@
 //! ```
 
 use fastdnaml::core::config::SearchConfig;
-use fastdnaml::core::runner::{parallel_search_observed, serial_search};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{parallel_search, serial_search, RunOptions};
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
 use fastdnaml::obs::{MemorySink, Sink};
 use fastdnaml::phylo::bipartition::robinson_foulds;
-use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
@@ -38,8 +38,9 @@ fn main() {
     println!("\nparallel run with {ranks} ranks ({workers} workers)…");
     let t0 = Instant::now();
     let sinks: Vec<Box<dyn Sink>> = vec![Box::new(MemorySink::new())];
-    let outcome = parallel_search_observed(&alignment, &config, ranks, HashMap::new(), sinks)
-        .expect("parallel search");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).expect("resolve job");
+    let outcome =
+        parallel_search(&job, ranks, RunOptions::observed(sinks)).expect("parallel search");
     let par_secs = t0.elapsed().as_secs_f64();
     println!(
         "  lnL {:.3} in {par_secs:.2}s → speedup {:.2}×",

@@ -17,13 +17,14 @@
 //!                        master, foreman, monitor, workers)
 //!   --net coordinator    host the TCP hub and run rank 0 (master); use
 //!                        with --listen ADDR and --ranks N
-//!   --net worker         join a coordinator as a peer process; use with
-//!                        --connect ADDR (rank assigned by the hub)
+//!   --net worker         join a coordinator (or daemon) as a peer process;
+//!                        use with --connect ADDR (rank assigned by the hub)
 //!   --net spawn N        coordinator that also forks N-1 local worker
 //!                        processes — single-command multi-process run
-//!   --listen ADDR        coordinator bind address          [127.0.0.1:0]
-//!   --connect ADDR       coordinator address for --net worker
-//!   --ranks N            universe size for --net coordinator [4]
+//!   --listen ADDR        coordinator / daemon bind address  [127.0.0.1:0]
+//!   --connect ADDR       address for --net worker and the job-API client
+//!                        modes (--submit / --status / --attach)
+//!   --ranks N            universe size for --net coordinator / --serve [4]
 //!   --supervise          (--net spawn) respawn worker processes that die,
 //!                        with capped exponential backoff
 //!   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
@@ -43,24 +44,52 @@
 //!   --output FILE        write the best tree / consensus ("-" = stdout)
 //!   --fasta              input is FASTA instead of PHYLIP
 //!   --quiet              suppress progress output
+//!
+//! Service mode — the always-on multi-tenant daemon and its clients:
+//!
+//!   --serve              run the job daemon: the hub stays up across jobs
+//!                        and a shared worker fleet serves every submitted
+//!                        farm (--listen, --ranks, --state-dir)
+//!   --state-dir DIR      durable job state (jobs.json + manifests); a
+//!                        restarted daemon resumes unfinished jobs [required]
+//!   --addr-file FILE     (--serve) write the bound address, for scripts
+//!                        that start the daemon on an ephemeral port
+//!   --spawn-workers      (--serve) fork this binary as the worker fleet
+//!   --max-jobs N         (--serve) admission queue limit            [8]
+//!   --max-job-ranks N    ceiling on a job's worker quota (--serve);
+//!                        the quota request itself with --submit     [0]
+//!   --max-wall-ms T      ceiling on a job's wall budget (--serve);
+//!                        the budget request itself with --submit    [0]
+//!   --submit             submit --input as a job to the daemon at
+//!                        --connect; prints the admitted job id
+//!   --job-label NAME     (--submit) display label for the job
+//!   --status JOB         print a submitted job's state and progress
+//!   --attach JOB         stream a job's progress and write its result
+//!   --attach-timeout-ms T  give up attaching after this long   [600000]
 //! ```
 
+use fastdnaml::comm::job::JobSpec;
 use fastdnaml::core::checkpoint::{Checkpoint, FarmManifest};
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::executor::ScorerExecutor;
-use fastdnaml::core::farm::{plan_seeds, serial_farm, FarmOptions, JumbleRun};
-use fastdnaml::core::netrun::{net_coordinator_search, net_farm_search, run_net_peer, NetSpawn};
+use fastdnaml::core::farm::{serial_farm, FarmOptions, JumbleRun};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::netrun::{
+    net_coordinator_search, net_farm_search, run_net_peer, NetOptions, NetSpawn,
+};
 use fastdnaml::core::runner::{
-    bootstrap_analysis, evaluate_user_trees, farm_search_observed, parallel_search_observed,
-    serial_search,
+    bootstrap_analysis, evaluate_user_trees, farm_search, parallel_search, serial_search,
+    RunOptions,
 };
 use fastdnaml::core::search::StepwiseSearch;
 use fastdnaml::obs::{JsonlSink, MemorySink, Obs, RunReport, Sink};
 use fastdnaml::phylo::consensus::Consensus;
 use fastdnaml::phylo::{fasta, newick, phylip};
 use fastdnaml::rates::{categorize, estimate_rates, RateGrid};
+use fastdnaml::serve::{client, Daemon, ServeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default: T) -> T {
     args.get(key)
@@ -124,11 +153,11 @@ fastdnaml --input data.phy [options]
   --rates-file FILE    use a dnarates report for the category model
   --parallel RANKS     run the threaded parallel program (>= 4 ranks)
   --net coordinator    host the TCP hub and run rank 0 (--listen, --ranks)
-  --net worker         join a coordinator as a peer process (--connect)
+  --net worker         join a coordinator or daemon as a peer (--connect)
   --net spawn N        coordinator that also forks N-1 local peers
-  --listen ADDR        coordinator bind address          [127.0.0.1:0]
-  --connect ADDR       coordinator address for --net worker
-  --ranks N            universe size for --net coordinator [4]
+  --listen ADDR        coordinator / daemon bind address [127.0.0.1:0]
+  --connect ADDR       address for --net worker / --submit / --status / --attach
+  --ranks N            universe size for --net coordinator / --serve [4]
   --supervise          (--net spawn) respawn dead worker processes
   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
   --worker-timeout-ms T  foreman timeout before a task is requeued
@@ -148,7 +177,156 @@ fastdnaml --input data.phy [options]
   --fasta              input is FASTA instead of PHYLIP
   --quiet              suppress progress output
   --help               show this message
+
+Service mode (the always-on job daemon and its clients):
+
+  --serve              run the multi-tenant job daemon (--listen, --ranks,
+                       --state-dir; workers join via --net worker)
+  --state-dir DIR      durable job state; a restart resumes unfinished jobs
+  --addr-file FILE     (--serve) write the bound address to FILE
+  --spawn-workers      (--serve) fork this binary as the worker fleet
+  --max-jobs N         (--serve) admission queue limit [8]
+  --max-job-ranks N    per-job worker ceiling (--serve) / request (--submit)
+  --max-wall-ms T      per-job wall budget ceiling (--serve) / request (--submit)
+  --submit             submit --input to the daemon at --connect
+  --job-label NAME     (--submit) display label for the job
+  --status JOB         print a submitted job's state and progress
+  --attach JOB         stream a job's progress and write its result
+  --attach-timeout-ms T  give up attaching after this long [600000]
 ";
+
+/// Write `text` to `--output` (default `-` = stdout).
+fn emit_to(output: &str, text: &str) {
+    if output == "-" {
+        println!("{text}");
+    } else {
+        std::fs::write(output, format!("{text}\n")).expect("write output");
+    }
+}
+
+/// `--serve`: run the daemon until killed. Never returns on success — the
+/// scheduler thread owns the process from here.
+fn serve_mode(args: &HashMap<String, String>, flags: &[String], quiet: bool) -> ExitCode {
+    let Some(state_dir) = args.get("state-dir") else {
+        eprintln!("fastdnaml: --serve requires --state-dir DIR");
+        return ExitCode::FAILURE;
+    };
+    let listen = args
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let mut options = ServeOptions::new(listen, get(args, "ranks", 4), state_dir);
+    options.max_jobs = get(args, "max-jobs", 8);
+    options.max_job_ranks = get(args, "max-job-ranks", 0);
+    options.max_wall_ms = get(args, "max-wall-ms", 0);
+    if flags.iter().any(|f| f == "spawn-workers") {
+        options.spawn = Some(std::env::current_exe().expect("current executable path"));
+    }
+    if let Some(path) = args.get("obs-out") {
+        options.sinks.push(Box::new(
+            JsonlSink::create(path).unwrap_or_else(|e| panic!("--obs-out {path}: {e}")),
+        ));
+    }
+    let daemon = match Daemon::start(options) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fastdnaml: serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = daemon.local_addr();
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, addr.to_string()).expect("write addr file");
+    }
+    if !quiet {
+        eprintln!("fastdnaml: serving jobs on {addr} (state in {state_dir})");
+    }
+    // The daemon runs until the process is killed; durable state makes
+    // that a safe way to stop it.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `--status JOB`: one-line report from the daemon at `--connect`.
+fn status_mode(connect: &str, job_arg: &str) -> ExitCode {
+    let Ok(job) = job_arg.parse::<u64>() else {
+        eprintln!("fastdnaml: --status takes a numeric job id, got {job_arg:?}");
+        return ExitCode::FAILURE;
+    };
+    match client::status(connect, job) {
+        Ok(status) => {
+            let label = if status.label.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", status.label)
+            };
+            let failure = match &status.failure {
+                Some(reason) => format!(": {reason}"),
+                None => String::new(),
+            };
+            println!(
+                "job {}{label}: {} {}/{} jumbles{failure}",
+                status.job, status.state, status.done, status.total
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fastdnaml: status: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--attach JOB`: stream progress, then write the consensus (or the
+/// single tree) like a local farm run would.
+fn attach_mode(
+    connect: &str,
+    job_arg: &str,
+    args: &HashMap<String, String>,
+    quiet: bool,
+) -> ExitCode {
+    let Ok(job) = job_arg.parse::<u64>() else {
+        eprintln!("fastdnaml: --attach takes a numeric job id, got {job_arg:?}");
+        return ExitCode::FAILURE;
+    };
+    let patience = Duration::from_millis(get(args, "attach-timeout-ms", 600_000u64));
+    let mut on_event = |text: &str| {
+        if !quiet {
+            eprintln!("fastdnaml: job {job}: {text}");
+        }
+    };
+    match client::attach(connect, job, patience, &mut on_event) {
+        Ok(result) => {
+            if !quiet {
+                for tree in &result.trees {
+                    eprintln!(
+                        "fastdnaml: jumble {}: lnL {:.4}",
+                        tree.seed, tree.ln_likelihood
+                    );
+                }
+            }
+            if let Some(path) = args.get("jumble-trees") {
+                let mut text = String::new();
+                for tree in &result.trees {
+                    text.push_str(&tree.newick);
+                    text.push('\n');
+                }
+                std::fs::write(path, text).expect("write jumble trees");
+            }
+            let best = result
+                .consensus_newick
+                .clone()
+                .unwrap_or_else(|| result.best_newick.clone());
+            emit_to(args.get("output").map(String::as_str).unwrap_or("-"), &best);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fastdnaml: attach: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let (args, flags) = parse_args();
@@ -157,6 +335,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let quiet = flags.iter().any(|f| f == "quiet");
+
+    // Daemon mode: no alignment of its own — jobs bring their problem
+    // data over the wire.
+    if flags.iter().any(|f| f == "serve") {
+        return serve_mode(&args, &flags, quiet);
+    }
+
+    // Client modes that only need a job id and the daemon address.
+    if args.contains_key("status") || args.contains_key("attach") {
+        let Some(connect) = args.get("connect") else {
+            eprintln!("fastdnaml: --status / --attach require --connect ADDR");
+            return ExitCode::FAILURE;
+        };
+        if let Some(job) = args.get("status") {
+            return status_mode(connect, job);
+        }
+        let job = args.get("attach").expect("checked above");
+        return attach_mode(connect, job, &args, quiet);
+    }
 
     // Peer mode: no alignment, no search options — everything (problem
     // data, engine configuration, rank) arrives from the coordinator over
@@ -264,14 +461,78 @@ fn main() -> ExitCode {
         config.categories = Some(categorize(&est.per_pattern, engine.patterns().weights(), k));
     }
 
-    let output = args.get("output").map(String::as_str).unwrap_or("-");
-    let emit = |text: &str| {
-        if output == "-" {
-            println!("{text}");
-        } else {
-            std::fs::write(output, format!("{text}\n")).expect("write output");
+    // Every front-end path funnels through the JobSpec builder: mutually
+    // exclusive flags become one typed error naming the offenders instead
+    // of whichever code path happened to win.
+    let jumbles: usize = get(&args, "jumbles", 1);
+    let submit = flags.iter().any(|f| f == "submit");
+    let spec: JobSpec = {
+        let has = |key: &str| args.contains_key(key);
+        let spec_result = JobSpec::builder()
+            .phylip(phylip::write(&alignment))
+            .config_json(config.engine_config_json())
+            .jumbles(jumbles)
+            .base_seed(config.jumble_seed)
+            .max_ranks(get(&args, "max-job-ranks", 0usize))
+            .max_wall_ms(get(&args, "max-wall-ms", 0u64))
+            .label(args.get("job-label").cloned().unwrap_or_default())
+            .conflict_if(
+                flags.iter().any(|f| f == "midpoint") && has("outgroup"),
+                "--midpoint",
+                "--outgroup",
+            )
+            .conflict_if(has("bootstrap") && jumbles > 1, "--bootstrap", "--jumbles")
+            .conflict_if(
+                has("user-trees") && jumbles > 1,
+                "--user-trees",
+                "--jumbles",
+            )
+            .conflict_if(
+                has("user-trees") && has("bootstrap"),
+                "--user-trees",
+                "--bootstrap",
+            )
+            .conflict_if(has("bootstrap") && has("resume"), "--bootstrap", "--resume")
+            .conflict_if(has("parallel") && has("net"), "--parallel", "--net")
+            .conflict_if(submit && has("parallel"), "--submit", "--parallel")
+            .conflict_if(submit && has("net"), "--submit", "--net")
+            .conflict_if(submit && has("bootstrap"), "--submit", "--bootstrap")
+            .conflict_if(submit && has("user-trees"), "--submit", "--user-trees")
+            .conflict_if(submit && has("resume"), "--submit", "--resume")
+            .conflict_if(submit && has("checkpoint"), "--submit", "--checkpoint")
+            .build();
+        match spec_result {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("fastdnaml: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+
+    // Submit mode: the spec goes to the daemon instead of running here.
+    if submit {
+        let Some(connect) = args.get("connect") else {
+            eprintln!("fastdnaml: --submit requires --connect ADDR");
+            return ExitCode::FAILURE;
+        };
+        return match client::submit(connect.as_str(), &spec) {
+            Ok(job) => {
+                if !quiet {
+                    eprintln!("fastdnaml: submitted job {job} to {connect}");
+                }
+                println!("{job}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fastdnaml: submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let output = args.get("output").map(String::as_str).unwrap_or("-");
+    let emit = |text: &str| emit_to(output, text);
     // Optional rooting of result trees (§1.1: rooting is a separate step
     // after the unrooted search).
     let outgroup: Option<Vec<u32>> = args.get("outgroup").map(|list| {
@@ -345,12 +606,22 @@ fn main() -> ExitCode {
         .or_else(|| args.get("checkpoint"))
         .cloned();
 
+    // The resolved job drives every remaining mode: alignment + config +
+    // planned seeds, the same value the daemon builds from a submitted
+    // spec.
+    let job = match ResolvedJob::from_parts(alignment.clone(), config.clone(), jumbles) {
+        Ok(job) => job,
+        Err(e) => {
+            eprintln!("fastdnaml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // Multiple jumbles → the jumble farm: serial, threaded (--parallel), or
     // multi-process (--net), with an incremental majority-rule consensus
     // and a resumable manifest.
-    let jumbles: usize = get(&args, "jumbles", 1);
     if jumbles > 1 {
-        let seeds = plan_seeds(config.jumble_seed, jumbles).expect("plan seeds");
+        let seeds = job.seeds.clone();
         let farm_resume = match args.get("resume") {
             Some(path) => match load_farm_manifest(path) {
                 Ok(m) if m.seeds() != seeds => {
@@ -398,37 +669,27 @@ fn main() -> ExitCode {
                     .get("listen")
                     .map(String::as_str)
                     .unwrap_or("127.0.0.1:0");
-                let spawn = if mode == "spawn" {
+                let mut net_options = NetOptions::new(listen, ranks).observed(sinks);
+                if mode == "spawn" {
                     let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
                     let die_tasks = args
                         .get("die-after-tasks")
                         .and_then(|v| v.parse::<u64>().ok());
-                    Some(NetSpawn {
+                    net_options = net_options.spawning(NetSpawn {
                         program: std::env::current_exe().expect("current executable path"),
                         die_after_tasks: die_rank.zip(die_tasks),
                         quiet,
                         supervise: flags.iter().any(|f| f == "supervise"),
                         max_restarts: get(&args, "max-restarts", 3),
-                    })
-                } else {
-                    None
-                };
+                    });
+                }
                 if !quiet {
                     eprintln!(
                         "fastdnaml: net {mode} farm: {} jumbles over {ranks} ranks via {listen}",
                         seeds.len()
                     );
                 }
-                let outcome = match net_farm_search(
-                    &alignment,
-                    &config,
-                    listen,
-                    ranks,
-                    &seeds,
-                    &farm_options,
-                    sinks,
-                    spawn,
-                ) {
+                let outcome = match net_farm_search(&job, &farm_options, net_options) {
                     Ok(o) => o,
                     Err(e) => {
                         eprintln!("fastdnaml: net farm: {e}");
@@ -444,21 +705,14 @@ fn main() -> ExitCode {
                 }
                 (outcome.runs, outcome.consensus, outcome.report)
             } else if let Some(ranks) = args.get("parallel").and_then(|v| v.parse::<usize>().ok()) {
-                let outcome = match farm_search_observed(
-                    &alignment,
-                    &config,
-                    &seeds,
-                    ranks,
-                    farm_options,
-                    HashMap::new(),
-                    sinks,
-                ) {
-                    Ok(o) => o,
-                    Err(e) => {
-                        eprintln!("fastdnaml: farm: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
+                let outcome =
+                    match farm_search(&job, ranks, farm_options, RunOptions::observed(sinks)) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("fastdnaml: farm: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                 (outcome.runs, outcome.consensus, outcome.report)
             } else {
                 let observing = sinks.iter().any(|s| !s.is_null());
@@ -541,21 +795,6 @@ fn main() -> ExitCode {
             .get("listen")
             .map(String::as_str)
             .unwrap_or("127.0.0.1:0");
-        let spawn = if mode == "spawn" {
-            let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
-            let die_tasks = args
-                .get("die-after-tasks")
-                .and_then(|v| v.parse::<u64>().ok());
-            Some(NetSpawn {
-                program: std::env::current_exe().expect("current executable path"),
-                die_after_tasks: die_rank.zip(die_tasks),
-                quiet,
-                supervise: flags.iter().any(|f| f == "supervise"),
-                max_restarts: get(&args, "max-restarts", 3),
-            })
-        } else {
-            None
-        };
         let obs_summary = flags.iter().any(|f| f == "obs-summary");
         let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
         if let Some(path) = args.get("obs-out") {
@@ -566,19 +805,26 @@ fn main() -> ExitCode {
         if obs_summary && sinks.is_empty() {
             sinks.push(Box::new(MemorySink::new()));
         }
+        let mut net_options = NetOptions::new(listen, ranks).observed(sinks);
+        net_options.checkpoint_out = checkpoint_path.clone().map(std::path::PathBuf::from);
+        net_options.resume = resume_checkpoint;
+        if mode == "spawn" {
+            let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
+            let die_tasks = args
+                .get("die-after-tasks")
+                .and_then(|v| v.parse::<u64>().ok());
+            net_options = net_options.spawning(NetSpawn {
+                program: std::env::current_exe().expect("current executable path"),
+                die_after_tasks: die_rank.zip(die_tasks),
+                quiet,
+                supervise: flags.iter().any(|f| f == "supervise"),
+                max_restarts: get(&args, "max-restarts", 3),
+            });
+        }
         if !quiet {
             eprintln!("fastdnaml: net {mode}: {ranks} ranks via {listen}");
         }
-        let outcome = match net_coordinator_search(
-            &alignment,
-            &config,
-            listen,
-            ranks,
-            sinks,
-            checkpoint_path.clone().map(std::path::PathBuf::from),
-            resume_checkpoint,
-            spawn,
-        ) {
+        let outcome = match net_coordinator_search(&job, net_options) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("fastdnaml: net coordinator: {e}");
@@ -619,8 +865,8 @@ fn main() -> ExitCode {
             // No event log requested, but the report still needs the stream.
             sinks.push(Box::new(MemorySink::new()));
         }
-        let outcome = parallel_search_observed(&alignment, &config, ranks, HashMap::new(), sinks)
-            .expect("parallel search");
+        let outcome =
+            parallel_search(&job, ranks, RunOptions::observed(sinks)).expect("parallel search");
         if obs_summary {
             match &outcome.report {
                 Some(report) => println!("{report}"),

@@ -16,6 +16,11 @@
 //!   applied through a transport wrapper.
 //! * [`core`] — the fastDNAml search and the master / foreman / worker /
 //!   monitor parallel runtime.
+//! * [`net`] — the TCP transport: framed wire protocol, coordinator hub,
+//!   reconnecting clients, and the v3 service plane.
+//! * [`serve`] — the always-on multi-tenant daemon: durable job registry,
+//!   fair-share scheduler over a shared worker fleet, and the
+//!   submit / status / attach client.
 //! * [`obs`] — the observability layer: structured runtime events, sinks
 //!   (memory / JSONL), and the end-of-run [`obs::RunReport`].
 //! * [`simsp`] — the IBM RS/6000 SP discrete-event simulator used to
@@ -51,17 +56,21 @@ pub use fdml_comm as comm;
 pub use fdml_core as core;
 pub use fdml_datagen as datagen;
 pub use fdml_likelihood as likelihood;
+pub use fdml_net as net;
 pub use fdml_obs as obs;
 pub use fdml_phylo as phylo;
 pub use fdml_rates as rates;
+pub use fdml_serve as serve;
 pub use fdml_simsp as simsp;
 pub use fdml_treeviz as treeviz;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use fdml_comm::job::{JobResult, JobSpec, JobState, JobStatus};
     pub use fdml_comm::transport::Transport;
     pub use fdml_core::config::SearchConfig;
-    pub use fdml_core::runner::{parallel_search, parallel_search_observed, serial_search};
+    pub use fdml_core::job::ResolvedJob;
+    pub use fdml_core::runner::{parallel_search, serial_search, RunOptions};
     pub use fdml_core::search::SearchResult;
     pub use fdml_likelihood::engine::LikelihoodEngine;
     pub use fdml_likelihood::f84::F84Model;

@@ -12,9 +12,8 @@ use fastdnaml::chaos::ChaosPlan;
 use fastdnaml::core::checkpoint::FarmManifest;
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::farm::FarmOptions;
-use fastdnaml::core::runner::{
-    farm_search, farm_search_chaotic, parallel_search, parallel_search_chaotic,
-};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{farm_search, parallel_search, RunOptions};
 use fastdnaml::obs::{MemorySink, Sink};
 use fastdnaml::phylo::alignment::Alignment;
 use fastdnaml::phylo::newick;
@@ -30,6 +29,19 @@ fn alignment() -> Alignment {
         ("t5", "TCGAACGGACGTACGGAAGTACGTTCCTAGGA"),
     ])
     .unwrap()
+}
+
+fn one_shot(a: &Alignment, cfg: &SearchConfig) -> ResolvedJob {
+    ResolvedJob::from_parts(a.clone(), cfg.clone(), 1).unwrap()
+}
+
+/// A farm job over an explicit seed list (the chaos tests pin seeds).
+fn farm_job(a: &Alignment, cfg: &SearchConfig, seeds: &[u64]) -> ResolvedJob {
+    ResolvedJob {
+        alignment: a.clone(),
+        config: cfg.clone(),
+        seeds: seeds.to_vec(),
+    }
 }
 
 fn config() -> SearchConfig {
@@ -48,7 +60,8 @@ fn config() -> SearchConfig {
 fn seeded_chaos_matrix_is_byte_identical_to_fault_free() {
     let a = alignment();
     let cfg = config();
-    let clean = parallel_search(&a, &cfg, 6).unwrap();
+    let job = one_shot(&a, &cfg);
+    let clean = parallel_search(&job, 6, RunOptions::default()).unwrap();
     let clean_tree = newick::write_tree(&clean.result.tree, a.names());
 
     let mut plans: Vec<ChaosPlan> = (1..=8)
@@ -66,7 +79,7 @@ fn seeded_chaos_matrix_is_byte_identical_to_fault_free() {
     plans.push(ChaosPlan::quiet(99).with_partition(1, 3));
 
     for plan in &plans {
-        let chaotic = parallel_search_chaotic(&a, &cfg, 6, plan, Vec::new())
+        let chaotic = parallel_search(&job, 6, RunOptions::chaotic(plan))
             .unwrap_or_else(|e| panic!("plan seed {}: {e}", plan.seed));
         let chaos_tree = newick::write_tree(&chaotic.result.tree, a.names());
         assert_eq!(
@@ -89,13 +102,23 @@ fn seeded_chaos_matrix_is_byte_identical_to_fault_free() {
 fn corrupt_heavy_plan_is_counted_and_survived() {
     let a = alignment();
     let cfg = config();
-    let clean = parallel_search(&a, &cfg, 6).unwrap();
+    let job = one_shot(&a, &cfg);
+    let clean = parallel_search(&job, 6, RunOptions::default()).unwrap();
     let plan = ChaosPlan {
         corrupt_per_mille: 300,
         ..ChaosPlan::quiet(7)
     };
     let sinks: Vec<Box<dyn Sink>> = vec![Box::new(MemorySink::new())];
-    let chaotic = parallel_search_chaotic(&a, &cfg, 6, &plan, sinks).unwrap();
+    let chaotic = parallel_search(
+        &job,
+        6,
+        RunOptions {
+            chaos: Some(plan.clone()),
+            sinks,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
     assert_eq!(
         chaotic.result.ln_likelihood.to_bits(),
         clean.result.ln_likelihood.to_bits()
@@ -114,8 +137,9 @@ fn chaos_runs_are_reproducible() {
     let a = alignment();
     let cfg = config();
     let plan = ChaosPlan::seeded(4).with_kill(3, 1);
-    let one = parallel_search_chaotic(&a, &cfg, 6, &plan, Vec::new()).unwrap();
-    let two = parallel_search_chaotic(&a, &cfg, 6, &plan, Vec::new()).unwrap();
+    let job = one_shot(&a, &cfg);
+    let one = parallel_search(&job, 6, RunOptions::chaotic(&plan)).unwrap();
+    let two = parallel_search(&job, 6, RunOptions::chaotic(&plan)).unwrap();
     assert_eq!(
         one.result.ln_likelihood.to_bits(),
         two.result.ln_likelihood.to_bits()
@@ -137,19 +161,12 @@ fn farm_under_chaos_matches_fault_free() {
         ..config()
     };
     let seeds = [1, 3, 5, 7];
-    let clean = farm_search(&a, &cfg, &seeds, 6, FarmOptions::default()).unwrap();
+    let job = farm_job(&a, &cfg, &seeds);
+    let clean = farm_search(&job, 6, FarmOptions::default(), RunOptions::default()).unwrap();
     for seed in [2u64, 11] {
         let plan = ChaosPlan::seeded(seed).with_kill(4, 1);
-        let chaotic = farm_search_chaotic(
-            &a,
-            &cfg,
-            &seeds,
-            6,
-            FarmOptions::default(),
-            &plan,
-            Vec::new(),
-        )
-        .unwrap_or_else(|e| panic!("farm plan seed {seed}: {e}"));
+        let chaotic = farm_search(&job, 6, FarmOptions::default(), RunOptions::chaotic(&plan))
+            .unwrap_or_else(|e| panic!("farm plan seed {seed}: {e}"));
         assert_eq!(chaotic.runs.len(), clean.runs.len());
         for (c, f) in chaotic.runs.iter().zip(clean.runs.iter()) {
             assert_eq!(c.seed, f.seed);
@@ -189,7 +206,8 @@ fn all_workers_dead_is_a_typed_error_with_a_resumable_manifest() {
         manifest_path: Some(manifest_path.clone()),
         resume: None,
     };
-    let err = farm_search_chaotic(&a, &cfg, &seeds, 6, options, &plan, Vec::new())
+    let job = farm_job(&a, &cfg, &seeds);
+    let err = farm_search(&job, 6, options, RunOptions::chaotic(&plan))
         .expect_err("an all-dead farm must fail");
     let text = err.to_string();
     assert!(text.contains("aborted"), "got: {text}");
@@ -208,18 +226,17 @@ fn all_workers_dead_is_a_typed_error_with_a_resumable_manifest() {
         "the collapse must leave work behind for the resume to prove anything"
     );
     let resumed = farm_search(
-        &a,
-        &cfg,
-        &seeds,
+        &job,
         6,
         FarmOptions {
             width: 0,
             manifest_path: None,
             resume: Some(manifest),
         },
+        RunOptions::default(),
     )
     .unwrap();
-    let fresh = farm_search(&a, &cfg, &seeds, 6, FarmOptions::default()).unwrap();
+    let fresh = farm_search(&job, 6, FarmOptions::default(), RunOptions::default()).unwrap();
     for (r, f) in resumed.runs.iter().zip(fresh.runs.iter()) {
         assert_eq!(r.seed, f.seed);
         assert_eq!(r.newick, f.newick, "resumed jumble {} diverged", r.seed);

@@ -11,7 +11,8 @@ use fastdnaml::comm::fault::FaultPlan;
 use fastdnaml::core::checkpoint::{FarmManifest, JumbleStatus};
 use fastdnaml::core::config::SearchConfig;
 use fastdnaml::core::farm::{plan_seeds, serial_farm, FarmOptions};
-use fastdnaml::core::runner::{farm_search, farm_search_with_faults};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{farm_search, RunOptions};
 use fastdnaml::obs::Obs;
 use fastdnaml::phylo::phylip;
 use std::collections::HashMap;
@@ -106,8 +107,8 @@ fn farm_survives_the_fault_matrix_with_identical_output() {
     // More jumbles than workers: after a worker's first result the queue
     // is still non-empty, so every worker is guaranteed a second task —
     // which makes each fault below fire deterministically.
-    let seeds = plan_seeds(7, 8).unwrap();
-    let clean = farm_search(&alignment, &config, &seeds, 6, FarmOptions::default()).unwrap();
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 8).unwrap();
+    let clean = farm_search(&job, 6, FarmOptions::default(), RunOptions::default()).unwrap();
     assert_eq!(clean.runs.len(), 8);
     let cases: Vec<(&str, FaultPlan, bool)> = vec![
         // Worker 3 silently drops its first jumble result: requeued by
@@ -127,13 +128,11 @@ fn farm_survives_the_fault_matrix_with_identical_output() {
     for (name, plan, recovers) in cases {
         let mut faults = HashMap::new();
         faults.insert(3usize, plan);
-        let faulty = farm_search_with_faults(
-            &alignment,
-            &config,
-            &seeds,
+        let faulty = farm_search(
+            &job,
             6,
             FarmOptions::default(),
-            faults,
+            RunOptions::with_faults(faults),
         )
         .unwrap();
         assert!(

@@ -4,7 +4,8 @@
 
 use fastdnaml::comm::fault::FaultPlan;
 use fastdnaml::core::config::SearchConfig;
-use fastdnaml::core::runner::parallel_search_observed;
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{parallel_search, RunOptions};
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
 use fastdnaml::obs::{Event, JsonlSink, MemorySink, Record, RunReport, Sink};
 use fastdnaml::phylo::alignment::Alignment;
@@ -29,8 +30,8 @@ fn event_stream_and_report_match_foreman_stats() {
     };
     let mem = MemorySink::new();
     let sinks: Vec<Box<dyn Sink>> = vec![Box::new(mem.clone())];
-    let outcome =
-        parallel_search_observed(&alignment, &config, 5, HashMap::new(), sinks).expect("run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(&job, 5, RunOptions::observed(sinks)).expect("run");
     let records = mem.snapshot();
 
     // The stream opens with the run header and ends with the final answer.
@@ -161,7 +162,17 @@ fn timeout_and_recovery_show_up_in_the_event_stream() {
     );
     let mem = MemorySink::new();
     let sinks: Vec<Box<dyn Sink>> = vec![Box::new(mem.clone())];
-    let outcome = parallel_search_observed(&alignment, &config, 5, faults, sinks).expect("run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(
+        &job,
+        5,
+        RunOptions {
+            faults,
+            sinks,
+            ..RunOptions::default()
+        },
+    )
+    .expect("run");
     let records = mem.snapshot();
 
     let stats = &outcome.foreman;
@@ -199,8 +210,8 @@ fn disabled_observation_yields_no_report() {
         jumble_seed: 7,
         ..SearchConfig::default()
     };
-    let outcome =
-        parallel_search_observed(&alignment, &config, 4, HashMap::new(), Vec::new()).expect("run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(&job, 4, RunOptions::default()).expect("run");
     assert!(outcome.report.is_none());
     assert!(outcome.result.ln_likelihood.is_finite());
 }

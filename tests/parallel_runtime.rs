@@ -4,7 +4,8 @@
 
 use fastdnaml::comm::fault::FaultPlan;
 use fastdnaml::core::config::SearchConfig;
-use fastdnaml::core::runner::{parallel_search, parallel_search_with_faults, serial_search};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{parallel_search, serial_search, RunOptions};
 use fastdnaml::datagen::{evolve, yule_tree, EvolutionConfig};
 use fastdnaml::phylo::alignment::Alignment;
 use fastdnaml::phylo::bipartition::SplitSet;
@@ -25,7 +26,8 @@ fn worker_count_does_not_change_the_answer() {
     };
     let serial = serial_search(&alignment, &config).expect("serial");
     for ranks in [4usize, 5, 7] {
-        let outcome = parallel_search(&alignment, &config, ranks).expect("parallel");
+        let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+        let outcome = parallel_search(&job, ranks, RunOptions::default()).expect("parallel");
         assert_eq!(
             SplitSet::of_tree(&serial.tree, 9),
             SplitSet::of_tree(&outcome.result.tree, 9),
@@ -47,7 +49,8 @@ fn monitor_sees_every_dispatch() {
         jumble_seed: 2,
         ..SearchConfig::default()
     };
-    let outcome = parallel_search(&alignment, &config, 5).expect("parallel");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(&job, 5, RunOptions::default()).expect("parallel");
     let dispatched: u64 = outcome
         .monitor
         .per_worker
@@ -93,7 +96,8 @@ fn delayed_worker_triggers_timeout_then_recovery() {
         3usize,
         FaultPlan::delay_first(1, Duration::from_millis(150)),
     );
-    let outcome = parallel_search_with_faults(&alignment, &config, 5, faults).expect("run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(&job, 5, RunOptions::with_faults(faults)).expect("run");
     assert!(outcome.foreman.timeouts >= 1, "timeout must fire");
     assert!(
         outcome.foreman.recoveries >= 1,
@@ -118,7 +122,8 @@ fn dead_worker_does_not_stall_the_run() {
     let mut faults = HashMap::new();
     // Worker 4 never delivers any result at all.
     faults.insert(4usize, FaultPlan::drop_first(u64::MAX));
-    let outcome = parallel_search_with_faults(&alignment, &config, 5, faults).expect("run");
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let outcome = parallel_search(&job, 5, RunOptions::with_faults(faults)).expect("run");
     assert!(outcome.result.ln_likelihood.is_finite());
     assert!(outcome.foreman.timeouts >= 1);
     let serial = serial_search(&alignment, &config).expect("serial");
