@@ -217,6 +217,13 @@ pub enum Message {
         /// Work units expended over the whole search.
         work_units: u64,
     },
+    /// Daemon scheduler → worker: a job is finished or failed; drop its
+    /// cached engine. Without retirement a long-lived shared-fleet worker
+    /// would keep one alignment + likelihood state per job ever served.
+    JobRetire {
+        /// The job to evict.
+        job: crate::job::JobId,
+    },
     /// Foreman → worker: a liveness probe. A delinquent worker gets no new
     /// work, so without a probe a silently dead one would never be
     /// discovered (nothing is ever sent to it again) and an idle-but-alive
@@ -261,6 +268,8 @@ pub enum MessageKind {
     JobTask,
     /// [`Message::JobTaskResult`].
     JobTaskResult,
+    /// [`Message::JobRetire`].
+    JobRetire,
     /// [`Message::Ping`].
     Ping,
     /// [`Message::Shutdown`].
@@ -285,6 +294,7 @@ impl MessageKind {
             MessageKind::JobData => "JobData",
             MessageKind::JobTask => "JobTask",
             MessageKind::JobTaskResult => "JobTaskResult",
+            MessageKind::JobRetire => "JobRetire",
             MessageKind::Ping => "Ping",
             MessageKind::Shutdown => "Shutdown",
         }
@@ -315,6 +325,7 @@ impl Message {
             Message::JobData { .. } => MessageKind::JobData,
             Message::JobTask { .. } => MessageKind::JobTask,
             Message::JobTaskResult { .. } => MessageKind::JobTaskResult,
+            Message::JobRetire { .. } => MessageKind::JobRetire,
             Message::Ping => MessageKind::Ping,
             Message::Shutdown => MessageKind::Shutdown,
         }
@@ -349,6 +360,7 @@ impl Message {
             } => phylip.len() + config_json.len() + 24,
             Message::JobTask { .. } => 40,
             Message::JobTaskResult { newick, .. } => newick.len() + 72,
+            Message::JobRetire { .. } => 24,
             Message::Ping => 16,
             Message::Shutdown => 16,
         }
@@ -428,6 +440,7 @@ mod tests {
                 ln_likelihood: -99.5,
                 work_units: 1234,
             },
+            Message::JobRetire { job: 2 },
             Message::Ping,
             Message::Shutdown,
         ];

@@ -186,6 +186,12 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                     },
                 )?;
             }
+            Message::JobRetire { job } => {
+                // The scheduler finished or failed the job; drop its engine
+                // so a long-lived shared-fleet worker does not accumulate
+                // one alignment + likelihood state per job ever served.
+                jobs.remove(&job);
+            }
             Message::Ping => {
                 // Foreman liveness probe: answering re-admits a worker
                 // whose result was lost in flight and who would otherwise
@@ -462,6 +468,52 @@ mod tests {
         foreman_end.send(3, &Message::Shutdown).unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.trees_evaluated, 3);
+    }
+
+    #[test]
+    fn retired_job_engine_is_evicted() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()));
+        let (phylip_text, config_json) = problem();
+        foreman_end
+            .send(
+                3,
+                &Message::JobData {
+                    job: 1,
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
+            .unwrap();
+        foreman_end
+            .send(
+                3,
+                &Message::JobTask {
+                    job: 1,
+                    task: 1,
+                    seed: 9,
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        assert!(matches!(msg, Message::JobTaskResult { job: 1, .. }));
+        // Retire the job; a further task for it must now be a protocol
+        // error, proving the cached engine is gone rather than leaked.
+        foreman_end.send(3, &Message::JobRetire { job: 1 }).unwrap();
+        foreman_end
+            .send(
+                3,
+                &Message::JobTask {
+                    job: 1,
+                    task: 2,
+                    seed: 11,
+                },
+            )
+            .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(err, WorkerError::Protocol(_)));
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct ClientConfig {
     /// every `Hello` (initial and rejoin). `None` — the default — joins
     /// as a shared-fleet rank. See the hub's cross-job rejoin guard.
     pub job: Option<JobId>,
+    /// Claim this specific rank on the initial dial by presenting
+    /// `Hello { rejoin: Some(rank) }` — the only way to take a slot the
+    /// hub reserved at bind time (see `TcpHub::bind_reserved`). `None` —
+    /// the default — accepts whatever rank the hub assigns.
+    pub claim: Option<Rank>,
 }
 
 impl Default for ClientConfig {
@@ -47,6 +52,7 @@ impl Default for ClientConfig {
             reconnect_backoff: Duration::from_millis(100),
             queue_depth: 256,
             job: None,
+            claim: None,
         }
     }
 }
@@ -101,7 +107,7 @@ impl TcpTransport {
         let addr_s = addr.to_string();
         let mut stream = TcpStream::connect(&addr)?;
         stream.set_nodelay(true).ok();
-        let welcome = handshake(&mut stream, None, cfg.job)?;
+        let welcome = handshake(&mut stream, cfg.claim, cfg.job)?;
         let Frame::Welcome {
             rank,
             size,

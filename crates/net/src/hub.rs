@@ -18,7 +18,17 @@
 //! only if its `job` binding still matches the slot's: once a dead slot
 //! has been handed to a different job's replacement, the stale client's
 //! rejoin is refused with a typed `Reject` (the cross-job guard, sitting
-//! alongside the per-connection generation check).
+//! alongside the per-connection generation check). The binding is
+//! *client-asserted*: each `Hello` carries the job its fleet launcher
+//! configured (`ClientConfig::job`), and the hub remembers what the last
+//! occupant presented. Shared-fleet daemon workers present no binding, so
+//! the guard protects exactly the fleets that opt in per job.
+//!
+//! Slots can also be *reserved* at bind time ([`TcpHub::bind_reserved`]):
+//! a reserved rank is never handed to an anonymous fresh join and must be
+//! claimed explicitly with `Hello { rejoin: Some(rank) }` — how the serve
+//! daemon pins its own scheduler and monitor loopback connections to
+//! ranks 1 and 2 before any external peer can race for them.
 //!
 //! The hub also fronts the *service plane*: a connection whose first frame
 //! is `Submit` / `Query` / `Attach` (rather than `Hello`) is not a rank at
@@ -78,9 +88,13 @@ struct Slot {
     /// Completed rebinds after a drop.
     reconnects: u64,
     /// The job this rank slot is currently dedicated to (`None` for a
-    /// shared or single-job fleet). Set at every bind; a rejoin must
-    /// present the same binding or be refused.
+    /// shared or single-job fleet). Client-asserted: set at every bind
+    /// from the occupant's own `Hello { job }`; a rejoin must present the
+    /// same binding or be refused.
     job: Option<JobId>,
+    /// A reserved slot is never assigned to a fresh anonymous join; it
+    /// must be claimed with `Hello { rejoin: Some(rank) }`.
+    reserved: bool,
 }
 
 /// A service-plane connection handed out of the handshake: its first
@@ -162,6 +176,21 @@ impl TcpHub {
         cfg: NetConfig,
         obs: Obs,
     ) -> io::Result<TcpHub> {
+        TcpHub::bind_reserved(addr, size, &[], cfg, obs)
+    }
+
+    /// [`TcpHub::bind`] with `reserved` ranks that fresh anonymous joins
+    /// can never take: they stay free until a dialer claims them with
+    /// `Hello { rejoin: Some(rank) }` (see `ClientConfig::claim`). The
+    /// reservations are in place before the accept loop starts, so not
+    /// even a peer dialing during startup can race for them.
+    pub fn bind_reserved<A: ToSocketAddrs>(
+        addr: A,
+        size: usize,
+        reserved: &[Rank],
+        cfg: NetConfig,
+        obs: Obs,
+    ) -> io::Result<TcpHub> {
         assert!(size >= 2, "a TCP universe needs at least one remote rank");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -169,8 +198,11 @@ impl TcpHub {
         let (in_tx, in_rx) = mpsc::channel();
         let (service_tx, service_rx) = mpsc::channel();
         let mut slots = Vec::with_capacity(size);
-        for _ in 0..size {
-            slots.push(Slot::default());
+        for rank in 0..size {
+            slots.push(Slot {
+                reserved: reserved.contains(&rank),
+                ..Slot::default()
+            });
         }
         let shared = Arc::new(HubShared {
             size,
@@ -201,16 +233,6 @@ impl TcpHub {
     /// rejection by the handshake when this queue's receiver is gone.
     pub fn accept_service(&self, timeout: Duration) -> Option<ServiceRequest> {
         self.service_rx.lock().recv_timeout(timeout).ok()
-    }
-
-    /// Dedicate `rank`'s slot to `job` from the hub side, so replacement
-    /// workers spawned for that job (which dial in with the matching
-    /// `Hello { job }`) can claim it, and stale clients of other jobs
-    /// cannot.
-    pub fn bind_job(&self, rank: Rank, job: Option<JobId>) {
-        if rank >= 1 && rank < self.shared.size {
-            self.shared.slots.lock()[rank].job = job;
-        }
     }
 
     /// The address the hub actually listens on (resolves port 0).
@@ -489,8 +511,13 @@ fn assign_slot(
     }
     // Fresh joins take the lowest slot never yet used, then the lowest
     // dead slot (a replacement process for a dead peer counts as that
-    // rank reconnecting).
-    let peers = slots[..size].iter().enumerate().skip(1);
+    // rank reconnecting). Reserved slots are excluded from both: they can
+    // only ever be taken via the explicit-claim rejoin path above.
+    let peers = slots[..size]
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, s)| !s.reserved);
     if let Some((r, _)) = peers
         .clone()
         .find(|(_, s)| s.out.is_none() && !s.ever_connected)

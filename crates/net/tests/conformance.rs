@@ -291,6 +291,48 @@ fn cross_job_rejoin_is_rejected_with_typed_reason() {
 }
 
 #[test]
+fn reserved_slots_are_skipped_by_fresh_joins_and_taken_by_claims() {
+    // The daemon's startup contract: ranks 1 and 2 are reserved before
+    // the accept loop runs, so an eager external worker cannot steal the
+    // scheduler's slot, while explicit claims still land exactly there.
+    let hub = TcpHub::bind_reserved(
+        "127.0.0.1:0",
+        4,
+        &[1, 2],
+        fast_net_config(),
+        Obs::disabled(),
+    )
+    .unwrap();
+    let addr = hub.local_addr();
+
+    // An anonymous fresh join is pushed past both reservations.
+    let eager = TcpTransport::connect(addr).unwrap();
+    assert_eq!(eager.rank(), 3);
+
+    // Explicit claims take the reserved slots.
+    let claim = |rank| {
+        TcpTransport::connect_observed(
+            addr,
+            ClientConfig {
+                claim: Some(rank),
+                ..ClientConfig::default()
+            },
+            Obs::disabled(),
+        )
+        .unwrap()
+    };
+    let foreman = claim(1);
+    assert_eq!(foreman.rank(), 1);
+    let monitor = claim(2);
+    assert_eq!(monitor.rank(), 2);
+
+    // With the universe now full, another anonymous dial is refused —
+    // reserved slots never fall back to the fresh-join pool.
+    let err = TcpTransport::connect(addr).map(|_| ()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}
+
+#[test]
 fn service_opener_is_handed_off_with_its_frame() {
     use fdml_comm::job::RejectReason;
     let hub = TcpHub::bind("127.0.0.1:0", 2, fast_net_config(), Obs::disabled()).unwrap();

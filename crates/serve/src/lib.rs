@@ -33,8 +33,8 @@ mod scheduler;
 
 pub use registry::{JobEntry, Registry};
 
-use fdml_comm::transport::Transport;
-use fdml_net::{NetConfig, TcpHub, TcpTransport};
+use fdml_comm::transport::{ranks, Rank, Transport};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
 use fdml_obs::{Obs, Sink};
 use scheduler::{Limits, Scheduler, MODE_KILL, MODE_RUN, MODE_STOP};
 use std::io;
@@ -111,20 +111,40 @@ impl Daemon {
             "a daemon universe needs hub + scheduler + monitor + at least one worker"
         );
         let obs = Obs::multi(options.sinks);
-        let hub = TcpHub::bind(
+        // Ranks 1 and 2 are reserved before the hub starts accepting, so
+        // an external worker (or a stale client) dialing the listen
+        // address during startup cannot race the daemon for its own
+        // scheduler and monitor slots.
+        let hub = TcpHub::bind_reserved(
             options.listen.as_str(),
             options.num_ranks,
+            &[ranks::FOREMAN, ranks::MONITOR],
             NetConfig::default(),
             obs.clone(),
         )?;
         let addr = hub.local_addr();
-        // Sequential dials pin the scheduler to rank 1 (the foreman slot,
+        // Explicit claims pin the scheduler to rank 1 (the foreman slot,
         // where workers address their results) and the placeholder to
         // rank 2, leaving 3.. for the fleet.
-        let foreman = TcpTransport::connect(addr)?;
-        assert_eq!(foreman.rank(), 1, "scheduler must own the foreman slot");
-        let monitor = TcpTransport::connect(addr)?;
-        assert_eq!(monitor.rank(), 2, "placeholder must own the monitor slot");
+        let claim = |rank: Rank, what: &str| -> io::Result<TcpTransport> {
+            let transport = TcpTransport::connect_observed(
+                addr,
+                ClientConfig {
+                    claim: Some(rank),
+                    ..ClientConfig::default()
+                },
+                Obs::disabled(),
+            )?;
+            if transport.rank() != rank {
+                return Err(io::Error::other(format!(
+                    "{what} claimed rank {rank} but was assigned {}",
+                    transport.rank()
+                )));
+            }
+            Ok(transport)
+        };
+        let foreman = claim(ranks::FOREMAN, "scheduler")?;
+        let monitor = claim(ranks::MONITOR, "monitor placeholder")?;
         let mut children = Vec::new();
         if let Some(program) = &options.spawn {
             for _ in 3..options.num_ranks {

@@ -45,6 +45,11 @@ pub(crate) const MODE_STOP: u8 = 1;
 /// Hard stop: drop everything mid-flight, as a crash would.
 pub(crate) const MODE_KILL: u8 = 2;
 
+/// Most finished-job results kept in memory for fast `Attach` answers.
+/// Older results are evicted; attaching to an evicted job rebuilds its
+/// result from the durable manifest (as a post-restart attach does).
+const RESULT_CACHE: usize = 64;
+
 /// Admission ceilings, from [`crate::ServeOptions`].
 pub(crate) struct Limits {
     /// Most jobs admitted-but-unfinished at once.
@@ -105,6 +110,8 @@ pub(crate) struct Scheduler {
     active: HashMap<JobId, Active>,
     ring: VecDeque<JobId>,
     results: HashMap<JobId, JobResult>,
+    /// Insertion order of `results`, for bounded eviction.
+    results_order: VecDeque<JobId>,
     workers: HashMap<Rank, Worker>,
     in_flight: HashMap<u64, Flight>,
     next_task: u64,
@@ -131,6 +138,7 @@ impl Scheduler {
             active: HashMap::new(),
             ring: VecDeque::new(),
             results: HashMap::new(),
+            results_order: VecDeque::new(),
             workers: HashMap::new(),
             in_flight: HashMap::new(),
             next_task: 1,
@@ -159,7 +167,7 @@ impl Scheduler {
                         // only the registry transition was lost.
                         let result = assemble_result(id, &resolved, &manifest, None);
                         let _ = self.registry.set_state(id, JobState::Done);
-                        self.results.insert(id, result);
+                        self.cache_result(id, result);
                         continue;
                     }
                     self.activate(id, &spec, resolved, manifest);
@@ -326,8 +334,9 @@ impl Scheduler {
     }
 
     fn absorb_result(&mut self, job_id: JobId, task: u64, seed: u64, newick: String, lnl: f64) {
-        if let Some(flight) = self.in_flight.remove(&task) {
-            if let Some(worker) = self.workers.get_mut(&flight.rank) {
+        let flight = self.in_flight.remove(&task);
+        if let Some(f) = &flight {
+            if let Some(worker) = self.workers.get_mut(&f.rank) {
                 if worker.busy == Some(task) {
                     worker.busy = None;
                 }
@@ -336,41 +345,54 @@ impl Scheduler {
         let Some(job) = self.active.get_mut(&job_id) else {
             return; // late result for a finished/failed job
         };
-        job.in_flight = job.in_flight.saturating_sub(1);
+        // Only a flight that was still on the books for this job releases
+        // an in-flight count: a task already requeued by the liveness
+        // machinery was decremented there, and decrementing again for its
+        // late result would let in_flight hit zero while the recomputation
+        // is still on a worker.
+        if flight.as_ref().is_some_and(|f| f.job == job_id) {
+            job.in_flight = job.in_flight.saturating_sub(1);
+        }
         let fresh = job
             .manifest
             .entries
             .iter()
             .any(|e| e.seed == seed && e.status == JumbleStatus::Pending);
-        if !fresh {
-            return; // duplicate of a requeued-and-recomputed jumble
+        if fresh {
+            // The liveness machinery may have requeued this seed while its
+            // original result was in transit; pull it back out so the
+            // jumble is not dispatched a second time.
+            job.pending.retain(|&s| s != seed);
+            job.manifest.mark_done(seed, newick, lnl);
+            let _ = job.manifest.save(&self.registry.manifest_path(job_id));
+            let done = job
+                .manifest
+                .entries
+                .iter()
+                .filter(|e| e.status == JumbleStatus::Done)
+                .count();
+            let total = job.manifest.entries.len();
+            let ev = Event::JumbleCompleted {
+                seed,
+                ln_likelihood: lnl,
+                reused: false,
+            };
+            self.obs.emit(|| ev.clone());
+            job.obs.emit(|| ev);
+            let progress = Event::FarmProgress {
+                completed: done,
+                in_flight: job.in_flight,
+                pending: job.pending.len(),
+                total,
+            };
+            self.obs.emit(|| progress.clone());
+            job.obs.emit(|| progress);
+            let line = format!("jumble seed={seed} lnL={lnl:.4} ({done}/{total})");
+            notify_attached(&mut job.attached, job_id, &line);
         }
-        job.manifest.mark_done(seed, newick, lnl);
-        let _ = job.manifest.save(&self.registry.manifest_path(job_id));
-        let done = job
-            .manifest
-            .entries
-            .iter()
-            .filter(|e| e.status == JumbleStatus::Done)
-            .count();
-        let total = job.manifest.entries.len();
-        let ev = Event::JumbleCompleted {
-            seed,
-            ln_likelihood: lnl,
-            reused: false,
-        };
-        self.obs.emit(|| ev.clone());
-        job.obs.emit(|| ev);
-        let progress = Event::FarmProgress {
-            completed: done,
-            in_flight: job.in_flight,
-            pending: job.pending.len(),
-            total,
-        };
-        self.obs.emit(|| progress.clone());
-        job.obs.emit(|| progress);
-        let line = format!("jumble seed={seed} lnL={lnl:.4} ({done}/{total})");
-        notify_attached(&mut job.attached, job_id, &line);
+        // Completion is checked on the duplicate path too: when a late
+        // original result marked the final seed Done, the recomputation's
+        // duplicate may be the message that brings in_flight to zero.
         if job.manifest.is_complete() && job.pending.is_empty() && job.in_flight == 0 {
             self.finish(job_id);
         }
@@ -383,6 +405,7 @@ impl Scheduler {
             return;
         };
         self.ring.retain(|&j| j != id);
+        self.retire_job(id);
         let report = RunReport::from_events(&job.sink.snapshot());
         let report_json = serde_json::to_string(&report).ok();
         let result = assemble_result(id, &job.resolved, &job.manifest, report_json);
@@ -402,7 +425,33 @@ impl Scheduler {
                 },
             );
         }
-        self.results.insert(id, result);
+        self.cache_result(id, result);
+    }
+
+    /// Tell the whole fleet to evict this job's cached engine, and forget
+    /// who knows it. Without retirement a long-lived fleet leaks one
+    /// engine per job served — on both sides. The broadcast goes to every
+    /// connected worker, not just those marked as knowing the job: a
+    /// worker that rejoined mid-job had its `knows` entry cleared but may
+    /// still hold the engine, and eviction of an unknown job is a no-op.
+    fn retire_job(&mut self, id: JobId) {
+        for (&rank, worker) in self.workers.iter_mut() {
+            worker.knows.remove(&id);
+            let _ = self.foreman.send(rank, &Message::JobRetire { job: id });
+        }
+    }
+
+    /// Remember a finished job's result, evicting the oldest entries past
+    /// [`RESULT_CACHE`].
+    fn cache_result(&mut self, id: JobId, result: JobResult) {
+        if self.results.insert(id, result).is_none() {
+            self.results_order.push_back(id);
+            while self.results_order.len() > RESULT_CACHE {
+                if let Some(old) = self.results_order.pop_front() {
+                    self.results.remove(&old);
+                }
+            }
+        }
     }
 
     fn fail(&mut self, id: JobId, reason: String) {
@@ -410,6 +459,7 @@ impl Scheduler {
             return;
         };
         self.ring.retain(|&j| j != id);
+        self.retire_job(id);
         let _ = self.registry.set_failed(id, reason.clone());
         let ev = Event::JobFailed {
             job: id,
@@ -684,7 +734,7 @@ impl Scheduler {
                     Ok(resolved) => {
                         let manifest = self.registry.load_manifest(id, &resolved.seeds);
                         let result = assemble_result(id, &resolved, &manifest, None);
-                        self.results.insert(id, result.clone());
+                        self.cache_result(id, result.clone());
                         Frame::Done { job: id, result }
                     }
                     Err(e) => Frame::Rejected {
@@ -803,6 +853,9 @@ fn assemble_result(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fdml_core::config::SearchConfig;
+    use fdml_net::{ClientConfig, NetConfig};
+    use std::path::PathBuf;
 
     #[test]
     fn effective_caps_compose() {
@@ -811,5 +864,125 @@ mod tests {
         assert_eq!(effective(4, 0), 4);
         assert_eq!(effective(16, 8), 8);
         assert_eq!(effective(4, 8), 4);
+    }
+
+    // ----- duplicate / late-result accounting ---------------------------
+    //
+    // These drive the scheduler's internals directly (no real worker
+    // processes): a "worker" is an entry in the worker table, and results
+    // are injected via absorb_result, so the exact interleavings of the
+    // liveness machinery and in-transit results can be replayed.
+
+    fn test_scheduler(tag: &str) -> (Scheduler, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("fdml-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = TcpHub::bind_reserved(
+            "127.0.0.1:0",
+            4,
+            &[1, 2],
+            NetConfig::default(),
+            Obs::disabled(),
+        )
+        .unwrap();
+        let addr = hub.local_addr();
+        let claim = |rank| {
+            TcpTransport::connect_observed(
+                addr,
+                ClientConfig {
+                    claim: Some(rank),
+                    ..ClientConfig::default()
+                },
+                Obs::disabled(),
+            )
+            .unwrap()
+        };
+        let foreman = claim(1);
+        let monitor = claim(2);
+        let registry = Registry::open(&dir).unwrap();
+        let scheduler = Scheduler::new(
+            hub,
+            foreman,
+            monitor,
+            registry,
+            Obs::disabled(),
+            Limits {
+                max_jobs: 8,
+                max_job_ranks: 0,
+                max_wall_ms: 0,
+            },
+            Arc::new(AtomicU8::new(MODE_RUN)),
+        );
+        (scheduler, dir)
+    }
+
+    fn one_jumble_spec() -> JobSpec {
+        JobSpec::builder()
+            .phylip(" 3 12\nt0 ACGTACGTACGT\nt1 ACGTACGAACGT\nt2 ACTTACGAACGA\n")
+            .config_json(SearchConfig::default().engine_config_json())
+            .jumbles(1)
+            .base_seed(7)
+            .label("late-result")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn late_result_after_requeue_completes_the_job() {
+        // A busy worker's connection flaps: PeerUp requeues its seed, then
+        // the original result still arrives. The job must finish — with
+        // the seed pulled back out of the pending queue, not recomputed.
+        let (mut s, dir) = test_scheduler("flap");
+        let id = s.admit(one_jumble_spec()).unwrap();
+        s.workers.insert(3, Worker::default());
+        s.dispatch();
+        assert_eq!(s.active[&id].in_flight, 1);
+        assert!(s.active[&id].pending.is_empty());
+
+        s.worker_rejoined(3);
+        assert_eq!(s.active[&id].in_flight, 0);
+        assert_eq!(s.active[&id].pending.len(), 1);
+        let seed = s.active[&id].pending[0];
+
+        // The original worker's result for the requeued seed arrives
+        // before the seed is re-dispatched.
+        s.absorb_result(id, 1, seed, "(t0:0.1,t1:0.1,t2:0.1);".into(), -42.0);
+        assert!(!s.active.contains_key(&id), "job should have finished");
+        assert!(s.results.contains_key(&id));
+        assert_eq!(
+            s.registry.get(id).unwrap().state,
+            JobState::Done,
+            "completion must be persisted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recomputed_duplicate_still_completes_the_job() {
+        // Worse interleaving: the requeued seed is *re-dispatched* before
+        // the original result lands. The late original marks the seed
+        // Done; the recomputation's duplicate must then (a) not
+        // double-decrement in_flight and (b) still trigger completion.
+        let (mut s, dir) = test_scheduler("dup");
+        let id = s.admit(one_jumble_spec()).unwrap();
+        s.workers.insert(3, Worker::default());
+        s.dispatch(); // task 1
+        s.worker_rejoined(3); // requeue: seed back to pending
+        let seed = s.active[&id].pending[0];
+        s.dispatch(); // task 2: the recomputation
+        assert_eq!(s.active[&id].in_flight, 1);
+
+        // Late original result for task 1: no flight on the books, so
+        // in_flight must stay 1 (the recomputation is still out).
+        s.absorb_result(id, 1, seed, "(t0:0.1,t1:0.1,t2:0.1);".into(), -42.0);
+        assert!(s.active.contains_key(&id), "recomputation still in flight");
+        assert_eq!(s.active[&id].in_flight, 1);
+
+        // The recomputation's result is a duplicate (seed already Done),
+        // but it is what brings in_flight to zero — completion must run.
+        s.absorb_result(id, 2, seed, "(t0:0.1,t1:0.1,t2:0.1);".into(), -42.0);
+        assert!(!s.active.contains_key(&id), "job should have finished");
+        assert!(s.results.contains_key(&id));
+        assert_eq!(s.registry.get(id).unwrap().state, JobState::Done);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
