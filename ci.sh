@@ -52,9 +52,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Benches must keep compiling, and the kernel perf reporter must produce
 # valid JSON end to end (quick datasets; the checked-in BENCH_kernels.json
-# comes from a full run).
+# comes from a full run). The reporter itself enforces the >=3x incremental
+# candidate-round gate, so the --quick run doubles as that smoke.
 cargo bench --no-run
 cargo run --release -p fdml-bench --bin kernel_report -- --quick --out target/bench_kernels_smoke.json
+
+# Incremental-evaluation equivalence suite: seeded randomized edits must
+# score identically (<=1e-12) to from-scratch evaluation under both kernel
+# modes, bit-identical to the TreeScorer, in any scoring order.
+cargo test -q -p fdml-likelihood incremental
 
 # Multi-process smoke: a 4-rank TCP deployment (one OS process per rank,
 # loopback) must emit the identical tree, byte for byte, to the threaded
@@ -63,6 +69,18 @@ write_smoke_data
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --quiet --output "$SMOKE/net.nwk"
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet --output "$SMOKE/threads.nwk"
 cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
+
+# Incremental round smoke (golden seed 5): base + edit dispatch must emit
+# the identical tree, byte for byte, to whole-tree dispatch of the same
+# search, over both the threaded and the TCP transports.
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 5 --parallel 4 --quiet \
+  --output "$SMOKE/full_threads.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 5 --parallel 4 --incremental --quiet \
+  --output "$SMOKE/inc_threads.nwk"
+cmp "$SMOKE/inc_threads.nwk" "$SMOKE/full_threads.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 5 --net spawn 4 --incremental --quiet \
+  --output "$SMOKE/inc_net.nwk"
+cmp "$SMOKE/inc_net.nwk" "$SMOKE/full_threads.nwk"
 
 # Jumble-farm smoke: 3 jumbles at width 2, sharded over worker processes
 # (TCP) and worker threads — the per-jumble trees and the consensus must

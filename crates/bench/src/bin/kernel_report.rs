@@ -12,8 +12,10 @@ use fdml_bench::Args;
 use fdml_core::config::SearchConfig;
 use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
 use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
+use fdml_likelihood::incremental::ClvCache;
 use fdml_likelihood::KernelMode;
 use fdml_phylo::alignment::Alignment;
+use fdml_phylo::ops::{apply_move, enumerate_insertion_moves, enumerate_spr_moves, TreeMove};
 use fdml_phylo::tree::Tree;
 use std::hint::black_box;
 
@@ -48,6 +50,59 @@ fn run_workload(
         row.optimized.mean_seconds * 1e3,
         row.reference.mean_seconds * 1e3,
         row.optimized.patterns_per_sec / 1e3,
+        row.speedup
+    );
+    row
+}
+
+/// Times one candidate batch both ways: incrementally through a fresh
+/// per-pass [`ClvCache`] (the build's two full sweeps are included, as in a
+/// real round) and from scratch, the way a worker treats a whole-tree task
+/// (clone the base, apply the move, optimize the full tree). The
+/// `optimized` column holds the incremental timing, so `speedup` is
+/// incremental-over-from-scratch.
+fn run_incremental_workload(
+    name: &str,
+    samples: usize,
+    engine: &LikelihoodEngine,
+    base: &Tree,
+    moves: &[TreeMove],
+) -> WorkloadReport {
+    let opts = OptimizeOptions::default();
+    let incremental_pass = || {
+        let mut cache = ClvCache::build(engine, base.clone());
+        let mut updates = cache.build_work().total_pattern_updates();
+        for mv in moves {
+            let s = cache.score_edit(engine, mv, &opts).expect("edit scores");
+            updates += s.work.total_pattern_updates();
+            black_box(s.ln_likelihood);
+        }
+        updates
+    };
+    let scratch_pass = || {
+        let mut updates = 0u64;
+        for mv in moves {
+            let mut t = base.clone();
+            apply_move(&mut t, mv).expect("move applies to base");
+            let r = engine.optimize(&mut t, &opts);
+            updates += r.work.total_pattern_updates();
+            black_box(r.ln_likelihood);
+        }
+        updates
+    };
+    let incremental = measure(samples, incremental_pass(), || {
+        black_box(incremental_pass());
+    });
+    let from_scratch = measure(samples, scratch_pass(), || {
+        black_box(scratch_pass());
+    });
+    let row = compare(name, incremental, from_scratch);
+    println!(
+        "{:<32} inc {:>9.3} ms  full {:>8.3} ms  {} moves          speedup {:.2}x",
+        row.name,
+        row.optimized.mean_seconds * 1e3,
+        row.reference.mean_seconds * 1e3,
+        moves.len(),
         row.speedup
     );
     row
@@ -94,6 +149,52 @@ fn main() {
             samples,
             &mut engine,
             |e| e.evaluate(&tree).work.total_pattern_updates(),
+        ));
+    }
+
+    {
+        // The shared-CLV incremental path versus whole-tree scoring, on the
+        // two candidate batches the search actually dispatches: a taxon-
+        // addition round (one insertion per base edge, paper step 3) and a
+        // radius-1 rearrangement round (paper step 4).
+        let (alignment, _) = dataset(eval_taxa, eval_sites);
+        let engine = SearchConfig::default().build_engine(&alignment);
+        // Grow the round's base by stepwise insertion (deterministic edge
+        // choice), leaving the last taxon out — exactly the state a taxon-
+        // addition round starts from.
+        let grown = |taxa: u32| {
+            let mut t = Tree::triplet(0, 1, 2);
+            for taxon in 3..taxa {
+                let n = t.edge_ids().count();
+                let e = t.edge_ids().nth(taxon as usize * 7 % n).expect("edge");
+                t.insert_taxon(taxon, e).expect("taxon inserts");
+            }
+            t
+        };
+        let last = (eval_taxa - 1) as u32;
+        let base = grown(last);
+        let full = grown(eval_taxa as u32);
+        let inserts = enumerate_insertion_moves(&base, last);
+        let round = run_incremental_workload(
+            &format!("candidate_round/{eval_taxa}"),
+            samples,
+            &engine,
+            &base,
+            &inserts,
+        );
+        assert!(
+            round.speedup >= 3.0,
+            "incremental candidate-round speedup regressed below the 3x gate: {:.2}x",
+            round.speedup
+        );
+        workloads.push(round);
+        let sprs = enumerate_spr_moves(&full, 1);
+        workloads.push(run_incremental_workload(
+            &format!("rearrange_k1/{eval_taxa}"),
+            samples,
+            &engine,
+            &full,
+            &sprs,
         ));
     }
 

@@ -65,6 +65,37 @@ pub enum MonitorEvent {
     },
 }
 
+/// One candidate edit against a broadcast base topology — the compact wire
+/// form of a tree move. Node and taxon identifiers are the plain integers
+/// of the base tree's arena; they are meaningful because Newick parsing is
+/// deterministic, so every rank that parses the same broadcast base text
+/// assigns the same ids (the comm crate deliberately does not depend on
+/// the phylogeny crate's typed ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeEdit {
+    /// Insert taxon `taxon` into the base edge between nodes `a` and `b`.
+    Insert {
+        /// The taxon to insert (alignment row index).
+        taxon: u32,
+        /// One endpoint of the insertion edge.
+        a: u32,
+        /// The other endpoint of the insertion edge.
+        b: u32,
+    },
+    /// Prune the subtree hanging off `root` across the `root`–`attachment`
+    /// edge and regraft it into the edge between nodes `a` and `b`.
+    Regraft {
+        /// The node at the pruned subtree's junction.
+        root: u32,
+        /// The base-tree node the subtree was attached through.
+        attachment: u32,
+        /// One endpoint of the regraft target edge.
+        a: u32,
+        /// The other endpoint of the regraft target edge.
+        b: u32,
+    },
+}
+
 /// The payload of one unit of work, detached from its routing envelope.
 /// Carried inside [`Message::Quarantined`] so the master can evaluate a
 /// poisoned task locally with the same inputs the workers saw.
@@ -79,6 +110,14 @@ pub enum TaskPayload {
     Jumble {
         /// The adjusted jumble seed.
         seed: u64,
+    },
+    /// A candidate edit against a broadcast base topology (the payload of
+    /// a [`Message::TreeEditTask`]).
+    TreeEdit {
+        /// Generation id of the base topology the edit applies to.
+        base_id: u64,
+        /// The edit itself.
+        edit: TreeEdit,
     },
 }
 
@@ -224,6 +263,34 @@ pub enum Message {
         /// The job to evict.
         job: crate::job::JobId,
     },
+    /// Master → foreman → workers: the base topology of the upcoming
+    /// dispatch round. Workers index its per-edge CLVs once and then score
+    /// each [`Message::TreeEditTask`] of the round incrementally. A new
+    /// broadcast (higher `base_id`) invalidates any cached predecessor.
+    BaseTopology {
+        /// Monotonically increasing generation id of this base.
+        base_id: u64,
+        /// The base tree as Newick text (branch lengths round-trip
+        /// exactly: shortest-round-trip float formatting).
+        newick: String,
+    },
+    /// Foreman → worker: score one candidate edit against the round's base
+    /// topology. The compact sibling of [`Message::TreeTask`]: instead of
+    /// a whole Newick tree it carries a few node ids, and the worker
+    /// answers with an ordinary [`Message::TreeResult`].
+    TreeEditTask {
+        /// Task id, unique within the run.
+        task: u64,
+        /// Generation id of the base the edit applies to.
+        base_id: u64,
+        /// The edit to score.
+        edit: TreeEdit,
+        /// The base tree itself, embedded when the foreman cannot assume
+        /// the worker holds the broadcast base (fresh respawn, requeue
+        /// after a peer death, or quarantine re-dispatch) — the
+        /// self-contained rung of the fallback ladder.
+        base_newick: Option<String>,
+    },
     /// Foreman → worker: a liveness probe. A delinquent worker gets no new
     /// work, so without a probe a silently dead one would never be
     /// discovered (nothing is ever sent to it again) and an idle-but-alive
@@ -270,6 +337,10 @@ pub enum MessageKind {
     JobTaskResult,
     /// [`Message::JobRetire`].
     JobRetire,
+    /// [`Message::BaseTopology`].
+    BaseTopology,
+    /// [`Message::TreeEditTask`].
+    TreeEditTask,
     /// [`Message::Ping`].
     Ping,
     /// [`Message::Shutdown`].
@@ -295,6 +366,8 @@ impl MessageKind {
             MessageKind::JobTask => "JobTask",
             MessageKind::JobTaskResult => "JobTaskResult",
             MessageKind::JobRetire => "JobRetire",
+            MessageKind::BaseTopology => "BaseTopology",
+            MessageKind::TreeEditTask => "TreeEditTask",
             MessageKind::Ping => "Ping",
             MessageKind::Shutdown => "Shutdown",
         }
@@ -326,6 +399,8 @@ impl Message {
             Message::JobTask { .. } => MessageKind::JobTask,
             Message::JobTaskResult { .. } => MessageKind::JobTaskResult,
             Message::JobRetire { .. } => MessageKind::JobRetire,
+            Message::BaseTopology { .. } => MessageKind::BaseTopology,
+            Message::TreeEditTask { .. } => MessageKind::TreeEditTask,
             Message::Ping => MessageKind::Ping,
             Message::Shutdown => MessageKind::Shutdown,
         }
@@ -350,6 +425,7 @@ impl Message {
                 32 + match payload {
                     TaskPayload::Tree { newick } => newick.len() + 8,
                     TaskPayload::Jumble { .. } => 16,
+                    TaskPayload::TreeEdit { .. } => 32,
                 }
             }
             Message::Abort { reason } => reason.len() + 16,
@@ -361,6 +437,10 @@ impl Message {
             Message::JobTask { .. } => 40,
             Message::JobTaskResult { newick, .. } => newick.len() + 72,
             Message::JobRetire { .. } => 24,
+            Message::BaseTopology { newick, .. } => newick.len() + 24,
+            Message::TreeEditTask { base_newick, .. } => {
+                48 + base_newick.as_ref().map_or(0, |n| n.len())
+            }
             Message::Ping => 16,
             Message::Shutdown => 16,
         }
@@ -441,6 +521,43 @@ mod tests {
                 work_units: 1234,
             },
             Message::JobRetire { job: 2 },
+            Message::BaseTopology {
+                base_id: 5,
+                newick: "(a:1,b:2);".into(),
+            },
+            Message::TreeEditTask {
+                task: 41,
+                base_id: 5,
+                edit: TreeEdit::Insert {
+                    taxon: 4,
+                    a: 1,
+                    b: 2,
+                },
+                base_newick: None,
+            },
+            Message::TreeEditTask {
+                task: 42,
+                base_id: 5,
+                edit: TreeEdit::Regraft {
+                    root: 6,
+                    attachment: 7,
+                    a: 1,
+                    b: 2,
+                },
+                base_newick: Some("(a:1,b:2);".into()),
+            },
+            Message::Quarantined {
+                task: 43,
+                failures: 3,
+                payload: TaskPayload::TreeEdit {
+                    base_id: 5,
+                    edit: TreeEdit::Insert {
+                        taxon: 4,
+                        a: 1,
+                        b: 2,
+                    },
+                },
+            },
             Message::Ping,
             Message::Shutdown,
         ];
@@ -461,6 +578,8 @@ mod tests {
         assert_eq!(Message::PeerUp { rank: 3 }.kind().name(), "PeerUp");
         assert_eq!(MessageKind::Quarantined.name(), "Quarantined");
         assert_eq!(MessageKind::Abort.name(), "Abort");
+        assert_eq!(MessageKind::BaseTopology.name(), "BaseTopology");
+        assert_eq!(MessageKind::TreeEditTask.name(), "TreeEditTask");
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct SearchConfig {
     /// Explicit rate categories (per *pattern*); `None` means a single
     /// unit-rate category.
     pub categories: Option<RateCategories>,
+    /// Score candidate rounds incrementally: broadcast the round's base
+    /// topology once and dispatch compact tree edits that workers score
+    /// through a per-worker CLV cache. Master-side only — like
+    /// `worker_timeout` it never travels in the engine wire config; the
+    /// mode a worker runs in is decided per task by the message it
+    /// receives (`TreeTask` vs `TreeEditTask`).
+    pub incremental: bool,
 }
 
 impl Default for SearchConfig {
@@ -60,6 +67,7 @@ impl Default for SearchConfig {
             verify_slack: 3.0,
             worker_timeout: Duration::from_secs(30),
             categories: None,
+            incremental: false,
         }
     }
 }
@@ -108,7 +116,9 @@ impl SearchConfig {
 /// The transferable subset of [`SearchConfig`] — the engine model plus the
 /// search-control parameters — as broadcast in
 /// [`fdml_comm::Message::ProblemData`]. Only `worker_timeout` (a purely
-/// foreman-side concern) and `jumble_seed` (carried per-task) stay behind.
+/// foreman-side concern), `jumble_seed` (carried per-task), and
+/// `incremental` (a master-side dispatch choice, visible to workers only
+/// through which task message arrives) stay behind.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineConfigWire {
     tt_ratio: f64,

@@ -1,0 +1,77 @@
+//! Conversions between the phylogeny crate's typed [`TreeMove`] and the
+//! comm crate's untyped [`TreeEdit`] wire form.
+//!
+//! The wire form carries plain integers because `fdml-comm` does not
+//! depend on `fdml-phylo`. The integers are node ids of the round's
+//! broadcast base topology; they are meaningful on every rank because
+//! Newick parsing is deterministic — all ranks that parse the same base
+//! text assign the same ids.
+
+use fdml_comm::message::TreeEdit;
+use fdml_phylo::ops::TreeMove;
+use fdml_phylo::tree::NodeId;
+
+/// Encode a move against the current base tree as its wire form.
+pub(crate) fn move_to_edit(mv: &TreeMove) -> TreeEdit {
+    match *mv {
+        TreeMove::Insertion { taxon, at } => TreeEdit::Insert {
+            taxon,
+            a: at.0 .0,
+            b: at.1 .0,
+        },
+        TreeMove::Spr {
+            root,
+            attachment,
+            target,
+        } => TreeEdit::Regraft {
+            root: root.0,
+            attachment: attachment.0,
+            a: target.0 .0,
+            b: target.1 .0,
+        },
+    }
+}
+
+/// Decode a wire edit back into a move against the receiver's parse of the
+/// same base tree.
+pub(crate) fn edit_to_move(edit: &TreeEdit) -> TreeMove {
+    match *edit {
+        TreeEdit::Insert { taxon, a, b } => TreeMove::Insertion {
+            taxon,
+            at: (NodeId(a), NodeId(b)),
+        },
+        TreeEdit::Regraft {
+            root,
+            attachment,
+            a,
+            b,
+        } => TreeMove::Spr {
+            root: NodeId(root),
+            attachment: NodeId(attachment),
+            target: (NodeId(a), NodeId(b)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_round_trip_through_the_wire_form() {
+        let moves = [
+            TreeMove::Insertion {
+                taxon: 9,
+                at: (NodeId(3), NodeId(11)),
+            },
+            TreeMove::Spr {
+                root: NodeId(4),
+                attachment: NodeId(6),
+                target: (NodeId(1), NodeId(2)),
+            },
+        ];
+        for mv in moves {
+            assert_eq!(edit_to_move(&move_to_edit(&mv)), mv);
+        }
+    }
+}

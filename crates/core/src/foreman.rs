@@ -6,7 +6,7 @@
 //! tolerance)."
 
 use crate::worker::ranks;
-use fdml_comm::message::{Message, MonitorEvent, TaskPayload};
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload, TreeEdit};
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -83,16 +83,37 @@ enum TaskBody {
     Tree(String),
     /// One whole stepwise-addition search, identified by its jumble seed.
     Jumble(u64),
+    /// One candidate edit against the round's broadcast base topology.
+    Edit {
+        /// Generation id of the base the edit applies to.
+        base_id: u64,
+        /// The edit itself.
+        edit: TreeEdit,
+        /// Force the dispatched message to embed the base text. Set when
+        /// the task is requeued after a failure: the next worker to take
+        /// it may be a fresh respawn with no cached base, and a
+        /// self-contained dispatch is the rung of the fallback ladder that
+        /// keeps the self-healing invariants independent of cache state.
+        self_contained: bool,
+    },
 }
 
 impl TaskBody {
-    fn to_message(&self, task: u64) -> Message {
+    /// `base_text` is the base to embed for an [`TaskBody::Edit`]; `None`
+    /// dispatches the compact form (the worker is known to hold the base).
+    fn to_message(&self, task: u64, base_text: Option<&str>) -> Message {
         match self {
             TaskBody::Tree(newick) => Message::TreeTask {
                 task,
                 newick: newick.clone(),
             },
             TaskBody::Jumble(seed) => Message::JumbleTask { task, seed: *seed },
+            TaskBody::Edit { base_id, edit, .. } => Message::TreeEditTask {
+                task,
+                base_id: *base_id,
+                edit: *edit,
+                base_newick: base_text.map(str::to_owned),
+            },
         }
     }
 
@@ -100,6 +121,7 @@ impl TaskBody {
         match self {
             TaskBody::Tree(newick) => TaskPayload::Tree { newick },
             TaskBody::Jumble(seed) => TaskPayload::Jumble { seed },
+            TaskBody::Edit { base_id, edit, .. } => TaskPayload::TreeEdit { base_id, edit },
         }
     }
 }
@@ -126,6 +148,14 @@ struct Sched {
     /// Per-task set of distinct workers that failed it, for the
     /// poison-task quarantine budget.
     failures: HashMap<u64, HashSet<Rank>>,
+    /// The current base topology broadcast (generation id + Newick text),
+    /// kept so edit dispatches can fall back to embedding the base for
+    /// workers that missed the broadcast.
+    base: Option<(u64, String)>,
+    /// Workers known to hold the current base broadcast. A rank leaves the
+    /// set when its link dies (a respawn has an empty cache) and rejoins
+    /// when the foreman relays the base to it.
+    has_base: HashSet<Rank>,
     stats: ForemanStats,
 }
 
@@ -145,6 +175,17 @@ impl Sched {
         let set = self.failures.entry(task).or_default();
         set.insert(worker);
         let failures = set.len() as u64;
+        // A requeued edit must be scoreable by any worker, including a
+        // fresh respawn that has no cached base: force the self-contained
+        // dispatch form from here on.
+        let body = match body {
+            TaskBody::Edit { base_id, edit, .. } => TaskBody::Edit {
+                base_id,
+                edit,
+                self_contained: true,
+            },
+            other => other,
+        };
         if failures >= QUARANTINE_BUDGET {
             // The task has now serially killed (or stalled) several
             // different workers: stop feeding it to the fleet. Marking it
@@ -174,6 +215,7 @@ impl Sched {
     fn peer_down(&mut self, worker: Rank, obs: &Obs) -> Vec<(u64, Option<Message>)> {
         self.dead.insert(worker);
         self.delinquent.insert(worker);
+        self.has_base.remove(&worker);
         self.ready.retain(|&w| w != worker);
         let held: Vec<u64> = self
             .in_flight
@@ -233,7 +275,23 @@ pub fn run_foreman<T: Transport>(
             }
             let (task, body) =
                 invariant(s.work_queue.pop_front(), "work queue emptied mid-dispatch")?;
-            match transport.send(worker, &body.to_message(task)) {
+            // Fallback ladder for edits: embed the base text when the task
+            // was requeued (self-contained) or this worker missed the
+            // broadcast; dispatch the compact form otherwise.
+            let embed_base = match &body {
+                TaskBody::Edit {
+                    base_id,
+                    self_contained,
+                    ..
+                } => s
+                    .base
+                    .as_ref()
+                    .filter(|(id, _)| id == base_id)
+                    .filter(|_| *self_contained || !s.has_base.contains(&worker))
+                    .map(|(_, text)| text.clone()),
+                _ => None,
+            };
+            match transport.send(worker, &body.to_message(task, embed_base.as_deref())) {
                 Ok(()) => {}
                 // A dead link is the network analogue of a delinquent
                 // worker: re-queue the task immediately instead of waiting
@@ -242,6 +300,7 @@ pub fn run_foreman<T: Transport>(
                 Err(CommError::Disconnected(_)) => {
                     s.delinquent.insert(worker);
                     s.dead.insert(worker);
+                    s.has_base.remove(&worker);
                     s.stats.timeouts += 1;
                     monitor(&transport, MonitorEvent::WorkerTimedOut { worker, task });
                     if let Some(q) = s.fail_task(task, body, worker, true, &obs) {
@@ -250,6 +309,11 @@ pub fn run_foreman<T: Transport>(
                     continue;
                 }
                 Err(e) => return Err(e.into()),
+            }
+            if embed_base.is_some() {
+                // The embedded base is installed by the worker on receipt,
+                // so its later tasks in this round can go compact again.
+                s.has_base.insert(worker);
             }
             s.in_flight.insert(
                 task,
@@ -358,6 +422,43 @@ pub fn run_foreman<T: Transport>(
                     debug_assert_eq!(from, ranks::MASTER);
                     s.work_queue.push_back((task, TaskBody::Jumble(seed)));
                 }
+                Message::BaseTopology { base_id, newick } => {
+                    // A new round base from the master: remember it for
+                    // embedded fallbacks and relay it to every live worker.
+                    // Per-link FIFO guarantees the base precedes any edit
+                    // of the round on each worker's queue.
+                    debug_assert_eq!(from, ranks::MASTER);
+                    s.has_base.clear();
+                    for rank in ranks::FIRST_WORKER..transport.size() {
+                        if s.dead.contains(&rank) {
+                            continue;
+                        }
+                        let relay = Message::BaseTopology {
+                            base_id,
+                            newick: newick.clone(),
+                        };
+                        if transport.send(rank, &relay).is_ok() {
+                            s.has_base.insert(rank);
+                        }
+                    }
+                    s.base = Some((base_id, newick));
+                }
+                Message::TreeEditTask {
+                    task,
+                    base_id,
+                    edit,
+                    ..
+                } => {
+                    debug_assert_eq!(from, ranks::MASTER);
+                    s.work_queue.push_back((
+                        task,
+                        TaskBody::Edit {
+                            base_id,
+                            edit,
+                            self_contained: false,
+                        },
+                    ));
+                }
                 msg @ (Message::TreeResult { .. } | Message::JumbleResult { .. }) => {
                     let (task, ln_likelihood, work_units) = match &msg {
                         Message::TreeResult {
@@ -420,6 +521,20 @@ pub fn run_foreman<T: Transport>(
                     if s.delinquent.remove(&from) {
                         s.stats.recoveries += 1;
                         monitor(&transport, MonitorEvent::WorkerRecovered { worker: from });
+                    }
+                    // A worker announcing readiness without the current
+                    // base is either fresh or a respawn: send the base now
+                    // so its edit dispatches can go compact.
+                    if !s.has_base.contains(&from) {
+                        if let Some((base_id, newick)) = &s.base {
+                            let relay = Message::BaseTopology {
+                                base_id: *base_id,
+                                newick: newick.clone(),
+                            };
+                            if transport.send(from, &relay).is_ok() {
+                                s.has_base.insert(from);
+                            }
+                        }
                     }
                     // A respawned worker may re-announce while already
                     // queued; one slot per worker keeps dispatch fair.

@@ -28,6 +28,7 @@
 
 pub mod checkpoint;
 pub mod config;
+mod edits;
 pub mod executor;
 pub mod farm;
 pub mod foreman;

@@ -7,11 +7,13 @@
 //! the message-passing layer).
 
 use crate::config::SearchConfig;
+use crate::edits::{edit_to_move, move_to_edit};
 use crate::executor::{BaseOutcome, CandidateScore, ExecutorError, RoundExecutor};
 use crate::worker::ranks;
-use fdml_comm::message::{Message, MonitorEvent, TaskPayload};
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload, TreeEdit};
 use fdml_comm::transport::Transport;
 use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_likelihood::incremental::ClvCache;
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::ops::{apply_move, TreeMove};
@@ -20,7 +22,10 @@ use fdml_phylo::{newick, phylip};
 use std::collections::HashMap;
 
 /// Master-side executor: each candidate becomes a `TreeTask` dispatched via
-/// the foreman; workers do the full per-tree optimization.
+/// the foreman; workers do the full per-tree optimization. With
+/// [`ClusterExecutor::with_incremental`] enabled, candidates instead travel
+/// as compact `TreeEditTask`s against a per-round `BaseTopology` broadcast
+/// and workers score them through their CLV caches.
 pub struct ClusterExecutor<T: Transport> {
     transport: T,
     names: Vec<String>,
@@ -32,6 +37,15 @@ pub struct ClusterExecutor<T: Transport> {
     next_task: u64,
     round: u64,
     has_monitor: bool,
+    incremental: bool,
+    /// Generation id of the current base broadcast (incremental mode).
+    base_id: u64,
+    /// Newick text of the current broadcast base (incremental mode): the
+    /// single source of truth every rank parses, so node ids agree.
+    base_text: Option<String>,
+    /// The master's own CLV cache, built lazily to score quarantined edit
+    /// tasks bit-identically to a healthy worker.
+    local_cache: Option<(u64, ClvCache)>,
 }
 
 impl<T: Transport> ClusterExecutor<T> {
@@ -65,7 +79,19 @@ impl<T: Transport> ClusterExecutor<T> {
             next_task: 0,
             round: 0,
             has_monitor,
+            incremental: false,
+            base_id: 0,
+            base_text: None,
+            local_cache: None,
         }
+    }
+
+    /// Toggle incremental candidate evaluation: when on, `set_base`
+    /// broadcasts the round's base topology and `score_round` dispatches
+    /// compact edits instead of whole candidate trees.
+    pub fn with_incremental(mut self, on: bool) -> ClusterExecutor<T> {
+        self.incremental = on;
+        self
     }
 
     /// Build (once) the master's own likelihood engine, used only to
@@ -90,6 +116,37 @@ impl<T: Transport> ClusterExecutor<T> {
         self.transport
     }
 
+    /// Score a quarantined edit on the master's own CLV cache. Workers and
+    /// the master parse the same base text and run the same junction
+    /// algorithm, so the result is bit-identical to a healthy worker's.
+    fn score_edit_locally(
+        &mut self,
+        base_id: u64,
+        edit: &TreeEdit,
+    ) -> Result<(Tree, f64, u64), PhyloError> {
+        if base_id != self.base_id {
+            return Err(PhyloError::Format(format!(
+                "quarantined edit for stale base {base_id} (current {})",
+                self.base_id
+            )));
+        }
+        let text = self
+            .base_text
+            .clone()
+            .ok_or_else(|| PhyloError::Format("quarantined edit with no base".into()))?;
+        self.local_engine()?;
+        let (alignment, engine, config) = self.local.as_ref().expect("just built");
+        if self.local_cache.as_ref().map(|(id, _)| *id) != Some(base_id) {
+            let base = newick::parse_tree(&text, alignment)?;
+            self.local_cache = Some((base_id, ClvCache::build(engine, base)));
+        }
+        let (_, cache) = self.local_cache.as_mut().expect("just built");
+        let mv = edit_to_move(edit);
+        let score = cache.score_edit(engine, &mv, &config.optimize)?;
+        let cand = cache.materialize(&mv, &score)?;
+        Ok((cand, score.ln_likelihood, score.work.work_units()))
+    }
+
     /// Dispatch a batch of Newick strings; block until all results return.
     /// Results are reordered to match submission order.
     fn dispatch_batch(
@@ -106,6 +163,40 @@ impl<T: Transport> ClusterExecutor<T> {
                 .send(ranks::FOREMAN, &Message::TreeTask { task, newick: text })
                 .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
         }
+        self.collect_results(index_of, n)
+    }
+
+    /// Dispatch a round of compact edits against the current broadcast
+    /// base; block until all results return, in submission order.
+    fn dispatch_edits(&mut self, moves: &[TreeMove]) -> Result<Vec<(Tree, f64, u64)>, PhyloError> {
+        let mut index_of: HashMap<u64, usize> = HashMap::with_capacity(moves.len());
+        let n = moves.len();
+        for (i, mv) in moves.iter().enumerate() {
+            let task = self.next_task;
+            self.next_task += 1;
+            index_of.insert(task, i);
+            self.transport
+                .send(
+                    ranks::FOREMAN,
+                    &Message::TreeEditTask {
+                        task,
+                        base_id: self.base_id,
+                        edit: move_to_edit(mv),
+                        base_newick: None,
+                    },
+                )
+                .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
+        }
+        self.collect_results(index_of, n)
+    }
+
+    /// The shared result loop behind [`Self::dispatch_batch`] and
+    /// [`Self::dispatch_edits`].
+    fn collect_results(
+        &mut self,
+        index_of: HashMap<u64, usize>,
+        n: usize,
+    ) -> Result<Vec<(Tree, f64, u64)>, PhyloError> {
         let mut results: Vec<Option<(Tree, f64, u64)>> = (0..n).map(|_| None).collect();
         let mut received = 0usize;
         while received < n {
@@ -138,14 +229,17 @@ impl<T: Transport> ClusterExecutor<T> {
                     if results[i].is_some() {
                         continue;
                     }
-                    let TaskPayload::Tree { newick: text } = payload else {
-                        continue;
-                    };
-                    let (tree, lnl, work) = {
-                        let (alignment, engine, config) = self.local_engine()?;
-                        let mut tree = newick::parse_tree(&text, alignment)?;
-                        let r = engine.optimize(&mut tree, &config.optimize);
-                        (tree, r.ln_likelihood, r.work.work_units())
+                    let (tree, lnl, work) = match payload {
+                        TaskPayload::Tree { newick: text } => {
+                            let (alignment, engine, config) = self.local_engine()?;
+                            let mut tree = newick::parse_tree(&text, alignment)?;
+                            let r = engine.optimize(&mut tree, &config.optimize);
+                            (tree, r.ln_likelihood, r.work.work_units())
+                        }
+                        TaskPayload::TreeEdit { base_id, edit } => {
+                            self.score_edit_locally(base_id, &edit)?
+                        }
+                        TaskPayload::Jumble { .. } => continue,
                     };
                     results[i] = Some((tree, lnl, work));
                     received += 1;
@@ -201,7 +295,28 @@ impl<T: Transport> RoundExecutor for ClusterExecutor<T> {
     fn set_base(&mut self, tree: Tree) -> Result<BaseOutcome, ExecutorError> {
         let text = newick::write_tree(&tree, &self.names);
         let mut results = self.dispatch_batch(vec![text])?;
-        let (tree, lnl, work) = results.pop().expect("one result");
+        let (mut tree, lnl, work) = results.pop().expect("one result");
+        if self.incremental {
+            // Broadcast the optimized base and re-parse the broadcast text
+            // ourselves: the returned arena is then identical (by the
+            // determinism of Newick parsing) to the one every worker
+            // builds, so the node ids inside the edits the driver
+            // enumerates on this tree are meaningful on every rank.
+            let text = newick::write_tree(&tree, &self.names);
+            self.base_id += 1;
+            self.local_cache = None;
+            self.transport
+                .send(
+                    ranks::FOREMAN,
+                    &Message::BaseTopology {
+                        base_id: self.base_id,
+                        newick: text.clone(),
+                    },
+                )
+                .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
+            tree = newick::parse_tree_with_names(&text, &self.names)?;
+            self.base_text = Some(text);
+        }
         self.base = Some(tree.clone());
         self.base_lnl = lnl;
         Ok(BaseOutcome {
@@ -212,13 +327,17 @@ impl<T: Transport> RoundExecutor for ClusterExecutor<T> {
     }
 
     fn score_round(&mut self, moves: &[TreeMove]) -> Result<Vec<CandidateScore>, ExecutorError> {
-        let mut newicks = Vec::with_capacity(moves.len());
-        for mv in moves {
-            let mut cand = self.base()?.clone();
-            apply_move(&mut cand, mv)?;
-            newicks.push(newick::write_tree(&cand, &self.names));
-        }
-        let results = self.dispatch_batch(newicks)?;
+        let results = if self.incremental {
+            self.dispatch_edits(moves)?
+        } else {
+            let mut newicks = Vec::with_capacity(moves.len());
+            for mv in moves {
+                let mut cand = self.base()?.clone();
+                apply_move(&mut cand, mv)?;
+                newicks.push(newick::write_tree(&cand, &self.names));
+            }
+            self.dispatch_batch(newicks)?
+        };
         let best = results
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))

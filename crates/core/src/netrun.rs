@@ -313,7 +313,8 @@ pub fn net_coordinator_search(
         phylip::write(alignment),
         config.engine_config_json(),
         true,
-    );
+    )
+    .with_incremental(config.incremental);
     let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
         .with_names(alignment.names().to_vec());
     if let Some(cp) = resume {

@@ -234,7 +234,8 @@ pub fn parallel_search(
         phylip::write(alignment),
         config.engine_config_json(),
         true,
-    );
+    )
+    .with_incremental(config.incremental);
     let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
         .with_names(alignment.names().to_vec());
     let result = search.run();
@@ -608,6 +609,52 @@ mod tests {
             total,
             parallel.foreman.results_forwarded + parallel.foreman.duplicates_ignored
         );
+    }
+
+    #[test]
+    fn incremental_dispatch_is_byte_identical_to_whole_tree_dispatch() {
+        use fdml_phylo::newick;
+        let a = alignment();
+        for seed in [1u64, 5, 11] {
+            let config = SearchConfig {
+                jumble_seed: seed,
+                ..Default::default()
+            };
+            let full = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
+            let inc_config = SearchConfig {
+                incremental: true,
+                ..config.clone()
+            };
+            let mem = MemorySink::new();
+            let inc = parallel_search(
+                &job(&a, &inc_config),
+                6,
+                RunOptions::observed(vec![Box::new(mem.clone())]),
+            )
+            .unwrap();
+            // The golden property: turning incremental dispatch on changes
+            // HOW candidates are scored, never WHAT the search returns —
+            // final tree bytes and likelihood bits are identical.
+            assert_eq!(
+                newick::write_tree(&full.result.tree, a.names()),
+                newick::write_tree(&inc.result.tree, a.names()),
+                "seed {seed}"
+            );
+            assert_eq!(
+                full.result.ln_likelihood.to_bits(),
+                inc.result.ln_likelihood.to_bits(),
+                "seed {seed}: full {} vs incremental {}",
+                full.result.ln_likelihood,
+                inc.result.ln_likelihood
+            );
+            // And the run really went through the cache: the report's
+            // per-worker incremental counters are live.
+            let report = inc.report.expect("observed run carries a report");
+            let hits: u64 = report.workers.iter().map(|w| w.clv_cache_hits).sum();
+            let fallbacks: u64 = report.workers.iter().map(|w| w.incremental_fallbacks).sum();
+            assert!(hits > 0, "seed {seed}: no CLV cache hits recorded");
+            assert_eq!(fallbacks, 0, "seed {seed}: healthy run must not fall back");
+        }
     }
 
     #[test]

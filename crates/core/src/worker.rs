@@ -9,10 +9,12 @@
 //! interleave freely on the same rank.
 
 use crate::config::SearchConfig;
+use crate::edits::edit_to_move;
 use fdml_comm::job::JobId;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Transport};
 use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_likelihood::incremental::ClvCache;
 use fdml_obs::{Event, Obs};
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::{newick, phylip};
@@ -77,6 +79,11 @@ impl Problem {
 pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, WorkerError> {
     let mut state: Option<Problem> = None;
     let mut jobs: HashMap<JobId, Problem> = HashMap::new();
+    // Incremental evaluation state: the raw text of the round's base
+    // broadcast, and the CLV cache lazily indexed from it on the first
+    // edit task of the round.
+    let mut base_text: Option<(u64, String)> = None;
+    let mut cache: Option<(u64, ClvCache)> = None;
     let mut stats = WorkerStats::default();
     loop {
         let (_, msg) = transport.recv()?;
@@ -86,6 +93,9 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                 config_json,
             } => {
                 state = Some(Problem::build(&phylip, &config_json)?);
+                // A new problem invalidates any base of the old one.
+                base_text = None;
+                cache = None;
                 transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
             }
             Message::JobData {
@@ -124,6 +134,81 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                         newick: newick::write_tree(&tree, p.alignment.names()),
                         ln_likelihood: result.ln_likelihood,
                         work_units: result.work.work_units(),
+                    },
+                )?;
+            }
+            Message::BaseTopology { base_id, newick } => {
+                // The round's base tree. Parsing and CLV indexing are
+                // deferred to the first edit task, so a worker that never
+                // receives an edit pays nothing.
+                base_text = Some((base_id, newick));
+                cache = None;
+            }
+            Message::TreeEditTask {
+                task,
+                base_id,
+                edit,
+                base_newick,
+            } => {
+                let p = state
+                    .as_ref()
+                    .ok_or_else(|| WorkerError::Protocol("edit task before problem data".into()))?;
+                // Fallback ladder, bottom rung local to the worker: a
+                // self-contained dispatch carries the base text; install
+                // it when the broadcast was missed (fresh respawn). An
+                // edit for an unknown base with no embedded text is a
+                // protocol error — the supervisor respawns the worker and
+                // the foreman requeues the task self-contained.
+                let mut fallbacks = 0u64;
+                if base_text.as_ref().map(|(id, _)| *id) != Some(base_id) {
+                    let text = base_newick.ok_or_else(|| {
+                        WorkerError::Protocol(format!(
+                            "edit task {task} for unknown base {base_id}"
+                        ))
+                    })?;
+                    base_text = Some((base_id, text));
+                    cache = None;
+                    fallbacks = 1;
+                }
+                let started = Instant::now();
+                if cache.as_ref().map(|(id, _)| *id) != Some(base_id) {
+                    let (_, text) = base_text.as_ref().expect("just ensured");
+                    let base = newick::parse_tree(text, &p.alignment)
+                        .map_err(|e| WorkerError::Protocol(format!("bad base tree: {e}")))?;
+                    cache = Some((base_id, ClvCache::build(&p.engine, base)));
+                }
+                let (_, c) = cache.as_mut().expect("just built");
+                let mv = edit_to_move(&edit);
+                let score = c
+                    .score_edit(&p.engine, &mv, &p.config.optimize)
+                    .map_err(|e| WorkerError::Protocol(format!("edit task {task}: {e}")))?;
+                let cand = c
+                    .materialize(&mv, &score)
+                    .map_err(|e| WorkerError::Protocol(format!("edit task {task}: {e}")))?;
+                let busy_us = started.elapsed().as_micros() as u64;
+                let work_units = score.work.work_units();
+                stats.trees_evaluated += 1;
+                stats.work_units += work_units;
+                obs.emit(|| Event::WorkerTaskDone {
+                    worker: transport.rank(),
+                    task,
+                    busy_us,
+                    work_units,
+                    pattern_updates: score.work.total_pattern_updates(),
+                });
+                obs.emit(|| Event::IncrementalEdit {
+                    worker: transport.rank(),
+                    cache_hits: score.cache_hits,
+                    edges_recomputed: score.edges_recomputed,
+                    fallbacks,
+                });
+                transport.send(
+                    ranks::FOREMAN,
+                    &Message::TreeResult {
+                        task,
+                        newick: newick::write_tree(&cand, p.alignment.names()),
+                        ln_likelihood: score.ln_likelihood,
+                        work_units,
                     },
                 )?;
             }
@@ -212,6 +297,7 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fdml_comm::message::TreeEdit;
     use fdml_comm::threads::ThreadUniverse;
     use std::thread;
 
@@ -273,6 +359,150 @@ mod tests {
         foreman_end.send(3, &Message::Shutdown).unwrap();
         let stats = handle.join().unwrap();
         assert_eq!(stats.trees_evaluated, 1);
+    }
+
+    #[test]
+    fn worker_scores_tree_edits_through_the_clv_cache() {
+        use crate::edits::move_to_edit;
+        use fdml_phylo::ops::enumerate_insertion_moves;
+        let a = Alignment::from_strings(&[
+            ("t0", "ACGTACGTACGT"),
+            ("t1", "ACGTACGAACGT"),
+            ("t2", "ACTTACGAACGA"),
+            ("t3", "ACTTACGAACGT"),
+        ])
+        .unwrap();
+        let phylip_text = phylip::write(&a);
+        let config_json = SearchConfig::default().engine_config_json();
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()).unwrap());
+        foreman_end
+            .send(
+                3,
+                &Message::ProblemData {
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        assert_eq!(msg, Message::WorkerReady);
+
+        // The edit's node ids come from parsing the exact broadcast text —
+        // the same deterministic arena the worker will build.
+        let base_text = "(t0:0.1,t1:0.1,t2:0.1);".to_string();
+        let base = newick::parse_tree(&base_text, &a).unwrap();
+        let edit = move_to_edit(&enumerate_insertion_moves(&base, 3)[0]);
+
+        // Broadcast path: the base arrives ahead of the compact edit.
+        foreman_end
+            .send(
+                3,
+                &Message::BaseTopology {
+                    base_id: 1,
+                    newick: base_text.clone(),
+                },
+            )
+            .unwrap();
+        foreman_end
+            .send(
+                3,
+                &Message::TreeEditTask {
+                    task: 1,
+                    base_id: 1,
+                    edit,
+                    base_newick: None,
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        let broadcast_lnl = match msg {
+            Message::TreeResult {
+                task,
+                ln_likelihood,
+                newick: cand,
+                ..
+            } => {
+                assert_eq!(task, 1);
+                assert!(ln_likelihood.is_finite() && ln_likelihood < 0.0);
+                assert!(cand.contains("t3"), "candidate must gain the taxon: {cand}");
+                ln_likelihood
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // Self-contained path: a requeued edit for a base this worker never
+        // saw broadcast carries its own text, and rescoring through the
+        // rebuilt cache is bit-identical.
+        foreman_end
+            .send(
+                3,
+                &Message::TreeEditTask {
+                    task: 2,
+                    base_id: 2,
+                    edit,
+                    base_newick: Some(base_text),
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        match msg {
+            Message::TreeResult {
+                task,
+                ln_likelihood,
+                ..
+            } => {
+                assert_eq!(task, 2);
+                assert_eq!(
+                    ln_likelihood.to_bits(),
+                    broadcast_lnl.to_bits(),
+                    "self-contained rescore must be bit-identical"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        foreman_end.send(3, &Message::Shutdown).unwrap();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.trees_evaluated, 2);
+    }
+
+    #[test]
+    fn edit_for_unknown_base_without_text_is_a_protocol_error() {
+        let mut ends = ThreadUniverse::create(4);
+        let worker_end = ends.remove(3);
+        let foreman_end = ends.remove(1);
+        let handle = thread::spawn(move || run_worker(worker_end, Obs::disabled()));
+        let (phylip_text, config_json) = problem();
+        foreman_end
+            .send(
+                3,
+                &Message::ProblemData {
+                    phylip: phylip_text,
+                    config_json,
+                },
+            )
+            .unwrap();
+        let (_, msg) = foreman_end.recv().unwrap();
+        assert_eq!(msg, Message::WorkerReady);
+        foreman_end
+            .send(
+                3,
+                &Message::TreeEditTask {
+                    task: 5,
+                    base_id: 9,
+                    edit: TreeEdit::Insert {
+                        taxon: 0,
+                        a: 0,
+                        b: 1,
+                    },
+                    base_newick: None,
+                },
+            )
+            .unwrap();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(format!("{err:?}").contains("unknown base"), "got: {err:?}");
     }
 
     #[test]

@@ -321,6 +321,24 @@ impl ClvBuffers {
             taxon => (engine.tip_clv(taxon), &self.zero_scale),
         }
     }
+
+    /// The directional CLV of edge `e` anchored at `anchor` (an endpoint of
+    /// `e`), covering `anchor`'s component when `e` is cut. Requires both
+    /// sweeps to have run on the tree these buffers were prepared for.
+    pub(crate) fn directional<'a>(
+        &'a self,
+        engine: &'a LikelihoodEngine,
+        e: EdgeId,
+        anchor: NodeId,
+    ) -> (&'a [f64], &'a [i32]) {
+        let ei = e.0 as usize;
+        if self.child[ei] == anchor {
+            self.down_of(engine, ei)
+        } else {
+            debug_assert_eq!(self.parent[ei], anchor);
+            self.up_of(engine, ei)
+        }
+    }
 }
 
 /// One recycled buffer set: CLVs plus the per-workspace kernel state.
@@ -422,13 +440,22 @@ impl<'e> Workspace<'e> {
     /// covering `anchor`'s component when `e` is cut, with its per-pattern
     /// scale counts. Requires both sweeps to have run.
     pub(crate) fn directional(&self, e: EdgeId, anchor: NodeId) -> (&[f64], &[i32]) {
-        let ei = e.0 as usize;
-        if self.clvs.child[ei] == anchor {
-            self.clvs.down_of(self.engine, ei)
-        } else {
-            debug_assert_eq!(self.clvs.parent[ei], anchor);
-            self.clvs.up_of(self.engine, ei)
-        }
+        self.clvs.directional(self.engine, e, anchor)
+    }
+
+    /// The underlying CLV buffers, for callers that resolve directional
+    /// CLVs against a separately borrowed engine (prune contexts, the
+    /// incremental cache).
+    pub(crate) fn clv_buffers(&self) -> &ClvBuffers {
+        &self.clvs
+    }
+
+    /// Extract the computed CLV buffers, consuming the workspace view.
+    /// The incremental cache owns its CLVs across tasks instead of
+    /// borrowing the engine; `Drop` still recycles the remaining (emptied)
+    /// pooled parts, which `prepare` re-sizes on reuse.
+    pub(crate) fn into_clv_buffers(mut self) -> ClvBuffers {
+        std::mem::take(&mut self.clvs)
     }
 
     /// Recompute `down[e]` (anchored at its child `c`) from the children of

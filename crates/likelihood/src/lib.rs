@@ -25,6 +25,7 @@ pub mod clv;
 pub mod distances;
 pub mod engine;
 pub mod f84;
+pub mod incremental;
 pub mod kernels;
 pub mod newton;
 pub mod reference;
@@ -34,6 +35,7 @@ pub mod work;
 pub use categories::RateCategories;
 pub use engine::{EvalResult, LikelihoodEngine, OptimizeOptions};
 pub use f84::F84Model;
+pub use incremental::{ClvCache, EditScore};
 pub use kernels::KernelMode;
 pub use scorer::{ScoredMove, TreeScorer};
 pub use work::WorkCounter;

@@ -16,7 +16,7 @@
 //! the dissolved node, bounded by the rearrangement radius, while the
 //! away-facing CLVs are reused from the base tree unchanged.
 
-use crate::engine::{EvalResult, LikelihoodEngine, OptimizeOptions, Workspace};
+use crate::engine::{ClvBuffers, EvalResult, LikelihoodEngine, OptimizeOptions, Workspace};
 use crate::kernels::{self, JunctionScratch, KernelScratch};
 use crate::work::WorkCounter;
 use fdml_phylo::alignment::TaxonId;
@@ -154,6 +154,7 @@ impl<'e> TreeScorer<'e> {
         let (clv_b, sc_b) = self.ws.directional(e, at.1);
         let clv_c = self.engine.tip_clv(taxon);
         let half = self.tree.length(e) / 2.0;
+        let mut lens = [half, half, DEFAULT_BRANCH_LENGTH];
         score_attachment(
             self.engine,
             &mut self.scratch,
@@ -161,7 +162,7 @@ impl<'e> TreeScorer<'e> {
             (clv_a, sc_a),
             (clv_b, sc_b),
             (clv_c, &self.zero_scale),
-            [half, half, DEFAULT_BRANCH_LENGTH],
+            &mut lens,
             &self.opts,
         )
     }
@@ -180,7 +181,7 @@ impl<'e> TreeScorer<'e> {
         let mut work = WorkCounter::new();
         ctx.ensure_adjusted(
             self.engine,
-            &self.ws,
+            self.ws.clv_buffers(),
             &mut self.scratch,
             f,
             facing,
@@ -192,6 +193,7 @@ impl<'e> TreeScorer<'e> {
         // tree's directional CLV of the old pendant edge.
         let (sub_clv, sub_sc) = self.ws.directional(ctx.pendant_edge, ctx.subtree_root);
         let half = ctx.work_tree.length(f) / 2.0;
+        let mut lens = [half, half, ctx.pendant_length];
         let mut scored = score_attachment(
             self.engine,
             &mut self.scratch,
@@ -199,7 +201,7 @@ impl<'e> TreeScorer<'e> {
             (adj_clv, adj_sc),
             (away_clv, away_sc),
             (sub_clv, sub_sc),
-            [half, half, ctx.pendant_length],
+            &mut lens,
             &self.opts,
         );
         scored.work += work;
@@ -208,15 +210,17 @@ impl<'e> TreeScorer<'e> {
 }
 
 /// Per-prune-point scoring context: the base tree with one subtree detached,
-/// plus lazily recomputed CLVs facing the dissolved node.
-struct PruneContext {
-    root: NodeId,
-    attachment: NodeId,
-    subtree_root: NodeId,
+/// plus lazily recomputed CLVs facing the dissolved node. Shared with the
+/// incremental edit cache ([`crate::incremental::ClvCache`]), which resolves
+/// base CLVs from owned [`ClvBuffers`] rather than a borrowed workspace.
+pub(crate) struct PruneContext {
+    pub(crate) root: NodeId,
+    pub(crate) attachment: NodeId,
+    pub(crate) subtree_root: NodeId,
     /// The pendant edge in the *base* tree (still live there).
-    pendant_edge: EdgeId,
-    pendant_length: f64,
-    work_tree: Tree,
+    pub(crate) pendant_edge: EdgeId,
+    pub(crate) pendant_length: f64,
+    pub(crate) work_tree: Tree,
     merged_edge: EdgeId,
     /// Base-tree edges equivalent to the two halves of the merged edge,
     /// keyed by their outer endpoint.
@@ -224,11 +228,11 @@ struct PruneContext {
     /// BFS distance from the merged edge's endpoints in `work_tree`.
     node_dist: HashMap<NodeId, u32>,
     /// Recomputed CLVs `(edge, anchor)` for anchors facing the prune site.
-    adjusted: HashMap<(EdgeId, NodeId), (Vec<f64>, Vec<i32>)>,
+    pub(crate) adjusted: HashMap<(EdgeId, NodeId), (Vec<f64>, Vec<i32>)>,
 }
 
 impl PruneContext {
-    fn build(tree: &Tree, root: NodeId, attachment: NodeId) -> PruneContext {
+    pub(crate) fn build(tree: &Tree, root: NodeId, attachment: NodeId) -> PruneContext {
         let pendant_edge = tree
             .edge_between(root, attachment)
             .expect("prune point must be an edge");
@@ -275,11 +279,11 @@ impl PruneContext {
     /// Ensure `adjusted[(f, s)]` exists: the CLV anchored at `s` covering
     /// `s`'s component of the pruned tree when `f` is cut — the side that
     /// contains the dissolved attachment, so it cannot be reused from the
-    /// base tree.
-    fn ensure_adjusted(
+    /// base tree. `clvs` holds the base tree's indexed directional CLVs.
+    pub(crate) fn ensure_adjusted(
         &mut self,
         engine: &LikelihoodEngine,
-        ws: &Workspace<'_>,
+        clvs: &ClvBuffers,
         scratch: &mut KernelScratch,
         f: EdgeId,
         s: NodeId,
@@ -305,7 +309,7 @@ impl PruneContext {
         // Recurse first so the memo is populated before we borrow it.
         for &(g, m, _) in &others {
             if g != self.merged_edge && self.dist(m) < self.dist(s) {
-                self.ensure_adjusted(engine, ws, scratch, g, m, work);
+                self.ensure_adjusted(engine, clvs, scratch, g, m, work);
             }
         }
         let np = engine.patterns().num_patterns();
@@ -314,7 +318,8 @@ impl PruneContext {
         {
             fn resolve<'x>(
                 ctx: &'x PruneContext,
-                ws: &'x Workspace<'_>,
+                engine: &'x LikelihoodEngine,
+                clvs: &'x ClvBuffers,
                 s: NodeId,
                 g: EdgeId,
                 m: NodeId,
@@ -322,18 +327,18 @@ impl PruneContext {
                 if g == ctx.merged_edge {
                     // The far half of the merged edge is a base-tree edge.
                     let base_edge = ctx.merged_halves[&m];
-                    ws.directional(base_edge, m)
+                    clvs.directional(engine, base_edge, m)
                 } else if ctx.dist(m) < ctx.dist(s) {
                     let (clv, sc) = &ctx.adjusted[&(g, m)];
                     (clv.as_slice(), sc.as_slice())
                 } else {
-                    ws.directional(g, m)
+                    clvs.directional(engine, g, m)
                 }
             }
             let (g1, m1, l1) = others[0];
             let (g2, m2, l2) = others[1];
-            let (clv1, sc1) = resolve(self, ws, s, g1, m1);
-            let (clv2, sc2) = resolve(self, ws, s, g2, m2);
+            let (clv1, sc1) = resolve(self, engine, clvs, s, g1, m1);
+            let (clv2, sc2) = resolve(self, engine, clvs, s, g2, m2);
             work.clv_pattern_updates += kernels::combine_edges(
                 engine.kernel_mode(),
                 engine.model(),
@@ -352,27 +357,29 @@ impl PruneContext {
         self.adjusted.insert((f, s), (out, out_scale));
     }
 
-    fn dist(&self, n: NodeId) -> u32 {
+    pub(crate) fn dist(&self, n: NodeId) -> u32 {
         *self.node_dist.get(&n).unwrap_or(&u32::MAX)
     }
 }
 
 /// Score a three-way junction: a new node `q` joined to three CLV-bearing
 /// anchors `A`, `B`, `C` by branches of the given initial lengths. The three
-/// branch lengths are optimized (two Gauss–Seidel rounds of Newton), all
-/// other likelihood state held fixed. This is the common kernel of taxon
-/// insertion (C = tip) and subtree regraft (C = pruned subtree). All
-/// intermediate buffers live in the caller's [`JunctionScratch`], so scoring
-/// a candidate allocates nothing.
+/// branch lengths are optimized in place (two Gauss–Seidel rounds of
+/// Newton), all other likelihood state held fixed; `lens` holds the
+/// optimized lengths on return so callers can materialize the scored
+/// candidate. This is the common kernel of taxon insertion (C = tip) and
+/// subtree regraft (C = pruned subtree). All intermediate buffers live in
+/// the caller's [`JunctionScratch`], so scoring a candidate allocates
+/// nothing.
 #[allow(clippy::too_many_arguments)]
-fn score_attachment(
+pub(crate) fn score_attachment(
     engine: &LikelihoodEngine,
     scratch: &mut KernelScratch,
     junction: &mut JunctionScratch,
     a: (&[f64], &[i32]),
     b: (&[f64], &[i32]),
     c: (&[f64], &[i32]),
-    mut lens: [f64; 3],
+    lens: &mut [f64; 3],
     opts: &OptimizeOptions,
 ) -> ScoredMove {
     let mode = engine.kernel_mode();
@@ -787,7 +794,14 @@ mod adjusted_clv_tests {
             };
             let mut wk2 = WorkCounter::new();
             let mut scratch = KernelScratch::new(engine.categories());
-            ctx.ensure_adjusted(&engine, &scorer.ws, &mut scratch, f, facing, &mut wk2);
+            ctx.ensure_adjusted(
+                &engine,
+                scorer.ws.clv_buffers(),
+                &mut scratch,
+                f,
+                facing,
+                &mut wk2,
+            );
             let (adj, adj_sc) = &ctx.adjusted[&(f, facing)];
             // Ground truth: matrix recursion over the remaining component.
             let wt = &ctx.work_tree;

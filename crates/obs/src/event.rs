@@ -100,6 +100,19 @@ pub enum Event {
         /// behind the patterns/sec throughput gauge.
         pattern_updates: u64,
     },
+    /// A worker scored one incremental edit task through its CLV cache
+    /// (emitted alongside [`Event::WorkerTaskDone`] for that task).
+    IncrementalEdit {
+        /// The worker's rank.
+        worker: usize,
+        /// Directional CLVs served from the cache for this edit.
+        cache_hits: u64,
+        /// Dirty-path CLVs recomputed for this edit.
+        edges_recomputed: u64,
+        /// 1 when the worker had to install an embedded base from a
+        /// self-contained dispatch (the fallback ladder fired), else 0.
+        fallbacks: u64,
+    },
     /// A dispatch round closed.
     RoundCompleted {
         /// Round ordinal.
@@ -236,6 +249,7 @@ impl Event {
             Event::TaskTimedOut { .. } => "TaskTimedOut",
             Event::WorkerRecovered { .. } => "WorkerRecovered",
             Event::WorkerTaskDone { .. } => "WorkerTaskDone",
+            Event::IncrementalEdit { .. } => "IncrementalEdit",
             Event::RoundCompleted { .. } => "RoundCompleted",
             Event::RunFinished { .. } => "RunFinished",
             Event::NetPeerConnected { .. } => "NetPeerConnected",

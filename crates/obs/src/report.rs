@@ -27,6 +27,17 @@ pub struct WorkerUsage {
     /// `busy_us` over the observed span — the paper's per-worker
     /// utilization.
     pub utilization: f64,
+    /// Directional CLVs served from this worker's cache by incremental
+    /// edit tasks (zero when incremental evaluation was off).
+    #[serde(default)]
+    pub clv_cache_hits: u64,
+    /// Dirty-path CLVs this worker recomputed for incremental edits.
+    #[serde(default)]
+    pub clv_edges_recomputed: u64,
+    /// Edit tasks this worker could only score via an embedded base from a
+    /// self-contained dispatch (the fallback ladder fired).
+    #[serde(default)]
+    pub incremental_fallbacks: u64,
 }
 
 /// Message traffic for one message kind.
@@ -159,8 +170,10 @@ impl RunReport {
         let mut corrupt_frames = 0u64;
         let mut quarantined = 0u64;
         let mut final_ln_likelihood = None;
-        // worker → (tasks, busy_us, work_units, pattern_updates)
-        let mut per_worker: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
+        // worker → (tasks, busy_us, work_units, pattern_updates,
+        //           clv_cache_hits, clv_edges_recomputed, fallbacks)
+        type WorkerTotals = (u64, u64, u64, u64, u64, u64, u64);
+        let mut per_worker: BTreeMap<usize, WorkerTotals> = BTreeMap::new();
         let mut net: BTreeMap<usize, NetPeerStats> = BTreeMap::new();
 
         for record in records {
@@ -205,6 +218,17 @@ impl RunReport {
                     entry.1 += busy_us;
                     entry.2 += work_units;
                     entry.3 += pattern_updates;
+                }
+                Event::IncrementalEdit {
+                    worker,
+                    cache_hits,
+                    edges_recomputed,
+                    fallbacks,
+                } => {
+                    let entry = per_worker.entry(*worker).or_default();
+                    entry.4 += cache_hits;
+                    entry.5 += edges_recomputed;
+                    entry.6 += fallbacks;
                 }
                 Event::RoundCompleted {
                     round,
@@ -270,18 +294,26 @@ impl RunReport {
         let workers = per_worker
             .into_iter()
             .map(
-                |(worker, (tasks, busy_us, work_units, pattern_updates))| WorkerUsage {
+                |(
                     worker,
-                    tasks,
-                    busy_us,
-                    work_units,
-                    pattern_updates,
-                    patterns_per_sec: if busy_us > 0 {
-                        pattern_updates as f64 * 1e6 / busy_us as f64
-                    } else {
-                        0.0
-                    },
-                    utilization: busy_us as f64 / span_us as f64,
+                    (tasks, busy_us, work_units, pattern_updates, hits, recomputed, fallbacks),
+                )| {
+                    WorkerUsage {
+                        worker,
+                        tasks,
+                        busy_us,
+                        work_units,
+                        pattern_updates,
+                        patterns_per_sec: if busy_us > 0 {
+                            pattern_updates as f64 * 1e6 / busy_us as f64
+                        } else {
+                            0.0
+                        },
+                        utilization: busy_us as f64 / span_us as f64,
+                        clv_cache_hits: hits,
+                        clv_edges_recomputed: recomputed,
+                        incremental_fallbacks: fallbacks,
+                    }
                 },
             )
             .collect();
@@ -371,6 +403,13 @@ impl fmt::Display for RunReport {
                     100.0 * w.utilization,
                     w.patterns_per_sec
                 )?;
+                if w.clv_cache_hits + w.clv_edges_recomputed + w.incremental_fallbacks > 0 {
+                    writeln!(
+                        f,
+                        "             incremental: {} CLV cache hits, {} edges recomputed, {} fallbacks",
+                        w.clv_cache_hits, w.clv_edges_recomputed, w.incremental_fallbacks
+                    )?;
+                }
             }
         }
         if !self.traffic.is_empty() {
@@ -737,6 +776,58 @@ mod tests {
             .replace("\"quarantined\":0,", "");
         let back: RunReport = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.respawns, 0);
+    }
+
+    #[test]
+    fn incremental_counters_aggregate_per_worker() {
+        let records = vec![
+            rec(
+                0,
+                Event::IncrementalEdit {
+                    worker: 3,
+                    cache_hits: 3,
+                    edges_recomputed: 0,
+                    fallbacks: 0,
+                },
+            ),
+            rec(
+                1,
+                Event::IncrementalEdit {
+                    worker: 3,
+                    cache_hits: 2,
+                    edges_recomputed: 4,
+                    fallbacks: 1,
+                },
+            ),
+            rec(
+                2,
+                Event::IncrementalEdit {
+                    worker: 4,
+                    cache_hits: 3,
+                    edges_recomputed: 0,
+                    fallbacks: 0,
+                },
+            ),
+        ];
+        let report = RunReport::from_events(&records);
+        assert_eq!(report.workers.len(), 2);
+        let w3 = &report.workers[0];
+        assert_eq!(w3.clv_cache_hits, 5);
+        assert_eq!(w3.clv_edges_recomputed, 4);
+        assert_eq!(w3.incremental_fallbacks, 1);
+        let text = report.to_string();
+        assert!(text.contains("5 CLV cache hits"), "got: {text}");
+        assert!(text.contains("1 fallbacks"), "got: {text}");
+        // A report serialized before the incremental counters existed
+        // still parses (serde defaults).
+        let json = serde_json::to_string(&report).unwrap();
+        let stripped = json
+            .replace("\"clv_cache_hits\":5,", "")
+            .replace("\"clv_edges_recomputed\":4,", "")
+            .replace("\"incremental_fallbacks\":1,", "");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.workers[0].clv_cache_hits, 0);
+        assert_eq!(back.workers[1].clv_cache_hits, 3);
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!                        with capped exponential backoff
 //!   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
 //!   --worker-timeout-ms T  foreman timeout before a task is requeued
+//!   --incremental        score candidate rounds as base + edit through a
+//!                        per-worker CLV cache (parallel / --net modes)
+//!   --no-incremental     force whole-tree candidate scoring (the default)
 //!   --obs-out FILE       write runtime events as JSON lines (parallel only)
 //!   --obs-summary        print the end-of-run report (parallel only)
 //!   --bootstrap N        bootstrap with N replicates instead of jumbles
@@ -161,6 +164,8 @@ fastdnaml --input data.phy [options]
   --supervise          (--net spawn) respawn dead worker processes
   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
   --worker-timeout-ms T  foreman timeout before a task is requeued
+  --incremental        score candidate rounds as base + edit (CLV cache)
+  --no-incremental     force whole-tree candidate scoring (the default)
   --obs-out FILE       write runtime events as JSON lines (parallel only)
   --obs-summary        print the end-of-run report (parallel only)
   --bootstrap N        bootstrap with N replicates instead of jumbles
@@ -429,6 +434,13 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<u64>().ok())
     {
         config.worker_timeout = std::time::Duration::from_millis(ms);
+    }
+    if flags.iter().any(|f| f == "incremental") {
+        config.incremental = true;
+    }
+    // `--no-incremental` wins if both are given: it is the escape hatch.
+    if flags.iter().any(|f| f == "no-incremental") {
+        config.incremental = false;
     }
 
     // Category model from a dnarates report file.

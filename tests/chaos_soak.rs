@@ -96,6 +96,38 @@ fn seeded_chaos_matrix_is_byte_identical_to_fault_free() {
     }
 }
 
+/// A worker killed mid-round with incremental dispatch on: its in-flight
+/// tree edit is requeued *self-contained* (the foreman embeds the round's
+/// base topology, since the replacement worker may have missed the
+/// broadcast), survivors keep their CLV caches, and the search converges
+/// to the clean incremental run's tree and likelihood.
+#[test]
+fn incremental_dispatch_survives_kill_mid_round() {
+    let a = alignment();
+    let cfg = SearchConfig {
+        incremental: true,
+        ..config()
+    };
+    let job = one_shot(&a, &cfg);
+    let clean = parallel_search(&job, 6, RunOptions::default()).unwrap();
+    let clean_tree = newick::write_tree(&clean.result.tree, a.names());
+    for seed in [2u64, 6, 10] {
+        let plan = ChaosPlan::seeded(seed).with_kill(3, 2);
+        let chaotic = parallel_search(&job, 6, RunOptions::chaotic(&plan))
+            .unwrap_or_else(|e| panic!("incremental plan seed {seed}: {e}"));
+        assert_eq!(
+            newick::write_tree(&chaotic.result.tree, a.names()),
+            clean_tree,
+            "incremental plan seed {seed} changed the tree"
+        );
+        assert_eq!(
+            chaotic.result.ln_likelihood.to_bits(),
+            clean.result.ln_likelihood.to_bits(),
+            "incremental plan seed {seed} changed the likelihood"
+        );
+    }
+}
+
 /// Corruption is detected-and-dropped, surfaced in the run report, and
 /// still converges to the fault-free answer.
 #[test]
