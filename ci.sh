@@ -82,6 +82,28 @@ cmp "$SMOKE/inc_threads.nwk" "$SMOKE/full_threads.nwk"
   --output "$SMOKE/inc_net.nwk"
 cmp "$SMOKE/inc_net.nwk" "$SMOKE/full_threads.nwk"
 
+# Wire-codec smoke: every fdml-wire frame round-trips (proptest + golden
+# bytes), JSON and binary peers interoperate frame-by-frame on one hub
+# (the mixed-codec conformance tests), and both codecs plus the
+# hierarchical topology emit byte-identical trees end to end as real
+# OS processes.
+cargo test -q -p fdml-wire
+cargo test -q -p fdml-net --test conformance
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --wire json --quiet \
+  --output "$SMOKE/wire_json.nwk"
+cmp "$SMOKE/wire_json.nwk" "$SMOKE/threads.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 9 --regions 2 --quiet \
+  --output "$SMOKE/hier.nwk"
+cmp "$SMOKE/hier.nwk" "$SMOKE/threads.nwk"
+
+# Scale smoke: the simulated 1024-rank hierarchical replay must complete
+# the identical task set with identical total compute to the flat replay,
+# hold per-rank efficiency within 20% of its 64-rank figure, and beat
+# the flat JSON design at 4096 ranks (the scaling_report asserts all
+# three); the wire_report asserts the >=5x bytes-per-task reduction.
+cargo run --release -p fdml-bench --bin scaling_report -- --quick --out target/bench_scaling_smoke.json
+cargo run --release -p fdml-bench --bin wire_report -- --quick --out target/bench_wire_smoke.json
+
 # Jumble-farm smoke: 3 jumbles at width 2, sharded over worker processes
 # (TCP) and worker threads — the per-jumble trees and the consensus must
 # both be byte-identical across the two transports.

@@ -1,0 +1,210 @@
+//! Wire-codec study: bytes per dispatched task and codec throughput for
+//! the three eras of the dispatch path — per-task JSON whole trees (the
+//! paper's design), per-task binary edits (`fdml-wire`), and lease-batched
+//! binary edits (the hierarchical scheduler's unit). Writes
+//! `BENCH_wire.json`.
+//!
+//! Usage: wire_report [--quick] [--taxa N] [--tasks N] [--out PATH]
+//!
+//! One gate is enforced (the process exits non-zero if it fails): the
+//! binary edit-task frame must carry a dispatch in at least **5× fewer
+//! bytes** than the JSON whole-tree frame it replaces.
+
+use fdml_bench::Args;
+use fdml_comm::{Message, TreeEdit};
+use fdml_wire::{decode_auto, encode_message, WireFormat};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One codec × payload row of the study.
+#[derive(Serialize)]
+struct WireRow {
+    /// What travelled: `json-tree`, `json-edit`, `binary-edit`, or
+    /// `binary-batch64`.
+    scheme: String,
+    /// Frames put on the wire for the whole round.
+    frames: usize,
+    /// Total wire bytes for the round.
+    total_bytes: usize,
+    /// Wire bytes per dispatched task.
+    bytes_per_task: f64,
+    /// Encode throughput, tasks per second.
+    encode_tasks_per_sec: f64,
+    /// Decode throughput, tasks per second.
+    decode_tasks_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ReductionGate {
+    json_tree_bytes_per_task: f64,
+    binary_edit_bytes_per_task: f64,
+    reduction: f64,
+    threshold: f64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct WireReport {
+    taxa: usize,
+    tasks: usize,
+    rows: Vec<WireRow>,
+    gate: ReductionGate,
+}
+
+/// A Newick caterpillar with `taxa` leaves and realistic branch lengths —
+/// the payload the JSON era shipped once per candidate.
+fn caterpillar(taxa: usize) -> String {
+    let mut s = String::from("(t0:0.0123456,t1:0.0234567");
+    for i in 2..taxa {
+        s = format!("({s}:0.0{}1234,t{i}:0.0{}4321", i % 97, (i * 7) % 97);
+    }
+    s.push_str(");");
+    s
+}
+
+/// The candidate edits of one dispatch round, deterministic in `i`.
+fn round_edits(tasks: usize, taxa: usize) -> Vec<(u64, TreeEdit)> {
+    let nodes = (2 * taxa - 2) as u32;
+    (0..tasks)
+        .map(|i| {
+            let edit = TreeEdit::Regraft {
+                root: (i as u32 * 7) % nodes,
+                attachment: (i as u32 * 13 + 1) % nodes,
+                a: (i as u32 * 29 + 2) % nodes,
+                b: (i as u32 * 31 + 3) % nodes,
+            };
+            (i as u64, edit)
+        })
+        .collect()
+}
+
+/// Measure one scheme: encode every frame, decode every frame back, and
+/// report sizes plus throughput. `tasks_per_frame` converts frame counts
+/// into per-task figures for the batched scheme.
+fn measure(
+    scheme: &str,
+    frames: &[Message],
+    tasks: usize,
+    encode: impl Fn(&Message) -> Vec<u8>,
+) -> WireRow {
+    let t0 = Instant::now();
+    let encoded: Vec<Vec<u8>> = frames.iter().map(&encode).collect();
+    let encode_secs = t0.elapsed().as_secs_f64();
+    let total_bytes: usize = encoded.iter().map(Vec::len).sum();
+    let t1 = Instant::now();
+    for bytes in &encoded {
+        let msg = decode_auto(bytes).expect("round-trip decodes");
+        std::hint::black_box(msg);
+    }
+    let decode_secs = t1.elapsed().as_secs_f64();
+    WireRow {
+        scheme: scheme.into(),
+        frames: frames.len(),
+        total_bytes,
+        bytes_per_task: total_bytes as f64 / tasks as f64,
+        encode_tasks_per_sec: tasks as f64 / encode_secs.max(1e-9),
+        decode_tasks_per_sec: tasks as f64 / decode_secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has_flag("quick");
+    let taxa: usize = args.get("taxa", 200);
+    let tasks: usize = args.get("tasks", if quick { 2048 } else { 16384 });
+    let out = args.get_str("out", "BENCH_wire.json");
+
+    let base = caterpillar(taxa);
+    let edits = round_edits(tasks, taxa);
+
+    // The paper's era: every candidate ships as a whole Newick tree in a
+    // JSON frame.
+    let json_trees: Vec<Message> = edits
+        .iter()
+        .map(|(task, _)| Message::TreeTask {
+            task: *task,
+            newick: base.clone(),
+        })
+        .collect();
+    // The edit era, same JSON codec: the payload shrank before the codec
+    // did.
+    let edit_msgs: Vec<Message> = edits
+        .iter()
+        .map(|(task, edit)| Message::TreeEditTask {
+            task: *task,
+            base_id: 42,
+            edit: *edit,
+            base_newick: None,
+        })
+        .collect();
+    // The hierarchical scheduler's unit: one binary frame per 64-task
+    // lease grant.
+    let batches: Vec<Message> = edit_msgs
+        .chunks(fdml_core::hierarchy::GRANT_CAP)
+        .map(|chunk| Message::Batch {
+            msgs: chunk.to_vec(),
+        })
+        .collect();
+
+    let json = |m: &Message| WireFormat::Json.encode(m).expect("json encodes");
+    let rows = vec![
+        measure("json-tree", &json_trees, tasks, json),
+        measure("json-edit", &edit_msgs, tasks, json),
+        measure("binary-edit", &edit_msgs, tasks, encode_message),
+        measure("binary-batch64", &batches, tasks, encode_message),
+    ];
+
+    println!("Wire study — {tasks} tasks, {taxa}-taxon base tree\n");
+    println!("scheme           frames  total bytes  bytes/task   enc Mtask/s   dec Mtask/s");
+    for r in &rows {
+        println!(
+            "{:<15} {:>7} {:>12} {:>11.1} {:>13.2} {:>13.2}",
+            r.scheme,
+            r.frames,
+            r.total_bytes,
+            r.bytes_per_task,
+            r.encode_tasks_per_sec / 1e6,
+            r.decode_tasks_per_sec / 1e6
+        );
+    }
+
+    let per_task = |scheme: &str| {
+        rows.iter()
+            .find(|r| r.scheme == scheme)
+            .expect("scheme present")
+            .bytes_per_task
+    };
+    let gate = ReductionGate {
+        json_tree_bytes_per_task: per_task("json-tree"),
+        binary_edit_bytes_per_task: per_task("binary-edit"),
+        reduction: per_task("json-tree") / per_task("binary-edit"),
+        threshold: 5.0,
+        pass: per_task("json-tree") >= 5.0 * per_task("binary-edit"),
+    };
+    println!(
+        "\nbytes/task: json whole-tree {:.1} → binary edit {:.1} ({:.0}× reduction, gate ≥ {:.0}×)",
+        gate.json_tree_bytes_per_task,
+        gate.binary_edit_bytes_per_task,
+        gate.reduction,
+        gate.threshold
+    );
+
+    let report = WireReport {
+        taxa,
+        tasks,
+        rows,
+        gate,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("report serializes") + "\n",
+    )
+    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+
+    assert!(
+        report.gate.pass,
+        "binary edit frames must be ≥5× smaller per task than JSON whole-tree frames: {:.1} vs {:.1}",
+        report.gate.binary_edit_bytes_per_task, report.gate.json_tree_bytes_per_task
+    );
+}

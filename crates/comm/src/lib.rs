@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod fault;
 pub mod job;
 pub mod message;
@@ -30,6 +31,7 @@ pub mod recording;
 pub mod threads;
 pub mod transport;
 
+pub use codec::{CodecError, JsonCodec, MessageCodec};
 pub use job::{
     JobId, JobResult, JobSpec, JobSpecBuilder, JobSpecError, JobState, JobStatus, JobTree,
     RejectReason,

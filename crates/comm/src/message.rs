@@ -298,6 +298,46 @@ pub enum Message {
     /// [`Message::WorkerReady`]; on the threaded transport a dead endpoint
     /// fails the send instead.
     Ping,
+    /// Several messages in one envelope, delivered in order. The batching
+    /// unit of the hierarchical scheduler: a lease grant is a batch of task
+    /// messages flowing down, and a regional foreman streams a batch of
+    /// results upward, so a 4096-rank fleet pays one frame per batch
+    /// instead of one per task. Receivers unpack and process the inner
+    /// messages exactly as if they had arrived individually.
+    Batch {
+        /// The bundled messages, in delivery order.
+        msgs: Vec<Message>,
+    },
+    /// Regional foreman → root foreman: lease `want` more tasks for this
+    /// region. The region is identified by the sender's rank. Doubles as
+    /// the liveness answer to a root [`Message::Ping`] probe.
+    LeaseRequest {
+        /// How many tasks the region wants on top of its current lease.
+        want: u32,
+    },
+    /// Root foreman → regional foreman: return up to `want` queued
+    /// (not-yet-dispatched) tasks so a drained sibling region can steal
+    /// them. The victim answers with [`Message::StealReturn`].
+    StealRequest {
+        /// Upper bound on tasks to give back.
+        want: u32,
+    },
+    /// Regional foreman → root foreman: the tasks surrendered to a
+    /// [`Message::StealRequest`], coldest first (taken from the back of the
+    /// region's queue). May be empty if the queue drained in the meantime.
+    StealReturn {
+        /// The surrendered task messages, ready for regrant.
+        tasks: Vec<Message>,
+    },
+    /// Root foreman → worker: report to a (new) regional foreman. Sent on
+    /// first contact to shard the fleet, and again when a worker's region
+    /// dies and it must re-home to a sibling. The worker switches its
+    /// upstream rank and announces itself there with
+    /// [`Message::WorkerReady`].
+    Rehome {
+        /// The rank of the regional foreman to report to.
+        foreman: usize,
+    },
     /// Orderly shutdown of a worker or the monitor.
     Shutdown,
 }
@@ -343,6 +383,16 @@ pub enum MessageKind {
     TreeEditTask,
     /// [`Message::Ping`].
     Ping,
+    /// [`Message::Batch`].
+    Batch,
+    /// [`Message::LeaseRequest`].
+    LeaseRequest,
+    /// [`Message::StealRequest`].
+    StealRequest,
+    /// [`Message::StealReturn`].
+    StealReturn,
+    /// [`Message::Rehome`].
+    Rehome,
     /// [`Message::Shutdown`].
     Shutdown,
 }
@@ -369,6 +419,11 @@ impl MessageKind {
             MessageKind::BaseTopology => "BaseTopology",
             MessageKind::TreeEditTask => "TreeEditTask",
             MessageKind::Ping => "Ping",
+            MessageKind::Batch => "Batch",
+            MessageKind::LeaseRequest => "LeaseRequest",
+            MessageKind::StealRequest => "StealRequest",
+            MessageKind::StealReturn => "StealReturn",
+            MessageKind::Rehome => "Rehome",
             MessageKind::Shutdown => "Shutdown",
         }
     }
@@ -402,6 +457,11 @@ impl Message {
             Message::BaseTopology { .. } => MessageKind::BaseTopology,
             Message::TreeEditTask { .. } => MessageKind::TreeEditTask,
             Message::Ping => MessageKind::Ping,
+            Message::Batch { .. } => MessageKind::Batch,
+            Message::LeaseRequest { .. } => MessageKind::LeaseRequest,
+            Message::StealRequest { .. } => MessageKind::StealRequest,
+            Message::StealReturn { .. } => MessageKind::StealReturn,
+            Message::Rehome { .. } => MessageKind::Rehome,
             Message::Shutdown => MessageKind::Shutdown,
         }
     }
@@ -442,6 +502,12 @@ impl Message {
                 48 + base_newick.as_ref().map_or(0, |n| n.len())
             }
             Message::Ping => 16,
+            Message::Batch { msgs } => 16 + msgs.iter().map(Message::wire_bytes).sum::<usize>(),
+            Message::LeaseRequest { .. } | Message::StealRequest { .. } => 24,
+            Message::StealReturn { tasks } => {
+                16 + tasks.iter().map(Message::wire_bytes).sum::<usize>()
+            }
+            Message::Rehome { .. } => 24,
             Message::Shutdown => 16,
         }
     }
@@ -559,6 +625,21 @@ mod tests {
                 },
             },
             Message::Ping,
+            Message::Batch {
+                msgs: vec![
+                    Message::TreeTask {
+                        task: 50,
+                        newick: "(a:1,b:2);".into(),
+                    },
+                    Message::WorkerReady,
+                ],
+            },
+            Message::LeaseRequest { want: 16 },
+            Message::StealRequest { want: 4 },
+            Message::StealReturn {
+                tasks: vec![Message::JumbleTask { task: 51, seed: 3 }],
+            },
+            Message::Rehome { foreman: 5 },
             Message::Shutdown,
         ];
         for m in msgs {

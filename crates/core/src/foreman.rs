@@ -51,7 +51,7 @@ impl From<CommError> for ForemanError {
 
 /// The single invariant guard: turns an `Option` that must be `Some` into
 /// a typed [`ForemanError::Invariant`] naming what was violated.
-fn invariant<V>(value: Option<V>, what: &'static str) -> Result<V, ForemanError> {
+pub(crate) fn invariant<V>(value: Option<V>, what: &'static str) -> Result<V, ForemanError> {
     value.ok_or(ForemanError::Invariant(what))
 }
 
@@ -78,7 +78,7 @@ pub struct ForemanStats {
 /// eager requeue, duplicate dedup) is identical for both — only the
 /// dispatched message differs.
 #[derive(Debug, Clone)]
-enum TaskBody {
+pub(crate) enum TaskBody {
     /// One candidate tree as Newick text.
     Tree(String),
     /// One whole stepwise-addition search, identified by its jumble seed.
@@ -99,9 +99,37 @@ enum TaskBody {
 }
 
 impl TaskBody {
+    /// Parse a dispatched task message back into its queue form — the
+    /// inverse of [`TaskBody::to_message`], used when tasks travel between
+    /// scheduling tiers (root grants, steal returns, reclaimed leases).
+    /// Returns `None` for non-task messages.
+    pub(crate) fn from_message(msg: &Message) -> Option<(u64, TaskBody)> {
+        match msg {
+            Message::TreeTask { task, newick } => Some((*task, TaskBody::Tree(newick.clone()))),
+            Message::JumbleTask { task, seed } => Some((*task, TaskBody::Jumble(*seed))),
+            Message::TreeEditTask {
+                task,
+                base_id,
+                edit,
+                base_newick,
+            } => Some((
+                *task,
+                TaskBody::Edit {
+                    base_id: *base_id,
+                    edit: *edit,
+                    // A task that travels with its base embedded stays
+                    // self-contained: whoever dispatches it next cannot
+                    // assume the receiving worker saw any broadcast.
+                    self_contained: base_newick.is_some(),
+                },
+            )),
+            _ => None,
+        }
+    }
+
     /// `base_text` is the base to embed for an [`TaskBody::Edit`]; `None`
     /// dispatches the compact form (the worker is known to hold the base).
-    fn to_message(&self, task: u64, base_text: Option<&str>) -> Message {
+    pub(crate) fn to_message(&self, task: u64, base_text: Option<&str>) -> Message {
         match self {
             TaskBody::Tree(newick) => Message::TreeTask {
                 task,
@@ -117,7 +145,20 @@ impl TaskBody {
         }
     }
 
-    fn into_payload(self) -> TaskPayload {
+    /// Force the self-contained dispatch form (edits embed their base from
+    /// here on). Identity for non-edit bodies.
+    pub(crate) fn self_contained(self) -> TaskBody {
+        match self {
+            TaskBody::Edit { base_id, edit, .. } => TaskBody::Edit {
+                base_id,
+                edit,
+                self_contained: true,
+            },
+            other => other,
+        }
+    }
+
+    pub(crate) fn into_payload(self) -> TaskPayload {
         match self {
             TaskBody::Tree(newick) => TaskPayload::Tree { newick },
             TaskBody::Jumble(seed) => TaskPayload::Jumble { seed },
@@ -126,37 +167,39 @@ impl TaskBody {
     }
 }
 
-struct InFlight {
-    worker: Rank,
-    body: TaskBody,
-    dispatched_at: Instant,
+pub(crate) struct InFlight {
+    pub(crate) worker: Rank,
+    pub(crate) body: TaskBody,
+    pub(crate) dispatched_at: Instant,
 }
 
 /// The foreman's mutable scheduling state, bundled so the failure /
-/// quarantine bookkeeping can live in one place.
+/// quarantine bookkeeping can live in one place. Shared with the regional
+/// foremen of [`crate::hierarchy`], which run the identical worker-facing
+/// machinery under a leased task supply.
 #[derive(Default)]
-struct Sched {
-    work_queue: VecDeque<(u64, TaskBody)>,
-    ready: VecDeque<Rank>,
-    in_flight: HashMap<u64, InFlight>,
-    delinquent: HashSet<Rank>,
+pub(crate) struct Sched {
+    pub(crate) work_queue: VecDeque<(u64, TaskBody)>,
+    pub(crate) ready: VecDeque<Rank>,
+    pub(crate) in_flight: HashMap<u64, InFlight>,
+    pub(crate) delinquent: HashSet<Rank>,
     /// Workers whose link is known dead (failed send, or a transport
     /// `PeerDown`). Distinct from `delinquent`: a delinquent worker may
     /// still answer; a dead one cannot until the transport says `PeerUp`.
-    dead: HashSet<Rank>,
-    completed: HashSet<u64>,
+    pub(crate) dead: HashSet<Rank>,
+    pub(crate) completed: HashSet<u64>,
     /// Per-task set of distinct workers that failed it, for the
     /// poison-task quarantine budget.
-    failures: HashMap<u64, HashSet<Rank>>,
+    pub(crate) failures: HashMap<u64, HashSet<Rank>>,
     /// The current base topology broadcast (generation id + Newick text),
     /// kept so edit dispatches can fall back to embedding the base for
     /// workers that missed the broadcast.
-    base: Option<(u64, String)>,
+    pub(crate) base: Option<(u64, String)>,
     /// Workers known to hold the current base broadcast. A rank leaves the
     /// set when its link dies (a respawn has an empty cache) and rejoins
     /// when the foreman relays the base to it.
-    has_base: HashSet<Rank>,
-    stats: ForemanStats,
+    pub(crate) has_base: HashSet<Rank>,
+    pub(crate) stats: ForemanStats,
 }
 
 impl Sched {
@@ -164,7 +207,7 @@ impl Sched {
     /// fate: requeued (front or back), or — once [`QUARANTINE_BUDGET`]
     /// distinct workers have failed it — quarantined. Returns the
     /// `Quarantined` message to forward to the master in the latter case.
-    fn fail_task(
+    pub(crate) fn fail_task(
         &mut self,
         task: u64,
         body: TaskBody,
@@ -178,14 +221,7 @@ impl Sched {
         // A requeued edit must be scoreable by any worker, including a
         // fresh respawn that has no cached base: force the self-contained
         // dispatch form from here on.
-        let body = match body {
-            TaskBody::Edit { base_id, edit, .. } => TaskBody::Edit {
-                base_id,
-                edit,
-                self_contained: true,
-            },
-            other => other,
-        };
+        let body = body.self_contained();
         if failures >= QUARANTINE_BUDGET {
             // The task has now serially killed (or stalled) several
             // different workers: stop feeding it to the fleet. Marking it
@@ -212,7 +248,7 @@ impl Sched {
     /// Declare `worker`'s link dead: eagerly requeue everything it holds
     /// (instead of waiting out the timeout) and bar it from dispatch.
     /// Returns any `Quarantined` messages the requeues produced.
-    fn peer_down(&mut self, worker: Rank, obs: &Obs) -> Vec<(u64, Option<Message>)> {
+    pub(crate) fn peer_down(&mut self, worker: Rank, obs: &Obs) -> Vec<(u64, Option<Message>)> {
         self.dead.insert(worker);
         self.delinquent.insert(worker);
         self.has_base.remove(&worker);

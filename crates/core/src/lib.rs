@@ -32,6 +32,7 @@ mod edits;
 pub mod executor;
 pub mod farm;
 pub mod foreman;
+pub mod hierarchy;
 pub mod job;
 pub mod jumble;
 pub mod master;

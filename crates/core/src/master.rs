@@ -46,10 +46,14 @@ pub struct ClusterExecutor<T: Transport> {
     /// The master's own CLV cache, built lazily to score quarantined edit
     /// tasks bit-identically to a healthy worker.
     local_cache: Option<(u64, ClvCache)>,
+    /// First worker rank: [`ranks::FIRST_WORKER`] in the flat topology,
+    /// higher when regional foremen sit between rank 2 and the fleet.
+    first_worker: usize,
 }
 
 impl<T: Transport> ClusterExecutor<T> {
-    /// Create the executor and broadcast the problem data to all workers.
+    /// Create the executor and broadcast the problem data to all workers
+    /// (flat topology: workers start at [`ranks::FIRST_WORKER`]).
     pub fn new(
         transport: T,
         names: Vec<String>,
@@ -57,7 +61,28 @@ impl<T: Transport> ClusterExecutor<T> {
         config_json: String,
         has_monitor: bool,
     ) -> ClusterExecutor<T> {
-        for rank in ranks::FIRST_WORKER..transport.size() {
+        Self::with_first_worker(
+            transport,
+            names,
+            phylip,
+            config_json,
+            has_monitor,
+            ranks::FIRST_WORKER,
+        )
+    }
+
+    /// Like [`ClusterExecutor::new`], but for a hierarchical topology
+    /// where workers start at `first_worker` (the ranks below it are
+    /// regional foremen, which must not receive worker problem data).
+    pub fn with_first_worker(
+        transport: T,
+        names: Vec<String>,
+        phylip: String,
+        config_json: String,
+        has_monitor: bool,
+        first_worker: usize,
+    ) -> ClusterExecutor<T> {
+        for rank in first_worker..transport.size() {
             // A worker that died before the broadcast is the foreman's
             // problem (eager requeue / all-dead abort), not a panic here.
             let _ = transport.send(
@@ -83,6 +108,7 @@ impl<T: Transport> ClusterExecutor<T> {
             base_id: 0,
             base_text: None,
             local_cache: None,
+            first_worker,
         }
     }
 
@@ -252,13 +278,17 @@ impl<T: Transport> ClusterExecutor<T> {
                 // data before it can serve tasks.
                 Message::PeerDown { .. } => {}
                 Message::PeerUp { rank } => {
-                    let _ = self.transport.send(
-                        rank,
-                        &Message::ProblemData {
-                            phylip: self.phylip.clone(),
-                            config_json: self.config_json.clone(),
-                        },
-                    );
+                    // Only workers hold problem data; a rejoining regional
+                    // foreman must not be mistaken for one.
+                    if rank >= self.first_worker {
+                        let _ = self.transport.send(
+                            rank,
+                            &Message::ProblemData {
+                                phylip: self.phylip.clone(),
+                                config_json: self.config_json.clone(),
+                            },
+                        );
+                    }
                 }
                 other => {
                     debug_assert!(false, "master got unexpected {}", other.kind());

@@ -20,16 +20,20 @@
 use crate::checkpoint::{Checkpoint, FarmManifest};
 use crate::farm::{run_farm_master, FarmOptions, JumbleRun};
 use crate::foreman::{run_foreman, ForemanStats};
+use crate::hierarchy::{
+    first_worker_rank, home_rank, run_regional_foreman, run_root_foreman, RegionalOptions,
+    RootStats,
+};
 use crate::job::ResolvedJob;
 use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
-use crate::worker::{ranks, run_worker, WorkerStats};
+use crate::worker::{ranks, run_worker_homed, WorkerStats};
 use fdml_chaos::ChaosPlan;
 use fdml_comm::message::Message;
 use fdml_comm::recording::Recording;
 use fdml_comm::transport::{CommError, Rank, Transport};
-use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport, WireFormat};
 use fdml_obs::{Event, MemorySink, Obs, RunReport, Sink};
 use fdml_phylo::consensus::Consensus;
 use fdml_phylo::error::PhyloError;
@@ -104,6 +108,13 @@ pub struct NetOptions {
     pub resume: Option<Checkpoint>,
     /// Fork the peers ourselves — the single-command cluster launch.
     pub spawn: Option<NetSpawn>,
+    /// Regional foremen for a hierarchical universe (0 = flat). Announced
+    /// in every `Welcome`, so each peer derives its role from its rank —
+    /// no peer-side flag changes.
+    pub regions: usize,
+    /// Wire format the hub writes to codec-sniffing peers (JSON peers
+    /// still interoperate frame by frame).
+    pub wire: WireFormat,
 }
 
 impl NetOptions {
@@ -117,6 +128,8 @@ impl NetOptions {
             checkpoint_out: None,
             resume: None,
             spawn: None,
+            regions: 0,
+            wire: WireFormat::default(),
         }
     }
 
@@ -129,6 +142,19 @@ impl NetOptions {
     /// Fork the peers from `spawn` instead of waiting for external dials.
     pub fn spawning(mut self, spawn: NetSpawn) -> NetOptions {
         self.spawn = Some(spawn);
+        self
+    }
+
+    /// Interpose `regions` regional foremen between the root foreman and
+    /// the workers.
+    pub fn hierarchical(mut self, regions: usize) -> NetOptions {
+        self.regions = regions;
+        self
+    }
+
+    /// Set the hub's data-plane wire format.
+    pub fn with_wire(mut self, wire: WireFormat) -> NetOptions {
+        self.wire = wire;
         self
     }
 }
@@ -149,8 +175,11 @@ pub struct NetOutcome {
 /// What a peer process ran, with its shutdown statistics.
 #[derive(Debug)]
 pub enum PeerOutcome {
-    /// This process was rank 1.
+    /// This process was rank 1 in a flat universe, or a regional foreman
+    /// (ranks `3..3+R`) in a hierarchical one.
     Foreman(ForemanStats),
+    /// This process was rank 1 of a hierarchical universe.
+    Root(RootStats),
     /// This process was rank 2.
     Monitor(MonitorReport),
     /// This process was a worker rank.
@@ -202,6 +231,8 @@ fn assemble_universe(
     listen: &str,
     num_ranks: usize,
     worker_timeout: Duration,
+    regions: usize,
+    wire: WireFormat,
     obs: &Obs,
     spawn: &Option<NetSpawn>,
 ) -> Result<(TcpHub, Vec<(Rank, Child)>), PhyloError> {
@@ -209,8 +240,14 @@ fn assemble_universe(
         num_ranks >= 4,
         "the fully instrumented parallel version requires at least four ranks"
     );
+    assert!(
+        regions == 0 || num_ranks > first_worker_rank(regions),
+        "a hierarchical universe needs at least one worker above its {regions} regional foremen"
+    );
     let net_cfg = NetConfig {
         worker_timeout,
+        regions,
+        wire,
         ..NetConfig::default()
     };
     let hub = TcpHub::bind(listen, num_ranks, net_cfg, obs.clone())
@@ -284,17 +321,27 @@ pub fn net_coordinator_search(
         checkpoint_out,
         resume,
         spawn,
+        regions,
+        wire,
     } = options;
     let alignment = &job.alignment;
     let config = &job.config;
+    let first_worker = first_worker_rank(regions);
     let (obs, mem) = observe(sinks);
     obs.emit(|| Event::RunStarted {
         ranks: num_ranks,
-        workers: num_ranks - ranks::FIRST_WORKER,
+        workers: num_ranks - first_worker,
     });
 
-    let (hub, mut children) =
-        assemble_universe(&listen, num_ranks, config.worker_timeout, &obs, &spawn)?;
+    let (hub, mut children) = assemble_universe(
+        &listen,
+        num_ranks,
+        config.worker_timeout,
+        regions,
+        wire,
+        &obs,
+        &spawn,
+    )?;
     let addr = hub.local_addr().to_string();
     let supervisor = match &spawn {
         Some(s) if s.supervise => Some(Supervisor::start(
@@ -307,12 +354,13 @@ pub fn net_coordinator_search(
     };
 
     let master_end = Recording::new(hub, obs.clone());
-    let executor = ClusterExecutor::new(
+    let executor = ClusterExecutor::with_first_worker(
         master_end,
         alignment.names().to_vec(),
         phylip::write(alignment),
         config.engine_config_json(),
         true,
+        first_worker,
     )
     .with_incremental(config.incremental);
     let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
@@ -380,6 +428,10 @@ pub fn net_farm_search(
         num_ranks,
         sinks,
         spawn,
+        wire,
+        // The farm shards whole jumbles, so its universe stays flat — a
+        // `regions` setting is ignored here just as in the threaded farm.
+        regions: _,
         ..
     } = options;
     let alignment = &job.alignment;
@@ -390,8 +442,15 @@ pub fn net_farm_search(
         workers: num_ranks - ranks::FIRST_WORKER,
     });
 
-    let (hub, mut children) =
-        assemble_universe(&listen, num_ranks, config.worker_timeout, &obs, &spawn)?;
+    let (hub, mut children) = assemble_universe(
+        &listen,
+        num_ranks,
+        config.worker_timeout,
+        0,
+        wire,
+        &obs,
+        &spawn,
+    )?;
     let addr = hub.local_addr().to_string();
     let supervisor = match &spawn {
         Some(s) if s.supervise => Some(Supervisor::start(
@@ -561,7 +620,20 @@ pub fn run_net_peer(
         .map_err(|e| format!("connect {connect}: {e}"))?;
     let rank = transport.rank();
     let worker_timeout = transport.worker_timeout();
+    // The `Welcome` frame carries the universe's shape, so a peer derives
+    // its role purely from its rank — the same binary serves flat and
+    // hierarchical universes with no extra flags.
+    let regions = transport.regions();
     let outcome = match rank {
+        ranks::FOREMAN if regions > 0 => run_root_foreman(
+            Recording::new(transport, obs.clone()),
+            regions,
+            worker_timeout,
+            true,
+            obs.clone(),
+        )
+        .map(PeerOutcome::Root)
+        .map_err(|e| format!("root foreman: {e}"))?,
         ranks::FOREMAN => run_foreman(
             Recording::new(transport, obs.clone()),
             worker_timeout,
@@ -573,11 +645,23 @@ pub fn run_net_peer(
         ranks::MONITOR => run_monitor(Recording::new(transport, obs.clone()), obs.clone())
             .map(PeerOutcome::Monitor)
             .map_err(|e| format!("monitor: {e}"))?,
+        r if regions > 0 && r < first_worker_rank(regions) => run_regional_foreman(
+            Recording::new(transport, obs.clone()),
+            RegionalOptions::new(worker_timeout, true),
+            obs.clone(),
+        )
+        .map(PeerOutcome::Foreman)
+        .map_err(|e| format!("regional foreman: {e}"))?,
         _ => {
+            let home = if regions > 0 {
+                home_rank(rank, regions)
+            } else {
+                ranks::FOREMAN
+            };
             let recorded = Recording::new(transport, obs.clone());
             let stats = match die_after_tasks {
-                Some(n) => run_worker(DieAfter::new(recorded, n), obs.clone()),
-                None => run_worker(recorded, obs.clone()),
+                Some(n) => run_worker_homed(DieAfter::new(recorded, n), home, obs.clone()),
+                None => run_worker_homed(recorded, home, obs.clone()),
             }
             .map_err(|e| format!("worker: {e:?}"))?;
             PeerOutcome::Worker(stats)

@@ -6,12 +6,16 @@ use crate::config::SearchConfig;
 use crate::executor::{FullEvalExecutor, ScorerExecutor};
 use crate::farm::{dedup_adjusted, run_farm_master, run_one_jumble, FarmOptions, JumbleRun};
 use crate::foreman::{run_foreman, ForemanStats};
+use crate::hierarchy::{
+    first_worker_rank, home_rank, regional_rank, run_regional_foreman, run_root_foreman,
+    RegionalOptions, RootStats,
+};
 use crate::job::ResolvedJob;
 use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
-use crate::worker::{ranks, run_worker, WorkerStats};
+use crate::worker::{ranks, run_worker, run_worker_homed, WorkerStats};
 use fdml_chaos::{ChaosPlan, ChaosTransport};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
 use fdml_comm::message::Message;
@@ -105,6 +109,15 @@ pub struct RunOptions {
     /// the instrumented code paths then cost one branch per emit point and
     /// no allocation, and the outcome's `report` is `None`.
     pub sinks: Vec<Box<dyn Sink>>,
+    /// Number of regional foremen for a hierarchical run: `0` (the
+    /// default) is the paper's flat topology; `R > 0` puts a root foreman
+    /// at rank 1, regional foremen at ranks `3..3+R`, and shards the
+    /// workers round-robin among them.
+    pub regions: usize,
+    /// Test hook for the region-loss ladder: `(region, n)` makes regional
+    /// foreman `region` crash after forwarding `n` results, dropping its
+    /// unflushed upward batch. Ignored in flat runs.
+    pub die_region: Option<(usize, u64)>,
 }
 
 impl RunOptions {
@@ -137,6 +150,15 @@ impl RunOptions {
     }
 }
 
+/// Scheduling-tree statistics of a hierarchical run.
+#[derive(Debug)]
+pub struct HierarchyOutcome {
+    /// The root foreman's leasing / stealing / region-loss counters.
+    pub root: RootStats,
+    /// Per-region foreman statistics, indexed by region index.
+    pub regions: HashMap<usize, ForemanStats>,
+}
+
 /// Everything a parallel run returns.
 #[derive(Debug)]
 pub struct ParallelOutcome {
@@ -145,10 +167,14 @@ pub struct ParallelOutcome {
     pub result: SearchResult,
     /// The monitor's aggregated instrumentation.
     pub monitor: MonitorReport,
-    /// Foreman statistics.
+    /// Foreman statistics — the flat foreman's, or the root foreman's
+    /// scheduler counters in a hierarchical run.
     pub foreman: ForemanStats,
     /// Per-worker statistics, indexed by rank.
     pub workers: HashMap<usize, WorkerStats>,
+    /// Root and per-region statistics — `Some` only for hierarchical runs
+    /// (`RunOptions::regions > 0`).
+    pub hierarchy: Option<HierarchyOutcome>,
     /// The end-of-run observability report — `Some` when the run was
     /// observed (sinks in [`RunOptions`]), `None` otherwise.
     pub report: Option<RunReport>,
@@ -171,12 +197,19 @@ pub fn parallel_search(
         mut faults,
         chaos,
         mut sinks,
+        regions,
+        die_region,
     } = options;
     let alignment = &job.alignment;
     let config = &job.config;
+    let first_worker = first_worker_rank(regions);
     assert!(
         num_ranks >= 4,
         "the fully instrumented parallel version requires at least four ranks"
+    );
+    assert!(
+        regions == 0 || num_ranks > first_worker,
+        "a hierarchical run needs at least one worker above its {regions} regional foremen"
     );
     // When observing, tee into a memory sink so the end-of-run report can
     // be aggregated no matter where else the events go.
@@ -191,49 +224,82 @@ pub fn parallel_search(
     let obs = Obs::multi(sinks);
     obs.emit(|| Event::RunStarted {
         ranks: num_ranks,
-        workers: num_ranks - ranks::FIRST_WORKER,
+        workers: num_ranks - first_worker,
     });
 
     let mut endpoints = ThreadUniverse::create(num_ranks);
     // Take endpoints from the back so indices stay valid.
     let mut worker_handles = Vec::new();
-    for rank in (ranks::FIRST_WORKER..num_ranks).rev() {
+    for rank in (first_worker..num_ranks).rev() {
         let end = endpoints.remove(rank);
         let fault = faults.remove(&rank);
         let chaos = chaos.clone();
         let worker_obs = obs.clone();
+        // Flat: every worker reports to the foreman at rank 1. With
+        // regions, workers are sharded round-robin among the regional
+        // foremen at ranks 3..3+R.
+        let home = if regions == 0 {
+            ranks::FOREMAN
+        } else {
+            home_rank(rank, regions)
+        };
         let handle = thread::spawn(move || match (chaos, fault) {
-            (Some(plan), _) => run_worker(
+            (Some(plan), _) => run_worker_homed(
                 Recording::new(
                     ChaosTransport::new(end, plan, worker_obs.clone()),
                     worker_obs.clone(),
                 ),
+                home,
                 worker_obs,
             ),
-            (None, Some(plan)) => run_worker(
+            (None, Some(plan)) => run_worker_homed(
                 Recording::new(FaultyTransport::new(end, plan), worker_obs.clone()),
+                home,
                 worker_obs,
             ),
-            (None, None) => run_worker(Recording::new(end, worker_obs.clone()), worker_obs),
+            (None, None) => {
+                run_worker_homed(Recording::new(end, worker_obs.clone()), home, worker_obs)
+            }
         });
         worker_handles.push((rank, handle));
+    }
+    let mut region_handles = Vec::new();
+    for region in (0..regions).rev() {
+        let end = Recording::new(endpoints.remove(regional_rank(region)), obs.clone());
+        let region_obs = obs.clone();
+        let opts = RegionalOptions {
+            worker_timeout: config.worker_timeout,
+            has_monitor: true,
+            die_after_results: die_region.and_then(|(r, n)| (r == region).then_some(n)),
+        };
+        let handle = thread::spawn(move || run_regional_foreman(end, opts, region_obs));
+        region_handles.push((region, handle));
     }
     let monitor_end = Recording::new(endpoints.remove(ranks::MONITOR), obs.clone());
     let foreman_end = Recording::new(endpoints.remove(ranks::FOREMAN), obs.clone());
     let master_end = Recording::new(endpoints.remove(ranks::MASTER), obs.clone());
     let timeout = config.worker_timeout;
     let foreman_obs = obs.clone();
-    let foreman_handle =
-        thread::spawn(move || run_foreman(foreman_end, timeout, true, foreman_obs));
+    let foreman_handle = thread::spawn(move || {
+        if regions == 0 {
+            run_foreman(foreman_end, timeout, true, foreman_obs).map(|stats| RootStats {
+                stats,
+                ..RootStats::default()
+            })
+        } else {
+            run_root_foreman(foreman_end, regions, timeout, true, foreman_obs)
+        }
+    });
     let monitor_obs = obs.clone();
     let monitor_handle = thread::spawn(move || run_monitor(monitor_end, monitor_obs));
 
-    let executor = ClusterExecutor::new(
+    let executor = ClusterExecutor::with_first_worker(
         master_end,
         alignment.names().to_vec(),
         phylip::write(alignment),
         config.engine_config_json(),
         true,
+        first_worker,
     )
     .with_incremental(config.incremental);
     let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
@@ -242,7 +308,7 @@ pub fn parallel_search(
     // Shut everything down regardless of the search outcome.
     let executor = search.into_executor();
     executor.shutdown();
-    let foreman = foreman_handle
+    let root = foreman_handle
         .join()
         .expect("foreman thread must not panic")
         .expect("foreman must exit cleanly");
@@ -250,6 +316,14 @@ pub fn parallel_search(
         .join()
         .expect("monitor thread must not panic")
         .expect("monitor must exit cleanly");
+    let mut region_stats = HashMap::new();
+    for (region, handle) in region_handles {
+        let stats = handle
+            .join()
+            .expect("regional foreman thread must not panic")
+            .unwrap_or_default();
+        region_stats.insert(region, stats);
+    }
     let mut workers = HashMap::new();
     for (rank, handle) in worker_handles {
         let stats = handle
@@ -267,8 +341,12 @@ pub fn parallel_search(
     Ok(ParallelOutcome {
         result,
         monitor,
-        foreman,
+        foreman: root.stats,
         workers,
+        hierarchy: (regions > 0).then_some(HierarchyOutcome {
+            root,
+            regions: region_stats,
+        }),
         report,
     })
 }
@@ -327,10 +405,15 @@ pub fn farm_search(
     options: FarmOptions,
     run: RunOptions,
 ) -> Result<FarmOutcome, PhyloError> {
+    // The farm stays flat: whole-jumble tasks are already coarse enough
+    // that the foreman is nowhere near its message ceiling, so `regions`
+    // and `die_region` do not apply here.
     let RunOptions {
         mut faults,
         chaos,
         mut sinks,
+        regions: _,
+        die_region: _,
     } = run;
     let alignment = &job.alignment;
     let config = &job.config;
@@ -655,6 +738,131 @@ mod tests {
             assert!(hits > 0, "seed {seed}: no CLV cache hits recorded");
             assert_eq!(fallbacks, 0, "seed {seed}: healthy run must not fall back");
         }
+    }
+
+    #[test]
+    fn hierarchical_run_is_byte_identical_to_flat() {
+        use fdml_phylo::newick;
+        let a = alignment();
+        for seed in [1u64, 5, 11] {
+            let config = SearchConfig {
+                jumble_seed: seed,
+                ..Default::default()
+            };
+            let flat = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
+            // Same job over a two-region tree: ranks 0-2 control, 3-4
+            // regional foremen, 5-8 workers (two per region).
+            let hier = parallel_search(
+                &job(&a, &config),
+                9,
+                RunOptions {
+                    regions: 2,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            // The golden property: interposing a scheduling tier changes
+            // WHERE tasks run, never WHAT the search returns.
+            assert_eq!(
+                newick::write_tree(&flat.result.tree, a.names()),
+                newick::write_tree(&hier.result.tree, a.names()),
+                "seed {seed}"
+            );
+            assert_eq!(
+                flat.result.ln_likelihood.to_bits(),
+                hier.result.ln_likelihood.to_bits(),
+                "seed {seed}: flat {} vs hierarchical {}",
+                flat.result.ln_likelihood,
+                hier.result.ln_likelihood
+            );
+            let h = hier.hierarchy.expect("hierarchical run records its tree");
+            assert!(h.root.leases_granted > 0, "seed {seed}: no leases granted");
+            assert_eq!(h.regions.len(), 2);
+            let regional_results: u64 = h.regions.values().map(|r| r.results_forwarded).sum();
+            assert!(
+                regional_results >= h.root.stats.results_forwarded,
+                "regions forwarded {regional_results} < root accepted {}",
+                h.root.stats.results_forwarded
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_hierarchical_run_is_byte_identical_to_flat() {
+        use fdml_phylo::newick;
+        let a = alignment();
+        let config = SearchConfig {
+            jumble_seed: 5,
+            incremental: true,
+            ..Default::default()
+        };
+        let flat = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
+        let hier = parallel_search(
+            &job(&a, &config),
+            9,
+            RunOptions {
+                regions: 2,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // Edits travel master → root → region → worker with the base
+        // relayed down the same path; the result must not notice.
+        assert_eq!(
+            newick::write_tree(&flat.result.tree, a.names()),
+            newick::write_tree(&hier.result.tree, a.names())
+        );
+        assert_eq!(
+            flat.result.ln_likelihood.to_bits(),
+            hier.result.ln_likelihood.to_bits()
+        );
+    }
+
+    #[test]
+    fn killing_a_regional_foreman_mid_round_is_byte_identical() {
+        use fdml_phylo::newick;
+        let a = alignment();
+        let config = SearchConfig {
+            jumble_seed: 5,
+            worker_timeout: Duration::from_millis(150),
+            ..Default::default()
+        };
+        let clean = parallel_search(&job(&a, &config), 6, RunOptions::default()).unwrap();
+        // Region 0 crashes after forwarding two results, dropping whatever
+        // sat unflushed in its upward batch. The root must reclaim its
+        // lease, re-home its workers to region 1, and the final tree must
+        // not change by a byte.
+        let crashed = parallel_search(
+            &job(&a, &config),
+            9,
+            RunOptions {
+                regions: 2,
+                die_region: Some((0, 2)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            newick::write_tree(&clean.result.tree, a.names()),
+            newick::write_tree(&crashed.result.tree, a.names())
+        );
+        assert_eq!(
+            clean.result.ln_likelihood.to_bits(),
+            crashed.result.ln_likelihood.to_bits()
+        );
+        let h = crashed
+            .hierarchy
+            .expect("hierarchical run records its tree");
+        assert_eq!(h.root.regions_lost, 1, "region 0 must be declared dead");
+        assert!(
+            h.root.workers_rehomed >= 1,
+            "region 0's workers must re-home to region 1"
+        );
+        assert_eq!(
+            h.regions.get(&0).map(|r| r.results_forwarded),
+            Some(2),
+            "the crash hook fires after exactly two results"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use fdml_likelihood::incremental::ClvCache;
 use fdml_obs::{Event, Obs};
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::{newick, phylip};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 // The rank convention now lives with the transport layer; re-exported here
@@ -72,11 +72,41 @@ impl Problem {
     }
 }
 
+/// Send a message up to the worker's current foreman, tolerating a dead
+/// link. In the hierarchical topology a worker's regional foreman can die
+/// while the worker computes; the root reclaims the lost lease (so an
+/// undelivered result's task is re-dispatched elsewhere) and re-homes the
+/// worker with a [`Message::Rehome`] — exiting here would turn a healable
+/// failure into a lost worker.
+fn send_up<T: Transport>(transport: &T, foreman: usize, msg: &Message) -> Result<(), WorkerError> {
+    match transport.send(foreman, msg) {
+        Err(CommError::Disconnected(_)) => Ok(()),
+        other => other.map_err(WorkerError::from),
+    }
+}
+
 /// Run the worker event loop until `Shutdown`. Pass [`Obs::disabled`] to
 /// run unobserved; otherwise each evaluated tree emits an
 /// [`Event::WorkerTaskDone`] carrying the time spent inside likelihood
 /// optimization (compute only — queueing and transport excluded).
+///
+/// The worker reports to rank [`ranks::FOREMAN`] — the flat topology of
+/// the paper. Hierarchical fleets home workers onto regional foremen via
+/// [`run_worker_homed`].
 pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, WorkerError> {
+    run_worker_homed(transport, ranks::FOREMAN, obs)
+}
+
+/// [`run_worker`] with an explicit home foreman rank: the worker announces
+/// to `home` and sends every result there, until a [`Message::Rehome`]
+/// moves it to a different foreman (the self-healing path when a regional
+/// foreman dies).
+pub fn run_worker_homed<T: Transport>(
+    transport: T,
+    home: usize,
+    obs: Obs,
+) -> Result<WorkerStats, WorkerError> {
+    let mut foreman = home;
     let mut state: Option<Problem> = None;
     let mut jobs: HashMap<JobId, Problem> = HashMap::new();
     // Incremental evaluation state: the raw text of the round's base
@@ -85,9 +115,27 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
     let mut base_text: Option<(u64, String)> = None;
     let mut cache: Option<(u64, ClvCache)> = None;
     let mut stats = WorkerStats::default();
+    // Messages unpacked from a `Batch` frame, served before the transport
+    // is polled again so batched tasks keep their dispatch order.
+    let mut pending: VecDeque<Message> = VecDeque::new();
     loop {
-        let (_, msg) = transport.recv()?;
+        let msg = match pending.pop_front() {
+            Some(msg) => msg,
+            None => transport.recv()?.1,
+        };
         match msg {
+            Message::Batch { msgs } => {
+                // One frame, many messages (e.g. a job's data + its task):
+                // unpack in order and serve them as if sent individually.
+                pending.extend(msgs);
+            }
+            Message::Rehome { foreman: new_home } => {
+                // The root moved us to a sibling region after our foreman
+                // died. Announce to the new foreman; it replies with the
+                // current base broadcast if one is live.
+                foreman = new_home;
+                send_up(&transport, foreman, &Message::WorkerReady)?;
+            }
             Message::ProblemData {
                 phylip,
                 config_json,
@@ -96,7 +144,7 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                 // A new problem invalidates any base of the old one.
                 base_text = None;
                 cache = None;
-                transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
+                send_up(&transport, foreman, &Message::WorkerReady)?;
             }
             Message::JobData {
                 job,
@@ -127,8 +175,9 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                     work_units: result.work.work_units(),
                     pattern_updates: result.work.total_pattern_updates(),
                 });
-                transport.send(
-                    ranks::FOREMAN,
+                send_up(
+                    &transport,
+                    foreman,
                     &Message::TreeResult {
                         task,
                         newick: newick::write_tree(&tree, p.alignment.names()),
@@ -202,8 +251,9 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                     edges_recomputed: score.edges_recomputed,
                     fallbacks,
                 });
-                transport.send(
-                    ranks::FOREMAN,
+                send_up(
+                    &transport,
+                    foreman,
                     &Message::TreeResult {
                         task,
                         newick: newick::write_tree(&cand, p.alignment.names()),
@@ -229,8 +279,9 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                     work_units: result.work_units,
                     pattern_updates: 0,
                 });
-                transport.send(
-                    ranks::FOREMAN,
+                send_up(
+                    &transport,
+                    foreman,
                     &Message::JumbleResult {
                         task,
                         seed,
@@ -259,8 +310,9 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                     work_units: result.work_units,
                     pattern_updates: 0,
                 });
-                transport.send(
-                    ranks::FOREMAN,
+                send_up(
+                    &transport,
+                    foreman,
                     &Message::JobTaskResult {
                         job,
                         task,
@@ -281,7 +333,7 @@ pub fn run_worker<T: Transport>(transport: T, obs: Obs) -> Result<WorkerStats, W
                 // Foreman liveness probe: answering re-admits a worker
                 // whose result was lost in flight and who would otherwise
                 // idle forever as delinquent.
-                transport.send(ranks::FOREMAN, &Message::WorkerReady)?;
+                send_up(&transport, foreman, &Message::WorkerReady)?;
             }
             Message::Shutdown => return Ok(stats),
             other => {

@@ -10,11 +10,12 @@
 //! dead, surfacing [`CommError::Disconnected`] to the rank's run loop so
 //! it exits and the coordinator's fault tolerance takes over.
 
-use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, write_frame_as, Frame, PROTOCOL_VERSION};
 use fdml_comm::job::JobId;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
+use fdml_wire::WireFormat;
 use parking_lot::Mutex;
 use std::io;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -43,6 +44,10 @@ pub struct ClientConfig {
     /// hub reserved at bind time (see `TcpHub::bind_reserved`). `None` —
     /// the default — accepts whatever rank the hub assigns.
     pub claim: Option<Rank>,
+    /// The wire format this endpoint writes its data-plane frames in —
+    /// provided the hub's `Welcome` shows it can sniff codecs. A hub that
+    /// predates negotiation is written JSON regardless of this setting.
+    pub wire: WireFormat,
 }
 
 impl Default for ClientConfig {
@@ -53,6 +58,7 @@ impl Default for ClientConfig {
             queue_depth: 256,
             job: None,
             claim: None,
+            wire: WireFormat::Binary,
         }
     }
 }
@@ -70,6 +76,9 @@ struct ClientShared {
     cfg: ClientConfig,
     obs: Obs,
     liveness: Liveness,
+    /// The format this endpoint actually writes: the configured preference,
+    /// downgraded to JSON when the hub cannot sniff.
+    wire: WireFormat,
     /// Set when reconnection is exhausted: the endpoint is permanently
     /// broken and every operation fails `Disconnected`.
     dead: AtomicBool,
@@ -82,6 +91,7 @@ pub struct TcpTransport {
     shared: Arc<ClientShared>,
     size: usize,
     worker_timeout: Duration,
+    regions: usize,
     in_rx: Mutex<Receiver<(Rank, Message)>>,
     /// Loopback for self-sends (never crosses the wire).
     self_tx: Sender<(Rank, Message)>,
@@ -107,19 +117,29 @@ impl TcpTransport {
         let addr_s = addr.to_string();
         let mut stream = TcpStream::connect(&addr)?;
         stream.set_nodelay(true).ok();
-        let welcome = handshake(&mut stream, cfg.claim, cfg.job)?;
+        let welcome = handshake(&mut stream, cfg.claim, cfg.job, cfg.wire)?;
         let Frame::Welcome {
             rank,
             size,
             worker_timeout_ms,
             heartbeat_ms,
             miss_limit,
+            wire,
+            regions,
         } = welcome
         else {
             unreachable!("handshake returns Welcome only");
         };
         obs.emit(|| Event::NetPeerConnected { rank });
 
+        // A `wire` field in the Welcome — whatever its value — marks a hub
+        // with the sniffing reader; only then is writing the configured
+        // (possibly binary) format safe.
+        let write_wire = if wire.is_some() {
+            cfg.wire
+        } else {
+            WireFormat::Json
+        };
         let (in_tx, in_rx) = mpsc::channel();
         let (out_tx, out_rx) = mpsc::sync_channel(cfg.queue_depth);
         let shared = Arc::new(ClientShared {
@@ -131,6 +151,7 @@ impl TcpTransport {
                 heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
                 miss_limit: miss_limit.max(1),
             },
+            wire: write_wire,
             dead: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
@@ -146,6 +167,7 @@ impl TcpTransport {
             shared,
             size,
             worker_timeout: Duration::from_millis(worker_timeout_ms),
+            regions,
             in_rx: Mutex::new(in_rx),
             self_tx,
             out_tx: Some(out_tx),
@@ -156,6 +178,13 @@ impl TcpTransport {
     /// The foreman timeout the hub announced (ms precision).
     pub fn worker_timeout(&self) -> Duration {
         self.worker_timeout
+    }
+
+    /// Regional foremen the hub announced (0 = flat topology). A peer
+    /// derives its role — root foreman, regional foreman, or worker —
+    /// from its rank and this count.
+    pub fn regions(&self) -> usize {
+        self.regions
     }
 
     /// Whether reconnection has been exhausted and the endpoint is dead.
@@ -248,11 +277,15 @@ impl Transport for TcpTransport {
     }
 }
 
-/// Present a `Hello`, expect a `Welcome`.
+/// Present a `Hello`, expect a `Welcome`. The `Hello` itself is always
+/// JSON (negotiation has not happened yet); the `wire` field it carries
+/// advertises both this build's sniffing reader and its writing
+/// preference.
 fn handshake(
     stream: &mut TcpStream,
     rejoin: Option<Rank>,
     job: Option<JobId>,
+    wire: WireFormat,
 ) -> io::Result<Frame> {
     write_frame(
         stream,
@@ -260,6 +293,7 @@ fn handshake(
             version: PROTOCOL_VERSION,
             rejoin,
             job,
+            wire: Some(wire.name().to_string()),
         },
     )?;
     match read_frame(stream, Duration::from_secs(5))? {
@@ -408,7 +442,7 @@ fn client_writer(
         let next = out_rx.lock().recv_timeout(shared.liveness.heartbeat);
         match next {
             Ok(frame) => {
-                if write_frame(&mut stream, &frame).is_err() {
+                if write_frame_as(&mut stream, &frame, shared.wire).is_err() {
                     // Wake the reader immediately rather than letting it
                     // ride out its heartbeat misses.
                     let _ = stream.shutdown(Shutdown::Both);
@@ -417,7 +451,7 @@ fn client_writer(
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 let from = shared.rank;
-                if write_frame(&mut stream, &Frame::Heartbeat { from }).is_err() {
+                if write_frame_as(&mut stream, &Frame::Heartbeat { from }, shared.wire).is_err() {
                     let _ = stream.shutdown(Shutdown::Both);
                     return;
                 }
@@ -426,7 +460,7 @@ fn client_writer(
                 // The endpoint was dropped: orderly exit.
                 shared.shutdown.store(true, Ordering::SeqCst);
                 let from = shared.rank;
-                let _ = write_frame(&mut stream, &Frame::Goodbye { from });
+                let _ = write_frame_as(&mut stream, &Frame::Goodbye { from }, shared.wire);
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
@@ -472,7 +506,12 @@ fn reconnect(shared: &Arc<ClientShared>) -> Option<TcpStream> {
             continue;
         };
         stream.set_nodelay(true).ok();
-        match handshake(&mut stream, Some(shared.rank), shared.cfg.job) {
+        match handshake(
+            &mut stream,
+            Some(shared.rank),
+            shared.cfg.job,
+            shared.cfg.wire,
+        ) {
             Ok(Frame::Welcome { rank, .. }) if rank == shared.rank => return Some(stream),
             // The hub gave our slot away (or refused us): no way back.
             Ok(_) | Err(_) => continue,

@@ -35,11 +35,12 @@
 //! all — it is handed off wholesale through [`TcpHub::accept_service`] to
 //! whoever is running the job API, socket and opening frame together.
 
-use crate::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, write_frame_as, Frame, PROTOCOL_VERSION};
 use fdml_comm::job::{JobId, RejectReason};
 use fdml_comm::message::Message;
 use fdml_comm::transport::{ranks, CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};
+use fdml_wire::WireFormat;
 use parking_lot::Mutex;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -62,6 +63,13 @@ pub struct NetConfig {
     /// The foreman's fault-tolerance timeout, forwarded in `Welcome` so a
     /// remote foreman process configures itself from the wire.
     pub worker_timeout: Duration,
+    /// The wire format the hub writes its data-plane frames in — to peers
+    /// that advertised codec-sniffing support in their `Hello`. Peers that
+    /// did not (pre-negotiation builds) are written JSON regardless.
+    pub wire: WireFormat,
+    /// Regional foremen in the hierarchical topology (0 = flat). Announced
+    /// in every `Welcome` so each peer derives its role from its rank.
+    pub regions: usize,
 }
 
 impl Default for NetConfig {
@@ -71,6 +79,8 @@ impl Default for NetConfig {
             miss_limit: 4,
             queue_depth: 256,
             worker_timeout: Duration::from_secs(5),
+            wire: WireFormat::Binary,
+            regions: 0,
         }
     }
 }
@@ -380,12 +390,24 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
         Ok(Some(f)) => f,
         _ => return,
     };
-    let (rejoin, job) = match hello {
+    let (rejoin, job, peer_wire) = match hello {
         Frame::Hello {
             version,
             rejoin,
             job,
-        } if version == PROTOCOL_VERSION => (rejoin, job),
+            wire,
+        } if version == PROTOCOL_VERSION => {
+            // Negotiation: a `wire` field — any value — marks a build with
+            // the codec-sniffing reader, so the hub may write its
+            // configured format. Its absence marks a pre-negotiation peer
+            // that can only parse JSON.
+            let peer_wire = if wire.is_some() {
+                shared.cfg.wire
+            } else {
+                WireFormat::Json
+            };
+            (rejoin, job, peer_wire)
+        }
         Frame::Hello { version, .. } => {
             let _ = write_frame(
                 &mut stream,
@@ -445,6 +467,8 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
         worker_timeout_ms: shared.cfg.worker_timeout.as_millis() as u64,
         heartbeat_ms: shared.cfg.heartbeat_interval.as_millis() as u64,
         miss_limit: shared.cfg.miss_limit,
+        wire: Some(peer_wire.name().to_string()),
+        regions: shared.cfg.regions,
     };
     if write_frame(&mut stream, &welcome).is_err() {
         shared.mark_dead(rank, generation, false);
@@ -474,7 +498,7 @@ fn handshake(mut stream: TcpStream, shared: Arc<HubShared>) {
     let ws = Arc::clone(&shared);
     let _ = thread::Builder::new()
         .name(format!("fdml-net-w{rank}"))
-        .spawn(move || peer_writer(writer_stream, out_rx, rank, generation, ws));
+        .spawn(move || peer_writer(writer_stream, out_rx, rank, generation, peer_wire, ws));
     let rs = Arc::clone(&shared);
     let _ = thread::Builder::new()
         .name(format!("fdml-net-r{rank}"))
@@ -534,11 +558,15 @@ fn assign_slot(
 }
 
 /// Drain a peer's outgoing queue onto its socket; heartbeat when idle.
+/// `wire` is the format negotiated for this connection — heartbeats ride
+/// it too, so liveness traffic stops paying JSON overhead the moment the
+/// peer can sniff.
 fn peer_writer(
     mut stream: TcpStream,
     out_rx: Receiver<Frame>,
     rank: Rank,
     generation: u64,
+    wire: WireFormat,
     shared: Arc<HubShared>,
 ) {
     loop {
@@ -547,13 +575,13 @@ fn peer_writer(
         }
         match out_rx.recv_timeout(shared.cfg.heartbeat_interval) {
             Ok(frame) => {
-                if write_frame(&mut stream, &frame).is_err() {
+                if write_frame_as(&mut stream, &frame, wire).is_err() {
                     shared.mark_dead(rank, generation, false);
                     return;
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if write_frame(&mut stream, &Frame::Heartbeat { from: 0 }).is_err() {
+                if write_frame_as(&mut stream, &Frame::Heartbeat { from: 0 }, wire).is_err() {
                     shared.mark_dead(rank, generation, false);
                     return;
                 }

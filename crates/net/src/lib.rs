@@ -32,4 +32,5 @@ pub mod hub;
 pub mod wire;
 
 pub use client::{ClientConfig, TcpTransport};
+pub use fdml_wire::WireFormat;
 pub use hub::{NetConfig, ServiceRequest, TcpHub};

@@ -1,18 +1,29 @@
 //! The framed wire format.
 //!
 //! Every frame is a 4-byte big-endian length prefix, a 4-byte big-endian
-//! CRC32 of the body, then that many bytes of JSON — the same
-//! self-describing encoding fastDNAml used for its ASCII tree interchange,
-//! applied to the whole protocol. JSON keeps the format debuggable and
-//! independent of struct layout; the length prefix makes framing trivial
-//! and lets a reader reject garbage before allocating; the checksum turns
-//! in-flight corruption into a detected, typed failure (the reader treats
-//! it as a peer disconnect) instead of a JSON parse panic or — worse — a
-//! silently wrong likelihood.
+//! CRC32 of the body, then that many bytes of body. The framing (v2,
+//! unchanged) makes alignment trivial, lets a reader reject garbage before
+//! allocating, and turns in-flight corruption into a detected, typed
+//! failure instead of a parse panic or — worse — a silently wrong
+//! likelihood.
+//!
+//! The body comes in two codecs, sniffed by its first byte:
+//!
+//! * JSON (first byte `{`) — the seed encoding: self-describing,
+//!   debuggable, and the permanent format of the bootstrap and service
+//!   planes (`Hello`/`Welcome`/`Reject`, `Submit` … `Done`), which are
+//!   rare, human-inspected, and must parse before any negotiation exists.
+//! * Binary (first byte [`fdml_wire::MAGIC`]) — the compact encoding for
+//!   the chatty data plane (`Data`, `Heartbeat`, `Goodbye`): a tag byte
+//!   and varint fields ([`fdml_wire`]), negotiated in the Hello/Welcome
+//!   handshake. Readers always sniff per frame, so a JSON master and a
+//!   binary worker interoperate mid-rollout — negotiation only tells each
+//!   writer what to emit.
 
 use fdml_comm::job::{JobId, JobResult, JobSpec, JobStatus, RejectReason};
 use fdml_comm::message::Message;
 use fdml_comm::transport::Rank;
+use fdml_wire::{varint, WireFormat};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -85,6 +96,12 @@ pub enum Frame {
         /// reattaching to a slot the daemon has since given to another.
         #[serde(default)]
         job: Option<JobId>,
+        /// The wire format this client will write its data-plane frames
+        /// in (`"json"` or `"binary"`). Absent from peers that predate
+        /// negotiation, which therefore write JSON — exactly what the
+        /// sniffing reader assumes for them.
+        #[serde(default)]
+        wire: Option<String>,
     },
     /// Hub → client, accepting a `Hello`.
     Welcome {
@@ -99,6 +116,16 @@ pub enum Frame {
         heartbeat_ms: u64,
         /// Liveness: consecutive silent intervals before a peer is dead.
         miss_limit: u32,
+        /// The wire format the hub will write to this peer — the
+        /// negotiation confirmation. Absent from hubs that predate
+        /// negotiation (they write JSON).
+        #[serde(default)]
+        wire: Option<String>,
+        /// Number of regional foremen in the hierarchical topology, or 0
+        /// for the flat single-foreman universe. A peer derives its role
+        /// from its rank and this count.
+        #[serde(default)]
+        regions: usize,
     },
     /// Hub → client, refusing a `Hello` (version skew, full universe).
     Reject {
@@ -177,10 +204,76 @@ pub enum Frame {
     },
 }
 
-fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
-    let body = serde_json::to_string(frame)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let body = body.as_bytes();
+/// Version byte of the binary *frame* envelope (distinct from the message
+/// codec's own version, which rides inside the `Data` payload encoding).
+const FRAME_BINARY_VERSION: u8 = 1;
+
+// Binary frame tags. Only the data plane has them; control-plane frames
+// are JSON by design.
+const FTAG_DATA: u8 = 0;
+const FTAG_HEARTBEAT: u8 = 1;
+const FTAG_GOODBYE: u8 = 2;
+
+/// Encode a frame body in the compact codec, or `None` when the frame is
+/// control-plane (those stay JSON regardless of negotiation).
+fn encode_frame_body_binary(frame: &Frame) -> Option<Vec<u8>> {
+    let mut buf = Vec::with_capacity(32);
+    buf.push(fdml_wire::MAGIC);
+    buf.push(FRAME_BINARY_VERSION);
+    match frame {
+        Frame::Data { from, to, msg } => {
+            buf.push(FTAG_DATA);
+            varint::put_usize(&mut buf, *from);
+            varint::put_usize(&mut buf, *to);
+            fdml_wire::encode_body(msg, &mut buf);
+        }
+        Frame::Heartbeat { from } => {
+            buf.push(FTAG_HEARTBEAT);
+            varint::put_usize(&mut buf, *from);
+        }
+        Frame::Goodbye { from } => {
+            buf.push(FTAG_GOODBYE);
+            varint::put_usize(&mut buf, *from);
+        }
+        _ => return None,
+    }
+    Some(buf)
+}
+
+fn decode_frame_body_binary(body: &[u8]) -> io::Result<Frame> {
+    let bad = |why: String| io::Error::new(io::ErrorKind::InvalidData, why);
+    let mut r = varint::Reader::new(body);
+    let magic = r.u8().map_err(|e| bad(e.to_string()))?;
+    debug_assert_eq!(magic, fdml_wire::MAGIC, "caller sniffed the magic");
+    let version = r.u8().map_err(|e| bad(e.to_string()))?;
+    if version != FRAME_BINARY_VERSION {
+        return Err(bad(format!("unsupported binary frame version {version}")));
+    }
+    let tag = r.u8().map_err(|e| bad(e.to_string()))?;
+    let frame = match tag {
+        FTAG_DATA => Frame::Data {
+            from: r.usize().map_err(|e| bad(e.to_string()))?,
+            to: r.usize().map_err(|e| bad(e.to_string()))?,
+            msg: fdml_wire::decode_body(&mut r).map_err(|e| bad(e.to_string()))?,
+        },
+        FTAG_HEARTBEAT => Frame::Heartbeat {
+            from: r.usize().map_err(|e| bad(e.to_string()))?,
+        },
+        FTAG_GOODBYE => Frame::Goodbye {
+            from: r.usize().map_err(|e| bad(e.to_string()))?,
+        },
+        t => return Err(bad(format!("unknown binary frame tag {t}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(bad(format!(
+            "{} trailing bytes after binary frame",
+            r.remaining()
+        )));
+    }
+    Ok(frame)
+}
+
+fn frame_with_body(body: Vec<u8>) -> io::Result<Vec<u8>> {
     if body.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -189,15 +282,44 @@ fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
     }
     let mut buf = Vec::with_capacity(8 + body.len());
     buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&crc32(body).to_be_bytes());
-    buf.extend_from_slice(body);
+    buf.extend_from_slice(&crc32(&body).to_be_bytes());
+    buf.extend_from_slice(&body);
     Ok(buf)
 }
 
-/// Serialize and write one frame. Blocking; respects the stream's write
-/// timeout if one is set.
+fn encode_frame_as(frame: &Frame, format: WireFormat) -> io::Result<Vec<u8>> {
+    let body = match format {
+        WireFormat::Binary => match encode_frame_body_binary(frame) {
+            Some(body) => body,
+            None => json_body(frame)?,
+        },
+        WireFormat::Json => json_body(frame)?,
+    };
+    frame_with_body(body)
+}
+
+fn json_body(frame: &Frame) -> io::Result<Vec<u8>> {
+    serde_json::to_string(frame)
+        .map(String::into_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn encode_frame(frame: &Frame) -> io::Result<Vec<u8>> {
+    encode_frame_as(frame, WireFormat::Json)
+}
+
+/// Serialize and write one frame as JSON. Blocking; respects the stream's
+/// write timeout if one is set. The handshake path — negotiation has not
+/// happened yet, so the format must be the one every build can read.
 pub fn write_frame(stream: &mut TcpStream, frame: &Frame) -> io::Result<()> {
     stream.write_all(&encode_frame(frame)?)
+}
+
+/// Serialize and write one frame in the negotiated format. Data-plane
+/// frames (`Data`/`Heartbeat`/`Goodbye`) honor `format`; control-plane
+/// frames are always JSON.
+pub fn write_frame_as(stream: &mut TcpStream, frame: &Frame, format: WireFormat) -> io::Result<()> {
+    stream.write_all(&encode_frame_as(frame, format)?)
 }
 
 /// Write a frame whose body has one byte XOR-flipped *after* the CRC was
@@ -246,6 +368,12 @@ pub fn read_frame(stream: &mut TcpStream, idle: Duration) -> io::Result<Option<F
             io::ErrorKind::InvalidData,
             format!("frame CRC mismatch: header says {expected_crc:#010x}, body hashes to {actual_crc:#010x}"),
         ));
+    }
+    // Codec sniff: binary bodies lead with the wire magic (never valid
+    // leading UTF-8 for JSON), everything else is parsed as JSON. This is
+    // what lets peers with different negotiated formats share one hub.
+    if body.first() == Some(&fdml_wire::MAGIC) {
+        return Ok(Some(decode_frame_body_binary(&body)?));
     }
     let text = std::str::from_utf8(&body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
@@ -321,11 +449,13 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 rejoin: None,
                 job: None,
+                wire: None,
             },
             Frame::Hello {
                 version: PROTOCOL_VERSION,
                 rejoin: Some(3),
                 job: Some(7),
+                wire: Some("binary".into()),
             },
             Frame::Welcome {
                 rank: 4,
@@ -333,6 +463,8 @@ mod tests {
                 worker_timeout_ms: 5000,
                 heartbeat_ms: 500,
                 miss_limit: 4,
+                wire: Some("binary".into()),
+                regions: 2,
             },
             Frame::Reject {
                 reason: "full".into(),
@@ -416,9 +548,106 @@ mod tests {
             Frame::Hello {
                 version: 3,
                 rejoin: None,
-                job: None
+                job: None,
+                wire: None,
             }
         );
+    }
+
+    #[test]
+    fn pre_negotiation_welcome_still_parses() {
+        // A seed-era hub omits `wire` and `regions`: flat topology, JSON.
+        let json = r#"{"Welcome":{"rank":3,"size":5,"worker_timeout_ms":5000,"heartbeat_ms":500,"miss_limit":4}}"#;
+        let f: Frame = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            f,
+            Frame::Welcome {
+                rank: 3,
+                size: 5,
+                worker_timeout_ms: 5000,
+                heartbeat_ms: 500,
+                miss_limit: 4,
+                wire: None,
+                regions: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn binary_data_plane_round_trips() {
+        let (mut a, mut b) = pair();
+        let frames = vec![
+            Frame::Data {
+                from: 3,
+                to: 1,
+                msg: Message::TreeResult {
+                    task: 9,
+                    newick: "(a:1,b:2);".into(),
+                    ln_likelihood: -123.5,
+                    work_units: 7,
+                },
+            },
+            Frame::Data {
+                from: 1,
+                to: 4,
+                msg: Message::Batch {
+                    msgs: vec![Message::Ping, Message::LeaseRequest { want: 8 }],
+                },
+            },
+            Frame::Heartbeat { from: 2 },
+            Frame::Goodbye { from: 5 },
+        ];
+        for f in &frames {
+            write_frame_as(&mut a, f, WireFormat::Binary).unwrap();
+        }
+        for f in &frames {
+            let got = read_frame(&mut b, Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(&got, f);
+        }
+    }
+
+    #[test]
+    fn binary_heartbeat_is_a_few_bytes() {
+        // The liveness-probe satellite: a binary heartbeat body is magic,
+        // version, tag, rank — four bytes, versus ~25 of JSON.
+        let body = encode_frame_body_binary(&Frame::Heartbeat { from: 63 }).unwrap();
+        assert_eq!(body.len(), 4);
+        let json = json_body(&Frame::Heartbeat { from: 63 }).unwrap();
+        assert!(json.len() > 4 * body.len());
+    }
+
+    #[test]
+    fn control_plane_frames_stay_json_even_when_binary_negotiated() {
+        let (mut a, mut b) = pair();
+        let hello = Frame::Hello {
+            version: PROTOCOL_VERSION,
+            rejoin: None,
+            job: None,
+            wire: Some("binary".into()),
+        };
+        write_frame_as(&mut a, &hello, WireFormat::Binary).unwrap();
+        // Peek at the raw bytes: the body must start with '{'.
+        let mut raw = [0u8; 9];
+        b.read_exact(&mut raw).unwrap();
+        assert_eq!(raw[8], b'{');
+    }
+
+    #[test]
+    fn mixed_codec_frames_interleave_on_one_stream() {
+        let (mut a, mut b) = pair();
+        let hb = Frame::Heartbeat { from: 3 };
+        let data = Frame::Data {
+            from: 3,
+            to: 1,
+            msg: Message::WorkerReady,
+        };
+        write_frame_as(&mut a, &hb, WireFormat::Binary).unwrap();
+        write_frame_as(&mut a, &data, WireFormat::Json).unwrap();
+        write_frame_as(&mut a, &data, WireFormat::Binary).unwrap();
+        for expected in [&hb, &data, &data] {
+            let got = read_frame(&mut b, Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(&got, expected);
+        }
     }
 
     #[test]

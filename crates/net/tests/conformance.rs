@@ -12,7 +12,7 @@ use fdml_comm::message::Message;
 use fdml_comm::threads::ThreadUniverse;
 use fdml_comm::transport::{CommError, Transport};
 use fdml_net::wire::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
-use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport, WireFormat};
 use fdml_obs::{Event, MemorySink, Obs};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -208,6 +208,7 @@ fn version_skew_is_rejected() {
             version: PROTOCOL_VERSION + 999,
             rejoin: None,
             job: None,
+            wire: None,
         },
     )
     .unwrap();
@@ -242,6 +243,7 @@ fn cross_job_rejoin_is_rejected_with_typed_reason() {
             version: PROTOCOL_VERSION,
             rejoin: None,
             job: Some(1),
+            wire: None,
         },
     )
     .unwrap();
@@ -259,6 +261,7 @@ fn cross_job_rejoin_is_rejected_with_typed_reason() {
             version: PROTOCOL_VERSION,
             rejoin: Some(1),
             job: Some(2),
+            wire: None,
         },
     )
     .unwrap();
@@ -283,6 +286,7 @@ fn cross_job_rejoin_is_rejected_with_typed_reason() {
             version: PROTOCOL_VERSION,
             rejoin: Some(1),
             job: Some(1),
+            wire: None,
         },
     )
     .unwrap();
@@ -383,6 +387,7 @@ fn silent_peer_is_declared_dead_by_heartbeat_misses() {
             version: PROTOCOL_VERSION,
             rejoin: None,
             job: None,
+            wire: None,
         },
     )
     .unwrap();
@@ -496,4 +501,52 @@ fn dead_hub_exhausts_reconnects_and_surfaces_disconnected() {
         client.send(0, &Message::WorkerReady),
         Err(CommError::Disconnected(1))
     );
+}
+
+#[test]
+fn mixed_codec_peers_interoperate_frame_by_frame() {
+    // Codec choice is negotiated per connection, not per universe: here the
+    // hub writes JSON while one worker writes binary and another writes
+    // JSON, and every route — hub→binary, binary→json (relayed), json→hub —
+    // still delivers the same messages. This is the "old master, new
+    // worker" mixed-fleet deployment the versioned handshake exists for.
+    let cfg = NetConfig {
+        wire: WireFormat::Json,
+        ..fast_net_config()
+    };
+    let hub = TcpHub::bind("127.0.0.1:0", 3, cfg, Obs::disabled()).unwrap();
+    let addr = hub.local_addr();
+    let binary_cfg = ClientConfig {
+        wire: WireFormat::Binary,
+        ..ClientConfig::default()
+    };
+    let json_cfg = ClientConfig {
+        wire: WireFormat::Json,
+        ..ClientConfig::default()
+    };
+    let binary = TcpTransport::connect_observed(addr, binary_cfg, Obs::disabled()).unwrap();
+    let json = TcpTransport::connect_observed(addr, json_cfg, Obs::disabled()).unwrap();
+    assert_eq!((binary.rank(), json.rank()), (1, 2));
+
+    hub.send(1, &task(7)).unwrap();
+    assert_eq!(binary.recv().unwrap(), (0, task(7)));
+    // Peer-to-peer crosses codecs: a binary frame in, a JSON frame out.
+    binary.send(2, &task(8)).unwrap();
+    assert_eq!(json.recv().unwrap(), (1, task(8)));
+    json.send(0, &Message::Shutdown).unwrap();
+    assert_eq!(hub.recv().unwrap(), (2, Message::Shutdown));
+}
+
+#[test]
+fn welcome_announces_the_hierarchy_shape() {
+    // A peer needs nothing but its rank and the `Welcome` to know whether
+    // it is a flat worker, a regional foreman, or a re-homed worker: the
+    // hub announces the region count to every joiner.
+    let cfg = NetConfig {
+        regions: 2,
+        ..fast_net_config()
+    };
+    let hub = TcpHub::bind("127.0.0.1:0", 2, cfg, Obs::disabled()).unwrap();
+    let client = TcpTransport::connect(hub.local_addr()).unwrap();
+    assert_eq!(client.regions(), 2);
 }

@@ -206,6 +206,47 @@ pub enum Event {
         /// Distinct workers that failed the task before quarantine.
         failures: u64,
     },
+    /// A regional foreman's queue state after a scheduling action
+    /// (hierarchical fleets; the root foreman keeps emitting the global
+    /// [`Event::QueueDepth`]).
+    RegionQueueDepth {
+        /// Region index (0-based; region r is rank 3 + r).
+        region: usize,
+        /// Leased tasks waiting for a worker in this region.
+        work: usize,
+        /// Idle workers in this region.
+        ready: usize,
+        /// Tasks dispatched to this region's workers and not yet answered.
+        in_flight: usize,
+    },
+    /// The root foreman granted a lease batch to a regional foreman.
+    LeaseGranted {
+        /// The receiving region's index.
+        region: usize,
+        /// Tasks in the grant.
+        tasks: usize,
+    },
+    /// The root foreman moved tasks from one region's lease to another's
+    /// (work stealing: the thief drained its shard while the victim still
+    /// had queued work).
+    TaskStolen {
+        /// The region that gave tasks up.
+        from_region: usize,
+        /// The region that received them.
+        to_region: usize,
+        /// Tasks moved.
+        tasks: usize,
+    },
+    /// A multi-message frame left a scheduling tier (lease grants, result
+    /// aggregation) — the wire-amortization gauge of the foreman tree.
+    BatchSent {
+        /// Sending rank.
+        from: usize,
+        /// Messages inside the batch.
+        msgs: usize,
+        /// Approximate wire size of the batch (`Message::wire_bytes`).
+        bytes: u64,
+    },
     /// The daemon admitted a job into its registry (service mode).
     JobSubmitted {
         /// The registry id assigned at admission.
@@ -262,6 +303,10 @@ impl Event {
             Event::WorkerRespawned { .. } => "WorkerRespawned",
             Event::FrameCorrupt { .. } => "FrameCorrupt",
             Event::TaskQuarantined { .. } => "TaskQuarantined",
+            Event::RegionQueueDepth { .. } => "RegionQueueDepth",
+            Event::LeaseGranted { .. } => "LeaseGranted",
+            Event::TaskStolen { .. } => "TaskStolen",
+            Event::BatchSent { .. } => "BatchSent",
             Event::JobSubmitted { .. } => "JobSubmitted",
             Event::JobStarted { .. } => "JobStarted",
             Event::JobCompleted { .. } => "JobCompleted",

@@ -24,6 +24,15 @@
 //! each other — and every jumble still runs through the same
 //! `run_one_jumble` code path, keeping results byte-identical to a
 //! serial run of the same seeds.
+//!
+//! The daemon speaks the `fdml-wire` binary codec by default
+//! ([`ServeOptions::wire`]) and introduces each job to a worker in a
+//! single `Batch` frame (alignment + first jumble together). Its
+//! scheduling scope stays **flat**, though: the unit of work is a whole
+//! jumble — thousands of candidate evaluations per frame — so a single
+//! scheduler saturates far more workers than the per-candidate dispatch
+//! path does, and the two-level foreman tree (`--regions`, see the
+//! one-shot coordinator) is deliberately not replicated here.
 
 #![warn(missing_docs)]
 
@@ -34,7 +43,7 @@ mod scheduler;
 pub use registry::{JobEntry, Registry};
 
 use fdml_comm::transport::{ranks, Rank, Transport};
-use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport};
+use fdml_net::{ClientConfig, NetConfig, TcpHub, TcpTransport, WireFormat};
 use fdml_obs::{Obs, Sink};
 use scheduler::{Limits, Scheduler, MODE_KILL, MODE_RUN, MODE_STOP};
 use std::io;
@@ -68,11 +77,15 @@ pub struct ServeOptions {
     /// Observability sinks for the daemon-global event stream (each job
     /// additionally gets its own in-memory sink behind its run report).
     pub sinks: Vec<Box<dyn Sink>>,
+    /// Wire format the hub writes its data-plane frames in. Workers that
+    /// did not advertise codec-sniffing support are written JSON
+    /// regardless, so a mixed fleet keeps working.
+    pub wire: WireFormat,
 }
 
 impl ServeOptions {
     /// Defaults: queue limit 8, no rank/wall ceilings, no forked
-    /// workers, unobserved.
+    /// workers, unobserved, binary wire.
     pub fn new(
         listen: impl Into<String>,
         num_ranks: usize,
@@ -87,6 +100,7 @@ impl ServeOptions {
             max_wall_ms: 0,
             spawn: None,
             sinks: Vec::new(),
+            wire: WireFormat::Binary,
         }
     }
 }
@@ -119,7 +133,10 @@ impl Daemon {
             options.listen.as_str(),
             options.num_ranks,
             &[ranks::FOREMAN, ranks::MONITOR],
-            NetConfig::default(),
+            NetConfig {
+                wire: options.wire,
+                ..NetConfig::default()
+            },
             obs.clone(),
         )?;
         let addr = hub.local_addr();

@@ -542,37 +542,41 @@ impl Scheduler {
         let Some(seed) = job.pending.pop_front() else {
             return;
         };
-        let worker = self.workers.entry(rank).or_default();
-        if !worker.knows.contains(&id) {
-            let data = Message::JobData {
-                job: id,
-                phylip: fdml_phylo::phylip::write(&job.resolved.alignment),
-                config_json: job.resolved.config.engine_config_json(),
-            };
-            if self.foreman.send(rank, &data).is_err() {
-                job.pending.push_front(seed);
-                return;
-            }
-            worker.knows.insert(id);
-        }
         let task = self.next_task;
         self.next_task += 1;
-        if self
-            .foreman
-            .send(
-                rank,
-                &Message::JobTask {
-                    job: id,
-                    task,
-                    seed,
-                },
-            )
-            .is_err()
-        {
+        let task_msg = Message::JobTask {
+            job: id,
+            task,
+            seed,
+        };
+        // First contact between this worker and this job ships the
+        // alignment and the first jumble in one `Batch` envelope, so a
+        // dispatch always costs exactly one frame; the worker unpacks the
+        // batch in order, installing the engine before the task arrives.
+        let introduce = !self.workers.entry(rank).or_default().knows.contains(&id);
+        let frame = if introduce {
+            Message::Batch {
+                msgs: vec![
+                    Message::JobData {
+                        job: id,
+                        phylip: fdml_phylo::phylip::write(&job.resolved.alignment),
+                        config_json: job.resolved.config.engine_config_json(),
+                    },
+                    task_msg,
+                ],
+            }
+        } else {
+            task_msg
+        };
+        if self.foreman.send(rank, &frame).is_err() {
             job.pending.push_front(seed);
             return;
         }
-        self.workers.get_mut(&rank).expect("worker present").busy = Some(task);
+        let worker = self.workers.get_mut(&rank).expect("worker present");
+        if introduce {
+            worker.knows.insert(id);
+        }
+        worker.busy = Some(task);
         self.in_flight.insert(
             task,
             Flight {

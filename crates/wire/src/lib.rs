@@ -1,0 +1,742 @@
+//! `fdml-wire` — the compact binary codec for the runtime's messages.
+//!
+//! The seed wire format is one JSON document per message: self-describing
+//! and easy to debug, but a ~50 B [`TreeEdit`](fdml_comm::TreeEdit) task
+//! costs well over 100 bytes of field names and quoting, and at thousands
+//! of ranks the master's NIC serializes on that overhead (the paper's §3.2
+//! dispatch wall, moved from the CPU to the wire). This crate defines the
+//! binary alternative:
+//!
+//! * body = `0xFD` magic, format version byte, variant tag byte, fields;
+//! * integers are LEB128 varints, floats are exact IEEE-754 bit patterns,
+//!   strings are length-prefixed UTF-8 ([`varint`]);
+//! * [`Message::Batch`] and [`Message::StealReturn`] nest inner message
+//!   bodies recursively (varint count, then each body tag-first), so one
+//!   frame carries a whole lease grant or result batch;
+//! * the first body byte distinguishes codecs (`0xFD` vs JSON's `{`), so
+//!   readers sniff per body and binary/JSON peers interoperate during a
+//!   rollout with no flag-day.
+//!
+//! Framing — length prefix and CRC32 — is unchanged and stays in
+//! `fdml-net`; this crate only defines what goes inside a frame.
+//!
+//! The layout is pinned by a golden-bytes fixture test: changing any tag
+//! or field order must bump [`BINARY_VERSION`] and fail that test first.
+
+#![warn(missing_docs)]
+
+pub mod varint;
+
+use fdml_comm::codec::{CodecError, JsonCodec, MessageCodec};
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload, TreeEdit};
+use varint::Reader;
+
+/// First byte of every binary body. Deliberately not valid leading UTF-8
+/// for a JSON document, so codec sniffing is unambiguous.
+pub const MAGIC: u8 = 0xFD;
+
+/// Version of the binary layout (tags, field order, primitive encodings).
+/// Bump on any incompatible change; decoders reject other versions.
+pub const BINARY_VERSION: u8 = 1;
+
+/// Deepest allowed nesting of [`Message::Batch`] / [`Message::StealReturn`]
+/// while decoding, so a malicious body cannot recurse the stack away. The
+/// runtime never nests more than two levels (a batch of task messages).
+const MAX_DEPTH: u32 = 8;
+
+/// A malformed binary body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before a field did.
+    Truncated,
+    /// The first byte was neither the binary magic nor expected.
+    BadMagic(u8),
+    /// The version byte names a layout this build does not speak.
+    BadVersion(u8),
+    /// An enum tag (named by the first field) had no meaning.
+    BadTag(&'static str, u64),
+    /// A varint did not fit its destination integer.
+    VarintOverflow,
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Decoding finished with bytes left over.
+    Trailing(usize),
+    /// Batches nested deeper than [`MAX_DEPTH`].
+    TooDeep,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "body truncated mid-field"),
+            WireError::BadMagic(b) => write!(f, "bad magic byte 0x{b:02X}"),
+            WireError::BadVersion(v) => write!(f, "unsupported binary version {v}"),
+            WireError::BadTag(what, tag) => write!(f, "unknown {what} tag {tag}"),
+            WireError::VarintOverflow => write!(f, "varint overflows its field"),
+            WireError::BadUtf8 => write!(f, "string field is not utf-8"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::TooDeep => write!(f, "batch nesting exceeds {MAX_DEPTH} levels"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Decode(e.to_string())
+    }
+}
+
+// Variant tags. Append-only: new variants take the next free tag; existing
+// tags are frozen by the golden-bytes test.
+mod tag {
+    pub const PROBLEM_DATA: u8 = 0;
+    pub const WORKER_READY: u8 = 1;
+    pub const TREE_TASK: u8 = 2;
+    pub const TREE_RESULT: u8 = 3;
+    pub const JUMBLE_TASK: u8 = 4;
+    pub const JUMBLE_RESULT: u8 = 5;
+    pub const MONITOR: u8 = 6;
+    pub const PEER_DOWN: u8 = 7;
+    pub const PEER_UP: u8 = 8;
+    pub const QUARANTINED: u8 = 9;
+    pub const ABORT: u8 = 10;
+    pub const JOB_DATA: u8 = 11;
+    pub const JOB_TASK: u8 = 12;
+    pub const JOB_TASK_RESULT: u8 = 13;
+    pub const JOB_RETIRE: u8 = 14;
+    pub const BASE_TOPOLOGY: u8 = 15;
+    pub const TREE_EDIT_TASK: u8 = 16;
+    pub const PING: u8 = 17;
+    pub const SHUTDOWN: u8 = 18;
+    pub const BATCH: u8 = 19;
+    pub const LEASE_REQUEST: u8 = 20;
+    pub const STEAL_REQUEST: u8 = 21;
+    pub const STEAL_RETURN: u8 = 22;
+    pub const REHOME: u8 = 23;
+
+    pub const MON_DISPATCHED: u8 = 0;
+    pub const MON_COMPLETED: u8 = 1;
+    pub const MON_TIMED_OUT: u8 = 2;
+    pub const MON_RECOVERED: u8 = 3;
+    pub const MON_ROUND_COMPLETE: u8 = 4;
+
+    pub const PAYLOAD_TREE: u8 = 0;
+    pub const PAYLOAD_JUMBLE: u8 = 1;
+    pub const PAYLOAD_TREE_EDIT: u8 = 2;
+
+    pub const EDIT_INSERT: u8 = 0;
+    pub const EDIT_REGRAFT: u8 = 1;
+}
+
+fn put_edit(buf: &mut Vec<u8>, edit: &TreeEdit) {
+    match *edit {
+        TreeEdit::Insert { taxon, a, b } => {
+            buf.push(tag::EDIT_INSERT);
+            varint::put_u32(buf, taxon);
+            varint::put_u32(buf, a);
+            varint::put_u32(buf, b);
+        }
+        TreeEdit::Regraft {
+            root,
+            attachment,
+            a,
+            b,
+        } => {
+            buf.push(tag::EDIT_REGRAFT);
+            varint::put_u32(buf, root);
+            varint::put_u32(buf, attachment);
+            varint::put_u32(buf, a);
+            varint::put_u32(buf, b);
+        }
+    }
+}
+
+fn get_edit(r: &mut Reader<'_>) -> Result<TreeEdit, WireError> {
+    match r.u8()? {
+        tag::EDIT_INSERT => Ok(TreeEdit::Insert {
+            taxon: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        }),
+        tag::EDIT_REGRAFT => Ok(TreeEdit::Regraft {
+            root: r.u32()?,
+            attachment: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        }),
+        t => Err(WireError::BadTag("tree-edit", u64::from(t))),
+    }
+}
+
+fn put_payload(buf: &mut Vec<u8>, payload: &TaskPayload) {
+    match payload {
+        TaskPayload::Tree { newick } => {
+            buf.push(tag::PAYLOAD_TREE);
+            varint::put_str(buf, newick);
+        }
+        TaskPayload::Jumble { seed } => {
+            buf.push(tag::PAYLOAD_JUMBLE);
+            varint::put_u64(buf, *seed);
+        }
+        TaskPayload::TreeEdit { base_id, edit } => {
+            buf.push(tag::PAYLOAD_TREE_EDIT);
+            varint::put_u64(buf, *base_id);
+            put_edit(buf, edit);
+        }
+    }
+}
+
+fn get_payload(r: &mut Reader<'_>) -> Result<TaskPayload, WireError> {
+    match r.u8()? {
+        tag::PAYLOAD_TREE => Ok(TaskPayload::Tree { newick: r.str()? }),
+        tag::PAYLOAD_JUMBLE => Ok(TaskPayload::Jumble { seed: r.u64()? }),
+        tag::PAYLOAD_TREE_EDIT => Ok(TaskPayload::TreeEdit {
+            base_id: r.u64()?,
+            edit: get_edit(r)?,
+        }),
+        t => Err(WireError::BadTag("task-payload", u64::from(t))),
+    }
+}
+
+fn put_monitor(buf: &mut Vec<u8>, ev: &MonitorEvent) {
+    match ev {
+        MonitorEvent::Dispatched { task, worker } => {
+            buf.push(tag::MON_DISPATCHED);
+            varint::put_u64(buf, *task);
+            varint::put_usize(buf, *worker);
+        }
+        MonitorEvent::Completed {
+            task,
+            worker,
+            ln_likelihood,
+            work_units,
+            service_us,
+        } => {
+            buf.push(tag::MON_COMPLETED);
+            varint::put_u64(buf, *task);
+            varint::put_usize(buf, *worker);
+            varint::put_f64(buf, *ln_likelihood);
+            varint::put_u64(buf, *work_units);
+            varint::put_u64(buf, *service_us);
+        }
+        MonitorEvent::WorkerTimedOut { worker, task } => {
+            buf.push(tag::MON_TIMED_OUT);
+            varint::put_usize(buf, *worker);
+            varint::put_u64(buf, *task);
+        }
+        MonitorEvent::WorkerRecovered { worker } => {
+            buf.push(tag::MON_RECOVERED);
+            varint::put_usize(buf, *worker);
+        }
+        MonitorEvent::RoundComplete {
+            round,
+            candidates,
+            best_ln_likelihood,
+            best_newick,
+        } => {
+            buf.push(tag::MON_ROUND_COMPLETE);
+            varint::put_u64(buf, *round);
+            varint::put_usize(buf, *candidates);
+            varint::put_f64(buf, *best_ln_likelihood);
+            varint::put_str(buf, best_newick);
+        }
+    }
+}
+
+fn get_monitor(r: &mut Reader<'_>) -> Result<MonitorEvent, WireError> {
+    match r.u8()? {
+        tag::MON_DISPATCHED => Ok(MonitorEvent::Dispatched {
+            task: r.u64()?,
+            worker: r.usize()?,
+        }),
+        tag::MON_COMPLETED => Ok(MonitorEvent::Completed {
+            task: r.u64()?,
+            worker: r.usize()?,
+            ln_likelihood: r.f64()?,
+            work_units: r.u64()?,
+            service_us: r.u64()?,
+        }),
+        tag::MON_TIMED_OUT => Ok(MonitorEvent::WorkerTimedOut {
+            worker: r.usize()?,
+            task: r.u64()?,
+        }),
+        tag::MON_RECOVERED => Ok(MonitorEvent::WorkerRecovered { worker: r.usize()? }),
+        tag::MON_ROUND_COMPLETE => Ok(MonitorEvent::RoundComplete {
+            round: r.u64()?,
+            candidates: r.usize()?,
+            best_ln_likelihood: r.f64()?,
+            best_newick: r.str()?,
+        }),
+        t => Err(WireError::BadTag("monitor-event", u64::from(t))),
+    }
+}
+
+fn put_msgs(buf: &mut Vec<u8>, msgs: &[Message]) {
+    varint::put_usize(buf, msgs.len());
+    for m in msgs {
+        encode_body(m, buf);
+    }
+}
+
+fn get_msgs(r: &mut Reader<'_>, depth: u32) -> Result<Vec<Message>, WireError> {
+    if depth >= MAX_DEPTH {
+        return Err(WireError::TooDeep);
+    }
+    let n = r.usize()?;
+    // Every message body is at least one tag byte; reject counts the
+    // remaining bytes cannot possibly satisfy before allocating.
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_body_at(r, depth + 1)?);
+    }
+    Ok(out)
+}
+
+/// Append one message body — variant tag, then fields — without the
+/// magic/version header. This is the nesting unit used inside batches.
+pub fn encode_body(msg: &Message, buf: &mut Vec<u8>) {
+    match msg {
+        Message::ProblemData {
+            phylip,
+            config_json,
+        } => {
+            buf.push(tag::PROBLEM_DATA);
+            varint::put_str(buf, phylip);
+            varint::put_str(buf, config_json);
+        }
+        Message::WorkerReady => buf.push(tag::WORKER_READY),
+        Message::TreeTask { task, newick } => {
+            buf.push(tag::TREE_TASK);
+            varint::put_u64(buf, *task);
+            varint::put_str(buf, newick);
+        }
+        Message::TreeResult {
+            task,
+            newick,
+            ln_likelihood,
+            work_units,
+        } => {
+            buf.push(tag::TREE_RESULT);
+            varint::put_u64(buf, *task);
+            varint::put_str(buf, newick);
+            varint::put_f64(buf, *ln_likelihood);
+            varint::put_u64(buf, *work_units);
+        }
+        Message::JumbleTask { task, seed } => {
+            buf.push(tag::JUMBLE_TASK);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *seed);
+        }
+        Message::JumbleResult {
+            task,
+            seed,
+            newick,
+            ln_likelihood,
+            rounds,
+            candidates,
+            work_units,
+        } => {
+            buf.push(tag::JUMBLE_RESULT);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *seed);
+            varint::put_str(buf, newick);
+            varint::put_f64(buf, *ln_likelihood);
+            varint::put_u64(buf, *rounds);
+            varint::put_u64(buf, *candidates);
+            varint::put_u64(buf, *work_units);
+        }
+        Message::Monitor(ev) => {
+            buf.push(tag::MONITOR);
+            put_monitor(buf, ev);
+        }
+        Message::PeerDown { rank } => {
+            buf.push(tag::PEER_DOWN);
+            varint::put_usize(buf, *rank);
+        }
+        Message::PeerUp { rank } => {
+            buf.push(tag::PEER_UP);
+            varint::put_usize(buf, *rank);
+        }
+        Message::Quarantined {
+            task,
+            failures,
+            payload,
+        } => {
+            buf.push(tag::QUARANTINED);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *failures);
+            put_payload(buf, payload);
+        }
+        Message::Abort { reason } => {
+            buf.push(tag::ABORT);
+            varint::put_str(buf, reason);
+        }
+        Message::JobData {
+            job,
+            phylip,
+            config_json,
+        } => {
+            buf.push(tag::JOB_DATA);
+            varint::put_u64(buf, *job);
+            varint::put_str(buf, phylip);
+            varint::put_str(buf, config_json);
+        }
+        Message::JobTask { job, task, seed } => {
+            buf.push(tag::JOB_TASK);
+            varint::put_u64(buf, *job);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *seed);
+        }
+        Message::JobTaskResult {
+            job,
+            task,
+            seed,
+            newick,
+            ln_likelihood,
+            work_units,
+        } => {
+            buf.push(tag::JOB_TASK_RESULT);
+            varint::put_u64(buf, *job);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *seed);
+            varint::put_str(buf, newick);
+            varint::put_f64(buf, *ln_likelihood);
+            varint::put_u64(buf, *work_units);
+        }
+        Message::JobRetire { job } => {
+            buf.push(tag::JOB_RETIRE);
+            varint::put_u64(buf, *job);
+        }
+        Message::BaseTopology { base_id, newick } => {
+            buf.push(tag::BASE_TOPOLOGY);
+            varint::put_u64(buf, *base_id);
+            varint::put_str(buf, newick);
+        }
+        Message::TreeEditTask {
+            task,
+            base_id,
+            edit,
+            base_newick,
+        } => {
+            buf.push(tag::TREE_EDIT_TASK);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *base_id);
+            put_edit(buf, edit);
+            varint::put_opt_str(buf, base_newick.as_deref());
+        }
+        Message::Ping => buf.push(tag::PING),
+        Message::Shutdown => buf.push(tag::SHUTDOWN),
+        Message::Batch { msgs } => {
+            buf.push(tag::BATCH);
+            put_msgs(buf, msgs);
+        }
+        Message::LeaseRequest { want } => {
+            buf.push(tag::LEASE_REQUEST);
+            varint::put_u32(buf, *want);
+        }
+        Message::StealRequest { want } => {
+            buf.push(tag::STEAL_REQUEST);
+            varint::put_u32(buf, *want);
+        }
+        Message::StealReturn { tasks } => {
+            buf.push(tag::STEAL_RETURN);
+            put_msgs(buf, tasks);
+        }
+        Message::Rehome { foreman } => {
+            buf.push(tag::REHOME);
+            varint::put_usize(buf, *foreman);
+        }
+    }
+}
+
+fn decode_body_at(r: &mut Reader<'_>, depth: u32) -> Result<Message, WireError> {
+    match r.u8()? {
+        tag::PROBLEM_DATA => Ok(Message::ProblemData {
+            phylip: r.str()?,
+            config_json: r.str()?,
+        }),
+        tag::WORKER_READY => Ok(Message::WorkerReady),
+        tag::TREE_TASK => Ok(Message::TreeTask {
+            task: r.u64()?,
+            newick: r.str()?,
+        }),
+        tag::TREE_RESULT => Ok(Message::TreeResult {
+            task: r.u64()?,
+            newick: r.str()?,
+            ln_likelihood: r.f64()?,
+            work_units: r.u64()?,
+        }),
+        tag::JUMBLE_TASK => Ok(Message::JumbleTask {
+            task: r.u64()?,
+            seed: r.u64()?,
+        }),
+        tag::JUMBLE_RESULT => Ok(Message::JumbleResult {
+            task: r.u64()?,
+            seed: r.u64()?,
+            newick: r.str()?,
+            ln_likelihood: r.f64()?,
+            rounds: r.u64()?,
+            candidates: r.u64()?,
+            work_units: r.u64()?,
+        }),
+        tag::MONITOR => Ok(Message::Monitor(get_monitor(r)?)),
+        tag::PEER_DOWN => Ok(Message::PeerDown { rank: r.usize()? }),
+        tag::PEER_UP => Ok(Message::PeerUp { rank: r.usize()? }),
+        tag::QUARANTINED => Ok(Message::Quarantined {
+            task: r.u64()?,
+            failures: r.u64()?,
+            payload: get_payload(r)?,
+        }),
+        tag::ABORT => Ok(Message::Abort { reason: r.str()? }),
+        tag::JOB_DATA => Ok(Message::JobData {
+            job: r.u64()?,
+            phylip: r.str()?,
+            config_json: r.str()?,
+        }),
+        tag::JOB_TASK => Ok(Message::JobTask {
+            job: r.u64()?,
+            task: r.u64()?,
+            seed: r.u64()?,
+        }),
+        tag::JOB_TASK_RESULT => Ok(Message::JobTaskResult {
+            job: r.u64()?,
+            task: r.u64()?,
+            seed: r.u64()?,
+            newick: r.str()?,
+            ln_likelihood: r.f64()?,
+            work_units: r.u64()?,
+        }),
+        tag::JOB_RETIRE => Ok(Message::JobRetire { job: r.u64()? }),
+        tag::BASE_TOPOLOGY => Ok(Message::BaseTopology {
+            base_id: r.u64()?,
+            newick: r.str()?,
+        }),
+        tag::TREE_EDIT_TASK => Ok(Message::TreeEditTask {
+            task: r.u64()?,
+            base_id: r.u64()?,
+            edit: get_edit(r)?,
+            base_newick: r.opt_str()?,
+        }),
+        tag::PING => Ok(Message::Ping),
+        tag::SHUTDOWN => Ok(Message::Shutdown),
+        tag::BATCH => Ok(Message::Batch {
+            msgs: get_msgs(r, depth)?,
+        }),
+        tag::LEASE_REQUEST => Ok(Message::LeaseRequest { want: r.u32()? }),
+        tag::STEAL_REQUEST => Ok(Message::StealRequest { want: r.u32()? }),
+        tag::STEAL_RETURN => Ok(Message::StealReturn {
+            tasks: get_msgs(r, depth)?,
+        }),
+        tag::REHOME => Ok(Message::Rehome {
+            foreman: r.usize()?,
+        }),
+        t => Err(WireError::BadTag("message", u64::from(t))),
+    }
+}
+
+/// Decode one message body (no magic/version header) from a reader.
+pub fn decode_body(r: &mut Reader<'_>) -> Result<Message, WireError> {
+    decode_body_at(r, 0)
+}
+
+/// Encode a complete binary body: magic, version, then the message.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(msg.wire_bytes() / 2 + 8);
+    buf.push(MAGIC);
+    buf.push(BINARY_VERSION);
+    encode_body(msg, &mut buf);
+    buf
+}
+
+/// Decode a complete binary body produced by [`encode_message`]. Rejects
+/// bad magic, unknown versions, and trailing bytes.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u8()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != BINARY_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg = decode_body(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Trailing(r.remaining()));
+    }
+    Ok(msg)
+}
+
+/// The binary codec as a [`MessageCodec`] — the negotiated alternative to
+/// [`JsonCodec`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+impl MessageCodec for BinaryCodec {
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+
+    fn encode(&self, msg: &Message) -> Result<Vec<u8>, CodecError> {
+        Ok(encode_message(msg))
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Message, CodecError> {
+        Ok(decode_message(bytes)?)
+    }
+}
+
+/// The wire format a peer writes with. Readers never need it — every body
+/// is sniffed by its first byte — so two peers with different formats
+/// still understand each other; the negotiated value only tells a writer
+/// what its counterpart prefers to receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// One serde-JSON document per message (the seed format).
+    Json,
+    /// The compact tagged-varint layout of this crate (the default).
+    #[default]
+    Binary,
+}
+
+impl WireFormat {
+    /// Parse a `--wire` flag or handshake field value.
+    pub fn parse(s: &str) -> Option<WireFormat> {
+        match s {
+            "json" => Some(WireFormat::Json),
+            "binary" => Some(WireFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The stable name used in flags and handshakes.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "binary",
+        }
+    }
+
+    /// The codec implementing this format.
+    pub fn codec(self) -> &'static dyn MessageCodec {
+        match self {
+            WireFormat::Json => &JsonCodec,
+            WireFormat::Binary => &BinaryCodec,
+        }
+    }
+
+    /// Encode with this format's codec.
+    pub fn encode(self, msg: &Message) -> Result<Vec<u8>, CodecError> {
+        self.codec().encode(msg)
+    }
+}
+
+impl std::fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Decode a body in whichever codec produced it, sniffed from the first
+/// byte: [`MAGIC`] means binary, anything else is handed to the JSON
+/// codec. This is what makes mixed-codec fleets work — a reader does not
+/// care what the sender negotiated.
+pub fn decode_auto(bytes: &[u8]) -> Result<Message, CodecError> {
+    match bytes.first() {
+        Some(&MAGIC) => Ok(decode_message(bytes)?),
+        _ => JsonCodec.decode(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edit_task() -> Message {
+        Message::TreeEditTask {
+            task: 4242,
+            base_id: 17,
+            edit: TreeEdit::Regraft {
+                root: 40,
+                attachment: 41,
+                a: 7,
+                b: 8,
+            },
+            base_newick: None,
+        }
+    }
+
+    #[test]
+    fn binary_roundtrips_a_batch() {
+        let msg = Message::Batch {
+            msgs: vec![
+                sample_edit_task(),
+                Message::TreeResult {
+                    task: 1,
+                    newick: "(a:1.25,b:0.5);".into(),
+                    ln_likelihood: -1234.5678901234,
+                    work_units: 99,
+                },
+                Message::Ping,
+            ],
+        };
+        let bytes = encode_message(&msg);
+        assert_eq!(decode_message(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json_for_edit_tasks() {
+        let msg = sample_edit_task();
+        let bin = encode_message(&msg);
+        let json = JsonCodec.encode(&msg).unwrap();
+        assert!(
+            bin.len() * 5 <= json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn auto_detect_sniffs_both_codecs() {
+        let msg = Message::LeaseRequest { want: 32 };
+        let bin = encode_message(&msg);
+        let json = JsonCodec.encode(&msg).unwrap();
+        assert_eq!(decode_auto(&bin).unwrap(), msg);
+        assert_eq!(decode_auto(&json).unwrap(), msg);
+    }
+
+    #[test]
+    fn bad_version_and_trailing_bytes_are_rejected() {
+        let mut bytes = encode_message(&Message::Ping);
+        bytes[1] = 99;
+        assert_eq!(decode_message(&bytes), Err(WireError::BadVersion(99)));
+
+        let mut bytes = encode_message(&Message::Ping);
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn deep_batch_nesting_is_rejected() {
+        let mut msg = Message::Ping;
+        for _ in 0..(MAX_DEPTH + 1) {
+            msg = Message::Batch { msgs: vec![msg] };
+        }
+        let bytes = encode_message(&msg);
+        assert_eq!(decode_message(&bytes), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn hostile_batch_count_does_not_allocate() {
+        // A batch claiming u64::MAX messages must fail fast, not OOM.
+        let mut bytes = vec![MAGIC, BINARY_VERSION, 19];
+        varint::put_u64(&mut bytes, u64::MAX);
+        assert!(decode_message(&bytes).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! LEB128 varints and the primitive field encodings of the binary codec.
+//!
+//! Every integer field travels as an unsigned LEB128 varint (7 payload
+//! bits per byte, high bit = continuation), so the common small values —
+//! ranks, task ids, node ids — cost one or two bytes instead of JSON's
+//! quoted decimal digits plus a field name. Floats travel as their exact
+//! IEEE-754 bit pattern (8 little-endian bytes), which round-trips
+//! bit-identically where JSON's decimal formatting needs shortest-float
+//! printing to do the same. Strings are length-prefixed UTF-8.
+
+use crate::WireError;
+
+/// Append `v` to `buf` as an unsigned LEB128 varint.
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a `u32` field (varint-encoded; never wider than its value needs).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    put_u64(buf, u64::from(v));
+}
+
+/// Append a `usize` field (varint-encoded).
+pub fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+/// Append an `f64` as its exact bit pattern, little-endian.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append an optional string: presence byte, then the string if present.
+pub fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// A bounds-checked cursor over an encoded body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `buf` from its first byte.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read one raw byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read an unsigned LEB128 varint. Rejects encodings wider than a u64
+    /// (more than 10 bytes, or overflowing high bits).
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Read a varint that must fit in a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.u64()?).map_err(|_| WireError::VarintOverflow)
+    }
+
+    /// Read a varint that must fit in a `usize`.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::VarintOverflow)
+    }
+
+    /// Read an `f64` bit pattern (8 little-endian bytes).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let end = self.pos.checked_add(8).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.usize()?;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..end]).map_err(|_| WireError::BadUtf8)?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    /// Read an optional string written by [`put_opt_str`].
+    pub fn opt_str(&mut self) -> Result<Option<String>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            b => Err(WireError::BadTag("option", u64::from(b))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.u64().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes cannot fit in a u64.
+        let buf = [0xFFu8; 11];
+        assert_eq!(Reader::new(&buf).u64(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -12345.6789e-200,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            let got = Reader::new(&buf).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_string_is_an_error() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        buf.truncate(3);
+        assert_eq!(Reader::new(&buf).str(), Err(WireError::Truncated));
+    }
+}

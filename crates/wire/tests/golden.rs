@@ -1,0 +1,184 @@
+//! Golden-bytes fixtures pinning binary layout version 1.
+//!
+//! These hex strings are the contract: a peer built from any commit after
+//! this one must produce exactly these bytes for these messages, or fleets
+//! mixing builds would silently mis-decode each other mid-rollout. If a
+//! change here is intentional, bump `fdml_wire::BINARY_VERSION` so old
+//! decoders reject the new layout instead of misreading it — then, and
+//! only then, regenerate the fixtures.
+
+use fdml_comm::message::{Message, MonitorEvent, TaskPayload, TreeEdit};
+use fdml_wire::{decode_message, encode_message};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn fixtures() -> Vec<(&'static str, Message, &'static str)> {
+    vec![
+        ("worker_ready", Message::WorkerReady, "fd0101"),
+        ("ping", Message::Ping, "fd0111"),
+        ("shutdown", Message::Shutdown, "fd0112"),
+        (
+            "tree_task",
+            Message::TreeTask {
+                task: 300,
+                newick: "(a:1,b:2);".into(),
+            },
+            "fd0102ac020a28613a312c623a32293b",
+        ),
+        (
+            "tree_result",
+            Message::TreeResult {
+                task: 300,
+                newick: "(a:1.5,b:2.5);".into(),
+                ln_likelihood: -1234.5625,
+                work_units: 777,
+            },
+            "fd0103ac020e28613a312e352c623a322e35293b00000000404a93c08906",
+        ),
+        (
+            "edit_insert",
+            Message::TreeEditTask {
+                task: 65,
+                base_id: 9,
+                edit: TreeEdit::Insert {
+                    taxon: 12,
+                    a: 3,
+                    b: 130,
+                },
+                base_newick: None,
+            },
+            "fd01104109000c03820100",
+        ),
+        (
+            "edit_regraft_embedded",
+            Message::TreeEditTask {
+                task: 66,
+                base_id: 9,
+                edit: TreeEdit::Regraft {
+                    root: 5,
+                    attachment: 6,
+                    a: 1,
+                    b: 2,
+                },
+                base_newick: Some("(a,b);".into()),
+            },
+            "fd011042090105060102010628612c62293b",
+        ),
+        (
+            "base_topology",
+            Message::BaseTopology {
+                base_id: 9,
+                newick: "(a:1,b:2);".into(),
+            },
+            "fd010f090a28613a312c623a32293b",
+        ),
+        (
+            "lease_request",
+            Message::LeaseRequest { want: 200 },
+            "fd0114c801",
+        ),
+        (
+            "steal_request",
+            Message::StealRequest { want: 4 },
+            "fd011504",
+        ),
+        ("rehome", Message::Rehome { foreman: 5 }, "fd011705"),
+        (
+            "quarantined",
+            Message::Quarantined {
+                task: 9,
+                failures: 3,
+                payload: TaskPayload::TreeEdit {
+                    base_id: 2,
+                    edit: TreeEdit::Insert {
+                        taxon: 1,
+                        a: 2,
+                        b: 3,
+                    },
+                },
+            },
+            "fd01090903020200010203",
+        ),
+        (
+            "monitor_completed",
+            Message::Monitor(MonitorEvent::Completed {
+                task: 4,
+                worker: 3,
+                ln_likelihood: -0.5,
+                work_units: 10,
+                service_us: 1000,
+            }),
+            "fd0106010403000000000000e0bf0ae807",
+        ),
+        (
+            "batch",
+            Message::Batch {
+                msgs: vec![
+                    Message::TreeEditTask {
+                        task: 65,
+                        base_id: 9,
+                        edit: TreeEdit::Insert {
+                            taxon: 12,
+                            a: 3,
+                            b: 130,
+                        },
+                        base_newick: None,
+                    },
+                    Message::Ping,
+                ],
+            },
+            "fd011302104109000c0382010011",
+        ),
+        (
+            "steal_return",
+            Message::StealReturn {
+                tasks: vec![Message::JumbleTask { task: 2, seed: 128 }],
+            },
+            "fd01160104028001",
+        ),
+    ]
+}
+
+#[test]
+fn encoder_matches_golden_bytes() {
+    for (name, msg, expected) in fixtures() {
+        assert_eq!(
+            hex(&encode_message(&msg)),
+            expected,
+            "binary layout changed for fixture `{name}` — bump BINARY_VERSION"
+        );
+    }
+}
+
+#[test]
+fn decoder_reads_golden_bytes() {
+    for (name, msg, expected) in fixtures() {
+        let bytes: Vec<u8> = (0..expected.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&expected[i..i + 2], 16).unwrap())
+            .collect();
+        assert_eq!(
+            decode_message(&bytes).unwrap(),
+            msg,
+            "decoder disagrees with fixture `{name}`"
+        );
+    }
+}
+
+#[test]
+fn compact_task_is_under_16_bytes() {
+    // The point of the exercise: a PR 7 edit task fits in a dozen bytes.
+    let msg = Message::TreeEditTask {
+        task: 65,
+        base_id: 9,
+        edit: TreeEdit::Insert {
+            taxon: 12,
+            a: 3,
+            b: 130,
+        },
+        base_newick: None,
+    };
+    assert!(encode_message(&msg).len() < 16);
+}

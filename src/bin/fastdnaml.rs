@@ -28,6 +28,9 @@
 //!   --supervise          (--net spawn) respawn worker processes that die,
 //!                        with capped exponential backoff
 //!   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
+//!   --regions R          interpose R regional foremen between the foreman
+//!                        and the workers (--parallel / --net) [0 = flat]
+//!   --wire FORMAT        hub data-plane codec, json | binary (--net) [binary]
 //!   --worker-timeout-ms T  foreman timeout before a task is requeued
 //!   --incremental        score candidate rounds as base + edit through a
 //!                        per-worker CLV cache (parallel / --net modes)
@@ -85,6 +88,7 @@ use fastdnaml::core::runner::{
     RunOptions,
 };
 use fastdnaml::core::search::StepwiseSearch;
+use fastdnaml::net::WireFormat;
 use fastdnaml::obs::{JsonlSink, MemorySink, Obs, RunReport, Sink};
 use fastdnaml::phylo::consensus::Consensus;
 use fastdnaml::phylo::{fasta, newick, phylip};
@@ -98,6 +102,23 @@ fn get<T: std::str::FromStr>(args: &HashMap<String, String>, key: &str, default:
     args.get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Apply the shared topology flags — `--regions R` (hierarchical foreman
+/// tree) and `--wire json|binary` (hub data-plane codec) — to a
+/// [`NetOptions`] bundle.
+fn net_topology(
+    mut options: NetOptions,
+    args: &HashMap<String, String>,
+) -> Result<NetOptions, String> {
+    options = options.hierarchical(get(args, "regions", 0));
+    if let Some(w) = args.get("wire") {
+        match WireFormat::parse(w) {
+            Some(wire) => options = options.with_wire(wire),
+            None => return Err(format!("--wire {w}: expected json or binary")),
+        }
+    }
+    Ok(options)
 }
 
 /// Load a `--resume` farm manifest, naming the file in every failure: a
@@ -163,6 +184,9 @@ fastdnaml --input data.phy [options]
   --ranks N            universe size for --net coordinator / --serve [4]
   --supervise          (--net spawn) respawn dead worker processes
   --max-restarts N     respawn ceiling per worker slot with --supervise [3]
+  --regions R          interpose R regional foremen between the foreman
+                       and the workers (--parallel / --net) [0 = flat]
+  --wire FORMAT        hub data-plane codec, json | binary (--net) [binary]
   --worker-timeout-ms T  foreman timeout before a task is requeued
   --incremental        score candidate rounds as base + edit (CLV cache)
   --no-incremental     force whole-tree candidate scoring (the default)
@@ -224,6 +248,15 @@ fn serve_mode(args: &HashMap<String, String>, flags: &[String], quiet: bool) -> 
     options.max_jobs = get(args, "max-jobs", 8);
     options.max_job_ranks = get(args, "max-job-ranks", 0);
     options.max_wall_ms = get(args, "max-wall-ms", 0);
+    if let Some(w) = args.get("wire") {
+        match WireFormat::parse(w) {
+            Some(wire) => options.wire = wire,
+            None => {
+                eprintln!("fastdnaml: --wire {w}: expected json or binary");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if flags.iter().any(|f| f == "spawn-workers") {
         options.spawn = Some(std::env::current_exe().expect("current executable path"));
     }
@@ -681,7 +714,14 @@ fn main() -> ExitCode {
                     .get("listen")
                     .map(String::as_str)
                     .unwrap_or("127.0.0.1:0");
-                let mut net_options = NetOptions::new(listen, ranks).observed(sinks);
+                let mut net_options =
+                    match net_topology(NetOptions::new(listen, ranks).observed(sinks), &args) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("fastdnaml: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                 if mode == "spawn" {
                     let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
                     let die_tasks = args
@@ -817,7 +857,14 @@ fn main() -> ExitCode {
         if obs_summary && sinks.is_empty() {
             sinks.push(Box::new(MemorySink::new()));
         }
-        let mut net_options = NetOptions::new(listen, ranks).observed(sinks);
+        let mut net_options =
+            match net_topology(NetOptions::new(listen, ranks).observed(sinks), &args) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("fastdnaml: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         net_options.checkpoint_out = checkpoint_path.clone().map(std::path::PathBuf::from);
         net_options.resume = resume_checkpoint;
         if mode == "spawn" {
@@ -877,8 +924,9 @@ fn main() -> ExitCode {
             // No event log requested, but the report still needs the stream.
             sinks.push(Box::new(MemorySink::new()));
         }
-        let outcome =
-            parallel_search(&job, ranks, RunOptions::observed(sinks)).expect("parallel search");
+        let mut run_options = RunOptions::observed(sinks);
+        run_options.regions = get(&args, "regions", 0);
+        let outcome = parallel_search(&job, ranks, run_options).expect("parallel search");
         if obs_summary {
             match &outcome.report {
                 Some(report) => println!("{report}"),

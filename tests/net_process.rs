@@ -250,3 +250,55 @@ fn coordinator_checkpoint_resumes_to_the_same_tree() {
     assert_eq!(resumed_tree, full_tree);
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn hierarchical_universe_matches_flat_processes_exactly() {
+    let dir = workdir("hier");
+    let log = dir.join("events.jsonl");
+    let (flat_tree, _) = run(&dir, &["--net", "spawn", "6", "--quiet"]);
+    // Nine processes, two regions: master + root foreman + monitor + two
+    // regional foremen + four workers sharded round-robin between them.
+    // The extra scheduling layer must be invisible in the result.
+    let (hier_tree, _) = run(
+        &dir,
+        &[
+            "--net",
+            "spawn",
+            "9",
+            "--regions",
+            "2",
+            "--quiet",
+            "--obs-out",
+            log.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(hier_tree, flat_tree);
+    // The whole nine-rank universe actually assembled.
+    let text = std::fs::read_to_string(&log).unwrap();
+    let records = fastdnaml::obs::JsonlSink::parse(&text).unwrap();
+    for rank in 1..9usize {
+        assert!(
+            records.iter().any(|r| matches!(
+                r.event,
+                fastdnaml::obs::Event::NetPeerConnected { rank: got } if got == rank
+            )),
+            "rank {rank} never connected"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn json_wire_matches_binary_wire_exactly() {
+    let dir = workdir("wirefmt");
+    // Same universe, opposite hub codecs. The peers default to binary, so
+    // the JSON run is a genuinely mixed fleet (JSON hub ↔ binary workers)
+    // relying on per-connection negotiation.
+    let (binary_tree, _) = run(
+        &dir,
+        &["--net", "spawn", "4", "--quiet", "--wire", "binary"],
+    );
+    let (json_tree, _) = run(&dir, &["--net", "spawn", "4", "--quiet", "--wire", "json"]);
+    assert_eq!(json_tree, binary_tree);
+    std::fs::remove_dir_all(dir).ok();
+}
