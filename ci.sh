@@ -53,14 +53,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Benches must keep compiling, and the kernel perf reporter must produce
 # valid JSON end to end (quick datasets; the checked-in BENCH_kernels.json
 # comes from a full run). The reporter itself enforces the >=3x incremental
-# candidate-round gate, so the --quick run doubles as that smoke.
+# candidate-round gate and the bit-identity of the intra-threaded engine,
+# so the --quick run doubles as both smokes.
 cargo bench --no-run
-cargo run --release -p fdml-bench --bin kernel_report -- --quick --out target/bench_kernels_smoke.json
+cargo run --release -p fdml-bench --bin kernel_report -- --quick --intra-threads 2 \
+  --out target/bench_kernels_smoke.json
 
 # Incremental-evaluation equivalence suite: seeded randomized edits must
 # score identically (<=1e-12) to from-scratch evaluation under both kernel
 # modes, bit-identical to the TreeScorer, in any scoring order.
 cargo test -q -p fdml-likelihood incremental
+
+# Cross-path kernel equivalence matrix: {scalar, widest host ISA} ×
+# {1, 2, 4 intra-rank threads} × {Reference, Optimized} must agree bit for
+# bit on evaluation, optimization, Newton derivatives, score_edit, and
+# whole searches.
+cargo test -q --test kernel_equivalence
 
 # Multi-process smoke: a 4-rank TCP deployment (one OS process per rank,
 # loopback) must emit the identical tree, byte for byte, to the threaded
@@ -69,6 +77,16 @@ write_smoke_data
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --net spawn 4 --quiet --output "$SMOKE/net.nwk"
 ./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet --output "$SMOKE/threads.nwk"
 cmp "$SMOKE/net.nwk" "$SMOKE/threads.nwk"
+
+# ISA / intra-thread smoke: pinning the scalar lane, and running four
+# pattern-block threads per rank, must both emit the byte-identical tree —
+# the SIMD lanes and the blocked fold are the same computation.
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --isa scalar --quiet \
+  --output "$SMOKE/isa_scalar.nwk"
+cmp "$SMOKE/isa_scalar.nwk" "$SMOKE/threads.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --intra-threads 4 --quiet \
+  --output "$SMOKE/intra4.nwk"
+cmp "$SMOKE/intra4.nwk" "$SMOKE/threads.nwk"
 
 # Incremental round smoke (golden seed 5): base + edit dispatch must emit
 # the identical tree, byte for byte, to whole-tree dispatch of the same

@@ -2,12 +2,16 @@
 //! `BENCH_kernels.json` (see `fdml_bench::kernel_report`).
 //!
 //! Usage:
-//!   kernel_report [--quick] [--samples N] [--out PATH]
+//!   kernel_report [--quick] [--samples N] [--out PATH] [--intra-threads N]
 //!
 //! `--quick` shrinks the datasets and sample counts to a CI smoke test;
 //! the checked-in report must come from a full (default) run.
+//! `--intra-threads N` sets the thread count of the intra-rank scaling
+//! rows (default 4, the gated configuration).
 
-use fdml_bench::kernel_report::{compare, measure, KernelReport, WorkloadReport};
+use fdml_bench::kernel_report::{
+    compare, measure, IntraScalingReport, KernelReport, WorkloadReport,
+};
 use fdml_bench::Args;
 use fdml_core::config::SearchConfig;
 use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
@@ -108,16 +112,72 @@ fn run_incremental_workload(
     row
 }
 
+/// Times one evaluate pass serially and at `threads` pattern-block
+/// threads on the same optimized engine, checking the two log-likelihoods
+/// are bit-identical (the determinism contract) along the way. The gated
+/// number is the modeled critical-path speedup of the block schedule; the
+/// wall ratio rides along and is only meaningful when the host has at
+/// least `threads` cores.
+fn run_intra_scaling(
+    name: &str,
+    samples: usize,
+    engine: &mut LikelihoodEngine,
+    tree: &Tree,
+    threads: usize,
+) -> IntraScalingReport {
+    engine.set_kernel_mode(KernelMode::Optimized);
+    engine.set_intra_threads(1);
+    let serial_eval = engine.evaluate(tree);
+    let updates = serial_eval.work.total_pattern_updates();
+    let serial = measure(samples, updates, || {
+        black_box(engine.evaluate(tree).ln_likelihood);
+    });
+    engine.set_intra_threads(threads);
+    let threaded_eval = engine.evaluate(tree);
+    assert_eq!(
+        serial_eval.ln_likelihood.to_bits(),
+        threaded_eval.ln_likelihood.to_bits(),
+        "intra-rank threading changed the log-likelihood bits"
+    );
+    let threaded = measure(samples, updates, || {
+        black_box(engine.evaluate(tree).ln_likelihood);
+    });
+    engine.set_intra_threads(1);
+    let patterns = engine.patterns().num_patterns();
+    let row = IntraScalingReport {
+        name: name.to_string(),
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        patterns,
+        modeled_speedup: fdml_likelihood::par::modeled_speedup(patterns, threads),
+        wall_speedup: serial.mean_seconds / threaded.mean_seconds,
+        serial,
+        threaded,
+    };
+    println!(
+        "{:<32} 1t {:>10.3} ms  {}t {:>8.3} ms  modeled {:.2}x  wall {:.2}x",
+        row.name,
+        row.serial.mean_seconds * 1e3,
+        row.threads,
+        row.threaded.mean_seconds * 1e3,
+        row.modeled_speedup,
+        row.wall_speedup
+    );
+    row
+}
+
 fn main() {
     let args = Args::from_env();
     let quick = args.has_flag("quick");
     let samples = args.get("samples", if quick { 3 } else { 15 });
     let out = args.get_str("out", "BENCH_kernels.json");
+    let intra_threads: usize = args.get("intra-threads", 4usize).max(2);
 
     let (eval_taxa, eval_sites) = if quick { (24, 200) } else { (101, 500) };
     let by_sites = if quick { (16, 300) } else { (32, 1858) };
 
     let mut workloads = Vec::new();
+    let mut intra_scaling = Vec::new();
 
     {
         let (alignment, tree) = dataset(eval_taxa, eval_sites);
@@ -150,6 +210,52 @@ fn main() {
             &mut engine,
             |e| e.evaluate(&tree).work.total_pattern_updates(),
         ));
+        // Intra-rank thread scaling on the widest alignment: one row at 2
+        // threads and one at the gated configuration.
+        for threads in [2usize, intra_threads] {
+            if intra_scaling
+                .iter()
+                .any(|r: &IntraScalingReport| r.threads == threads)
+            {
+                continue;
+            }
+            intra_scaling.push(run_intra_scaling(
+                &format!("intra_scaling/evaluate_by_sites/{threads}"),
+                samples,
+                &mut engine,
+                &tree,
+                threads,
+            ));
+        }
+    }
+
+    // The intra-rank gate. The block schedule itself is deterministic, so
+    // the gated number is the modeled critical-path speedup at 4 threads on
+    // the full-size pattern load — it regresses only if the block size or
+    // the round-robin assignment gets less balanced, independent of how
+    // many cores this host happens to have. Wall time is gated only on
+    // hosts that can actually run 4 threads in parallel, and only in full
+    // (non-quick) runs.
+    {
+        const GATE_PATTERNS: usize = 1500;
+        const GATE_THREADS: usize = 4;
+        let modeled = fdml_likelihood::par::modeled_speedup(GATE_PATTERNS, GATE_THREADS);
+        assert!(
+            modeled >= 2.5,
+            "modeled intra-rank speedup at {GATE_THREADS} threads regressed below the \
+             2.5x gate: {modeled:.2}x over {GATE_PATTERNS} patterns"
+        );
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if !quick && cores >= GATE_THREADS {
+            if let Some(row) = intra_scaling.iter().find(|r| r.threads == GATE_THREADS) {
+                assert!(
+                    row.wall_speedup >= 1.3,
+                    "wall intra-rank speedup at {GATE_THREADS} threads on a {cores}-core \
+                     host fell below 1.3x: {:.2}x",
+                    row.wall_speedup
+                );
+            }
+        }
     }
 
     {
@@ -202,6 +308,7 @@ fn main() {
         generated_by: "fdml-bench kernel_report".into(),
         quick,
         workloads,
+        intra_scaling,
     };
     std::fs::write(&out, report.to_json() + "\n").expect("write report");
     println!("wrote {out}");

@@ -51,6 +51,12 @@ pub struct SearchConfig {
     /// mode a worker runs in is decided per task by the message it
     /// receives (`TreeTask` vs `TreeEditTask`).
     pub incremental: bool,
+    /// Intra-rank kernel threads per worker (`--intra-threads`): the
+    /// likelihood kernels fan pattern blocks across this many threads.
+    /// 1 (the default) keeps the serial fast path; results are
+    /// bit-identical at any value. Travels in the engine wire config so
+    /// remote workers build identically threaded engines.
+    pub intra_threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -68,6 +74,7 @@ impl Default for SearchConfig {
             worker_timeout: Duration::from_secs(30),
             categories: None,
             incremental: false,
+            intra_threads: 1,
         }
     }
 }
@@ -96,6 +103,7 @@ impl SearchConfig {
             None => RateCategories::single(patterns.num_patterns()),
         };
         LikelihoodEngine::with_parts(patterns, model, categories)
+            .with_intra_threads(self.intra_threads)
     }
 
     /// The wire form of the engine configuration, broadcast to workers.
@@ -140,6 +148,12 @@ struct EngineConfigWire {
     max_verify_per_round: usize,
     #[serde(default = "default_verify_slack")]
     verify_slack: f64,
+    #[serde(default = "default_intra_threads")]
+    intra_threads: usize,
+}
+
+fn default_intra_threads() -> usize {
+    1
 }
 
 fn default_rearrange_radius() -> usize {
@@ -182,6 +196,7 @@ impl From<&SearchConfig> for EngineConfigWire {
             max_rearrange_rounds: c.max_rearrange_rounds,
             max_verify_per_round: c.max_verify_per_round,
             verify_slack: c.verify_slack,
+            intra_threads: c.intra_threads,
         }
     }
 }
@@ -208,6 +223,7 @@ impl EngineConfigWire {
             max_rearrange_rounds: self.max_rearrange_rounds,
             max_verify_per_round: self.max_verify_per_round,
             verify_slack: self.verify_slack,
+            intra_threads: self.intra_threads,
             ..SearchConfig::default()
         }
     }
@@ -281,6 +297,24 @@ mod tests {
         let d = SearchConfig::default();
         assert_eq!(back.rearrange_radius, d.rearrange_radius);
         assert_eq!(back.verify_slack, d.verify_slack);
+    }
+
+    #[test]
+    fn engine_config_wire_carries_intra_threads() {
+        let c = SearchConfig {
+            intra_threads: 4,
+            ..SearchConfig::default()
+        };
+        let back = SearchConfig::from_engine_config_json(&c.engine_config_json()).unwrap();
+        assert_eq!(back.intra_threads, 4);
+        // Pre-existing payloads without the field default to serial.
+        let json = r#"{"tt_ratio":2.0,"max_passes":2,"length_tolerance":1e-5,
+            "newton_max_iters":10,"newton_tolerance":1e-6,
+            "category_rates":[1.0],"category_assignment":null}"#;
+        let old = SearchConfig::from_engine_config_json(json).unwrap();
+        assert_eq!(old.intra_threads, 1);
+        let a = Alignment::from_strings(&[("x", "ACGT"), ("y", "ACGA")]).unwrap();
+        assert_eq!(c.build_engine(&a).intra_threads(), 4);
     }
 
     #[test]

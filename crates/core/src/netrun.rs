@@ -214,6 +214,11 @@ fn peer_command(spawn: &NetSpawn, addr: &str, rank: Option<Rank>) -> Command {
     if spawn.quiet {
         cmd.arg("--quiet");
     }
+    // An explicit `--isa` narrows the whole universe to one lane; children
+    // must inherit it or worker-side dispatch would silently diverge.
+    if let Some(isa) = fdml_likelihood::isa::override_isa() {
+        cmd.arg("--isa").arg(isa.name());
+    }
     if let (Some(rank), Some((die_rank, tasks))) = (rank, spawn.die_after_tasks) {
         if die_rank == rank {
             cmd.arg("--die-after-tasks").arg(tasks.to_string());
@@ -332,6 +337,10 @@ pub fn net_coordinator_search(
         ranks: num_ranks,
         workers: num_ranks - first_worker,
     });
+    obs.emit(|| Event::KernelDispatch {
+        isa: fdml_likelihood::isa::active().name().to_string(),
+        intra_threads: config.intra_threads,
+    });
 
     let (hub, mut children) = assemble_universe(
         &listen,
@@ -440,6 +449,10 @@ pub fn net_farm_search(
     obs.emit(|| Event::RunStarted {
         ranks: num_ranks,
         workers: num_ranks - ranks::FIRST_WORKER,
+    });
+    obs.emit(|| Event::KernelDispatch {
+        isa: fdml_likelihood::isa::active().name().to_string(),
+        intra_threads: config.intra_threads,
     });
 
     let (hub, mut children) = assemble_universe(

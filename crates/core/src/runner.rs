@@ -226,6 +226,10 @@ pub fn parallel_search(
         ranks: num_ranks,
         workers: num_ranks - first_worker,
     });
+    obs.emit(|| Event::KernelDispatch {
+        isa: fdml_likelihood::isa::active().name().to_string(),
+        intra_threads: config.intra_threads,
+    });
 
     let mut endpoints = ThreadUniverse::create(num_ranks);
     // Take endpoints from the back so indices stay valid.
@@ -434,6 +438,10 @@ pub fn farm_search(
     obs.emit(|| Event::RunStarted {
         ranks: num_ranks,
         workers: num_ranks - ranks::FIRST_WORKER,
+    });
+    obs.emit(|| Event::KernelDispatch {
+        isa: fdml_likelihood::isa::active().name().to_string(),
+        intra_threads: config.intra_threads,
     });
 
     let mut endpoints = ThreadUniverse::create(num_ranks);

@@ -19,11 +19,13 @@ use crate::clv::{fill_tip_clv, WTerms, LN_SCALE};
 use crate::f84::F84Model;
 use crate::kernels::{self, KernelMode, KernelScratch};
 use crate::newton::NewtonOptions;
+use crate::par::IntraPar;
 use crate::work::WorkCounter;
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::dna::NUM_STATES;
 use fdml_phylo::patterns::PatternAlignment;
 use fdml_phylo::tree::{EdgeId, NodeId, Tree};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Options controlling full-tree branch-length optimization.
@@ -68,6 +70,9 @@ pub struct LikelihoodEngine {
     tip_clvs: Vec<Vec<f64>>,
     /// Which kernel implementation evaluations route through.
     mode: KernelMode,
+    /// Intra-rank thread pool fanning kernel pattern blocks (serial by
+    /// default; see [`crate::par`]).
+    intra: IntraPar,
     /// Recycled workspace buffers (optimized mode only; the reference mode
     /// allocates per call like the seed implementation it reproduces).
     pool: WorkspacePool,
@@ -82,26 +87,66 @@ const MAX_POOLED_WORKSPACES: usize = 8;
 ///
 /// Cloning an engine starts the clone with an empty pool: pooled buffers
 /// are a cache, not state.
-struct WorkspacePool(Mutex<Vec<PoolEntry>>);
+///
+/// Every hand-out moves the entry out of the pool, so two workspaces can
+/// never alias one buffer set by construction; debug builds additionally
+/// track each entry's lease id and assert that an id is never out twice
+/// (nor returned without being out), which would catch any future
+/// duplication bug before it corrupts CLVs across threads.
+struct WorkspacePool {
+    entries: Mutex<Vec<PoolEntry>>,
+    /// Lease ids currently handed out (debug builds only).
+    #[cfg(debug_assertions)]
+    outstanding: Mutex<std::collections::HashSet<u64>>,
+}
 
 impl WorkspacePool {
     fn new() -> WorkspacePool {
-        WorkspacePool(Mutex::new(Vec::new()))
+        WorkspacePool {
+            entries: Mutex::new(Vec::new()),
+            #[cfg(debug_assertions)]
+            outstanding: Mutex::new(std::collections::HashSet::new()),
+        }
     }
 
-    fn pop(&self) -> Option<PoolEntry> {
-        self.0.lock().unwrap().pop()
+    /// Hand out a buffer set: a recycled one when available, else fresh.
+    fn lease(&self, categories: &RateCategories, par: &IntraPar) -> PoolEntry {
+        let entry = self
+            .entries
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_else(|| PoolEntry::fresh(categories, par));
+        #[cfg(debug_assertions)]
+        {
+            let inserted = self.outstanding.lock().unwrap().insert(entry.lease);
+            assert!(
+                inserted,
+                "workspace buffer set {} leased twice",
+                entry.lease
+            );
+        }
+        entry
     }
 
     fn put(&self, entry: PoolEntry) {
-        let mut pool = self.0.lock().unwrap();
+        #[cfg(debug_assertions)]
+        {
+            let removed = self.outstanding.lock().unwrap().remove(&entry.lease);
+            assert!(
+                removed,
+                "returned workspace buffer set {} was not leased from this pool",
+                entry.lease
+            );
+        }
+        let mut pool = self.entries.lock().unwrap();
         if pool.len() < MAX_POOLED_WORKSPACES {
             pool.push(entry);
         }
     }
 
     fn clear(&self) {
-        self.0.lock().unwrap().clear();
+        self.entries.lock().unwrap().clear();
     }
 }
 
@@ -113,7 +158,7 @@ impl Clone for WorkspacePool {
 
 impl std::fmt::Debug for WorkspacePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "WorkspacePool({})", self.0.lock().unwrap().len())
+        write!(f, "WorkspacePool({})", self.entries.lock().unwrap().len())
     }
 }
 
@@ -152,6 +197,7 @@ impl LikelihoodEngine {
             categories,
             tip_clvs,
             mode: KernelMode::default(),
+            intra: IntraPar::serial(),
             pool: WorkspacePool::new(),
         }
     }
@@ -161,6 +207,38 @@ impl LikelihoodEngine {
     pub fn with_kernel_mode(mut self, mode: KernelMode) -> LikelihoodEngine {
         self.mode = mode;
         self
+    }
+
+    /// The same engine with an `n`-thread intra-rank pool fanning kernel
+    /// pattern blocks (the `--intra-threads` flag); `n <= 1` keeps the
+    /// zero-overhead serial path. Results are bit-identical at any `n`.
+    pub fn with_intra_threads(mut self, n: usize) -> LikelihoodEngine {
+        self.set_intra_threads(n);
+        self
+    }
+
+    /// Rebuild the intra-rank pool in place.
+    pub fn set_intra_threads(&mut self, n: usize) {
+        self.intra = IntraPar::with_threads(n);
+        // Pooled kernel scratch carries a handle to the previous pool.
+        self.pool.clear();
+    }
+
+    /// The configured intra-rank thread count (1 when serial).
+    pub fn intra_threads(&self) -> usize {
+        self.intra.threads()
+    }
+
+    /// The intra-rank pool handle.
+    pub(crate) fn intra(&self) -> &IntraPar {
+        &self.intra
+    }
+
+    /// Kernel scratch bound to this engine's categories and intra-rank
+    /// pool, for callers whose scratch outlives a [`Workspace`] (the
+    /// scorer, the incremental CLV cache).
+    pub(crate) fn kernel_scratch(&self) -> KernelScratch {
+        KernelScratch::with_par(&self.categories, self.intra.clone())
     }
 
     /// Switch the kernel implementation in place.
@@ -341,19 +419,26 @@ impl ClvBuffers {
     }
 }
 
+/// Source of unique [`PoolEntry`] lease ids (shared by every pool; only
+/// uniqueness matters, not density).
+static NEXT_LEASE: AtomicU64 = AtomicU64::new(1);
+
 /// One recycled buffer set: CLVs plus the per-workspace kernel state.
 struct PoolEntry {
     clvs: ClvBuffers,
     wterms: Vec<WTerms>,
     scratch: KernelScratch,
+    /// Unique id backing the pool's debug double-hand-out assertion.
+    lease: u64,
 }
 
 impl PoolEntry {
-    fn fresh(categories: &RateCategories) -> PoolEntry {
+    fn fresh(categories: &RateCategories, par: &IntraPar) -> PoolEntry {
         PoolEntry {
             clvs: ClvBuffers::default(),
             wterms: Vec::new(),
-            scratch: KernelScratch::new(categories),
+            scratch: KernelScratch::with_par(categories, par.clone()),
+            lease: NEXT_LEASE.fetch_add(1, Ordering::Relaxed),
         }
     }
 }
@@ -372,6 +457,8 @@ pub(crate) struct Workspace<'e> {
     wterms: Vec<WTerms>,
     /// Reusable kernel state (category runs + coefficient tables).
     scratch: KernelScratch,
+    /// Lease id of the pooled buffer set (see [`WorkspacePool`]).
+    lease: u64,
 }
 
 impl<'e> Workspace<'e> {
@@ -385,16 +472,19 @@ impl<'e> Workspace<'e> {
         let root_edge = tree.incident_edges(root)[0];
         let order = tree.postorder_toward(root);
         let cap = tree.edge_capacity();
-        let recycled = if engine.mode == KernelMode::Optimized {
-            engine.pool.pop()
+        let entry = if engine.mode == KernelMode::Optimized {
+            engine.pool.lease(&engine.categories, &engine.intra)
         } else {
-            None
+            // Reference mode reproduces the seed's allocate-per-call
+            // behavior and never recycles through the pool.
+            PoolEntry::fresh(&engine.categories, &engine.intra)
         };
         let PoolEntry {
             mut clvs,
             mut wterms,
             scratch,
-        } = recycled.unwrap_or_else(|| PoolEntry::fresh(&engine.categories));
+            lease,
+        } = entry;
         clvs.prepare(cap, &order);
         if engine.mode == KernelMode::Optimized && clvs.zero_scale.len() != np {
             clvs.zero_scale.clear();
@@ -412,6 +502,7 @@ impl<'e> Workspace<'e> {
             clvs,
             wterms,
             scratch,
+            lease,
         }
     }
 
@@ -611,6 +702,7 @@ impl<'e> Workspace<'e> {
         work.loglik_pattern_evals += kernels::compute_w_terms(
             engine.mode,
             &engine.model,
+            engine.intra(),
             up_clv,
             down_clv,
             &mut self.wterms,
@@ -655,8 +747,14 @@ impl<'e> Workspace<'e> {
         let root_taxon = tree.taxon(self.root).expect("root is a tip");
         let tip = engine.tip_clv(root_taxon);
         let (down_clv, down_sc) = self.clvs.down_of(engine, ei);
-        work.loglik_pattern_evals +=
-            kernels::compute_w_terms(engine.mode, &engine.model, tip, down_clv, &mut self.wterms);
+        work.loglik_pattern_evals += kernels::compute_w_terms(
+            engine.mode,
+            &engine.model,
+            engine.intra(),
+            tip,
+            down_clv,
+            &mut self.wterms,
+        );
         kernels::branch_lnl(
             engine.mode,
             &engine.model,
@@ -676,7 +774,14 @@ impl<'e> Workspace<'e> {
         let root_taxon = tree.taxon(self.root).expect("root is a tip");
         let tip = engine.tip_clv(root_taxon);
         let (down_clv, down_sc) = self.clvs.down_of(engine, ei);
-        kernels::compute_w_terms(engine.mode, &engine.model, tip, down_clv, &mut self.wterms);
+        kernels::compute_w_terms(
+            engine.mode,
+            &engine.model,
+            engine.intra(),
+            tip,
+            down_clv,
+            &mut self.wterms,
+        );
         // Cold path (one call per rate scan); the per-call allocation is fine.
         let co = crate::reference::branch_coefficients(
             &engine.model,
@@ -704,6 +809,7 @@ impl Drop for Workspace<'_> {
                 clvs: std::mem::take(&mut self.clvs),
                 wterms: std::mem::take(&mut self.wterms),
                 scratch: std::mem::take(&mut self.scratch),
+                lease: self.lease,
             });
         }
     }
@@ -1049,6 +1155,57 @@ mod tests {
         let fresh = LikelihoodEngine::new(&a);
         assert_eq!(fresh.evaluate(&t).ln_likelihood, first);
         assert_eq!(fresh.evaluate(&small).ln_likelihood, small_first);
+    }
+
+    #[test]
+    fn intra_threads_are_bit_identical() {
+        // The canonical block reduction makes the thread count invisible
+        // in the output bits: evaluation and full branch-length
+        // optimization agree exactly between a serial engine and a
+        // 4-thread pool (on a tree large enough to span several blocks).
+        let (a, t) = five_taxon_case();
+        let serial = LikelihoodEngine::new(&a);
+        let pooled = LikelihoodEngine::new(&a).with_intra_threads(4);
+        assert_eq!(pooled.intra_threads(), 4);
+        assert_eq!(
+            serial.evaluate(&t).ln_likelihood,
+            pooled.evaluate(&t).ln_likelihood
+        );
+        let opts = OptimizeOptions::default();
+        let mut t_serial = t.clone();
+        let mut t_pooled = t.clone();
+        let lnl_s = serial.optimize(&mut t_serial, &opts).ln_likelihood;
+        let lnl_p = pooled.optimize(&mut t_pooled, &opts).ln_likelihood;
+        assert_eq!(lnl_s, lnl_p);
+        for e in t_serial.edge_ids() {
+            assert_eq!(t_serial.length(e).to_bits(), t_pooled.length(e).to_bits());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "leased twice")]
+    fn pool_detects_double_hand_out() {
+        let pool = WorkspacePool::new();
+        let cats = RateCategories::single(4);
+        let par = IntraPar::serial();
+        let first = pool.lease(&cats, &par);
+        // Forge an entry aliasing `first`'s lease id and sneak it into the
+        // idle stack: handing the same id out twice must trip the debug
+        // assertion before two workspaces could share buffers.
+        let mut forged = PoolEntry::fresh(&cats, &par);
+        forged.lease = first.lease;
+        pool.entries.lock().unwrap().push(forged);
+        let _second = pool.lease(&cats, &par);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "not leased")]
+    fn pool_rejects_unleased_return() {
+        let pool = WorkspacePool::new();
+        let cats = RateCategories::single(4);
+        pool.put(PoolEntry::fresh(&cats, &IntraPar::serial()));
     }
 
     #[test]

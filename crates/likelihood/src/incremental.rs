@@ -81,7 +81,7 @@ impl ClvCache {
             tree,
             clvs,
             zero_scale: vec![0; engine.patterns().num_patterns()],
-            scratch: KernelScratch::new(engine.categories()),
+            scratch: engine.kernel_scratch(),
             junction: JunctionScratch::new(engine.patterns().num_patterns()),
             ctx: None,
             build_work: work,

@@ -1,9 +1,10 @@
-//! Optimized likelihood kernels: division-free, allocation-free, blocked.
+//! Optimized likelihood kernels: division-free, allocation-free, blocked,
+//! runtime-dispatched, and intra-rank parallel.
 //!
 //! This module is the default implementation behind
 //! [`crate::engine::LikelihoodEngine`]; the original scalar code lives in
 //! [`crate::reference`] and serves as the equivalence oracle and benchmark
-//! baseline. Three transformations separate the two:
+//! baseline. Five transformations separate the two:
 //!
 //! 1. **Folded coefficients** ([`EdgeCoefficients`]): the per-branch F84
 //!    triple `(c1, c2, c3)` is precomputed per rate category with
@@ -23,21 +24,41 @@
 //!    Newton's per-pattern `ln` — the dominant cost of branch-length
 //!    optimization — is replaced by a running product in mantissa/exponent
 //!    form ([`LnProd`]) that takes a single `ln` per evaluation.
+//! 4. **Runtime ISA dispatch** ([`crate::isa`]): the CLV-combine span
+//!    kernel selects scalar / AVX2+FMA / AVX-512 (x86-64) or NEON
+//!    (aarch64) per the host's detected features, one probe per process.
+//!    Every vector lane performs the exact scalar multiply-add DAG per
+//!    pattern (vertical packed ops only), so lane selection never changes
+//!    a bit of output.
+//! 5. **Pattern-block parallelism** ([`crate::par`]): the combine, W-term,
+//!    and likelihood-fold kernels split pattern space into canonical
+//!    [`crate::par::PAR_BLOCK`]-pattern blocks, fanned round-robin across
+//!    the scratch's [`IntraPar`] pool. Map kernels write disjoint slices;
+//!    fold kernels compute one partial per block and merge the partials
+//!    serially in block order, so the result is bit-identical at any
+//!    thread count (the 1-thread execution *is* the canonical order).
 //!
 //! Work accounting is unchanged: both paths count one unit per pattern per
 //! kernel invocation, so `WorkCounter` totals are comparable across
-//! [`KernelMode::Optimized`] and [`KernelMode::Reference`] runs.
+//! [`KernelMode::Optimized`] and [`KernelMode::Reference`] runs — and
+//! across thread counts and ISAs.
 
 use crate::categories::RateCategories;
 use crate::clv::{WTerms, LN_SCALE, SCALE_FACTOR, SCALE_THRESHOLD};
 use crate::f84::{CoefficientsD2, F84Model};
+use crate::isa;
 use crate::newton::{self, NewtonOptions};
+use crate::par::{self, IntraPar, SendPtr};
 use crate::reference;
 use crate::work::WorkCounter;
 use fdml_phylo::dna::{A, C, G, T};
 
 /// How many patterns the deferred underflow scan covers per block.
 pub const SCALE_CHECK_BLOCK: usize = 32;
+
+/// Fold partial slots kept on the stack before falling back to the heap:
+/// 64 blocks × 256 patterns covers 16 384 patterns without allocating.
+const MAX_STACK_BLOCKS: usize = 64;
 
 /// Which kernel implementation an engine routes through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,12 +181,13 @@ fn fill_category_runs(cats: &RateCategories, out: &mut Vec<CategoryRun>) {
     }
 }
 
-/// Reusable per-workspace kernel state: the category-run decomposition plus
-/// coefficient tables for the (at most two) branches of one kernel call.
+/// Reusable per-workspace kernel state: the category-run decomposition,
+/// coefficient tables for the (at most two) branches of one kernel call,
+/// and the workspace's intra-rank thread-pool handle.
 ///
-/// The `Default` value is an inert placeholder (no runs, no pattern maxes)
-/// left behind when a workspace's scratch is recycled; build usable scratch
-/// with [`KernelScratch::new`].
+/// The `Default` value is an inert placeholder (no runs, no pattern maxes,
+/// serial) left behind when a workspace's scratch is recycled; build usable
+/// scratch with [`KernelScratch::new`] or [`KernelScratch::with_par`].
 #[derive(Debug, Clone, Default)]
 pub struct KernelScratch {
     runs: Vec<CategoryRun>,
@@ -173,24 +195,37 @@ pub struct KernelScratch {
     co_b: EdgeCoefficients,
     deriv: EdgeDerivCoefficients,
     maxes: Vec<f64>,
+    par: IntraPar,
 }
 
 impl KernelScratch {
-    /// Scratch bound to one category assignment (the runs are computed once
-    /// here; a `RateCategories` is immutable for the scratch's lifetime).
+    /// Serial scratch bound to one category assignment (the runs are
+    /// computed once here; a `RateCategories` is immutable for the
+    /// scratch's lifetime).
     pub fn new(cats: &RateCategories) -> KernelScratch {
+        KernelScratch::with_par(cats, IntraPar::serial())
+    }
+
+    /// Scratch whose kernels fan pattern blocks across `par`'s pool.
+    pub fn with_par(cats: &RateCategories, par: IntraPar) -> KernelScratch {
         KernelScratch {
             runs: category_runs(cats),
             co_a: EdgeCoefficients::new(),
             co_b: EdgeCoefficients::new(),
             deriv: EdgeDerivCoefficients::default(),
             maxes: vec![0.0; cats.num_patterns()],
+            par,
         }
     }
 
     /// The category runs.
     pub fn runs(&self) -> &[CategoryRun] {
         &self.runs
+    }
+
+    /// The intra-rank pool handle this scratch's kernels dispatch through.
+    pub fn par(&self) -> &IntraPar {
+        &self.par
     }
 }
 
@@ -224,7 +259,7 @@ impl JunctionScratch {
 /// plain log-space accumulator for oversized powers), so the branch
 /// log-likelihood needs one `ln` per *evaluation* instead of one per
 /// pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct LnProd {
     mantissa: f64,
     exponent: i64,
@@ -292,15 +327,52 @@ impl LnProd {
         }
     }
 
+    /// Multiply another accumulated product in: mantissas multiply,
+    /// exponents and log-space accumulators add. This is the merge step of
+    /// the fixed-order block reduction. Merging a partial into the identity
+    /// is bitwise exact (`1.0 * m == m`, `0 + e == e`, `0.0 + x == x` for
+    /// the non-negative-zero values that occur here), so a single-block
+    /// fold is bit-identical to the plain serial fold — which is what
+    /// keeps historical likelihood bits stable for alignments of at most
+    /// [`par::PAR_BLOCK`] patterns.
+    #[inline]
+    pub fn merge(&mut self, other: &LnProd) {
+        self.mantissa *= other.mantissa;
+        self.exponent += other.exponent;
+        self.extra += other.extra;
+        if self.mantissa >= 1e128 {
+            self.renormalize();
+        }
+    }
+
     /// `ln` of the accumulated product.
     pub fn value(&self) -> f64 {
         self.mantissa.ln() + self.exponent as f64 * std::f64::consts::LN_2 + self.extra
     }
 }
 
+/// Fold `(f, w)` factors through [`LnProd`] in independent chunks of
+/// `block` factors, merging the per-chunk partials in chunk order — the
+/// schedule-independent reduction shape used by the parallel fold kernels
+/// (whose chunk is [`par::PAR_BLOCK`] patterns). A `block` of at least
+/// `factors.len()` degenerates to the plain serial fold, bit for bit.
+/// Exposed for the determinism proptests.
+pub fn blocked_ln_prod(factors: &[(f64, u32)], block: usize) -> LnProd {
+    assert!(block > 0, "block size must be positive");
+    let mut total = LnProd::new();
+    for chunk in factors.chunks(block) {
+        let mut partial = LnProd::new();
+        for &(f, w) in chunk {
+            partial.mul_pow(f, w);
+        }
+        total.merge(&partial);
+    }
+    total
+}
+
 /// One pattern of division-free CLV propagation-and-product (the scalar
-/// form; also the tail/fallback of the vectorized span kernel). Returns the
-/// pattern's maximum entry, feeding the deferred rescale scan without a
+/// form; also the tail/fallback of the vectorized span kernels). Returns
+/// the pattern's maximum entry, feeding the deferred rescale scan without a
 /// second pass over the output.
 #[inline]
 fn combine_pattern(
@@ -331,9 +403,11 @@ fn combine_pattern(
 
 /// Propagate-and-multiply one constant-category span of patterns, recording
 /// each pattern's maximum entry in `maxes` (one slot per pattern).
-/// Dispatches to the 4-pattern-wide AVX2+FMA kernel when those target
-/// features are compiled in (`.cargo/config.toml` sets `target-cpu=native`),
-/// with the scalar pattern loop covering the tail and other targets.
+/// Dispatches through [`crate::isa::active`] to the widest lane the host
+/// supports — 8-pattern AVX-512, 4-pattern AVX2+FMA, 2-pattern NEON — with
+/// the scalar pattern loop covering the tail and the scalar lane. Every
+/// lane performs the identical per-pattern multiply-add DAG, so the output
+/// bits do not depend on the dispatch decision.
 fn combine_span(
     model: &F84Model,
     ca: &FoldedCoefficients,
@@ -344,18 +418,23 @@ fn combine_span(
     maxes: &mut [f64],
 ) {
     let freqs = &model.freqs;
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx2",
-        target_feature = "fma"
-    ))]
-    let done = x86::combine_span_avx2(freqs, ca, cb, x1, x2, out, maxes);
-    #[cfg(not(all(
-        target_arch = "x86_64",
-        target_feature = "avx2",
-        target_feature = "fma"
-    )))]
-    let done = 0;
+    let done = match isa::active() {
+        // Safety: `isa::active` only ever returns a lane the running host
+        // supports (detection probes the CPU; overrides are validated).
+        #[cfg(target_arch = "x86_64")]
+        isa::KernelIsa::Avx512 => unsafe {
+            x86::combine_span_avx512(freqs, ca, cb, x1, x2, out, maxes)
+        },
+        #[cfg(target_arch = "x86_64")]
+        isa::KernelIsa::Avx2 => unsafe {
+            x86::combine_span_avx2(freqs, ca, cb, x1, x2, out, maxes)
+        },
+        #[cfg(target_arch = "aarch64")]
+        isa::KernelIsa::Neon => unsafe {
+            neon::combine_span_neon(freqs, ca, cb, x1, x2, out, maxes)
+        },
+        _ => 0,
+    };
     for (((l1, l2), op), mx) in x1[done..]
         .chunks_exact(4)
         .zip(x2[done..].chunks_exact(4))
@@ -366,43 +445,38 @@ fn combine_span(
     }
 }
 
-/// Explicitly vectorized x86-64 kernels. The CLV layout is pattern-major
-/// (`[A,C,G,T]` per pattern), so cross-pattern SIMD needs a 4×4 transpose
-/// to state-major registers; after that every step is a vertical packed
-/// multiply-add over four patterns at once, which the scalar form's
-/// per-pattern horizontal reductions (`sr`, `sy`) prevent the
-/// autovectorizer from discovering on its own.
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx2",
-    target_feature = "fma"
-))]
+/// Explicitly vectorized x86-64 kernels, compiled unconditionally behind
+/// `#[target_feature]` and selected at runtime by [`crate::isa`]. The CLV
+/// layout is pattern-major (`[A,C,G,T]` per pattern), so cross-pattern SIMD
+/// needs a transpose to state-major registers; after that every step is a
+/// vertical packed multiply-add over 4 (AVX2) or 8 (AVX-512) patterns at
+/// once, which the scalar form's per-pattern horizontal reductions (`sr`,
+/// `sy`) prevent the autovectorizer from discovering on its own.
+#[cfg(target_arch = "x86_64")]
 mod x86 {
     use super::FoldedCoefficients;
     use core::arch::x86_64::*;
 
     /// 4×4 transpose: four pattern rows → four state lanes (or back).
     #[inline]
-    fn transpose4(r0: __m256d, r1: __m256d, r2: __m256d, r3: __m256d) -> [__m256d; 4] {
-        // Safe: these intrinsics are register-only and the avx2 target
-        // feature is statically enabled for this module.
-        unsafe {
-            let t0 = _mm256_unpacklo_pd(r0, r1); // [r0.0 r1.0 r0.2 r1.2]
-            let t1 = _mm256_unpackhi_pd(r0, r1); // [r0.1 r1.1 r0.3 r1.3]
-            let t2 = _mm256_unpacklo_pd(r2, r3);
-            let t3 = _mm256_unpackhi_pd(r2, r3);
-            [
-                _mm256_permute2f128_pd(t0, t2, 0x20),
-                _mm256_permute2f128_pd(t1, t3, 0x20),
-                _mm256_permute2f128_pd(t0, t2, 0x31),
-                _mm256_permute2f128_pd(t1, t3, 0x31),
-            ]
-        }
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn transpose4(r0: __m256d, r1: __m256d, r2: __m256d, r3: __m256d) -> [__m256d; 4] {
+        let t0 = _mm256_unpacklo_pd(r0, r1); // [r0.0 r1.0 r0.2 r1.2]
+        let t1 = _mm256_unpackhi_pd(r0, r1); // [r0.1 r1.1 r0.3 r1.3]
+        let t2 = _mm256_unpacklo_pd(r2, r3);
+        let t3 = _mm256_unpackhi_pd(r2, r3);
+        [
+            _mm256_permute2f128_pd(t0, t2, 0x20),
+            _mm256_permute2f128_pd(t1, t3, 0x20),
+            _mm256_permute2f128_pd(t0, t2, 0x31),
+            _mm256_permute2f128_pd(t1, t3, 0x31),
+        ]
     }
 
     /// Load four consecutive patterns and transpose to state-major lanes
     /// `[vA, vC, vG, vT]`.
     #[inline]
+    #[target_feature(enable = "avx2,fma")]
     unsafe fn load4(src: *const f64) -> [__m256d; 4] {
         let r0 = _mm256_loadu_pd(src);
         let r1 = _mm256_loadu_pd(src.add(4));
@@ -414,24 +488,27 @@ mod x86 {
     /// Propagate four patterns of one child through its branch:
     /// state-major lanes in, state-major propagated lanes out.
     #[inline]
-    fn propagate4(co: &FoldedCoefficients, f: [__m256d; 4], v: [__m256d; 4]) -> [__m256d; 4] {
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn propagate4(
+        co: &FoldedCoefficients,
+        f: [__m256d; 4],
+        v: [__m256d; 4],
+    ) -> [__m256d; 4] {
         let [va, vc, vg, vt] = v;
         let [fa, fc, fg, ft] = f;
-        unsafe {
-            let sr = _mm256_fmadd_pd(fa, va, _mm256_mul_pd(fg, vg));
-            let sy = _mm256_fmadd_pd(fc, vc, _mm256_mul_pd(ft, vt));
-            let s = _mm256_add_pd(sr, sy);
-            let c1 = _mm256_set1_pd(co.c1);
-            let c3s = _mm256_mul_pd(_mm256_set1_pd(co.c3), s);
-            let wr = _mm256_fmadd_pd(_mm256_set1_pd(co.c2r), sr, c3s);
-            let wy = _mm256_fmadd_pd(_mm256_set1_pd(co.c2y), sy, c3s);
-            [
-                _mm256_fmadd_pd(c1, va, wr),
-                _mm256_fmadd_pd(c1, vc, wy),
-                _mm256_fmadd_pd(c1, vg, wr),
-                _mm256_fmadd_pd(c1, vt, wy),
-            ]
-        }
+        let sr = _mm256_fmadd_pd(fa, va, _mm256_mul_pd(fg, vg));
+        let sy = _mm256_fmadd_pd(fc, vc, _mm256_mul_pd(ft, vt));
+        let s = _mm256_add_pd(sr, sy);
+        let c1 = _mm256_set1_pd(co.c1);
+        let c3s = _mm256_mul_pd(_mm256_set1_pd(co.c3), s);
+        let wr = _mm256_fmadd_pd(_mm256_set1_pd(co.c2r), sr, c3s);
+        let wy = _mm256_fmadd_pd(_mm256_set1_pd(co.c2y), sy, c3s);
+        [
+            _mm256_fmadd_pd(c1, va, wr),
+            _mm256_fmadd_pd(c1, vc, wy),
+            _mm256_fmadd_pd(c1, vg, wr),
+            _mm256_fmadd_pd(c1, vt, wy),
+        ]
     }
 
     /// The combine kernel over `x1.len()/4` patterns, four at a time, with
@@ -439,8 +516,13 @@ mod x86 {
     /// still in state-major registers (three packed `max` ops per quad).
     /// Returns how many *doubles* were processed (a multiple of 16); the
     /// caller's scalar loop finishes the remainder.
+    ///
+    /// # Safety
+    /// The host must support AVX2 and FMA; the three CLV slices must share
+    /// one length with `maxes` covering a quarter of it.
     #[allow(clippy::too_many_arguments)]
-    pub fn combine_span_avx2(
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn combine_span_avx2(
         freqs: &[f64; 4],
         ca: &FoldedCoefficients,
         cb: &FoldedCoefficients,
@@ -450,45 +532,326 @@ mod x86 {
         maxes: &mut [f64],
     ) -> usize {
         let quads = x1.len() / 16;
-        let f = unsafe {
-            [
-                _mm256_set1_pd(freqs[0]),
-                _mm256_set1_pd(freqs[1]),
-                _mm256_set1_pd(freqs[2]),
-                _mm256_set1_pd(freqs[3]),
-            ]
-        };
+        let f = [
+            _mm256_set1_pd(freqs[0]),
+            _mm256_set1_pd(freqs[1]),
+            _mm256_set1_pd(freqs[2]),
+            _mm256_set1_pd(freqs[3]),
+        ];
         for q in 0..quads {
             let base = q * 16;
             // Safety: `base + 16 <= x1.len()` and the three slices share
             // that length by the kernel's contract.
-            unsafe {
-                let p1 = propagate4(ca, f, load4(x1.as_ptr().add(base)));
-                let p2 = propagate4(cb, f, load4(x2.as_ptr().add(base)));
-                let oa = _mm256_mul_pd(p1[0], p2[0]);
-                let oc = _mm256_mul_pd(p1[1], p2[1]);
-                let og = _mm256_mul_pd(p1[2], p2[2]);
-                let ot = _mm256_mul_pd(p1[3], p2[3]);
-                let vmax = _mm256_max_pd(_mm256_max_pd(oa, oc), _mm256_max_pd(og, ot));
-                _mm256_storeu_pd(maxes.as_mut_ptr().add(q * 4), vmax);
-                let rows = super::x86::transpose4(oa, oc, og, ot);
-                let dst = out.as_mut_ptr().add(base);
-                _mm256_storeu_pd(dst, rows[0]);
-                _mm256_storeu_pd(dst.add(4), rows[1]);
-                _mm256_storeu_pd(dst.add(8), rows[2]);
-                _mm256_storeu_pd(dst.add(12), rows[3]);
-            }
+            let p1 = propagate4(ca, f, load4(x1.as_ptr().add(base)));
+            let p2 = propagate4(cb, f, load4(x2.as_ptr().add(base)));
+            let oa = _mm256_mul_pd(p1[0], p2[0]);
+            let oc = _mm256_mul_pd(p1[1], p2[1]);
+            let og = _mm256_mul_pd(p1[2], p2[2]);
+            let ot = _mm256_mul_pd(p1[3], p2[3]);
+            let vmax = _mm256_max_pd(_mm256_max_pd(oa, oc), _mm256_max_pd(og, ot));
+            _mm256_storeu_pd(maxes.as_mut_ptr().add(q * 4), vmax);
+            let rows = transpose4(oa, oc, og, ot);
+            let dst = out.as_mut_ptr().add(base);
+            _mm256_storeu_pd(dst, rows[0]);
+            _mm256_storeu_pd(dst.add(4), rows[1]);
+            _mm256_storeu_pd(dst.add(8), rows[2]);
+            _mm256_storeu_pd(dst.add(12), rows[3]);
         }
         quads * 16
+    }
+
+    /// An AVX-512 permutation index vector.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn idx8(i: [i64; 8]) -> __m512i {
+        _mm512_setr_epi64(i[0], i[1], i[2], i[3], i[4], i[5], i[6], i[7])
+    }
+
+    /// Propagate eight patterns of one child through its branch — the same
+    /// multiply-add DAG as [`propagate4`], two registers wider.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn propagate8(
+        co: &FoldedCoefficients,
+        f: [__m512d; 4],
+        v: [__m512d; 4],
+    ) -> [__m512d; 4] {
+        let [va, vc, vg, vt] = v;
+        let [fa, fc, fg, ft] = f;
+        let sr = _mm512_fmadd_pd(fa, va, _mm512_mul_pd(fg, vg));
+        let sy = _mm512_fmadd_pd(fc, vc, _mm512_mul_pd(ft, vt));
+        let s = _mm512_add_pd(sr, sy);
+        let c1 = _mm512_set1_pd(co.c1);
+        let c3s = _mm512_mul_pd(_mm512_set1_pd(co.c3), s);
+        let wr = _mm512_fmadd_pd(_mm512_set1_pd(co.c2r), sr, c3s);
+        let wy = _mm512_fmadd_pd(_mm512_set1_pd(co.c2y), sy, c3s);
+        [
+            _mm512_fmadd_pd(c1, va, wr),
+            _mm512_fmadd_pd(c1, vc, wy),
+            _mm512_fmadd_pd(c1, vg, wr),
+            _mm512_fmadd_pd(c1, vt, wy),
+        ]
+    }
+
+    /// The combine kernel over eight patterns at a time (AVX-512F). The
+    /// 8×4 pattern-major ↔ state-major transposes are pairs of two-source
+    /// permutes (`vpermt2pd`), eight per direction. Returns how many
+    /// *doubles* were processed (a multiple of 32).
+    ///
+    /// # Safety
+    /// The host must support AVX-512F; slice contract as for
+    /// [`combine_span_avx2`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn combine_span_avx512(
+        freqs: &[f64; 4],
+        ca: &FoldedCoefficients,
+        cb: &FoldedCoefficients,
+        x1: &[f64],
+        x2: &[f64],
+        out: &mut [f64],
+        maxes: &mut [f64],
+    ) -> usize {
+        let octets = x1.len() / 32;
+        let f = [
+            _mm512_set1_pd(freqs[0]),
+            _mm512_set1_pd(freqs[1]),
+            _mm512_set1_pd(freqs[2]),
+            _mm512_set1_pd(freqs[3]),
+        ];
+        // Gather indices: a row holds two pattern-major patterns
+        // [A C G T A' C' G' T']; `lo`/`hi` split a row pair into
+        // [A A' A'' A''' C …] / [G … T …]; `merge_*` splice two such
+        // four-lane halves into one eight-lane state vector.
+        let lo = idx8([0, 4, 8, 12, 1, 5, 9, 13]);
+        let hi = idx8([2, 6, 10, 14, 3, 7, 11, 15]);
+        let merge_lo = idx8([0, 1, 2, 3, 8, 9, 10, 11]);
+        let merge_hi = idx8([4, 5, 6, 7, 12, 13, 14, 15]);
+        // Scatter indices for the inverse transpose (see the store below).
+        let pair = idx8([0, 8, 1, 9, 2, 10, 3, 11]);
+        let pair_hi = idx8([4, 12, 5, 13, 6, 14, 7, 15]);
+        let quad_lo = idx8([0, 1, 8, 9, 2, 3, 10, 11]);
+        let quad_hi = idx8([4, 5, 12, 13, 6, 7, 14, 15]);
+        let load8 = |src: *const f64| -> [__m512d; 4] {
+            let r0 = _mm512_loadu_pd(src);
+            let r1 = _mm512_loadu_pd(src.add(8));
+            let r2 = _mm512_loadu_pd(src.add(16));
+            let r3 = _mm512_loadu_pd(src.add(24));
+            let s_lo = _mm512_permutex2var_pd(r0, lo, r1); // A0..A3 C0..C3
+            let s_hi = _mm512_permutex2var_pd(r0, hi, r1); // G0..G3 T0..T3
+            let u_lo = _mm512_permutex2var_pd(r2, lo, r3); // A4..A7 C4..C7
+            let u_hi = _mm512_permutex2var_pd(r2, hi, r3);
+            [
+                _mm512_permutex2var_pd(s_lo, merge_lo, u_lo), // vA
+                _mm512_permutex2var_pd(s_lo, merge_hi, u_lo), // vC
+                _mm512_permutex2var_pd(s_hi, merge_lo, u_hi), // vG
+                _mm512_permutex2var_pd(s_hi, merge_hi, u_hi), // vT
+            ]
+        };
+        for o in 0..octets {
+            let base = o * 32;
+            // Safety: `base + 32 <= x1.len()` by the octet count.
+            let p1 = propagate8(ca, f, load8(x1.as_ptr().add(base)));
+            let p2 = propagate8(cb, f, load8(x2.as_ptr().add(base)));
+            let oa = _mm512_mul_pd(p1[0], p2[0]);
+            let oc = _mm512_mul_pd(p1[1], p2[1]);
+            let og = _mm512_mul_pd(p1[2], p2[2]);
+            let ot = _mm512_mul_pd(p1[3], p2[3]);
+            let vmax = _mm512_max_pd(_mm512_max_pd(oa, oc), _mm512_max_pd(og, ot));
+            _mm512_storeu_pd(maxes.as_mut_ptr().add(o * 8), vmax);
+            // Inverse transpose: interleave (A,C) and (G,T) per pattern,
+            // then splice AC pairs with GT pairs into pattern-major rows.
+            let ac_lo = _mm512_permutex2var_pd(oa, pair, oc); // A0 C0 .. A3 C3
+            let ac_hi = _mm512_permutex2var_pd(oa, pair_hi, oc);
+            let gt_lo = _mm512_permutex2var_pd(og, pair, ot);
+            let gt_hi = _mm512_permutex2var_pd(og, pair_hi, ot);
+            let dst = out.as_mut_ptr().add(base);
+            _mm512_storeu_pd(dst, _mm512_permutex2var_pd(ac_lo, quad_lo, gt_lo));
+            _mm512_storeu_pd(dst.add(8), _mm512_permutex2var_pd(ac_lo, quad_hi, gt_lo));
+            _mm512_storeu_pd(dst.add(16), _mm512_permutex2var_pd(ac_hi, quad_lo, gt_hi));
+            _mm512_storeu_pd(dst.add(24), _mm512_permutex2var_pd(ac_hi, quad_hi, gt_hi));
+        }
+        octets * 32
+    }
+}
+
+/// NEON kernels for aarch64, two patterns per iteration. NEON is baseline
+/// on aarch64, so no feature probe gates the call — the dispatch exists so
+/// `--isa scalar` exercises the portable loop there too.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::FoldedCoefficients;
+    use core::arch::aarch64::*;
+
+    /// Propagate two patterns of one child — the scalar DAG, two wide.
+    #[inline]
+    unsafe fn propagate2(
+        co: &FoldedCoefficients,
+        f: [float64x2_t; 4],
+        v: [float64x2_t; 4],
+    ) -> [float64x2_t; 4] {
+        let [va, vc, vg, vt] = v;
+        let [fa, fc, fg, ft] = f;
+        let sr = vfmaq_f64(vmulq_f64(fg, vg), fa, va);
+        let sy = vfmaq_f64(vmulq_f64(ft, vt), fc, vc);
+        let s = vaddq_f64(sr, sy);
+        let c1 = vdupq_n_f64(co.c1);
+        let c3s = vmulq_f64(vdupq_n_f64(co.c3), s);
+        let wr = vfmaq_f64(c3s, vdupq_n_f64(co.c2r), sr);
+        let wy = vfmaq_f64(c3s, vdupq_n_f64(co.c2y), sy);
+        [
+            vfmaq_f64(wr, c1, va),
+            vfmaq_f64(wy, c1, vc),
+            vfmaq_f64(wr, c1, vg),
+            vfmaq_f64(wy, c1, vt),
+        ]
+    }
+
+    /// The combine kernel over two patterns at a time. Returns how many
+    /// *doubles* were processed (a multiple of 8).
+    ///
+    /// # Safety
+    /// Slice contract as for the x86 span kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn combine_span_neon(
+        freqs: &[f64; 4],
+        ca: &FoldedCoefficients,
+        cb: &FoldedCoefficients,
+        x1: &[f64],
+        x2: &[f64],
+        out: &mut [f64],
+        maxes: &mut [f64],
+    ) -> usize {
+        let pairs = x1.len() / 8;
+        let f = [
+            vdupq_n_f64(freqs[0]),
+            vdupq_n_f64(freqs[1]),
+            vdupq_n_f64(freqs[2]),
+            vdupq_n_f64(freqs[3]),
+        ];
+        let load2 = |src: *const f64| -> [float64x2_t; 4] {
+            let p0 = vld1q_f64(src); // [A0 C0]
+            let p0h = vld1q_f64(src.add(2)); // [G0 T0]
+            let p1 = vld1q_f64(src.add(4)); // [A1 C1]
+            let p1h = vld1q_f64(src.add(6)); // [G1 T1]
+            [
+                vzip1q_f64(p0, p1),   // [A0 A1]
+                vzip2q_f64(p0, p1),   // [C0 C1]
+                vzip1q_f64(p0h, p1h), // [G0 G1]
+                vzip2q_f64(p0h, p1h), // [T0 T1]
+            ]
+        };
+        for i in 0..pairs {
+            let base = i * 8;
+            // Safety: `base + 8 <= x1.len()` by the pair count.
+            let p1 = propagate2(ca, f, load2(x1.as_ptr().add(base)));
+            let p2 = propagate2(cb, f, load2(x2.as_ptr().add(base)));
+            let oa = vmulq_f64(p1[0], p2[0]);
+            let oc = vmulq_f64(p1[1], p2[1]);
+            let og = vmulq_f64(p1[2], p2[2]);
+            let ot = vmulq_f64(p1[3], p2[3]);
+            let vmax = vmaxq_f64(vmaxq_f64(oa, oc), vmaxq_f64(og, ot));
+            vst1q_f64(maxes.as_mut_ptr().add(i * 2), vmax);
+            let dst = out.as_mut_ptr().add(base);
+            vst1q_f64(dst, vzip1q_f64(oa, oc)); // [A0 C0]
+            vst1q_f64(dst.add(2), vzip1q_f64(og, ot)); // [G0 T0]
+            vst1q_f64(dst.add(4), vzip2q_f64(oa, oc)); // [A1 C1]
+            vst1q_f64(dst.add(6), vzip2q_f64(og, ot)); // [T1 …]
+        }
+        pairs * 8
+    }
+}
+
+/// The category runs intersecting `[lo, hi)`: the suffix of `runs` whose
+/// first element is the run containing `lo` (runs are sorted and disjoint;
+/// callers clip each run to the block themselves).
+#[inline]
+fn runs_from(runs: &[CategoryRun], lo: usize) -> &[CategoryRun] {
+    &runs[runs.partition_point(|r| r.end <= lo)..]
+}
+
+/// One pattern block of the combine kernel: spans clipped to `[lo, hi)`
+/// plus the deferred rescale scan over the block. `out_b`, `scale_b`, and
+/// `maxes_b` are the block's exclusive sub-slices (local indexing).
+#[allow(clippy::too_many_arguments)]
+fn combine_block(
+    model: &F84Model,
+    runs: &[CategoryRun],
+    co1: &[FoldedCoefficients],
+    clv1: &[f64],
+    scale1: &[i32],
+    co2: &[FoldedCoefficients],
+    clv2: &[f64],
+    scale2: &[i32],
+    lo: usize,
+    hi: usize,
+    out_b: &mut [f64],
+    scale_b: &mut [i32],
+    maxes_b: &mut [f64],
+) {
+    for run in runs_from(runs, lo) {
+        if run.start >= hi {
+            break;
+        }
+        let ca = co1[run.category];
+        let cb = co2[run.category];
+        let (s, e) = (run.start.max(lo), run.end.min(hi));
+        combine_span(
+            model,
+            &ca,
+            &cb,
+            &clv1[s * 4..e * 4],
+            &clv2[s * 4..e * 4],
+            &mut out_b[(s - lo) * 4..(e - lo) * 4],
+            &mut maxes_b[s - lo..e - lo],
+        );
+    }
+    // Deferred rescaling: scan the per-pattern maxima (recorded by the
+    // combine loop while the products were in registers) a
+    // [`SCALE_CHECK_BLOCK`] at a time. Because `lo` is a multiple of
+    // [`par::PAR_BLOCK`] (itself a multiple of the scan block), these
+    // windows coincide exactly with the serial full-range scan. The fast
+    // path (every max comfortably above threshold — the overwhelmingly
+    // common case) only copies scale sums; the cold path replicates the
+    // reference per-pattern decision exactly.
+    let mut p = lo;
+    while p < hi {
+        let end = (p + SCALE_CHECK_BLOCK).min(hi);
+        let mut all_above = true;
+        for &m in &maxes_b[p - lo..end - lo] {
+            all_above &= m >= SCALE_THRESHOLD;
+        }
+        if all_above {
+            for q in p..end {
+                scale_b[q - lo] = scale1[q] + scale2[q];
+            }
+        } else {
+            for q in p..end {
+                let m = maxes_b[q - lo];
+                let b = (q - lo) * 4;
+                let mut sc = scale1[q] + scale2[q];
+                if m < SCALE_THRESHOLD && m > 0.0 {
+                    for v in &mut out_b[b..b + 4] {
+                        *v *= SCALE_FACTOR;
+                    }
+                    sc += 1;
+                }
+                scale_b[q - lo] = sc;
+            }
+        }
+        p = end;
     }
 }
 
 /// Optimized [`reference::combine_children`]: folded coefficients, category
-/// runs, multiply-add inner loop, deferred blocked rescaling. Numerics agree
-/// with the reference to rounding (≤1e-12 per entry in the equivalence
-/// suite); the rescale decision logic is identical per pattern.
+/// runs, multiply-add inner loop, deferred blocked rescaling, pattern
+/// blocks fanned across `par`'s pool. Numerics agree with the reference to
+/// rounding (≤1e-12 per entry in the equivalence suite) and are
+/// bit-identical at any thread count (every per-pattern output is a pure
+/// map; the rescale decision is pattern-local).
 #[allow(clippy::too_many_arguments)]
 pub fn combine_folded(
+    par: &IntraPar,
     model: &F84Model,
     runs: &[CategoryRun],
     co1: &[FoldedCoefficients],
@@ -501,64 +864,40 @@ pub fn combine_folded(
     scale_out: &mut [i32],
     maxes: &mut [f64],
 ) -> u64 {
-    for run in runs {
-        let ca = co1[run.category];
-        let cb = co2[run.category];
-        let (lo, hi) = (run.start * 4, run.end * 4);
-        combine_span(
-            model,
-            &ca,
-            &cb,
-            &clv1[lo..hi],
-            &clv2[lo..hi],
-            &mut out[lo..hi],
-            &mut maxes[run.start..run.end],
-        );
-    }
-    // Deferred rescaling: scan the per-pattern maxima (recorded by the
-    // combine loop while the products were in registers) a block at a time.
-    // The fast path (every max comfortably above threshold — the
-    // overwhelmingly common case) only copies scale sums; the cold path
-    // replicates the reference per-pattern decision exactly.
     let np = scale_out.len();
-    let mut p = 0;
-    while p < np {
-        let end = (p + SCALE_CHECK_BLOCK).min(np);
-        let mut all_above = true;
-        for &m in &maxes[p..end] {
-            all_above &= m >= SCALE_THRESHOLD;
-        }
-        if all_above {
-            for q in p..end {
-                scale_out[q] = scale1[q] + scale2[q];
-            }
-        } else {
-            for q in p..end {
-                let m = maxes[q];
-                let b = q * 4;
-                let mut sc = scale1[q] + scale2[q];
-                if m < SCALE_THRESHOLD && m > 0.0 {
-                    for v in &mut out[b..b + 4] {
-                        *v *= SCALE_FACTOR;
-                    }
-                    sc += 1;
-                }
-                scale_out[q] = sc;
-            }
-        }
-        p = end;
-    }
+    let nblocks = par::block_count(np);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let scale_ptr = SendPtr(scale_out.as_mut_ptr());
+    let maxes_ptr = SendPtr(maxes.as_mut_ptr());
+    par.for_each_block(nblocks, |b| {
+        let (lo, hi) = par::block_range(b, np);
+        // Safety: block `b` owns patterns `[lo, hi)` exclusively; blocks
+        // are disjoint and the broadcast completes before `out` is reused.
+        let (out_b, scale_b, maxes_b) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(out_ptr.get().add(lo * 4), (hi - lo) * 4),
+                std::slice::from_raw_parts_mut(scale_ptr.get().add(lo), hi - lo),
+                std::slice::from_raw_parts_mut(maxes_ptr.get().add(lo), hi - lo),
+            )
+        };
+        combine_block(
+            model, runs, co1, clv1, scale1, co2, clv2, scale2, lo, hi, out_b, scale_b, maxes_b,
+        );
+    });
     np as u64
 }
 
-/// Optimized [`reference::edge_w_terms`]: reciprocal group frequencies
-/// hoisted, multiply-add form.
-pub fn w_terms_folded(model: &F84Model, u: &[f64], d: &[f64], out: &mut [WTerms]) -> u64 {
+/// One pattern block of W-term assembly (local indexing on `out_b`).
+fn w_terms_block(model: &F84Model, u: &[f64], d: &[f64], out_b: &mut [WTerms]) {
     let f = &model.freqs;
     let (fa, fc, fg, ft) = (f[A], f[C], f[G], f[T]);
     let inv_r = 1.0 / model.freq_r();
     let inv_y = 1.0 / model.freq_y();
-    for ((w, uu), dd) in out.iter_mut().zip(u.chunks_exact(4)).zip(d.chunks_exact(4)) {
+    for ((w, uu), dd) in out_b
+        .iter_mut()
+        .zip(u.chunks_exact(4))
+        .zip(d.chunks_exact(4))
+    {
         let w1 = (fa * uu[A]).mul_add(
             dd[A],
             (fc * uu[C]).mul_add(dd[C], (fg * uu[G]).mul_add(dd[G], ft * uu[T] * dd[T])),
@@ -571,24 +910,65 @@ pub fn w_terms_folded(model: &F84Model, u: &[f64], d: &[f64], out: &mut [WTerms]
         let w3 = (ur + uy) * (dr + dy);
         *w = WTerms { w1, w2, w3 };
     }
-    out.len() as u64
 }
 
-/// Optimized [`reference::edge_log_likelihood`] over a prefilled coefficient
-/// table: category runs plus [`LnProd`] (one `ln` total instead of one per
-/// pattern); the scale offset is accumulated exactly in integers.
-pub fn branch_lnl_folded(
+/// Optimized [`reference::edge_w_terms`]: reciprocal group frequencies
+/// hoisted, multiply-add form, pattern blocks fanned across `par`'s pool
+/// (a pure per-pattern map — bit-identical at any thread count).
+pub fn w_terms_folded(
+    par: &IntraPar,
+    model: &F84Model,
+    u: &[f64],
+    d: &[f64],
+    out: &mut [WTerms],
+) -> u64 {
+    let np = out.len();
+    let nblocks = par::block_count(np);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    par.for_each_block(nblocks, |b| {
+        let (lo, hi) = par::block_range(b, np);
+        // Safety: block `b` owns `out[lo..hi]` exclusively.
+        let out_b = unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo), hi - lo) };
+        w_terms_block(model, &u[lo * 4..hi * 4], &d[lo * 4..hi * 4], out_b);
+    });
+    np as u64
+}
+
+/// Per-block partial of the branch log-likelihood fold.
+#[derive(Clone, Copy)]
+struct LnlPartial {
+    prod: LnProd,
+    scale_sum: i64,
+}
+
+impl LnlPartial {
+    const IDENTITY: LnlPartial = LnlPartial {
+        prod: LnProd {
+            mantissa: 1.0,
+            exponent: 0,
+            extra: 0.0,
+        },
+        scale_sum: 0,
+    };
+}
+
+fn branch_lnl_block(
     co: &EdgeCoefficients,
     runs: &[CategoryRun],
     w: &[WTerms],
     weights: &[u32],
     scale: &[i32],
-) -> f64 {
+    lo: usize,
+    hi: usize,
+) -> LnlPartial {
     let mut prod = LnProd::new();
     let mut scale_sum: i64 = 0;
-    for run in runs {
+    for run in runs_from(runs, lo) {
+        if run.start >= hi {
+            break;
+        }
         let c = &co.per_cat[run.category];
-        for p in run.start..run.end {
+        for p in run.start.max(lo)..run.end.min(hi) {
             let terms = &w[p];
             let f =
                 c.c1.mul_add(terms.w1, c.c2.mul_add(terms.w2, c.c3 * terms.w3))
@@ -597,27 +977,87 @@ pub fn branch_lnl_folded(
             scale_sum += weights[p] as i64 * scale[p] as i64;
         }
     }
+    LnlPartial { prod, scale_sum }
+}
+
+/// Optimized [`reference::edge_log_likelihood`] over a prefilled coefficient
+/// table: category runs plus [`LnProd`] (one `ln` total instead of one per
+/// pattern); the scale offset is accumulated exactly in integers. The fold
+/// runs as one [`LnProd`] partial per [`par::PAR_BLOCK`] pattern block —
+/// the canonical fixed-order reduction, executed serially or fanned across
+/// `par`'s pool with the partials merged in block order either way, so the
+/// result is bit-identical at any thread count.
+pub fn branch_lnl_folded(
+    par: &IntraPar,
+    co: &EdgeCoefficients,
+    runs: &[CategoryRun],
+    w: &[WTerms],
+    weights: &[u32],
+    scale: &[i32],
+) -> f64 {
+    let np = w.len();
+    let nblocks = par::block_count(np);
+    let mut stack = [LnlPartial::IDENTITY; MAX_STACK_BLOCKS];
+    let mut heap = Vec::new();
+    let parts: &mut [LnlPartial] = if nblocks <= MAX_STACK_BLOCKS {
+        &mut stack[..nblocks]
+    } else {
+        heap.resize(nblocks, LnlPartial::IDENTITY);
+        &mut heap
+    };
+    let parts_ptr = SendPtr(parts.as_mut_ptr());
+    par.for_each_block(nblocks, |b| {
+        let (lo, hi) = par::block_range(b, np);
+        // Safety: slot `b` is written by exactly one block invocation.
+        unsafe { *parts_ptr.get().add(b) = branch_lnl_block(co, runs, w, weights, scale, lo, hi) };
+    });
+    let mut prod = LnProd::new();
+    let mut scale_sum: i64 = 0;
+    for part in parts.iter() {
+        prod.merge(&part.prod);
+        scale_sum += part.scale_sum;
+    }
     prod.value() + scale_sum as f64 * LN_SCALE
 }
 
-/// Fused W-terms → (lnL, d1, d2) evaluation for Newton: one pass over the
-/// patterns computes the likelihood and both derivatives from a prefilled
-/// derivative-coefficient table. Matches
-/// [`crate::newton::log_likelihood_d012`] (which excludes the constant
-/// scaling offset) to rounding.
-pub fn lnl_d012_folded(
+/// Per-block partial of the fused Newton objective fold.
+#[derive(Clone, Copy)]
+struct D012Partial {
+    prod: LnProd,
+    d1: f64,
+    d2: f64,
+}
+
+impl D012Partial {
+    const IDENTITY: D012Partial = D012Partial {
+        prod: LnProd {
+            mantissa: 1.0,
+            exponent: 0,
+            extra: 0.0,
+        },
+        d1: 0.0,
+        d2: 0.0,
+    };
+}
+
+fn lnl_d012_block(
     deriv: &EdgeDerivCoefficients,
     runs: &[CategoryRun],
     w: &[WTerms],
     weights: &[u32],
-) -> (f64, f64, f64) {
+    lo: usize,
+    hi: usize,
+) -> D012Partial {
     let mut prod = LnProd::new();
     let mut d1 = 0.0;
     let mut d2 = 0.0;
-    for run in runs {
+    for run in runs_from(runs, lo) {
+        if run.start >= hi {
+            break;
+        }
         let co = &deriv.per_cat[run.category];
         let (v, g, h) = (&co.value, &co.d1, &co.d2);
-        for p in run.start..run.end {
+        for p in run.start.max(lo)..run.end.min(hi) {
             let terms = &w[p];
             let f =
                 v.c1.mul_add(terms.w1, v.c2.mul_add(terms.w2, v.c3 * terms.w3))
@@ -633,6 +1073,47 @@ pub fn lnl_d012_folded(
             d1 += wgt * r;
             d2 += wgt * r.mul_add(-r, fpp * inv);
         }
+    }
+    D012Partial { prod, d1, d2 }
+}
+
+/// Fused W-terms → (lnL, d1, d2) evaluation for Newton: one pass over the
+/// patterns computes the likelihood and both derivatives from a prefilled
+/// derivative-coefficient table. Matches
+/// [`crate::newton::log_likelihood_d012`] (which excludes the constant
+/// scaling offset) to rounding. Folded per pattern block exactly like
+/// [`branch_lnl_folded`] — the derivative sums merge in block order too,
+/// so Newton's trajectory is bit-identical at any thread count.
+pub fn lnl_d012_folded(
+    par: &IntraPar,
+    deriv: &EdgeDerivCoefficients,
+    runs: &[CategoryRun],
+    w: &[WTerms],
+    weights: &[u32],
+) -> (f64, f64, f64) {
+    let np = w.len();
+    let nblocks = par::block_count(np);
+    let mut stack = [D012Partial::IDENTITY; MAX_STACK_BLOCKS];
+    let mut heap = Vec::new();
+    let parts: &mut [D012Partial] = if nblocks <= MAX_STACK_BLOCKS {
+        &mut stack[..nblocks]
+    } else {
+        heap.resize(nblocks, D012Partial::IDENTITY);
+        &mut heap
+    };
+    let parts_ptr = SendPtr(parts.as_mut_ptr());
+    par.for_each_block(nblocks, |b| {
+        let (lo, hi) = par::block_range(b, np);
+        // Safety: slot `b` is written by exactly one block invocation.
+        unsafe { *parts_ptr.get().add(b) = lnl_d012_block(deriv, runs, w, weights, lo, hi) };
+    });
+    let mut prod = LnProd::new();
+    let mut d1 = 0.0;
+    let mut d2 = 0.0;
+    for part in parts.iter() {
+        prod.merge(&part.prod);
+        d1 += part.d1;
+        d2 += part.d2;
     }
     (prod.value(), d1, d2)
 }
@@ -670,11 +1151,13 @@ pub fn combine_edges(
                 co_a,
                 co_b,
                 maxes,
+                par,
                 ..
             } = scratch;
             co_a.fill(model, cats, t1);
             co_b.fill(model, cats, t2);
             combine_folded(
+                par,
                 model,
                 runs,
                 &co_a.per_cat,
@@ -695,13 +1178,14 @@ pub fn combine_edges(
 pub fn compute_w_terms(
     mode: KernelMode,
     model: &F84Model,
+    par: &IntraPar,
     u: &[f64],
     d: &[f64],
     out: &mut [WTerms],
 ) -> u64 {
     match mode {
         KernelMode::Reference => reference::edge_w_terms(model, u, d, out),
-        KernelMode::Optimized => w_terms_folded(model, u, d, out),
+        KernelMode::Optimized => w_terms_folded(par, model, u, d, out),
     }
 }
 
@@ -721,7 +1205,14 @@ pub fn branch_lnl(
         KernelMode::Reference => reference::edge_log_likelihood(model, cats, t, w, weights, scale),
         KernelMode::Optimized => {
             scratch.co_a.fill(model, cats, t);
-            branch_lnl_folded(&scratch.co_a, &scratch.runs, w, weights, scale)
+            branch_lnl_folded(
+                &scratch.par,
+                &scratch.co_a,
+                &scratch.runs,
+                w,
+                weights,
+                scale,
+            )
         }
     }
 }
@@ -746,11 +1237,13 @@ pub fn optimize_branch_dispatch(
     match mode {
         KernelMode::Reference => newton::optimize_branch(model, cats, w, weights, t0, opts, work),
         KernelMode::Optimized => {
-            let KernelScratch { runs, deriv, .. } = scratch;
+            let KernelScratch {
+                runs, deriv, par, ..
+            } = scratch;
             newton::newton_loop(t0, opts, &mut |t| {
                 deriv.fill(model, cats, t);
                 work.newton_pattern_iters += w.len() as u64;
-                lnl_d012_folded(deriv, runs, w, weights)
+                lnl_d012_folded(par, deriv, runs, w, weights)
             })
         }
     }
@@ -802,6 +1295,17 @@ mod tests {
     fn category_runs_empty_assignment() {
         let cats = RateCategories::new(vec![1.0], vec![]);
         assert!(category_runs(&cats).is_empty());
+    }
+
+    #[test]
+    fn runs_from_skips_completed_runs() {
+        let cats = RateCategories::new(vec![1.0, 2.0], vec![0, 0, 0, 1, 1, 0, 0, 0]);
+        let runs = category_runs(&cats);
+        assert_eq!(runs_from(&runs, 0).len(), 3);
+        assert_eq!(runs_from(&runs, 3).len(), 2);
+        assert_eq!(runs_from(&runs, 4)[0].category, 1);
+        assert_eq!(runs_from(&runs, 5).len(), 1);
+        assert!(runs_from(&runs, 8).is_empty());
     }
 
     #[test]
@@ -874,5 +1378,151 @@ mod tests {
         let mut prod = LnProd::new();
         prod.mul_pow(0.5, 0);
         assert_eq!(prod.value(), 0.0);
+    }
+
+    /// Deterministic factor stream for the fold tests (xorshift64*).
+    fn factor_stream(seed: u64, n: usize) -> Vec<(f64, u32)> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        (0..n)
+            .map(|_| {
+                let f = 1e-120_f64.powf((next() % 1000) as f64 / 999.0) * 0.999;
+                let w = 1 + (next() % 600) as u32;
+                (f.max(f64::MIN_POSITIVE), w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_block_fold_is_bitwise_serial() {
+        // Merging one partial into the identity must reproduce the plain
+        // serial fold bit for bit — the guarantee that keeps historical
+        // likelihoods stable for ≤ PAR_BLOCK-pattern alignments.
+        for seed in [3, 17, 99] {
+            let factors = factor_stream(seed, 700);
+            let mut serial = LnProd::new();
+            for &(f, w) in &factors {
+                serial.mul_pow(f, w);
+            }
+            let blocked = blocked_ln_prod(&factors, factors.len());
+            assert_eq!(serial.value().to_bits(), blocked.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_fold_merge_order_is_canonical() {
+        // Computing the partials in any schedule and merging them in block
+        // order must equal the sequential blocked fold bit for bit.
+        let factors = factor_stream(42, 1000);
+        for block in [1, 7, 64, 256, 999, 1000] {
+            let sequential = blocked_ln_prod(&factors, block);
+            let mut partials: Vec<LnProd> = factors
+                .chunks(block)
+                .map(|chunk| {
+                    let mut p = LnProd::new();
+                    for &(f, w) in chunk {
+                        p.mul_pow(f, w);
+                    }
+                    p
+                })
+                .collect();
+            partials.reverse(); // "compute" in reverse schedule
+            partials.reverse(); // …then merge in canonical block order
+            let mut merged = LnProd::new();
+            for p in &partials {
+                merged.merge(p);
+            }
+            assert_eq!(
+                sequential.value().to_bits(),
+                merged.value().to_bits(),
+                "block {block}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn vector_lanes_match_scalar_bitwise() {
+        use crate::isa::KernelIsa;
+        // 37 patterns: exercises the 8-wide, 4-wide, and scalar tails.
+        let np = 37;
+        let mut state = 0xfeed_beef_u64;
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut rand_clv = |scale: f64| -> Vec<f64> {
+            (0..np * 4)
+                .map(|_| (next() % 10_000) as f64 / 10_000.0 * scale + 1e-9)
+                .collect()
+        };
+        let x1 = rand_clv(1.0);
+        let x2 = rand_clv(1e-3);
+        let freqs = [0.31, 0.19, 0.27, 0.23];
+        let ca = FoldedCoefficients {
+            c1: 0.8,
+            c2: 0.1,
+            c2r: 0.17,
+            c2y: 0.24,
+            c3: 0.05,
+        };
+        let cb = FoldedCoefficients {
+            c1: 0.6,
+            c2: 0.2,
+            c2r: 0.35,
+            c2y: 0.48,
+            c3: 0.11,
+        };
+        let mut out_s = vec![0.0; np * 4];
+        let mut maxes_s = vec![0.0; np];
+        for p in 0..np {
+            maxes_s[p] = combine_pattern(
+                &freqs,
+                &ca,
+                &cb,
+                &x1[p * 4..p * 4 + 4],
+                &x2[p * 4..p * 4 + 4],
+                &mut out_s[p * 4..p * 4 + 4],
+            );
+        }
+        type SpanFn<'a> = &'a dyn Fn(&mut [f64], &mut [f64]) -> usize;
+        let lanes: [(KernelIsa, SpanFn); 2] = [
+            (KernelIsa::Avx2, &|out, maxes| unsafe {
+                x86::combine_span_avx2(&freqs, &ca, &cb, &x1, &x2, out, maxes)
+            }),
+            (KernelIsa::Avx512, &|out, maxes| unsafe {
+                x86::combine_span_avx512(&freqs, &ca, &cb, &x1, &x2, out, maxes)
+            }),
+        ];
+        for (lane, run) in lanes {
+            if !lane.supported() {
+                continue;
+            }
+            let mut out_v = vec![0.0; np * 4];
+            let mut maxes_v = vec![0.0; np];
+            let done = run(&mut out_v, &mut maxes_v);
+            assert!(done > 0 && done % 4 == 0, "{lane}: processed {done}");
+            for i in 0..done {
+                assert_eq!(
+                    out_s[i].to_bits(),
+                    out_v[i].to_bits(),
+                    "{lane}: double {i} differs"
+                );
+            }
+            for p in 0..done / 4 {
+                assert_eq!(
+                    maxes_s[p].to_bits(),
+                    maxes_v[p].to_bits(),
+                    "{lane}: max {p} differs"
+                );
+            }
+        }
     }
 }

@@ -9,7 +9,8 @@
 //! * **Felsenstein pruning** over conditional likelihood vectors with
 //!   underflow scaling (layout and constants in [`clv`]; the blocked,
 //!   division-free default kernels in [`kernels`]; the scalar oracle in
-//!   [`reference`]),
+//!   [`reference`]; runtime SIMD lane selection in [`isa`]; intra-rank
+//!   pattern-block parallelism in [`par`]),
 //! * **Newton–Raphson branch-length optimization** using the three-term
 //!   F84 decomposition ([`newton`]),
 //! * the full-tree evaluator with Gauss–Seidel smoothing passes
@@ -26,8 +27,10 @@ pub mod distances;
 pub mod engine;
 pub mod f84;
 pub mod incremental;
+pub mod isa;
 pub mod kernels;
 pub mod newton;
+pub mod par;
 pub mod reference;
 pub mod scorer;
 pub mod work;
@@ -36,6 +39,8 @@ pub use categories::RateCategories;
 pub use engine::{EvalResult, LikelihoodEngine, OptimizeOptions};
 pub use f84::F84Model;
 pub use incremental::{ClvCache, EditScore};
+pub use isa::KernelIsa;
 pub use kernels::KernelMode;
+pub use par::{IntraPar, PAR_BLOCK};
 pub use scorer::{ScoredMove, TreeScorer};
 pub use work::WorkCounter;

@@ -1,0 +1,204 @@
+//! Intra-rank pattern-block parallelism: a shared thread-pool handle plus
+//! the deterministic block partition used by every parallel kernel.
+//!
+//! The paper scales fastDNAml by adding ranks; this module scales each
+//! rank across cores. The design constraint is **bit-identity at any
+//! thread count**, which falls out of three rules:
+//!
+//! 1. **Canonical blocks.** Pattern space is cut into fixed
+//!    [`PAR_BLOCK`]-pattern blocks — the same cut at every thread count,
+//!    including 1. The blocked likelihood folds compute one partial per
+//!    block and merge the partials serially in block order, so the
+//!    floating-point op sequence is a function of the pattern count alone.
+//! 2. **Deterministic assignment.** Thread `t` of `T` processes blocks
+//!    `t, t+T, t+2T, …` (round-robin). Assignment affects only *where* a
+//!    block's partial is computed, never its value or merge position.
+//! 3. **Disjoint writes.** A block owns its pattern range exclusively:
+//!    CLV combine and W-term kernels write disjoint slices, fold kernels
+//!    write disjoint partial slots. No atomics, no locks in the hot path.
+//!
+//! [`PAR_BLOCK`] is 256 patterns: a multiple of the rescale-scan block
+//! (32) so the deferred underflow scan sees identical 32-pattern windows,
+//! a multiple of the widest SIMD quad (8), and small enough (256 patterns
+//! × 4 states × 8 bytes = 8 KiB per CLV operand) that a block's working
+//! set stays in L1/L2 while large enough to amortize thread wake-up.
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::sync::Arc;
+
+/// Patterns per parallel block — the canonical cut; see the module docs.
+pub const PAR_BLOCK: usize = 256;
+
+/// A cloneable handle to a rank's intra-thread pool. `IntraPar::serial()`
+/// (the default) carries no pool and makes every kernel run the plain
+/// serial block loop — zero overhead for `--intra-threads 1`.
+#[derive(Debug, Clone, Default)]
+pub struct IntraPar {
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl IntraPar {
+    /// The no-pool handle: kernels iterate blocks inline on the caller.
+    pub fn serial() -> IntraPar {
+        IntraPar::default()
+    }
+
+    /// A handle backed by an `n`-thread pool (`n <= 1` builds no pool —
+    /// the caller thread is the whole fleet).
+    pub fn with_threads(n: usize) -> IntraPar {
+        if n <= 1 {
+            return IntraPar::serial();
+        }
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build intra-rank thread pool");
+        IntraPar {
+            pool: Some(Arc::new(pool)),
+        }
+    }
+
+    /// The configured thread count (1 when serial).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.current_num_threads())
+    }
+
+    /// Run `f(block_index)` for every block in `0..nblocks`, round-robin
+    /// across the pool. Single-block work (and the serial handle) runs
+    /// inline on the caller — parallelism only engages when there are at
+    /// least two blocks to split.
+    pub fn for_each_block<F>(&self, nblocks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        match &self.pool {
+            Some(pool) if nblocks >= 2 => {
+                pool.broadcast(|ctx| {
+                    let mut b = ctx.index();
+                    while b < nblocks {
+                        f(b);
+                        b += ctx.num_threads();
+                    }
+                });
+            }
+            _ => {
+                for b in 0..nblocks {
+                    f(b);
+                }
+            }
+        }
+    }
+}
+
+/// How many [`PAR_BLOCK`] blocks cover `np` patterns.
+pub fn block_count(np: usize) -> usize {
+    np.div_ceil(PAR_BLOCK)
+}
+
+/// The pattern range of block `b` over `np` patterns.
+pub fn block_range(b: usize, np: usize) -> (usize, usize) {
+    let lo = b * PAR_BLOCK;
+    (lo, (lo + PAR_BLOCK).min(np))
+}
+
+/// The deterministic critical-path speedup of the round-robin partition:
+/// total patterns divided by the heaviest thread's load. This is the
+/// machine-independent figure the `intra_scaling` bench gate asserts —
+/// measured wall-clock rides alongside, but a 1-core CI box cannot be
+/// asked to *demonstrate* a 4-thread speedup, only to prove the partition
+/// admits one.
+pub fn modeled_speedup(np: usize, threads: usize) -> f64 {
+    if np == 0 || threads <= 1 {
+        return 1.0;
+    }
+    let nblocks = block_count(np);
+    let mut heaviest = 0usize;
+    for t in 0..threads.min(nblocks) {
+        let mut load = 0;
+        let mut b = t;
+        while b < nblocks {
+            let (lo, hi) = block_range(b, np);
+            load += hi - lo;
+            b += threads;
+        }
+        heaviest = heaviest.max(load);
+    }
+    np as f64 / heaviest as f64
+}
+
+/// A raw-pointer wrapper asserting that parallel block writers touch
+/// disjoint index ranges. The kernels hand each block exclusive ownership
+/// of its pattern range (see the module docs); this wrapper is what lets
+/// that ownership cross the closure's `Fn + Sync` boundary.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Access goes through a whole-struct method (not
+    /// the field) so closures capture the `Send + Sync` wrapper rather
+    /// than disjointly capturing the raw pointer inside it.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// Safety: every user partitions the pointee by block index; no two blocks
+// alias, and the broadcast completes before the borrow ends.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_covers_patterns_exactly() {
+        for np in [0, 1, 255, 256, 257, 1000, 4096] {
+            let n = block_count(np);
+            let mut covered = 0;
+            for b in 0..n {
+                let (lo, hi) = block_range(b, np);
+                assert_eq!(lo, covered);
+                assert!(hi > lo || np == 0);
+                covered = hi;
+            }
+            assert_eq!(covered, np);
+        }
+    }
+
+    #[test]
+    fn serial_handle_runs_inline() {
+        let par = IntraPar::serial();
+        assert_eq!(par.threads(), 1);
+        let mut seen = vec![false; 7];
+        let ptr = SendPtr(seen.as_mut_ptr());
+        par.for_each_block(7, |b| unsafe { *ptr.get().add(b) = true });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pooled_handle_covers_every_block_once() {
+        let par = IntraPar::with_threads(4);
+        assert_eq!(par.threads(), 4);
+        let counts: Vec<std::sync::atomic::AtomicU32> = (0..23)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        par.for_each_block(23, |b| {
+            counts[b].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        for c in &counts {
+            assert_eq!(c.load(std::sync::atomic::Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn modeled_speedup_matches_round_robin_critical_path() {
+        // 1500 patterns → 6 blocks of ≤256; 4 threads → heaviest gets 2
+        // blocks (512 patterns): 1500/512 ≈ 2.93.
+        let s = modeled_speedup(1500, 4);
+        assert!((s - 1500.0 / 512.0).abs() < 1e-12);
+        assert_eq!(modeled_speedup(100, 4), 1.0); // single block: no split
+        assert_eq!(modeled_speedup(1500, 1), 1.0);
+        assert!(modeled_speedup(256 * 8, 4) >= 2.0 - 1e-12);
+    }
+}

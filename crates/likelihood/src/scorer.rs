@@ -72,7 +72,7 @@ impl<'e> TreeScorer<'e> {
             ws,
             opts,
             zero_scale: vec![0; engine.patterns().num_patterns()],
-            scratch: KernelScratch::new(engine.categories()),
+            scratch: engine.kernel_scratch(),
             junction: JunctionScratch::new(engine.patterns().num_patterns()),
             base_work: work,
         }
@@ -413,6 +413,7 @@ pub(crate) fn score_attachment(
             work.loglik_pattern_evals += kernels::compute_w_terms(
                 mode,
                 model,
+                scratch.par(),
                 &junction.pair_clv,
                 clvs[i],
                 &mut junction.wterms,

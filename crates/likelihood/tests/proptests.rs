@@ -4,6 +4,7 @@ use fdml_likelihood::categories::RateCategories;
 use fdml_likelihood::clv::WTerms;
 use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
 use fdml_likelihood::f84::F84Model;
+use fdml_likelihood::kernels::blocked_ln_prod;
 use fdml_likelihood::newton::{optimize_branch, NewtonOptions};
 use fdml_likelihood::reference::{edge_log_likelihood, edge_w_terms};
 use fdml_likelihood::work::WorkCounter;
@@ -138,6 +139,69 @@ proptest! {
         let before = edge_log_likelihood(&model, &cats, t0.clamp(1e-8, 30.0), &w, &weights, &scales);
         let after = edge_log_likelihood(&model, &cats, t, &w, &weights, &scales);
         prop_assert!(after >= before - 1e-9, "start {} (lnl {}) → {} (lnl {})", t0, before, t, after);
+    }
+
+    #[test]
+    fn blocked_ln_prod_partials_merge_bit_identically(
+        n in 1usize..1500,
+        seed in 0u64..10_000,
+        block in 1usize..600,
+    ) {
+        // The parallel fold's determinism contract, in miniature: chunk
+        // partials computed independently (here: in reverse chunk order,
+        // standing in for any thread schedule) and merged in chunk order
+        // reproduce the sequential blocked fold bit for bit.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let factors: Vec<(f64, u32)> = (0..n)
+            .map(|_| {
+                // Mantissas spanning the underflow regime the rescaled
+                // kernels produce, weights like real pattern weights.
+                let exp = (next() % 120) as i32 - 100;
+                let m = (1.0 + (next() % 1000) as f64 / 1000.0) * 2f64.powi(exp);
+                (m.max(f64::MIN_POSITIVE), 1 + (next() % 600) as u32)
+            })
+            .collect();
+        let sequential = blocked_ln_prod(&factors, block);
+        let mut partials: Vec<(usize, fdml_likelihood::kernels::LnProd)> = factors
+            .chunks(block)
+            .enumerate()
+            .rev()
+            .map(|(i, chunk)| {
+                let mut p = fdml_likelihood::kernels::LnProd::new();
+                for &(f, w) in chunk {
+                    p.mul_pow(f, w);
+                }
+                (i, p)
+            })
+            .collect();
+        partials.sort_by_key(|&(i, _)| i);
+        let mut merged = fdml_likelihood::kernels::LnProd::new();
+        for (_, p) in &partials {
+            merged.merge(p);
+        }
+        prop_assert_eq!(
+            merged.value().to_bits(),
+            sequential.value().to_bits(),
+            "schedule-independent merge diverged (n={}, block={})",
+            n,
+            block
+        );
+        // A block covering every factor degenerates to the serial fold.
+        let serial = {
+            let mut p = fdml_likelihood::kernels::LnProd::new();
+            for &(f, w) in &factors {
+                p.mul_pow(f, w);
+            }
+            p
+        };
+        let one_block = blocked_ln_prod(&factors, n.max(block));
+        prop_assert_eq!(one_block.value().to_bits(), serial.value().to_bits());
     }
 
     #[test]

@@ -275,6 +275,16 @@ pub enum Event {
         /// Why it failed.
         reason: String,
     },
+    /// The likelihood kernel configuration a run resolved at startup:
+    /// which SIMD instruction set the dispatcher selected and how many
+    /// intra-rank pattern-block threads each engine runs with.
+    KernelDispatch {
+        /// Active instruction set name (`KernelIsa::name`): "scalar",
+        /// "avx2", "avx512", or "neon".
+        isa: String,
+        /// Pattern-block threads per worker engine (1 = serial).
+        intra_threads: usize,
+    },
 }
 
 impl Event {
@@ -311,6 +321,7 @@ impl Event {
             Event::JobStarted { .. } => "JobStarted",
             Event::JobCompleted { .. } => "JobCompleted",
             Event::JobFailed { .. } => "JobFailed",
+            Event::KernelDispatch { .. } => "KernelDispatch",
         }
     }
 }

@@ -172,6 +172,14 @@ pub struct RunReport {
     /// flat runs).
     #[serde(default)]
     pub hierarchy: HierarchyStats,
+    /// Active SIMD instruction set (`KernelDispatch` event), empty when
+    /// the run predates kernel-dispatch observability.
+    #[serde(default)]
+    pub kernel_isa: String,
+    /// Intra-rank pattern-block threads per engine (`KernelDispatch`
+    /// event); 0 when no such event was seen.
+    #[serde(default)]
+    pub intra_threads: usize,
     /// Final log-likelihood, if a `RunFinished` event was seen.
     pub final_ln_likelihood: Option<f64>,
 }
@@ -199,6 +207,8 @@ impl RunReport {
         let mut quarantined = 0u64;
         let mut hierarchy = HierarchyStats::default();
         let mut regions_seen: std::collections::BTreeSet<usize> = Default::default();
+        let mut kernel_isa = String::new();
+        let mut intra_threads = 0usize;
         let mut final_ln_likelihood = None;
         // worker → (tasks, busy_us, work_units, pattern_updates,
         //           clv_cache_hits, clv_edges_recomputed, fallbacks)
@@ -330,6 +340,13 @@ impl RunReport {
                 | Event::JobStarted { .. }
                 | Event::JobCompleted { .. }
                 | Event::JobFailed { .. } => {}
+                Event::KernelDispatch {
+                    isa,
+                    intra_threads: t,
+                } => {
+                    kernel_isa = isa.clone();
+                    intra_threads = *t;
+                }
             }
         }
 
@@ -388,6 +405,8 @@ impl RunReport {
                 regions_seen: regions_seen.len(),
                 ..hierarchy
             },
+            kernel_isa,
+            intra_threads,
             final_ln_likelihood,
         }
     }
@@ -412,6 +431,15 @@ impl fmt::Display for RunReport {
         writeln!(f, "  span: {:.3} s", self.span_us as f64 / 1e6)?;
         if let Some(n) = self.ranks {
             writeln!(f, "  ranks: {n}")?;
+        }
+        if !self.kernel_isa.is_empty() {
+            writeln!(
+                f,
+                "  kernels: {} isa, {} intra-rank thread{}",
+                self.kernel_isa,
+                self.intra_threads.max(1),
+                if self.intra_threads > 1 { "s" } else { "" }
+            )?;
         }
         writeln!(
             f,

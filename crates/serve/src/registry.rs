@@ -193,6 +193,7 @@ mod tests {
             base_seed: 1,
             max_ranks: 0,
             max_wall_ms: 0,
+            intra_threads: 1,
             label: label.into(),
         }
     }

@@ -1,0 +1,340 @@
+//! Offline stand-in for `rayon`: the subset this workspace uses.
+//!
+//! The likelihood kernels need exactly one parallel primitive: run the same
+//! closure once on every thread of a fixed-size pool and collect the
+//! per-thread results in thread-index order (`rayon`'s
+//! `ThreadPool::broadcast`). The work-stealing deque machinery of real
+//! rayon is deliberately absent — the kernels assign pattern blocks to
+//! thread indices themselves (round-robin), because a *deterministic*
+//! partition is what makes the blocked likelihood reduction bit-identical
+//! at any thread count.
+//!
+//! Implementation: `num_threads - 1` persistent worker threads parked on a
+//! condvar; the broadcasting caller participates as thread index 0, so a
+//! 1-thread pool never crosses a thread boundary at all. Closures are
+//! passed by raw pointer under an epoch counter — safe because `broadcast`
+//! blocks until every worker has finished the current job, so the borrowed
+//! closure and result slots outlive every access.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Error from [`ThreadPoolBuilder::build`]. The shim cannot actually fail
+/// to build (thread spawn panics instead of erroring), but callers match
+/// real rayon's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a fixed-size [`ThreadPool`], mirroring rayon's API shape.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (1: no worker threads).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Set the pool size. `0` means the default (1 thread).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool, spawning `num_threads - 1` persistent workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool::with_threads(self.num_threads.max(1)))
+    }
+}
+
+/// A broadcast job: a type-erased closure pointer plus the runner that
+/// knows the erased types. Valid only for the epoch it was published under;
+/// `broadcast` keeps the pointee alive until every worker reports done.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const (), usize, usize),
+    data: *const (),
+}
+
+// The pointee is a stack-borrowed packet that `broadcast` keeps alive past
+// the last worker's access; workers only run it through `run`.
+unsafe impl Send for Job {}
+
+struct State {
+    epoch: u64,
+    job: Option<Job>,
+    pending: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A fixed-size thread pool supporting [`ThreadPool::broadcast`].
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    broadcasting: AtomicBool,
+}
+
+/// Per-thread context handed to a [`ThreadPool::broadcast`] closure.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastContext<'a> {
+    index: usize,
+    num_threads: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BroadcastContext<'_> {
+    /// This invocation's thread index in `0..num_threads()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The pool size.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+impl ThreadPool {
+    fn with_threads(threads: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_loop(shared, index, threads))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+            broadcasting: AtomicBool::new(false),
+        }
+    }
+
+    /// The pool size (including the broadcasting caller's slot 0).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` once per pool thread and return the results in thread-index
+    /// order. The caller executes index 0 inline; workers run the rest.
+    /// Blocks until every invocation has finished. Panics if `op` panicked
+    /// on any thread, and on re-entrant broadcast from inside `op`.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(BroadcastContext<'_>) -> R + Sync,
+        R: Send,
+    {
+        let n = self.threads;
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        if n == 1 {
+            results[0] = Some(op(BroadcastContext {
+                index: 0,
+                num_threads: 1,
+                _marker: std::marker::PhantomData,
+            }));
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+        // A second overlapping broadcast on the same pool would clobber the
+        // published job; the kernels only ever broadcast from the pool's
+        // owning workspace, so this is a programming-error guard, not a
+        // synchronization point.
+        assert!(
+            !self.broadcasting.swap(true, Ordering::Acquire),
+            "re-entrant ThreadPool::broadcast"
+        );
+
+        struct Packet<'a, OP, R> {
+            op: &'a OP,
+            results: *mut Option<R>,
+        }
+
+        unsafe fn run_one<OP, R>(data: *const (), index: usize, num_threads: usize)
+        where
+            OP: Fn(BroadcastContext<'_>) -> R + Sync,
+            R: Send,
+        {
+            let packet = unsafe { &*(data as *const Packet<'_, OP, R>) };
+            let out = (packet.op)(BroadcastContext {
+                index,
+                num_threads,
+                _marker: std::marker::PhantomData,
+            });
+            // Each invocation owns exactly one slot; slots are disjoint.
+            unsafe { *packet.results.add(index) = Some(out) };
+        }
+
+        let packet = Packet {
+            op: &op,
+            results: results.as_mut_ptr(),
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(Job {
+                run: run_one::<OP, R>,
+                data: &packet as *const Packet<'_, OP, R> as *const (),
+            });
+            st.epoch += 1;
+            st.pending = n - 1;
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is thread index 0.
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            run_one::<OP, R>(&packet as *const Packet<'_, OP, R> as *const (), 0, n);
+        }));
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        self.broadcasting.store(false, Ordering::Release);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !worker_panicked,
+            "broadcast closure panicked in pool worker"
+        );
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize, num_threads: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("job published with epoch");
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (job.run)(job.data, index, num_threads)
+        }));
+        let mut st = shared.state.lock().unwrap();
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_returns_results_in_index_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let got = pool.broadcast(|ctx| {
+            assert_eq!(ctx.num_threads(), 4);
+            ctx.index() * 10
+        });
+        assert_eq!(got, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids = pool.broadcast(|_| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+    }
+
+    #[test]
+    fn broadcast_borrows_caller_state() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let data: Vec<u64> = (0..300).collect();
+        let sums = pool.broadcast(|ctx| {
+            data.iter()
+                .skip(ctx.index())
+                .step_by(ctx.num_threads())
+                .sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn repeated_broadcasts_reuse_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        for round in 0..100u64 {
+            let got = pool.broadcast(move |ctx| round + ctx.index() as u64);
+            assert_eq!(got, vec![round, round + 1]);
+        }
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_one() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+    }
+}

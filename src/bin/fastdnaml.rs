@@ -32,6 +32,10 @@
 //!                        and the workers (--parallel / --net) [0 = flat]
 //!   --wire FORMAT        hub data-plane codec, json | binary (--net) [binary]
 //!   --worker-timeout-ms T  foreman timeout before a task is requeued
+//!   --intra-threads N    pattern-block threads per worker engine; the
+//!                        log-likelihood is bit-identical at any N     [1]
+//!   --isa LANE           kernel instruction set: scalar | avx2 | avx512 |
+//!                        neon (must be host-supported)         [auto-detect]
 //!   --incremental        score candidate rounds as base + edit through a
 //!                        per-worker CLV cache (parallel / --net modes)
 //!   --no-incremental     force whole-tree candidate scoring (the default)
@@ -188,6 +192,10 @@ fastdnaml --input data.phy [options]
                        and the workers (--parallel / --net) [0 = flat]
   --wire FORMAT        hub data-plane codec, json | binary (--net) [binary]
   --worker-timeout-ms T  foreman timeout before a task is requeued
+  --intra-threads N    pattern-block threads per worker engine; the
+                       log-likelihood is bit-identical at any N     [1]
+  --isa LANE           kernel instruction set: scalar | avx2 | avx512 |
+                       neon (must be host-supported)         [auto-detect]
   --incremental        score candidate rounds as base + edit (CLV cache)
   --no-incremental     force whole-tree candidate scoring (the default)
   --obs-out FILE       write runtime events as JSON lines (parallel only)
@@ -374,6 +382,20 @@ fn main() -> ExitCode {
     }
     let quiet = flags.iter().any(|f| f == "quiet");
 
+    // `--isa` narrows the kernel dispatch before any engine exists; it is
+    // applied first so every mode — including `--net worker`, whose engine
+    // config arrives over the wire — runs the requested lane.
+    if let Some(name) = args.get("isa") {
+        let Some(isa) = fastdnaml::likelihood::KernelIsa::parse(name) else {
+            eprintln!("fastdnaml: --isa {name}: expected scalar, avx2, avx512, or neon");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = fastdnaml::likelihood::isa::set_isa(Some(isa)) {
+            eprintln!("fastdnaml: --isa {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // Daemon mode: no alignment of its own — jobs bring their problem
     // data over the wire.
     if flags.iter().any(|f| f == "serve") {
@@ -455,11 +477,13 @@ fn main() -> ExitCode {
     }
 
     let radius: usize = get(&args, "radius", 1);
+    let intra_threads: usize = get(&args, "intra-threads", 1usize).max(1);
     let mut config = SearchConfig {
         jumble_seed: get(&args, "jumble", 1),
         rearrange_radius: radius,
         final_radius: get(&args, "final-radius", radius),
         tt_ratio: get(&args, "tt-ratio", 2.0),
+        intra_threads,
         ..SearchConfig::default()
     };
     if let Some(ms) = args
@@ -520,6 +544,7 @@ fn main() -> ExitCode {
             .base_seed(config.jumble_seed)
             .max_ranks(get(&args, "max-job-ranks", 0usize))
             .max_wall_ms(get(&args, "max-wall-ms", 0u64))
+            .intra_threads(intra_threads)
             .label(args.get("job-label").cloned().unwrap_or_default())
             .conflict_if(
                 flags.iter().any(|f| f == "midpoint") && has("outgroup"),

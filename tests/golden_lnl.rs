@@ -9,6 +9,7 @@
 use fdml_datagen::evolve::{evolve, EvolutionConfig};
 use fdml_datagen::randtree::yule_tree;
 use fdml_likelihood::engine::LikelihoodEngine;
+use fdml_likelihood::isa::{self, KernelIsa};
 use fdml_likelihood::kernels::KernelMode;
 
 const TAXA: usize = 16;
@@ -40,5 +41,68 @@ fn golden_lnl_matches_reference_kernels() {
     assert!(
         (lnl - GOLDEN_LNL).abs() < 1e-6,
         "reference engine drifted from golden value: {lnl} vs {GOLDEN_LNL}"
+    );
+}
+
+/// Every ISA lane the host supports reproduces the golden value — and, a
+/// stronger pin, the exact bits of the auto-dispatched engine. The SIMD
+/// lanes perform the scalar FMA DAG with vertical packed operations only,
+/// so the lanes are not merely close: they are the same computation.
+#[test]
+fn golden_lnl_is_identical_on_every_supported_isa() {
+    let (tree, alignment) = fixture();
+    let auto_bits = LikelihoodEngine::new(&alignment)
+        .evaluate(&tree)
+        .ln_likelihood
+        .to_bits();
+    for lane in [
+        KernelIsa::Scalar,
+        KernelIsa::Avx2,
+        KernelIsa::Avx512,
+        KernelIsa::Neon,
+    ] {
+        if !lane.supported() {
+            continue;
+        }
+        isa::set_isa(Some(lane)).unwrap();
+        let lnl = LikelihoodEngine::new(&alignment)
+            .evaluate(&tree)
+            .ln_likelihood;
+        assert_eq!(
+            lnl.to_bits(),
+            auto_bits,
+            "lane {} changed the log-likelihood bits",
+            lane.name()
+        );
+        assert!(
+            (lnl - GOLDEN_LNL).abs() < 1e-6,
+            "lane {} drifted from golden value: {lnl} vs {GOLDEN_LNL}",
+            lane.name()
+        );
+    }
+    isa::set_isa(None).unwrap();
+}
+
+/// Intra-rank pattern-block threading reproduces the golden value bit for
+/// bit: the blocked reduction's merge order is canonical at every thread
+/// count, so four threads compute the serial engine's exact answer.
+#[test]
+fn golden_lnl_is_identical_with_intra_threads() {
+    let (tree, alignment) = fixture();
+    let serial = LikelihoodEngine::new(&alignment)
+        .evaluate(&tree)
+        .ln_likelihood;
+    for threads in [2usize, 4] {
+        let engine = LikelihoodEngine::new(&alignment).with_intra_threads(threads);
+        let lnl = engine.evaluate(&tree).ln_likelihood;
+        assert_eq!(
+            lnl.to_bits(),
+            serial.to_bits(),
+            "{threads} intra threads changed the log-likelihood bits"
+        );
+    }
+    assert!(
+        (serial - GOLDEN_LNL).abs() < 1e-6,
+        "serial engine drifted from golden value: {serial} vs {GOLDEN_LNL}"
     );
 }

@@ -302,4 +302,55 @@ fn golden_ten_seed_farm() {
     }
     let got = fastdnaml::phylo::newick::write(&parts.consensus.tree);
     assert_eq!(got, GOLDEN_CONSENSUS);
+
+    // The same ten-seed farm with four pattern-block threads per engine
+    // reproduces every tree byte for byte and every likelihood bit for
+    // bit — intra-rank parallelism is invisible in the output.
+    let threaded_config = SearchConfig {
+        intra_threads: 4,
+        ..config
+    };
+    let threaded = serial_farm(
+        &alignment,
+        &threaded_config,
+        &seeds,
+        &FarmOptions::default(),
+        &Obs::disabled(),
+    )
+    .unwrap();
+    assert_eq!(threaded.runs.len(), parts.runs.len());
+    for (serial, intra) in parts.runs.iter().zip(&threaded.runs) {
+        assert_eq!(serial.seed, intra.seed);
+        assert_eq!(
+            serial.newick, intra.newick,
+            "intra-threaded farm tree diverged for seed {}",
+            serial.seed
+        );
+        assert_eq!(
+            serial.ln_likelihood.to_bits(),
+            intra.ln_likelihood.to_bits(),
+            "intra-threaded farm lnL diverged for seed {}",
+            serial.seed
+        );
+    }
+    assert_eq!(
+        fastdnaml::phylo::newick::write(&threaded.consensus.tree),
+        GOLDEN_CONSENSUS
+    );
+}
+
+/// The CLI flag end of the same contract: `--intra-threads 4` emits
+/// byte-identical per-jumble trees and consensus.
+#[test]
+fn intra_threaded_cli_farm_reproduces_serial_output() {
+    let dir = workdir("intra");
+    let (base_trees, base_cons, _) = run_farm(&dir, "serial", &["--quiet"]);
+    let (intra_trees, intra_cons, _) =
+        run_farm(&dir, "intra4", &["--intra-threads", "4", "--quiet"]);
+    assert_eq!(
+        intra_trees, base_trees,
+        "--intra-threads 4: per-jumble trees"
+    );
+    assert_eq!(intra_cons, base_cons, "--intra-threads 4: consensus");
+    std::fs::remove_dir_all(dir).ok();
 }
