@@ -132,6 +132,48 @@ cargo run --release -p fdml-bench --bin wire_report -- --quick --out target/benc
 cmp "$SMOKE/farm_net_trees.txt" "$SMOKE/farm_thr_trees.txt"
 cmp "$SMOKE/farm_net.nwk" "$SMOKE/farm_thr.nwk"
 
+# Coordinator crash-recovery smoke, two kill styles:
+#
+# (1) Deterministic: --chaos-storage-crash aborts the coordinator at an
+# exact WAL storage operation, leaving the file a SIGKILL there would
+# leave. Re-running the same command must resume from the round log and
+# emit the byte-identical tree, then retire the log.
+WALD="$SMOKE/wal_crash"
+rm -rf "$WALD"; mkdir -p "$WALD"
+rm -f "$SMOKE/wal_crash.nwk"   # stale output from a prior gate run
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet \
+  --wal-dir "$WALD" --chaos-storage-crash 6 --output "$SMOKE/wal_crash.nwk" 2>/dev/null \
+  && { echo "crash injection did not kill the coordinator"; exit 1; }
+test ! -f "$SMOKE/wal_crash.nwk"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --parallel 4 --quiet \
+  --wal-dir "$WALD" --output "$SMOKE/wal_crash.nwk"
+cmp "$SMOKE/wal_crash.nwk" "$SMOKE/threads.nwk"
+test -z "$(ls -A "$WALD")"   # log retired: the directory stays bounded
+#
+# (2) A real kill -9 mid-farm: 24 jumbles give the coordinator enough
+# wall time to be caught with its manifest and WAL half-written. The
+# relaunched command must finish the farm with per-jumble trees
+# byte-identical to an uninterrupted baseline.
+rm -rf "$WALD"; mkdir -p "$WALD"
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --jumbles 24 --parallel 4 --quiet \
+  --jumble-trees "$SMOKE/farm_base_trees.txt" --output /dev/null
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --jumbles 24 --parallel 4 --quiet \
+  --wal-dir "$WALD" --checkpoint "$SMOKE/farm_kill.json" \
+  --jumble-trees "$SMOKE/farm_kill_trees.txt" --output /dev/null &
+FARM_PID=$!
+until [ -s "$SMOKE/farm_kill.json" ]; do sleep 0.02; done
+kill -9 "$FARM_PID" 2>/dev/null || true
+wait "$FARM_PID" 2>/dev/null || true
+./target/release/fastdnaml --input "$SMOKE/data.phy" --jumble 7 --jumbles 24 --parallel 4 --quiet \
+  --wal-dir "$WALD" --checkpoint "$SMOKE/farm_kill.json" --resume "$SMOKE/farm_kill.json" \
+  --jumble-trees "$SMOKE/farm_kill_trees.txt" --output /dev/null
+cmp "$SMOKE/farm_kill_trees.txt" "$SMOKE/farm_base_trees.txt"
+test -z "$(ls -A "$WALD")"
+
+# The full crash-point matrices behind the smoke (every WAL boundary,
+# every storage op of a farm, torn tails, fault storms) run as part of
+# `cargo test` above: tests/wal_resume.rs and tests/storage_faults.rs.
+
 # Service smoke: start the job daemon with no workers, submit two farms
 # (they stay queued — no fleet yet), kill the daemon without ceremony,
 # then restart it on a fresh port with a spawned fleet and the same state

@@ -10,14 +10,18 @@
 //! rows (default 4, the gated configuration).
 
 use fdml_bench::kernel_report::{
-    compare, measure, IntraScalingReport, KernelReport, WorkloadReport,
+    compare, measure, IntraScalingReport, KernelReport, WalOverheadReport, WorkloadReport,
 };
 use fdml_bench::Args;
 use fdml_core::config::SearchConfig;
+use fdml_core::executor::ScorerExecutor;
+use fdml_core::search::StepwiseSearch;
+use fdml_core::wal::{self, WalSession, WalWriter};
 use fdml_datagen::{evolve, yule_tree, EvolutionConfig};
 use fdml_likelihood::engine::{LikelihoodEngine, OptimizeOptions};
 use fdml_likelihood::incremental::ClvCache;
 use fdml_likelihood::KernelMode;
+use fdml_obs::Obs;
 use fdml_phylo::alignment::Alignment;
 use fdml_phylo::ops::{apply_move, enumerate_insertion_moves, enumerate_spr_moves, TreeMove};
 use fdml_phylo::tree::Tree;
@@ -166,6 +170,109 @@ fn run_intra_scaling(
     row
 }
 
+/// Times the golden search bare and with a write-ahead round log attached
+/// — session open, one durable append per committed round, retirement on
+/// success — and gates the min-of-N overhead at 3% in full runs. Also
+/// asserts the logged search reproduces the bare search's log-likelihood
+/// bit for bit: the hook must observe the search, never steer it.
+///
+/// Full runs use the wide golden-generator dataset (the
+/// `evaluate_by_sites` dimensions): the WAL's cost is one `fdatasync` per
+/// committed round, a fixed fee that only means anything relative to how
+/// much scoring a round buys. On a toy alignment the fee is the round; at
+/// realistic pattern counts a round costs hundreds of times more than the
+/// sync, which is the regime the 3% gate protects.
+fn run_wal_overhead(samples: usize, quick: bool) -> WalOverheadReport {
+    let (taxa, sites) = if quick { (12, 200) } else { (32, 1858) };
+    let (alignment, _) = dataset(taxa, sites);
+    let config = SearchConfig {
+        jumble_seed: 7,
+        ..SearchConfig::default()
+    };
+    let engine = config.build_engine(&alignment);
+    let search = || {
+        StepwiseSearch::new(
+            &config,
+            ScorerExecutor::new(&engine, config.optimize),
+            alignment.num_taxa(),
+        )
+        .with_names(alignment.names().to_vec())
+    };
+    let baseline_result = search().run().expect("golden search");
+
+    // One untimed instrumented run to learn the log's shape.
+    let dir = std::env::temp_dir().join(format!("fdml-wal-bench-{}", std::process::id()));
+    let writer = std::cell::RefCell::new(
+        WalWriter::create(&dir, 0, config.jumble_seed, alignment.num_taxa()).expect("wal create"),
+    );
+    let logged_result = search()
+        .on_wal(|round| {
+            writer.borrow_mut().append(round).expect("wal append");
+        })
+        .run()
+        .expect("golden search under wal");
+    assert_eq!(
+        baseline_result.ln_likelihood.to_bits(),
+        logged_result.ln_likelihood.to_bits(),
+        "attaching the wal hook changed the search result"
+    );
+    let (rounds, wal_bytes) = {
+        let w = writer.borrow();
+        (w.next_index(), w.len_bytes())
+    };
+    drop(writer);
+    wal::retire(&dir, 0, config.jumble_seed).expect("wal retire");
+
+    let baseline = measure(samples, rounds.max(1), || {
+        black_box(search().run().expect("golden search").ln_likelihood);
+    });
+    let obs = Obs::disabled();
+    let wal_arm = measure(samples, rounds.max(1), || {
+        let session = WalSession::open(&dir, 0, config.jumble_seed, alignment.num_taxa(), &obs)
+            .expect("wal open");
+        black_box(
+            search()
+                .on_wal(session.hook())
+                .run()
+                .expect("golden search under wal")
+                .ln_likelihood,
+        );
+        session.finish_and_retire().expect("wal retire");
+    });
+    let overhead = wal_arm.min_seconds / baseline.min_seconds - 1.0;
+    let row = WalOverheadReport {
+        name: format!("wal_overhead/golden_search/{taxa}"),
+        samples,
+        rounds,
+        wal_bytes,
+        baseline_mean_seconds: baseline.mean_seconds,
+        baseline_min_seconds: baseline.min_seconds,
+        wal_mean_seconds: wal_arm.mean_seconds,
+        wal_min_seconds: wal_arm.min_seconds,
+        overhead,
+    };
+    println!(
+        "{:<32} bare {:>8.3} ms  wal {:>9.3} ms  {} rounds, {} B    overhead {:+.2}%",
+        row.name,
+        row.baseline_min_seconds * 1e3,
+        row.wal_min_seconds * 1e3,
+        row.rounds,
+        row.wal_bytes,
+        row.overhead * 1e2
+    );
+    // The min-of-N ratio squeezes out scheduler noise; --quick runs (3
+    // samples on a loaded CI box) still jitter past any honest bound, so
+    // the gate holds for full runs only.
+    if !quick {
+        assert!(
+            row.overhead <= 0.03,
+            "wal overhead on the golden search exceeded the 3% gate: {:+.2}%",
+            row.overhead * 1e2
+        );
+    }
+    row
+}
+
 fn main() {
     let args = Args::from_env();
     let quick = args.has_flag("quick");
@@ -304,11 +411,14 @@ fn main() {
         ));
     }
 
+    let wal_overhead = vec![run_wal_overhead(samples, quick)];
+
     let report = KernelReport {
         generated_by: "fdml-bench kernel_report".into(),
         quick,
         workloads,
         intra_scaling,
+        wal_overhead,
     };
     std::fs::write(&out, report.to_json() + "\n").expect("write report");
     println!("wrote {out}");

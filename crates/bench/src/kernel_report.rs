@@ -73,6 +73,33 @@ pub struct IntraScalingReport {
     pub threaded: ModeStats,
 }
 
+/// Cost of the write-ahead round log on the golden search: the same
+/// stepwise search timed bare and with a [`fdml_core::wal`] session
+/// appending (and `fdatasync`ing) every committed round, including log
+/// creation and retirement. The gated number is the min-of-N wall ratio —
+/// the WAL's floor cost with scheduler noise squeezed out.
+#[derive(Debug, Clone, Serialize)]
+pub struct WalOverheadReport {
+    /// Workload id (e.g. `wal_overhead/golden_search/16`).
+    pub name: String,
+    /// Timed samples per arm (after one untimed warmup each).
+    pub samples: usize,
+    /// Committed rounds logged per search (one durable append each).
+    pub rounds: u64,
+    /// Final log size in bytes, magic header included.
+    pub wal_bytes: u64,
+    /// Mean wall time of the bare search, seconds.
+    pub baseline_mean_seconds: f64,
+    /// Fastest bare run, seconds.
+    pub baseline_min_seconds: f64,
+    /// Mean wall time with the WAL attached, seconds.
+    pub wal_mean_seconds: f64,
+    /// Fastest WAL run, seconds.
+    pub wal_min_seconds: f64,
+    /// `wal_min_seconds / baseline_min_seconds - 1` — the gated fraction.
+    pub overhead: f64,
+}
+
 /// The whole report, serialized to `BENCH_kernels.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelReport {
@@ -86,6 +113,9 @@ pub struct KernelReport {
     /// Intra-rank thread-scaling rows (empty before the rayon kernels).
     #[serde(default)]
     pub intra_scaling: Vec<IntraScalingReport>,
+    /// Write-ahead-log overhead rows (empty before the WAL).
+    #[serde(default)]
+    pub wal_overhead: Vec<WalOverheadReport>,
 }
 
 impl KernelReport {
@@ -160,6 +190,17 @@ mod tests {
             generated_by: "fdml-bench kernel_report".into(),
             quick: false,
             workloads: vec![compare("w", s(1.0), s(2.0))],
+            wal_overhead: vec![WalOverheadReport {
+                name: "wal_overhead/golden_search/16".into(),
+                samples: 3,
+                rounds: 20,
+                wal_bytes: 4000,
+                baseline_mean_seconds: 1.0,
+                baseline_min_seconds: 0.9,
+                wal_mean_seconds: 1.01,
+                wal_min_seconds: 0.91,
+                overhead: 0.91 / 0.9 - 1.0,
+            }],
             intra_scaling: vec![IntraScalingReport {
                 name: "intra_scaling/w/4".into(),
                 threads: 4,
@@ -177,5 +218,7 @@ mod tests {
         assert!(json.contains("\"tree_evaluate\"") || json.contains("\"w\""));
         assert!(json.contains("\"intra_scaling\""));
         assert!(json.contains("\"modeled_speedup\""));
+        assert!(json.contains("\"wal_overhead\""));
+        assert!(json.contains("\"overhead\""));
     }
 }

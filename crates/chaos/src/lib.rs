@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 
+pub mod storage;
+
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Rank, Transport};
 use fdml_obs::{Event, Obs};

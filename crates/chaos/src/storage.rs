@@ -1,0 +1,311 @@
+//! Seeded storage-fault plans for the crash-consistent storage layer.
+//!
+//! The network half of this crate attacks the data plane; this module
+//! attacks the *control plane's disk*: the write-ahead logs, manifests,
+//! and registries that make the coordinator restartable. A
+//! [`StoragePlan`] is a deterministic schedule of filesystem faults —
+//! torn writes, short writes, injected `EIO`/`ENOSPC`, and crash-points
+//! between the write / fsync / rename steps of an atomic update —
+//! consumed by `fdml-core`'s `durable` module at every storage
+//! operation.
+//!
+//! Faults are scheduled in *operation count*, not wall clock: the nth
+//! storage operation of a run always draws the same fate, so a recovery
+//! test can enumerate every crash-point a real `kill -9` could hit and
+//! assert byte-identical resume after each one.
+//!
+//! Plans are installed per thread ([`install`] / [`clear`]): a test
+//! injects faults into exactly the storage traffic it drives, without
+//! perturbing parallel tests or the surrounding harness.
+//!
+//! Crash semantics: once a [`StorageFault::Crash`] (or a torn write,
+//! which only exists because a process died mid-`write`) has fired, every
+//! later operation on the thread also fails — the "process" is dead until
+//! [`clear`] resurrects it. `EIO`/`ENOSPC` are transient: the operation
+//! fails, the process lives on.
+
+use crate::ChaosRng;
+use std::cell::RefCell;
+
+/// One storage operation the durable layer performs, in the order the
+/// atomic-write and log-append paths execute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageOp {
+    /// Writing the temporary sibling of an atomic update.
+    TempWrite,
+    /// `fsync` of the temporary file.
+    SyncFile,
+    /// Renaming the temporary over the target.
+    Rename,
+    /// `fsync` of the containing directory.
+    SyncDir,
+    /// Appending one framed record to a log.
+    Append,
+    /// `fdatasync` after a log append.
+    SyncAppend,
+}
+
+impl StorageOp {
+    /// Stable name for error messages and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageOp::TempWrite => "temp-write",
+            StorageOp::SyncFile => "sync-file",
+            StorageOp::Rename => "rename",
+            StorageOp::SyncDir => "sync-dir",
+            StorageOp::Append => "append",
+            StorageOp::SyncAppend => "sync-append",
+        }
+    }
+}
+
+/// The fate the plan assigns to one storage operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Proceed normally.
+    None,
+    /// Write only a prefix of the payload, then die (a crash mid-`write`).
+    Torn,
+    /// The kernel accepts fewer bytes than asked; the caller's retry loop
+    /// must complete the write. Not fatal.
+    Short,
+    /// Transient `EIO`: the operation fails, the process survives.
+    Eio,
+    /// `ENOSPC`: the filesystem is full; the operation fails, the process
+    /// survives.
+    Enospc,
+    /// The process dies *between* operations (e.g. after the temp write
+    /// but before the rename). Everything after also fails.
+    Crash,
+}
+
+/// A seeded, reproducible schedule of storage faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoragePlan {
+    /// Master seed for the per-mille draws.
+    pub seed: u64,
+    /// Permille of writes torn mid-payload (fatal).
+    pub torn_per_mille: u64,
+    /// Permille of writes accepted only partially (retried, not fatal).
+    pub short_per_mille: u64,
+    /// Permille of operations failing with `EIO`.
+    pub eio_per_mille: u64,
+    /// Permille of operations failing with `ENOSPC`.
+    pub enospc_per_mille: u64,
+    /// Kill the process at exactly this operation index (0-based, counted
+    /// across all operations on the thread).
+    pub crash_at_op: Option<u64>,
+}
+
+impl StoragePlan {
+    /// A plan with no faults (the control arm).
+    pub fn quiet(seed: u64) -> StoragePlan {
+        StoragePlan {
+            seed,
+            torn_per_mille: 0,
+            short_per_mille: 0,
+            eio_per_mille: 0,
+            enospc_per_mille: 0,
+            crash_at_op: None,
+        }
+    }
+
+    /// A mixed transient-fault plan derived from `seed`: short writes and
+    /// `EIO`/`ENOSPC` at rates in 0..150‰ each. Torn writes and
+    /// crash-points are *not* drawn here — they kill the process, so soak
+    /// tests schedule them explicitly per crash-point.
+    pub fn seeded(seed: u64) -> StoragePlan {
+        let mut rng = ChaosRng::new(seed ^ 0x57AB_1E5A_FE77_0000);
+        StoragePlan {
+            seed,
+            torn_per_mille: 0,
+            short_per_mille: rng.below(150),
+            eio_per_mille: rng.below(150),
+            enospc_per_mille: rng.below(150),
+            crash_at_op: None,
+        }
+    }
+
+    /// Schedule a kill at operation `op` (0-based).
+    pub fn crash_at(mut self, op: u64) -> StoragePlan {
+        self.crash_at_op = Some(op);
+        self
+    }
+
+    /// Schedule a torn write: every write after `crash_at_op` would fail
+    /// anyway, so a plan that tears its nth write is expressed as
+    /// `quiet(seed).crash_at(n)` on a sync op or `torn_at` on a write op.
+    pub fn torn(mut self, per_mille: u64) -> StoragePlan {
+        self.torn_per_mille = per_mille;
+        self
+    }
+}
+
+/// Counters describing what an installed plan actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Storage operations observed.
+    pub ops: u64,
+    /// Writes torn.
+    pub torn: u64,
+    /// Writes shortened (and retried by the caller).
+    pub short: u64,
+    /// Transient errors injected (`EIO` + `ENOSPC`).
+    pub errors: u64,
+    /// Whether the simulated process died.
+    pub crashed: bool,
+}
+
+struct StorageState {
+    plan: StoragePlan,
+    rng: ChaosRng,
+    stats: StorageStats,
+}
+
+thread_local! {
+    static STORAGE: RefCell<Option<StorageState>> = const { RefCell::new(None) };
+}
+
+/// Install `plan` for the current thread. Replaces any previous plan.
+pub fn install(plan: StoragePlan) {
+    let rng = ChaosRng::new(plan.seed ^ 0x00D1_5CFA_u64);
+    STORAGE.with(|s| {
+        *s.borrow_mut() = Some(StorageState {
+            plan,
+            rng,
+            stats: StorageStats::default(),
+        })
+    });
+}
+
+/// Remove the current thread's plan, returning what it did.
+pub fn clear() -> StorageStats {
+    STORAGE.with(|s| s.borrow_mut().take().map(|st| st.stats).unwrap_or_default())
+}
+
+/// Whether a plan is installed on this thread (lets the durable layer
+/// skip the bookkeeping entirely in production).
+pub fn is_active() -> bool {
+    STORAGE.with(|s| s.borrow().is_some())
+}
+
+/// Fault counters of the installed plan so far.
+pub fn stats() -> StorageStats {
+    STORAGE.with(|s| s.borrow().as_ref().map(|st| st.stats).unwrap_or_default())
+}
+
+/// Decide the fate of the next storage operation. Returns
+/// [`StorageFault::None`] when no plan is installed.
+pub fn decide(op: StorageOp) -> StorageFault {
+    STORAGE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        let Some(state) = borrow.as_mut() else {
+            return StorageFault::None;
+        };
+        let idx = state.stats.ops;
+        state.stats.ops += 1;
+        if state.stats.crashed {
+            return StorageFault::Crash;
+        }
+        if state.plan.crash_at_op == Some(idx) {
+            state.stats.crashed = true;
+            return StorageFault::Crash;
+        }
+        // One draw per op keeps the stream aligned with the op index no
+        // matter which fault classes are enabled.
+        let roll = state.rng.below(1000);
+        let p = &state.plan;
+        let mut edge = p.torn_per_mille;
+        if roll < edge {
+            state.stats.torn += 1;
+            state.stats.crashed = true;
+            return StorageFault::Torn;
+        }
+        edge += p.short_per_mille;
+        if roll < edge {
+            // Only writes can be short; sync/rename ops ignore it.
+            if matches!(op, StorageOp::TempWrite | StorageOp::Append) {
+                state.stats.short += 1;
+                return StorageFault::Short;
+            }
+            return StorageFault::None;
+        }
+        edge += p.eio_per_mille;
+        if roll < edge {
+            state.stats.errors += 1;
+            return StorageFault::Eio;
+        }
+        edge += p.enospc_per_mille;
+        if roll < edge {
+            state.stats.errors += 1;
+            return StorageFault::Enospc;
+        }
+        StorageFault::None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_is_transparent() {
+        assert!(!is_active());
+        assert_eq!(decide(StorageOp::Append), StorageFault::None);
+        assert_eq!(clear(), StorageStats::default());
+    }
+
+    #[test]
+    fn crash_at_op_kills_exactly_there_and_stays_dead() {
+        install(StoragePlan::quiet(1).crash_at(2));
+        assert_eq!(decide(StorageOp::TempWrite), StorageFault::None);
+        assert_eq!(decide(StorageOp::SyncFile), StorageFault::None);
+        assert_eq!(decide(StorageOp::Rename), StorageFault::Crash);
+        // Dead processes stay dead: the next op fails too.
+        assert_eq!(decide(StorageOp::SyncDir), StorageFault::Crash);
+        let stats = clear();
+        assert!(stats.crashed);
+        assert_eq!(stats.ops, 4);
+    }
+
+    #[test]
+    fn same_seed_draws_the_same_fates() {
+        let run = || {
+            install(StoragePlan::seeded(9));
+            let fates: Vec<StorageFault> = (0..200)
+                .map(|i| {
+                    decide(if i % 2 == 0 {
+                        StorageOp::Append
+                    } else {
+                        StorageOp::SyncAppend
+                    })
+                })
+                .collect();
+            clear();
+            fates
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn torn_write_is_fatal() {
+        install(StoragePlan::quiet(3).torn(1000));
+        assert_eq!(decide(StorageOp::Append), StorageFault::Torn);
+        assert_eq!(decide(StorageOp::SyncAppend), StorageFault::Crash);
+        assert!(clear().crashed);
+    }
+
+    #[test]
+    fn short_writes_only_apply_to_write_ops() {
+        install(StoragePlan {
+            short_per_mille: 1000,
+            ..StoragePlan::quiet(0)
+        });
+        assert_eq!(decide(StorageOp::TempWrite), StorageFault::Short);
+        assert_eq!(decide(StorageOp::SyncFile), StorageFault::None);
+        assert_eq!(decide(StorageOp::Append), StorageFault::Short);
+        let stats = clear();
+        assert_eq!(stats.short, 2);
+        assert!(!stats.crashed);
+    }
+}

@@ -338,6 +338,44 @@ pub enum Message {
         /// The rank of the regional foreman to report to.
         foreman: usize,
     },
+    /// Worker → foreman → master: one committed search round of a
+    /// remotely running jumble, as a framed write-ahead-log entry. The
+    /// coordinator appends it to the jumble's WAL so a killed-and-resumed
+    /// coordinator can hand the worker its own history back (see
+    /// [`Message::JumbleResume`]) and replay to a byte-identical tree.
+    /// `entry` is the JSON text of one `WalRecord::Round`; the transport
+    /// does not interpret it.
+    WalRound {
+        /// The job the jumble belongs to (0 = the anonymous one-shot farm).
+        job: u64,
+        /// The jumble seed (already adjusted), identifying the WAL.
+        seed: u64,
+        /// Zero-based round ordinal within the jumble. The coordinator
+        /// dedups re-streamed history from a restarted worker by index.
+        index: u64,
+        /// One framed round as JSON text.
+        entry: String,
+    },
+    /// Coordinator → worker: run one whole jumble, resuming from the
+    /// write-ahead log carried inline. The WAL-aware sibling of
+    /// [`Message::JumbleTask`] / [`Message::JobTask`]: an empty `wal`
+    /// means a fresh start, a non-empty one replays the committed rounds
+    /// before going live, and either way the worker streams every
+    /// subsequent committed round back as [`Message::WalRound`].
+    JumbleResume {
+        /// The job the jumble belongs to (0 = the anonymous one-shot
+        /// farm; the worker answers with [`Message::JumbleResult`].
+        /// Non-zero = a daemon job; the worker answers with
+        /// [`Message::JobTaskResult`]).
+        job: u64,
+        /// Task id, unique within the run.
+        task: u64,
+        /// The jumble seed (already adjusted and deduplicated).
+        seed: u64,
+        /// The committed rounds so far, one `WalRecord::Round` JSON text
+        /// per entry, in order. Empty for a fresh start.
+        wal: Vec<String>,
+    },
     /// Orderly shutdown of a worker or the monitor.
     Shutdown,
 }
@@ -393,6 +431,10 @@ pub enum MessageKind {
     StealReturn,
     /// [`Message::Rehome`].
     Rehome,
+    /// [`Message::WalRound`].
+    WalRound,
+    /// [`Message::JumbleResume`].
+    JumbleResume,
     /// [`Message::Shutdown`].
     Shutdown,
 }
@@ -424,6 +466,8 @@ impl MessageKind {
             MessageKind::StealRequest => "StealRequest",
             MessageKind::StealReturn => "StealReturn",
             MessageKind::Rehome => "Rehome",
+            MessageKind::WalRound => "WalRound",
+            MessageKind::JumbleResume => "JumbleResume",
             MessageKind::Shutdown => "Shutdown",
         }
     }
@@ -462,6 +506,8 @@ impl Message {
             Message::StealRequest { .. } => MessageKind::StealRequest,
             Message::StealReturn { .. } => MessageKind::StealReturn,
             Message::Rehome { .. } => MessageKind::Rehome,
+            Message::WalRound { .. } => MessageKind::WalRound,
+            Message::JumbleResume { .. } => MessageKind::JumbleResume,
             Message::Shutdown => MessageKind::Shutdown,
         }
     }
@@ -508,6 +554,10 @@ impl Message {
                 16 + tasks.iter().map(Message::wire_bytes).sum::<usize>()
             }
             Message::Rehome { .. } => 24,
+            Message::WalRound { entry, .. } => entry.len() + 40,
+            Message::JumbleResume { wal, .. } => {
+                40 + wal.iter().map(|e| e.len() + 8).sum::<usize>()
+            }
             Message::Shutdown => 16,
         }
     }
@@ -640,6 +690,18 @@ mod tests {
                 tasks: vec![Message::JumbleTask { task: 51, seed: 3 }],
             },
             Message::Rehome { foreman: 5 },
+            Message::WalRound {
+                job: 0,
+                seed: 11,
+                index: 2,
+                entry: r#"{"Round":{"index":2}}"#.into(),
+            },
+            Message::JumbleResume {
+                job: 3,
+                task: 60,
+                seed: 11,
+                wal: vec![r#"{"Round":{"index":0}}"#.into()],
+            },
             Message::Shutdown,
         ];
         for m in msgs {

@@ -36,6 +36,13 @@ impl Checkpoint {
     pub fn from_json(text: &str) -> Result<Checkpoint, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Write durably through the crash-consistent storage layer: after
+    /// this returns, the checkpoint survives power loss, and a kill at
+    /// any interior step leaves the previous checkpoint intact.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::durable::atomic_write(path, self.to_json().as_bytes())
+    }
 }
 
 /// The lifecycle of one jumble inside a farm manifest.
@@ -127,12 +134,14 @@ impl FarmManifest {
         serde_json::from_str(text)
     }
 
-    /// Write atomically: to a temporary sibling first, then rename over the
-    /// target, so a kill mid-write never leaves a torn manifest behind.
+    /// Write durably through the crash-consistent storage layer
+    /// ([`crate::durable::atomic_write`]): temp sibling, fsync, rename,
+    /// directory fsync. A kill at any step leaves either the previous
+    /// manifest or the new one — never a torn file — and a completed
+    /// save survives power loss (the farm acks jumbles only after this
+    /// returns).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        crate::durable::atomic_write(path, self.to_json().as_bytes())
     }
 }
 

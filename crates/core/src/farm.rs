@@ -27,6 +27,7 @@ use crate::config::SearchConfig;
 use crate::executor::ScorerExecutor;
 use crate::jumble::adjust_seed;
 use crate::search::{SearchResult, StepwiseSearch};
+use crate::wal::{self, WalRound, WalSession, WalWriter};
 use crate::worker::ranks;
 use fdml_comm::message::Message;
 use fdml_comm::transport::Transport;
@@ -53,6 +54,11 @@ pub struct FarmOptions {
     /// replayed into the consensus without recomputation, `Pending` entries
     /// are run.
     pub resume: Option<FarmManifest>,
+    /// Where each in-flight jumble keeps its write-ahead round log
+    /// ([`crate::wal`]). `None` disables the WAL; with a directory, a
+    /// killed coordinator resumes every unfinished jumble from its last
+    /// committed round instead of its last taxon-addition boundary.
+    pub wal_dir: Option<PathBuf>,
 }
 
 /// One jumble's outcome in a farm run.
@@ -144,6 +150,52 @@ pub fn run_one_jumble(
     result
 }
 
+/// [`run_one_jumble`] with a WAL attached: replay the committed prefix
+/// (scoring skipped, state bit-identical), run the remainder live, and
+/// hand each newly committed round to `on_wal` — the coordinator-side
+/// append, or a wire send on a worker.
+pub fn run_one_jumble_wal(
+    engine: &LikelihoodEngine,
+    alignment: &Alignment,
+    base_config: &SearchConfig,
+    seed: u64,
+    wal: Vec<WalRound>,
+    on_wal: impl FnMut(&WalRound),
+) -> Result<SearchResult, PhyloError> {
+    let config = SearchConfig {
+        jumble_seed: seed,
+        ..base_config.clone()
+    };
+    let executor = ScorerExecutor::new(engine, config.optimize);
+    let result = StepwiseSearch::new(&config, executor, alignment.num_taxa())
+        .with_names(alignment.names().to_vec())
+        .resume_from_wal(wal)
+        .on_wal(on_wal)
+        .run();
+    result
+}
+
+/// Run one jumble locally with its WAL on disk: recover the log (or start
+/// one), replay, run live appending every committed round, and surface any
+/// append failure as a hard error — an unreported round would silently
+/// shrink the crash-tolerance window.
+fn run_one_jumble_durable(
+    engine: &LikelihoodEngine,
+    alignment: &Alignment,
+    config: &SearchConfig,
+    seed: u64,
+    dir: &std::path::Path,
+    job: u64,
+    obs: &Obs,
+) -> Result<SearchResult, PhyloError> {
+    let io = |e: std::io::Error| PhyloError::Format(format!("wal jumble {seed}: {e}"));
+    let mut session = WalSession::open(dir, job, seed, alignment.num_taxa(), obs).map_err(io)?;
+    let rounds = session.take_rounds();
+    let result = run_one_jumble_wal(engine, alignment, config, seed, rounds, session.hook())?;
+    session.finish().map_err(io)?;
+    Ok(result)
+}
+
 /// The state a farm starts from: the manifest, the per-seed runs so far,
 /// the consensus accumulator, and the seeds still to compute.
 type PreparedFarm = (
@@ -202,6 +254,13 @@ fn prepare(
                 reused: true,
             },
         );
+        if let Some(dir) = &options.wal_dir {
+            // A crash can land between the manifest rename (entry Done)
+            // and the WAL retire; the replayed entry's stale log would
+            // otherwise survive every future resume.
+            wal::retire(dir, 0, entry.seed)
+                .map_err(|e| PhyloError::Format(format!("retire wal {}: {e}", entry.seed)))?;
+        }
         obs.emit(|| Event::JumbleCompleted {
             seed: entry.seed,
             ln_likelihood,
@@ -232,6 +291,13 @@ fn absorb(
         manifest
             .save(path)
             .map_err(|e| PhyloError::Format(format!("write manifest: {e}")))?;
+    }
+    if let Some(dir) = &options.wal_dir {
+        // The result is durably in the manifest (or, manifest-less, will
+        // be recomputed from scratch on restart anyway): the round log
+        // has served its purpose and the directory stays bounded.
+        wal::retire(dir, 0, run.seed)
+            .map_err(|e| PhyloError::Format(format!("retire wal {}: {e}", run.seed)))?;
     }
     obs.emit(|| Event::JumbleCompleted {
         seed: run.seed,
@@ -280,7 +346,10 @@ pub fn serial_farm(
             pending: todo.len() - i - 1,
             total,
         });
-        let result = run_one_jumble(&engine, alignment, config, seed)?;
+        let result = match &options.wal_dir {
+            Some(dir) => run_one_jumble_durable(&engine, alignment, config, seed, dir, 0, obs)?,
+            None => run_one_jumble(&engine, alignment, config, seed)?,
+        };
         let run = JumbleRun {
             seed,
             newick: newick::write_tree(&result.tree, alignment.names()),
@@ -345,20 +414,56 @@ pub fn run_farm_master<T: Transport>(
     let mut next_task: u64 = 0;
     // Built only if the foreman quarantines a jumble.
     let mut local_engine: Option<LikelihoodEngine> = None;
+    // One append handle per in-flight jumble when a WAL directory is
+    // configured; entries leave the map when the jumble is absorbed.
+    let mut writers: HashMap<u64, WalWriter> = HashMap::new();
+    let wal_io = |e: std::io::Error| PhyloError::Format(format!("wal: {e}"));
     macro_rules! dispatch_up_to_width {
         () => {
             while in_flight < width {
                 let Some(seed) = pending.pop_front() else {
                     break;
                 };
-                transport
-                    .send(
-                        ranks::FOREMAN,
-                        &Message::JumbleTask {
+                let msg = match &options.wal_dir {
+                    Some(dir) => {
+                        // Carry the committed prefix inline so the worker
+                        // replays it, then streams rounds back starting at
+                        // exactly this writer's next index.
+                        let (entries, writer) = match wal::load(dir, 0, seed).map_err(wal_io)? {
+                            Some(state) => {
+                                let w = WalWriter::resume(dir, 0, seed, &state).map_err(wal_io)?;
+                                let replayed = state.rounds.len() as u64;
+                                if replayed > 0 {
+                                    obs.emit(|| Event::WalReplay {
+                                        job: 0,
+                                        seed,
+                                        rounds: replayed,
+                                    });
+                                }
+                                let entries = state.rounds.iter().map(|r| r.to_json()).collect();
+                                (entries, w)
+                            }
+                            None => {
+                                let w = WalWriter::create(dir, 0, seed, alignment.num_taxa())
+                                    .map_err(wal_io)?;
+                                (Vec::new(), w)
+                            }
+                        };
+                        writers.insert(seed, writer);
+                        Message::JumbleResume {
+                            job: 0,
                             task: next_task,
                             seed,
-                        },
-                    )
+                            wal: entries,
+                        }
+                    }
+                    None => Message::JumbleTask {
+                        task: next_task,
+                        seed,
+                    },
+                };
+                transport
+                    .send(ranks::FOREMAN, &msg)
                     .map_err(|e| PhyloError::Format(format!("transport: {e}")))?;
                 next_task += 1;
                 in_flight += 1;
@@ -394,6 +499,7 @@ pub fn run_farm_master<T: Transport>(
                     continue;
                 }
                 in_flight -= 1;
+                writers.remove(&seed);
                 absorb(
                     alignment,
                     options,
@@ -424,7 +530,16 @@ pub fn run_farm_master<T: Transport>(
                     continue;
                 }
                 let engine = local_engine.get_or_insert_with(|| config.build_engine(alignment));
-                let result = run_one_jumble(engine, alignment, config, seed)?;
+                let result = match &options.wal_dir {
+                    Some(dir) => {
+                        // Drop our stale handle first: the local rerun
+                        // re-recovers the log, which may hold rounds the
+                        // failed workers streamed before dying.
+                        writers.remove(&seed);
+                        run_one_jumble_durable(engine, alignment, config, seed, dir, 0, obs)?
+                    }
+                    None => run_one_jumble(engine, alignment, config, seed)?,
+                };
                 in_flight -= 1;
                 absorb(
                     alignment,
@@ -449,6 +564,30 @@ pub fn run_farm_master<T: Transport>(
                 // The manifest on disk is still valid (write-then-rename
                 // after every completion), so the run is resumable.
                 return Err(PhyloError::Format(format!("farm aborted: {reason}")));
+            }
+            Message::WalRound {
+                job: _,
+                seed,
+                index,
+                entry,
+            } => {
+                // A worker committed a round. No writer means the jumble
+                // already finished (a requeued duplicate's late stream):
+                // drop it. A below-next index is a re-streamed prefix from
+                // a restarted worker: `append` dedups it. A gap is a
+                // protocol violation and aborts the farm.
+                if let Some(writer) = writers.get_mut(&seed) {
+                    let round = WalRound::from_json(&entry)
+                        .map_err(|e| PhyloError::Format(format!("bad wal round: {e}")))?;
+                    if let Some(bytes) = writer.append(&round).map_err(wal_io)? {
+                        obs.emit(|| Event::WalAppend {
+                            job: 0,
+                            seed,
+                            index,
+                            bytes,
+                        });
+                    }
+                }
             }
             // Transport-synthesized liveness: a departed worker is the
             // foreman's problem; a (re)joined worker needs the problem data

@@ -83,6 +83,18 @@ pub(crate) enum TaskBody {
     Tree(String),
     /// One whole stepwise-addition search, identified by its jumble seed.
     Jumble(u64),
+    /// A jumble resumed from (and streaming back to) the coordinator's
+    /// write-ahead log. Requeue-safe: a second worker replays the same
+    /// prefix and, by determinism, re-streams the identical rounds, which
+    /// the coordinator's index-gated appends deduplicate.
+    JumbleResume {
+        /// The job the jumble belongs to (0 = the anonymous farm).
+        job: u64,
+        /// The jumble seed.
+        seed: u64,
+        /// The committed rounds to replay, one JSON `WalRound` each.
+        wal: Vec<String>,
+    },
     /// One candidate edit against the round's broadcast base topology.
     Edit {
         /// Generation id of the base the edit applies to.
@@ -107,6 +119,19 @@ impl TaskBody {
         match msg {
             Message::TreeTask { task, newick } => Some((*task, TaskBody::Tree(newick.clone()))),
             Message::JumbleTask { task, seed } => Some((*task, TaskBody::Jumble(*seed))),
+            Message::JumbleResume {
+                job,
+                task,
+                seed,
+                wal,
+            } => Some((
+                *task,
+                TaskBody::JumbleResume {
+                    job: *job,
+                    seed: *seed,
+                    wal: wal.clone(),
+                },
+            )),
             Message::TreeEditTask {
                 task,
                 base_id,
@@ -136,6 +161,12 @@ impl TaskBody {
                 newick: newick.clone(),
             },
             TaskBody::Jumble(seed) => Message::JumbleTask { task, seed: *seed },
+            TaskBody::JumbleResume { job, seed, wal } => Message::JumbleResume {
+                job: *job,
+                task,
+                seed: *seed,
+                wal: wal.clone(),
+            },
             TaskBody::Edit { base_id, edit, .. } => Message::TreeEditTask {
                 task,
                 base_id: *base_id,
@@ -162,6 +193,9 @@ impl TaskBody {
         match self {
             TaskBody::Tree(newick) => TaskPayload::Tree { newick },
             TaskBody::Jumble(seed) => TaskPayload::Jumble { seed },
+            // The master re-runs a quarantined jumble locally against its
+            // own WAL copy; the streamed prefix need not travel back.
+            TaskBody::JumbleResume { seed, .. } => TaskPayload::Jumble { seed },
             TaskBody::Edit { base_id, edit, .. } => TaskPayload::TreeEdit { base_id, edit },
         }
     }
@@ -457,6 +491,18 @@ pub fn run_foreman<T: Transport>(
                 Message::JumbleTask { task, seed } => {
                     debug_assert_eq!(from, ranks::MASTER);
                     s.work_queue.push_back((task, TaskBody::Jumble(seed)));
+                }
+                msg @ Message::JumbleResume { .. } => {
+                    debug_assert_eq!(from, ranks::MASTER);
+                    if let Some((task, body)) = TaskBody::from_message(&msg) {
+                        s.work_queue.push_back((task, body));
+                    }
+                }
+                msg @ Message::WalRound { .. } => {
+                    // A worker streaming one committed round of its jumble:
+                    // relay to the master, which owns the on-disk log. No
+                    // dedup here — the coordinator's append is index-gated.
+                    transport.send(ranks::MASTER, &msg)?;
                 }
                 Message::BaseTopology { base_id, newick } => {
                     // A new round base from the master: remember it for

@@ -432,11 +432,19 @@ fn root_handle<T: Transport>(
         }
         // Work from the master goes on the root queue; the grant loop
         // shards it.
-        Message::TreeTask { .. } | Message::JumbleTask { .. } | Message::TreeEditTask { .. } => {
+        Message::TreeTask { .. }
+        | Message::JumbleTask { .. }
+        | Message::JumbleResume { .. }
+        | Message::TreeEditTask { .. } => {
             debug_assert_eq!(from, ranks::MASTER);
             if let Some((task, body)) = TaskBody::from_message(&msg) {
                 s.queue.push_back((task, body));
             }
+        }
+        msg @ Message::WalRound { .. } => {
+            // A committed round streamed up from a region's worker: relay
+            // to the master, which owns the on-disk write-ahead log.
+            transport.send(ranks::MASTER, &msg)?;
         }
         Message::BaseTopology { base_id, newick } => {
             debug_assert_eq!(from, ranks::MASTER);
@@ -876,10 +884,17 @@ pub fn run_regional_foreman<T: Transport>(
         for msg in msgs {
             match msg {
                 // Leased work from the root.
-                Message::TreeTask { .. } | Message::JumbleTask { .. } => {
+                Message::TreeTask { .. }
+                | Message::JumbleTask { .. }
+                | Message::JumbleResume { .. } => {
                     if let Some((task, body)) = TaskBody::from_message(&msg) {
                         s.work_queue.push_back((task, body));
                     }
+                }
+                msg @ Message::WalRound { .. } => {
+                    // A worker's committed round: join the upward stream.
+                    // Per-link FIFO keeps it ahead of the jumble's result.
+                    upward.push(msg);
                 }
                 Message::TreeEditTask {
                     task,

@@ -21,6 +21,12 @@
 //!   simulator to regenerate Figures 3 and 4.
 //! * [`checkpoint`] — resumable snapshots of long runs, including the farm
 //!   manifest.
+//! * [`durable`] — the crash-consistent storage layer: fsynced atomic
+//!   replace and the CRC32-framed append-only log with truncate-to-valid
+//!   recovery, shared by checkpoints, manifests, the registry, and the WAL.
+//! * [`wal`] — the write-ahead round log that makes the coordinator as
+//!   killable as the workers: one framed record per committed search round,
+//!   replayed on `--resume` for a byte-identical restart.
 //! * [`farm`] — the jumble farm: whole random-addition searches sharded
 //!   across the worker pool, streaming into an incremental consensus.
 
@@ -28,6 +34,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod durable;
 mod edits;
 pub mod executor;
 pub mod farm;
@@ -41,6 +48,7 @@ pub mod netrun;
 pub mod runner;
 pub mod search;
 pub mod trace;
+pub mod wal;
 pub mod worker;
 
 pub use config::SearchConfig;

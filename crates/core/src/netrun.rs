@@ -28,6 +28,7 @@ use crate::job::ResolvedJob;
 use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
+use crate::wal::WalSession;
 use crate::worker::{ranks, run_worker_homed, WorkerStats};
 use fdml_chaos::ChaosPlan;
 use fdml_comm::message::Message;
@@ -106,6 +107,12 @@ pub struct NetOptions {
     pub checkpoint_out: Option<PathBuf>,
     /// Resume a one-shot search from a checkpoint.
     pub resume: Option<Checkpoint>,
+    /// Write-ahead round log directory for the coordinator's search
+    /// ([`crate::wal`]): an existing log resumes bit-identically from the
+    /// last committed round (finer-grained than a checkpoint, which only
+    /// captures taxon-addition boundaries). One-shot searches only; farms
+    /// log per jumble via [`FarmOptions::wal_dir`].
+    pub wal_dir: Option<PathBuf>,
     /// Fork the peers ourselves — the single-command cluster launch.
     pub spawn: Option<NetSpawn>,
     /// Regional foremen for a hierarchical universe (0 = flat). Announced
@@ -127,6 +134,7 @@ impl NetOptions {
             sinks: Vec::new(),
             checkpoint_out: None,
             resume: None,
+            wal_dir: None,
             spawn: None,
             regions: 0,
             wire: WireFormat::default(),
@@ -325,6 +333,7 @@ pub fn net_coordinator_search(
         sinks,
         checkpoint_out,
         resume,
+        wal_dir,
         spawn,
         regions,
         wire,
@@ -341,6 +350,15 @@ pub fn net_coordinator_search(
         isa: fdml_likelihood::isa::active().name().to_string(),
         intra_threads: config.intra_threads,
     });
+    // Open the WAL before binding the hub or forking peers: a bad
+    // --wal-dir fails the run before there is anything to tear down.
+    let mut wal_session = match &wal_dir {
+        Some(dir) => Some(
+            WalSession::open(dir, 0, config.jumble_seed, alignment.num_taxa(), &obs)
+                .map_err(|e| PhyloError::Format(format!("wal: {e}")))?,
+        ),
+        None => None,
+    };
 
     let (hub, mut children) = assemble_universe(
         &listen,
@@ -379,13 +397,14 @@ pub fn net_coordinator_search(
     }
     if let Some(path) = checkpoint_out {
         search = search.on_checkpoint(move |cp| {
-            // Write-then-rename so a kill mid-write never leaves a torn
-            // checkpoint behind.
-            let tmp = path.with_extension("tmp");
-            if std::fs::write(&tmp, cp.to_json()).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
+            // Durable replace: a kill at any step leaves the previous
+            // checkpoint intact, and a completed write survives power loss.
+            let _ = cp.save(&path);
         });
+    }
+    if let Some(session) = &mut wal_session {
+        let rounds = session.take_rounds();
+        search = search.resume_from_wal(rounds).on_wal(session.hook());
     }
     let result = search.run();
     let executor = search.into_executor();
@@ -394,6 +413,13 @@ pub fn net_coordinator_search(
     let master_end = executor.shutdown();
     let peer_exits = drain_and_reap(master_end, supervisor, children);
     let result = result?;
+    if let Some(session) = wal_session {
+        // The tree is computed; retire the log (and surface any append
+        // error deferred during the run) before reporting success.
+        session
+            .finish_and_retire()
+            .map_err(|e| PhyloError::Format(format!("wal: {e}")))?;
+    }
     obs.emit(|| Event::RunFinished {
         ln_likelihood: result.ln_likelihood,
     });

@@ -15,6 +15,7 @@ use crate::master::ClusterExecutor;
 use crate::monitor::{run_monitor, MonitorReport};
 use crate::search::{SearchResult, StepwiseSearch};
 use crate::trace::SearchTrace;
+use crate::wal::WalSession;
 use crate::worker::{ranks, run_worker, run_worker_homed, WorkerStats};
 use fdml_chaos::{ChaosPlan, ChaosTransport};
 use fdml_comm::fault::{FaultPlan, FaultyTransport};
@@ -118,6 +119,11 @@ pub struct RunOptions {
     /// foreman `region` crash after forwarding `n` results, dropping its
     /// unflushed upward batch. Ignored in flat runs.
     pub die_region: Option<(usize, u64)>,
+    /// Write-ahead round log directory for the master's search
+    /// ([`crate::wal`]): an existing log is replayed (bit-identical
+    /// resume from the last committed round), and every newly committed
+    /// round is appended durably. `None` disables the WAL.
+    pub wal_dir: Option<std::path::PathBuf>,
 }
 
 impl RunOptions {
@@ -199,6 +205,7 @@ pub fn parallel_search(
         mut sinks,
         regions,
         die_region,
+        wal_dir,
     } = options;
     let alignment = &job.alignment;
     let config = &job.config;
@@ -230,6 +237,15 @@ pub fn parallel_search(
         isa: fdml_likelihood::isa::active().name().to_string(),
         intra_threads: config.intra_threads,
     });
+    // Open the WAL before spawning anything: a bad --wal-dir fails the
+    // run while it is still a one-liner to clean up.
+    let wal_session = match &wal_dir {
+        Some(dir) => Some(
+            WalSession::open(dir, 0, config.jumble_seed, alignment.num_taxa(), &obs)
+                .map_err(|e| PhyloError::Format(format!("wal: {e}")))?,
+        ),
+        None => None,
+    };
 
     let mut endpoints = ThreadUniverse::create(num_ranks);
     // Take endpoints from the back so indices stay valid.
@@ -308,6 +324,11 @@ pub fn parallel_search(
     .with_incremental(config.incremental);
     let mut search = StepwiseSearch::new(config, executor, alignment.num_taxa())
         .with_names(alignment.names().to_vec());
+    let mut wal_session = wal_session;
+    if let Some(session) = &mut wal_session {
+        let rounds = session.take_rounds();
+        search = search.resume_from_wal(rounds).on_wal(session.hook());
+    }
     let result = search.run();
     // Shut everything down regardless of the search outcome.
     let executor = search.into_executor();
@@ -337,6 +358,14 @@ pub fn parallel_search(
         workers.insert(rank, stats);
     }
     let result = result?;
+    if let Some(session) = wal_session {
+        // The result is about to be delivered; the log has nothing left
+        // to protect. Any append error deferred during the run surfaces
+        // here, after the tree is safe but before success is reported.
+        session
+            .finish_and_retire()
+            .map_err(|e| PhyloError::Format(format!("wal: {e}")))?;
+    }
     obs.emit(|| Event::RunFinished {
         ln_likelihood: result.ln_likelihood,
     });
@@ -418,6 +447,9 @@ pub fn farm_search(
         mut sinks,
         regions: _,
         die_region: _,
+        // The farm's WAL rides in `FarmOptions::wal_dir` (one log per
+        // jumble), not here.
+        wal_dir: _,
     } = run;
     let alignment = &job.alignment;
     let config = &job.config;

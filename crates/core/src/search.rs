@@ -6,10 +6,12 @@ use crate::config::SearchConfig;
 use crate::executor::{CandidateScore, RoundExecutor};
 use crate::jumble::jumble_order;
 use crate::trace::{RoundKind, RoundRecord, SearchTrace};
+use crate::wal::{WalMove, WalPhase, WalRound};
 use fdml_phylo::error::PhyloError;
 use fdml_phylo::newick;
 use fdml_phylo::ops::{enumerate_insertion_moves, enumerate_spr_moves};
 use fdml_phylo::tree::Tree;
+use std::collections::VecDeque;
 
 /// Information passed to the per-round observer (the real-time viewer hook:
 /// the paper's monitor application watches the best tree of each iteration).
@@ -40,6 +42,8 @@ pub struct SearchResult {
     pub candidates_evaluated: usize,
     /// Total work units across candidates and base maintenance.
     pub work_units: u64,
+    /// Rounds replayed from a write-ahead log instead of scored live.
+    pub wal_replayed_rounds: usize,
 }
 
 /// The stepwise-addition search, generic over the round executor.
@@ -53,7 +57,14 @@ pub struct StepwiseSearch<'c, E: RoundExecutor> {
     on_round: Option<Box<dyn FnMut(&RoundInfo<'_>) + Send + 'c>>,
     #[allow(clippy::type_complexity)]
     on_checkpoint: Option<Box<dyn FnMut(&Checkpoint) + Send + 'c>>,
+    // Deliberately not `Send`: the WAL sink often captures a borrowed
+    // transport, and searches are constructed and run on one thread.
+    #[allow(clippy::type_complexity)]
+    on_wal: Option<Box<dyn FnMut(&WalRound) + 'c>>,
     resume: Option<Checkpoint>,
+    replay: VecDeque<WalRound>,
+    wal_index: u64,
+    wal_replayed: usize,
     rounds: usize,
     candidates: usize,
     work_units: u64,
@@ -70,7 +81,11 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             trace: None,
             on_round: None,
             on_checkpoint: None,
+            on_wal: None,
             resume: None,
+            replay: VecDeque::new(),
+            wal_index: 0,
+            wal_replayed: 0,
             rounds: 0,
             candidates: 0,
             work_units: 0,
@@ -130,6 +145,28 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
         self
     }
 
+    /// Receive a [`WalRound`] after every committed round (append it to
+    /// the write-ahead log, or stream it to the coordinator). Replayed
+    /// rounds are not re-emitted; the first emitted record carries the
+    /// index after the replayed prefix.
+    pub fn on_wal(mut self, f: impl FnMut(&WalRound) + 'c) -> Self {
+        self.on_wal = Some(Box::new(f));
+        self
+    }
+
+    /// Resume by replaying committed rounds from a write-ahead log
+    /// instead of re-scoring them: each replayed round repeats the exact
+    /// executor calls (tentative commits and reverts) the original run
+    /// made, skipping candidate scoring entirely, so the resumed search
+    /// is bit-identical to the uninterrupted one. Composes with
+    /// [`resume_from`](Self::resume_from) when the WAL was taken on top
+    /// of a checkpoint.
+    pub fn resume_from_wal(mut self, rounds: Vec<WalRound>) -> Self {
+        self.wal_index = rounds.len() as u64;
+        self.replay = rounds.into();
+        self
+    }
+
     /// Take the recorded trace (after [`StepwiseSearch::run`]).
     pub fn take_trace(&mut self) -> Option<SearchTrace> {
         self.trace.take()
@@ -182,21 +219,49 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
         // Step 3 + 4: add each remaining taxon, then rearrange locally.
         for idx in start_idx..self.num_taxa {
             let taxon = order[idx];
-            let moves = enumerate_insertion_moves(&tree, taxon);
-            let scores = self.executor.score_round(&moves)?;
-            let best = argmax(&scores);
-            let committed = self.executor.commit(&moves[best])?;
-            self.record_round(
-                RoundKind::TaxonAddition,
-                idx + 1,
-                &scores,
-                committed.work_units,
-                true,
-            );
-            tree = committed.tree;
-            lnl = committed.ln_likelihood;
-            self.work_units += committed.work_units;
-            self.notify(RoundKind::TaxonAddition, scores.len(), lnl, &tree);
+            if let Some(rec) = self.pop_replay(WalPhase::Addition) {
+                // Replay the committed insertion without scoring the
+                // round: the WAL already decided it.
+                let mv = rec.tried.first().copied().ok_or_else(|| {
+                    PhyloError::InvalidTreeOp("wal addition record with no move".into())
+                })?;
+                let committed = self.executor.commit(&mv.to_move())?;
+                check_replay_lnl(&rec, committed.ln_likelihood)?;
+                self.record_round(
+                    RoundKind::TaxonAddition,
+                    idx + 1,
+                    &[],
+                    committed.work_units,
+                    true,
+                );
+                self.wal_replayed += 1;
+                tree = committed.tree;
+                lnl = committed.ln_likelihood;
+                self.work_units += committed.work_units;
+                self.notify(RoundKind::TaxonAddition, 0, lnl, &tree);
+            } else {
+                let moves = enumerate_insertion_moves(&tree, taxon);
+                let scores = self.executor.score_round(&moves)?;
+                let best = argmax(&scores);
+                let committed = self.executor.commit(&moves[best])?;
+                self.record_round(
+                    RoundKind::TaxonAddition,
+                    idx + 1,
+                    &scores,
+                    committed.work_units,
+                    true,
+                );
+                tree = committed.tree;
+                lnl = committed.ln_likelihood;
+                self.work_units += committed.work_units;
+                self.emit_wal(
+                    WalPhase::Addition,
+                    vec![WalMove::from_move(&moves[best])],
+                    true,
+                    lnl,
+                )?;
+                self.notify(RoundKind::TaxonAddition, scores.len(), lnl, &tree);
+            }
 
             // Step 4: local rearrangements until no improvement.
             let (t2, l2) = self.rearrange_to_convergence(
@@ -233,6 +298,13 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             lnl = l2;
         }
 
+        if !self.replay.is_empty() {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "search finished with {} unconsumed write-ahead log records \
+                 (log from a different run?)",
+                self.replay.len()
+            )));
+        }
         if let Some(trace) = &mut self.trace {
             trace.final_ln_likelihood = lnl;
             trace.final_newick = newick::write_tree(&tree, &self.names);
@@ -243,6 +315,7 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             rounds: self.rounds,
             candidates_evaluated: self.candidates,
             work_units: self.work_units,
+            wal_replayed_rounds: self.wal_replayed,
         })
     }
 
@@ -259,7 +332,47 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
         if radius == 0 {
             return Ok((tree, lnl));
         }
+        let phase = match kind {
+            RoundKind::FinalRearrangement => WalPhase::Final,
+            _ => WalPhase::Rearrange,
+        };
         for _ in 0..self.config.max_rearrange_rounds {
+            if let Some(rec) = self.pop_replay(phase) {
+                let backup = tree.clone();
+                let mut verify_work = 0u64;
+                let mut accepted: Option<(Tree, f64)> = None;
+                for (i, wm) in rec.tried.iter().enumerate() {
+                    let committed = self.executor.commit(&wm.to_move())?;
+                    verify_work += committed.work_units;
+                    if i + 1 == rec.tried.len() && rec.accepted {
+                        accepted = Some((committed.tree, committed.ln_likelihood));
+                    } else {
+                        let restored = self.executor.set_base(backup.clone())?;
+                        verify_work += restored.work_units;
+                    }
+                }
+                self.record_round(kind, tree.num_tips(), &[], verify_work, rec.accepted);
+                self.wal_replayed += 1;
+                self.work_units += verify_work;
+                match accepted {
+                    Some((t, l)) => {
+                        check_replay_lnl(&rec, l)?;
+                        tree = t;
+                        lnl = l;
+                        self.notify(kind, 0, lnl, &tree);
+                        continue;
+                    }
+                    None => {
+                        let restored = self.executor.set_base(backup)?;
+                        self.work_units += restored.work_units;
+                        tree = restored.tree;
+                        lnl = restored.ln_likelihood.max(lnl);
+                        check_replay_lnl(&rec, lnl)?;
+                        self.notify(kind, 0, lnl, &tree);
+                        break;
+                    }
+                }
+            }
             let moves = enumerate_spr_moves(&tree, radius);
             if moves.is_empty() {
                 break;
@@ -278,6 +391,7 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             });
             let backup = tree.clone();
             let mut verify_work = 0u64;
+            let mut tried: Vec<WalMove> = Vec::new();
             let mut accepted: Option<(Tree, f64)> = None;
             for &i in order.iter().take(self.config.max_verify_per_round) {
                 if scores[i].ln_likelihood <= lnl - self.config.verify_slack {
@@ -285,6 +399,7 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
                 }
                 let committed = self.executor.commit(&moves[i])?;
                 verify_work += committed.work_units;
+                tried.push(WalMove::from_move(&moves[i]));
                 if committed.ln_likelihood > lnl + self.config.min_improvement {
                     accepted = Some((committed.tree, committed.ln_likelihood));
                     break;
@@ -305,6 +420,7 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
                 Some((t, l)) => {
                     tree = t;
                     lnl = l;
+                    self.emit_wal(phase, tried, true, lnl)?;
                     self.notify(kind, scores.len(), lnl, &tree);
                 }
                 None => {
@@ -313,12 +429,58 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
                     self.work_units += restored.work_units;
                     tree = restored.tree;
                     lnl = restored.ln_likelihood.max(lnl);
+                    self.emit_wal(phase, tried, false, lnl)?;
                     self.notify(kind, scores.len(), lnl, &tree);
                     break;
                 }
             }
         }
         Ok((tree, lnl))
+    }
+
+    /// Pop the next replay record if it belongs to `phase`; a different
+    /// phase at the head means the replayed prefix has moved on (e.g. a
+    /// convergence loop that ended without a fruitless round).
+    fn pop_replay(&mut self, phase: WalPhase) -> Option<WalRound> {
+        match self.replay.front() {
+            Some(r) if r.phase == phase => self.replay.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Hand a freshly committed round to the WAL sink. Emitting while
+    /// unconsumed replay records remain means the live search diverged
+    /// from the log (wrong config, wrong data): abort rather than write a
+    /// log that contradicts its own prefix.
+    fn emit_wal(
+        &mut self,
+        phase: WalPhase,
+        tried: Vec<WalMove>,
+        accepted: bool,
+        lnl: f64,
+    ) -> Result<(), PhyloError> {
+        if self.on_wal.is_none() && self.replay.is_empty() {
+            return Ok(());
+        }
+        if !self.replay.is_empty() {
+            return Err(PhyloError::InvalidTreeOp(format!(
+                "search diverged from write-ahead log: scored a live {phase:?} round while {} \
+                 replay records remain (log from a different run?)",
+                self.replay.len()
+            )));
+        }
+        let rec = WalRound {
+            index: self.wal_index,
+            phase,
+            tried,
+            accepted,
+            lnl_bits: lnl.to_bits(),
+        };
+        self.wal_index += 1;
+        if let Some(f) = &mut self.on_wal {
+            f(&rec);
+        }
+        Ok(())
     }
 
     fn record_round(
@@ -356,6 +518,22 @@ impl<'c, E: RoundExecutor> StepwiseSearch<'c, E> {
             });
         }
     }
+}
+
+/// The replay divergence guard: a replayed round must reproduce the
+/// recorded log-likelihood bit for bit, or the log does not belong to
+/// this (config, data, seed) and resuming would silently drift.
+fn check_replay_lnl(rec: &WalRound, lnl: f64) -> Result<(), PhyloError> {
+    if lnl.to_bits() != rec.lnl_bits {
+        return Err(PhyloError::InvalidTreeOp(format!(
+            "write-ahead log divergence at round {}: replay reached lnl {} but the log \
+             recorded {} (log from a different run?)",
+            rec.index,
+            lnl,
+            f64::from_bits(rec.lnl_bits)
+        )));
+    }
+    Ok(())
 }
 
 /// First index achieving the maximum log-likelihood: the deterministic
@@ -665,6 +843,98 @@ mod checkpoint_tests {
         assert!((full.ln_likelihood - resumed.ln_likelihood).abs() < 1e-6);
         // The resumed run did strictly less work.
         assert!(resumed.candidates_evaluated < full.candidates_evaluated);
+    }
+
+    #[test]
+    fn wal_replay_of_every_prefix_is_bit_identical() {
+        let a = alignment();
+        let engine = LikelihoodEngine::new(&a);
+        let config = SearchConfig {
+            jumble_seed: 9,
+            ..Default::default()
+        };
+
+        // Uninterrupted run, recording the WAL.
+        let mut wal: Vec<crate::wal::WalRound> = Vec::new();
+        let full = {
+            let ex = FullEvalExecutor::new(&engine, config.optimize);
+            let mut search = StepwiseSearch::new(&config, ex, 7)
+                .with_names(a.names().to_vec())
+                .on_wal(|rec| wal.push(rec.clone()));
+            search.run().unwrap()
+        };
+        assert!(
+            wal.len() >= 8,
+            "expected a multi-round WAL, got {}",
+            wal.len()
+        );
+        let full_newick = fdml_phylo::newick::write_tree(&full.tree, a.names());
+
+        // Resume from every prefix length, including 0 and the whole log.
+        for k in 0..=wal.len() {
+            let mut tail: Vec<crate::wal::WalRound> = Vec::new();
+            let resumed = {
+                let ex = FullEvalExecutor::new(&engine, config.optimize);
+                let mut search = StepwiseSearch::new(&config, ex, 7)
+                    .with_names(a.names().to_vec())
+                    .resume_from_wal(wal[..k].to_vec())
+                    .on_wal(|rec| tail.push(rec.clone()));
+                search.run().unwrap()
+            };
+            assert_eq!(
+                resumed.ln_likelihood.to_bits(),
+                full.ln_likelihood.to_bits(),
+                "prefix {k}: lnl diverged"
+            );
+            assert_eq!(
+                fdml_phylo::newick::write_tree(&resumed.tree, a.names()),
+                full_newick,
+                "prefix {k}: tree diverged"
+            );
+            assert_eq!(resumed.wal_replayed_rounds, k, "prefix {k}: replay count");
+            // The records emitted after the replayed prefix are exactly
+            // the suffix of the original log.
+            assert_eq!(tail, wal[k..].to_vec(), "prefix {k}: emitted suffix");
+            // Scoring was actually skipped for the replayed rounds.
+            if k > 0 {
+                assert!(
+                    resumed.candidates_evaluated < full.candidates_evaluated,
+                    "prefix {k}: no scoring saved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wal_from_a_different_run_is_rejected() {
+        let a = alignment();
+        let engine = LikelihoodEngine::new(&a);
+        let config = SearchConfig {
+            jumble_seed: 9,
+            ..Default::default()
+        };
+        let mut wal: Vec<crate::wal::WalRound> = Vec::new();
+        {
+            let ex = FullEvalExecutor::new(&engine, config.optimize);
+            StepwiseSearch::new(&config, ex, 7)
+                .with_names(a.names().to_vec())
+                .on_wal(|rec| wal.push(rec.clone()))
+                .run()
+                .unwrap();
+        }
+        // Corrupt the recorded likelihood of a replayed round: resume
+        // must fail loudly, not drift.
+        wal[1].lnl_bits ^= 1;
+        let ex = FullEvalExecutor::new(&engine, config.optimize);
+        let err = StepwiseSearch::new(&config, ex, 7)
+            .with_names(a.names().to_vec())
+            .resume_from_wal(wal.clone())
+            .run()
+            .unwrap_err();
+        assert!(
+            format!("{err:?}").contains("divergence"),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The write-ahead round log: coordinator crash tolerance at round
+//! granularity.
+//!
+//! A checkpoint captures the search only at taxon-addition boundaries; a
+//! long rearrangement phase between two boundaries is lost when the
+//! coordinator dies. The WAL closes that gap: after every *committed*
+//! round the search appends one [`WalRound`] — the verify ladder it
+//! walked (each tentatively committed move, in order), whether the last
+//! one was accepted, and the round-end log-likelihood — to a CRC32-framed
+//! log (see [`crate::durable`]). Resume replays the records by repeating
+//! the exact executor-call sequence (commit, revert, commit, …) while
+//! skipping candidate *scoring* entirely, which is where virtually all
+//! the compute lives. Because the executors are deterministic and the
+//! replayed calls are the very calls the original run made, the resumed
+//! search's state — down to optimized branch lengths — is bit-identical
+//! to the uninterrupted run, and so is its final Newick.
+//!
+//! Records are appended *after* the round commits: a crash between commit
+//! and append merely re-runs that round live on resume, deterministically
+//! reproducing it. The log is therefore always a prefix of the round
+//! sequence, and any torn tail is dropped by the durable layer's
+//! truncate-to-valid recovery.
+//!
+//! One WAL file per (job, jumble seed) lives under `--wal-dir`; on jumble
+//! completion the farm retires the file (the result is in the manifest or
+//! checkpoint by then), keeping the directory bounded.
+
+use crate::durable::{self, LogWriter};
+use fdml_obs::{Event, Obs};
+use fdml_phylo::ops::TreeMove;
+use fdml_phylo::tree::NodeId;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Which phase of the search a WAL round belongs to. Mirrors
+/// [`crate::trace::RoundKind`] but is its own type so the on-disk format
+/// is decoupled from the trace format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalPhase {
+    /// A taxon-addition round (paper step 3).
+    Addition,
+    /// A local rearrangement round after an addition (step 4).
+    Rearrange,
+    /// A final-phase rearrangement round (step 5).
+    Final,
+}
+
+/// A [`TreeMove`] in WAL form: raw ids, serializable, re-appliable to any
+/// structurally identical clone of its base tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalMove {
+    /// Insert `taxon` into the edge `a`–`b`.
+    Ins {
+        /// Taxon id being inserted.
+        taxon: u32,
+        /// First endpoint of the target edge.
+        a: u32,
+        /// Second endpoint of the target edge.
+        b: u32,
+    },
+    /// Prune at `root`–`attachment`, regraft into `ta`–`tb`.
+    Spr {
+        /// Root node of the pruned subtree.
+        root: u32,
+        /// The internal node dissolved by the prune.
+        attachment: u32,
+        /// First endpoint of the regraft edge.
+        ta: u32,
+        /// Second endpoint of the regraft edge.
+        tb: u32,
+    },
+}
+
+impl WalMove {
+    /// Capture a search move.
+    pub fn from_move(mv: &TreeMove) -> WalMove {
+        match *mv {
+            TreeMove::Insertion { taxon, at } => WalMove::Ins {
+                taxon,
+                a: at.0 .0,
+                b: at.1 .0,
+            },
+            TreeMove::Spr {
+                root,
+                attachment,
+                target,
+            } => WalMove::Spr {
+                root: root.0,
+                attachment: attachment.0,
+                ta: target.0 .0,
+                tb: target.1 .0,
+            },
+        }
+    }
+
+    /// Reconstruct the search move.
+    pub fn to_move(self) -> TreeMove {
+        match self {
+            WalMove::Ins { taxon, a, b } => TreeMove::Insertion {
+                taxon,
+                at: (NodeId(a), NodeId(b)),
+            },
+            WalMove::Spr {
+                root,
+                attachment,
+                ta,
+                tb,
+            } => TreeMove::Spr {
+                root: NodeId(root),
+                attachment: NodeId(attachment),
+                target: (NodeId(ta), NodeId(tb)),
+            },
+        }
+    }
+}
+
+/// One committed round: everything needed to repeat its executor calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRound {
+    /// 0-based position in the round sequence (dedup key when records
+    /// stream over the wire from possibly-duplicated workers).
+    pub index: u64,
+    /// Which search phase the round ran in.
+    pub phase: WalPhase,
+    /// The verify ladder: each move tentatively committed, in order. For
+    /// an addition round this is the single chosen insertion. May be
+    /// empty for a fruitless rearrangement round whose best candidate
+    /// fell below the verify threshold.
+    pub tried: Vec<WalMove>,
+    /// Whether the *last* entry of `tried` was accepted as the new base
+    /// (`false`: every tentative commit was reverted).
+    pub accepted: bool,
+    /// Bit pattern of the round-end log-likelihood — the replay
+    /// divergence guard: a replayed round must land on exactly these
+    /// bits or resume aborts rather than silently drift.
+    pub lnl_bits: u64,
+}
+
+impl WalRound {
+    /// Serialize for a log record or a wire message.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("wal round serializes")
+    }
+
+    /// Parse a log record or wire payload.
+    pub fn from_json(text: &str) -> Result<WalRound, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// The first record of every WAL file: identifies the search so resume
+/// can refuse a mismatched log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalStart {
+    /// The jumble seed of the search this log belongs to.
+    pub jumble_seed: u64,
+    /// Taxon count of the search.
+    pub num_taxa: usize,
+}
+
+/// A record in the log: the opening [`WalStart`] or a committed round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// First record of the file.
+    Start(WalStart),
+    /// One committed round.
+    Round(WalRound),
+}
+
+/// Everything recovered from an existing WAL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalState {
+    /// The identifying header.
+    pub start: WalStart,
+    /// The committed rounds, in order, re-indexed contiguously.
+    pub rounds: Vec<WalRound>,
+    /// Bytes dropped from a torn/corrupt tail (0 on a clean log).
+    pub dropped_bytes: u64,
+}
+
+/// Path of the WAL for `seed` under `dir`, optionally namespaced by a
+/// serve-job id (`job == 0` means "no job": the plain farm and serial
+/// paths; registry job ids start at 1).
+pub fn wal_path(dir: &Path, job: u64, seed: u64) -> PathBuf {
+    if job == 0 {
+        dir.join(format!("jumble-{seed}.wal"))
+    } else {
+        dir.join(format!("job-{job}-jumble-{seed}.wal"))
+    }
+}
+
+/// Load and validate the WAL for `(job, seed)` under `dir`. `Ok(None)`
+/// when no log exists or the log holds no usable header (a fresh run).
+/// Records after a valid header are re-indexed from 0 — gaps cannot
+/// occur because appends are index-gated, but a recovered prefix is
+/// renumbered defensively.
+pub fn load(dir: &Path, job: u64, seed: u64) -> io::Result<Option<WalState>> {
+    let path = wal_path(dir, job, seed);
+    let recovered = match durable::read_log(&path)? {
+        Some(r) => r,
+        None => return Ok(None),
+    };
+    let parse = |raw: &[u8]| -> Option<WalRecord> {
+        let text = std::str::from_utf8(raw).ok()?;
+        serde_json::from_str::<WalRecord>(text).ok()
+    };
+    let mut records = recovered.records.iter();
+    let start = match records.next() {
+        Some(first) => match parse(first) {
+            Some(WalRecord::Start(s)) => s,
+            _ => return Ok(None),
+        },
+        None => return Ok(None),
+    };
+    let mut rounds = Vec::new();
+    for raw in records {
+        match parse(raw) {
+            Some(WalRecord::Round(r)) => rounds.push(r),
+            // A record that framed correctly but does not parse is
+            // treated like a torn tail: stop at the last good one.
+            _ => break,
+        }
+    }
+    for (i, r) in rounds.iter_mut().enumerate() {
+        r.index = i as u64;
+    }
+    Ok(Some(WalState {
+        start,
+        rounds,
+        dropped_bytes: recovered.dropped_bytes,
+    }))
+}
+
+/// Delete the WAL for `(job, seed)` — called when the jumble's result has
+/// been durably recorded elsewhere (manifest, checkpoint, or registry).
+/// Missing file is fine (the jumble may have run WAL-less or pre-crash).
+pub fn retire(dir: &Path, job: u64, seed: u64) -> io::Result<()> {
+    match std::fs::remove_file(wal_path(dir, job, seed)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Append-side handle for one jumble's WAL: index-gated, duplicate-safe.
+#[derive(Debug)]
+pub struct WalWriter {
+    log: LogWriter,
+    next_index: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL (truncating any unusable previous file) and
+    /// durably write the [`WalStart`] header.
+    pub fn create(dir: &Path, job: u64, seed: u64, num_taxa: usize) -> io::Result<WalWriter> {
+        std::fs::create_dir_all(dir)?;
+        let path = wal_path(dir, job, seed);
+        let mut log = LogWriter::create(&path)?;
+        let start = WalRecord::Start(WalStart {
+            jumble_seed: seed,
+            num_taxa,
+        });
+        log.append(
+            serde_json::to_string(&start)
+                .expect("wal start serializes")
+                .as_bytes(),
+        )?;
+        Ok(WalWriter { log, next_index: 0 })
+    }
+
+    /// Open for appending after [`load`] recovered `state` from the same
+    /// path: truncates any torn tail and continues at the next index.
+    pub fn resume(dir: &Path, job: u64, seed: u64, state: &WalState) -> io::Result<WalWriter> {
+        let path = wal_path(dir, job, seed);
+        let (log, recovered) = LogWriter::resume(&path)?;
+        // `load` may have stopped early on an unparseable framed record;
+        // only the rounds it accepted count toward the index.
+        debug_assert!(recovered.records.len() > state.rounds.len());
+        Ok(WalWriter {
+            log,
+            next_index: state.rounds.len() as u64,
+        })
+    }
+
+    /// Append one committed round if `round.index` is the exact next
+    /// index. Returns `Ok(Some(bytes))` when appended, `Ok(None)` when
+    /// the record is a duplicate (index below next — e.g. a restarted
+    /// worker re-streaming a prefix the coordinator already has). An
+    /// index *above* next is a protocol violation: records would be
+    /// missing in between.
+    pub fn append(&mut self, round: &WalRound) -> io::Result<Option<u64>> {
+        if round.index < self.next_index {
+            return Ok(None);
+        }
+        if round.index > self.next_index {
+            return Err(io::Error::other(format!(
+                "wal gap: got round index {} but next is {}",
+                round.index, self.next_index
+            )));
+        }
+        let rec = WalRecord::Round(round.clone());
+        let bytes = self.log.append(
+            serde_json::to_string(&rec)
+                .expect("wal round serializes")
+                .as_bytes(),
+        )?;
+        self.next_index += 1;
+        Ok(Some(bytes))
+    }
+
+    /// The index the next appended round must carry.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Total bytes in the log file.
+    pub fn len_bytes(&self) -> u64 {
+        self.log.len_bytes()
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        self.log.path()
+    }
+}
+
+/// One coordinator-side WAL attachment for an in-process search: recover
+/// the log (or start one), hand the committed prefix to
+/// `StepwiseSearch::resume_from_wal`, append each newly committed round
+/// via [`WalSession::hook`], and surface any deferred append error when
+/// the run is over. The hook's I/O error cannot abort the search from
+/// inside the callback (it returns unit by design), so the session
+/// captures the first failure and [`WalSession::finish`] re-raises it —
+/// a silently unreported round would shrink the crash-tolerance window
+/// without anyone noticing.
+pub struct WalSession {
+    shared: Rc<RefCell<SessionShared>>,
+    rounds: Option<Vec<WalRound>>,
+}
+
+struct SessionShared {
+    writer: WalWriter,
+    error: Option<io::Error>,
+    obs: Obs,
+    job: u64,
+    seed: u64,
+}
+
+impl WalSession {
+    /// Recover (or start) the WAL for `(job, seed)` under `dir`, emitting
+    /// [`Event::WalReplay`] when a committed prefix was found.
+    pub fn open(
+        dir: &Path,
+        job: u64,
+        seed: u64,
+        num_taxa: usize,
+        obs: &Obs,
+    ) -> io::Result<WalSession> {
+        let (rounds, writer) = match load(dir, job, seed)? {
+            Some(state) => {
+                let writer = WalWriter::resume(dir, job, seed, &state)?;
+                (state.rounds, writer)
+            }
+            None => (Vec::new(), WalWriter::create(dir, job, seed, num_taxa)?),
+        };
+        if !rounds.is_empty() {
+            let replayed = rounds.len() as u64;
+            obs.emit(|| Event::WalReplay {
+                job,
+                seed,
+                rounds: replayed,
+            });
+        }
+        Ok(WalSession {
+            shared: Rc::new(RefCell::new(SessionShared {
+                writer,
+                error: None,
+                obs: obs.clone(),
+                job,
+                seed,
+            })),
+            rounds: Some(rounds),
+        })
+    }
+
+    /// The recovered committed prefix, for `resume_from_wal`. Empty after
+    /// the first call (and on a fresh log).
+    pub fn take_rounds(&mut self) -> Vec<WalRound> {
+        self.rounds.take().unwrap_or_default()
+    }
+
+    /// The append callback for `StepwiseSearch::on_wal`: index-gated
+    /// append plus an [`Event::WalAppend`] per durable record. After the
+    /// first I/O error the hook goes quiet (the search finishes, the
+    /// error surfaces in [`WalSession::finish`]).
+    pub fn hook(&self) -> impl FnMut(&WalRound) {
+        let shared = Rc::clone(&self.shared);
+        move |round| {
+            let mut s = shared.borrow_mut();
+            if s.error.is_some() {
+                return;
+            }
+            match s.writer.append(round) {
+                Ok(Some(bytes)) => {
+                    let (job, seed, index) = (s.job, s.seed, round.index);
+                    s.obs.emit(|| Event::WalAppend {
+                        job,
+                        seed,
+                        index,
+                        bytes,
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => s.error = Some(e),
+            }
+        }
+    }
+
+    /// Re-raise the first append error captured during the run, if any.
+    pub fn finish(self) -> io::Result<()> {
+        match self.shared.borrow_mut().error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`WalSession::finish`], then delete the log — for a search that
+    /// completed and delivered its result: the WAL has nothing left to
+    /// protect, and retiring it keeps `--wal-dir` bounded.
+    pub fn finish_and_retire(self) -> io::Result<()> {
+        let path = self.shared.borrow().writer.path().to_path_buf();
+        self.finish()?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fdml-wal-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn round(index: u64, accepted: bool) -> WalRound {
+        WalRound {
+            index,
+            phase: WalPhase::Rearrange,
+            tried: vec![
+                WalMove::Spr {
+                    root: 4,
+                    attachment: 9,
+                    ta: 1,
+                    tb: 2,
+                },
+                WalMove::Ins {
+                    taxon: 3,
+                    a: 0,
+                    b: 7,
+                },
+            ],
+            accepted,
+            lnl_bits: (-1234.5f64).to_bits() ^ index,
+        }
+    }
+
+    #[test]
+    fn moves_roundtrip_through_wal_form() {
+        let ins = TreeMove::Insertion {
+            taxon: 5,
+            at: (NodeId(2), NodeId(9)),
+        };
+        let spr = TreeMove::Spr {
+            root: NodeId(1),
+            attachment: NodeId(3),
+            target: (NodeId(4), NodeId(8)),
+        };
+        assert_eq!(WalMove::from_move(&ins).to_move(), ins);
+        assert_eq!(WalMove::from_move(&spr).to_move(), spr);
+    }
+
+    #[test]
+    fn create_append_load_roundtrip() {
+        let dir = scratch_dir();
+        let mut w = WalWriter::create(&dir, 0, 7, 6).unwrap();
+        for i in 0..4 {
+            assert!(w.append(&round(i, i != 3)).unwrap().is_some());
+        }
+        drop(w);
+        let state = load(&dir, 0, 7).unwrap().unwrap();
+        assert_eq!(state.start.jumble_seed, 7);
+        assert_eq!(state.start.num_taxa, 6);
+        assert_eq!(state.rounds.len(), 4);
+        assert_eq!(state.rounds[3], round(3, false));
+        assert_eq!(state.dropped_bytes, 0);
+        // Unrelated (job, seed) pairs see nothing.
+        assert!(load(&dir, 0, 8).unwrap().is_none());
+        assert!(load(&dir, 3, 7).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn job_namespacing_separates_files() {
+        let dir = scratch_dir();
+        let mut a = WalWriter::create(&dir, 1, 7, 6).unwrap();
+        let mut b = WalWriter::create(&dir, 2, 7, 6).unwrap();
+        a.append(&round(0, true)).unwrap();
+        b.append(&round(0, true)).unwrap();
+        b.append(&round(1, true)).unwrap();
+        assert_eq!(load(&dir, 1, 7).unwrap().unwrap().rounds.len(), 1);
+        assert_eq!(load(&dir, 2, 7).unwrap().unwrap().rounds.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_indices_are_ignored_and_gaps_rejected() {
+        let dir = scratch_dir();
+        let mut w = WalWriter::create(&dir, 0, 3, 6).unwrap();
+        assert!(w.append(&round(0, true)).unwrap().is_some());
+        assert!(w.append(&round(1, true)).unwrap().is_some());
+        // A restarted worker re-streams from 0: silently deduplicated.
+        assert!(w.append(&round(0, true)).unwrap().is_none());
+        assert!(w.append(&round(1, true)).unwrap().is_none());
+        assert_eq!(w.next_index(), 2);
+        // Skipping ahead means lost records: hard error.
+        assert!(w.append(&round(5, true)).is_err());
+        drop(w);
+        assert_eq!(load(&dir, 0, 3).unwrap().unwrap().rounds.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_after_torn_tail() {
+        let dir = scratch_dir();
+        let mut w = WalWriter::create(&dir, 0, 9, 6).unwrap();
+        w.append(&round(0, true)).unwrap();
+        w.append(&round(1, true)).unwrap();
+        drop(w);
+        // Tear the file mid-record.
+        let path = wal_path(&dir, 0, 9);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        let state = load(&dir, 0, 9).unwrap().unwrap();
+        assert_eq!(state.rounds.len(), 1);
+        assert!(state.dropped_bytes > 0);
+        let mut w = WalWriter::resume(&dir, 0, 9, &state).unwrap();
+        assert_eq!(w.next_index(), 1);
+        w.append(&round(1, false)).unwrap();
+        drop(w);
+        let state = load(&dir, 0, 9).unwrap().unwrap();
+        assert_eq!(state.rounds.len(), 2);
+        assert!(!state.rounds[1].accepted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retire_deletes_and_tolerates_missing() {
+        let dir = scratch_dir();
+        let w = WalWriter::create(&dir, 0, 5, 6).unwrap();
+        drop(w);
+        assert!(wal_path(&dir, 0, 5).exists());
+        retire(&dir, 0, 5).unwrap();
+        assert!(!wal_path(&dir, 0, 5).exists());
+        retire(&dir, 0, 5).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

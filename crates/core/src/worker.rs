@@ -10,6 +10,7 @@
 
 use crate::config::SearchConfig;
 use crate::edits::edit_to_move;
+use crate::wal::WalRound;
 use fdml_comm::job::JobId;
 use fdml_comm::message::Message;
 use fdml_comm::transport::{CommError, Transport};
@@ -292,6 +293,89 @@ pub fn run_worker_homed<T: Transport>(
                         work_units: result.work_units,
                     },
                 )?;
+            }
+            Message::JumbleResume {
+                job,
+                task,
+                seed,
+                wal,
+            } => {
+                // A WAL-aware jumble: replay the committed prefix the
+                // coordinator carried inline, then run live, streaming each
+                // newly committed round back so the coordinator's log stays
+                // one round behind the search at most. `job` doubles as the
+                // reply selector: 0 is the anonymous farm (JumbleResult),
+                // anything else a daemon job (JobTaskResult).
+                let p = if job == 0 {
+                    state.as_ref().ok_or_else(|| {
+                        WorkerError::Protocol("jumble resume before problem data".into())
+                    })?
+                } else {
+                    jobs.get(&job).ok_or_else(|| {
+                        WorkerError::Protocol(format!("job {job} resume before its JobData"))
+                    })?
+                };
+                let mut rounds = Vec::with_capacity(wal.len());
+                for entry in &wal {
+                    rounds.push(WalRound::from_json(entry).map_err(|e| {
+                        WorkerError::Protocol(format!("jumble {seed}: bad wal entry: {e}"))
+                    })?);
+                }
+                let started = Instant::now();
+                let result = crate::farm::run_one_jumble_wal(
+                    &p.engine,
+                    &p.alignment,
+                    &p.config,
+                    seed,
+                    rounds,
+                    |round| {
+                        // Best-effort: a lost round merely re-runs live on
+                        // the coordinator's next resume.
+                        let _ = send_up(
+                            &transport,
+                            foreman,
+                            &Message::WalRound {
+                                job,
+                                seed,
+                                index: round.index,
+                                entry: round.to_json(),
+                            },
+                        );
+                    },
+                )
+                .map_err(|e| WorkerError::Protocol(format!("jumble {seed}: {e}")))?;
+                let busy_us = started.elapsed().as_micros() as u64;
+                stats.trees_evaluated += 1;
+                stats.work_units += result.work_units;
+                obs.emit(|| Event::WorkerTaskDone {
+                    worker: transport.rank(),
+                    task,
+                    busy_us,
+                    work_units: result.work_units,
+                    pattern_updates: 0,
+                });
+                let newick = newick::write_tree(&result.tree, p.alignment.names());
+                let reply = if job == 0 {
+                    Message::JumbleResult {
+                        task,
+                        seed,
+                        newick,
+                        ln_likelihood: result.ln_likelihood,
+                        rounds: result.rounds as u64,
+                        candidates: result.candidates_evaluated as u64,
+                        work_units: result.work_units,
+                    }
+                } else {
+                    Message::JobTaskResult {
+                        job,
+                        task,
+                        seed,
+                        newick,
+                        ln_likelihood: result.ln_likelihood,
+                        work_units: result.work_units,
+                    }
+                };
+                send_up(&transport, foreman, &reply)?;
             }
             Message::JobTask { job, task, seed } => {
                 let p = jobs.get(&job).ok_or_else(|| {

@@ -285,6 +285,40 @@ pub enum Event {
         /// Pattern-block threads per worker engine (1 = serial).
         intra_threads: usize,
     },
+    /// One committed round was appended to a write-ahead log.
+    WalAppend {
+        /// Serve-job id the WAL belongs to (0 outside the daemon).
+        job: u64,
+        /// Jumble seed of the search being logged.
+        seed: u64,
+        /// 0-based round index of the appended record.
+        index: u64,
+        /// Framed bytes written (header + payload).
+        bytes: u64,
+    },
+    /// A resumed search replayed committed rounds from a write-ahead log
+    /// instead of re-scoring them.
+    WalReplay {
+        /// Serve-job id the WAL belongs to (0 outside the daemon).
+        job: u64,
+        /// Jumble seed of the resumed search.
+        seed: u64,
+        /// Rounds replayed from the log.
+        rounds: u64,
+    },
+    /// The crash-consistent storage layer recovered a damaged file:
+    /// salvaged the longest valid prefix and dropped the torn tail. A
+    /// warning, not an error — surviving exactly this is what the framed
+    /// format is for — but worth an operator's eyes.
+    DurableRecovered {
+        /// The file that was recovered.
+        path: String,
+        /// Byte offset where the salvaged prefix ends (the last valid
+        /// record boundary).
+        valid_bytes: u64,
+        /// Bytes dropped after that offset.
+        dropped_bytes: u64,
+    },
 }
 
 impl Event {
@@ -322,6 +356,9 @@ impl Event {
             Event::JobCompleted { .. } => "JobCompleted",
             Event::JobFailed { .. } => "JobFailed",
             Event::KernelDispatch { .. } => "KernelDispatch",
+            Event::WalAppend { .. } => "WalAppend",
+            Event::WalReplay { .. } => "WalReplay",
+            Event::DurableRecovered { .. } => "DurableRecovered",
         }
     }
 }

@@ -180,6 +180,19 @@ pub struct RunReport {
     /// event); 0 when no such event was seen.
     #[serde(default)]
     pub intra_threads: usize,
+    /// Committed rounds appended to write-ahead logs (`WalAppend`).
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// Total framed WAL bytes written (`WalAppend`).
+    #[serde(default)]
+    pub wal_bytes: u64,
+    /// Rounds replayed from write-ahead logs on resume (`WalReplay`).
+    #[serde(default)]
+    pub wal_replayed_rounds: u64,
+    /// Damaged durable files recovered by truncate-to-valid
+    /// (`DurableRecovered`).
+    #[serde(default)]
+    pub durable_recoveries: u64,
     /// Final log-likelihood, if a `RunFinished` event was seen.
     pub final_ln_likelihood: Option<f64>,
 }
@@ -209,6 +222,10 @@ impl RunReport {
         let mut regions_seen: std::collections::BTreeSet<usize> = Default::default();
         let mut kernel_isa = String::new();
         let mut intra_threads = 0usize;
+        let mut wal_appends = 0u64;
+        let mut wal_bytes = 0u64;
+        let mut wal_replayed_rounds = 0u64;
+        let mut durable_recoveries = 0u64;
         let mut final_ln_likelihood = None;
         // worker → (tasks, busy_us, work_units, pattern_updates,
         //           clv_cache_hits, clv_edges_recomputed, fallbacks)
@@ -347,6 +364,12 @@ impl RunReport {
                     kernel_isa = isa.clone();
                     intra_threads = *t;
                 }
+                Event::WalAppend { bytes, .. } => {
+                    wal_appends += 1;
+                    wal_bytes += bytes;
+                }
+                Event::WalReplay { rounds: r, .. } => wal_replayed_rounds += r,
+                Event::DurableRecovered { .. } => durable_recoveries += 1,
             }
         }
 
@@ -407,6 +430,10 @@ impl RunReport {
             },
             kernel_isa,
             intra_threads,
+            wal_appends,
+            wal_bytes,
+            wal_replayed_rounds,
+            durable_recoveries,
             final_ln_likelihood,
         }
     }

@@ -177,7 +177,10 @@ impl Daemon {
                 children.push(child);
             }
         }
-        let registry = Registry::open(&options.state_dir)?;
+        // Observed open: a torn `jobs.json` tail recovers to the last
+        // valid snapshot with a DurableRecovered warning instead of
+        // aborting startup.
+        let registry = Registry::open_observed(&options.state_dir, &obs)?;
         let limits = Limits {
             max_jobs: options.max_jobs,
             max_job_ranks: options.max_job_ranks,

@@ -5,12 +5,19 @@
 //!
 //! * `jobs.json` — the registry proper: the next id to assign and, per
 //!   job, its full [`JobSpec`], lifecycle [`JobState`], and failure
-//!   reason. Written atomically (write-then-rename) after every
-//!   transition.
+//!   reason. Stored as a [`fdml_core::durable`] framed snapshot log: each
+//!   save appends one CRC32-framed snapshot record, fsynced before the
+//!   daemon acknowledges the transition. A torn or corrupt tail recovers
+//!   to the last valid snapshot (with a [`Event::DurableRecovered`]
+//!   warning naming the file and byte offset) instead of aborting
+//!   startup, and the log compacts back to a single record once it grows.
+//!   Files from daemons predating the framed format (plain JSON) are read
+//!   and migrated on the first save.
 //! * `job-<id>.manifest.json` — one farm manifest per job, the same
 //!   [`FarmManifest`] format the jumble farm checkpoints with: which
 //!   adjusted seeds are planned, and for each `Done` seed the tree and
-//!   its likelihood. Written after every completed jumble.
+//!   its likelihood. Written after every completed jumble, through the
+//!   same durable layer.
 //!
 //! A restarted daemon reloads both, requeues every `Pending` seed, and
 //! resumes — no jumble is lost, and none runs twice, because a seed is
@@ -18,10 +25,17 @@
 
 use fdml_comm::job::{JobId, JobSpec, JobState, JobStatus};
 use fdml_core::checkpoint::FarmManifest;
+use fdml_core::durable::{self, LogWriter};
+use fdml_obs::{Event, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Compact the snapshot log back to one record when it accumulates this
+/// many; keeps `jobs.json` bounded regardless of how many transitions a
+/// long-lived daemon performs.
+const COMPACT_AT: u64 = 64;
 
 /// One job's durable record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,25 +64,112 @@ pub struct Registry {
     dir: PathBuf,
     next_id: JobId,
     jobs: BTreeMap<JobId, JobEntry>,
+    log: LogWriter,
+    snapshots_in_log: u64,
 }
 
 impl Registry {
     /// Open (or create) the registry in `dir`, reloading `jobs.json` if a
-    /// previous daemon left one behind.
+    /// previous daemon left one behind. Unobserved; the daemon proper
+    /// uses [`Registry::open_observed`] so recovery warnings reach the
+    /// event stream.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Registry> {
+        Registry::open_observed(dir, &Obs::disabled())
+    }
+
+    /// Open the registry, emitting an [`Event::DurableRecovered`] warning
+    /// (file and byte offset) if `jobs.json` had a torn or corrupt tail
+    /// that was rolled back to the last valid snapshot.
+    pub fn open_observed(dir: impl Into<PathBuf>, obs: &Obs) -> io::Result<Registry> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(dir.join("wal"))?;
         let path = dir.join("jobs.json");
-        let (next_id, jobs) = if path.exists() {
-            let text = std::fs::read_to_string(&path)?;
-            let persisted: PersistedRegistry = serde_json::from_str(&text)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
-            let jobs = persisted.jobs.into_iter().map(|j| (j.id, j)).collect();
-            (persisted.next_id, jobs)
-        } else {
-            (1, BTreeMap::new())
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => Some(raw),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
         };
-        Ok(Registry { dir, next_id, jobs })
+        let (persisted, snapshots_in_log, migrate) = match raw {
+            None => (None, 0, false),
+            // A daemon predating the framed format left plain JSON:
+            // read it as one snapshot and migrate on the first save.
+            Some(raw) if raw.first() == Some(&b'{') => {
+                match std::str::from_utf8(&raw)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<PersistedRegistry>(text).ok())
+                {
+                    Some(p) => (Some(p), 0, true),
+                    None => {
+                        // Corrupt legacy file: nothing salvageable (plain
+                        // JSON has no record boundaries). Warn and start
+                        // empty rather than refuse to boot.
+                        obs.emit(|| Event::DurableRecovered {
+                            path: path.display().to_string(),
+                            valid_bytes: 0,
+                            dropped_bytes: raw.len() as u64,
+                        });
+                        (None, 0, true)
+                    }
+                }
+            }
+            Some(raw) => {
+                let recovered = durable::validate_log_bytes(&raw);
+                // Walk back from the newest record to the last snapshot
+                // that parses: framing guards against torn writes, the
+                // parse guards against semantic corruption.
+                let mut last = None;
+                let mut valid = recovered.records.len();
+                for rec in recovered.records.iter().rev() {
+                    if let Some(p) = std::str::from_utf8(rec)
+                        .ok()
+                        .and_then(|text| serde_json::from_str::<PersistedRegistry>(text).ok())
+                    {
+                        last = Some(p);
+                        break;
+                    }
+                    valid -= 1;
+                }
+                if recovered.dropped_bytes > 0 || valid < recovered.records.len() {
+                    obs.emit(|| Event::DurableRecovered {
+                        path: path.display().to_string(),
+                        valid_bytes: recovered.valid_bytes,
+                        dropped_bytes: recovered.dropped_bytes,
+                    });
+                }
+                (last, valid as u64, false)
+            }
+        };
+        let (next_id, jobs) = match persisted {
+            Some(p) => {
+                let jobs: BTreeMap<JobId, JobEntry> =
+                    p.jobs.into_iter().map(|j| (j.id, j)).collect();
+                (p.next_id, jobs)
+            }
+            None => (1, BTreeMap::new()),
+        };
+        // `resume` truncates any torn tail so appends continue cleanly;
+        // for a fresh or legacy path it starts a new framed log.
+        let log = if migrate {
+            let mut reg = Registry {
+                dir,
+                next_id,
+                jobs,
+                log: LogWriter::create(&path)?,
+                snapshots_in_log: 0,
+            };
+            reg.save()?;
+            return Ok(reg);
+        } else {
+            let (log, _) = LogWriter::resume(&path)?;
+            log
+        };
+        Ok(Registry {
+            dir,
+            next_id,
+            jobs,
+            log,
+            snapshots_in_log,
+        })
     }
 
     /// Admit a spec: assign the next id, record the job as
@@ -134,6 +235,12 @@ impl Registry {
         self.dir.join(format!("job-{id}.manifest.json"))
     }
 
+    /// Where every job's write-ahead round logs live (one file per
+    /// in-flight jumble, namespaced by job id; see `fdml_core::wal`).
+    pub fn wal_dir(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+
     /// Reload `id`'s manifest from disk (a fresh all-`Pending` one if the
     /// file is somehow missing).
     pub fn load_manifest(&self, id: JobId, seeds: &[u64]) -> FarmManifest {
@@ -157,10 +264,11 @@ impl Registry {
         })
     }
 
-    /// Persist `jobs.json` atomically (write a temporary sibling, then
-    /// rename over the target — a kill mid-write never torn-writes the
-    /// registry).
-    pub fn save(&self) -> io::Result<()> {
+    /// Persist the registry durably: append one fsynced snapshot record
+    /// to the framed `jobs.json` log. When this returns, the transition
+    /// survives a crash — the daemon acks only after it. The log compacts
+    /// back to a single snapshot once [`COMPACT_AT`] records accumulate.
+    pub fn save(&mut self) -> io::Result<()> {
         let persisted = PersistedRegistry {
             next_id: self.next_id,
             jobs: self.jobs.values().cloned().collect(),
@@ -168,14 +276,29 @@ impl Registry {
         let text = serde_json::to_string_pretty(&persisted)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
         let path = self.dir.join("jobs.json");
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, &path)
+        if self.snapshots_in_log >= COMPACT_AT {
+            durable::write_log_atomic(&path, &[text.as_bytes()])?;
+            let (log, _) = LogWriter::resume(&path)?;
+            self.log = log;
+            self.snapshots_in_log = 1;
+        } else {
+            self.log.append(text.as_bytes())?;
+            self.snapshots_in_log += 1;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently in the `jobs.json` snapshot log (compaction keeps
+    /// this bounded).
+    pub fn log_bytes(&self) -> u64 {
+        self.log.len_bytes()
     }
 }
 
-/// Atomically save `manifest` for job `id` under `dir`-less registries'
-/// convention (helper for the scheduler, which holds manifests in memory).
+/// Durably save `manifest` (helper for the scheduler, which holds
+/// manifests in memory). Routed through [`FarmManifest::save`], which
+/// uses the crash-consistent storage layer: the jumble is acknowledged
+/// only after its result is fsynced.
 pub fn save_manifest(path: &Path, manifest: &FarmManifest) -> io::Result<()> {
     manifest.save(path)
 }
@@ -231,6 +354,128 @@ mod tests {
         let back = reg.load_manifest(id, &[1, 3, 5]);
         assert_eq!(back.unfinished(), vec![1, 5]);
         assert!(!back.is_complete());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_jobs_json_recovers_to_last_valid_snapshot() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-t-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut reg = Registry::open(&dir).unwrap();
+            reg.admit(spec("a"), &[1]).unwrap();
+            reg.admit(spec("b"), &[3]).unwrap();
+            reg.set_state(2, JobState::Running).unwrap();
+        }
+        // Tear the snapshot log mid-record, as a crash during save would.
+        let path = dir.join("jobs.json");
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 10]).unwrap();
+        // Startup succeeds on the previous snapshot and warns, naming the
+        // file and byte offset.
+        let mem = fdml_obs::MemorySink::new();
+        let obs = fdml_obs::Obs::new(Box::new(mem.clone()));
+        let reg = Registry::open_observed(&dir, &obs).unwrap();
+        assert_eq!(reg.jobs().count(), 2);
+        // The torn record was the Running transition: rolled back.
+        assert_eq!(reg.get(2).unwrap().state, JobState::Queued);
+        let records = mem.take();
+        let warn = records
+            .iter()
+            .find_map(|r| match &r.event {
+                fdml_obs::Event::DurableRecovered {
+                    path: p,
+                    valid_bytes,
+                    dropped_bytes,
+                } => Some((p.clone(), *valid_bytes, *dropped_bytes)),
+                _ => None,
+            })
+            .expect("expected a DurableRecovered warning");
+        assert!(warn.0.ends_with("jobs.json"));
+        assert!(warn.1 > 0 && warn.2 > 0);
+        // The next save appends cleanly past the truncation point.
+        let mut reg = Registry::open(&dir).unwrap();
+        reg.set_state(2, JobState::Running).unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.get(2).unwrap().state, JobState::Running);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_plain_json_registry_is_migrated() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-l-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-framed-format daemon wrote plain JSON.
+        let legacy = serde_json::to_string_pretty(&PersistedRegistry {
+            next_id: 5,
+            jobs: vec![JobEntry {
+                id: 4,
+                spec: spec("old"),
+                state: JobState::Done,
+                failure: None,
+            }],
+        })
+        .unwrap();
+        std::fs::write(dir.join("jobs.json"), &legacy).unwrap();
+        let mut reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.get(4).unwrap().spec.label, "old");
+        assert_eq!(reg.admit(spec("new"), &[1]).unwrap(), 5);
+        // The file is now a framed log and keeps round-tripping.
+        let raw = std::fs::read(dir.join("jobs.json")).unwrap();
+        assert!(raw.starts_with(fdml_core::durable::LOG_MAGIC));
+        let reg = Registry::open(&dir).unwrap();
+        assert_eq!(reg.jobs().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsalvageable_registry_warns_and_starts_empty() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-u-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("jobs.json"), "{\"next_id\": 3, \"jo").unwrap();
+        let mem = fdml_obs::MemorySink::new();
+        let obs = fdml_obs::Obs::new(Box::new(mem.clone()));
+        let reg = Registry::open_observed(&dir, &obs).unwrap();
+        assert_eq!(reg.jobs().count(), 0);
+        assert!(mem
+            .take()
+            .iter()
+            .any(|r| matches!(&r.event, fdml_obs::Event::DurableRecovered { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_log_compacts_and_stays_bounded() {
+        let dir = std::env::temp_dir().join(format!("fdml-reg-c-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut reg = Registry::open(&dir).unwrap();
+        let id = reg.admit(spec("churn"), &[1]).unwrap();
+        // Enough transitions to force several compactions.
+        let mut max_bytes = 0u64;
+        for i in 0..(3 * COMPACT_AT) {
+            let state = if i % 2 == 0 {
+                JobState::Running
+            } else {
+                JobState::Queued
+            };
+            reg.set_state(id, state).unwrap();
+            max_bytes = max_bytes.max(reg.log_bytes());
+        }
+        // The log never exceeds COMPACT_AT-and-change snapshots' worth.
+        let one_snapshot = {
+            let raw = std::fs::read(dir.join("jobs.json")).unwrap();
+            fdml_core::durable::validate_log_bytes(&raw);
+            reg.log_bytes() / reg.snapshots_in_log.max(1)
+        };
+        assert!(
+            max_bytes < one_snapshot * (COMPACT_AT + 4),
+            "log grew unbounded: {max_bytes} bytes"
+        );
+        // And the latest state survives compaction.
+        let reg2 = Registry::open(&dir).unwrap();
+        assert_eq!(reg2.get(id).unwrap().state, reg.get(id).unwrap().state);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -27,6 +27,7 @@ use fdml_comm::message::Message;
 use fdml_comm::transport::{ranks, Rank, Transport};
 use fdml_core::checkpoint::{FarmManifest, JumbleStatus};
 use fdml_core::job::ResolvedJob;
+use fdml_core::wal::{self, WalRound, WalWriter};
 use fdml_net::wire::{write_frame, Frame};
 use fdml_net::{ServiceRequest, TcpHub, TcpTransport};
 use fdml_obs::{Event, MemorySink, Obs, RunReport};
@@ -114,6 +115,10 @@ pub(crate) struct Scheduler {
     results_order: VecDeque<JobId>,
     workers: HashMap<Rank, Worker>,
     in_flight: HashMap<u64, Flight>,
+    /// Append handle for each in-flight jumble's write-ahead round log,
+    /// keyed by (job, seed); entries leave when the jumble lands in the
+    /// manifest (log retired) or its log goes bad (log abandoned).
+    wal_writers: HashMap<(JobId, u64), WalWriter>,
     next_task: u64,
     mode: Arc<AtomicU8>,
 }
@@ -141,6 +146,7 @@ impl Scheduler {
             results_order: VecDeque::new(),
             workers: HashMap::new(),
             in_flight: HashMap::new(),
+            wal_writers: HashMap::new(),
             next_task: 1,
             mode,
         };
@@ -335,11 +341,52 @@ impl Scheduler {
                 ln_likelihood,
                 ..
             } => self.absorb_result(job, task, seed, newick, ln_likelihood),
+            Message::WalRound {
+                job,
+                seed,
+                index,
+                entry,
+            } => self.absorb_wal_round(job, seed, index, entry),
             Message::PeerDown { rank } => self.worker_lost(rank),
             Message::PeerUp { rank } => self.worker_rejoined(rank),
             // Stray WorkerReady (ping answers), heartbeat artifacts, and
             // legacy single-job traffic are not the scheduler's concern.
             _ => {}
+        }
+    }
+
+    /// A worker committed one search round: append it to the jumble's
+    /// log. All failure modes here cost only crash-tolerance granularity,
+    /// never correctness, so none of them is allowed to disturb the job:
+    /// a missing writer is a finished jumble's late stream (drop), an
+    /// unparseable entry is a bad worker payload (drop), a duplicate
+    /// index is a restarted worker re-streaming its prefix (deduped by
+    /// the writer), and an append error or index gap abandons this one
+    /// log while the jumble keeps running toward the manifest.
+    fn absorb_wal_round(&mut self, job_id: JobId, seed: u64, index: u64, entry: String) {
+        let Some(writer) = self.wal_writers.get_mut(&(job_id, seed)) else {
+            return;
+        };
+        let Ok(round) = WalRound::from_json(&entry) else {
+            return;
+        };
+        match writer.append(&round) {
+            Ok(Some(bytes)) => {
+                let ev = Event::WalAppend {
+                    job: job_id,
+                    seed,
+                    index,
+                    bytes,
+                };
+                self.obs.emit(|| ev.clone());
+                if let Some(job) = self.active.get(&job_id) {
+                    job.obs.emit(|| ev);
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                self.wal_writers.remove(&(job_id, seed));
+            }
         }
     }
 
@@ -375,6 +422,10 @@ impl Scheduler {
             job.pending.retain(|&s| s != seed);
             job.manifest.mark_done(seed, newick, lnl);
             let _ = job.manifest.save(&self.registry.manifest_path(job_id));
+            // The result is durable in the manifest: the round log has
+            // served its purpose.
+            self.wal_writers.remove(&(job_id, seed));
+            let _ = wal::retire(&self.registry.wal_dir(), job_id, seed);
             let done = job
                 .manifest
                 .entries
@@ -416,6 +467,7 @@ impl Scheduler {
         };
         self.ring.retain(|&j| j != id);
         self.retire_job(id);
+        self.sweep_wal(id);
         let report = RunReport::from_events(&job.sink.snapshot());
         let report_json = serde_json::to_string(&report).ok();
         let result = assemble_result(id, &job.resolved, &job.manifest, report_json);
@@ -451,6 +503,23 @@ impl Scheduler {
         }
     }
 
+    /// A job left the active table (finished or failed): its round logs
+    /// are dead weight — drop the writers and delete the files so the
+    /// wal directory stays bounded by the number of in-flight jumbles.
+    fn sweep_wal(&mut self, id: JobId) {
+        let dir = self.registry.wal_dir();
+        let seeds: Vec<u64> = self
+            .wal_writers
+            .keys()
+            .filter(|&&(j, _)| j == id)
+            .map(|&(_, s)| s)
+            .collect();
+        for seed in seeds {
+            self.wal_writers.remove(&(id, seed));
+            let _ = wal::retire(&dir, id, seed);
+        }
+    }
+
     /// Remember a finished job's result, evicting the oldest entries past
     /// [`RESULT_CACHE`].
     fn cache_result(&mut self, id: JobId, result: JobResult) {
@@ -470,6 +539,7 @@ impl Scheduler {
         };
         self.ring.retain(|&j| j != id);
         self.retire_job(id);
+        self.sweep_wal(id);
         let _ = self.registry.set_failed(id, reason.clone());
         let ev = Event::JobFailed {
             job: id,
@@ -554,10 +624,46 @@ impl Scheduler {
         };
         let task = self.next_task;
         self.next_task += 1;
-        let task_msg = Message::JobTask {
-            job: id,
-            task,
+        // The jumble travels with its committed WAL prefix: the worker
+        // replays it (scoring skipped), runs the rest live, and streams
+        // each newly committed round back as a `WalRound`. A daemon killed
+        // mid-jumble re-dispatches the longer prefix on restart.
+        let task_msg = match open_wal(
+            &self.registry.wal_dir(),
+            id,
             seed,
+            job.resolved.alignment.num_taxa(),
+        ) {
+            Ok((entries, writer)) => {
+                if !entries.is_empty() {
+                    let replayed = entries.len() as u64;
+                    let ev = Event::WalReplay {
+                        job: id,
+                        seed,
+                        rounds: replayed,
+                    };
+                    self.obs.emit(|| ev.clone());
+                    job.obs.emit(|| ev);
+                }
+                self.wal_writers.insert((id, seed), writer);
+                Message::JumbleResume {
+                    job: id,
+                    task,
+                    seed,
+                    wal: entries,
+                }
+            }
+            Err(_) => {
+                // A sick wal directory must not wedge the job: degrade to
+                // a WAL-less dispatch, widening this jumble's crash window
+                // back to manifest granularity.
+                self.wal_writers.remove(&(id, seed));
+                Message::JobTask {
+                    job: id,
+                    task,
+                    seed,
+                }
+            }
         };
         // First contact between this worker and this job ships the
         // alignment and the first jumble in one `Batch` envelope, so a
@@ -782,6 +888,28 @@ impl Scheduler {
             );
         }
         let _ = write_frame(&mut stream, &answer);
+    }
+}
+
+/// Recover (or start) the WAL for one (job, seed): returns the committed
+/// rounds as wire-ready JSON entries plus the append handle continuing at
+/// the next index.
+fn open_wal(
+    dir: &std::path::Path,
+    job: JobId,
+    seed: u64,
+    num_taxa: usize,
+) -> std::io::Result<(Vec<String>, WalWriter)> {
+    match wal::load(dir, job, seed)? {
+        Some(state) => {
+            let writer = WalWriter::resume(dir, job, seed, &state)?;
+            let entries = state.rounds.iter().map(|r| r.to_json()).collect();
+            Ok((entries, writer))
+        }
+        None => {
+            let writer = WalWriter::create(dir, job, seed, num_taxa)?;
+            Ok((Vec::new(), writer))
+        }
     }
 }
 

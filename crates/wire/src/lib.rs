@@ -115,6 +115,8 @@ mod tag {
     pub const STEAL_REQUEST: u8 = 21;
     pub const STEAL_RETURN: u8 = 22;
     pub const REHOME: u8 = 23;
+    pub const WAL_ROUND: u8 = 24;
+    pub const JUMBLE_RESUME: u8 = 25;
 
     pub const MON_DISPATCHED: u8 = 0;
     pub const MON_COMPLETED: u8 = 1;
@@ -451,6 +453,33 @@ pub fn encode_body(msg: &Message, buf: &mut Vec<u8>) {
             buf.push(tag::REHOME);
             varint::put_usize(buf, *foreman);
         }
+        Message::WalRound {
+            job,
+            seed,
+            index,
+            entry,
+        } => {
+            buf.push(tag::WAL_ROUND);
+            varint::put_u64(buf, *job);
+            varint::put_u64(buf, *seed);
+            varint::put_u64(buf, *index);
+            varint::put_str(buf, entry);
+        }
+        Message::JumbleResume {
+            job,
+            task,
+            seed,
+            wal,
+        } => {
+            buf.push(tag::JUMBLE_RESUME);
+            varint::put_u64(buf, *job);
+            varint::put_u64(buf, *task);
+            varint::put_u64(buf, *seed);
+            varint::put_usize(buf, wal.len());
+            for entry in wal {
+                varint::put_str(buf, entry);
+            }
+        }
     }
 }
 
@@ -535,6 +564,33 @@ fn decode_body_at(r: &mut Reader<'_>, depth: u32) -> Result<Message, WireError> 
         tag::REHOME => Ok(Message::Rehome {
             foreman: r.usize()?,
         }),
+        tag::WAL_ROUND => Ok(Message::WalRound {
+            job: r.u64()?,
+            seed: r.u64()?,
+            index: r.u64()?,
+            entry: r.str()?,
+        }),
+        tag::JUMBLE_RESUME => {
+            let job = r.u64()?;
+            let task = r.u64()?;
+            let seed = r.u64()?;
+            let n = r.usize()?;
+            // Each entry is at least a length byte; reject counts the
+            // remaining bytes cannot possibly satisfy before allocating.
+            if n > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut wal = Vec::with_capacity(n);
+            for _ in 0..n {
+                wal.push(r.str()?);
+            }
+            Ok(Message::JumbleResume {
+                job,
+                task,
+                seed,
+                wal,
+            })
+        }
         t => Err(WireError::BadTag("message", u64::from(t))),
     }
 }

@@ -138,6 +138,26 @@ fn fixtures() -> Vec<(&'static str, Message, &'static str)> {
             },
             "fd01160104028001",
         ),
+        (
+            "wal_round",
+            Message::WalRound {
+                job: 0,
+                seed: 11,
+                index: 2,
+                entry: "x".into(),
+            },
+            "fd0118000b020178",
+        ),
+        (
+            "jumble_resume",
+            Message::JumbleResume {
+                job: 3,
+                task: 300,
+                seed: 11,
+                wal: vec!["ab".into()],
+            },
+            "fd011903ac020b01026162",
+        ),
     ]
 }
 

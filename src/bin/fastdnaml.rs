@@ -49,6 +49,12 @@
 //!                        --jumbles > 1 it is the farm manifest)
 //!   --resume FILE        resume a single-jumble run from a checkpoint,
 //!                        or a farm from its manifest (--jumbles > 1)
+//!   --wal-dir DIR        write-ahead log of committed search rounds
+//!                        (serial, --parallel, --net, and farm modes): a
+//!                        killed run re-launched with the same command
+//!                        resumes bit-identically from its last committed
+//!                        round — finer-grained than a checkpoint, which
+//!                        only captures taxon-addition boundaries
 //!   --outgroup T1,T2     root the output tree on this outgroup clade
 //!   --midpoint           midpoint-root the output tree
 //!   --output FILE        write the best tree / consensus ("-" = stdout)
@@ -92,6 +98,7 @@ use fastdnaml::core::runner::{
     RunOptions,
 };
 use fastdnaml::core::search::StepwiseSearch;
+use fastdnaml::core::wal::WalSession;
 use fastdnaml::net::WireFormat;
 use fastdnaml::obs::{JsonlSink, MemorySink, Obs, RunReport, Sink};
 use fastdnaml::phylo::consensus::Consensus;
@@ -208,6 +215,11 @@ fastdnaml --input data.phy [options]
                        --jumbles > 1 it is the farm manifest)
   --resume FILE        resume a single-jumble run from a checkpoint,
                        or a farm from its manifest (--jumbles > 1)
+  --wal-dir DIR        write-ahead round log; re-running the same command
+                       resumes bit-identically from the last committed
+                       round (serial, --parallel, --net, farm)
+  --chaos-storage-crash N  test hook: abort at the Nth durable-storage
+                       operation, as a crash there would
   --outgroup T1,T2     root the output tree on this outgroup clade
   --midpoint           midpoint-root the output tree
   --output FILE        write the best tree / consensus (\"-\" = stdout)
@@ -394,6 +406,22 @@ fn main() -> ExitCode {
             eprintln!("fastdnaml: --isa {name}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    // Chaos hook for the crash-recovery gate: die (sticky storage
+    // failure, so the run aborts with the on-disk state a SIGKILL would
+    // leave) at exactly the Nth durable-storage operation. The smoke in
+    // ci.sh uses this to kill the coordinator at a WAL boundary
+    // deterministically, then proves re-running the same command
+    // recovers the byte-identical tree.
+    if let Some(op) = args.get("chaos-storage-crash") {
+        let Ok(op) = op.parse::<u64>() else {
+            eprintln!("fastdnaml: --chaos-storage-crash expects an operation index");
+            return ExitCode::FAILURE;
+        };
+        fastdnaml::chaos::storage::install(
+            fastdnaml::chaos::storage::StoragePlan::quiet(0).crash_at(op),
+        );
     }
 
     // Daemon mode: no alignment of its own — jobs bring their problem
@@ -715,6 +743,7 @@ fn main() -> ExitCode {
             width: get(&args, "farm-width", 0),
             manifest_path: checkpoint_path.clone().map(std::path::PathBuf::from),
             resume: farm_resume,
+            wal_dir: args.get("wal-dir").map(std::path::PathBuf::from),
         };
         let obs_summary = flags.iter().any(|f| f == "obs-summary");
         let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
@@ -849,6 +878,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // A WAL resumes from its own log, replaying the search from round
+    // zero; splicing a checkpoint underneath it would desynchronize the
+    // log's round indices from the search's. (Farms compose the two —
+    // manifest for finished jumbles, WAL for in-flight ones — because
+    // there each jumble's WAL still starts at its round zero.)
+    if args.contains_key("wal-dir") && args.contains_key("resume") {
+        eprintln!(
+            "fastdnaml: --wal-dir and --resume conflict for single searches; \
+             re-run with --wal-dir alone to resume from the round log"
+        );
+        return ExitCode::FAILURE;
+    }
     let resume_checkpoint = match args.get("resume") {
         Some(path) => match load_checkpoint(path) {
             Ok(cp) => Some(cp),
@@ -892,6 +933,7 @@ fn main() -> ExitCode {
             };
         net_options.checkpoint_out = checkpoint_path.clone().map(std::path::PathBuf::from);
         net_options.resume = resume_checkpoint;
+        net_options.wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
         if mode == "spawn" {
             let die_rank = args.get("die-rank").and_then(|v| v.parse::<usize>().ok());
             let die_tasks = args
@@ -951,7 +993,14 @@ fn main() -> ExitCode {
         }
         let mut run_options = RunOptions::observed(sinks);
         run_options.regions = get(&args, "regions", 0);
-        let outcome = parallel_search(&job, ranks, run_options).expect("parallel search");
+        run_options.wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
+        let outcome = match parallel_search(&job, ranks, run_options) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("fastdnaml: parallel search: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if obs_summary {
             match &outcome.report {
                 Some(report) => println!("{report}"),
@@ -971,7 +1020,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let result = if checkpoint_path.is_some() || resume_checkpoint.is_some() {
+    let wal_dir = args.get("wal-dir").map(std::path::PathBuf::from);
+    let result = if checkpoint_path.is_some() || resume_checkpoint.is_some() || wal_dir.is_some() {
         let engine = config.build_engine(&alignment);
         let executor = ScorerExecutor::new(&engine, config.optimize);
         let mut search = StepwiseSearch::new(&config, executor, alignment.num_taxa())
@@ -980,12 +1030,38 @@ fn main() -> ExitCode {
             search = search.resume_from(cp);
         }
         if let Some(path) = checkpoint_path.clone() {
+            let path = std::path::PathBuf::from(path);
             search = search.on_checkpoint(move |cp| {
-                std::fs::write(&path, cp.to_json()).expect("write checkpoint");
+                cp.save(&path).expect("write checkpoint");
             });
         }
+        let obs = Obs::disabled();
+        let mut wal_session = match &wal_dir {
+            Some(dir) => {
+                match WalSession::open(dir, 0, config.jumble_seed, alignment.num_taxa(), &obs) {
+                    Ok(session) => Some(session),
+                    Err(e) => {
+                        eprintln!("fastdnaml: --wal-dir {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => None,
+        };
+        if let Some(session) = &mut wal_session {
+            let rounds = session.take_rounds();
+            search = search.resume_from_wal(rounds).on_wal(session.hook());
+        }
         match search.run() {
-            Ok(r) => r,
+            Ok(r) => {
+                if let Some(session) = wal_session {
+                    if let Err(e) = session.finish_and_retire() {
+                        eprintln!("fastdnaml: wal: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                r
+            }
             Err(e) => {
                 eprintln!("fastdnaml: search: {e}");
                 return ExitCode::FAILURE;

@@ -8,6 +8,7 @@
 //! When no worker survives, the run ends in a clean typed error and the
 //! farm manifest on disk remains valid and resumable.
 
+use fastdnaml::chaos::storage::{self, StoragePlan};
 use fastdnaml::chaos::ChaosPlan;
 use fastdnaml::core::checkpoint::FarmManifest;
 use fastdnaml::core::config::SearchConfig;
@@ -212,6 +213,62 @@ fn farm_under_chaos_matches_fault_free() {
     }
 }
 
+/// Control-plane chaos joins the soak: the coordinator's WAL storage is
+/// killed mid-search *while* the data plane runs a seeded fault mix that
+/// also kills a worker. Relaunching the same command — data plane still
+/// chaotic — replays the round log and lands on the fault-free tree,
+/// byte for byte. The strong property now covers both planes at once.
+#[test]
+fn coordinator_storage_kill_under_worker_chaos_resumes_byte_identical() {
+    let a = alignment();
+    let cfg = config();
+    let job = one_shot(&a, &cfg);
+    let clean = parallel_search(&job, 6, RunOptions::default()).unwrap();
+    let clean_tree = newick::write_tree(&clean.result.tree, a.names());
+
+    let dir = std::env::temp_dir().join(format!("fdml_chaos_coord_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_opts = |plan: Option<&ChaosPlan>| RunOptions {
+        chaos: plan.cloned(),
+        wal_dir: Some(dir.clone()),
+        ..RunOptions::default()
+    };
+
+    // A quiet instrumented pass learns the storage-op budget.
+    storage::install(StoragePlan::quiet(0));
+    let probe = parallel_search(&job, 6, wal_opts(None)).unwrap();
+    let total_ops = storage::clear().ops;
+    assert_eq!(
+        newick::write_tree(&probe.result.tree, a.names()),
+        clean_tree,
+        "the WAL hook itself must not perturb the search"
+    );
+    assert!(total_ops >= 4, "too few storage ops: {total_ops}");
+
+    let net_plan = ChaosPlan::seeded(6).with_kill(3, 2);
+    for op in [1, total_ops / 2, total_ops - 1] {
+        storage::install(StoragePlan::quiet(0).crash_at(op));
+        let killed = parallel_search(&job, 6, wal_opts(Some(&net_plan)));
+        storage::clear();
+        assert!(killed.is_err(), "op {op}: coordinator kill did not surface");
+
+        let resumed = parallel_search(&job, 6, wal_opts(Some(&net_plan)))
+            .unwrap_or_else(|e| panic!("op {op}: resume failed: {e}"));
+        assert_eq!(
+            newick::write_tree(&resumed.result.tree, a.names()),
+            clean_tree,
+            "op {op}: resumed tree diverged"
+        );
+        assert_eq!(
+            resumed.result.ln_likelihood.to_bits(),
+            clean.result.ln_likelihood.to_bits(),
+            "op {op}: resumed likelihood diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// When the plan kills every worker, the run must end in a clean typed
 /// error (the foreman's all-dead abort), and the manifest written before
 /// the collapse must remain valid and resumable.
@@ -236,7 +293,7 @@ fn all_workers_dead_is_a_typed_error_with_a_resumable_manifest() {
     let options = FarmOptions {
         width: 0,
         manifest_path: Some(manifest_path.clone()),
-        resume: None,
+        ..FarmOptions::default()
     };
     let job = farm_job(&a, &cfg, &seeds);
     let err = farm_search(&job, 6, options, RunOptions::chaotic(&plan))
@@ -262,8 +319,8 @@ fn all_workers_dead_is_a_typed_error_with_a_resumable_manifest() {
         6,
         FarmOptions {
             width: 0,
-            manifest_path: None,
             resume: Some(manifest),
+            ..FarmOptions::default()
         },
         RunOptions::default(),
     )

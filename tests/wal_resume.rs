@@ -1,0 +1,364 @@
+//! Resume-equivalence matrix for the write-ahead round log.
+//!
+//! The contract under test: a coordinator killed at any point and
+//! relaunched with the same command line produces the byte-identical
+//! final tree. The WAL replays an exact executor-call sequence, so a
+//! resumed run must consume a log its own deployment wrote — the matrix
+//! therefore *manufactures* real interrupted logs instead of synthesizing
+//! them: a storage-fault plan on the coordinator thread kills the log at
+//! every write boundary (`fdml_chaos::storage` faults are thread-local,
+//! and the master runs inline on the calling thread), leaving exactly the
+//! file a `kill -9` at that instant would have left. Each leftover log is
+//! then resumed through the real deployment paths: the threaded runtime,
+//! the multi-process TCP runtime via the CLI, the jumble farm (whose
+//! workers resume mid-jumble through the `JumbleResume` task), and both
+//! scoring modes.
+
+use fastdnaml::chaos::storage::{self, StoragePlan};
+use fastdnaml::core::config::SearchConfig;
+use fastdnaml::core::executor::ScorerExecutor;
+use fastdnaml::core::farm::{plan_seeds, serial_farm, FarmOptions};
+use fastdnaml::core::job::ResolvedJob;
+use fastdnaml::core::runner::{farm_search, parallel_search, RunOptions};
+use fastdnaml::core::search::StepwiseSearch;
+use fastdnaml::core::wal::{self, WalRound, WalWriter};
+use fastdnaml::obs::{Event, MemorySink, Obs};
+use fastdnaml::phylo::alignment::Alignment;
+use fastdnaml::phylo::{newick, phylip};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const PHYLIP: &str = "\
+6 40
+t0        ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+t1        ACGTACGTACTTACGTACGTACGAACGTACGTACGTACGT
+t2        ACGAACGTACGTACGGACGTACGTACCTACGTAGGTACGT
+t3        ACGAACGTACGTACGGACGTACTTACCTACGTAGGTACTT
+t4        TCGAACGGACGTACGGAAGTACGTACCTACGGAGGTACGA
+t5        TCGAACGGACGTACGGAAGTACGTTCCTACGGAGGAACGA
+";
+
+fn dataset() -> Alignment {
+    phylip::parse(PHYLIP).expect("fixture parses")
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdml_walres_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Run the threaded search with a WAL in `wal_dir`, optionally observed.
+fn run_threads(
+    alignment: &Alignment,
+    config: &SearchConfig,
+    wal_dir: &Path,
+    mem: Option<&MemorySink>,
+) -> Result<(String, u64), String> {
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), 1).unwrap();
+    let mut options = match mem {
+        Some(m) => RunOptions::observed(vec![Box::new(m.clone())]),
+        None => RunOptions::default(),
+    };
+    options.wal_dir = Some(wal_dir.to_path_buf());
+    let outcome = parallel_search(&job, 4, options).map_err(|e| e.to_string())?;
+    Ok((
+        newick::write_tree(&outcome.result.tree, alignment.names()),
+        outcome.result.ln_likelihood.to_bits(),
+    ))
+}
+
+/// Count WAL events a memory sink observed.
+fn wal_event_counts(mem: &MemorySink) -> (u64, u64) {
+    let mut appends = 0;
+    let mut replayed = 0;
+    for record in mem.snapshot() {
+        match record.event {
+            Event::WalAppend { .. } => appends += 1,
+            Event::WalReplay { rounds, .. } => replayed += rounds,
+            _ => {}
+        }
+    }
+    (appends, replayed)
+}
+
+/// The tentpole matrix: kill the coordinator's log at every storage
+/// operation a full threaded run performs — the log-file creation, every
+/// record append, every `fdatasync` — then relaunch the identical run.
+/// Every resume must reproduce the uninterrupted tree byte for byte and
+/// retire the log on success.
+#[test]
+fn threads_resume_every_crash_point_byte_identical() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 7,
+        ..SearchConfig::default()
+    };
+
+    // Fault-free run: the expected answer, and the op budget to sweep.
+    let dir = workdir("threads");
+    storage::install(StoragePlan::quiet(0));
+    let (expected_newick, expected_bits) =
+        run_threads(&alignment, &config, &dir.join("clean"), None).expect("clean run");
+    let total_ops = storage::clear().ops;
+    assert!(total_ops >= 8, "fixture too small: {total_ops} storage ops");
+
+    for op in 0..total_ops {
+        let wal_dir = dir.join(format!("op{op}"));
+        // The "kill": every storage operation from `op` onward fails, so
+        // the run either dies opening the log or finishes its search and
+        // surfaces the deferred append error at the end — in both cases
+        // the on-disk log is exactly what a SIGKILL at that boundary
+        // leaves: a committed prefix, possibly with a torn tail.
+        storage::install(StoragePlan::quiet(0).crash_at(op));
+        let crashed = run_threads(&alignment, &config, &wal_dir, None);
+        storage::clear();
+        assert!(
+            crashed.is_err(),
+            "op {op}: injected crash did not surface as an error"
+        );
+
+        // Relaunch the same command: replay the prefix, finish, retire.
+        let mem = MemorySink::new();
+        let (resumed_newick, resumed_bits) =
+            run_threads(&alignment, &config, &wal_dir, Some(&mem)).expect("resume");
+        assert_eq!(resumed_newick, expected_newick, "op {op}: tree diverged");
+        assert_eq!(resumed_bits, expected_bits, "op {op}: lnl bits diverged");
+        let (appends, replayed) = wal_event_counts(&mem);
+        assert!(
+            appends + replayed > 0,
+            "op {op}: resume neither replayed nor logged"
+        );
+        assert!(
+            !wal::wal_path(&wal_dir, 0, config.jumble_seed).exists(),
+            "op {op}: wal not retired after successful resume"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A torn append — the log hit by a kill mid-`write` — truncates to the
+/// last committed round on resume and still finishes byte-identically.
+#[test]
+fn torn_tail_resumes_byte_identical() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 9,
+        ..SearchConfig::default()
+    };
+    let dir = workdir("torn");
+    let (expected_newick, expected_bits) =
+        run_threads(&alignment, &config, &dir.join("clean"), None).expect("clean run");
+
+    // Interrupt a run late (a mid-run storage kill), then tear the
+    // surviving log's tail by hand, as a crash inside `write(2)` would.
+    let wal_dir = dir.join("victim");
+    storage::install(StoragePlan::quiet(0).crash_at(9));
+    run_threads(&alignment, &config, &wal_dir, None).expect_err("injected crash");
+    storage::clear();
+    let path = wal::wal_path(&wal_dir, 0, config.jumble_seed);
+    let mut raw = std::fs::read(&path).expect("interrupted log exists");
+    let torn_at = raw.len() - 3;
+    raw.truncate(torn_at);
+    raw.extend_from_slice(&[0xDE, 0xAD]);
+    std::fs::write(&path, &raw).expect("tear tail");
+
+    let mem = MemorySink::new();
+    let (resumed_newick, resumed_bits) =
+        run_threads(&alignment, &config, &wal_dir, Some(&mem)).expect("resume over torn tail");
+    assert_eq!(resumed_newick, expected_newick, "torn tail: tree diverged");
+    assert_eq!(resumed_bits, expected_bits, "torn tail: lnl bits diverged");
+    assert!(!path.exists(), "torn tail: wal not retired");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The incremental (base + edit) scoring mode resumes its own interrupted
+/// logs just like whole-tree mode: same sweep, spot-checked across the op
+/// range.
+#[test]
+fn incremental_mode_resumes_its_own_log() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 5,
+        incremental: true,
+        ..SearchConfig::default()
+    };
+    let dir = workdir("incmode");
+    storage::install(StoragePlan::quiet(0));
+    let (expected_newick, expected_bits) =
+        run_threads(&alignment, &config, &dir.join("clean"), None).expect("clean run");
+    let total_ops = storage::clear().ops;
+
+    for op in [0, 1, total_ops / 2, total_ops - 1] {
+        let wal_dir = dir.join(format!("op{op}"));
+        storage::install(StoragePlan::quiet(0).crash_at(op));
+        run_threads(&alignment, &config, &wal_dir, None).expect_err("injected crash");
+        storage::clear();
+        let (resumed_newick, resumed_bits) =
+            run_threads(&alignment, &config, &wal_dir, None).expect("resume");
+        assert_eq!(
+            resumed_newick, expected_newick,
+            "incremental op {op}: tree diverged"
+        );
+        assert_eq!(
+            resumed_bits, expected_bits,
+            "incremental op {op}: lnl bits diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The multi-process TCP deployment, driven through the real CLI: logs
+/// interrupted at assorted boundaries (manufactured in-process — the
+/// threaded and TCP coordinators run the identical master search, so
+/// their logs are interchangeable) must resume under `--net spawn
+/// --wal-dir` to output files byte-identical to the clean run's.
+#[test]
+fn net_resume_interrupted_logs_via_cli() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 7,
+        ..SearchConfig::default()
+    };
+    let dir = workdir("netcli");
+    std::fs::write(dir.join("data.phy"), PHYLIP).expect("write alignment");
+    let run_cli = |tag: &str, wal_dir: Option<&Path>| -> String {
+        let out = dir.join(format!("{tag}.nwk"));
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_fastdnaml"));
+        cmd.arg("--input")
+            .arg(dir.join("data.phy"))
+            .args(["--jumble", "7", "--net", "spawn", "4", "--quiet"])
+            .arg("--output")
+            .arg(&out);
+        if let Some(w) = wal_dir {
+            cmd.arg("--wal-dir").arg(w);
+        }
+        let status = cmd.output().expect("run fastdnaml");
+        assert!(
+            status.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&status.stderr)
+        );
+        std::fs::read_to_string(&out).expect("tree written")
+    };
+    let clean = run_cli("clean", None);
+
+    // Learn the op budget, then interrupt at a spread of boundaries.
+    // Process spawns are expensive: the exhaustive sweep lives in the
+    // threaded matrix above.
+    storage::install(StoragePlan::quiet(0));
+    run_threads(&alignment, &config, &dir.join("probe"), None).expect("probe run");
+    let total_ops = storage::clear().ops;
+    for op in [0, 3, total_ops / 2, total_ops - 1] {
+        let wal_dir = dir.join(format!("op{op}"));
+        storage::install(StoragePlan::quiet(0).crash_at(op));
+        run_threads(&alignment, &config, &wal_dir, None).expect_err("injected crash");
+        storage::clear();
+        let resumed = run_cli(&format!("resume{op}"), Some(&wal_dir));
+        assert_eq!(resumed, clean, "net op {op}: output diverged");
+        assert!(
+            !wal::wal_path(&wal_dir, 0, config.jumble_seed).exists(),
+            "net op {op}: wal not retired"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The farm path: a killed farm coordinator leaves one WAL per in-flight
+/// jumble. Workers resume those jumbles mid-search through the
+/// `JumbleResume` task (replaying the prefix, streaming only new rounds
+/// back), the farm's trees stay byte-identical to the un-killed serial
+/// farm, and every log is retired as its jumble completes — so the WAL
+/// directory is empty at the end no matter how many jumbles ran. Farm
+/// jumbles score through the `ScorerExecutor` in every deployment, so a
+/// serially recorded per-jumble log is the real artifact here.
+#[test]
+fn farm_resumes_inflight_jumbles_and_bounds_wal_dir() {
+    let alignment = dataset();
+    let config = SearchConfig {
+        jumble_seed: 7,
+        ..SearchConfig::default()
+    };
+    let seeds = plan_seeds(7, 4).expect("seeds");
+
+    // Clean serial baseline, no WAL.
+    let baseline = serial_farm(
+        &alignment,
+        &config,
+        &seeds,
+        &FarmOptions::default(),
+        &Obs::disabled(),
+    )
+    .expect("serial farm");
+    let expected: Vec<&str> = baseline.runs.iter().map(|r| r.newick.as_str()).collect();
+
+    // Record each jumble's full log (the farm's own executor flavor).
+    let engine = config.build_engine(&alignment);
+    let logs: Vec<Vec<WalRound>> = seeds
+        .iter()
+        .map(|&seed| {
+            let per = SearchConfig {
+                jumble_seed: seed,
+                ..config.clone()
+            };
+            let mut log: Vec<WalRound> = Vec::new();
+            StepwiseSearch::new(
+                &per,
+                ScorerExecutor::new(&engine, per.optimize),
+                alignment.num_taxa(),
+            )
+            .with_names(alignment.names().to_vec())
+            .on_wal(|round| log.push(round.clone()))
+            .run()
+            .expect("jumble baseline");
+            log
+        })
+        .collect();
+
+    // Kill profile: jumble 0 was finished-but-unretired (full log),
+    // jumble 1 mid-flight (half log), jumble 2 barely started (1 round),
+    // jumble 3 untouched. Resume over the threaded farm so in-flight
+    // jumbles travel to workers as JumbleResume tasks.
+    let dir = workdir("farm");
+    let wal_dir = dir.join("wal");
+    let plant_ks = [logs[0].len(), logs[1].len() / 2, 1, 0];
+    for (i, (&seed, log)) in seeds.iter().zip(&logs).enumerate() {
+        if plant_ks[i] == 0 {
+            continue;
+        }
+        let mut writer =
+            WalWriter::create(&wal_dir, 0, seed, alignment.num_taxa()).expect("plant wal");
+        for round in &log[..plant_ks[i]] {
+            writer.append(round).expect("plant append");
+        }
+    }
+
+    let mem = MemorySink::new();
+    let job = ResolvedJob::from_parts(alignment.clone(), config.clone(), seeds.len()).unwrap();
+    let farm_options = FarmOptions {
+        wal_dir: Some(wal_dir.clone()),
+        ..FarmOptions::default()
+    };
+    let outcome = farm_search(
+        &job,
+        5,
+        farm_options,
+        RunOptions::observed(vec![Box::new(mem.clone())]),
+    )
+    .expect("farm resume");
+    let got: Vec<&str> = outcome.runs.iter().map(|r| r.newick.as_str()).collect();
+    assert_eq!(got, expected, "farm trees diverged after resume");
+
+    let (_, replayed) = wal_event_counts(&mem);
+    let planted: usize = plant_ks.iter().sum();
+    assert_eq!(replayed, planted as u64, "farm replay count");
+
+    // Every jumble retired its log: the WAL directory is bounded by the
+    // in-flight set during the run and empty after it.
+    let leftover: Vec<_> = std::fs::read_dir(&wal_dir)
+        .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.file_name())).collect())
+        .unwrap_or_default();
+    assert!(leftover.is_empty(), "unretired wal files: {leftover:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
